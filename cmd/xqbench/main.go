@@ -1,0 +1,127 @@
+// Command xqbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	xqbench -table 1            # Table 1: opt + eval time, 8 queries × 5 algorithms
+//	xqbench -table 2            # Table 2: opt time & plans considered, Q.Pers.3.d
+//	xqbench -table 3            # Table 3: eval time vs folding factor (×1 ×10 ×100)
+//	xqbench -table 3 -full      # ... including the ×500 fold (slow, needs ~2 GB)
+//	xqbench -figure 7           # Figure 7: DPAP-EB Te sweep, fold ×100
+//	xqbench -figure 8           # Figure 8: DPAP-EB Te sweep, fold ×1
+//	xqbench -all                # everything (without -full folds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sjos"
+	"sjos/internal/core"
+	"sjos/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate table 1, 2 or 3")
+	figure := flag.Int("figure", 0, "regenerate figure 7 or 8")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	full := flag.Bool("full", false, "include the x500 fold in table 3 (slow)")
+	census := flag.Bool("census", false, "print the status search-space census for the benchmark patterns (§3 complexity)")
+	flag.Parse()
+
+	if *census {
+		if err := printCensus(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "xqbench: census: %v\n", err)
+			os.Exit(1)
+		}
+		if !*all && *table == 0 && *figure == 0 {
+			return
+		}
+	}
+	if !*all && !*census && *table == 0 && *figure == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	run := func(name string, f func() error) {
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "xqbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	if *all || *table == 1 {
+		run("table 1", func() error {
+			rows, err := experiments.Table1()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderTable1(rows))
+			return nil
+		})
+	}
+	if *all || *table == 2 {
+		run("table 2", func() error {
+			cols, err := experiments.Table2(experiments.PersQuery3)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderTable2(cols, experiments.PersQuery3))
+			return nil
+		})
+	}
+	if *all || *table == 3 {
+		run("table 3", func() error {
+			folds := []int{1, 10, 100}
+			if *full {
+				folds = append(folds, 500)
+			}
+			rows, err := experiments.Table3(folds)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderTable3(rows))
+			return nil
+		})
+	}
+	if *all || *figure == 7 {
+		run("figure 7", func() error {
+			bars, err := experiments.Figure78(100)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderFigure(bars, 100))
+			return nil
+		})
+	}
+	if *all || *figure == 8 {
+		run("figure 8", func() error {
+			bars, err := experiments.Figure78(1)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderFigure(bars, 1))
+			return nil
+		})
+	}
+}
+
+// printCensus writes the search-space census for every benchmark query's
+// pattern: the measurable form of §3's complexity analysis (statuses,
+// deadends, per-level growth).
+func printCensus(w *os.File) error {
+	fmt.Fprintln(w, "Status search-space census (Definition 1-6; deadends per Definition 6)")
+	fmt.Fprintf(w, "%-14s %-7s %-9s %-9s %-7s %s\n",
+		"Query", "nodes", "statuses", "deadends", "finals", "per level")
+	for _, q := range experiments.Queries() {
+		pat, err := sjos.ParsePattern(q.Source)
+		if err != nil {
+			return err
+		}
+		c, err := core.CensusSearchSpace(pat)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-14s %-7d %-9d %-9d %-7d %v\n",
+			q.ID, pat.N(), c.Statuses, c.Deadends, c.Finals, c.PerLevel)
+	}
+	return nil
+}

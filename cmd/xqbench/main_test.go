@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"sjos/internal/experiments"
+)
+
+func TestPrintCensus(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := printCensus(f); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(b)
+	for _, q := range experiments.Queries() {
+		if !strings.Contains(out, q.ID) {
+			t.Errorf("census missing %s:\n%s", q.ID, out)
+		}
+	}
+	if !strings.Contains(out, "deadends") {
+		t.Errorf("census header missing:\n%s", out)
+	}
+}

@@ -1,0 +1,141 @@
+// Command xqrun evaluates one tree-pattern query against an XML file (or a
+// generated data set) end to end: parse, optimize, explain, execute.
+//
+// Usage:
+//
+//	xqrun -xml file.xml -query '//manager//employee/name'
+//	xqrun -dataset pers -query '//manager[.//employee/name]//manager/department/name'
+//	xqrun -dataset dblp -fold 10 -method FP -query '//article[author]/title' -limit 5
+//	xqrun -dataset pers -explain -query '//manager//employee/name'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sjos"
+)
+
+func main() {
+	xmlPath := flag.String("xml", "", "XML file to load")
+	dataset := flag.String("dataset", "", "generated data set: mbench, dblp or pers")
+	fold := flag.Int("fold", 1, "folding factor for -dataset")
+	query := flag.String("query", "", "tree pattern (XPath-like twig syntax)")
+	method := flag.String("method", "DPP", "optimizer: DP, DPP, DPP', DPAP-EB, DPAP-LD, FP")
+	limit := flag.Int("limit", 10, "matches to print (0 = count only)")
+	explain := flag.Bool("explain", false, "compare all optimizers instead of executing")
+	trace := flag.Bool("trace", false, "print the DPP search trace instead of executing")
+	flag.Parse()
+
+	if *query == "" || (*xmlPath == "") == (*dataset == "") {
+		fmt.Fprintln(os.Stderr, "xqrun: need -query and exactly one of -xml / -dataset")
+		flag.Usage()
+		os.Exit(2)
+	}
+	mode := modeRun
+	if *explain {
+		mode = modeExplain
+	}
+	if *trace {
+		mode = modeTrace
+	}
+	if err := runMode(*xmlPath, *dataset, *fold, *query, *method, *limit, mode); err != nil {
+		fmt.Fprintf(os.Stderr, "xqrun: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type mode int
+
+const (
+	modeRun mode = iota
+	modeExplain
+	modeTrace
+)
+
+// run keeps the original signature for the tests; explain selects
+// modeExplain.
+func run(xmlPath, dataset string, fold int, query, method string, limit int, explain bool) error {
+	m := modeRun
+	if explain {
+		m = modeExplain
+	}
+	return runMode(xmlPath, dataset, fold, query, method, limit, m)
+}
+
+func runMode(xmlPath, dataset string, fold int, query, method string, limit int, m mode) error {
+	var db *sjos.Database
+	var err error
+	if xmlPath != "" {
+		f, err2 := os.Open(xmlPath)
+		if err2 != nil {
+			return err2
+		}
+		defer f.Close()
+		db, err = sjos.LoadXML(f, nil)
+	} else {
+		db, err = sjos.GenerateDataset(dataset, 1, fold, nil)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("database: %d element nodes\n", db.NumNodes())
+
+	pat, err := sjos.ParsePattern(query)
+	if err != nil {
+		return err
+	}
+	switch m {
+	case modeExplain:
+		s, err := db.Explain(pat)
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+		return nil
+	case modeTrace:
+		s, err := db.TraceDPP(pat)
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+		return nil
+	}
+	meth, err := sjos.ParseMethod(method)
+	if err != nil {
+		return err
+	}
+	res, err := db.QueryPattern(pat, meth)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("optimizer %s considered %d plans in %v (estimated cost %.0f)\n",
+		method, res.PlansConsidered, res.OptimizeTime, res.EstCost)
+	fmt.Println("plan:")
+	fmt.Print(indent(res.PlanText))
+	fmt.Printf("%d matches in %v\n", len(res.Matches), res.ExecuteTime)
+	for i, match := range res.Matches {
+		if limit >= 0 && i >= limit {
+			fmt.Printf("... and %d more\n", len(res.Matches)-limit)
+			break
+		}
+		parts := make([]string, len(match))
+		for u, id := range match {
+			v := db.Value(id)
+			if v == "" {
+				parts[u] = fmt.Sprintf("%s#%d", db.TagName(id), id)
+			} else {
+				parts[u] = fmt.Sprintf("%s=%q", db.TagName(id), v)
+			}
+		}
+		fmt.Printf("  (%s)\n", strings.Join(parts, ", "))
+	}
+	return nil
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "  " + strings.Join(lines, "\n  ") + "\n"
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunOnXMLFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "doc.xml")
+	xml := `<db><a><b>one</b></a><a><b>two</b></a></db>`
+	if err := os.WriteFile(path, []byte(xml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", 1, "//a/b", "DPP", 10, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunOnDataset(t *testing.T) {
+	if err := run("", "pers", 1, "//manager/employee", "FP", 0, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	if err := run("", "pers", 1, "//manager//employee/name", "DPP", 0, true); err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/no/such/file.xml", "", 1, "//a", "DPP", 0, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run("", "nope", 1, "//a", "DPP", 0, false); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run("", "pers", 1, "///", "DPP", 0, false); err == nil {
+		t.Error("bad query accepted")
+	}
+	if err := run("", "pers", 1, "//a", "BOGUS", 0, false); err == nil {
+		t.Error("bad method accepted")
+	}
+}

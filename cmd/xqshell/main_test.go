@@ -1,0 +1,110 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sjos"
+)
+
+func newShell(t *testing.T) (*shell, *strings.Builder) {
+	t.Helper()
+	db, err := sjos.LoadXMLString(`<db>
+	  <manager><name>alice</name><employee><name>bob</name></employee></manager>
+	  <manager><name>carol</name><department><name>ops</name></department></manager>
+	</db>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	return &shell{db: db, method: sjos.MethodDPP, limit: 10, out: &out}, &out
+}
+
+func TestShellPatternQuery(t *testing.T) {
+	sh, out := newShell(t)
+	if !sh.processLine("//manager/name") {
+		t.Fatal("query ended the session")
+	}
+	s := out.String()
+	if !strings.Contains(s, "2 matches") || !strings.Contains(s, `"alice"`) {
+		t.Fatalf("output:\n%s", s)
+	}
+}
+
+func TestShellXQuery(t *testing.T) {
+	sh, out := newShell(t)
+	sh.processLine(`for $m in //manager where $m/employee return $m/name`)
+	s := out.String()
+	if !strings.Contains(s, "1 rows") || !strings.Contains(s, `"alice"`) {
+		t.Fatalf("output:\n%s", s)
+	}
+}
+
+func TestShellCommands(t *testing.T) {
+	sh, out := newShell(t)
+	if sh.processLine(".quit") {
+		t.Fatal(".quit should end the session")
+	}
+	if !sh.processLine("") {
+		t.Fatal("blank line should continue")
+	}
+	sh.processLine(".method FP")
+	if sh.method != sjos.MethodFP {
+		t.Fatal(".method did not switch")
+	}
+	sh.processLine(".method BOGUS")
+	if !strings.Contains(out.String(), "error:") {
+		t.Fatal("bad method not reported")
+	}
+	sh.processLine(".limit 1")
+	if sh.limit != 1 {
+		t.Fatal(".limit did not apply")
+	}
+	out.Reset()
+	sh.processLine("//manager/name")
+	if !strings.Contains(out.String(), "and 1 more") {
+		t.Fatalf("limit not enforced:\n%s", out.String())
+	}
+	out.Reset()
+	sh.processLine(".limit -3")
+	sh.processLine(".nonsense")
+	if !strings.Contains(out.String(), "error:") {
+		t.Fatal("bad commands not reported")
+	}
+}
+
+func TestShellInspectors(t *testing.T) {
+	sh, out := newShell(t)
+	sh.processLine(".explain //manager//name")
+	if !strings.Contains(out.String(), "FP:") {
+		t.Fatalf("explain output:\n%s", out.String())
+	}
+	out.Reset()
+	sh.processLine(".analyze //manager//name")
+	if !strings.Contains(out.String(), "actual=") {
+		t.Fatalf("analyze output:\n%s", out.String())
+	}
+	out.Reset()
+	sh.processLine(".trace //manager/name")
+	if !strings.Contains(out.String(), "expand") {
+		t.Fatalf("trace output:\n%s", out.String())
+	}
+	out.Reset()
+	sh.processLine(".explain ///bad[")
+	if !strings.Contains(out.String(), "error:") {
+		t.Fatal("bad pattern not reported")
+	}
+}
+
+func TestShellQueryErrors(t *testing.T) {
+	sh, out := newShell(t)
+	sh.processLine("///bad")
+	if !strings.Contains(out.String(), "error:") {
+		t.Fatal("bad pattern not reported")
+	}
+	out.Reset()
+	sh.processLine("for $x in")
+	if !strings.Contains(out.String(), "error:") {
+		t.Fatal("bad xquery not reported")
+	}
+}

@@ -1,0 +1,45 @@
+// Package sjos is a cost-based structural join order optimizer for XML
+// tree-pattern queries — a from-scratch Go reproduction of Wu, Patel and
+// Jagadish, "Structural Join Order Selection for XML Query Optimization"
+// (ICDE 2003), together with every substrate the paper's system (the Timber
+// native XML database) provides underneath it: a region-encoded XML store
+// with a paged buffer pool and element-tag indexes, the Stack-Tree
+// structural join operators, positional-histogram cardinality estimation,
+// and a pipelined executor.
+//
+// # Quick start
+//
+//	db, err := sjos.LoadXMLString(`<db><a><b/></a></db>`, nil)
+//	if err != nil { ... }
+//	res, err := db.Query("//a//b", sjos.MethodDPP)
+//	if err != nil { ... }
+//	fmt.Println(len(res.Matches), "matches via plan:\n", res.PlanText)
+//
+// # The five optimizers
+//
+// The paper's algorithms are selected with a Method:
+//
+//	MethodDP      exhaustive dynamic programming — optimal, slowest
+//	MethodDPP     DP with pruning — optimal, the recommended default
+//	MethodDPAPEB  aggressive pruning, per-level expansion bound Te
+//	MethodDPAPLD  aggressive pruning, left-deep plans only
+//	MethodFP      fully-pipelined (sort-free) plans only — fastest to
+//	              optimize, near-optimal plans, first results stream
+//	              immediately
+//
+// Per the paper's conclusions: use DPP when query execution time dominates,
+// FP when optimization time matters or results should stream.
+//
+// # Pattern syntax
+//
+// Patterns use a compact XPath-like twig syntax ("//" = ancestor-descendant,
+// "/" = parent-child, "[...]" = branch or predicate, "#" marks the node the
+// output must be ordered by):
+//
+//	//manager[.//employee/name]//department/name
+//	/dblp/article[author = "author-7"][year >= 1990]/title
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// architecture, and EXPERIMENTS.md for the reproduction of the paper's
+// evaluation.
+package sjos

@@ -1,0 +1,66 @@
+// Bibliography: querying the DBLP-like data set — shallow, wide documents
+// where parent-child joins dominate — including value predicates, ordered
+// output, and the holistic TwigStack comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sjos"
+)
+
+func main() {
+	db, err := sjos.GenerateDataset("dblp", 1, 1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DBLP-like data set: %d element nodes\n\n", db.NumNodes())
+
+	// 1. Selective lookup with value predicates.
+	res, err := db.Query(`//article[author = "author-7"]/title`, sjos.MethodDPP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("articles by author-7: %d\n", len(res.Matches))
+	for i, m := range res.Matches {
+		if i == 3 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  %s\n", db.Value(m[2]))
+	}
+
+	// 2. Ordered output: '#' requests the result sorted by that node.
+	// FP guarantees a sort-free plan producing exactly this order.
+	res, err = db.Query(`//inproceedings#[author]/cite/label`, sjos.MethodFP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncited inproceedings (ordered by paper): %d matches, plan:\n", len(res.Matches))
+	fmt.Println(res.PlanText)
+
+	// 3. Holistic comparison: the same twig via TwigStack (the multi-way
+	// join the paper cites as future work) must agree with the plan.
+	pat := sjos.MustParsePattern(`//article[author][cite/label]/title`)
+	planned, err := db.QueryPattern(pat, sjos.MethodDPP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	holistic, err := db.TwigStack(pat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cited articles with authors: structural-join plan found %d, TwigStack found %d\n",
+		len(planned.Matches), len(holistic))
+	if len(planned.Matches) != len(holistic) {
+		log.Fatal("mismatch between binary joins and holistic twig join!")
+	}
+
+	// 4. Range predicate over numeric text.
+	res, err = db.Query(`//article[year >= 2000]/title`, sjos.MethodDPP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("articles from 2000 on: %d\n", len(res.Matches))
+}

@@ -1,0 +1,47 @@
+// Quickstart: load an XML document, run a tree-pattern query with the
+// recommended DPP optimizer, and inspect the chosen plan.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sjos"
+)
+
+const doc = `
+<library>
+  <shelf floor="1">
+    <book><title>The Art of Indexing</title><author>Ada</author><year>1999</year></book>
+    <book><title>Streams and Stacks</title><author>Brook</author><year>2002</year></book>
+  </shelf>
+  <shelf floor="2">
+    <book><title>Join Orders Considered</title><author>Ada</author><year>2003</year></book>
+    <box><book><title>Misplaced Volume</title><author>Cleo</author><year>2001</year></book></box>
+  </shelf>
+</library>`
+
+func main() {
+	db, err := sjos.LoadXMLString(doc, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d element nodes\n\n", db.NumNodes())
+
+	// "//" is ancestor-descendant, "/" parent-child, "[...]" a branch.
+	// The Misplaced Volume in the box matches too: shelf//book is an
+	// ancestor-descendant edge.
+	res, err := db.Query(`//shelf[@floor = "2"]//book[author = "Ada"]/title`, sjos.MethodDPP)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("chosen plan (DPP — optimal):")
+	fmt.Println(res.PlanText)
+	fmt.Printf("%d match(es) in %v (optimization took %v):\n",
+		len(res.Matches), res.ExecuteTime, res.OptimizeTime)
+	for _, m := range res.Matches {
+		// Slots follow pattern-node order: shelf, @floor, book, author, title.
+		fmt.Printf("  title %q (author %q)\n", db.Value(m[4]), db.Value(m[3]))
+	}
+}

@@ -1,0 +1,122 @@
+package sjos
+
+import (
+	"fmt"
+	"strings"
+
+	"sjos/internal/core"
+	"sjos/internal/exec"
+)
+
+// Explain optimizes pat with every algorithm and renders a comparison: per
+// algorithm the estimated cost, search effort, plan shape classification,
+// and the plan tree itself. It is the facade's EXPLAIN statement.
+func (db *Database) Explain(pat *Pattern) (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pattern: %s\n", pat.String())
+	for _, m := range []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP} {
+		res, err := db.Optimize(pat, m, 0)
+		if err != nil {
+			return "", fmt.Errorf("sjos: explain %v: %w", m, err)
+		}
+		shape := "bushy"
+		if res.Plan.LeftDeep() {
+			shape = "left-deep"
+		}
+		pipe := "blocking"
+		if res.Plan.FullyPipelined() {
+			pipe = "fully-pipelined"
+		}
+		fmt.Fprintf(&sb, "\n%s: estimated cost %.0f, %d plans considered, %s, %s\n",
+			m, res.Cost, res.Counters.PlansConsidered, shape, pipe)
+		sb.WriteString(res.Plan.Format(pat))
+	}
+	return sb.String(), nil
+}
+
+// ExplainAnalyze optimizes pat with the given method, executes the chosen
+// plan with per-operator instrumentation, and renders the plan tree with
+// estimated vs actual output cardinalities — the library's EXPLAIN ANALYZE.
+// It reports total matches alongside the annotated plan.
+func (db *Database) ExplainAnalyze(pat *Pattern, m Method) (string, error) {
+	res, err := db.Optimize(pat, m, 0)
+	if err != nil {
+		return "", err
+	}
+	op, analyses, err := exec.BuildAnalyzed(pat, res.Plan)
+	if err != nil {
+		return "", err
+	}
+	ctx := &exec.Context{Doc: db.doc, Store: db.store}
+	n, err := exec.Count(ctx, op)
+	if err != nil {
+		return "", err
+	}
+	exec.Finish(analyses)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pattern: %s\n%s plan, estimated cost %.0f, %d matches\n",
+		pat.String(), m, res.Cost, n)
+	sb.WriteString(exec.FormatAnalysis(pat, res.Plan, analyses))
+	return sb.String(), nil
+}
+
+// TraceDPP runs a traced DPP search for pat and renders every expansion,
+// generation and pruning decision — the machine-generated counterpart of
+// the paper's Figure 4 optimization walk-through. Intended for debugging
+// and teaching; the chosen plan is appended after the trace.
+func (db *Database) TraceDPP(pat *Pattern) (string, error) {
+	est, err := core.NewEstimator(pat, db.stats)
+	if err != nil {
+		return "", err
+	}
+	res, events, err := core.DPPWithTrace(pat, est, db.model)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "DPP search trace for %s (%d events)\n", pat.String(), len(events))
+	sb.WriteString(core.FormatTrace(pat, events))
+	fmt.Fprintf(&sb, "chosen plan (cost %.0f):\n%s", res.Cost, res.Plan.Format(pat))
+	return sb.String(), nil
+}
+
+// Prepared is a pattern whose plan has been optimized once and can be
+// executed repeatedly — the optimizer's work is amortised across
+// executions (useful when the same query shape runs against one database
+// many times).
+type Prepared struct {
+	db   *Database
+	pat  *Pattern
+	plan *Plan
+	// EstCost is the optimizer's estimate for the prepared plan.
+	EstCost float64
+}
+
+// Prepare parses and optimizes src once, returning a reusable handle.
+func (db *Database) Prepare(src string, m Method) (*Prepared, error) {
+	pat, err := ParsePattern(src)
+	if err != nil {
+		return nil, err
+	}
+	res, err := db.Optimize(pat, m, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{db: db, pat: pat, plan: res.Plan, EstCost: res.Cost}, nil
+}
+
+// Pattern returns the prepared pattern.
+func (p *Prepared) Pattern() *Pattern { return p.pat }
+
+// Plan returns the prepared physical plan.
+func (p *Prepared) Plan() *Plan { return p.plan }
+
+// Execute runs the prepared plan, returning matches in pattern-node order.
+func (p *Prepared) Execute() ([]Match, ExecStats, error) {
+	return p.db.Execute(p.pat, p.plan)
+}
+
+// Count runs the prepared plan, returning only the match count.
+func (p *Prepared) Count() (int, ExecStats, error) {
+	return p.db.ExecuteCount(p.pat, p.plan)
+}

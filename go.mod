@@ -1,0 +1,3 @@
+module sjos
+
+go 1.24

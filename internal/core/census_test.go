@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"sjos/internal/pattern"
+)
+
+func TestCensusTinyPatternByHand(t *testing.T) {
+	// //a//b: statuses are the start plus one final (ordering collapsed
+	// on the last move).
+	c, err := CensusSearchSpace(pattern.MustParse("//a//b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Statuses != 2 || c.Finals != 1 || c.Deadends != 0 {
+		t.Fatalf("census = %+v", c)
+	}
+	if c.PerLevel[0] != 1 || c.PerLevel[1] != 1 {
+		t.Fatalf("per level = %v", c.PerLevel)
+	}
+}
+
+func TestCensusPathThree(t *testing.T) {
+	// //a//b//c: from the start, joining (a,b) can leave the pair ordered
+	// by a (deadend), b (alive), or c... the census counts them all.
+	c, err := CensusSearchSpace(pattern.MustParse("//a//b//c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Deadends == 0 {
+		t.Fatal("3-node path must have deadend statuses (Definition 6)")
+	}
+	// Like the paper's Figure 3 (S30..S33), several final statuses exist,
+	// one per achievable output ordering of the last move.
+	if c.Finals < 1 {
+		t.Fatalf("finals = %d", c.Finals)
+	}
+	// Level 1 statuses: per edge, merged pair ordered by any of its 2
+	// nodes = 2 orderings × 2 edges = 4.
+	if c.PerLevel[1] != 4 {
+		t.Fatalf("level-1 statuses = %d, want 4", c.PerLevel[1])
+	}
+}
+
+func TestCensusGrowthIsExponential(t *testing.T) {
+	prev := 0
+	for n := 2; n <= 7; n++ {
+		c, err := CensusSearchSpace(chainPattern(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Statuses <= prev {
+			t.Fatalf("n=%d: statuses %d did not grow (prev %d)", n, c.Statuses, prev)
+		}
+		if n >= 4 && c.Statuses < prev*2 {
+			t.Errorf("n=%d: growth %d -> %d slower than exponential doubling", n, prev, c.Statuses)
+		}
+		prev = c.Statuses
+	}
+}
+
+func TestCensusDeadendShareGrows(t *testing.T) {
+	small, err := CensusSearchSpace(chainPattern(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := CensusSearchSpace(chainPattern(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := float64(small.Deadends) / float64(small.Statuses)
+	fl := float64(large.Deadends) / float64(large.Statuses)
+	if fl <= fs {
+		t.Errorf("deadend share should grow with pattern size: %.3f -> %.3f", fs, fl)
+	}
+}
+
+func TestCensusLimits(t *testing.T) {
+	if _, err := CensusSearchSpace(chainPattern(20)); err == nil {
+		t.Fatal("oversized census accepted")
+	}
+	if _, err := CensusSearchSpace(&pattern.Pattern{}); err == nil {
+		t.Fatal("invalid pattern accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"sjos/internal/cost"
+	"sjos/internal/pattern"
+	"sjos/internal/plan"
+)
+
+// errNoPlan is returned if a search finds no complete plan; this cannot
+// happen for well-formed patterns (Theorem 3.1 guarantees at least the
+// fully-pipelined plans exist) and indicates an internal inconsistency.
+var errNoPlan = errors.New("core: search completed without finding a plan")
+
+// singleNode handles the degenerate one-node pattern shared by all
+// algorithms: the plan is a bare index scan.
+func (sp *space) singleNode(name string) *Result {
+	leaf := plan.NewIndexScan(0)
+	leaf.EstCard = sp.est.NodeCard(0)
+	leaf.EstCost = sp.scanCost
+	return &Result{Plan: leaf, Cost: sp.scanCost, Algorithm: name}
+}
+
+// DP optimizes pat with the exhaustive dynamic programming algorithm of
+// §3.1: statuses are developed strictly level by level; every possible move
+// from every status is considered, and for each distinct status only the
+// cheapest way of reaching it is retained.
+func DP(pat *pattern.Pattern, est *Estimator, model cost.Model) (*Result, error) {
+	sp := newSpace(pat, est, model)
+	if sp.numEdges == 0 {
+		return sp.singleNode("DP"), nil
+	}
+	var counters Counters
+	cur := map[uint64]*status{}
+	s0 := sp.start()
+	cur[s0.key()] = s0
+	for lv := 0; lv < sp.numEdges; lv++ {
+		next := make(map[uint64]*status)
+		for _, s := range sortedStatuses(cur) {
+			counters.StatusesExpanded++
+			sp.expand(s, moveOpts{}, func(c candidate) {
+				counters.PlansConsidered++
+				k := uint64(c.edges) | uint64(c.orderMask)<<MaxPatternNodes
+				old, ok := next[k]
+				if ok && old.cost <= c.cost {
+					return
+				}
+				if !ok {
+					counters.StatusesGenerated++
+				}
+				next[k] = &status{
+					edges:     c.edges,
+					orderMask: c.orderMask,
+					cost:      c.cost,
+					level:     lv + 1,
+					prev:      s,
+					via:       c.mv,
+					heapIdx:   -1,
+				}
+			})
+		}
+		cur = next
+	}
+	best := pickBestFinal(sp, cur)
+	if best == nil {
+		return nil, errNoPlan
+	}
+	return &Result{
+		Plan:      sp.finalize(best),
+		Cost:      best.cost,
+		Algorithm: "DP",
+		Counters:  counters,
+	}, nil
+}
+
+// sortedStatuses returns the map's statuses in deterministic (key) order so
+// equal-cost ties always break the same way.
+func sortedStatuses(m map[uint64]*status) []*status {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]*status, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}
+
+// pickBestFinal selects the cheapest final status from the last DP level.
+// Final-move generation already folded in any sort required by the query's
+// OrderBy, so costs are directly comparable.
+func pickBestFinal(sp *space, finals map[uint64]*status) *status {
+	var best *status
+	for _, s := range sortedStatuses(finals) {
+		if !sp.isFinal(s) {
+			continue
+		}
+		if best == nil || s.cost < best.cost {
+			best = s
+		}
+	}
+	return best
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"sjos/internal/cost"
+	"sjos/internal/pattern"
+)
+
+// dppConfig selects a member of the DPP/DPAP family; the search loop is
+// shared.
+type dppConfig struct {
+	name         string
+	lookahead    bool // the Lookahead Rule: never generate deadend statuses
+	te           int  // DPAP-EB expansion bound per level; 0 = unlimited
+	leftDeep     bool // DPAP-LD: single growing cluster
+	pipelineOnly bool // sorted-move ablation: only sort-free moves
+
+	// trace, when non-nil, records every search decision (see trace.go).
+	trace *[]TraceEvent
+}
+
+// emit appends a trace event if tracing is enabled.
+func (cfg *dppConfig) emit(kind TraceKind, edges, orderMask uint32, level int, cost float64) {
+	if cfg.trace != nil {
+		*cfg.trace = append(*cfg.trace, TraceEvent{
+			Kind: kind, Edges: edges, OrderMask: orderMask, Level: level, Cost: cost,
+		})
+	}
+}
+
+// DPP optimizes pat with Dynamic Programming with Pruning (§3.2):
+// best-first expansion ordered by Cost+ubCost, pruning of statuses whose
+// Cost reaches the best complete plan found so far, and the Lookahead Rule.
+// Like DP it searches the whole space and returns an optimal plan, usually
+// at a fraction of DP's optimization cost.
+func DPP(pat *pattern.Pattern, est *Estimator, model cost.Model) (*Result, error) {
+	return dppSearch(pat, est, model, dppConfig{name: "DPP", lookahead: true})
+}
+
+// DPPNoLookahead is DPP without the Lookahead Rule — the paper's DPP′
+// baseline used to measure the rule's effectiveness (Table 2).
+func DPPNoLookahead(pat *pattern.Pattern, est *Estimator, model cost.Model) (*Result, error) {
+	return dppSearch(pat, est, model, dppConfig{name: "DPP'"})
+}
+
+// DPPPipelineOnly is the sorted-move ablation (DESIGN.md A2): DPP searching
+// only sort-free moves, i.e. exactly the fully-pipelined plan space. By
+// Theorem 3.1 it always succeeds, and its optimum must equal FP's — the
+// test suite uses this as an independent check of the FP algorithm.
+func DPPPipelineOnly(pat *pattern.Pattern, est *Estimator, model cost.Model) (*Result, error) {
+	return dppSearch(pat, est, model, dppConfig{name: "DPP-pipe", lookahead: true, pipelineOnly: true})
+}
+
+// DPAPEB optimizes with Dynamic Programming with Aggressive Pruning using
+// an Expansion Bound (§3.3.1): at most te statuses are expanded per level,
+// and once a level saturates no earlier level is expanded again. te must be
+// at least 1. The returned plan can be suboptimal.
+func DPAPEB(pat *pattern.Pattern, est *Estimator, model cost.Model, te int) (*Result, error) {
+	if te < 1 {
+		return nil, fmt.Errorf("core: DPAP-EB expansion bound %d, want >= 1", te)
+	}
+	return dppSearch(pat, est, model, dppConfig{name: "DPAP-EB", lookahead: true, te: te})
+}
+
+// DPAPLD optimizes with Dynamic Programming with Aggressive Pruning
+// restricted to left-deep statuses (§3.3.2): at most one cluster may hold
+// more than one pattern node (the growing node). The returned plan can be
+// suboptimal — the paper's experiments show this is the weakest heuristic.
+func DPAPLD(pat *pattern.Pattern, est *Estimator, model cost.Model) (*Result, error) {
+	return dppSearch(pat, est, model, dppConfig{name: "DPAP-LD", lookahead: true, leftDeep: true})
+}
+
+// statusHeap is the DPP priority list: minimum Cost+ubCost first, with
+// deterministic tie-breaking on the status key.
+type statusHeap []*status
+
+func (h statusHeap) Len() int { return len(h) }
+func (h statusHeap) Less(i, j int) bool {
+	pi, pj := h[i].cost+h[i].ub, h[j].cost+h[j].ub
+	if pi != pj {
+		return pi < pj
+	}
+	return h[i].key() < h[j].key()
+}
+func (h statusHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *statusHeap) Push(x any) {
+	s := x.(*status)
+	s.heapIdx = len(*h)
+	*h = append(*h, s)
+}
+func (h *statusHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	s.heapIdx = -1
+	*h = old[:n-1]
+	return s
+}
+
+func dppSearch(pat *pattern.Pattern, est *Estimator, model cost.Model, cfg dppConfig) (*Result, error) {
+	sp := newSpace(pat, est, model)
+	if sp.numEdges == 0 {
+		return sp.singleNode(cfg.name), nil
+	}
+	var counters Counters
+	opts := moveOpts{leftDeepOnly: cfg.leftDeep, pipelineOnly: cfg.pipelineOnly}
+
+	visited := make(map[uint64]*status)
+	var pq statusHeap
+	s0 := sp.start()
+	s0.ub = sp.ubCost(s0.edges)
+	visited[s0.key()] = s0
+	heap.Push(&pq, s0)
+
+	var bestFinal *status
+	minCost := 0.0
+	haveMin := false
+
+	// DPAP-EB bookkeeping.
+	expandedAt := make([]int, sp.numEdges+1)
+	saturated := -1 // highest level whose expansion bound was reached
+
+	for pq.Len() > 0 {
+		s := heap.Pop(&pq).(*status)
+		if haveMin && s.cost >= minCost {
+			cfg.emit(TracePruneDead, s.edges, s.orderMask, s.level, s.cost)
+			continue // "dead": cannot improve on the best full plan
+		}
+		if sp.isFinal(s) {
+			cfg.emit(TraceFinal, s.edges, s.orderMask, s.level, s.cost)
+			if bestFinal == nil || s.cost < bestFinal.cost {
+				bestFinal = s
+				minCost, haveMin = s.cost, true
+			}
+			continue
+		}
+		if cfg.te > 0 {
+			if s.level < saturated || expandedAt[s.level] >= cfg.te {
+				continue
+			}
+			expandedAt[s.level]++
+			if expandedAt[s.level] == cfg.te && s.level > saturated {
+				saturated = s.level
+			}
+		}
+		counters.StatusesExpanded++
+		s.expanded = true
+		cfg.emit(TraceExpand, s.edges, s.orderMask, s.level, s.cost)
+		sp.expand(s, opts, func(c candidate) {
+			if haveMin && c.cost >= minCost {
+				cfg.emit(TracePruneDead, c.edges, c.orderMask, s.level+1, c.cost)
+				return // dead on arrival: pruned before being considered
+			}
+			final := c.edges == sp.allEdges
+			if cfg.lookahead && !final && !sp.hasMove(c.edges, c.orderMask) {
+				cfg.emit(TraceDeadend, c.edges, c.orderMask, s.level+1, c.cost)
+				return // Lookahead Rule: the successor is a deadend
+			}
+			k := uint64(c.edges) | uint64(c.orderMask)<<MaxPatternNodes
+			if old, ok := visited[k]; ok {
+				if old.cost <= c.cost {
+					cfg.emit(TraceWorse, c.edges, c.orderMask, s.level+1, c.cost)
+					return
+				}
+				cfg.emit(TraceImprove, c.edges, c.orderMask, s.level+1, c.cost)
+				// A cheaper route to a known status: update it in
+				// place. If it was already expanded it re-enters the
+				// queue so its successors are re-costed. The sub-plan
+				// counts as considered — it supersedes the best route.
+				counters.PlansConsidered++
+				old.cost, old.prev, old.via = c.cost, s, c.mv
+				if old.heapIdx >= 0 {
+					heap.Fix(&pq, old.heapIdx)
+				} else {
+					heap.Push(&pq, old)
+				}
+				return
+			}
+			counters.StatusesGenerated++
+			counters.PlansConsidered++
+			cfg.emit(TraceGenerate, c.edges, c.orderMask, s.level+1, c.cost)
+			ns := &status{
+				edges:     c.edges,
+				orderMask: c.orderMask,
+				cost:      c.cost,
+				level:     s.level + 1,
+				prev:      s,
+				via:       c.mv,
+				heapIdx:   -1,
+				ub:        sp.ubCost(c.edges),
+			}
+			visited[k] = ns
+			heap.Push(&pq, ns)
+		})
+	}
+	if bestFinal == nil {
+		if cfg.te > 0 {
+			// A very tight expansion bound can strand the search in
+			// deadends-at-depth before any full plan is reached. Fall
+			// back to the (cheap, always-successful) FP algorithm so
+			// DPAP-EB keeps its "always returns a plan" contract.
+			fp, err := FP(pat, est, model)
+			if err != nil {
+				return nil, err
+			}
+			fp.Algorithm = cfg.name
+			fp.Counters.PlansConsidered += counters.PlansConsidered
+			fp.Counters.StatusesGenerated += counters.StatusesGenerated
+			fp.Counters.StatusesExpanded += counters.StatusesExpanded
+			return fp, nil
+		}
+		return nil, errNoPlan
+	}
+	return &Result{
+		Plan:      sp.finalize(bestFinal),
+		Cost:      bestFinal.cost,
+		Algorithm: cfg.name,
+		Counters:  counters,
+	}, nil
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"sjos/internal/histogram"
+	"sjos/internal/pattern"
+)
+
+// Estimator supplies the cardinality estimates the cost model needs:
+// per-pattern-node candidate counts and per-edge join selectivities, chained
+// into sub-pattern (cluster) cardinalities under the usual independence
+// assumption:
+//
+//	|C| = Π_{i ∈ C} |cand(i)| · Π_{(u,v) ⊆ C} sel(u,v)
+//
+// Per-edge selectivities come from positional histograms (internal/
+// histogram), exactly as in the paper's experimental setup.
+type Estimator struct {
+	pat      *pattern.Pattern
+	nodeCard []float64 // per pattern node, after value-predicate selectivity
+	edgeSel  []float64 // per edge id (1..n-1); [0] unused
+	memo     map[uint64]float64
+}
+
+// NewEstimator derives an estimator for pat from document statistics.
+func NewEstimator(pat *pattern.Pattern, stats *histogram.Stats) (*Estimator, error) {
+	if err := pat.Validate(); err != nil {
+		return nil, err
+	}
+	if pat.N() > MaxPatternNodes {
+		return nil, fmt.Errorf("core: pattern has %d nodes, maximum is %d", pat.N(), MaxPatternNodes)
+	}
+	e := &Estimator{
+		pat:      pat,
+		nodeCard: make([]float64, pat.N()),
+		edgeSel:  make([]float64, pat.N()),
+		memo:     make(map[uint64]float64),
+	}
+	for u := 0; u < pat.N(); u++ {
+		nd := pat.Nodes[u]
+		tag, ok := stats.Lookup(nd.Tag)
+		if !ok {
+			e.nodeCard[u] = 0
+			continue
+		}
+		card := stats.TagCount(tag)
+		if nd.Op != pattern.CmpNone {
+			card *= stats.PredicateSelectivity(tag, nd.Op, nd.Value)
+		}
+		e.nodeCard[u] = card
+	}
+	for v := 1; v < pat.N(); v++ {
+		u := pat.Parent[v]
+		ta, okA := stats.Lookup(pat.Nodes[u].Tag)
+		tb, okB := stats.Lookup(pat.Nodes[v].Tag)
+		if !okA || !okB {
+			e.edgeSel[v] = 0
+			continue
+		}
+		e.edgeSel[v] = stats.Selectivity(ta, tb, pat.Axis[v])
+	}
+	return e, nil
+}
+
+// NewManualEstimator builds an estimator from explicit statistics: nodeCard
+// per pattern node and edgeSel per edge id (index 0 ignored). It backs unit
+// tests and what-if experiments where exact control of cardinalities is
+// needed.
+func NewManualEstimator(pat *pattern.Pattern, nodeCard, edgeSel []float64) (*Estimator, error) {
+	if err := pat.Validate(); err != nil {
+		return nil, err
+	}
+	if pat.N() > MaxPatternNodes {
+		return nil, fmt.Errorf("core: pattern has %d nodes, maximum is %d", pat.N(), MaxPatternNodes)
+	}
+	if len(nodeCard) != pat.N() || len(edgeSel) != pat.N() {
+		return nil, fmt.Errorf("core: statistics lengths %d/%d, want %d", len(nodeCard), len(edgeSel), pat.N())
+	}
+	return &Estimator{
+		pat:      pat,
+		nodeCard: append([]float64(nil), nodeCard...),
+		edgeSel:  append([]float64(nil), edgeSel...),
+		memo:     make(map[uint64]float64),
+	}, nil
+}
+
+// NodeCard returns the estimated candidate count for pattern node u.
+func (e *Estimator) NodeCard(u int) float64 { return e.nodeCard[u] }
+
+// EdgeSelectivity returns the estimated selectivity of edge v.
+func (e *Estimator) EdgeSelectivity(v int) float64 { return e.edgeSel[v] }
+
+// ClusterCard estimates the cardinality of the joined sub-pattern whose
+// node set is given as a bitmask. The mask must induce a connected
+// sub-pattern (as all status clusters do); the estimate multiplies node
+// candidate counts with the selectivities of all pattern edges internal to
+// the mask.
+func (e *Estimator) ClusterCard(mask uint64) float64 {
+	if c, ok := e.memo[mask]; ok {
+		return c
+	}
+	card := 1.0
+	for u := 0; u < e.pat.N(); u++ {
+		if mask&(1<<uint(u)) == 0 {
+			continue
+		}
+		card *= e.nodeCard[u]
+		if u > 0 {
+			p := e.pat.Parent[u]
+			if mask&(1<<uint(p)) != 0 {
+				card *= e.edgeSel[u]
+			}
+		}
+	}
+	e.memo[mask] = card
+	return card
+}
+
+// TotalCard estimates the full pattern-match cardinality.
+func (e *Estimator) TotalCard() float64 {
+	return e.ClusterCard((uint64(1) << uint(e.pat.N())) - 1)
+}
+
+// MaxPatternNodes bounds the pattern size the optimizers accept; it keeps
+// the status encodings within machine words. Patterns in XML workloads are
+// far smaller.
+const MaxPatternNodes = 30
+
+// popcount is a readability alias used across the search code.
+func popcount(m uint32) int { return bits.OnesCount32(m) }

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sjos/internal/cost"
+	"sjos/internal/pattern"
+	"sjos/internal/plan"
+)
+
+// FP optimizes pat with the Fully-Pipelined algorithm (§3.4): only plans
+// with no sort operators anywhere are considered. Theorem 3.1 guarantees
+// such plans exist producing output ordered by any pattern node, so FP
+// always succeeds; it returns the cheapest non-blocking plan. When the
+// query names an OrderBy node, only plans ordered by it are considered,
+// which shrinks the search further.
+//
+// The algorithm "picks the pattern up" at each candidate output node N,
+// making N the root; the best pipelined plan for each re-rooted subtree is
+// computed recursively (memoised per directed edge), and the order in which
+// the child subtrees join with N is chosen by enumerating permutations.
+func FP(pat *pattern.Pattern, est *Estimator, model cost.Model) (*Result, error) {
+	sp := newSpace(pat, est, model)
+	if sp.numEdges == 0 {
+		return sp.singleNode("FP"), nil
+	}
+	f := &fpSearch{sp: sp, memo: make(map[[2]int]*fpPlan)}
+	var best *fpPlan
+	if r := pat.OrderBy; r != pattern.NoNode {
+		best = f.subtree(r, pattern.NoNode)
+	} else {
+		for r := 0; r < pat.N(); r++ {
+			cand := f.subtree(r, pattern.NoNode)
+			if best == nil || cand.cost < best.cost {
+				best = cand
+			}
+		}
+	}
+	return &Result{
+		Plan:      best.node,
+		Cost:      best.cost,
+		Algorithm: "FP",
+		Counters:  f.counters,
+	}, nil
+}
+
+// fpPlan is a memoised sub-result: the best fully-pipelined plan for one
+// directed subtree, with its output ordered by the subtree root.
+type fpPlan struct {
+	node *plan.Node
+	cost float64 // cumulative: index accesses + joins of the subtree
+	mask uint64  // pattern nodes covered
+}
+
+type fpSearch struct {
+	sp       *space
+	memo     map[[2]int]*fpPlan // (root, excludedNeighbor) -> best plan
+	counters Counters
+}
+
+// subtree returns the best pipelined plan for the sub-pattern reachable
+// from v without crossing the neighbor `from` (pattern.NoNode for the whole
+// pattern), producing output ordered by v.
+func (f *fpSearch) subtree(v, from int) *fpPlan {
+	key := [2]int{v, from}
+	if p, ok := f.memo[key]; ok {
+		return p
+	}
+	sp := f.sp
+	leaf := plan.NewIndexScan(v)
+	leaf.EstCard = sp.est.NodeCard(v)
+	leaf.EstCost = sp.model.IndexAccess(leaf.EstCard)
+
+	var kids []int
+	for _, nb := range sp.pat.Neighbors(v) {
+		if nb != from {
+			kids = append(kids, nb)
+		}
+	}
+	if len(kids) == 0 {
+		p := &fpPlan{node: leaf, cost: leaf.EstCost, mask: 1 << uint(v)}
+		f.memo[key] = p
+		f.counters.StatusesGenerated++
+		return p
+	}
+	subs := make([]*fpPlan, len(kids))
+	for i, c := range kids {
+		subs[i] = f.subtree(c, v)
+	}
+	var best *fpPlan
+	permute(len(kids), func(order []int) {
+		f.counters.PlansConsidered++
+		acc := leaf
+		accMask := uint64(1) << uint(v)
+		total := leaf.EstCost
+		for _, idx := range order {
+			c := kids[idx]
+			sub := subs[idx]
+			total += sub.cost
+			var j *plan.Node
+			var joinCost float64
+			cardAB := sp.est.ClusterCard(accMask | sub.mask)
+			if e, _ := sp.pat.EdgeBetween(v, c); sp.pat.Parent[e] == v {
+				// v is the ancestor: Anc keeps the result ordered by v.
+				joinCost = sp.model.StackTreeAnc(
+					sp.est.ClusterCard(accMask), sp.est.ClusterCard(sub.mask), cardAB)
+				j = plan.NewJoin(acc, sub.node, v, c, sp.pat.Axis[e], plan.AlgoAnc)
+			} else {
+				// c is the ancestor: Desc output is ordered by the
+				// descendant v.
+				joinCost = sp.model.StackTreeDesc(
+					sp.est.ClusterCard(sub.mask), sp.est.ClusterCard(accMask), cardAB)
+				j = plan.NewJoin(sub.node, acc, c, v, sp.pat.Axis[v], plan.AlgoDesc)
+			}
+			total += joinCost
+			accMask |= sub.mask
+			j.EstCard = sp.est.ClusterCard(accMask)
+			j.EstCost = total
+			acc = j
+		}
+		if best == nil || total < best.cost {
+			best = &fpPlan{node: acc, cost: total, mask: accMask}
+		}
+	})
+	f.counters.StatusesGenerated++
+	f.counters.StatusesExpanded++
+	f.memo[key] = best
+	return best
+}
+
+// permute enumerates all permutations of 0..n-1 (Heap's algorithm),
+// invoking yield with each ordering. The slice passed to yield is reused.
+func permute(n int, yield func([]int)) {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			yield(idx)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				idx[i], idx[k-1] = idx[k-1], idx[i]
+			} else {
+				idx[0], idx[k-1] = idx[k-1], idx[0]
+			}
+		}
+	}
+	rec(n)
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"sjos/internal/cost"
+	"sjos/internal/pattern"
+)
+
+// Method selects an optimization algorithm.
+type Method int
+
+// The optimization algorithms of the paper (§3), plus the DPP′ ablation.
+const (
+	MethodDP Method = iota
+	MethodDPP
+	MethodDPPNoLookahead
+	MethodDPAPEB
+	MethodDPAPLD
+	MethodFP
+)
+
+// String names the method as in the paper.
+func (m Method) String() string {
+	switch m {
+	case MethodDP:
+		return "DP"
+	case MethodDPP:
+		return "DPP"
+	case MethodDPPNoLookahead:
+		return "DPP'"
+	case MethodDPAPEB:
+		return "DPAP-EB"
+	case MethodDPAPLD:
+		return "DPAP-LD"
+	case MethodFP:
+		return "FP"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Methods lists all methods in the paper's presentation order.
+func Methods() []Method {
+	return []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP}
+}
+
+// ParseMethod resolves a method name (as printed by String, case-exact).
+func ParseMethod(s string) (Method, error) {
+	for _, m := range []Method{MethodDP, MethodDPP, MethodDPPNoLookahead, MethodDPAPEB, MethodDPAPLD, MethodFP} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown method %q", s)
+}
+
+// Options tunes method-specific behaviour.
+type Options struct {
+	// Te is the DPAP-EB expansion bound. When 0, the bound defaults to
+	// the number of edges in the pattern, which is the setting the
+	// paper's Table 1 uses.
+	Te int
+}
+
+// Optimize runs the selected algorithm and returns its chosen plan.
+func Optimize(pat *pattern.Pattern, est *Estimator, model cost.Model, m Method, opts *Options) (*Result, error) {
+	if !model.Valid() {
+		return nil, fmt.Errorf("core: invalid cost model %+v", model)
+	}
+	switch m {
+	case MethodDP:
+		return DP(pat, est, model)
+	case MethodDPP:
+		return DPP(pat, est, model)
+	case MethodDPPNoLookahead:
+		return DPPNoLookahead(pat, est, model)
+	case MethodDPAPEB:
+		te := 0
+		if opts != nil {
+			te = opts.Te
+		}
+		if te == 0 {
+			te = pat.NumEdges()
+		}
+		if te < 1 {
+			te = 1
+		}
+		return DPAPEB(pat, est, model, te)
+	case MethodDPAPLD:
+		return DPAPLD(pat, est, model)
+	case MethodFP:
+		return FP(pat, est, model)
+	default:
+		return nil, fmt.Errorf("core: unknown method %d", int(m))
+	}
+}

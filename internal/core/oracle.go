@@ -1,0 +1,57 @@
+package core
+
+import (
+	"sjos/internal/histogram"
+	"sjos/internal/pattern"
+	"sjos/internal/xmltree"
+)
+
+// NewOracleEstimator builds an estimator whose per-node candidate counts
+// and per-edge selectivities are exact (computed by scanning the document
+// and counting join pairs with one stack-based merge per edge), instead of
+// histogram estimates. Sub-pattern cardinalities still chain edges under
+// the independence assumption.
+//
+// It exists for the cost-model ablation experiments — "how much plan
+// quality does estimation error cost?" — and is too expensive for a
+// production optimizer path (it touches the whole document per query).
+func NewOracleEstimator(pat *pattern.Pattern, doc *xmltree.Document) (*Estimator, error) {
+	if err := pat.Validate(); err != nil {
+		return nil, err
+	}
+	nodeCard := make([]float64, pat.N())
+	edgeSel := make([]float64, pat.N())
+	tags := make([]xmltree.TagID, pat.N())
+	known := make([]bool, pat.N())
+	for u := 0; u < pat.N(); u++ {
+		nd := pat.Nodes[u]
+		tag, ok := doc.LookupTag(nd.Tag)
+		if !ok {
+			continue
+		}
+		tags[u], known[u] = tag, true
+		if nd.Op == pattern.CmpNone {
+			nodeCard[u] = float64(doc.TagCount(tag))
+			continue
+		}
+		n := 0
+		for _, id := range doc.NodesWithTag(tag) {
+			if histogram.EvalPredicate(doc.Value(id), nd.Op, nd.Value) {
+				n++
+			}
+		}
+		nodeCard[u] = float64(n)
+	}
+	for v := 1; v < pat.N(); v++ {
+		u := pat.Parent[v]
+		if !known[u] || !known[v] || nodeCard[u] == 0 || nodeCard[v] == 0 {
+			continue
+		}
+		pairs := histogram.ExactJoinCount(doc, tags[u], tags[v], pat.Axis[v])
+		// Selectivity relative to the unfiltered tag populations; value
+		// predicates are assumed independent of structure.
+		total := float64(doc.TagCount(tags[u])) * float64(doc.TagCount(tags[v]))
+		edgeSel[v] = float64(pairs) / total
+	}
+	return NewManualEstimator(pat, nodeCard, edgeSel)
+}

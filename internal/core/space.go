@@ -1,0 +1,383 @@
+package core
+
+import (
+	"math/bits"
+
+	"sjos/internal/cost"
+	"sjos/internal/pattern"
+	"sjos/internal/plan"
+)
+
+// space is the status search space for one (pattern, statistics, cost
+// model) triple, shared by all optimization algorithms.
+type space struct {
+	pat      *pattern.Pattern
+	est      *Estimator
+	model    cost.Model
+	numEdges int
+	allEdges uint32  // bit e set for every edge id e (1..n-1)
+	scanCost float64 // Σ index-access cost; paid by every plan
+
+	compMemo map[uint32][]int8  // edge mask -> per-node cluster root
+	ubMemo   map[uint32]float64 // edge mask -> ubCost (order-independent)
+}
+
+// status is one node of the status graph: which edges are joined and, per
+// cluster, which pattern node orders its intermediate result (encoded as a
+// bitmask with exactly one set bit per cluster).
+type status struct {
+	edges     uint32
+	orderMask uint32
+	cost      float64 // accumulated Cost from the start status
+	ub        float64 // ubCost: estimated remaining cost (guides DPP)
+	level     int     // number of joined edges
+	prev      *status
+	via       move
+	expanded  bool
+	heapIdx   int // position in the DPP priority queue (-1 if absent)
+}
+
+// move is one alternative for evaluating an edge from some status
+// (Definition 4: (aN, dN, Algo, St, Cost)).
+type move struct {
+	edge     int       // edge id = descendant endpoint
+	algo     plan.Algo // Stack-Tree variant
+	sortBy   int       // pattern node the output is re-sorted by, or pattern.NoNode
+	joinCost float64
+	sortCost float64
+}
+
+func (m move) cost() float64 { return m.joinCost + m.sortCost }
+
+// key packs a status identity; two statuses with equal keys are the same
+// search state.
+func (s *status) key() uint64 {
+	return uint64(s.edges) | uint64(s.orderMask)<<MaxPatternNodes
+}
+
+// newSpace prepares the search space.
+func newSpace(pat *pattern.Pattern, est *Estimator, model cost.Model) *space {
+	sp := &space{
+		pat:      pat,
+		est:      est,
+		model:    model,
+		numEdges: pat.NumEdges(),
+		compMemo: make(map[uint32][]int8),
+		ubMemo:   make(map[uint32]float64),
+	}
+	for e := 1; e < pat.N(); e++ {
+		sp.allEdges |= 1 << uint(e)
+	}
+	for u := 0; u < pat.N(); u++ {
+		sp.scanCost += model.IndexAccess(est.NodeCard(u))
+	}
+	return sp
+}
+
+// start returns the start status S₀: no edges joined, every singleton
+// cluster ordered by its own node, cost = all index accesses.
+func (sp *space) start() *status {
+	return &status{
+		edges:     0,
+		orderMask: uint32((uint64(1) << uint(sp.pat.N())) - 1),
+		cost:      sp.scanCost,
+		level:     0,
+		heapIdx:   -1,
+	}
+}
+
+// components returns, per pattern node, the root (minimum node id) of its
+// cluster under the given joined-edge set. Memoised per edge mask.
+func (sp *space) components(edges uint32) []int8 {
+	if c, ok := sp.compMemo[edges]; ok {
+		return c
+	}
+	n := sp.pat.N()
+	comp := make([]int8, n)
+	for i := range comp {
+		comp[i] = int8(i)
+	}
+	// Edges point parent -> child with parent < child, so a single pass
+	// in increasing child order settles roots.
+	for v := 1; v < n; v++ {
+		if edges&(1<<uint(v)) != 0 {
+			comp[v] = comp[sp.pat.Parent[v]]
+		}
+	}
+	sp.compMemo[edges] = comp
+	return comp
+}
+
+// clusterMask returns the node bitmask of root's cluster.
+func clusterMask(comp []int8, root int8) uint64 {
+	var m uint64
+	for i, r := range comp {
+		if r == root {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// orderNode returns the pattern node ordering the cluster with the given
+// node mask (the unique set bit of orderMask within the cluster).
+func orderNode(orderMask uint32, cluster uint64) int {
+	m := uint64(orderMask) & cluster
+	return bits.TrailingZeros64(m)
+}
+
+// isFinal reports whether all edges are joined.
+func (sp *space) isFinal(s *status) bool { return s.edges == sp.allEdges }
+
+// candidate is one possible successor produced by expanding a status.
+type candidate struct {
+	mv        move
+	edges     uint32
+	orderMask uint32
+	cost      float64 // successor's accumulated cost
+}
+
+// moveOpts restricts move generation for the DPAP variants and ablations.
+type moveOpts struct {
+	leftDeepOnly bool
+	// pipelineOnly drops every sort (the sorted output variants and the
+	// final OrderBy sort), restricting the space to exactly the
+	// fully-pipelined plans of §3.4.
+	pipelineOnly bool
+}
+
+// expand enumerates every alternative move from s, invoking yield for each
+// resulting candidate successor. The enumeration implements §3's move
+// model:
+//
+//   - a move joins one unjoined edge (u,v) and requires cluster(u) ordered
+//     by u and cluster(v) ordered by v;
+//   - Stack-Tree-Desc orders the merged cluster by v, Stack-Tree-Anc by u;
+//   - the move's output may instead be sorted by any other node of the
+//     merged cluster at n·log n cost (sorted variants start from the
+//     cheaper Desc join);
+//   - for the final move, only orderings that matter are generated: the
+//     query's OrderBy node if it has one, or the cheapest alternative if
+//     not (the paper's "we don't care about the ordering any more").
+func (sp *space) expand(s *status, opts moveOpts, yield func(candidate)) {
+	comp := sp.components(s.edges)
+	for e := 1; e < sp.pat.N(); e++ {
+		bit := uint32(1) << uint(e)
+		if s.edges&bit != 0 {
+			continue
+		}
+		u, v := sp.pat.Parent[e], e
+		if s.orderMask&(1<<uint(u)) == 0 || s.orderMask&bit == 0 {
+			continue // inputs not ordered by the join nodes
+		}
+		mu := clusterMask(comp, comp[u])
+		mv := clusterMask(comp, comp[v])
+		if opts.leftDeepOnly {
+			// §3.3.2: at most one cluster of the resulting status may
+			// hold multiple pattern nodes (the growing node). The move
+			// merges mu and mv into one multi-node cluster, so every
+			// other multi-node cluster must already be one of them.
+			multis := popcount(s.edges) // each joined edge grew some cluster
+			if bits.OnesCount64(mu) > 1 {
+				multis -= bits.OnesCount64(mu) - 1
+			}
+			if bits.OnesCount64(mv) > 1 {
+				multis -= bits.OnesCount64(mv) - 1
+			}
+			if multis != 0 {
+				continue // a multi-node cluster exists outside the inputs
+			}
+			if bits.OnesCount64(mu) > 1 && bits.OnesCount64(mv) > 1 {
+				continue // would merge two composites
+			}
+		}
+		merged := mu | mv
+		cardU := sp.est.ClusterCard(mu)
+		cardV := sp.est.ClusterCard(mv)
+		cardM := sp.est.ClusterCard(merged)
+		newEdges := s.edges | bit
+		baseOrder := s.orderMask &^ (uint32(1)<<uint(u) | uint32(1)<<uint(v))
+		emit := func(mv move, ord int) {
+			yield(candidate{
+				mv:        mv,
+				edges:     newEdges,
+				orderMask: baseOrder | uint32(1)<<uint(ord),
+				cost:      s.cost + mv.cost(),
+			})
+		}
+		descCost := sp.model.StackTreeDesc(cardU, cardV, cardM)
+		ancCost := sp.model.StackTreeAnc(cardU, cardV, cardM)
+		sortCost := sp.model.Sort(cardM)
+
+		if newEdges == sp.allEdges {
+			// Final move: ordering is only constrained by the query.
+			r := sp.pat.OrderBy
+			switch {
+			case r == pattern.NoNode:
+				emit(move{edge: e, algo: plan.AlgoDesc, sortBy: pattern.NoNode, joinCost: descCost}, v)
+			case r == v:
+				emit(move{edge: e, algo: plan.AlgoDesc, sortBy: pattern.NoNode, joinCost: descCost}, v)
+			case r == u:
+				emit(move{edge: e, algo: plan.AlgoAnc, sortBy: pattern.NoNode, joinCost: ancCost}, u)
+				if !opts.pipelineOnly {
+					emit(move{edge: e, algo: plan.AlgoDesc, sortBy: r, joinCost: descCost, sortCost: sortCost}, r)
+				}
+			default:
+				if !opts.pipelineOnly {
+					emit(move{edge: e, algo: plan.AlgoDesc, sortBy: r, joinCost: descCost, sortCost: sortCost}, r)
+				}
+			}
+			continue
+		}
+
+		// Natural orderings.
+		emit(move{edge: e, algo: plan.AlgoDesc, sortBy: pattern.NoNode, joinCost: descCost}, v)
+		emit(move{edge: e, algo: plan.AlgoAnc, sortBy: pattern.NoNode, joinCost: ancCost}, u)
+		if opts.pipelineOnly {
+			continue
+		}
+		// Sorted variants: re-order the (cheaper) Desc output by any
+		// other node of the merged cluster.
+		for w := 0; w < sp.pat.N(); w++ {
+			if merged&(1<<uint(w)) == 0 || w == v {
+				continue
+			}
+			emit(move{edge: e, algo: plan.AlgoDesc, sortBy: w, joinCost: descCost, sortCost: sortCost}, w)
+		}
+	}
+}
+
+// hasMove reports whether any move is possible from the given state — the
+// deadend test of Definition 6, used by DPP's Lookahead Rule. Two facts
+// make this a pure bit test: a node is its cluster's order node exactly
+// when its orderMask bit is set (the mask holds one bit per cluster), and
+// an unjoined edge always connects two distinct clusters (clusters are
+// connected sub-trees, so both endpoints in one cluster would mean the edge
+// is joined).
+func (sp *space) hasMove(edges, orderMask uint32) bool {
+	for e := 1; e < sp.pat.N(); e++ {
+		bit := uint32(1) << uint(e)
+		if edges&bit != 0 {
+			continue
+		}
+		if orderMask&bit != 0 && orderMask&(1<<uint(sp.pat.Parent[e])) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ubCost estimates the cost still needed to reach a final status from any
+// status with the given joined-edge set (§3.2): per unjoined edge, a Desc
+// join of the current cluster holding its ancestor endpoint plus —
+// pessimistically — a sort of the merged result. The estimate depends only
+// on the cluster structure (the edge mask), not on orderings, so it is
+// memoised per mask and effectively free. It only influences DPP's
+// expansion order, never which plan is finally returned.
+func (sp *space) ubCost(edges uint32) float64 {
+	if ub, ok := sp.ubMemo[edges]; ok {
+		return ub
+	}
+	comp := sp.components(edges)
+	total := 0.0
+	for e := 1; e < sp.pat.N(); e++ {
+		if edges&(1<<uint(e)) != 0 {
+			continue
+		}
+		u := sp.pat.Parent[e]
+		mu := clusterMask(comp, comp[u])
+		mv := clusterMask(comp, comp[e])
+		cardU := sp.est.ClusterCard(mu)
+		cardV := sp.est.ClusterCard(mv)
+		cardM := sp.est.ClusterCard(mu | mv)
+		// A fully-pipelined completion (Desc joins, no sorts) always
+		// exists (Theorem 3.1) and is usually close to the optimal
+		// completion, so it makes the sharper priority estimate: DPP
+		// reaches its first full plan quickly and the dead-status rule
+		// starts pruning early.
+		total += sp.model.StackTreeDesc(cardU, cardV, cardM)
+	}
+	sp.ubMemo[edges] = total
+	return total
+}
+
+// finalize turns a reached final status into a Result plan tree by
+// replaying the move chain from the start status.
+func (sp *space) finalize(final *status) *plan.Node {
+	// Collect moves from start to final.
+	var chain []*status
+	for s := final; s.prev != nil; s = s.prev {
+		chain = append(chain, s)
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+
+	n := sp.pat.N()
+	comp := make([]int, n)
+	plans := make([]*plan.Node, n) // indexed by cluster root
+	for i := 0; i < n; i++ {
+		comp[i] = i
+		leaf := plan.NewIndexScan(i)
+		leaf.EstCard = sp.est.NodeCard(i)
+		leaf.EstCost = sp.model.IndexAccess(leaf.EstCard)
+		plans[i] = leaf
+	}
+	find := func(x int) int {
+		for comp[x] != x {
+			comp[x] = comp[comp[x]]
+			x = comp[x]
+		}
+		return x
+	}
+	for _, st := range chain {
+		mv := st.via
+		e := mv.edge
+		u, v := sp.pat.Parent[e], e
+		ru, rv := find(u), find(v)
+		j := plan.NewJoin(plans[ru], plans[rv], u, v, sp.pat.Axis[e], mv.algo)
+		maskU, maskV := plans[ru].Columns(), plans[rv].Columns()
+		j.EstCard = sp.est.ClusterCard(maskU | maskV)
+		j.EstCost = plans[ru].EstCost + plans[rv].EstCost + mv.joinCost
+		var top *plan.Node = j
+		if mv.sortBy != pattern.NoNode {
+			srt := plan.NewSort(j, mv.sortBy)
+			srt.EstCard = j.EstCard
+			srt.EstCost = j.EstCost + mv.sortCost
+			top = srt
+		}
+		// Union: smaller root wins so roots stay minimal node ids.
+		root := ru
+		if rv < root {
+			root = rv
+		}
+		comp[ru], comp[rv] = root, root
+		plans[root] = top
+	}
+	return plans[find(0)]
+}
+
+// Counters reports how much work a search did; the paper's Table 2 compares
+// algorithms by these numbers.
+type Counters struct {
+	// PlansConsidered counts every alternative (sub-)plan costed during
+	// the search — each candidate move evaluated.
+	PlansConsidered int
+	// StatusesGenerated counts successor statuses materialised.
+	StatusesGenerated int
+	// StatusesExpanded counts statuses whose moves were enumerated.
+	StatusesExpanded int
+}
+
+// Result is an optimization outcome.
+type Result struct {
+	// Plan is the chosen physical plan.
+	Plan *plan.Node
+	// Cost is the plan's estimated cost (including index accesses and,
+	// when the query specifies an order, any final sort).
+	Cost float64
+	// Algorithm names the optimizer that produced the result.
+	Algorithm string
+	// Counters reports the search effort.
+	Counters Counters
+}

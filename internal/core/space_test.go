@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sjos/internal/pattern"
+	"sjos/internal/plan"
+)
+
+// pathPattern returns //a//b//c (nodes 0,1,2; edges 1,2).
+func pathPattern() *pattern.Pattern { return pattern.MustParse("//a//b//c") }
+
+func newTestSpace(t *testing.T, pat *pattern.Pattern) *space {
+	t.Helper()
+	est := uniformEstimator(t, pat, 100, 0.05)
+	return newSpace(pat, est, testModel())
+}
+
+func TestStartStatus(t *testing.T) {
+	sp := newTestSpace(t, pathPattern())
+	s0 := sp.start()
+	if s0.edges != 0 {
+		t.Errorf("start edges = %b", s0.edges)
+	}
+	if s0.orderMask != 0b111 {
+		t.Errorf("start orderMask = %b", s0.orderMask)
+	}
+	if s0.cost != sp.scanCost {
+		t.Errorf("start cost = %v, want scan cost %v", s0.cost, sp.scanCost)
+	}
+	if sp.isFinal(s0) {
+		t.Error("start must not be final")
+	}
+}
+
+func TestComponentsAndClusterMask(t *testing.T) {
+	sp := newTestSpace(t, pathPattern())
+	// Join edge 2 (b-c): clusters {a}, {b,c}.
+	comp := sp.components(1 << 2)
+	if comp[0] != 0 || comp[1] != 1 || comp[2] != 1 {
+		t.Fatalf("components = %v", comp)
+	}
+	if m := clusterMask(comp, 1); m != 0b110 {
+		t.Fatalf("clusterMask = %b", m)
+	}
+	if m := clusterMask(comp, 0); m != 0b001 {
+		t.Fatalf("clusterMask(a) = %b", m)
+	}
+	// orderNode picks the single order bit within the cluster.
+	if got := orderNode(0b101, 0b110); got != 2 {
+		t.Fatalf("orderNode = %d", got)
+	}
+}
+
+// TestDeadendDetection reproduces the paper's Definition 6 situation: after
+// joining a//b with output ordered by a, the remaining edge (b,c) needs the
+// {a,b} cluster ordered by b — a deadend.
+func TestDeadendDetection(t *testing.T) {
+	sp := newTestSpace(t, pathPattern())
+	deadEdges := uint32(1 << 1)           // edge (a,b) joined
+	deadOrder := uint32(1<<0 | 1<<2)      // {ab} ordered by a, {c} by c
+	if sp.hasMove(deadEdges, deadOrder) { // (b,c) cannot proceed
+		t.Fatal("deadend status reported as having moves")
+	}
+	aliveOrder := uint32(1<<1 | 1<<2) // {ab} ordered by b instead
+	if !sp.hasMove(deadEdges, aliveOrder) {
+		t.Fatal("live status reported as deadend")
+	}
+}
+
+// TestExpandMoveSet verifies the §3 move-model composition for one edge of
+// the start status: Desc, Anc, and one sorted variant per other node of the
+// merged cluster.
+func TestExpandMoveSet(t *testing.T) {
+	sp := newTestSpace(t, pathPattern())
+	s0 := sp.start()
+	type alt struct {
+		algo   plan.Algo
+		sortBy int
+	}
+	got := map[int][]alt{}
+	sp.expand(s0, moveOpts{}, func(c candidate) {
+		got[c.mv.edge] = append(got[c.mv.edge], alt{c.mv.algo, c.mv.sortBy})
+	})
+	if len(got) != 2 {
+		t.Fatalf("moves on %d edges, want 2", len(got))
+	}
+	for e, alts := range got {
+		// Merged cluster has 2 nodes: Desc (order desc), Anc (order
+		// anc), Desc+sort(anc) = 3 alternatives.
+		if len(alts) != 3 {
+			t.Fatalf("edge %d: %d alternatives, want 3: %+v", e, len(alts), alts)
+		}
+	}
+}
+
+// TestExpandFinalMoveRespectsOrderBy checks that the last move only
+// generates orderings the query can use.
+func TestExpandFinalMoveRespectsOrderBy(t *testing.T) {
+	pat := pattern.MustParse("//a//b") // one edge: the first move is final
+	for _, ob := range []int{pattern.NoNode, 0, 1} {
+		pat.OrderBy = ob
+		est := uniformEstimator(t, pat, 50, 0.1)
+		sp := newSpace(pat, est, testModel())
+		var cands []candidate
+		sp.expand(sp.start(), moveOpts{}, func(c candidate) { cands = append(cands, c) })
+		switch ob {
+		case pattern.NoNode:
+			if len(cands) != 1 || cands[0].mv.algo != plan.AlgoDesc {
+				t.Fatalf("no OrderBy: candidates %+v", cands)
+			}
+		case 1:
+			if len(cands) != 1 || cands[0].orderMask != 1<<1 {
+				t.Fatalf("OrderBy desc: candidates %+v", cands)
+			}
+		case 0:
+			// Anc, or Desc+sort(a): two ways, both ordered by a.
+			if len(cands) != 2 {
+				t.Fatalf("OrderBy anc: %d candidates", len(cands))
+			}
+			for _, c := range cands {
+				if c.orderMask != 1<<0 {
+					t.Fatalf("candidate not ordered by a: %+v", c)
+				}
+			}
+		}
+	}
+}
+
+// TestLeftDeepMoveRestriction: with leftDeepOnly, a move joining two
+// multi-node clusters is refused.
+func TestLeftDeepMoveRestriction(t *testing.T) {
+	pat := pattern.MustParse("//a[b]//c[d]") // a=0,b=1,c=2,d=3; edges b,c,d
+	est := uniformEstimator(t, pat, 100, 0.05)
+	sp := newSpace(pat, est, testModel())
+	// Status: {a,b} ordered a, {c,d} ordered c — joined edges 1 and 3.
+	s := &status{
+		edges:     1<<1 | 1<<3,
+		orderMask: 1<<0 | 1<<2,
+		level:     2,
+	}
+	var all, ld int
+	sp.expand(s, moveOpts{}, func(candidate) { all++ })
+	sp.expand(s, moveOpts{leftDeepOnly: true}, func(candidate) { ld++ })
+	if all == 0 {
+		t.Fatal("unrestricted expansion found no moves")
+	}
+	if ld != 0 {
+		t.Fatalf("left-deep expansion allowed joining two composites (%d moves)", ld)
+	}
+}
+
+// TestLookaheadReducesGeneratedStatuses: DPP′ materialises deadend statuses
+// that DPP refuses to create.
+func TestLookaheadReducesGeneratedStatuses(t *testing.T) {
+	pat := figure1Pattern()
+	for seed := int64(0); seed < 5; seed++ {
+		est := skewedEstimator(t, pat, 2000+seed)
+		withLA, err := DPP(pat, est, testModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		withoutLA, err := DPPNoLookahead(pat, est, testModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withLA.Counters.StatusesGenerated >= withoutLA.Counters.StatusesGenerated {
+			t.Errorf("seed %d: lookahead generated %d statuses, DPP' %d",
+				seed, withLA.Counters.StatusesGenerated, withoutLA.Counters.StatusesGenerated)
+		}
+	}
+}
+
+// TestUbCostIsNonNegativeAndShrinks: the remaining-cost estimate decreases
+// (weakly) as more edges are joined, and is zero at final statuses.
+func TestUbCost(t *testing.T) {
+	pat := figure1Pattern()
+	est := skewedEstimator(t, pat, 3)
+	sp := newSpace(pat, est, testModel())
+	full := sp.allEdges
+	if ub := sp.ubCost(full); ub != 0 {
+		t.Fatalf("ubCost(final) = %v", ub)
+	}
+	ub0 := sp.ubCost(0)
+	if ub0 <= 0 {
+		t.Fatalf("ubCost(start) = %v", ub0)
+	}
+	// Along any chain of edge additions the estimate stays non-negative
+	// and memoisation returns identical values.
+	edges := uint32(0)
+	for e := 1; e < pat.N(); e++ {
+		edges |= 1 << uint(e)
+		ub := sp.ubCost(edges)
+		if ub < 0 {
+			t.Fatalf("ubCost negative at %b", edges)
+		}
+		if again := sp.ubCost(edges); again != ub {
+			t.Fatalf("ubCost memo unstable at %b: %v vs %v", edges, ub, again)
+		}
+	}
+}
+
+// TestFinalizeCostConsistency: the plan extracted from a search reproduces
+// its claimed cost when re-costed from scratch.
+func TestFinalizeCostConsistency(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		pat := figure1Pattern()
+		est := skewedEstimator(t, pat, 5000+seed)
+		res, err := DPP(pat, est, testModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := recost(est, testModel(), res.Plan); math.Abs(got-res.Cost) > 1e-6*res.Cost {
+			t.Fatalf("seed %d: Cost %v, recost %v", seed, res.Cost, got)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"sjos/internal/cost"
+	"sjos/internal/pattern"
+)
+
+// TraceKind classifies one event of a traced DPP search.
+type TraceKind int
+
+// Trace event kinds, mirroring the paper's §3.2.1 worked example (Figure 4):
+// statuses are expanded in priority order, successors are generated,
+// cheaper routes supersede known statuses, the first complete plan sets
+// MinCost, and statuses at or above it die.
+const (
+	// TraceExpand: a status was taken from the priority list and expanded.
+	TraceExpand TraceKind = iota
+	// TraceGenerate: a new status was created.
+	TraceGenerate
+	// TraceImprove: a cheaper route superseded a known status.
+	TraceImprove
+	// TraceWorse: a route was discarded as no cheaper than the known one.
+	TraceWorse
+	// TraceDeadend: the Lookahead Rule refused to create a deadend.
+	TraceDeadend
+	// TraceFinal: a complete plan was reached (MinCost may update).
+	TraceFinal
+	// TracePruneDead: a status was discarded because its Cost reached
+	// the best complete plan ("dead" in Definition of the Pruning Rule).
+	TracePruneDead
+)
+
+var traceKindNames = [...]string{
+	"expand", "generate", "improve", "worse", "deadend", "final", "prune-dead",
+}
+
+// String names the event kind.
+func (k TraceKind) String() string {
+	if int(k) < len(traceKindNames) {
+		return traceKindNames[k]
+	}
+	return fmt.Sprintf("TraceKind(%d)", int(k))
+}
+
+// TraceEvent is one step of a traced search.
+type TraceEvent struct {
+	Kind      TraceKind
+	Edges     uint32 // joined-edge mask of the status involved
+	OrderMask uint32
+	Level     int
+	Cost      float64
+}
+
+// DPPWithTrace runs the DPP search recording every expansion, generation,
+// improvement and pruning decision — the machine-checkable version of the
+// paper's Figure 4 walk-through. The result is identical to DPP's.
+func DPPWithTrace(pat *pattern.Pattern, est *Estimator, model cost.Model) (*Result, []TraceEvent, error) {
+	var events []TraceEvent
+	res, err := dppSearch(pat, est, model, dppConfig{
+		name:      "DPP",
+		lookahead: true,
+		trace:     &events,
+	})
+	return res, events, err
+}
+
+// FormatTrace renders a trace compactly, one event per line, with cluster
+// structure spelled out using the pattern's tags.
+func FormatTrace(pat *pattern.Pattern, events []TraceEvent) string {
+	var sb strings.Builder
+	for i, e := range events {
+		fmt.Fprintf(&sb, "%3d %-10s lv%d cost=%.0f  %s\n",
+			i, e.Kind, e.Level, e.Cost, describeStatus(pat, e.Edges, e.OrderMask))
+	}
+	return sb.String()
+}
+
+// describeStatus renders a status's clusters, bolding each cluster's
+// order-by node with a trailing '*' (the paper's figures bold it).
+func describeStatus(pat *pattern.Pattern, edges, orderMask uint32) string {
+	// Recompute components locally (cheap, n ≤ 30).
+	n := pat.N()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = i
+	}
+	for v := 1; v < n; v++ {
+		if edges&(1<<uint(v)) != 0 {
+			comp[v] = comp[pat.Parent[v]]
+		}
+	}
+	var clusters []string
+	for root := 0; root < n; root++ {
+		var members []string
+		for v := 0; v < n; v++ {
+			if comp[v] != root {
+				continue
+			}
+			name := pat.Nodes[v].Tag
+			if orderMask&(1<<uint(v)) != 0 {
+				name += "*"
+			}
+			members = append(members, name)
+		}
+		if len(members) > 0 {
+			clusters = append(clusters, "{"+strings.Join(members, ",")+"}")
+		}
+	}
+	return strings.Join(clusters, " ")
+}

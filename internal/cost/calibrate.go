@@ -1,0 +1,99 @@
+package cost
+
+import (
+	"sort"
+	"time"
+)
+
+// Calibrate measures the four cost factors with micro-benchmarks that mimic
+// the corresponding physical operations (posting traversal, comparison
+// sort, buffered list append+scan, stack push/pop), returning a Model in
+// nanoseconds per unit. It is intentionally quick (a few milliseconds) and
+// approximate: the optimizers only need the *ratios* to be sane.
+//
+// The paper makes the same point — "the specific constants used in the
+// linear functions are dependent on the system implementation and machine
+// characteristics".
+func Calibrate() Model {
+	const n = 1 << 15
+	m := Model{}
+
+	// f_I: sequential fetch of n postings with a record decode each.
+	postings := make([]uint64, n)
+	for i := range postings {
+		postings[i] = uint64(i) * 2654435761
+	}
+	start := time.Now()
+	var sink uint64
+	for _, p := range postings {
+		sink += p >> 7 // stand-in for record decode
+	}
+	m.FI = perUnit(time.Since(start), n)
+
+	// f_s: comparison sort of n items, normalised by n·log₂n.
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = int(postings[i])
+	}
+	start = time.Now()
+	sort.Ints(vals)
+	m.FS = perUnit(time.Since(start), n*15) // log₂(2¹⁵) = 15
+
+	// f_IO: append n pairs to a buffered list and scan them back.
+	type pair struct{ a, b uint32 }
+	start = time.Now()
+	buf := make([]pair, 0, n)
+	for i := 0; i < n; i++ {
+		buf = append(buf, pair{uint32(i), uint32(i)})
+	}
+	for _, p := range buf {
+		sink += uint64(p.a)
+	}
+	m.FIO = perUnit(time.Since(start), n)
+
+	// f_st: n stack pushes and pops.
+	stack := make([]uint32, 0, 64)
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		stack = append(stack, uint32(i))
+		if len(stack) > 32 {
+			stack = stack[:0]
+		}
+	}
+	m.FST = perUnit(time.Since(start), n)
+
+	// f_sc: streaming one tuple through a merge step (compare + copy).
+	start = time.Now()
+	var prev uint64
+	for _, p := range postings {
+		if p > prev {
+			prev = p
+		}
+		sink += prev
+	}
+	m.FSC = perUnit(time.Since(start), n)
+
+	_ = sink
+	// Guard against timer quantisation producing zeros.
+	def := DefaultModel()
+	if m.FI <= 0 {
+		m.FI = def.FI
+	}
+	if m.FS <= 0 {
+		m.FS = def.FS
+	}
+	if m.FIO <= 0 {
+		m.FIO = def.FIO
+	}
+	if m.FST <= 0 {
+		m.FST = def.FST
+	}
+	if m.FSC <= 0 {
+		m.FSC = def.FSC
+	}
+	return m
+}
+
+func perUnit(d time.Duration, units int) float64 {
+	return float64(d.Nanoseconds()) / float64(units)
+}

@@ -1,0 +1,206 @@
+// Package datagen generates the synthetic data sets the experiments run on.
+//
+// The paper evaluates on three data sets: Mbench (the Michigan benchmark),
+// DBLP, and Pers (AT&T's synthetic personnel data, the running example).
+// None of the original files is available offline, so this package builds
+// deterministic synthetic equivalents that reproduce the structural
+// characteristics the experiments depend on:
+//
+//   - Mbench-like: a deep, recursively nested eNest hierarchy with skewed
+//     fanout and per-level attributes — ancestor-descendant joins across
+//     many levels, large candidate sets;
+//   - DBLP-like: shallow and wide bibliographic records (article/inproceedings
+//     with author/title/year children) — highly selective parent-child
+//     joins, little recursion;
+//   - Pers-like: a recursive manager/employee/department organisation tree —
+//     the Figure 1/Example 2.2 workload, with manager-under-manager
+//     recursion so both `//` and `/` edges are meaningful.
+//
+// Every generator is deterministic for a given configuration (fixed PRNG
+// seeds), and all emitted documents pass xmltree's structural validation.
+// Folding (§4.3's data scaling) is provided by xmltree.Fold.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sjos/internal/xmltree"
+)
+
+// Dataset names understood by Generate.
+const (
+	NameMbench = "mbench"
+	NameDBLP   = "dblp"
+	NamePers   = "pers"
+)
+
+// Config selects and sizes a data set.
+type Config struct {
+	// Name is one of NameMbench, NameDBLP, NamePers.
+	Name string
+	// Scale multiplies the base size (1 = the defaults documented on
+	// each generator; 0 is treated as 1).
+	Scale float64
+	// Seed selects the deterministic PRNG stream (0 is a valid seed).
+	Seed int64
+}
+
+// Generate builds the configured data set.
+func Generate(cfg Config) (*xmltree.Document, error) {
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	switch cfg.Name {
+	case NameMbench:
+		return Mbench(scale, cfg.Seed), nil
+	case NameDBLP:
+		return DBLP(scale, cfg.Seed), nil
+	case NamePers:
+		return Pers(scale, cfg.Seed), nil
+	default:
+		return nil, fmt.Errorf("datagen: unknown data set %q", cfg.Name)
+	}
+}
+
+// Mbench generates the Michigan-benchmark-like document: a recursive eNest
+// tree 8 levels deep (at scale 1, ≈ 74k nodes — one tenth of the paper's
+// 740k, keeping default test runs quick; use Scale 10 for full size). Each
+// eNest carries aLevel/aSixtyFour attributes as pseudo-element children,
+// and every eNest node owns an eOccasional child with probability 1/6,
+// mirroring mbench's skewed secondary elements.
+func Mbench(scale float64, seed int64) *xmltree.Document {
+	rng := rand.New(rand.NewSource(seed ^ 0x6d62656e)) // "mben"
+	b := xmltree.NewBuilder()
+	b.Open("mbench", "")
+	// Level fanouts: the Michigan benchmark nests eNest with high fanout
+	// near the root and deep recursion below. Budget nodes ≈ 74k·scale.
+	budget := int(74000 * scale)
+	var gen func(level int, fanout int)
+	count := 0
+	gen = func(level, fanout int) {
+		if count >= budget || level > 8 {
+			return
+		}
+		for i := 0; i < fanout && count < budget; i++ {
+			count++
+			b.Open("eNest", fmt.Sprintf("%d", count))
+			b.Leaf("aLevel", fmt.Sprintf("%d", level))
+			b.Leaf("aSixtyFour", fmt.Sprintf("%d", count%64))
+			count += 2
+			if rng.Intn(6) == 0 {
+				b.Leaf("eOccasional", fmt.Sprintf("%d", rng.Intn(budget+1)))
+				count++
+			}
+			next := 2
+			if level < 3 {
+				next = 4 + rng.Intn(5)
+			} else if level < 6 {
+				next = 2 + rng.Intn(3)
+			}
+			gen(level+1, next)
+			b.Close()
+		}
+	}
+	gen(1, 16)
+	b.Close()
+	return b.MustFinish()
+}
+
+// DBLP generates the bibliographic document: a flat sequence of article /
+// inproceedings / book records with author, title, year, and optional ee /
+// cite children (at scale 1, ≈ 50k nodes — a tenth of the paper's 500k).
+func DBLP(scale float64, seed int64) *xmltree.Document {
+	rng := rand.New(rand.NewSource(seed ^ 0x64626c70)) // "dblp"
+	b := xmltree.NewBuilder()
+	b.Open("dblp", "")
+	budget := int(50000 * scale)
+	kinds := []string{"article", "inproceedings", "article", "inproceedings", "book"}
+	count := 0
+	for count < budget {
+		kind := kinds[rng.Intn(len(kinds))]
+		b.Open(kind, "")
+		count++
+		nAuthors := 1 + rng.Intn(3)
+		for a := 0; a < nAuthors; a++ {
+			b.Leaf("author", fmt.Sprintf("author-%d", rng.Intn(5000)))
+			count++
+		}
+		b.Leaf("title", fmt.Sprintf("title-%d", count))
+		b.Leaf("year", fmt.Sprintf("%d", 1970+rng.Intn(33)))
+		count += 2
+		if rng.Intn(3) == 0 {
+			b.Leaf("ee", fmt.Sprintf("http://example.org/%d", count))
+			count++
+		}
+		if kind == "inproceedings" {
+			b.Leaf("booktitle", fmt.Sprintf("conf-%d", rng.Intn(300)))
+			count++
+		}
+		for rng.Intn(4) == 0 {
+			b.Open("cite", "")
+			b.Leaf("label", fmt.Sprintf("ref-%d", rng.Intn(budget+1)))
+			b.Close()
+			count += 2
+		}
+		b.Close()
+	}
+	b.Close()
+	return b.MustFinish()
+}
+
+// Pers generates the personnel document of the paper's running example: a
+// recursive organisation where managers supervise employees, departments
+// and other managers, each with a name child (at scale 1, ≈ 5k nodes,
+// matching the paper's Pers size). Recursion depth follows a geometric
+// distribution so manager//manager and manager//employee pairs exist at
+// many distances.
+func Pers(scale float64, seed int64) *xmltree.Document {
+	rng := rand.New(rand.NewSource(seed ^ 0x70657273)) // "pers"
+	b := xmltree.NewBuilder()
+	b.Open("personnel", "")
+	budget := int(5000 * scale)
+	count := 0
+	var manager func(depth int)
+	manager = func(depth int) {
+		if count >= budget {
+			return
+		}
+		b.Open("manager", "")
+		b.Leaf("name", fmt.Sprintf("mgr-%d", count))
+		count += 2
+		// Direct reports: employees.
+		nEmp := 1 + rng.Intn(4)
+		for i := 0; i < nEmp && count < budget; i++ {
+			b.Open("employee", "")
+			b.Leaf("name", fmt.Sprintf("emp-%d", count))
+			if rng.Intn(3) == 0 {
+				b.Leaf("salary", fmt.Sprintf("%d", 30000+rng.Intn(90000)))
+				count++
+			}
+			b.Close()
+			count += 2
+		}
+		// Departments directly supervised.
+		if rng.Intn(2) == 0 && count < budget {
+			b.Open("department", "")
+			b.Leaf("name", fmt.Sprintf("dept-%d", count))
+			b.Close()
+			count += 2
+		}
+		// Subordinate managers (recursive, geometric tail).
+		for count < budget && depth < 12 && rng.Intn(3) != 0 {
+			manager(depth + 1)
+			if rng.Intn(2) == 0 {
+				break
+			}
+		}
+		b.Close()
+	}
+	for count < budget {
+		manager(1)
+	}
+	b.Close()
+	return b.MustFinish()
+}

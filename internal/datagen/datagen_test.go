@@ -1,0 +1,164 @@
+package datagen
+
+import (
+	"testing"
+
+	"sjos/internal/xmltree"
+)
+
+func TestGenerateKnownSets(t *testing.T) {
+	for _, name := range []string{NameMbench, NameDBLP, NamePers} {
+		d, err := Generate(Config{Name: name, Scale: 0.1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: invalid document: %v", name, err)
+		}
+		if d.NumNodes() < 100 {
+			t.Errorf("%s: suspiciously small (%d nodes)", name, d.NumNodes())
+		}
+	}
+	if _, err := Generate(Config{Name: "nope"}); err == nil {
+		t.Fatal("unknown data set accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, name := range []string{NameMbench, NameDBLP, NamePers} {
+		a, _ := Generate(Config{Name: name, Scale: 0.05, Seed: 7})
+		b, _ := Generate(Config{Name: name, Scale: 0.05, Seed: 7})
+		if a.NumNodes() != b.NumNodes() {
+			t.Fatalf("%s: nondeterministic size %d vs %d", name, a.NumNodes(), b.NumNodes())
+		}
+		for i := 0; i < a.NumNodes(); i++ {
+			id := xmltree.NodeID(i)
+			if a.Tag(id) != b.Tag(id) || a.Start(id) != b.Start(id) || a.Value(id) != b.Value(id) {
+				t.Fatalf("%s: documents diverge at node %d", name, i)
+			}
+		}
+		c, _ := Generate(Config{Name: name, Scale: 0.05, Seed: 8})
+		if c.NumNodes() == a.NumNodes() {
+			same := true
+			for i := 0; i < a.NumNodes() && same; i++ {
+				id := xmltree.NodeID(i)
+				same = a.Tag(id) == c.Tag(id) && a.Value(id) == c.Value(id)
+			}
+			if same {
+				t.Errorf("%s: different seeds produced identical documents", name)
+			}
+		}
+	}
+}
+
+func TestScaleGrowsSize(t *testing.T) {
+	for _, name := range []string{NameMbench, NameDBLP, NamePers} {
+		small, _ := Generate(Config{Name: name, Scale: 0.05})
+		big, _ := Generate(Config{Name: name, Scale: 0.2})
+		if big.NumNodes() < 2*small.NumNodes() {
+			t.Errorf("%s: scale 0.2 (%d nodes) not ≫ scale 0.05 (%d nodes)",
+				name, big.NumNodes(), small.NumNodes())
+		}
+	}
+}
+
+func TestPersStructure(t *testing.T) {
+	d := Pers(1, 0)
+	if got := d.NumNodes(); got < 4000 || got > 8000 {
+		t.Errorf("Pers scale 1 = %d nodes, want ≈ 5000", got)
+	}
+	mgr, ok := d.LookupTag("manager")
+	if !ok {
+		t.Fatal("no manager nodes")
+	}
+	emp, ok := d.LookupTag("employee")
+	if !ok {
+		t.Fatal("no employee nodes")
+	}
+	if _, ok := d.LookupTag("department"); !ok {
+		t.Fatal("no department nodes")
+	}
+	if _, ok := d.LookupTag("name"); !ok {
+		t.Fatal("no name nodes")
+	}
+	// Recursion: some manager must be a proper ancestor of another.
+	mgrs := d.NodesWithTag(mgr)
+	recursive := false
+	for _, a := range mgrs {
+		for _, b := range mgrs {
+			if a != b && d.IsAncestor(a, b) {
+				recursive = true
+			}
+		}
+	}
+	if !recursive {
+		t.Error("Pers has no manager-under-manager recursion")
+	}
+	// Every employee's parent is a manager.
+	for _, e := range d.NodesWithTag(emp) {
+		if d.TagName(d.Tag(d.Parent(e))) != "manager" {
+			t.Fatalf("employee %d has parent %s", e, d.TagName(d.Tag(d.Parent(e))))
+		}
+	}
+}
+
+func TestMbenchStructure(t *testing.T) {
+	d := Mbench(1, 0)
+	if got := d.NumNodes(); got < 50000 || got > 100000 {
+		t.Errorf("Mbench scale 1 = %d nodes, want ≈ 74000", got)
+	}
+	nest, ok := d.LookupTag("eNest")
+	if !ok {
+		t.Fatal("no eNest nodes")
+	}
+	// Depth: some eNest at level >= 6.
+	deep := false
+	for _, n := range d.NodesWithTag(nest) {
+		if d.Level(n) >= 6 {
+			deep = true
+			break
+		}
+	}
+	if !deep {
+		t.Error("Mbench has no deep nesting")
+	}
+	if _, ok := d.LookupTag("aSixtyFour"); !ok {
+		t.Error("missing aSixtyFour")
+	}
+	if _, ok := d.LookupTag("eOccasional"); !ok {
+		t.Error("missing eOccasional")
+	}
+}
+
+func TestDBLPStructure(t *testing.T) {
+	d := DBLP(1, 0)
+	if got := d.NumNodes(); got < 40000 || got > 70000 {
+		t.Errorf("DBLP scale 1 = %d nodes, want ≈ 50000", got)
+	}
+	art, ok := d.LookupTag("article")
+	if !ok {
+		t.Fatal("no articles")
+	}
+	// Shallow: every article sits directly under the root.
+	for _, a := range d.NodesWithTag(art) {
+		if d.Level(a) != 1 {
+			t.Fatalf("article at level %d", d.Level(a))
+		}
+	}
+	for _, tag := range []string{"author", "title", "year", "inproceedings"} {
+		if _, ok := d.LookupTag(tag); !ok {
+			t.Errorf("missing %s", tag)
+		}
+	}
+}
+
+func TestFoldedPersScalesMatches(t *testing.T) {
+	d := Pers(0.2, 0)
+	mgr, _ := d.LookupTag("manager")
+	base := d.TagCount(mgr)
+	f := xmltree.Fold(d, 10)
+	fm, _ := f.LookupTag("manager")
+	if got := f.TagCount(fm); got != base*10 {
+		t.Fatalf("folded manager count %d, want %d", got, base*10)
+	}
+}

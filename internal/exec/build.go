@@ -1,0 +1,156 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"sjos/internal/histogram"
+	"sjos/internal/pattern"
+	"sjos/internal/plan"
+	"sjos/internal/xmltree"
+)
+
+// Build compiles a physical plan tree into an operator tree ready to Open.
+// The plan should have passed plan.Validate; Build still reports structural
+// problems it encounters rather than mis-executing.
+func Build(pat *pattern.Pattern, n *plan.Node) (Operator, error) {
+	switch n.Op {
+	case plan.OpIndexScan:
+		if n.PatternNode < 0 || n.PatternNode >= pat.N() {
+			return nil, fmt.Errorf("exec: scan of pattern node %d out of range", n.PatternNode)
+		}
+		return NewIndexScan(pat, n.PatternNode), nil
+	case plan.OpSort:
+		in, err := Build(pat, n.Left)
+		if err != nil {
+			return nil, err
+		}
+		return NewSort(in, n.SortBy)
+	case plan.OpStructuralJoin:
+		left, err := Build(pat, n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Build(pat, n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return NewStackTreeJoin(left, right, n.AncNode, n.DescNode, n.Axis, n.Algo)
+	default:
+		return nil, fmt.Errorf("exec: unknown plan operator %d", n.Op)
+	}
+}
+
+// Run compiles and executes a plan, returning the result tuples normalised
+// to pattern-node order (slot i = pattern node i), so results of different
+// plans for the same query are directly comparable.
+func Run(ctx *Context, pat *pattern.Pattern, p *plan.Node) ([]Tuple, error) {
+	op, err := Build(pat, p)
+	if err != nil {
+		return nil, err
+	}
+	out, err := Drain(ctx, op)
+	if err != nil {
+		return nil, err
+	}
+	return NormalizeAll(op.Schema(), pat.N(), out), nil
+}
+
+// RunCount compiles and executes a plan, returning only the match count.
+func RunCount(ctx *Context, pat *pattern.Pattern, p *plan.Node) (int, error) {
+	op, err := Build(pat, p)
+	if err != nil {
+		return 0, err
+	}
+	return Count(ctx, op)
+}
+
+// Normalize reorders one tuple from the schema's slot layout to
+// pattern-node order.
+func Normalize(s *Schema, n int, t Tuple) Tuple {
+	out := make(Tuple, n)
+	for slot, pn := range s.Cols() {
+		out[pn] = t[slot]
+	}
+	return out
+}
+
+// NormalizeAll applies Normalize to every tuple.
+func NormalizeAll(s *Schema, n int, ts []Tuple) []Tuple {
+	out := make([]Tuple, len(ts))
+	for i, t := range ts {
+		out[i] = Normalize(s, n, t)
+	}
+	return out
+}
+
+// SortCanonical orders normalised tuples lexicographically — a canonical
+// multiset representation for comparing the results of different plans.
+func SortCanonical(ts []Tuple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// ReferenceMatches computes all matches of pat in doc by brute-force
+// backtracking. It is the correctness oracle for the join operators and the
+// optimizers, and is exercised directly by tests; it is exponential in the
+// worst case and intended only for small verification workloads. Results
+// are in pattern-node order.
+func ReferenceMatches(doc *xmltree.Document, pat *pattern.Pattern) []Tuple {
+	// Candidate lists per pattern node.
+	cand := make([][]xmltree.NodeID, pat.N())
+	for u := 0; u < pat.N(); u++ {
+		tag, ok := doc.LookupTag(pat.Nodes[u].Tag)
+		if !ok {
+			return nil
+		}
+		for _, id := range doc.NodesWithTag(tag) {
+			if pat.Nodes[u].Op != pattern.CmpNone &&
+				!evalPredicateRef(doc.Value(id), pat.Nodes[u], pat) {
+				continue
+			}
+			cand[u] = append(cand[u], id)
+		}
+		if len(cand[u]) == 0 {
+			return nil
+		}
+	}
+	var out []Tuple
+	bind := make(Tuple, pat.N())
+	var rec func(u int)
+	rec = func(u int) {
+		if u == pat.N() {
+			out = append(out, append(Tuple(nil), bind...))
+			return
+		}
+		for _, id := range cand[u] {
+			p := pat.Parent[u]
+			if p != pattern.NoNode {
+				if pat.Axis[u] == pattern.Child {
+					if !doc.IsParent(bind[p], id) {
+						continue
+					}
+				} else if !doc.IsAncestor(bind[p], id) {
+					continue
+				}
+			}
+			bind[u] = id
+			rec(u + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// evalPredicateRef evaluates a node's value predicate for the reference
+// matcher (delegating to the shared predicate semantics).
+func evalPredicateRef(v string, nd pattern.Node, _ *pattern.Pattern) bool {
+	return histogram.EvalPredicate(v, nd.Op, nd.Value)
+}

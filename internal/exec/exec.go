@@ -1,0 +1,148 @@
+// Package exec is the physical query executor: a Volcano-style iterator
+// interpreter for the plans of internal/plan, over the stores of
+// internal/storage.
+//
+// It implements the operator set the paper's plans are made of:
+//
+//   - IndexScan — candidate retrieval for one pattern node through the
+//     element-tag index (with value predicates applied on the fly),
+//   - Stack-Tree-Desc and Stack-Tree-Anc structural joins (Al-Khalifa et
+//     al., ICDE 2002), generalised from node lists to tuple streams the way
+//     Timber evaluates multi-edge patterns: each input is a stream of
+//     partial matches ordered by the document position of its join column,
+//   - Sort — the only blocking operator; it materialises its input.
+//
+// Fully-pipelined plans therefore genuinely stream: the first result tuple
+// is produced before the inputs are exhausted, and no intermediate result
+// is ever materialised.
+package exec
+
+import (
+	"fmt"
+
+	"sjos/internal/storage"
+	"sjos/internal/xmltree"
+)
+
+// Tuple is one partial match: a vector of document nodes. Which pattern
+// node each slot binds is described by the operator's Schema. Tuples
+// returned by Next are immutable and may be retained by the caller.
+type Tuple []xmltree.NodeID
+
+// Schema maps pattern nodes to tuple slots.
+type Schema struct {
+	cols []int       // slot -> pattern node
+	pos  map[int]int // pattern node -> slot
+}
+
+// NewSchema builds a schema with the given pattern-node-per-slot layout.
+func NewSchema(cols ...int) *Schema {
+	s := &Schema{cols: cols, pos: make(map[int]int, len(cols))}
+	for i, c := range cols {
+		s.pos[c] = i
+	}
+	return s
+}
+
+// Concat returns the schema of a join output: left slots then right slots.
+func (s *Schema) Concat(t *Schema) *Schema {
+	return NewSchema(append(append([]int{}, s.cols...), t.cols...)...)
+}
+
+// Width returns the number of slots.
+func (s *Schema) Width() int { return len(s.cols) }
+
+// Col returns the slot holding the given pattern node.
+func (s *Schema) Col(patternNode int) (int, bool) {
+	c, ok := s.pos[patternNode]
+	return c, ok
+}
+
+// Cols returns the slot layout (pattern node per slot). Callers must not
+// modify the returned slice.
+func (s *Schema) Cols() []int { return s.cols }
+
+// Stats counts the physical work done during one execution; each counter
+// corresponds to a term of the paper's cost model.
+type Stats struct {
+	ScannedTuples int // index-scan outputs (f_I term)
+	StackOps      int // pushes + pops in Stack-Tree joins (f_st term)
+	BufferedPairs int // pairs written to Anc self/inherit lists (f_IO term)
+	SortedTuples  int // tuples materialised by Sort operators (f_s term)
+	OutputTuples  int // tuples produced by the plan root
+}
+
+// Context carries the execution environment shared by all operators of one
+// plan.
+type Context struct {
+	Doc   *xmltree.Document
+	Store *storage.Store
+	Stats Stats
+}
+
+// Operator is the Volcano iterator contract. Usage: Open, repeated Next
+// until ok is false, Close. Operators are single-use.
+type Operator interface {
+	// Schema describes the operator's output layout; valid before Open.
+	Schema() *Schema
+	// Open prepares the operator (and its subtree) for iteration.
+	Open(ctx *Context) error
+	// Next returns the next output tuple; ok is false at end of stream.
+	Next() (t Tuple, ok bool, err error)
+	// Close releases resources; must be called exactly once after Open.
+	Close() error
+}
+
+// Drain runs op to completion, returning all output tuples.
+func Drain(ctx *Context, op Operator) ([]Tuple, error) {
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	var out []Tuple
+	for {
+		t, ok, err := op.Next()
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	if err := op.Close(); err != nil {
+		return nil, err
+	}
+	ctx.Stats.OutputTuples = len(out)
+	return out, nil
+}
+
+// Count runs op to completion, returning only the output cardinality.
+func Count(ctx *Context, op Operator) (int, error) {
+	if err := op.Open(ctx); err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		_, ok, err := op.Next()
+		if err != nil {
+			op.Close()
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if err := op.Close(); err != nil {
+		return 0, err
+	}
+	ctx.Stats.OutputTuples = n
+	return n, nil
+}
+
+// errColumn builds the error for a pattern node missing from a schema; this
+// indicates a malformed plan, which Build should have rejected.
+func errColumn(patternNode int) error {
+	return fmt.Errorf("exec: pattern node %d not present in input schema", patternNode)
+}

@@ -1,0 +1,118 @@
+package exec
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sjos/internal/pattern"
+	"sjos/internal/plan"
+	"sjos/internal/storage"
+	"sjos/internal/xmltree"
+)
+
+// faultFile injects a read failure after a fixed number of physical reads,
+// exercising the executor's error propagation paths end to end.
+type faultFile struct {
+	inner     storage.PageFile
+	failAfter int
+	reads     int
+}
+
+var errInjected = errors.New("injected page-read failure")
+
+func (f *faultFile) ReadPage(id storage.PageID, dst *storage.Page) error {
+	f.reads++
+	if f.reads > f.failAfter {
+		return errInjected
+	}
+	return f.inner.ReadPage(id, dst)
+}
+
+func (f *faultFile) WritePage(id storage.PageID, src *storage.Page) error {
+	return f.inner.WritePage(id, src)
+}
+
+func (f *faultFile) NumPages() int { return f.inner.NumPages() }
+
+// faultyStore builds a store whose page file starts failing after
+// failAfter reads. The buffer pool is sized at 1 frame so almost every
+// access is a physical read.
+func faultyStore(t *testing.T, doc *xmltree.Document, failAfter int) *storage.Store {
+	t.Helper()
+	ff := &faultFile{inner: storage.NewMemFile(), failAfter: 1 << 30}
+	st, err := storage.BuildStoreOn(ff, doc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff.failAfter = failAfter
+	ff.reads = 0
+	return st
+}
+
+func TestScanPropagatesStorageErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	doc := xmltree.RandomDocument(rng, 2000, []string{"a", "b"})
+	st := faultyStore(t, doc, 3)
+	pat := pattern.MustParse("//a")
+	ctx := &Context{Doc: doc, Store: st}
+	_, err := Drain(ctx, NewIndexScan(pat, 0))
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("scan error = %v, want injected failure", err)
+	}
+}
+
+func TestJoinPropagatesStorageErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	doc := xmltree.RandomDocument(rng, 2000, []string{"a", "b"})
+	pat := pattern.MustParse("//a//b")
+	for _, algo := range []plan.Algo{plan.AlgoDesc, plan.AlgoAnc} {
+		st := faultyStore(t, doc, 10)
+		j, err := NewStackTreeJoin(NewIndexScan(pat, 0), NewIndexScan(pat, 1),
+			0, 1, pattern.Descendant, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := &Context{Doc: doc, Store: st}
+		if _, err := Drain(ctx, j); !errors.Is(err, errInjected) {
+			t.Fatalf("%v: error = %v, want injected failure", algo, err)
+		}
+	}
+}
+
+func TestSortPropagatesStorageErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	doc := xmltree.RandomDocument(rng, 2000, []string{"a", "b"})
+	st := faultyStore(t, doc, 5)
+	pat := pattern.MustParse("//a//b")
+	j, _ := NewStackTreeJoin(NewIndexScan(pat, 0), NewIndexScan(pat, 1),
+		0, 1, pattern.Descendant, plan.AlgoDesc)
+	s, err := NewSort(j, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{Doc: doc, Store: st}
+	if _, err := Drain(ctx, s); !errors.Is(err, errInjected) {
+		t.Fatalf("sort error = %v, want injected failure", err)
+	}
+}
+
+// TestRunSurvivesZeroFailures double-checks the fault harness itself: with
+// the trigger beyond the workload's read count, execution succeeds.
+func TestRunSurvivesZeroFailures(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	doc := xmltree.RandomDocument(rng, 500, []string{"a", "b"})
+	st := faultyStore(t, doc, 1<<30)
+	pat := pattern.MustParse("//a//b")
+	j, _ := NewStackTreeJoin(NewIndexScan(pat, 0), NewIndexScan(pat, 1),
+		0, 1, pattern.Descendant, plan.AlgoDesc)
+	ctx := &Context{Doc: doc, Store: st}
+	got, err := Drain(ctx, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ReferenceMatches(doc, pat)
+	if len(got) != len(want) {
+		t.Fatalf("fault-harness store returned %d matches, want %d", len(got), len(want))
+	}
+}

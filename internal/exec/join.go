@@ -1,0 +1,267 @@
+package exec
+
+import (
+	"sjos/internal/pattern"
+	"sjos/internal/plan"
+	"sjos/internal/xmltree"
+)
+
+// StackTreeJoin evaluates one pattern edge with the Stack-Tree family of
+// merge joins (Al-Khalifa et al., ICDE 2002), generalised to tuple streams:
+// the left input is a stream of partial matches ordered by the ancestor
+// column, the right input a stream ordered by the descendant column. Both
+// variants share the streaming skeleton; they differ in when joined pairs
+// are emitted:
+//
+//   - Desc emits each right tuple's matches immediately (output ordered by
+//     the descendant column) and never buffers output;
+//   - Anc buffers pairs in per-stack-entry self/inherit lists and releases
+//     them when the entry leaves an empty stack (output ordered by the
+//     ancestor column). The buffering is what the cost model's
+//     2·|AB|·f_IO term charges for.
+type StackTreeJoin struct {
+	algo    plan.Algo
+	axis    pattern.Axis
+	left    Operator
+	right   Operator
+	lCol    int // ancestor column in left schema
+	rCol    int // descendant column in right schema
+	schema  *Schema
+	ctx     *Context
+	doc     *xmltree.Document
+	started bool
+
+	// Streaming state.
+	lTuple Tuple
+	lOK    bool
+	rTuple Tuple
+	rOK    bool
+	stack  []*stackEntry
+
+	// Desc emission state: matches of the current right tuple.
+	emit    []*stackEntry // stack snapshot (bottom..top) still to pair
+	emitIdx int
+	emitR   Tuple
+
+	// Anc emission state: released output.
+	ready []Tuple
+}
+
+type stackEntry struct {
+	t          xmltree.NodeID // the ancestor node (cached from the tuple)
+	end        xmltree.Pos
+	level      uint16
+	tuple      Tuple
+	selfList   []Tuple // Anc only
+	inheritLst []Tuple // Anc only
+}
+
+// NewStackTreeJoin joins left (ordered by pattern node anc) with right
+// (ordered by pattern node desc) on an edge with the given axis, using the
+// chosen algorithm variant.
+func NewStackTreeJoin(left, right Operator, anc, desc int, ax pattern.Axis, algo plan.Algo) (*StackTreeJoin, error) {
+	lCol, ok := left.Schema().Col(anc)
+	if !ok {
+		return nil, errColumn(anc)
+	}
+	rCol, ok := right.Schema().Col(desc)
+	if !ok {
+		return nil, errColumn(desc)
+	}
+	return &StackTreeJoin{
+		algo:   algo,
+		axis:   ax,
+		left:   left,
+		right:  right,
+		lCol:   lCol,
+		rCol:   rCol,
+		schema: left.Schema().Concat(right.Schema()),
+	}, nil
+}
+
+// Schema implements Operator.
+func (j *StackTreeJoin) Schema() *Schema { return j.schema }
+
+// Open implements Operator.
+func (j *StackTreeJoin) Open(ctx *Context) error {
+	j.ctx = ctx
+	j.doc = ctx.Doc
+	if err := j.left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.right.Open(ctx); err != nil {
+		j.left.Close()
+		return err
+	}
+	return nil
+}
+
+// Close implements Operator.
+func (j *StackTreeJoin) Close() error {
+	err := j.left.Close()
+	if err2 := j.right.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// Next implements Operator.
+func (j *StackTreeJoin) Next() (Tuple, bool, error) {
+	if !j.started {
+		j.started = true
+		var err error
+		if j.lTuple, j.lOK, err = j.left.Next(); err != nil {
+			return nil, false, err
+		}
+		if j.rTuple, j.rOK, err = j.right.Next(); err != nil {
+			return nil, false, err
+		}
+	}
+	if j.algo == plan.AlgoDesc {
+		return j.nextDesc()
+	}
+	return j.nextAnc()
+}
+
+// joined builds the output tuple for (entry, right).
+func (j *StackTreeJoin) joined(e *stackEntry, r Tuple) Tuple {
+	out := make(Tuple, 0, len(e.tuple)+len(r))
+	return append(append(out, e.tuple...), r...)
+}
+
+// matches reports whether a stack entry satisfies the edge's axis with the
+// current right node (all stack entries already contain it structurally).
+func (j *StackTreeJoin) matches(e *stackEntry, dLevel uint16) bool {
+	return j.axis == pattern.Descendant || e.level+1 == dLevel
+}
+
+// push moves the current left tuple onto the stack (after expiring dead
+// entries) and advances the left input.
+func (j *StackTreeJoin) push(expireBefore xmltree.Pos, collect func(*stackEntry)) error {
+	j.expire(expireBefore, collect)
+	a := j.lTuple[j.lCol]
+	j.stack = append(j.stack, &stackEntry{
+		t:     a,
+		end:   j.doc.End(a),
+		level: j.doc.Level(a),
+		tuple: j.lTuple,
+	})
+	j.ctx.Stats.StackOps++
+	var err error
+	j.lTuple, j.lOK, err = j.left.Next()
+	return err
+}
+
+// expire pops entries whose region ends before pos; collect (may be nil)
+// observes each popped entry in top-to-bottom order.
+func (j *StackTreeJoin) expire(pos xmltree.Pos, collect func(*stackEntry)) {
+	for len(j.stack) > 0 {
+		top := j.stack[len(j.stack)-1]
+		if top.end >= pos {
+			return
+		}
+		j.stack = j.stack[:len(j.stack)-1]
+		j.ctx.Stats.StackOps++
+		if collect != nil {
+			collect(top)
+		}
+	}
+}
+
+// nextDesc is the Stack-Tree-Desc driver.
+func (j *StackTreeJoin) nextDesc() (Tuple, bool, error) {
+	for {
+		// Drain pending emissions for the current right tuple first.
+		for j.emitIdx < len(j.emit) {
+			e := j.emit[j.emitIdx]
+			j.emitIdx++
+			if j.matches(e, j.doc.Level(j.emitR[j.rCol])) {
+				return j.joined(e, j.emitR), true, nil
+			}
+		}
+		j.emit, j.emitR = nil, nil
+
+		if !j.rOK {
+			return nil, false, nil // no right input left: join is done
+		}
+		dStart := j.doc.Start(j.rTuple[j.rCol])
+		if j.lOK && j.doc.Start(j.lTuple[j.lCol]) < dStart {
+			if err := j.push(j.doc.Start(j.lTuple[j.lCol]), nil); err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		// Process the right tuple against the stack.
+		j.expire(dStart, nil)
+		if len(j.stack) > 0 {
+			j.emit = append(j.emit[:0], j.stack...)
+			j.emitIdx = 0
+			j.emitR = j.rTuple
+		}
+		var err error
+		j.rTuple, j.rOK, err = j.right.Next()
+		if err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// nextAnc is the Stack-Tree-Anc driver.
+func (j *StackTreeJoin) nextAnc() (Tuple, bool, error) {
+	for {
+		if len(j.ready) > 0 {
+			t := j.ready[0]
+			j.ready = j.ready[1:]
+			return t, true, nil
+		}
+		if !j.rOK {
+			// No more pairs can form; release everything still on the
+			// stack, bottom-most last (it owns the earliest output).
+			if len(j.stack) > 0 {
+				for len(j.stack) > 0 {
+					top := j.stack[len(j.stack)-1]
+					j.stack = j.stack[:len(j.stack)-1]
+					j.ctx.Stats.StackOps++
+					j.release(top)
+				}
+				continue
+			}
+			return nil, false, nil
+		}
+		dStart := j.doc.Start(j.rTuple[j.rCol])
+		if j.lOK && j.doc.Start(j.lTuple[j.lCol]) < dStart {
+			if err := j.push(j.doc.Start(j.lTuple[j.lCol]), j.release); err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		j.expire(dStart, j.release)
+		dLevel := j.doc.Level(j.rTuple[j.rCol])
+		for _, e := range j.stack {
+			if j.matches(e, dLevel) {
+				e.selfList = append(e.selfList, j.joined(e, j.rTuple))
+				j.ctx.Stats.BufferedPairs++
+			}
+		}
+		var err error
+		j.rTuple, j.rOK, err = j.right.Next()
+		if err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// release handles a popped entry in the Anc variant: if an enclosing entry
+// remains on the stack, the popped entry's output must wait for it (its
+// ancestor column starts earlier), so it is appended to that entry's
+// inherit list; otherwise the output is final and moves to the ready queue.
+func (j *StackTreeJoin) release(e *stackEntry) {
+	out := e.selfList
+	out = append(out, e.inheritLst...)
+	if len(j.stack) > 0 {
+		parent := j.stack[len(j.stack)-1]
+		parent.inheritLst = append(parent.inheritLst, out...)
+		return
+	}
+	j.ready = append(j.ready, out...)
+}

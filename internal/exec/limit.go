@@ -1,0 +1,41 @@
+package exec
+
+// Limit caps an operator's output at n tuples, closing early. Combined with
+// fully-pipelined plans it delivers the paper's §3.4 motivation measurably:
+// non-blocking plans produce their first results long before the full
+// result is computed, which blocking (sort-containing) plans cannot do.
+type Limit struct {
+	input Operator
+	n     int
+	done  int
+}
+
+// NewLimit wraps input, emitting at most n tuples.
+func NewLimit(input Operator, n int) *Limit {
+	if n < 0 {
+		n = 0
+	}
+	return &Limit{input: input, n: n}
+}
+
+// Schema implements Operator.
+func (l *Limit) Schema() *Schema { return l.input.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open(ctx *Context) error { return l.input.Open(ctx) }
+
+// Next implements Operator.
+func (l *Limit) Next() (Tuple, bool, error) {
+	if l.done >= l.n {
+		return nil, false, nil
+	}
+	t, ok, err := l.input.Next()
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	l.done++
+	return t, true, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.input.Close() }

@@ -1,0 +1,73 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sjos/internal/pattern"
+	"sjos/internal/xmltree"
+)
+
+// TestMinimizePreservesProjectedMatches is the semantic property behind
+// pattern minimisation: on arbitrary documents, the match set of the
+// minimized pattern equals the match set of the original projected onto
+// the retained nodes (as a set — projection can collapse duplicates).
+func TestMinimizePreservesProjectedMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(314))
+	sources := []string{
+		"//a[b][b]",
+		"//a[.//b][b]",
+		"//a[b/c]/b/c",
+		"//a[b][b][b]",
+		"//a[.//b][.//b/c]",
+		"//a[b][c][b]",
+	}
+	for _, src := range sources {
+		orig := pattern.MustParse(src)
+		min, mapping := pattern.Minimize(orig)
+		if min.N() >= orig.N() {
+			t.Fatalf("%s: nothing minimized", src)
+		}
+		for trial := 0; trial < 25; trial++ {
+			doc := xmltree.RandomDocument(rng, 2+rng.Intn(120), []string{"a", "b", "c"})
+			got := matchSet(ReferenceMatches(doc, min), nil)
+			want := matchSet(ReferenceMatches(doc, orig), mapping)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s trial %d: minimized %d distinct matches, projected original %d",
+					src, trial, len(got), len(want))
+			}
+		}
+	}
+}
+
+// matchSet builds the set of (projected) match tuples. mapping == nil means
+// identity; otherwise slot newIdx of the projection holds the value of the
+// original slot oldIdx where mapping[oldIdx] == newIdx.
+func matchSet(ms []Tuple, mapping []int) map[string]bool {
+	out := make(map[string]bool, len(ms))
+	for _, m := range ms {
+		proj := m
+		if mapping != nil {
+			n := 0
+			for _, nw := range mapping {
+				if nw != -1 {
+					n++
+				}
+			}
+			proj = make(Tuple, n)
+			for old, nw := range mapping {
+				if nw != -1 {
+					proj[nw] = m[old]
+				}
+			}
+		}
+		key := ""
+		for _, id := range proj {
+			key += fmt.Sprintf("%d,", id)
+		}
+		out[key] = true
+	}
+	return out
+}

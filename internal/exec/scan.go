@@ -1,0 +1,78 @@
+package exec
+
+import (
+	"fmt"
+
+	"sjos/internal/histogram"
+	"sjos/internal/pattern"
+	"sjos/internal/storage"
+)
+
+// IndexScan retrieves all candidates for one pattern node through the
+// element-tag index, in document order, applying the node's value predicate
+// (if any) on the fly. It is the paper's "index access" leaf with cost
+// f_I · n.
+type IndexScan struct {
+	node   int // pattern node fed by this scan
+	tag    string
+	op     pattern.CmpOp
+	value  string
+	schema *Schema
+
+	ctx  *Context
+	scan *storage.TagScanner
+	done bool
+}
+
+// NewIndexScan builds a scan for pattern node u of pat.
+func NewIndexScan(pat *pattern.Pattern, u int) *IndexScan {
+	nd := pat.Nodes[u]
+	return &IndexScan{
+		node:   u,
+		tag:    nd.Tag,
+		op:     nd.Op,
+		value:  nd.Value,
+		schema: NewSchema(u),
+	}
+}
+
+// Schema implements Operator.
+func (s *IndexScan) Schema() *Schema { return s.schema }
+
+// Open implements Operator.
+func (s *IndexScan) Open(ctx *Context) error {
+	s.ctx = ctx
+	tag, ok := ctx.Doc.LookupTag(s.tag)
+	if !ok {
+		s.done = true // unknown tag: empty candidate stream
+		return nil
+	}
+	s.scan = ctx.Store.ScanTag(tag)
+	return nil
+}
+
+// Next implements Operator.
+func (s *IndexScan) Next() (Tuple, bool, error) {
+	if s.done {
+		return nil, false, nil
+	}
+	for {
+		id, _, ok, err := s.scan.Next()
+		if err != nil {
+			return nil, false, fmt.Errorf("exec: index scan of %q: %w", s.tag, err)
+		}
+		if !ok {
+			s.done = true
+			return nil, false, nil
+		}
+		s.ctx.Stats.ScannedTuples++
+		if s.op != pattern.CmpNone &&
+			!histogram.EvalPredicate(s.ctx.Doc.Value(id), s.op, s.value) {
+			continue
+		}
+		return Tuple{id}, true, nil
+	}
+}
+
+// Close implements Operator.
+func (s *IndexScan) Close() error { return nil }

@@ -1,0 +1,83 @@
+package exec
+
+import (
+	"sort"
+)
+
+// Sort is the blocking re-order operator: it materialises its entire input,
+// sorts it by the document start position of one pattern node's column, and
+// then streams the result. It is the only blocking operator, so plans
+// without Sort nodes are fully pipelined.
+type Sort struct {
+	input  Operator
+	by     int // pattern node to order by
+	col    int
+	schema *Schema
+
+	buf    []Tuple
+	pos    int
+	loaded bool
+	ctx    *Context
+}
+
+// NewSort builds a sort of input by pattern node u.
+func NewSort(input Operator, u int) (*Sort, error) {
+	col, ok := input.Schema().Col(u)
+	if !ok {
+		return nil, errColumn(u)
+	}
+	return &Sort{input: input, by: u, col: col, schema: input.Schema()}, nil
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() *Schema { return s.schema }
+
+// Open implements Operator.
+func (s *Sort) Open(ctx *Context) error {
+	s.ctx = ctx
+	return s.input.Open(ctx)
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (Tuple, bool, error) {
+	if !s.loaded {
+		if err := s.load(); err != nil {
+			return nil, false, err
+		}
+	}
+	if s.pos >= len(s.buf) {
+		return nil, false, nil
+	}
+	t := s.buf[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+func (s *Sort) load() error {
+	s.loaded = true
+	for {
+		t, ok, err := s.input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.buf = append(s.buf, t)
+	}
+	s.ctx.Stats.SortedTuples += len(s.buf)
+	doc := s.ctx.Doc
+	col := s.col
+	// Stable, so equal keys keep their upstream order — deterministic
+	// output for result comparison across plans.
+	sort.SliceStable(s.buf, func(i, j int) bool {
+		return doc.Start(s.buf[i][col]) < doc.Start(s.buf[j][col])
+	})
+	return nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error {
+	s.buf = nil
+	return s.input.Close()
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// fmtDur renders a duration compactly with ~3 significant digits, using the
+// unit that keeps the number readable.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// RenderTable1 formats Table 1 in the paper's layout: per query, an Opt.
+// and Eval. column for each algorithm plus the bad-plan column.
+func RenderTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1. Query Optimization and Query Plan Evaluation Times\n")
+	fmt.Fprintf(&sb, "%-14s", "Query")
+	for _, m := range Methods() {
+		fmt.Fprintf(&sb, " | %-10s %-10s", m.String()+" Opt", "Eval")
+	}
+	sb.WriteString(" | Bad Eval\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s", r.Query.ID)
+		for _, m := range Methods() {
+			c := r.Cells[m.String()]
+			fmt.Fprintf(&sb, " | %-10s %-10s", fmtDur(c.Opt), fmtDur(c.Eval))
+		}
+		fmt.Fprintf(&sb, " | %s\n", fmtDur(r.BadEval))
+	}
+	return sb.String()
+}
+
+// RenderTable2 formats Table 2: optimization time and plans considered.
+func RenderTable2(cols []Table2Col, queryID string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 2. Optimization Time and Plans Considered for %s\n", queryID)
+	fmt.Fprintf(&sb, "%-12s", "")
+	for _, c := range cols {
+		fmt.Fprintf(&sb, " %10s", c.Method)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "%-12s", "OpTime")
+	for _, c := range cols {
+		fmt.Fprintf(&sb, " %10s", fmtDur(c.Opt))
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "%-12s", "# of Plans")
+	for _, c := range cols {
+		fmt.Fprintf(&sb, " %10d", c.PlansConsidered)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// RenderTable3 formats Table 3: execution time per algorithm and folding
+// factor.
+func RenderTable3(rows []Table3Row) string {
+	var folds []int
+	if len(rows) > 0 {
+		for f := range rows[0].Eval {
+			folds = append(folds, f)
+		}
+		sort.Ints(folds)
+	}
+	var sb strings.Builder
+	sb.WriteString("Table 3. Data Size and Query Plan Execution Time for " + PersQuery3 + "\n")
+	fmt.Fprintf(&sb, "%-10s", "")
+	for _, f := range folds {
+		fmt.Fprintf(&sb, " %12s", fmt.Sprintf("x%d", f))
+	}
+	sb.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s", r.Method)
+		for _, f := range folds {
+			fmt.Fprintf(&sb, " %12s", fmtDur(r.Eval[f]))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// RenderFigure formats Figures 7/8 as a textual bar chart of stacked
+// optimization + execution time.
+func RenderFigure(bars []FigureBar, fold int) string {
+	name := "Figure 8"
+	if fold != 1 {
+		name = "Figure 7"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s. Query Evaluation Time Breakdown for %s, Folding Factor = %d\n",
+		name, PersQuery3, fold)
+	var maxTotal time.Duration
+	for _, b := range bars {
+		if b.Total() > maxTotal {
+			maxTotal = b.Total()
+		}
+	}
+	const width = 42
+	for _, b := range bars {
+		optW, evalW := 0, 0
+		if maxTotal > 0 {
+			optW = int(float64(b.Opt) / float64(maxTotal) * width)
+			evalW = int(float64(b.Eval) / float64(maxTotal) * width)
+		}
+		fmt.Fprintf(&sb, "%-12s |%s%s %s opt + %s eval = %s\n",
+			b.Label,
+			strings.Repeat("#", optW),
+			strings.Repeat("-", evalW),
+			fmtDur(b.Opt), fmtDur(b.Eval), fmtDur(b.Total()))
+	}
+	sb.WriteString("(# = optimization time, - = plan execution time)\n")
+	return sb.String()
+}

@@ -1,0 +1,55 @@
+package histogram
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sjos/internal/pattern"
+	"sjos/internal/xmltree"
+)
+
+func benchDoc(n int) *xmltree.Document {
+	rng := rand.New(rand.NewSource(5))
+	return xmltree.RandomDocument(rng, n, []string{"a", "b", "c", "d", "e"})
+}
+
+// BenchmarkBuild measures statistics construction — a one-time cost per
+// document load.
+func BenchmarkBuild(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		doc := benchDoc(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Build(doc, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkEstimateJoin measures one (cold) cell-pair join estimate — the
+// per-edge cost the optimizer pays once per query pattern.
+func BenchmarkEstimateJoin(b *testing.B) {
+	doc := benchDoc(100000)
+	s := Build(doc, 0)
+	ta, _ := doc.LookupTag("a")
+	tb, _ := doc.LookupTag("b")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Defeat the per-stats memo to measure the real work.
+		s.memo = map[joinKey]float64{}
+		s.EstimateJoin(ta, tb, pattern.Descendant)
+	}
+}
+
+// BenchmarkExactJoinCount measures the stack-based exact counter backing
+// the oracle estimator.
+func BenchmarkExactJoinCount(b *testing.B) {
+	doc := benchDoc(100000)
+	ta, _ := doc.LookupTag("a")
+	tb, _ := doc.LookupTag("b")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExactJoinCount(doc, ta, tb, pattern.Descendant)
+	}
+}

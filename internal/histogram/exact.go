@@ -1,0 +1,65 @@
+package histogram
+
+import (
+	"sjos/internal/pattern"
+	"sjos/internal/xmltree"
+)
+
+// ExactJoinCount counts, without materialising them, the structural join
+// pairs between two tags: the number of (a, b) pairs where a tag-ta node is
+// an ancestor (Descendant axis) or parent (Child axis) of a tag-tb node. It
+// runs one stack-based merge over the two document-ordered candidate lists
+// — the counting analogue of Stack-Tree-Desc — in O(|A| + |B| + depth).
+//
+// It backs the oracle estimator used by the cost-model ablation experiments
+// and serves as an exact reference for the positional-histogram estimates.
+func ExactJoinCount(doc *xmltree.Document, ta, tb xmltree.TagID, ax pattern.Axis) int {
+	as := doc.NodesWithTag(ta)
+	bs := doc.NodesWithTag(tb)
+	if len(as) == 0 || len(bs) == 0 {
+		return 0
+	}
+	type entry struct {
+		end   xmltree.Pos
+		level uint16
+	}
+	var stack []entry
+	count := 0
+	i, j := 0, 0
+	for j < len(bs) {
+		bStart := doc.Start(bs[j])
+		if i < len(as) && doc.Start(as[i]) < bStart {
+			a := as[i]
+			aStart := doc.Start(a)
+			for len(stack) > 0 && stack[len(stack)-1].end < aStart {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, entry{end: doc.End(a), level: doc.Level(a)})
+			i++
+			continue
+		}
+		for len(stack) > 0 && stack[len(stack)-1].end < bStart {
+			stack = stack[:len(stack)-1]
+		}
+		if ax == pattern.Descendant {
+			count += len(stack)
+		} else {
+			// Parent-child: stack entries are nested, so levels are
+			// strictly increasing; only an entry at level-1 matches,
+			// but duplicates cannot occur (two equal-level entries
+			// cannot nest), so scan from the top.
+			bl := doc.Level(bs[j])
+			for k := len(stack) - 1; k >= 0; k-- {
+				if stack[k].level+1 == bl {
+					count++
+					break
+				}
+				if stack[k].level+1 < bl {
+					break
+				}
+			}
+		}
+		j++
+	}
+	return count
+}

@@ -1,0 +1,53 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+
+	"sjos/internal/pattern"
+	"sjos/internal/xmltree"
+)
+
+func TestExactJoinCountAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tags := []string{"a", "b", "c"}
+	for trial := 0; trial < 100; trial++ {
+		d := xmltree.RandomDocument(rng, 2+rng.Intn(200), tags)
+		for _, an := range tags {
+			for _, bn := range tags {
+				ta, okA := d.LookupTag(an)
+				tb, okB := d.LookupTag(bn)
+				if !okA || !okB {
+					continue
+				}
+				for _, ax := range []pattern.Axis{pattern.Child, pattern.Descendant} {
+					got := ExactJoinCount(d, ta, tb, ax)
+					want := exactJoin(d, ta, tb, ax)
+					if got != want {
+						t.Fatalf("trial %d %s %v %s: got %d, want %d", trial, an, ax, bn, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExactJoinCountEmpty(t *testing.T) {
+	d, _ := xmltree.ParseString("<a><b/></a>")
+	ta, _ := d.LookupTag("a")
+	if got := ExactJoinCount(d, ta, xmltree.TagID(99), pattern.Descendant); got != 0 {
+		t.Fatalf("unknown tag count = %d", got)
+	}
+}
+
+func TestExactJoinCountSelfJoin(t *testing.T) {
+	d, _ := xmltree.ParseString("<a><a><a/></a><a/></a>")
+	ta, _ := d.LookupTag("a")
+	// Pairs: root-child1, root-grandchild, root-child2, child1-grandchild.
+	if got := ExactJoinCount(d, ta, ta, pattern.Descendant); got != 4 {
+		t.Fatalf("self descendant pairs = %d, want 4", got)
+	}
+	if got := ExactJoinCount(d, ta, ta, pattern.Child); got != 3 {
+		t.Fatalf("self child pairs = %d, want 3", got)
+	}
+}

@@ -1,0 +1,186 @@
+package pattern
+
+// Minimize removes redundant branches from a pattern — the rewrite
+// optimization the paper cites as complementary to cost-based join
+// ordering ("Minimization of Tree Pattern Queries", Amer-Yahia et al.,
+// SIGMOD 2001): fewer pattern nodes mean fewer structural joins for the
+// cost-based optimizer to order.
+//
+// A branch (the subtree under a non-root node c) is redundant when a
+// homomorphism maps it into the rest of the pattern: every node of the
+// branch maps to a remaining node with the same tag and at least as strong
+// a value predicate, descendant edges map to pattern descendant paths,
+// child edges to child edges, and c's own edge constraint to its parent is
+// implied by the image. Any match of the reduced pattern then extends to a
+// match of the original (bind each removed node to its image's binding),
+// so the match sets, projected onto the retained nodes, are identical —
+// minimisation is safe without any schema knowledge.
+//
+// Minimize returns the reduced pattern and a mapping from original node
+// indexes to new ones (-1 for removed nodes). The root and the OrderBy
+// node are never removed. Patterns with nothing to remove are returned
+// unchanged (same pointer) with an identity mapping.
+func Minimize(p *Pattern) (*Pattern, []int) {
+	keep := make([]bool, p.N())
+	for i := range keep {
+		keep[i] = true
+	}
+	changed := true
+	for changed {
+		changed = false
+		// Try removing larger node indexes first so siblings earlier in
+		// document order act as witnesses, giving deterministic output.
+		for c := p.N() - 1; c >= 1; c-- {
+			if !keep[c] || !removable(p, keep, c) {
+				continue
+			}
+			for _, d := range subtreeOf(p, keep, c) {
+				keep[d] = false
+			}
+			changed = true
+		}
+	}
+	return rebuild(p, keep)
+}
+
+// removable reports whether the live subtree under c maps homomorphically
+// into the remaining live pattern.
+func removable(p *Pattern, keep []bool, c int) bool {
+	sub := subtreeOf(p, keep, c)
+	for _, d := range sub {
+		if d == p.OrderBy {
+			return false // the query needs this node's binding order
+		}
+	}
+	inSub := make([]bool, p.N())
+	for _, d := range sub {
+		inSub[d] = true
+	}
+	// Candidate images: live nodes outside the subtree.
+	var targets []int
+	for v := 0; v < p.N(); v++ {
+		if keep[v] && !inSub[v] {
+			targets = append(targets, v)
+		}
+	}
+	h := make([]int, p.N())
+	for i := range h {
+		h[i] = -1
+	}
+	return mapNode(p, keep, inSub, sub, 0, targets, h)
+}
+
+// mapNode assigns an image to sub[i] and recurses; sub is in increasing
+// index order, so a node's parent within the subtree is already mapped.
+func mapNode(p *Pattern, keep, inSub []bool, sub []int, i int, targets []int, h []int) bool {
+	if i == len(sub) {
+		return true
+	}
+	x := sub[i]
+	for _, w := range targets {
+		if !compatible(p, x, w) {
+			continue
+		}
+		// Check x's incoming edge. For the subtree root the edge goes
+		// to its (outside) parent; for inner nodes to the mapped image
+		// of their pattern parent.
+		par := p.Parent[x]
+		img := par
+		if inSub[par] {
+			img = h[par]
+		}
+		ok := false
+		switch p.Axis[x] {
+		case Child:
+			ok = p.Parent[w] == img && p.Axis[w] == Child
+		case Descendant:
+			ok = isProperAncestor(p, img, w)
+		}
+		if !ok {
+			continue
+		}
+		h[x] = w
+		if mapNode(p, keep, inSub, sub, i+1, targets, h) {
+			return true
+		}
+		h[x] = -1
+	}
+	return false
+}
+
+// compatible reports whether node w can serve as the image of node x: same
+// tag, and w's predicate at least as strong (identical, or x unconstrained).
+func compatible(p *Pattern, x, w int) bool {
+	nx, nw := p.Nodes[x], p.Nodes[w]
+	if nx.Tag != nw.Tag {
+		return false
+	}
+	if nx.Op == CmpNone {
+		return true
+	}
+	return nx.Op == nw.Op && nx.Value == nw.Value
+}
+
+// isProperAncestor reports whether a is a proper ancestor of w in the
+// pattern tree; any such pattern path implies document-level
+// ancestor-descendant containment, whatever the intermediate axes.
+func isProperAncestor(p *Pattern, a, w int) bool {
+	for v := w; v != 0; {
+		v = p.Parent[v]
+		if v == a {
+			return true
+		}
+	}
+	return false
+}
+
+// subtreeOf returns the live nodes of c's subtree in increasing index
+// order (c first).
+func subtreeOf(p *Pattern, keep []bool, c int) []int {
+	out := []int{c}
+	for v := c + 1; v < p.N(); v++ {
+		if !keep[v] {
+			continue
+		}
+		if isProperAncestor(p, c, v) || v == c {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// rebuild compacts the kept nodes into a fresh pattern.
+func rebuild(p *Pattern, keep []bool) (*Pattern, []int) {
+	mapping := make([]int, p.N())
+	all := true
+	next := 0
+	for i := range mapping {
+		if keep[i] {
+			mapping[i] = next
+			next++
+		} else {
+			mapping[i] = -1
+			all = false
+		}
+	}
+	if all {
+		return p, mapping
+	}
+	out := &Pattern{OrderBy: NoNode}
+	for i := 0; i < p.N(); i++ {
+		if !keep[i] {
+			continue
+		}
+		out.Nodes = append(out.Nodes, p.Nodes[i])
+		if i == 0 {
+			out.Parent = append(out.Parent, NoNode)
+		} else {
+			out.Parent = append(out.Parent, mapping[p.Parent[i]])
+		}
+		out.Axis = append(out.Axis, p.Axis[i])
+	}
+	if p.OrderBy != NoNode {
+		out.OrderBy = mapping[p.OrderBy]
+	}
+	return out, mapping
+}

@@ -1,0 +1,119 @@
+package pattern
+
+import "testing"
+
+func TestMinimizeRemovesDuplicateBranch(t *testing.T) {
+	p := MustParse("//a[b][b]")
+	m, mapping := Minimize(p)
+	if m.N() != 2 {
+		t.Fatalf("minimized to %d nodes, want 2:\n%s", m.N(), m)
+	}
+	if mapping[0] != 0 {
+		t.Errorf("root remapped to %d", mapping[0])
+	}
+	// Exactly one of the two b-branches survives.
+	removed := 0
+	for _, v := range mapping[1:] {
+		if v == -1 {
+			removed++
+		}
+	}
+	if removed != 1 {
+		t.Fatalf("mapping = %v", mapping)
+	}
+}
+
+func TestMinimizeChildWitnessesDescendant(t *testing.T) {
+	// The child-axis b implies the descendant-axis b, not vice versa.
+	p := MustParse("//a[.//b][b]")
+	m, mapping := Minimize(p)
+	if m.N() != 2 {
+		t.Fatalf("minimized to %d nodes:\n%s", m.N(), m)
+	}
+	if m.Axis[1] != Child {
+		t.Fatalf("kept the weaker descendant branch: %s", m)
+	}
+	if mapping[1] != -1 || mapping[2] != 1 {
+		t.Fatalf("mapping = %v", mapping)
+	}
+
+	// Reversed: the descendant-axis branch cannot witness the child one.
+	p2 := MustParse("//a[b][.//c]")
+	m2, _ := Minimize(p2)
+	if m2.N() != 3 {
+		t.Fatalf("independent branches were merged: %s", m2)
+	}
+}
+
+func TestMinimizeDeepBranch(t *testing.T) {
+	// The whole b/c branch duplicates the trunk b/c.
+	p := MustParse("//a[b/c]/b/c")
+	m, _ := Minimize(p)
+	if m.N() != 3 {
+		t.Fatalf("minimized to %d nodes:\n%s", m.N(), m)
+	}
+}
+
+func TestMinimizeRespectsPredicates(t *testing.T) {
+	// Different value predicates: not redundant.
+	p := MustParse(`//a[b = "1"][b = "2"]`)
+	if m, _ := Minimize(p); m.N() != 3 {
+		t.Fatalf("predicate branches wrongly merged: %s", m)
+	}
+	// Unconstrained b is implied by the constrained one.
+	p2 := MustParse(`//a[b][b = "2"]`)
+	if m2, _ := Minimize(p2); m2.N() != 2 {
+		t.Fatalf("unconstrained branch kept: %s", m2)
+	}
+	// The constrained one is NOT implied by the unconstrained one.
+	p3 := MustParse(`//a[b = "2"]`)
+	if m3, _ := Minimize(p3); m3.N() != 2 {
+		t.Fatalf("constrained branch dropped: %s", m3)
+	}
+}
+
+func TestMinimizeKeepsOrderByNode(t *testing.T) {
+	p := MustParse("//a[b#][b]")
+	m, mapping := Minimize(p)
+	if m.N() != 2 {
+		t.Fatalf("minimized to %d nodes:\n%s", m.N(), m)
+	}
+	if mapping[1] == -1 {
+		t.Fatal("the OrderBy node was removed")
+	}
+	if m.OrderBy != mapping[1] {
+		t.Fatalf("OrderBy remapped to %d, want %d", m.OrderBy, mapping[1])
+	}
+}
+
+func TestMinimizeIdentityWhenMinimal(t *testing.T) {
+	for _, src := range []string{
+		"//a",
+		"//a/b//c",
+		"//a[b][c]",
+		"//manager[.//employee/name]//manager/department/name",
+	} {
+		p := MustParse(src)
+		m, mapping := Minimize(p)
+		if m != p {
+			t.Errorf("%s: already-minimal pattern was copied", src)
+		}
+		for i, v := range mapping {
+			if v != i {
+				t.Errorf("%s: identity mapping broken at %d -> %d", src, i, v)
+			}
+		}
+	}
+}
+
+func TestMinimizeTransitiveDuplicates(t *testing.T) {
+	// Three copies of the same branch collapse to one.
+	p := MustParse("//a[b][b][b]")
+	m, _ := Minimize(p)
+	if m.N() != 2 {
+		t.Fatalf("minimized to %d nodes:\n%s", m.N(), m)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

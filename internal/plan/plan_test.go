@@ -1,0 +1,155 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"sjos/internal/pattern"
+)
+
+// testPattern builds //a[//b/c]//d — nodes a=0 b=1 c=2 d=3,
+// edges: (0,1) desc, (1,2) child, (0,3) desc.
+func testPattern() *pattern.Pattern {
+	return pattern.MustParse("//a[.//b/c]//d")
+}
+
+// pipelinedPlan builds ((a ⋈ b) ⋈ c) ⋈ d without sorts:
+// join a//b with Anc (ordered by a)... then we need order by b for b/c.
+// Instead: join b/c first (Anc: ordered by b), join a//(bc) (Anc: by a),
+// then a//d (Anc: by a).
+func pipelinedPlan() *Node {
+	bc := NewJoin(NewIndexScan(1), NewIndexScan(2), 1, 2, pattern.Child, AlgoAnc)
+	abc := NewJoin(NewIndexScan(0), bc, 0, 1, pattern.Descendant, AlgoAnc)
+	return NewJoin(abc, NewIndexScan(3), 0, 3, pattern.Descendant, AlgoAnc)
+}
+
+func TestValidateAcceptsGoodPlan(t *testing.T) {
+	p := testPattern()
+	n := pipelinedPlan()
+	if err := n.Validate(p, false); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if !n.FullyPipelined() {
+		t.Error("plan has no sorts, should be fully pipelined")
+	}
+	if n.Joins() != 3 || n.Sorts() != 0 {
+		t.Errorf("Joins=%d Sorts=%d", n.Joins(), n.Sorts())
+	}
+	if n.Columns() != 0b1111 {
+		t.Errorf("Columns = %b", n.Columns())
+	}
+}
+
+func TestValidateRejectsBadOrdering(t *testing.T) {
+	p := testPattern()
+	// a//b with Desc output (ordered by b), then join (ab)//d requires
+	// order by a — broken.
+	ab := NewJoin(NewIndexScan(0), NewIndexScan(1), 0, 1, pattern.Descendant, AlgoDesc)
+	bc := NewJoin(ab, NewIndexScan(2), 1, 2, pattern.Child, AlgoDesc)
+	bad := NewJoin(bc, NewIndexScan(3), 0, 3, pattern.Descendant, AlgoDesc)
+	if err := bad.Validate(p, false); err == nil {
+		t.Fatal("plan with wrong input ordering accepted")
+	}
+	// Fixing with a sort makes it valid.
+	fixed := NewJoin(NewSort(bc, 0), NewIndexScan(3), 0, 3, pattern.Descendant, AlgoDesc)
+	if err := fixed.Validate(p, false); err != nil {
+		t.Fatalf("sorted plan rejected: %v", err)
+	}
+	if fixed.FullyPipelined() {
+		t.Error("plan with sort claims fully pipelined")
+	}
+	if fixed.Sorts() != 1 {
+		t.Errorf("Sorts = %d", fixed.Sorts())
+	}
+}
+
+func TestValidateRejectsStructuralMistakes(t *testing.T) {
+	p := testPattern()
+
+	// Missing edge: joins only 2 of 3 edges.
+	bc := NewJoin(NewIndexScan(1), NewIndexScan(2), 1, 2, pattern.Child, AlgoAnc)
+	abc := NewJoin(NewIndexScan(0), bc, 0, 1, pattern.Descendant, AlgoAnc)
+	if err := abc.Validate(p, false); err == nil {
+		t.Error("incomplete plan accepted")
+	}
+
+	// Join on a non-edge (b,d).
+	bd := NewJoin(NewIndexScan(1), NewIndexScan(3), 1, 3, pattern.Descendant, AlgoDesc)
+	if err := bd.Validate(p, false); err == nil {
+		t.Error("join on non-edge accepted")
+	}
+
+	// Wrong axis on edge (1,2): pattern says Child.
+	wrongAxis := NewJoin(NewIndexScan(1), NewIndexScan(2), 1, 2, pattern.Descendant, AlgoAnc)
+	full := NewJoin(NewJoin(NewIndexScan(0), wrongAxis, 0, 1, pattern.Descendant, AlgoAnc),
+		NewIndexScan(3), 0, 3, pattern.Descendant, AlgoAnc)
+	if err := full.Validate(p, false); err == nil {
+		t.Error("wrong axis accepted")
+	}
+
+	// Swapped ancestor/descendant.
+	swapped := NewJoin(NewIndexScan(2), NewIndexScan(1), 2, 1, pattern.Child, AlgoAnc)
+	if err := swapped.validate(p, map[int]bool{}); err == nil {
+		t.Error("swapped edge direction accepted")
+	}
+}
+
+func TestValidateRequireOrder(t *testing.T) {
+	p := pattern.MustParse("//a#[.//b/c]//d")
+	n := pipelinedPlan() // ordered by a = node 0
+	if err := n.Validate(p, true); err != nil {
+		t.Fatalf("order-satisfying plan rejected: %v", err)
+	}
+	// A Desc top join is ordered by d, violating the required order.
+	bc := NewJoin(NewIndexScan(1), NewIndexScan(2), 1, 2, pattern.Child, AlgoAnc)
+	abc := NewJoin(NewIndexScan(0), bc, 0, 1, pattern.Descendant, AlgoAnc)
+	byD := NewJoin(abc, NewIndexScan(3), 0, 3, pattern.Descendant, AlgoDesc)
+	if err := byD.Validate(p, true); err == nil {
+		t.Fatal("order-violating plan accepted with requireOrder")
+	}
+	if err := byD.Validate(p, false); err != nil {
+		t.Fatalf("order-violating plan should pass without requireOrder: %v", err)
+	}
+}
+
+func TestLeftDeep(t *testing.T) {
+	// pipelinedPlan grows one intermediate at a time — left-deep in the
+	// paper's status sense (a single growing cluster), even though the
+	// composite sits on the right of the second join.
+	if !pipelinedPlan().LeftDeep() {
+		t.Error("single-growing-cluster plan should be left-deep")
+	}
+	// A genuinely bushy plan joins two composites: {a,d} ⋈ {b,c}.
+	bc := NewJoin(NewIndexScan(1), NewIndexScan(2), 1, 2, pattern.Child, AlgoAnc)
+	ad := NewJoin(NewIndexScan(0), NewIndexScan(3), 0, 3, pattern.Descendant, AlgoAnc)
+	bushy := NewJoin(ad, bc, 0, 1, pattern.Descendant, AlgoAnc)
+	if err := bushy.Validate(testPattern(), false); err != nil {
+		t.Fatalf("bushy plan invalid: %v", err)
+	}
+	if bushy.LeftDeep() {
+		t.Error("bushy plan classified left-deep")
+	}
+	// Build a genuinely left-deep plan: ((a⋈b)⋈c)⋈d with sorts.
+	ab := NewJoin(NewIndexScan(0), NewIndexScan(1), 0, 1, pattern.Descendant, AlgoDesc)
+	abc := NewJoin(ab, NewIndexScan(2), 1, 2, pattern.Child, AlgoDesc)
+	abcd := NewJoin(NewSort(abc, 0), NewIndexScan(3), 0, 3, pattern.Descendant, AlgoDesc)
+	if !abcd.LeftDeep() {
+		t.Error("left-deep plan not recognised")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	p := testPattern()
+	s := pipelinedPlan().Format(p)
+	for _, want := range []string{"STJ-Anc", "IndexScan a($0)", "IndexScan d($3)", "//"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAlgoString(t *testing.T) {
+	if AlgoDesc.String() != "STJ-Desc" || AlgoAnc.String() != "STJ-Anc" {
+		t.Fatal("Algo.String mismatch")
+	}
+}

@@ -1,0 +1,83 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"sjos/internal/xmltree"
+)
+
+// BenchmarkBufferPoolHit measures the pinned-page fast path.
+func BenchmarkBufferPoolHit(b *testing.B) {
+	f := NewMemFile()
+	var p Page
+	if err := f.WritePage(0, &p); err != nil {
+		b.Fatal(err)
+	}
+	bp := NewBufferPool(f, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bp.Get(0); err != nil {
+			b.Fatal(err)
+		}
+		bp.Unpin(0, false)
+	}
+}
+
+// BenchmarkBufferPoolMiss measures the eviction path: every Get replaces
+// the single frame.
+func BenchmarkBufferPoolMiss(b *testing.B) {
+	f := NewMemFile()
+	var p Page
+	for i := 0; i < 2; i++ {
+		if err := f.WritePage(PageID(i), &p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	bp := NewBufferPool(f, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := PageID(i & 1)
+		if _, err := bp.Get(id); err != nil {
+			b.Fatal(err)
+		}
+		bp.Unpin(id, false)
+	}
+}
+
+// BenchmarkTagScan measures a full index scan through the buffer pool —
+// the physical work behind the cost model's f_I factor.
+func BenchmarkTagScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	doc := xmltree.RandomDocument(rng, 100000, []string{"a", "b", "c"})
+	st, err := BuildStore(doc, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tag, _ := doc.LookupTag("a")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := st.ScanTag(tag)
+		for {
+			_, _, ok, err := sc.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkBuildStore measures store construction (load-time cost).
+func BenchmarkBuildStore(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	doc := xmltree.RandomDocument(rng, 100000, []string{"a", "b", "c"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildStore(doc, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// DefaultPoolFrames is the default buffer pool capacity: 2048 frames of 8 KB
+// = 16 MB, matching the SHORE buffer pool size used in the paper's
+// experiments.
+const DefaultPoolFrames = 2048
+
+// BufferPool caches pages of a PageFile in a fixed number of frames with an
+// LRU replacement policy and pin counting. It is safe for concurrent use.
+type BufferPool struct {
+	file   PageFile
+	frames int
+
+	mu      sync.Mutex
+	table   map[PageID]*frame
+	lru     *list.List // unpinned frames, front = least recently used
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+type frame struct {
+	id    PageID
+	page  Page
+	pins  int
+	dirty bool
+	elem  *list.Element // position in lru when pins == 0, else nil
+}
+
+// PoolStats is a snapshot of buffer pool counters.
+type PoolStats struct {
+	Hits, Misses, Evicted uint64
+	Resident              int
+}
+
+// ErrPoolFull is returned when every frame is pinned and a new page is
+// requested.
+var ErrPoolFull = errors.New("storage: buffer pool full (all frames pinned)")
+
+// NewBufferPool creates a pool over file with the given number of frames
+// (DefaultPoolFrames if frames <= 0).
+func NewBufferPool(file PageFile, frames int) *BufferPool {
+	if frames <= 0 {
+		frames = DefaultPoolFrames
+	}
+	return &BufferPool{
+		file:   file,
+		frames: frames,
+		table:  make(map[PageID]*frame, frames),
+		lru:    list.New(),
+	}
+}
+
+// Get pins page id and returns a pointer to its in-pool copy. The caller
+// must Unpin it when done and must not retain the pointer afterwards.
+func (bp *BufferPool) Get(id PageID) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fr, ok := bp.table[id]; ok {
+		bp.hits++
+		bp.pinLocked(fr)
+		return &fr.page, nil
+	}
+	bp.misses++
+	fr, err := bp.allocFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.file.ReadPage(id, &fr.page); err != nil {
+		bp.freeFrameLocked(fr)
+		return nil, err
+	}
+	fr.id = id
+	fr.pins = 1
+	fr.dirty = false
+	bp.table[id] = fr
+	return &fr.page, nil
+}
+
+// Unpin releases one pin on page id; dirty marks the page as modified so it
+// is written back on eviction or Flush.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, ok := bp.table[id]
+	if !ok || fr.pins == 0 {
+		panic(fmt.Sprintf("storage: Unpin of unpinned page %d", id))
+	}
+	fr.dirty = fr.dirty || dirty
+	fr.pins--
+	if fr.pins == 0 {
+		fr.elem = bp.lru.PushBack(fr)
+	}
+}
+
+// Flush writes back all dirty pages. Pinned pages are flushed too (their
+// contents at the time of the call).
+func (bp *BufferPool) Flush() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, fr := range bp.table {
+		if fr.dirty {
+			if err := bp.file.WritePage(fr.id, &fr.page); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (bp *BufferPool) Stats() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return PoolStats{Hits: bp.hits, Misses: bp.misses, Evicted: bp.evicted, Resident: len(bp.table)}
+}
+
+// ResetStats zeroes the hit/miss/eviction counters (resident pages stay).
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.hits, bp.misses, bp.evicted = 0, 0, 0
+}
+
+// Frames returns the pool capacity in frames.
+func (bp *BufferPool) Frames() int { return bp.frames }
+
+func (bp *BufferPool) pinLocked(fr *frame) {
+	if fr.pins == 0 && fr.elem != nil {
+		bp.lru.Remove(fr.elem)
+		fr.elem = nil
+	}
+	fr.pins++
+}
+
+// allocFrameLocked returns a free frame, evicting the LRU unpinned page if
+// the pool is at capacity.
+func (bp *BufferPool) allocFrameLocked() (*frame, error) {
+	if len(bp.table) < bp.frames {
+		return &frame{}, nil
+	}
+	front := bp.lru.Front()
+	if front == nil {
+		return nil, ErrPoolFull
+	}
+	fr := front.Value.(*frame)
+	bp.lru.Remove(front)
+	fr.elem = nil
+	if fr.dirty {
+		if err := bp.file.WritePage(fr.id, &fr.page); err != nil {
+			return nil, err
+		}
+	}
+	delete(bp.table, fr.id)
+	bp.evicted++
+	return fr, nil
+}
+
+// freeFrameLocked returns a frame allocated by allocFrameLocked that was
+// never published in the table.
+func (bp *BufferPool) freeFrameLocked(fr *frame) {
+	// Nothing to do: the frame was not in table or lru.
+	_ = fr
+}

@@ -1,0 +1,186 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func writePages(t *testing.T, f *MemFile, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		var p Page
+		p[0] = byte(i)
+		p[1] = byte(i >> 8)
+		if err := f.WritePage(PageID(i), &p); err != nil {
+			t.Fatalf("WritePage(%d): %v", i, err)
+		}
+	}
+}
+
+func TestMemFileBasics(t *testing.T) {
+	f := NewMemFile()
+	writePages(t, f, 5)
+	if f.NumPages() != 5 {
+		t.Fatalf("NumPages = %d", f.NumPages())
+	}
+	var p Page
+	if err := f.ReadPage(3, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 3 {
+		t.Fatalf("page 3 content = %d", p[0])
+	}
+	if err := f.ReadPage(9, &p); !errors.Is(err, ErrPageOutOfRange) {
+		t.Fatalf("read past end: err = %v", err)
+	}
+	if err := f.WritePage(7, &p); !errors.Is(err, ErrPageOutOfRange) {
+		t.Fatalf("write with hole: err = %v", err)
+	}
+	if f.Reads() != 1 {
+		t.Fatalf("Reads = %d, want 1", f.Reads())
+	}
+}
+
+func TestBufferPoolHitsAndMisses(t *testing.T) {
+	f := NewMemFile()
+	writePages(t, f, 10)
+	bp := NewBufferPool(f, 4)
+	for i := 0; i < 4; i++ {
+		pg, err := bp.Get(PageID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg[0] != byte(i) {
+			t.Fatalf("page %d content = %d", i, pg[0])
+		}
+		bp.Unpin(PageID(i), false)
+	}
+	st := bp.Stats()
+	if st.Misses != 4 || st.Hits != 0 {
+		t.Fatalf("after cold reads: %+v", st)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := bp.Get(PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(PageID(i), false)
+	}
+	st = bp.Stats()
+	if st.Hits != 4 {
+		t.Fatalf("after warm reads: %+v", st)
+	}
+}
+
+func TestBufferPoolLRUEviction(t *testing.T) {
+	f := NewMemFile()
+	writePages(t, f, 10)
+	bp := NewBufferPool(f, 2)
+	get := func(id PageID) {
+		t.Helper()
+		if _, err := bp.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(id, false)
+	}
+	get(0)
+	get(1)
+	get(0) // page 1 is now LRU
+	get(2) // evicts page 1
+	st := bp.Stats()
+	if st.Evicted != 1 {
+		t.Fatalf("Evicted = %d, want 1", st.Evicted)
+	}
+	get(0) // should still be resident
+	if got := bp.Stats().Hits; got != 2 {
+		t.Fatalf("Hits = %d, want 2 (0 warm twice)", got)
+	}
+	get(1) // miss again
+	if got := bp.Stats().Misses; got != 4 {
+		t.Fatalf("Misses = %d, want 4", got)
+	}
+}
+
+func TestBufferPoolPinnedPagesNotEvicted(t *testing.T) {
+	f := NewMemFile()
+	writePages(t, f, 10)
+	bp := NewBufferPool(f, 2)
+	if _, err := bp.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	// Both pinned; a third page cannot be brought in.
+	if _, err := bp.Get(2); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("Get with full pinned pool: err = %v", err)
+	}
+	bp.Unpin(0, false)
+	if _, err := bp.Get(2); err != nil {
+		t.Fatalf("Get after Unpin: %v", err)
+	}
+	bp.Unpin(1, false)
+	bp.Unpin(2, false)
+}
+
+func TestBufferPoolDirtyWriteback(t *testing.T) {
+	f := NewMemFile()
+	writePages(t, f, 3)
+	bp := NewBufferPool(f, 1)
+	pg, err := bp.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg[100] = 0xAB
+	bp.Unpin(0, true)
+	// Evict page 0 by touching page 1.
+	if _, err := bp.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(1, false)
+	var raw Page
+	if err := f.ReadPage(0, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw[100] != 0xAB {
+		t.Fatal("dirty page not written back on eviction")
+	}
+}
+
+func TestBufferPoolFlush(t *testing.T) {
+	f := NewMemFile()
+	writePages(t, f, 2)
+	bp := NewBufferPool(f, 4)
+	pg, err := bp.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg[7] = 0x55
+	bp.Unpin(1, true)
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var raw Page
+	if err := f.ReadPage(1, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw[7] != 0x55 {
+		t.Fatal("Flush did not persist dirty page")
+	}
+}
+
+func TestBufferPoolUnpinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unpin of unpinned page should panic")
+		}
+	}()
+	bp := NewBufferPool(NewMemFile(), 2)
+	bp.Unpin(0, false)
+}
+
+func TestBufferPoolDefaultFrames(t *testing.T) {
+	bp := NewBufferPool(NewMemFile(), 0)
+	if bp.Frames() != DefaultPoolFrames {
+		t.Fatalf("Frames = %d, want %d", bp.Frames(), DefaultPoolFrames)
+	}
+}

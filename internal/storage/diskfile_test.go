@@ -1,0 +1,124 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDiskFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	d, err := CreateDiskFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		var p Page
+		p[0] = byte(i + 1)
+		p[PageSize-1] = byte(i + 100)
+		if err := d.WritePage(PageID(i), &p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.NumPages() != 5 {
+		t.Fatalf("NumPages = %d", d.NumPages())
+	}
+	var p Page
+	if err := d.ReadPage(3, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 4 || p[PageSize-1] != 103 {
+		t.Fatalf("page 3 content = %d/%d", p[0], p[PageSize-1])
+	}
+	if err := d.ReadPage(9, &p); !errors.Is(err, ErrPageOutOfRange) {
+		t.Fatalf("read past end: %v", err)
+	}
+	if err := d.WritePage(7, &p); !errors.Is(err, ErrPageOutOfRange) {
+		t.Fatalf("write with hole: %v", err)
+	}
+	if d.Reads() != 1 || d.Writes() != 5 {
+		t.Fatalf("Reads/Writes = %d/%d", d.Reads(), d.Writes())
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskFilePersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	d, err := CreateDiskFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Page
+	copy(p[:], "hello pages")
+	if err := d.WritePage(0, &p); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDiskFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.NumPages() != 1 {
+		t.Fatalf("reopened NumPages = %d", d2.NumPages())
+	}
+	var q Page
+	if err := d2.ReadPage(0, &q); err != nil {
+		t.Fatal(err)
+	}
+	if string(q[:11]) != "hello pages" {
+		t.Fatalf("content lost: %q", q[:11])
+	}
+}
+
+func TestOpenDiskFileErrors(t *testing.T) {
+	if _, err := OpenDiskFile(filepath.Join(t.TempDir(), "absent.db")); err == nil {
+		t.Fatal("opening a missing file should fail")
+	}
+	// Misaligned file.
+	path := filepath.Join(t.TempDir(), "bad.db")
+	if err := os.WriteFile(path, []byte("not a page"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskFile(path); err == nil {
+		t.Fatal("misaligned file accepted")
+	}
+}
+
+func TestBufferPoolOverDiskFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pooled.db")
+	d, err := CreateDiskFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 10; i++ {
+		var p Page
+		p[0] = byte(i)
+		if err := d.WritePage(PageID(i), &p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bp := NewBufferPool(d, 3)
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 10; i++ {
+			pg, err := bp.Get(PageID(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pg[0] != byte(i) {
+				t.Fatalf("page %d content %d", i, pg[0])
+			}
+			bp.Unpin(PageID(i), false)
+		}
+	}
+	if bp.Stats().Evicted == 0 {
+		t.Fatal("expected evictions")
+	}
+}

@@ -1,0 +1,97 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageSize is the size of every page in bytes.
+const PageSize = 8192
+
+// PageID addresses a page within a PageFile.
+type PageID uint32
+
+// Page is one fixed-size block of bytes.
+type Page [PageSize]byte
+
+// PageFile is the abstraction of a page-addressed file. Implementations must
+// be safe for concurrent use.
+type PageFile interface {
+	// ReadPage copies page id into dst.
+	ReadPage(id PageID, dst *Page) error
+	// WritePage stores src as page id, extending the file if id is the
+	// next unallocated page.
+	WritePage(id PageID, src *Page) error
+	// NumPages returns the current number of allocated pages.
+	NumPages() int
+}
+
+// ErrPageOutOfRange is returned for reads past the end of a file or writes
+// that would leave a hole.
+var ErrPageOutOfRange = errors.New("storage: page out of range")
+
+// MemFile is an in-memory PageFile that counts physical accesses. It is the
+// only backend the library ships (the module is offline and self-contained);
+// the counters make "disk" traffic observable to tests and experiments.
+type MemFile struct {
+	mu     sync.RWMutex
+	pages  []*Page
+	reads  uint64
+	writes uint64
+}
+
+// NewMemFile returns an empty in-memory page file.
+func NewMemFile() *MemFile { return &MemFile{} }
+
+// ReadPage implements PageFile.
+func (f *MemFile) ReadPage(id PageID, dst *Page) error {
+	f.mu.Lock()
+	if int(id) >= len(f.pages) {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: read page %d of %d", ErrPageOutOfRange, id, len(f.pages))
+	}
+	src := f.pages[id]
+	f.reads++
+	f.mu.Unlock()
+	*dst = *src
+	return nil
+}
+
+// WritePage implements PageFile.
+func (f *MemFile) WritePage(id PageID, src *Page) error {
+	cp := *src
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch {
+	case int(id) < len(f.pages):
+		f.pages[id] = &cp
+	case int(id) == len(f.pages):
+		f.pages = append(f.pages, &cp)
+	default:
+		return fmt.Errorf("%w: write page %d of %d", ErrPageOutOfRange, id, len(f.pages))
+	}
+	f.writes++
+	return nil
+}
+
+// NumPages implements PageFile.
+func (f *MemFile) NumPages() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.pages)
+}
+
+// Reads returns the number of physical page reads served.
+func (f *MemFile) Reads() uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.reads
+}
+
+// Writes returns the number of physical page writes served.
+func (f *MemFile) Writes() uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.writes
+}

@@ -1,0 +1,226 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sjos/internal/xmltree"
+)
+
+// NodeRecord is the fixed-width on-page representation of an element node:
+// the region encoding plus tag and parent link. Text values stay in the
+// in-memory Document; structural join processing never touches them.
+type NodeRecord struct {
+	Start  xmltree.Pos
+	End    xmltree.Pos
+	Level  uint16
+	Tag    xmltree.TagID
+	Parent xmltree.NodeID
+}
+
+// nodeRecSize is the serialised size of a NodeRecord.
+const nodeRecSize = 4 + 4 + 2 + 4 + 4
+
+// nodesPerPage is how many NodeRecords fit in one page.
+const nodesPerPage = PageSize / nodeRecSize
+
+// postingSize is the serialised size of one tag-index posting (a NodeID).
+const postingSize = 4
+
+// postingsPerPage is how many postings fit in one page.
+const postingsPerPage = PageSize / postingSize
+
+// Store is the paged element store plus tag index for one document: the
+// stand-in for Timber's SHORE-backed element storage. All page access goes
+// through a BufferPool so experiments observe hit/miss behaviour.
+type Store struct {
+	doc  *storeMeta
+	file PageFile
+	pool *BufferPool
+
+	nodePages int // node records occupy pages [0, nodePages)
+	tagDir    []tagRun
+}
+
+// storeMeta holds the document-level metadata the store needs after build.
+type storeMeta struct {
+	NumNodes int
+	NumTags  int
+	Tags     []string
+}
+
+// tagRun locates one tag's postings inside the postings segment.
+type tagRun struct {
+	firstPage PageID // page holding the first posting
+	offset    int    // posting index within firstPage
+	count     int
+}
+
+// BuildStore serialises doc into a fresh MemFile and returns a Store reading
+// through a buffer pool with the given number of frames (DefaultPoolFrames
+// if <= 0).
+func BuildStore(doc *xmltree.Document, poolFrames int) (*Store, error) {
+	return BuildStoreOn(NewMemFile(), doc, poolFrames)
+}
+
+// BuildStoreOn serialises doc into the given (empty) page file — e.g. a
+// DiskFile for a persistent database image — and returns a Store reading
+// through a buffer pool with the given number of frames.
+func BuildStoreOn(file PageFile, doc *xmltree.Document, poolFrames int) (*Store, error) {
+	if file.NumPages() != 0 {
+		return nil, fmt.Errorf("storage: BuildStoreOn needs an empty file, got %d pages", file.NumPages())
+	}
+	n := doc.NumNodes()
+
+	// Node segment.
+	var page Page
+	nodePages := (n + nodesPerPage - 1) / nodesPerPage
+	for p := 0; p < nodePages; p++ {
+		for i := 0; i < nodesPerPage; i++ {
+			id := p*nodesPerPage + i
+			if id >= n {
+				break
+			}
+			encodeNode(page[i*nodeRecSize:], doc, xmltree.NodeID(id))
+		}
+		if err := file.WritePage(PageID(p), &page); err != nil {
+			return nil, fmt.Errorf("storage: build node segment: %w", err)
+		}
+		page = Page{}
+	}
+
+	// Postings segment: all tags' postings concatenated.
+	dir := make([]tagRun, doc.NumTags())
+	cur := PageID(nodePages)
+	inPage := 0
+	for t := 0; t < doc.NumTags(); t++ {
+		nodes := doc.NodesWithTag(xmltree.TagID(t))
+		dir[t] = tagRun{
+			firstPage: cur,
+			offset:    inPage,
+			count:     len(nodes),
+		}
+		for _, nd := range nodes {
+			binary.LittleEndian.PutUint32(page[inPage*postingSize:], uint32(nd))
+			inPage++
+			if inPage == postingsPerPage {
+				if err := file.WritePage(cur, &page); err != nil {
+					return nil, fmt.Errorf("storage: build postings: %w", err)
+				}
+				page = Page{}
+				cur++
+				inPage = 0
+			}
+		}
+	}
+	if inPage > 0 {
+		if err := file.WritePage(cur, &page); err != nil {
+			return nil, fmt.Errorf("storage: build postings: %w", err)
+		}
+	}
+
+	tags := make([]string, doc.NumTags())
+	for t := range tags {
+		tags[t] = doc.TagName(xmltree.TagID(t))
+	}
+	return &Store{
+		doc:       &storeMeta{NumNodes: n, NumTags: doc.NumTags(), Tags: tags},
+		file:      file,
+		pool:      NewBufferPool(file, poolFrames),
+		nodePages: nodePages,
+		tagDir:    dir,
+	}, nil
+}
+
+func encodeNode(b []byte, doc *xmltree.Document, id xmltree.NodeID) {
+	binary.LittleEndian.PutUint32(b[0:], uint32(doc.Start(id)))
+	binary.LittleEndian.PutUint32(b[4:], uint32(doc.End(id)))
+	binary.LittleEndian.PutUint16(b[8:], doc.Level(id))
+	binary.LittleEndian.PutUint32(b[10:], uint32(doc.Tag(id)))
+	binary.LittleEndian.PutUint32(b[14:], uint32(doc.Parent(id)))
+}
+
+func decodeNode(b []byte) NodeRecord {
+	return NodeRecord{
+		Start:  xmltree.Pos(binary.LittleEndian.Uint32(b[0:])),
+		End:    xmltree.Pos(binary.LittleEndian.Uint32(b[4:])),
+		Level:  binary.LittleEndian.Uint16(b[8:]),
+		Tag:    xmltree.TagID(binary.LittleEndian.Uint32(b[10:])),
+		Parent: xmltree.NodeID(binary.LittleEndian.Uint32(b[14:])),
+	}
+}
+
+// NumNodes returns the number of stored element nodes.
+func (s *Store) NumNodes() int { return s.doc.NumNodes }
+
+// Pool returns the store's buffer pool (for stats and tests).
+func (s *Store) Pool() *BufferPool { return s.pool }
+
+// File returns the underlying page file (for stats and tests).
+func (s *Store) File() PageFile { return s.file }
+
+// TagCount returns the number of postings for tag t — the |candidates|
+// statistic the optimizer's cost model consumes.
+func (s *Store) TagCount(t xmltree.TagID) int {
+	if int(t) >= len(s.tagDir) {
+		return 0
+	}
+	return s.tagDir[t].count
+}
+
+// Node fetches one node record through the buffer pool.
+func (s *Store) Node(id xmltree.NodeID) (NodeRecord, error) {
+	p := PageID(int(id) / nodesPerPage)
+	off := (int(id) % nodesPerPage) * nodeRecSize
+	pg, err := s.pool.Get(p)
+	if err != nil {
+		return NodeRecord{}, err
+	}
+	rec := decodeNode(pg[off:])
+	s.pool.Unpin(p, false)
+	return rec, nil
+}
+
+// TagScanner iterates one tag's postings in document order, fetching node
+// records through the buffer pool. It is the physical realisation of the
+// paper's "index access" leaf operator.
+type TagScanner struct {
+	store *Store
+	run   tagRun
+	i     int // postings consumed
+}
+
+// ScanTag opens a scanner over tag t's postings.
+func (s *Store) ScanTag(t xmltree.TagID) *TagScanner {
+	var run tagRun
+	if int(t) < len(s.tagDir) {
+		run = s.tagDir[t]
+	}
+	return &TagScanner{store: s, run: run}
+}
+
+// Next returns the next (NodeID, NodeRecord) for the tag. ok is false when
+// the postings are exhausted.
+func (sc *TagScanner) Next() (xmltree.NodeID, NodeRecord, bool, error) {
+	if sc.i >= sc.run.count {
+		return 0, NodeRecord{}, false, nil
+	}
+	global := sc.run.offset + sc.i
+	p := sc.run.firstPage + PageID(global/postingsPerPage)
+	off := (global % postingsPerPage) * postingSize
+	pg, err := sc.store.pool.Get(p)
+	if err != nil {
+		return 0, NodeRecord{}, false, err
+	}
+	id := xmltree.NodeID(binary.LittleEndian.Uint32(pg[off:]))
+	sc.store.pool.Unpin(p, false)
+	rec, err := sc.store.Node(id)
+	if err != nil {
+		return 0, NodeRecord{}, false, err
+	}
+	sc.i++
+	return id, rec, true, nil
+}
+
+// Remaining returns how many postings are left to scan.
+func (sc *TagScanner) Remaining() int { return sc.run.count - sc.i }

@@ -1,0 +1,349 @@
+// Package twigjoin implements TwigStack-style holistic twig joins (Bruno,
+// Koudas, Srivastava: "Holistic Twig Joins: Optimal XML Pattern Matching",
+// SIGMOD 2002). The paper under reproduction cites this as the multi-way
+// alternative it plans to integrate ("we are currently working on ... new
+// access methods for ... multi-way structural joins as in [5]"), so this
+// package provides the comparison point: one holistic operator matching the
+// whole pattern at once, against which the benchmark harness compares the
+// binary-join plans picked by the optimizers.
+//
+// The implementation follows the classic two-phase structure:
+//
+//  1. a getNext-driven streaming phase pushes candidate nodes onto
+//     per-pattern-node stacks, emitting root-to-leaf *path solutions* as
+//     compactly-encoded stack chains, and
+//  2. a merge phase joins the per-leaf path solutions on their shared
+//     prefix nodes into full twig matches.
+//
+// Parent-child edges are handled by filtering during path enumeration (the
+// optimality guarantee of TwigStack only covers descendant edges; with
+// child edges it may do extra work, as the original paper notes).
+package twigjoin
+
+import (
+	"fmt"
+
+	"sjos/internal/histogram"
+	"sjos/internal/pattern"
+	"sjos/internal/xmltree"
+)
+
+// Match is one full pattern match in pattern-node order (slot u holds the
+// document node bound to pattern node u).
+type Match []xmltree.NodeID
+
+// Stats counts the work done by one TwigStack execution.
+type Stats struct {
+	Advanced      int // cursor advances across all streams
+	Pushes        int // stack pushes
+	PathSolutions int // root-to-leaf path solutions emitted
+	Matches       int // final twig matches
+}
+
+// Run evaluates pat against doc holistically and returns all matches.
+func Run(doc *xmltree.Document, pat *pattern.Pattern) ([]Match, *Stats, error) {
+	if err := pat.Validate(); err != nil {
+		return nil, nil, err
+	}
+	t := &twig{doc: doc, pat: pat, stats: &Stats{}}
+	if err := t.init(); err != nil {
+		return nil, nil, err
+	}
+	if t.empty {
+		return nil, t.stats, nil
+	}
+	t.stream()
+	matches := t.merge()
+	t.stats.Matches = len(matches)
+	return matches, t.stats, nil
+}
+
+type stackEntry struct {
+	node   xmltree.NodeID
+	end    xmltree.Pos
+	level  uint16
+	parent int // index into the parent pattern node's stack at push time (-1 none)
+}
+
+type twig struct {
+	doc   *xmltree.Document
+	pat   *pattern.Pattern
+	stats *Stats
+	empty bool
+
+	cand   [][]xmltree.NodeID // per pattern node, sorted candidates
+	cursor []int
+	stacks [][]stackEntry
+	kids   [][]int
+	leaves []int
+
+	// pathSols[leaf] collects that leaf's root-to-leaf solutions.
+	pathSols map[int][]Match
+}
+
+func (t *twig) init() error {
+	n := t.pat.N()
+	t.cand = make([][]xmltree.NodeID, n)
+	t.cursor = make([]int, n)
+	t.stacks = make([][]stackEntry, n)
+	t.kids = make([][]int, n)
+	t.pathSols = make(map[int][]Match)
+	for u := 0; u < n; u++ {
+		nd := t.pat.Nodes[u]
+		tag, ok := t.doc.LookupTag(nd.Tag)
+		if !ok {
+			t.empty = true
+			return nil
+		}
+		for _, id := range t.doc.NodesWithTag(tag) {
+			if nd.Op != pattern.CmpNone &&
+				!histogram.EvalPredicate(t.doc.Value(id), nd.Op, nd.Value) {
+				continue
+			}
+			t.cand[u] = append(t.cand[u], id)
+		}
+		if len(t.cand[u]) == 0 {
+			t.empty = true
+			return nil
+		}
+		t.kids[u] = t.pat.Children(u)
+	}
+	for u := 0; u < n; u++ {
+		if len(t.kids[u]) == 0 {
+			t.leaves = append(t.leaves, u)
+		}
+	}
+	return nil
+}
+
+// eof reports whether pattern node q's stream is exhausted.
+func (t *twig) eof(q int) bool { return t.cursor[q] >= len(t.cand[q]) }
+
+// posInf is the virtual start position of an exhausted stream: past every
+// real position, so exhausted streams lose every getNext comparison.
+const posInf = ^xmltree.Pos(0)
+
+// nextL returns the start position of q's current candidate (∞ at eof).
+func (t *twig) nextL(q int) xmltree.Pos {
+	if t.eof(q) {
+		return posInf
+	}
+	return t.doc.Start(t.cand[q][t.cursor[q]])
+}
+
+func (t *twig) nextR(q int) xmltree.Pos { return t.doc.End(t.cand[q][t.cursor[q]]) }
+
+func (t *twig) advance(q int) {
+	t.cursor[q]++
+	t.stats.Advanced++
+}
+
+// getNext returns the pattern node whose current candidate is guaranteed to
+// participate in the next action (the classic TwigStack getNext, with
+// exhausted streams treated as positioned at ∞). The returned node is
+// exhausted only when no stream in q's subtree can make progress any more.
+func (t *twig) getNext(q int) int {
+	if len(t.kids[q]) == 0 {
+		return q
+	}
+	nmin, nmax := -1, -1
+	for _, qi := range t.kids[q] {
+		ni := t.getNext(qi)
+		if ni != qi && !t.eof(ni) {
+			return ni // a descendant needs processing first
+		}
+		if nmin == -1 || t.nextL(qi) < t.nextL(nmin) {
+			nmin = qi
+		}
+		if nmax == -1 || t.nextL(qi) > t.nextL(nmax) {
+			nmax = qi
+		}
+	}
+	for !t.eof(q) && t.nextR(q) < t.nextL(nmax) {
+		t.advance(q)
+	}
+	if !t.eof(q) && t.nextL(q) < t.nextL(nmin) {
+		return q
+	}
+	return nmin
+}
+
+// cleanStack pops entries of q's stack that end before pos.
+func (t *twig) cleanStack(q int, pos xmltree.Pos) {
+	s := t.stacks[q]
+	for len(s) > 0 && s[len(s)-1].end < pos {
+		s = s[:len(s)-1]
+	}
+	t.stacks[q] = s
+}
+
+// stream is phase 1: it drives getNext until no stream can contribute any
+// further, emitting path solutions at leaves.
+func (t *twig) stream() {
+	root := 0
+	for {
+		q := t.getNext(root)
+		if t.eof(q) {
+			return // no subtree can make progress any more
+		}
+		cur := t.cand[q][t.cursor[q]]
+		p := t.pat.Parent[q]
+		if p != pattern.NoNode {
+			t.cleanStack(p, t.doc.Start(cur))
+		}
+		if p == pattern.NoNode || len(t.stacks[p]) > 0 {
+			t.cleanStack(q, t.doc.Start(cur))
+			parentIdx := -1
+			if p != pattern.NoNode {
+				parentIdx = len(t.stacks[p]) - 1
+			}
+			t.stacks[q] = append(t.stacks[q], stackEntry{
+				node:   cur,
+				end:    t.doc.End(cur),
+				level:  t.doc.Level(cur),
+				parent: parentIdx,
+			})
+			t.stats.Pushes++
+			if len(t.kids[q]) == 0 {
+				t.emitPaths(q)
+				t.stacks[q] = t.stacks[q][:len(t.stacks[q])-1]
+			}
+		}
+		t.advance(q)
+	}
+}
+
+// emitPaths enumerates the root-to-leaf path solutions ending at the entry
+// just pushed on leaf q's stack, filtering parent-child edges by level.
+func (t *twig) emitPaths(leaf int) {
+	// The pattern nodes on the path root..leaf.
+	var path []int
+	for u := leaf; u != pattern.NoNode; u = t.pat.Parent[u] {
+		path = append(path, u)
+		if u == 0 {
+			break
+		}
+	}
+	// path[0]=leaf ... path[len-1]=root.
+	binding := make(Match, len(path))
+	var rec func(i int, stackIdx int)
+	rec = func(i, stackIdx int) {
+		q := path[i]
+		e := t.stacks[q][stackIdx]
+		binding[i] = e.node
+		if i == len(path)-1 {
+			sol := make(Match, len(path))
+			copy(sol, binding)
+			t.pathSols[leaf] = append(t.pathSols[leaf], sol)
+			t.stats.PathSolutions++
+			return
+		}
+		// All parent-stack entries at or below e.parent contain e's node.
+		pq := path[i+1]
+		ax := t.pat.Axis[q]
+		for j := e.parent; j >= 0; j-- {
+			pe := t.stacks[pq][j]
+			if ax == pattern.Child && pe.level+1 != e.level {
+				continue
+			}
+			rec(i+1, j)
+		}
+	}
+	rec(0, len(t.stacks[leaf])-1)
+}
+
+// merge is phase 2: join per-leaf path solutions on shared pattern nodes
+// into full twig matches.
+func (t *twig) merge() []Match {
+	n := t.pat.N()
+	// Start from the first leaf's solutions; join in the rest.
+	var acc []Match
+	var bound []bool
+	for li, leaf := range t.leaves {
+		path := pathNodes(t.pat, leaf)
+		sols := t.pathSols[leaf]
+		if len(sols) == 0 {
+			return nil
+		}
+		if li == 0 {
+			bound = make([]bool, n)
+			for _, s := range sols {
+				m := make(Match, n)
+				for i := range m {
+					m[i] = xmltree.InvalidNode
+				}
+				for i, u := range path {
+					m[u] = s[i]
+				}
+				acc = append(acc, m)
+			}
+			for _, u := range path {
+				bound[u] = true
+			}
+			continue
+		}
+		// Shared nodes between acc's bound set and this path.
+		var shared, fresh []int
+		for i, u := range path {
+			if bound[u] {
+				shared = append(shared, i)
+			} else {
+				fresh = append(fresh, i)
+			}
+		}
+		// Hash the new path solutions by their shared-node bindings.
+		idx := make(map[string][]Match, len(sols))
+		for _, s := range sols {
+			idx[joinKey(s, shared)] = append(idx[joinKey(s, shared)], s)
+		}
+		var next []Match
+		for _, m := range acc {
+			key := joinKeyFromMatch(m, path, shared)
+			for _, s := range idx[key] {
+				nm := make(Match, n)
+				copy(nm, m)
+				for _, i := range fresh {
+					nm[path[i]] = s[i]
+				}
+				next = append(next, nm)
+			}
+		}
+		acc = next
+		for _, u := range path {
+			bound[u] = true
+		}
+		if len(acc) == 0 {
+			return nil
+		}
+	}
+	return acc
+}
+
+// pathNodes returns the pattern nodes from leaf up to the root,
+// leaf-first — the same order emitPaths binds them in.
+func pathNodes(pat *pattern.Pattern, leaf int) []int {
+	var path []int
+	for u := leaf; ; u = pat.Parent[u] {
+		path = append(path, u)
+		if u == 0 {
+			break
+		}
+	}
+	return path
+}
+
+func joinKey(s Match, shared []int) string {
+	b := make([]byte, 0, len(shared)*12)
+	for _, i := range shared {
+		b = fmt.Appendf(b, "%d,", s[i])
+	}
+	return string(b)
+}
+
+func joinKeyFromMatch(m Match, path []int, shared []int) string {
+	b := make([]byte, 0, len(shared)*12)
+	for _, i := range shared {
+		b = fmt.Appendf(b, "%d,", m[path[i]])
+	}
+	return string(b)
+}

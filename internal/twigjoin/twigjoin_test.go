@@ -1,0 +1,153 @@
+package twigjoin
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sjos/internal/exec"
+	"sjos/internal/pattern"
+	"sjos/internal/xmltree"
+)
+
+func canonical(ms []Match) [][]xmltree.NodeID {
+	out := make([][]xmltree.NodeID, len(ms))
+	for i, m := range ms {
+		out[i] = m
+	}
+	ts := make([]exec.Tuple, len(out))
+	for i := range out {
+		ts[i] = exec.Tuple(out[i])
+	}
+	exec.SortCanonical(ts)
+	for i := range ts {
+		out[i] = ts[i]
+	}
+	return out
+}
+
+func refCanonical(doc *xmltree.Document, pat *pattern.Pattern) [][]xmltree.NodeID {
+	ref := exec.ReferenceMatches(doc, pat)
+	exec.SortCanonical(ref)
+	out := make([][]xmltree.NodeID, len(ref))
+	for i := range ref {
+		out[i] = ref[i]
+	}
+	return out
+}
+
+func checkAgainstReference(t *testing.T, doc *xmltree.Document, src string) {
+	t.Helper()
+	pat := pattern.MustParse(src)
+	got, stats, err := Run(doc, pat)
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	want := refCanonical(doc, pat)
+	gotC := canonical(got)
+	if len(gotC) == 0 && len(want) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(gotC, want) {
+		t.Fatalf("%s: TwigStack found %d matches, reference %d", src, len(gotC), len(want))
+	}
+	if stats.Matches != len(want) {
+		t.Errorf("%s: stats.Matches = %d, want %d", src, stats.Matches, len(want))
+	}
+}
+
+func TestTwigStackOnPersonnelExample(t *testing.T) {
+	doc, err := xmltree.ParseString(`<db>
+	  <manager><name>alice</name>
+	    <employee><name>bob</name></employee>
+	    <manager><name>carol</name>
+	      <department><name>tools</name></department>
+	      <employee><name>eve</name></employee>
+	    </manager>
+	  </manager>
+	  <manager><name>dan</name><department><name>ops</name></department></manager>
+	</db>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{
+		"//manager",
+		"//manager//name",
+		"//manager/name",
+		"//manager//employee/name",
+		"//manager[.//employee/name]//department/name",
+		"//manager[.//employee/name]//manager/department/name",
+		"//db//manager[name][employee]",
+		`//name[. = "carol"]`,
+	} {
+		checkAgainstReference(t, doc, src)
+	}
+}
+
+func TestTwigStackRandomDocuments(t *testing.T) {
+	rng := rand.New(rand.NewSource(2023))
+	patterns := []string{
+		"//a//b",
+		"//a/b",
+		"//a[b][c]",
+		"//a//b//c",
+		"//a[.//b/c]//d",
+		"//a[b//d][c]",
+	}
+	for trial := 0; trial < 60; trial++ {
+		doc := xmltree.RandomDocument(rng, 2+rng.Intn(150), []string{"a", "b", "c", "d"})
+		for _, src := range patterns {
+			checkAgainstReference(t, doc, src)
+		}
+	}
+}
+
+func TestTwigStackEmptyCases(t *testing.T) {
+	doc, _ := xmltree.ParseString(`<a><b/></a>`)
+	got, _, err := Run(doc, pattern.MustParse("//a//zz"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("unknown tag: got %d matches, err %v", len(got), err)
+	}
+	got, _, err = Run(doc, pattern.MustParse("//b//a"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("impossible pattern: got %d matches, err %v", len(got), err)
+	}
+}
+
+func TestTwigStackSingleNode(t *testing.T) {
+	doc, _ := xmltree.ParseString(`<a><b/><b/></a>`)
+	got, _, err := Run(doc, pattern.MustParse("//b"))
+	if err != nil || len(got) != 2 {
+		t.Fatalf("single node: got %d, err %v", len(got), err)
+	}
+}
+
+// TestTwigStackSkipsIrrelevantNodes verifies the holistic property the
+// algorithm exists for: candidates that cannot participate in any match are
+// skipped without being pushed.
+func TestTwigStackSkipsIrrelevantNodes(t *testing.T) {
+	b := xmltree.NewBuilder()
+	b.Open("root", "")
+	// 100 a-nodes with no b below them, then one a-b pair.
+	for i := 0; i < 100; i++ {
+		b.Open("a", "")
+		b.Leaf("x", "")
+		b.Close()
+	}
+	b.Open("a", "")
+	b.Leaf("b", "")
+	b.Close()
+	b.Close()
+	doc := b.MustFinish()
+	pat := pattern.MustParse("//a/b")
+	got, stats, err := Run(doc, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("matches = %d", len(got))
+	}
+	if stats.Pushes > 4 {
+		t.Errorf("TwigStack pushed %d entries; childless a-nodes should be skipped", stats.Pushes)
+	}
+}

@@ -1,0 +1,22 @@
+// Package xmltree implements the XML document model used throughout the
+// library: a rooted, ordered, node-labelled tree stored column-wise with the
+// classic region ("interval") encoding.
+//
+// Every element node carries a (Start, End, Level) triple assigned by a
+// depth-first pre-order traversal:
+//
+//   - Start is the pre-order number of the node's open tag,
+//   - End is the number assigned after the whole subtree has been visited,
+//   - Level is the depth (the document root has level 0).
+//
+// The encoding makes structural predicates O(1):
+//
+//	a is an ancestor of d  ⇔  a.Start < d.Start && d.End < a.End
+//	a is the parent of d   ⇔  ancestor && a.Level+1 == d.Level
+//
+// and document order coincides with Start order, which is exactly what the
+// Stack-Tree structural join family requires of its inputs.
+//
+// Node identifiers (NodeID) are dense indexes in document order, so a sorted
+// slice of NodeIDs is automatically sorted by Start.
+package xmltree

@@ -1,0 +1,44 @@
+package xmltree
+
+// Fold replicates a document by the given folding factor, reproducing the
+// data-scaling methodology of the paper's §4.3: the result has a fresh
+// synthetic root whose children are `factor` disjoint copies of the original
+// root's subtree. Because the copies occupy disjoint position ranges, no
+// structural join pairs nodes from different copies, so every pattern-match
+// count scales by exactly `factor` — the same linear scaling the paper
+// relies on.
+//
+// The synthetic root's tag is the original root tag prefixed with "fold-",
+// chosen so it never collides with a query tag.
+func Fold(d *Document, factor int) *Document {
+	if factor <= 1 {
+		return d
+	}
+	b := NewBuilder()
+	b.Open("fold-"+d.TagName(d.Tag(d.Root())), "")
+	// Pre-intern tags so copies share TagIDs with the first pass.
+	ids := make([]TagID, d.NumTags())
+	for t := 0; t < d.NumTags(); t++ {
+		ids[t] = b.Tag(d.TagName(TagID(t)))
+	}
+	n := d.NumNodes()
+	for copyNo := 0; copyNo < factor; copyNo++ {
+		// Replay the original pre-order walk, closing elements whose
+		// region has ended before the next node starts.
+		open := make([]NodeID, 0, 64) // original IDs of currently open nodes
+		for i := 0; i < n; i++ {
+			id := NodeID(i)
+			for len(open) > 0 && d.End(open[len(open)-1]) < d.Start(id) {
+				b.Close()
+				open = open[:len(open)-1]
+			}
+			b.OpenTag(ids[d.Tag(id)], d.Value(id))
+			open = append(open, id)
+		}
+		for range open {
+			b.Close()
+		}
+	}
+	b.Close()
+	return b.MustFinish()
+}

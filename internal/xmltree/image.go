@@ -1,0 +1,171 @@
+package xmltree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary document images: a versioned serialisation of a Document used for
+// database save/load. Unlike XML text round-trips, images preserve the
+// exact region encoding and load without any parsing work (fixed-width
+// records straight into the column arrays).
+//
+// Layout (all integers little-endian):
+//
+//	magic "SJDOC1\n\x00" (8 bytes)
+//	numNodes uint32, numTags uint32
+//	tag dictionary: per tag, uvarint length + bytes
+//	per node: start, end uint32; level uint16; tag uint32; parent uint32
+//	values: per node, uvarint length + bytes
+const imageMagic = "SJDOC1\n\x00"
+
+// WriteImage serialises the document to w.
+func WriteImage(d *Document, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(imageMagic); err != nil {
+		return err
+	}
+	var u32 [4]byte
+	writeU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		bw.Write(u32[:])
+	}
+	writeU32(uint32(d.NumNodes()))
+	writeU32(uint32(d.NumTags()))
+	var varint [binary.MaxVarintLen64]byte
+	writeBytes := func(s string) {
+		n := binary.PutUvarint(varint[:], uint64(len(s)))
+		bw.Write(varint[:n])
+		bw.WriteString(s)
+	}
+	for t := 0; t < d.NumTags(); t++ {
+		writeBytes(d.TagName(TagID(t)))
+	}
+	var u16 [2]byte
+	for i := 0; i < d.NumNodes(); i++ {
+		id := NodeID(i)
+		writeU32(uint32(d.Start(id)))
+		writeU32(uint32(d.End(id)))
+		binary.LittleEndian.PutUint16(u16[:], d.Level(id))
+		bw.Write(u16[:])
+		writeU32(uint32(d.Tag(id)))
+		writeU32(uint32(d.Parent(id)))
+	}
+	for i := 0; i < d.NumNodes(); i++ {
+		writeBytes(d.Value(NodeID(i)))
+	}
+	return bw.Flush()
+}
+
+// ReadImage deserialises a document image written by WriteImage. The
+// result is validated before being returned.
+func ReadImage(r io.Reader) (*Document, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(imageMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("xmltree: image header: %w", err)
+	}
+	if string(magic) != imageMagic {
+		return nil, fmt.Errorf("xmltree: not a document image (bad magic %q)", magic)
+	}
+	readU32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	numNodes, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("xmltree: image: %w", err)
+	}
+	numTags, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("xmltree: image: %w", err)
+	}
+	const sanityMax = 1 << 30
+	if numNodes == 0 || numNodes > sanityMax || numTags == 0 || numTags > numNodes {
+		return nil, fmt.Errorf("xmltree: image: implausible sizes (%d nodes, %d tags)", numNodes, numTags)
+	}
+	readString := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > sanityMax {
+			return "", fmt.Errorf("implausible string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	d := &Document{
+		start:   make([]Pos, numNodes),
+		end:     make([]Pos, numNodes),
+		level:   make([]uint16, numNodes),
+		tag:     make([]TagID, numNodes),
+		parent:  make([]NodeID, numNodes),
+		value:   make([]string, numNodes),
+		tags:    make([]string, numTags),
+		tagByNm: make(map[string]TagID, numTags),
+		byTag:   make([][]NodeID, numTags),
+	}
+	for t := range d.tags {
+		s, err := readString()
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: image tag %d: %w", t, err)
+		}
+		if _, dup := d.tagByNm[s]; dup {
+			return nil, fmt.Errorf("xmltree: image: duplicate tag %q", s)
+		}
+		d.tags[t] = s
+		d.tagByNm[s] = TagID(t)
+	}
+	var u16 [2]byte
+	for i := range d.start {
+		s, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: image node %d: %w", i, err)
+		}
+		e, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: image node %d: %w", i, err)
+		}
+		if _, err := io.ReadFull(br, u16[:]); err != nil {
+			return nil, fmt.Errorf("xmltree: image node %d: %w", i, err)
+		}
+		tg, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: image node %d: %w", i, err)
+		}
+		if tg >= numTags {
+			return nil, fmt.Errorf("xmltree: image node %d: tag %d out of range", i, tg)
+		}
+		par, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: image node %d: %w", i, err)
+		}
+		d.start[i] = Pos(s)
+		d.end[i] = Pos(e)
+		d.level[i] = binary.LittleEndian.Uint16(u16[:])
+		d.tag[i] = TagID(tg)
+		d.parent[i] = NodeID(par)
+		d.byTag[tg] = append(d.byTag[tg], NodeID(i))
+	}
+	for i := range d.value {
+		v, err := readString()
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: image value %d: %w", i, err)
+		}
+		d.value[i] = v
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("xmltree: image failed validation: %w", err)
+	}
+	return d, nil
+}

@@ -1,0 +1,111 @@
+package xmltree
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document from r and builds its Document representation.
+// Element text content (trimmed, first chunk only) becomes the node Value;
+// attributes are exposed as child elements named "@attr" so that attribute
+// predicates can be expressed as ordinary pattern nodes, which is how Timber
+// models them in its tree algebra.
+func Parse(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(bufio.NewReader(r))
+	b := NewBuilder()
+	depth := 0
+	pendingText := InvalidNode // node awaiting its first text chunk
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			id := b.Open(t.Name.Local, "")
+			pendingText = id
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				b.Leaf("@"+a.Name.Local, a.Value)
+			}
+			depth++
+		case xml.EndElement:
+			if depth == 0 {
+				return nil, fmt.Errorf("xmltree: parse: unbalanced end element %q", t.Name.Local)
+			}
+			b.Close()
+			depth--
+			pendingText = InvalidNode
+		case xml.CharData:
+			if pendingText != InvalidNode && b.doc.value[pendingText] == "" {
+				if s := strings.TrimSpace(string(t)); s != "" {
+					b.doc.value[pendingText] = s
+				}
+			}
+		}
+	}
+	return b.Finish()
+}
+
+// ParseString is Parse over an in-memory string.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Serialize writes the document back out as XML. Attribute pseudo-elements
+// ("@name") are rendered as real attributes, so Parse(Serialize(d)) is
+// structurally identical to d. Output is deterministic.
+func Serialize(d *Document, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var walk func(n NodeID) error
+	walk = func(n NodeID) error {
+		name := d.TagName(d.Tag(n))
+		if _, err := fmt.Fprintf(bw, "<%s", name); err != nil {
+			return err
+		}
+		children := d.Children(n)
+		var real []NodeID
+		for _, c := range children {
+			cn := d.TagName(d.Tag(c))
+			if strings.HasPrefix(cn, "@") {
+				fmt.Fprintf(bw, " %s=%q", cn[1:], d.Value(c))
+			} else {
+				real = append(real, c)
+			}
+		}
+		bw.WriteString(">")
+		if v := d.Value(n); v != "" {
+			if err := xml.EscapeText(bw, []byte(v)); err != nil {
+				return err
+			}
+		}
+		for _, c := range real {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(bw, "</%s>", name)
+		return err
+	}
+	if err := walk(d.Root()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SerializeString is Serialize into a string; intended for tests and tools.
+func SerializeString(d *Document) (string, error) {
+	var sb strings.Builder
+	if err := Serialize(d, &sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

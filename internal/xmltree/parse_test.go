@@ -1,0 +1,181 @@
+package xmltree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleXML = `<db>
+  <manager id="1">alice
+    <name>alice</name>
+    <employee><name>bob</name></employee>
+    <manager><department><name>tools</name></department></manager>
+  </manager>
+  <employee><name>dan</name></employee>
+</db>`
+
+func TestParseBasics(t *testing.T) {
+	d, err := ParseString(sampleXML)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	mgr := mustTag(t, d, "manager")
+	if got := d.TagCount(mgr); got != 2 {
+		t.Errorf("manager count = %d, want 2", got)
+	}
+	// Attribute became a pseudo-element child.
+	attr, ok := d.LookupTag("@id")
+	if !ok {
+		t.Fatal("@id pseudo-element missing")
+	}
+	a := d.NodesWithTag(attr)[0]
+	if d.Value(a) != "1" {
+		t.Errorf("@id value = %q, want 1", d.Value(a))
+	}
+	if d.Parent(a) != d.NodesWithTag(mgr)[0] {
+		t.Error("@id not attached to manager")
+	}
+	// First text chunk captured as value.
+	if v := d.Value(d.NodesWithTag(mgr)[0]); v != "alice" {
+		t.Errorf("manager value = %q, want alice", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "<a><b></a></b>", "<a>", "text only"} {
+		if _, err := ParseString(bad); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	d, err := ParseString(sampleXML)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	s, err := SerializeString(d)
+	if err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	d2, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("reparse: %v\nserialized: %s", err, s)
+	}
+	if !structurallyEqual(d, d2) {
+		t.Fatalf("round trip not structurally identical:\n%s", s)
+	}
+}
+
+// structurallyEqual compares two documents node by node (tag names, levels,
+// relative order, values).
+func structurallyEqual(a, b *Document) bool {
+	if a.NumNodes() != b.NumNodes() {
+		return false
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		ai, bi := NodeID(i), NodeID(i)
+		if a.TagName(a.Tag(ai)) != b.TagName(b.Tag(bi)) ||
+			a.Level(ai) != b.Level(bi) ||
+			a.Value(ai) != b.Value(bi) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSerializeRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tags := []string{"alpha", "beta", "gamma"}
+	f := func(seed int64, size uint8) bool {
+		d := RandomDocument(rand.New(rand.NewSource(seed)), int(size%50)+1, tags)
+		s, err := SerializeString(d)
+		if err != nil {
+			return false
+		}
+		d2, err := ParseString(s)
+		if err != nil {
+			return false
+		}
+		return structurallyEqual(d, d2)
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializeEscaping(t *testing.T) {
+	b := NewBuilder()
+	b.Open("r", "a < b & c")
+	b.Close()
+	d := b.MustFinish()
+	s, err := SerializeString(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(s, "a < b & c") {
+		t.Fatalf("unescaped output: %s", s)
+	}
+	d2, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if d2.Value(0) != "a < b & c" {
+		t.Fatalf("value = %q", d2.Value(0))
+	}
+}
+
+func TestFold(t *testing.T) {
+	d, err := ParseString(sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := d.NumNodes()
+	for _, k := range []int{1, 2, 5, 10} {
+		f := Fold(d, k)
+		if k == 1 {
+			if f != d {
+				t.Error("Fold(d,1) should return d unchanged")
+			}
+			continue
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("fold %d: %v", k, err)
+		}
+		if got, want := f.NumNodes(), base*k+1; got != want {
+			t.Errorf("fold %d: NumNodes = %d, want %d", k, got, want)
+		}
+		mgr := mustTag(t, d, "manager")
+		fm, ok := f.LookupTag("manager")
+		if !ok {
+			t.Fatalf("fold %d: manager tag lost", k)
+		}
+		if got, want := f.TagCount(fm), d.TagCount(mgr)*k; got != want {
+			t.Errorf("fold %d: manager count = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// TestFoldDisjoint verifies the key property §4.3 relies on: copies occupy
+// disjoint ranges, so cross-copy containment never holds.
+func TestFoldDisjoint(t *testing.T) {
+	d, _ := ParseString(sampleXML)
+	f := Fold(d, 3)
+	roots := f.Children(f.Root())
+	if len(roots) != 3 {
+		t.Fatalf("fold root has %d children, want 3", len(roots))
+	}
+	for i := 0; i < len(roots); i++ {
+		for j := 0; j < len(roots); j++ {
+			if i != j && f.IsAncestor(roots[i], roots[j]) {
+				t.Fatalf("copies %d and %d overlap", i, j)
+			}
+		}
+	}
+}

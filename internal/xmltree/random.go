@@ -1,0 +1,32 @@
+package xmltree
+
+import "math/rand"
+
+// RandomDocument builds a random tree with exactly n nodes over the given
+// tag alphabet (tags[0] is used for the root). It is deterministic for a
+// given rng state and is shared by property-based tests across packages and
+// by the fuzz-style self-checks in the data generators.
+func RandomDocument(rng *rand.Rand, n int, tags []string) *Document {
+	if n < 1 {
+		n = 1
+	}
+	b := NewBuilder()
+	b.Open(tags[0], "")
+	remaining := n - 1
+	var gen func(budget int)
+	gen = func(budget int) {
+		for budget > 0 {
+			take := 1
+			if budget > 1 {
+				take = 1 + rng.Intn(budget)
+			}
+			budget -= take
+			b.Open(tags[rng.Intn(len(tags))], "")
+			gen(take - 1)
+			b.Close()
+		}
+	}
+	gen(remaining)
+	b.Close()
+	return b.MustFinish()
+}

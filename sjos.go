@@ -1,0 +1,344 @@
+package sjos
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"sjos/internal/core"
+	"sjos/internal/cost"
+	"sjos/internal/datagen"
+	"sjos/internal/exec"
+	"sjos/internal/histogram"
+	"sjos/internal/pattern"
+	"sjos/internal/plan"
+	"sjos/internal/storage"
+	"sjos/internal/twigjoin"
+	"sjos/internal/xmltree"
+)
+
+// Re-exported types: the facade exposes the internal packages' core types
+// under stable names so downstream code only imports sjos.
+type (
+	// Pattern is a tree-pattern query (see ParsePattern).
+	Pattern = pattern.Pattern
+	// Plan is a physical evaluation plan node.
+	Plan = plan.Node
+	// Method selects an optimization algorithm.
+	Method = core.Method
+	// OptimizeResult is an optimizer outcome (plan, estimated cost,
+	// search counters).
+	OptimizeResult = core.Result
+	// CostModel carries the cost model's normalisation factors.
+	CostModel = cost.Model
+	// Match is one pattern match: slot u holds the document node bound
+	// to pattern node u.
+	Match = exec.Tuple
+	// NodeID identifies a document element node.
+	NodeID = xmltree.NodeID
+	// ExecStats counts the physical work of one execution.
+	ExecStats = exec.Stats
+)
+
+// The optimization algorithms (see the package documentation).
+const (
+	MethodDP             = core.MethodDP
+	MethodDPP            = core.MethodDPP
+	MethodDPPNoLookahead = core.MethodDPPNoLookahead
+	MethodDPAPEB         = core.MethodDPAPEB
+	MethodDPAPLD         = core.MethodDPAPLD
+	MethodFP             = core.MethodFP
+)
+
+// ParsePattern parses the XPath-like twig syntax (see the package docs).
+func ParsePattern(src string) (*Pattern, error) { return pattern.Parse(src) }
+
+// MinimizePattern removes redundant branches from a pattern before
+// optimization — the schema-free tree-pattern minimisation of Amer-Yahia
+// et al. (SIGMOD 2001), which the paper cites as the rewrite step
+// complementary to cost-based join ordering. It returns the reduced
+// pattern and a mapping from original node indexes to new ones (-1 for
+// removed nodes); the match set, projected onto retained nodes, is
+// unchanged.
+func MinimizePattern(p *Pattern) (*Pattern, []int) { return pattern.Minimize(p) }
+
+// MustParsePattern is ParsePattern that panics on error.
+func MustParsePattern(src string) *Pattern { return pattern.MustParse(src) }
+
+// ParseMethod resolves an algorithm name ("DP", "DPP", "DPP'", "DPAP-EB",
+// "DPAP-LD", "FP").
+func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
+
+// Options configures database construction.
+type Options struct {
+	// PoolFrames sizes the buffer pool (8 KB frames). 0 means the
+	// default 2048 frames = 16 MB, the paper's SHORE configuration.
+	PoolFrames int
+	// HistogramGrid is the positional histogram resolution (0 = default).
+	HistogramGrid int
+	// Model overrides the cost model. The zero value selects the built-in
+	// defaults; use sjos.CalibrateModel for machine-specific factors.
+	Model CostModel
+	// DiskPath, when non-empty, stores the paged database image in a
+	// file at this path instead of in memory, so all page access through
+	// the buffer pool becomes real file I/O.
+	DiskPath string
+}
+
+func (o *Options) model() CostModel {
+	if o != nil && o.Model.Valid() {
+		return o.Model
+	}
+	return cost.DefaultModel()
+}
+
+// CalibrateModel measures cost model factors on the current machine.
+func CalibrateModel() CostModel { return cost.Calibrate() }
+
+// Database is a loaded, indexed XML document ready for querying.
+type Database struct {
+	doc   *xmltree.Document
+	store *storage.Store
+	stats *histogram.Stats
+	model CostModel
+}
+
+// LoadXML parses an XML document from r and builds its store, indexes and
+// statistics.
+func LoadXML(r io.Reader, opts *Options) (*Database, error) {
+	doc, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return fromDocument(doc, opts)
+}
+
+// LoadXMLString is LoadXML over a string.
+func LoadXMLString(s string, opts *Options) (*Database, error) {
+	return LoadXML(strings.NewReader(s), opts)
+}
+
+// SaveImage writes the database's document as a binary image to w. Load it
+// back with OpenImage; indexes and statistics are rebuilt deterministically
+// on load.
+func (db *Database) SaveImage(w io.Writer) error {
+	return xmltree.WriteImage(db.doc, w)
+}
+
+// SaveImageFile is SaveImage to a file path.
+func (db *Database) SaveImageFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.SaveImage(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// OpenImage loads a database from a binary image written by SaveImage.
+func OpenImage(r io.Reader, opts *Options) (*Database, error) {
+	doc, err := xmltree.ReadImage(r)
+	if err != nil {
+		return nil, err
+	}
+	return fromDocument(doc, opts)
+}
+
+// OpenImageFile is OpenImage from a file path.
+func OpenImageFile(path string, opts *Options) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return OpenImage(f, opts)
+}
+
+// GenerateDataset builds one of the synthetic benchmark data sets
+// ("mbench", "dblp", "pers") at the given scale (1 = base size; see
+// DESIGN.md) and folding factor (≤ 1 = unfolded, as in the paper's §4.3).
+func GenerateDataset(name string, scale float64, fold int, opts *Options) (*Database, error) {
+	doc, err := datagen.Generate(datagen.Config{Name: name, Scale: scale})
+	if err != nil {
+		return nil, err
+	}
+	doc = xmltree.Fold(doc, fold)
+	return fromDocument(doc, opts)
+}
+
+func fromDocument(doc *xmltree.Document, opts *Options) (*Database, error) {
+	poolFrames, grid, diskPath := 0, 0, ""
+	if opts != nil {
+		poolFrames, grid, diskPath = opts.PoolFrames, opts.HistogramGrid, opts.DiskPath
+	}
+	var store *storage.Store
+	var err error
+	if diskPath != "" {
+		file, ferr := storage.CreateDiskFile(diskPath)
+		if ferr != nil {
+			return nil, ferr
+		}
+		store, err = storage.BuildStoreOn(file, doc, poolFrames)
+	} else {
+		store, err = storage.BuildStore(doc, poolFrames)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Database{
+		doc:   doc,
+		store: store,
+		stats: histogram.Build(doc, grid),
+		model: opts.model(),
+	}, nil
+}
+
+// NumNodes returns the number of element nodes in the database.
+func (db *Database) NumNodes() int { return db.doc.NumNodes() }
+
+// TagName returns the element tag of a matched node.
+func (db *Database) TagName(id NodeID) string { return db.doc.TagName(db.doc.Tag(id)) }
+
+// Value returns the text value of a matched node ("" if none).
+func (db *Database) Value(id NodeID) string { return db.doc.Value(id) }
+
+// Model returns the database's cost model.
+func (db *Database) Model() CostModel { return db.model }
+
+// Optimize picks a plan for pat with the chosen algorithm. te is the
+// DPAP-EB expansion bound (0 = the number of pattern edges, the paper's
+// Table 1 setting); it is ignored by other methods.
+func (db *Database) Optimize(pat *Pattern, m Method, te int) (*OptimizeResult, error) {
+	est, err := core.NewEstimator(pat, db.stats)
+	if err != nil {
+		return nil, err
+	}
+	return core.Optimize(pat, est, db.model, m, &core.Options{Te: te})
+}
+
+// OptimizeWithExactStats is Optimize with the oracle estimator: exact
+// per-node candidate counts and per-edge join selectivities computed from
+// the document, instead of positional-histogram estimates. It isolates the
+// effect of estimation error on plan choice (the A2 ablation in DESIGN.md)
+// and is too expensive for routine use.
+func (db *Database) OptimizeWithExactStats(pat *Pattern, m Method, te int) (*OptimizeResult, error) {
+	est, err := core.NewOracleEstimator(pat, db.doc)
+	if err != nil {
+		return nil, err
+	}
+	return core.Optimize(pat, est, db.model, m, &core.Options{Te: te})
+}
+
+// BadPlan returns the estimated-worst of `samples` random valid plans —
+// the paper's §4.2.1 baseline for quantifying optimizer value.
+func (db *Database) BadPlan(pat *Pattern, samples int, seed int64) (*OptimizeResult, error) {
+	est, err := core.NewEstimator(pat, db.stats)
+	if err != nil {
+		return nil, err
+	}
+	return core.BadPlan(pat, est, db.model, samples, seed)
+}
+
+// Execute runs a plan and returns the matches in pattern-node order plus
+// the execution statistics.
+func (db *Database) Execute(pat *Pattern, p *Plan) ([]Match, ExecStats, error) {
+	ctx := &exec.Context{Doc: db.doc, Store: db.store}
+	out, err := exec.Run(ctx, pat, p)
+	return out, ctx.Stats, err
+}
+
+// ExecuteCount runs a plan, returning only the match count (cheaper than
+// Execute for large results).
+func (db *Database) ExecuteCount(pat *Pattern, p *Plan) (int, ExecStats, error) {
+	ctx := &exec.Context{Doc: db.doc, Store: db.store}
+	n, err := exec.RunCount(ctx, pat, p)
+	return n, ctx.Stats, err
+}
+
+// ExecuteLimit runs a plan but stops after the first n matches — the
+// online-querying mode that motivates the FP algorithm (§3.4): a
+// fully-pipelined plan returns its first results without computing the full
+// answer, while a blocking plan must finish its sorts first.
+func (db *Database) ExecuteLimit(pat *Pattern, p *Plan, n int) ([]Match, ExecStats, error) {
+	op, err := exec.Build(pat, p)
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	ctx := &exec.Context{Doc: db.doc, Store: db.store}
+	out, err := exec.Drain(ctx, exec.NewLimit(op, n))
+	if err != nil {
+		return nil, ctx.Stats, err
+	}
+	return exec.NormalizeAll(op.Schema(), pat.N(), out), ctx.Stats, nil
+}
+
+// TwigStack evaluates pat with the holistic twig join (the multi-way
+// alternative of Bruno et al. that the paper cites as future work), for
+// comparison against the structural-join plans.
+func (db *Database) TwigStack(pat *Pattern) ([]Match, error) {
+	ms, _, err := twigjoin.Run(db.doc, pat)
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = Match(m)
+	}
+	return out, err
+}
+
+// QueryResult is the outcome of a one-shot Query call.
+type QueryResult struct {
+	// Matches holds all pattern matches in pattern-node order.
+	Matches []Match
+	// Plan is the executed plan; PlanText its rendering.
+	Plan     *Plan
+	PlanText string
+	// EstCost is the optimizer's estimate for the plan.
+	EstCost float64
+	// OptimizeTime and ExecuteTime split the total latency the way the
+	// paper's Table 1 reports it.
+	OptimizeTime time.Duration
+	ExecuteTime  time.Duration
+	// PlansConsidered is the optimizer's search effort (Table 2).
+	PlansConsidered int
+	// Exec reports the physical work done.
+	Exec ExecStats
+}
+
+// Query parses src, optimizes it with method m and executes the chosen
+// plan.
+func (db *Database) Query(src string, m Method) (*QueryResult, error) {
+	pat, err := ParsePattern(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.QueryPattern(pat, m)
+}
+
+// QueryPattern is Query for an already-built pattern.
+func (db *Database) QueryPattern(pat *Pattern, m Method) (*QueryResult, error) {
+	t0 := time.Now()
+	res, err := db.Optimize(pat, m, 0)
+	if err != nil {
+		return nil, err
+	}
+	optTime := time.Since(t0)
+	t1 := time.Now()
+	matches, stats, err := db.Execute(pat, res.Plan)
+	if err != nil {
+		return nil, fmt.Errorf("sjos: executing %v plan: %w", m, err)
+	}
+	return &QueryResult{
+		Matches:         matches,
+		Plan:            res.Plan,
+		PlanText:        res.Plan.Format(pat),
+		EstCost:         res.Cost,
+		OptimizeTime:    optTime,
+		ExecuteTime:     time.Since(t1),
+		PlansConsidered: res.Counters.PlansConsidered,
+		Exec:            stats,
+	}, nil
+}

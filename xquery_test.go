@@ -1,0 +1,101 @@
+package sjos
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestXQueryBasic(t *testing.T) {
+	db := openDB(t)
+	res, err := db.XQuery(`for $m in //manager return $m/name`, MethodDPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, row := range res.Rows {
+		names = append(names, db.Value(row[0]))
+	}
+	sort.Strings(names)
+	want := []string{"alice", "carol", "dan"}
+	if len(names) != 3 || names[0] != want[0] || names[1] != want[1] || names[2] != want[2] {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	if res.PlanText == "" || res.Pattern.N() != 2 {
+		t.Fatalf("metadata: %+v", res)
+	}
+}
+
+func TestXQueryWhereIsExistential(t *testing.T) {
+	db := openDB(t)
+	// alice has two employees; FLWOR semantics must still return her
+	// name once.
+	res, err := db.XQuery(`for $m in //manager where $m//employee return $m/name`, MethodFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 { // alice and carol supervise employees; dan does not
+		t.Fatalf("%d rows, want 2", len(res.Rows))
+	}
+}
+
+func TestXQueryTwoVariables(t *testing.T) {
+	db := openDB(t)
+	res, err := db.XQuery(`
+		for $m in //manager, $e in $m//employee
+		return $m/name, $e/name`, MethodDPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (alice,bob), (alice,eve), (carol,eve).
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if len(row) != 2 {
+			t.Fatalf("row width %d", len(row))
+		}
+	}
+}
+
+func TestXQueryValuePredicate(t *testing.T) {
+	db := openDB(t)
+	res, err := db.XQuery(`
+		for $e in //employee
+		where $e/salary >= 40000
+		return $e/name`, MethodDPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || db.Value(res.Rows[0][0]) != "bob" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestXQueryOrderBy(t *testing.T) {
+	db := openDB(t)
+	res, err := db.XQuery(`for $m in //manager order by $m return $m/name`, MethodFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Document order of managers: alice, carol, dan.
+	got := []string{}
+	for _, row := range res.Rows {
+		got = append(got, db.Value(row[0]))
+	}
+	if len(got) != 3 || got[0] != "alice" || got[1] != "carol" || got[2] != "dan" {
+		t.Fatalf("ordered names = %v", got)
+	}
+}
+
+func TestXQueryErrors(t *testing.T) {
+	db := openDB(t)
+	for _, src := range []string{
+		``,
+		`for $m in //manager`,
+		`for $m in //manager return $x`,
+	} {
+		if _, err := db.XQuery(src, MethodDPP); err == nil {
+			t.Errorf("XQuery(%q) succeeded", src)
+		}
+	}
+}
