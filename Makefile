@@ -1,0 +1,28 @@
+# Build, test and benchmark entry points. `make bench` runs the tier-1
+# suite under the race detector first, then emits benchmark results as
+# streamed test2json events into BENCH_parallel.json.
+#
+# BENCH selects the benchmark regexp (default: the partition-parallel
+# executor benches; use BENCH=. for the full table/figure suite — slow).
+
+GO    ?= go
+BENCH ?= Parallel
+
+.PHONY: all build test test-race bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench: test-race
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -json . | tee BENCH_parallel.json
+
+clean:
+	rm -f BENCH_parallel.json

@@ -16,6 +16,7 @@ package sjos_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"sjos"
@@ -313,7 +314,8 @@ func BenchmarkAblationEstimator(b *testing.B) {
 }
 
 // BenchmarkAblationTwigStack compares the best structural-join plan against
-// the holistic TwigStack evaluation (DESIGN.md A3) on every query.
+// the holistic TwigStack evaluation (DESIGN.md A3) on every query, with the
+// plan run both serial and partition-parallel.
 func BenchmarkAblationTwigStack(b *testing.B) {
 	for _, q := range experiments.Queries() {
 		db := mustDataset(b, q.Dataset, 1)
@@ -329,10 +331,60 @@ func BenchmarkAblationTwigStack(b *testing.B) {
 				}
 			}
 		})
+		b.Run(q.ID+"/plan-parallel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := db.ExecuteParallelCount(pat, res.Plan, runtime.GOMAXPROCS(0)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 		b.Run(q.ID+"/twigstack", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := db.TwigStack(pat); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelExecute measures partition-parallel execution of the
+// DPP plan for Q.Pers.3.d on the ×100 folded Pers data set: serial
+// baseline, then 1/2/4/8 workers. K=1 isolates the driver's overhead
+// (single-partition fast path: it should stay within a few percent of
+// serial); higher K shows the speedup on multi-core machines — on a
+// single-CPU machine all worker counts collapse to roughly serial time.
+func BenchmarkParallelExecute(b *testing.B) {
+	q, err := experiments.QueryByID(experiments.PersQuery3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := mustDataset(b, q.Dataset, 100)
+	pat := mustPattern(b, q)
+	res, err := db.Optimize(pat, sjos.MethodDPP, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, _, err := db.ExecuteCount(pat, res.Plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := db.ExecuteCount(pat, res.Plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n, _, err := db.ExecuteParallelCount(pat, res.Plan, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != want {
+					b.Fatalf("parallel count %d, serial %d", n, want)
 				}
 			}
 		})

@@ -27,6 +27,7 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	full := flag.Bool("full", false, "include the x500 fold in table 3 (slow)")
 	census := flag.Bool("census", false, "print the status search-space census for the benchmark patterns (§3 complexity)")
+	parallel := flag.Int("parallel", 0, "run table 3 partition-parallel with this many workers (0 = serial, -1 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *census {
@@ -74,7 +75,14 @@ func main() {
 			if *full {
 				folds = append(folds, 500)
 			}
-			rows, err := experiments.Table3(folds)
+			var rows []experiments.Table3Row
+			var err error
+			if *parallel != 0 {
+				fmt.Printf("(partition-parallel execution, %d workers)\n", *parallel)
+				rows, err = experiments.Table3Parallel(folds, *parallel)
+			} else {
+				rows, err = experiments.Table3(folds)
+			}
 			if err != nil {
 				return err
 			}

@@ -27,6 +27,7 @@ func main() {
 	limit := flag.Int("limit", 10, "matches to print (0 = count only)")
 	explain := flag.Bool("explain", false, "compare all optimizers instead of executing")
 	trace := flag.Bool("trace", false, "print the DPP search trace instead of executing")
+	parallel := flag.Int("parallel", 0, "partition-parallel workers (0 = serial, -1 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *query == "" || (*xmlPath == "") == (*dataset == "") {
@@ -41,7 +42,7 @@ func main() {
 	if *trace {
 		mode = modeTrace
 	}
-	if err := runMode(*xmlPath, *dataset, *fold, *query, *method, *limit, mode); err != nil {
+	if err := runModeParallel(*xmlPath, *dataset, *fold, *query, *method, *limit, mode, *parallel); err != nil {
 		fmt.Fprintf(os.Stderr, "xqrun: %v\n", err)
 		os.Exit(1)
 	}
@@ -66,6 +67,12 @@ func run(xmlPath, dataset string, fold int, query, method string, limit int, exp
 }
 
 func runMode(xmlPath, dataset string, fold int, query, method string, limit int, m mode) error {
+	return runModeParallel(xmlPath, dataset, fold, query, method, limit, m, 0)
+}
+
+// runModeParallel is runMode with partition-parallel execution: parallel 0
+// runs serial, otherwise queries go through db.WithParallelism(parallel).
+func runModeParallel(xmlPath, dataset string, fold int, query, method string, limit int, m mode, parallel int) error {
 	var db *sjos.Database
 	var err error
 	if xmlPath != "" {
@@ -81,7 +88,13 @@ func runMode(xmlPath, dataset string, fold int, query, method string, limit int,
 	if err != nil {
 		return err
 	}
-	fmt.Printf("database: %d element nodes\n", db.NumNodes())
+	if parallel != 0 {
+		db = db.WithParallelism(parallel)
+		fmt.Printf("database: %d element nodes (parallel execution, %d workers)\n",
+			db.NumNodes(), db.Parallelism())
+	} else {
+		fmt.Printf("database: %d element nodes\n", db.NumNodes())
+	}
 
 	pat, err := sjos.ParsePattern(query)
 	if err != nil {

@@ -47,16 +47,25 @@ func (db *Database) ExplainAnalyze(pat *Pattern, m Method) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	before := db.store.PoolStats()
 	ctx := &exec.Context{Doc: db.doc, Store: db.store}
 	n, err := exec.Count(ctx, op)
 	if err != nil {
 		return "", err
 	}
+	after := db.store.PoolStats()
 	exec.Finish(analyses)
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "pattern: %s\n%s plan, estimated cost %.0f, %d matches\n",
 		pat.String(), m, res.Cost, n)
 	sb.WriteString(exec.FormatAnalysis(pat, res.Plan, analyses))
+	hits, misses := after.Hits-before.Hits, after.Misses-before.Misses
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses) * 100
+	}
+	fmt.Fprintf(&sb, "buffer pool: %d hits, %d misses (%.1f%% hit rate)\n",
+		hits, misses, rate)
 	return sb.String(), nil
 }
 

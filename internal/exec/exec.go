@@ -72,12 +72,36 @@ type Stats struct {
 	OutputTuples  int // tuples produced by the plan root
 }
 
+// Add accumulates o's counters into s. The partition-parallel driver uses
+// it to merge per-worker statistics into the shared totals; because the
+// partitions tile the document, the merged counters are comparable to a
+// serial execution's.
+func (s *Stats) Add(o Stats) {
+	s.ScannedTuples += o.ScannedTuples
+	s.StackOps += o.StackOps
+	s.BufferedPairs += o.BufferedPairs
+	s.SortedTuples += o.SortedTuples
+	s.OutputTuples += o.OutputTuples
+}
+
 // Context carries the execution environment shared by all operators of one
 // plan.
 type Context struct {
 	Doc   *xmltree.Document
 	Store *storage.Store
 	Stats Stats
+
+	// Range, when non-nil, restricts every IndexScan to candidates whose
+	// Start position lies in [Range.Lo, Range.Hi). The partition-parallel
+	// driver runs one plan clone per disjoint range; nil (the default)
+	// scans the whole document.
+	Range *storage.Range
+
+	// Interrupt, when non-nil, is polled periodically by long-running
+	// operators; a non-nil result aborts the execution with that error.
+	// The parallel driver points it at the worker context's Err so
+	// cancelled queries stop scanning promptly.
+	Interrupt func() error
 }
 
 // Operator is the Volcano iterator contract. Usage: Open, repeated Next

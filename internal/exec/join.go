@@ -123,10 +123,14 @@ func (j *StackTreeJoin) Next() (Tuple, bool, error) {
 	return j.nextAnc()
 }
 
-// joined builds the output tuple for (entry, right).
+// joined builds the output tuple for (entry, right): one exact-size
+// allocation and two copies — this runs once per output tuple, so it is the
+// hottest allocation site in the executor.
 func (j *StackTreeJoin) joined(e *stackEntry, r Tuple) Tuple {
-	out := make(Tuple, 0, len(e.tuple)+len(r))
-	return append(append(out, e.tuple...), r...)
+	out := make(Tuple, len(e.tuple)+len(r))
+	n := copy(out, e.tuple)
+	copy(out[n:], r)
+	return out
 }
 
 // matches reports whether a stack entry satisfies the edge's axis with the
@@ -179,7 +183,9 @@ func (j *StackTreeJoin) nextDesc() (Tuple, bool, error) {
 				return j.joined(e, j.emitR), true, nil
 			}
 		}
-		j.emit, j.emitR = nil, nil
+		// Keep emit's backing array: the next stack snapshot reuses it
+		// instead of allocating per right tuple.
+		j.emit, j.emitR = j.emit[:0], nil
 
 		if !j.rOK {
 			return nil, false, nil // no right input left: join is done

@@ -1,0 +1,345 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sjos/internal/pattern"
+	"sjos/internal/plan"
+	"sjos/internal/storage"
+	"sjos/internal/xmltree"
+)
+
+// ParallelExec drives one physical plan over K disjoint region partitions
+// of the document, executing an independent clone of the plan per partition
+// on a bounded worker pool.
+//
+// The region encoding makes the partitioning exact: every match of a tree
+// pattern lies entirely inside the region of the node bound to the pattern
+// root, and storage.PartitionDoc only cuts between top-level candidate
+// regions of the root's tag, so each match is produced by exactly one
+// partition and every column of every match stays inside its partition's
+// position range. Partition outputs are therefore disjoint, internally
+// ordered by the plan's output column, and segment the global order — the
+// merge is a plain ordered append, preserving the executor's
+// output-ordering invariant with no comparison work.
+//
+// Per-worker Stats are accumulated into the driving Context's Stats under a
+// lock as partitions complete. Because the partition ranges tile the
+// postings space, the semantic counters (OutputTuples, BufferedPairs,
+// SortedTuples) exactly match a serial execution of the same plan; the
+// work counters (ScannedTuples, StackOps) can differ by a few units per
+// partition boundary, since a streaming join stops consuming its left
+// input once the right side exhausts and the serial and partitioned runs
+// reach that point at different places.
+type ParallelExec struct {
+	// Workers bounds the number of concurrently executing plan clones.
+	// <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Partitions is the number of region ranges the document is split
+	// into; <= 0 means Workers. More partitions than workers improve load
+	// balance at a small per-partition setup cost.
+	Partitions int
+}
+
+func (pe *ParallelExec) workers() int {
+	if pe.Workers > 0 {
+		return pe.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ranges computes the partition ranges for pat over c's document: split on
+// the pattern root's tag, weighted by the postings counts of every tag the
+// plan scans (with multiplicity — a tag scanned twice weighs twice).
+func (pe *ParallelExec) ranges(c *Context, pat *pattern.Pattern) []storage.Range {
+	k := pe.Partitions
+	if k <= 0 {
+		k = pe.workers()
+	}
+	rootTag, ok := c.Doc.LookupTag(pat.Nodes[0].Tag)
+	if !ok {
+		return []storage.Range{storage.FullRange(c.Doc)}
+	}
+	weight := make([]xmltree.TagID, 0, pat.N())
+	for _, nd := range pat.Nodes {
+		if t, ok := c.Doc.LookupTag(nd.Tag); ok {
+			weight = append(weight, t)
+		}
+	}
+	return storage.PartitionDoc(c.Doc, rootTag, weight, k)
+}
+
+// Run executes p over disjoint partitions and returns the concatenated
+// result: the same tuples, in the same (document) order, as exec.Run. ctx
+// cancels in-flight partitions; base collects the merged statistics.
+func (pe *ParallelExec) Run(ctx context.Context, base *Context, pat *pattern.Pattern, p *plan.Node) ([]Tuple, error) {
+	return pe.run(ctx, base, pat, p, -1)
+}
+
+// RunLimit is Run stopped after the first n result tuples (in output
+// order). Each partition produces at most n tuples, and as soon as an
+// order-prefix of completed partitions holds n tuples the remaining
+// workers are cancelled — the parallel counterpart of Limit's early Close.
+func (pe *ParallelExec) RunLimit(ctx context.Context, base *Context, pat *pattern.Pattern, p *plan.Node, n int) ([]Tuple, error) {
+	if n < 0 {
+		n = 0
+	}
+	return pe.run(ctx, base, pat, p, n)
+}
+
+// RunCount executes p over disjoint partitions, returning only the total
+// match count.
+func (pe *ParallelExec) RunCount(ctx context.Context, base *Context, pat *pattern.Pattern, p *plan.Node) (int, error) {
+	parts := pe.ranges(base, pat)
+	if len(parts) == 1 {
+		return RunCount(base, pat, p)
+	}
+	counts := make([]int, len(parts))
+	err := pe.forEachPartition(ctx, base, pat, p, parts, func(cctx context.Context, i int, local *Context, root Operator) error {
+		n, err := drainCount(cctx, local, root)
+		counts[i] = n
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	base.Stats.OutputTuples = total
+	return total, nil
+}
+
+// errLimitSatisfied signals (worker -> pool) that a complete order-prefix
+// of partitions already holds the first k tuples; it is translated into a
+// cooperative cancel, not a failure.
+var errLimitSatisfied = errors.New("exec: parallel limit satisfied")
+
+// run is the shared tuple-collecting driver: limit < 0 collects
+// everything, limit >= 0 stops after the first limit tuples of the
+// concatenated output.
+func (pe *ParallelExec) run(ctx context.Context, base *Context, pat *pattern.Pattern, p *plan.Node, limit int) ([]Tuple, error) {
+	parts := pe.ranges(base, pat)
+	if len(parts) == 1 {
+		// Degenerate split (K=1, unknown root tag, or a document whose
+		// root tag admits no cut): run the ordinary serial path.
+		op, err := Build(pat, p)
+		if err != nil {
+			return nil, err
+		}
+		var root Operator = op
+		if limit >= 0 {
+			root = NewLimit(op, limit)
+		}
+		out, err := Drain(base, root)
+		if err != nil {
+			return nil, err
+		}
+		return NormalizeAll(op.Schema(), pat.N(), out), nil
+	}
+
+	outs := make([][]Tuple, len(parts))
+	done := make([]bool, len(parts))
+	var mu sync.Mutex // guards done and the prefix check
+	err := pe.forEachPartition(ctx, base, pat, p, parts, func(cctx context.Context, i int, local *Context, root Operator) error {
+		var rootOp Operator = root
+		if limit >= 0 {
+			// Each partition needs at most `limit` tuples: the final
+			// answer is an order-prefix of the concatenation.
+			rootOp = NewLimit(root, limit)
+		}
+		out, err := drainTuples(cctx, local, rootOp)
+		if err != nil {
+			return err
+		}
+		outs[i] = NormalizeAll(root.Schema(), pat.N(), out)
+		if limit >= 0 {
+			mu.Lock()
+			done[i] = true
+			got := 0
+			for j := 0; j < len(parts) && done[j]; j++ {
+				got += len(outs[j])
+			}
+			mu.Unlock()
+			if got >= limit {
+				return errLimitSatisfied
+			}
+		} else {
+			mu.Lock()
+			done[i] = true
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Ordered append: partitions tile the position space in order, and
+	// every column of a match stays inside its partition's range, so
+	// concatenation preserves the plan's output order globally. Under a
+	// limit, only the complete prefix of partitions is consulted — later
+	// partitions may have been cancelled.
+	total := 0
+	for i, out := range outs {
+		if !done[i] {
+			break
+		}
+		total += len(out)
+	}
+	if limit >= 0 && total > limit {
+		total = limit
+	}
+	result := make([]Tuple, 0, total)
+	for _, out := range outs {
+		for _, t := range out {
+			if len(result) == total {
+				return finishRun(base, result), nil
+			}
+			result = append(result, t)
+		}
+	}
+	return finishRun(base, result), nil
+}
+
+// finishRun fixes up the merged OutputTuples counter (limit trimming may
+// discard tuples a partition already counted).
+func finishRun(base *Context, result []Tuple) []Tuple {
+	base.Stats.OutputTuples = len(result)
+	return result
+}
+
+// forEachPartition runs body for every partition on a bounded worker pool.
+// Each invocation gets a fresh clone of the plan's operator tree and a
+// partition-local Context whose Stats are merged into base as partitions
+// finish. The first real error cancels the remaining work and is returned;
+// errLimitSatisfied cancels the pool but reports success.
+func (pe *ParallelExec) forEachPartition(
+	ctx context.Context,
+	base *Context,
+	pat *pattern.Pattern,
+	p *plan.Node,
+	parts []storage.Range,
+	body func(cctx context.Context, i int, local *Context, root Operator) error,
+) error {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	nWorkers := pe.workers()
+	if nWorkers > len(parts) {
+		nWorkers = len(parts)
+	}
+	var (
+		next     int32 = -1
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt32(&next, 1))
+				if i >= len(parts) || cctx.Err() != nil {
+					return
+				}
+				rg := parts[i]
+				local := &Context{
+					Doc:       base.Doc,
+					Store:     base.Store,
+					Range:     &rg,
+					Interrupt: cctx.Err,
+				}
+				root, err := Build(pat, p)
+				if err == nil {
+					err = body(cctx, i, local, root)
+				}
+				mu.Lock()
+				base.Stats.Add(local.Stats)
+				switch {
+				case err == nil:
+				case errors.Is(err, errLimitSatisfied):
+					cancel() // prefix complete: stop remaining workers
+				case firstErr == nil && cctx.Err() == nil:
+					firstErr = err
+					cancel()
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	// A cancel initiated by the caller is an error; a limit-satisfied
+	// cancel is success.
+	return ctx.Err()
+}
+
+// drainTuples runs root to completion on local, polling cctx between
+// batches of output tuples so cancelled queries stop promptly.
+func drainTuples(cctx context.Context, local *Context, root Operator) ([]Tuple, error) {
+	if err := root.Open(local); err != nil {
+		return nil, err
+	}
+	var out []Tuple
+	for {
+		if len(out)&63 == 0 {
+			if err := cctx.Err(); err != nil {
+				root.Close()
+				return nil, err
+			}
+		}
+		t, ok, err := root.Next()
+		if err != nil {
+			root.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	if err := root.Close(); err != nil {
+		return nil, err
+	}
+	local.Stats.OutputTuples = len(out)
+	return out, nil
+}
+
+// drainCount is drainTuples without materialisation.
+func drainCount(cctx context.Context, local *Context, root Operator) (int, error) {
+	if err := root.Open(local); err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		if n&63 == 0 {
+			if err := cctx.Err(); err != nil {
+				root.Close()
+				return 0, err
+			}
+		}
+		_, ok, err := root.Next()
+		if err != nil {
+			root.Close()
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if err := root.Close(); err != nil {
+		return 0, err
+	}
+	local.Stats.OutputTuples = n
+	return n, nil
+}

@@ -47,7 +47,11 @@ func (s *IndexScan) Open(ctx *Context) error {
 		s.done = true // unknown tag: empty candidate stream
 		return nil
 	}
-	s.scan = ctx.Store.ScanTag(tag)
+	if r := ctx.Range; r != nil {
+		s.scan = ctx.Store.ScanTagRange(tag, r.Lo, r.Hi)
+	} else {
+		s.scan = ctx.Store.ScanTag(tag)
+	}
 	return nil
 }
 
@@ -66,6 +70,14 @@ func (s *IndexScan) Next() (Tuple, bool, error) {
 			return nil, false, nil
 		}
 		s.ctx.Stats.ScannedTuples++
+		// Poll for cancellation on long scans (every 4096 rows) so a
+		// cancelled parallel query stops even inside a selective scan
+		// that produces no output for the driver's drain loop to observe.
+		if s.ctx.Interrupt != nil && s.ctx.Stats.ScannedTuples&0xfff == 0 {
+			if err := s.ctx.Interrupt(); err != nil {
+				return nil, false, err
+			}
+		}
 		if s.op != pattern.CmpNone &&
 			!histogram.EvalPredicate(s.ctx.Doc.Value(id), s.op, s.value) {
 			continue

@@ -1,0 +1,115 @@
+package storage
+
+import (
+	"sort"
+
+	"sjos/internal/xmltree"
+)
+
+// Range is a half-open interval [Lo, Hi) of document pre-order positions.
+// The partition-parallel executor restricts every index scan to candidates
+// whose Start position lies inside one such range.
+type Range struct {
+	Lo, Hi xmltree.Pos
+}
+
+// Contains reports whether position p lies inside the range.
+func (r Range) Contains(p xmltree.Pos) bool { return r.Lo <= p && p < r.Hi }
+
+// FullRange returns the range covering every position of doc.
+func FullRange(doc *xmltree.Document) Range {
+	return Range{Lo: 0, Hi: doc.MaxPos() + 1}
+}
+
+// PartitionDoc splits doc into at most k disjoint, contiguous position
+// ranges that together tile [0, MaxPos+1), suitable for partition-parallel
+// evaluation of a tree pattern rooted at rootTag.
+//
+// Correctness rests on the region encoding: every match of a tree pattern
+// is contained in the region of the node bound to the pattern root, so a
+// set of ranges whose boundaries never split a rootTag candidate region
+// partitions the match set exactly — each match falls entirely inside the
+// range holding its root binding, and ranges can be evaluated independently
+// and concatenated in order. Cut points are therefore only placed at the
+// start of a top-level (maximal, non-nested) rootTag candidate region.
+//
+// The split is balanced by postings counts: each candidate cut segment is
+// weighted by the number of weightTags postings (with multiplicity — a tag
+// scanned by two pattern nodes costs twice) whose Start falls inside it,
+// which is proportional to the index-scan work a partition performs.
+//
+// The result always has at least one range; fewer than k ranges are
+// returned when the document has fewer top-level candidate regions than k
+// (in the degenerate case of a single region — e.g. the pattern root is the
+// document root's tag — partition parallelism is impossible and the full
+// range is returned alone).
+func PartitionDoc(doc *xmltree.Document, rootTag xmltree.TagID, weightTags []xmltree.TagID, k int) []Range {
+	full := FullRange(doc)
+	if k <= 1 || doc.NumNodes() == 0 {
+		return []Range{full}
+	}
+	cands := doc.NodesWithTag(rootTag)
+	if len(cands) == 0 {
+		return []Range{full}
+	}
+
+	// Top-level candidate regions: candidates not nested inside an earlier
+	// candidate. Candidates arrive in document order, so one sweep with the
+	// current maximal region end suffices.
+	var tops []xmltree.NodeID
+	var curEnd xmltree.Pos
+	for _, c := range cands {
+		if len(tops) == 0 || doc.Start(c) > curEnd {
+			tops = append(tops, c)
+			curEnd = doc.End(c)
+		}
+	}
+	if len(tops) == 1 {
+		return []Range{full}
+	}
+
+	// Cut positions: the start of every top-level region after the first.
+	// A cut at Start(top_j) splits no candidate region: candidates inside
+	// earlier top regions end before it, candidates inside top_j start at
+	// or after it.
+	cuts := make([]xmltree.Pos, 0, len(tops)+1)
+	cuts = append(cuts, 0)
+	for j := 1; j < len(tops); j++ {
+		cuts = append(cuts, doc.Start(tops[j]))
+	}
+	cuts = append(cuts, full.Hi)
+
+	// Weight each segment [cuts[j], cuts[j+1]) by the postings whose Start
+	// lies inside it. Postings lists are in document order (NodeID order ==
+	// Start order), so a binary search per segment boundary splits them.
+	m := len(cuts) - 1
+	weights := make([]int, m)
+	total := 0
+	for _, t := range weightTags {
+		nodes := doc.NodesWithTag(t)
+		for j := 0; j < m; j++ {
+			lo := sort.Search(len(nodes), func(i int) bool { return doc.Start(nodes[i]) >= cuts[j] })
+			hi := sort.Search(len(nodes), func(i int) bool { return doc.Start(nodes[i]) >= cuts[j+1] })
+			weights[j] += hi - lo
+			total += hi - lo
+		}
+	}
+
+	// Greedy proportional packing: close the current range once its
+	// cumulative weight reaches the proportional target, as long as enough
+	// segments remain to keep every later range non-empty.
+	if k > m {
+		k = m
+	}
+	out := make([]Range, 0, k)
+	start := 0 // cut index where the current range begins
+	cum := 0
+	for j := 0; j < m; j++ {
+		cum += weights[j]
+		if len(out) < k-1 && cum*k >= total*(len(out)+1) && m-1-j >= k-1-len(out) {
+			out = append(out, Range{Lo: cuts[start], Hi: cuts[j+1]})
+			start = j + 1
+		}
+	}
+	return append(out, Range{Lo: cuts[start], Hi: cuts[m]})
+}

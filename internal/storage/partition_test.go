@@ -1,0 +1,183 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"sjos/internal/xmltree"
+)
+
+// partitionDoc builds a document with several disjoint top-level subtrees
+// (the shape Fold produces) plus recursive nesting of the partition tag.
+func partitionTestDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	b := xmltree.NewBuilder()
+	b.Open("root", "")
+	for i := 0; i < 7; i++ {
+		b.Open("a", "")
+		b.Open("b", "x")
+		b.Close()
+		if i%2 == 0 { // nested a inside a: candidate regions must not split
+			b.Open("a", "")
+			b.Open("b", "y")
+			b.Close()
+			b.Close()
+		}
+		b.Close()
+	}
+	b.Close()
+	doc, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestPartitionDocTiles checks the fundamental partition invariants: the
+// ranges tile [0, MaxPos+1) in order, and no range boundary splits a
+// candidate region of the partition tag.
+func TestPartitionDocTiles(t *testing.T) {
+	doc := partitionTestDoc(t)
+	tagA, ok := doc.LookupTag("a")
+	if !ok {
+		t.Fatal("tag a missing")
+	}
+	tagB, _ := doc.LookupTag("b")
+	for k := 1; k <= 12; k++ {
+		parts := PartitionDoc(doc, tagA, []xmltree.TagID{tagA, tagB}, k)
+		if len(parts) == 0 || len(parts) > k {
+			t.Fatalf("k=%d: got %d ranges", k, len(parts))
+		}
+		if parts[0].Lo != 0 || parts[len(parts)-1].Hi != doc.MaxPos()+1 {
+			t.Fatalf("k=%d: ranges %v do not span the document", k, parts)
+		}
+		for i := 1; i < len(parts); i++ {
+			if parts[i].Lo != parts[i-1].Hi {
+				t.Fatalf("k=%d: gap/overlap between %v and %v", k, parts[i-1], parts[i])
+			}
+			if parts[i].Lo >= parts[i].Hi {
+				t.Fatalf("k=%d: empty range %v", k, parts[i])
+			}
+		}
+		// No candidate region crosses a range boundary.
+		for _, c := range doc.NodesWithTag(tagA) {
+			for _, r := range parts {
+				if r.Contains(doc.Start(c)) {
+					if doc.End(c) >= r.Hi {
+						t.Fatalf("k=%d: candidate region [%d,%d] crosses range %v",
+							k, doc.Start(c), doc.End(c), r)
+					}
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionDocDegenerate covers the cases where partitioning is
+// impossible: k<=1, an unknown root tag, and a root tag with a single
+// top-level region (the document root itself).
+func TestPartitionDocDegenerate(t *testing.T) {
+	doc := partitionTestDoc(t)
+	tagA, _ := doc.LookupTag("a")
+	rootTag, _ := doc.LookupTag("root")
+	for name, parts := range map[string][]Range{
+		"k=1":      PartitionDoc(doc, tagA, nil, 1),
+		"k=0":      PartitionDoc(doc, tagA, nil, 0),
+		"no-tag":   PartitionDoc(doc, xmltree.TagID(99), nil, 4),
+		"doc-root": PartitionDoc(doc, rootTag, nil, 4),
+	} {
+		if len(parts) != 1 || parts[0] != FullRange(doc) {
+			t.Errorf("%s: got %v, want single full range", name, parts)
+		}
+	}
+}
+
+// TestPartitionDocBalance checks that on a uniformly folded document the
+// postings weight is spread roughly evenly.
+func TestPartitionDocBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := xmltree.RandomDocument(rng, 300, []string{"a", "b", "c"})
+	doc := xmltree.Fold(base, 16)
+	tagA, _ := doc.LookupTag("a")
+	tagB, _ := doc.LookupTag("b")
+	weight := func(r Range) int {
+		n := 0
+		for _, tg := range []xmltree.TagID{tagA, tagB} {
+			for _, nd := range doc.NodesWithTag(tg) {
+				if r.Contains(doc.Start(nd)) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	const k = 4
+	parts := PartitionDoc(doc, tagA, []xmltree.TagID{tagA, tagB}, k)
+	if len(parts) < 2 {
+		t.Fatalf("expected multiple partitions, got %v", parts)
+	}
+	total := 0
+	for _, r := range parts {
+		total += weight(r)
+	}
+	for _, r := range parts {
+		w := weight(r)
+		if w > total/len(parts)*3 {
+			t.Errorf("partition %v holds %d of %d postings: badly unbalanced", r, w, total)
+		}
+	}
+}
+
+// TestScanTagRange checks the bounded scanner against a filtered full scan.
+func TestScanTagRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	doc := xmltree.RandomDocument(rng, 500, []string{"a", "b", "c"})
+	st, err := BuildStore(doc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagB, _ := doc.LookupTag("b")
+	all := doc.NodesWithTag(tagB)
+	if len(all) < 10 {
+		t.Fatalf("workload too small: %d b nodes", len(all))
+	}
+	bounds := []Range{
+		{0, doc.MaxPos() + 1},                           // full
+		{doc.Start(all[3]), doc.Start(all[len(all)-3])}, // interior
+		{0, 1},                           // empty prefix
+		{doc.MaxPos(), doc.MaxPos() + 1}, // empty suffix
+		{doc.Start(all[5]), doc.Start(all[5]) + 1}, // single node
+	}
+	for _, r := range bounds {
+		var want []xmltree.NodeID
+		for _, nd := range all {
+			if r.Contains(doc.Start(nd)) {
+				want = append(want, nd)
+			}
+		}
+		sc := st.ScanTagRange(tagB, r.Lo, r.Hi)
+		var got []xmltree.NodeID
+		for {
+			id, rec, ok, err := sc.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			if rec.Start != doc.Start(id) {
+				t.Fatalf("record mismatch for node %d", id)
+			}
+			got = append(got, id)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("range %v: got %d nodes, want %d", r, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("range %v: node %d = %d, want %d", r, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -156,6 +156,12 @@ func (s *Store) NumNodes() int { return s.doc.NumNodes }
 // Pool returns the store's buffer pool (for stats and tests).
 func (s *Store) Pool() *BufferPool { return s.pool }
 
+// PoolStats returns a snapshot of the store's buffer pool counters — the
+// page-cache hit/miss behaviour of everything executed against this store,
+// including concurrent partition-parallel scans (the pool counts under its
+// own lock).
+func (s *Store) PoolStats() PoolStats { return s.pool.Stats() }
+
 // File returns the underlying page file (for stats and tests).
 func (s *Store) File() PageFile { return s.file }
 
@@ -183,11 +189,18 @@ func (s *Store) Node(id xmltree.NodeID) (NodeRecord, error) {
 
 // TagScanner iterates one tag's postings in document order, fetching node
 // records through the buffer pool. It is the physical realisation of the
-// paper's "index access" leaf operator.
+// paper's "index access" leaf operator. A scanner opened with ScanTagRange
+// is additionally restricted to nodes whose Start position lies inside a
+// half-open range — the partition-parallel executor's leaf access path.
 type TagScanner struct {
 	store *Store
 	run   tagRun
 	i     int // postings consumed
+
+	// Range restriction (ScanTagRange only).
+	bounded bool
+	lo, hi  xmltree.Pos
+	seeked  bool // initial binary search for lo performed
 }
 
 // ScanTag opens a scanner over tag t's postings.
@@ -199,28 +212,85 @@ func (s *Store) ScanTag(t xmltree.TagID) *TagScanner {
 	return &TagScanner{store: s, run: run}
 }
 
-// Next returns the next (NodeID, NodeRecord) for the tag. ok is false when
-// the postings are exhausted.
-func (sc *TagScanner) Next() (xmltree.NodeID, NodeRecord, bool, error) {
-	if sc.i >= sc.run.count {
-		return 0, NodeRecord{}, false, nil
-	}
-	global := sc.run.offset + sc.i
+// ScanTagRange opens a scanner over the subset of tag t's postings whose
+// Start position lies in [lo, hi). The scanner seeks to the first in-range
+// posting with a binary search over the postings segment (postings are in
+// document order, and document order is Start order) on the first Next
+// call, so a partition pays O(log n) page reads instead of skipping every
+// earlier posting.
+func (s *Store) ScanTagRange(t xmltree.TagID, lo, hi xmltree.Pos) *TagScanner {
+	sc := s.ScanTag(t)
+	sc.bounded, sc.lo, sc.hi = true, lo, hi
+	return sc
+}
+
+// posting reads the i-th posting of the scanner's tag.
+func (sc *TagScanner) posting(i int) (xmltree.NodeID, error) {
+	global := sc.run.offset + i
 	p := sc.run.firstPage + PageID(global/postingsPerPage)
 	off := (global % postingsPerPage) * postingSize
 	pg, err := sc.store.pool.Get(p)
 	if err != nil {
-		return 0, NodeRecord{}, false, err
+		return 0, err
 	}
 	id := xmltree.NodeID(binary.LittleEndian.Uint32(pg[off:]))
 	sc.store.pool.Unpin(p, false)
+	return id, nil
+}
+
+// seek positions the scanner on the first posting with Start >= lo.
+func (sc *TagScanner) seek() error {
+	sc.seeked = true
+	lo, hi := 0, sc.run.count
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		id, err := sc.posting(mid)
+		if err != nil {
+			return err
+		}
+		rec, err := sc.store.Node(id)
+		if err != nil {
+			return err
+		}
+		if rec.Start < sc.lo {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	sc.i = lo
+	return nil
+}
+
+// Next returns the next (NodeID, NodeRecord) for the tag. ok is false when
+// the postings (or, for a bounded scanner, the in-range postings) are
+// exhausted.
+func (sc *TagScanner) Next() (xmltree.NodeID, NodeRecord, bool, error) {
+	if sc.bounded && !sc.seeked {
+		if err := sc.seek(); err != nil {
+			return 0, NodeRecord{}, false, err
+		}
+	}
+	if sc.i >= sc.run.count {
+		return 0, NodeRecord{}, false, nil
+	}
+	id, err := sc.posting(sc.i)
+	if err != nil {
+		return 0, NodeRecord{}, false, err
+	}
 	rec, err := sc.store.Node(id)
 	if err != nil {
 		return 0, NodeRecord{}, false, err
+	}
+	if sc.bounded && rec.Start >= sc.hi {
+		sc.i = sc.run.count // range exhausted: park at end
+		return 0, NodeRecord{}, false, nil
 	}
 	sc.i++
 	return id, rec, true, nil
 }
 
-// Remaining returns how many postings are left to scan.
+// Remaining returns how many postings are left to scan. For a bounded
+// scanner this is an upper bound: the tail beyond the range's end is
+// included until the scanner reaches it.
 func (sc *TagScanner) Remaining() int { return sc.run.count - sc.i }

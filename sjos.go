@@ -1,9 +1,11 @@
 package sjos
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -40,6 +42,8 @@ type (
 	NodeID = xmltree.NodeID
 	// ExecStats counts the physical work of one execution.
 	ExecStats = exec.Stats
+	// PoolStats reports the buffer pool's page-cache behaviour.
+	PoolStats = storage.PoolStats
 )
 
 // The optimization algorithms (see the package documentation).
@@ -97,12 +101,19 @@ func (o *Options) model() CostModel {
 // CalibrateModel measures cost model factors on the current machine.
 func CalibrateModel() CostModel { return cost.Calibrate() }
 
-// Database is a loaded, indexed XML document ready for querying.
+// Database is a loaded, indexed XML document ready for querying. The
+// zero parallelism (the default for every constructor) executes plans
+// serially; see WithParallelism.
 type Database struct {
 	doc   *xmltree.Document
 	store *storage.Store
 	stats *histogram.Stats
 	model CostModel
+
+	// parallelism > 0 routes Execute/ExecuteCount/ExecuteLimit (and
+	// therefore Query) through the partition-parallel driver with that
+	// many workers. 0 = serial.
+	parallelism int
 }
 
 // LoadXML parses an XML document from r and builds its store, indexes and
@@ -244,9 +255,33 @@ func (db *Database) BadPlan(pat *Pattern, samples int, seed int64) (*OptimizeRes
 	return core.BadPlan(pat, est, db.model, samples, seed)
 }
 
+// WithParallelism returns a view of the database whose Execute,
+// ExecuteCount, ExecuteLimit (and therefore Query) run plans through the
+// partition-parallel driver with k workers: the document is split into k
+// region ranges balanced by postings weight, an independent clone of the
+// plan runs per range on a bounded worker pool, and the partition outputs
+// are concatenated in document order — the same matches, in the same
+// order, as serial execution. k <= 0 selects runtime.GOMAXPROCS(0). The
+// receiver is unchanged (and stays serial); views share the underlying
+// store and are safe for concurrent use.
+func (db *Database) WithParallelism(k int) *Database {
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	c := *db
+	c.parallelism = k
+	return &c
+}
+
+// Parallelism reports the worker count queries run with (0 = serial).
+func (db *Database) Parallelism() int { return db.parallelism }
+
 // Execute runs a plan and returns the matches in pattern-node order plus
 // the execution statistics.
 func (db *Database) Execute(pat *Pattern, p *Plan) ([]Match, ExecStats, error) {
+	if db.parallelism > 0 {
+		return db.ExecuteParallel(pat, p, db.parallelism)
+	}
 	ctx := &exec.Context{Doc: db.doc, Store: db.store}
 	out, err := exec.Run(ctx, pat, p)
 	return out, ctx.Stats, err
@@ -255,6 +290,9 @@ func (db *Database) Execute(pat *Pattern, p *Plan) ([]Match, ExecStats, error) {
 // ExecuteCount runs a plan, returning only the match count (cheaper than
 // Execute for large results).
 func (db *Database) ExecuteCount(pat *Pattern, p *Plan) (int, ExecStats, error) {
+	if db.parallelism > 0 {
+		return db.ExecuteParallelCount(pat, p, db.parallelism)
+	}
 	ctx := &exec.Context{Doc: db.doc, Store: db.store}
 	n, err := exec.RunCount(ctx, pat, p)
 	return n, ctx.Stats, err
@@ -265,6 +303,9 @@ func (db *Database) ExecuteCount(pat *Pattern, p *Plan) (int, ExecStats, error) 
 // fully-pipelined plan returns its first results without computing the full
 // answer, while a blocking plan must finish its sorts first.
 func (db *Database) ExecuteLimit(pat *Pattern, p *Plan, n int) ([]Match, ExecStats, error) {
+	if db.parallelism > 0 {
+		return db.ExecuteParallelLimit(pat, p, n, db.parallelism)
+	}
 	op, err := exec.Build(pat, p)
 	if err != nil {
 		return nil, ExecStats{}, err
@@ -276,6 +317,39 @@ func (db *Database) ExecuteLimit(pat *Pattern, p *Plan, n int) ([]Match, ExecSta
 	}
 	return exec.NormalizeAll(op.Schema(), pat.N(), out), ctx.Stats, nil
 }
+
+// ExecuteParallel runs a plan partition-parallel with k workers (k <= 0 =
+// GOMAXPROCS) regardless of the database's configured parallelism. The
+// result is identical to Execute: same matches, same document order. The
+// returned statistics are the merged per-worker counters.
+func (db *Database) ExecuteParallel(pat *Pattern, p *Plan, k int) ([]Match, ExecStats, error) {
+	pe := &exec.ParallelExec{Workers: k}
+	ctx := &exec.Context{Doc: db.doc, Store: db.store}
+	out, err := pe.Run(context.Background(), ctx, pat, p)
+	return out, ctx.Stats, err
+}
+
+// ExecuteParallelCount is ExecuteParallel returning only the match count.
+func (db *Database) ExecuteParallelCount(pat *Pattern, p *Plan, k int) (int, ExecStats, error) {
+	pe := &exec.ParallelExec{Workers: k}
+	ctx := &exec.Context{Doc: db.doc, Store: db.store}
+	n, err := pe.RunCount(context.Background(), ctx, pat, p)
+	return n, ctx.Stats, err
+}
+
+// ExecuteParallelLimit is ExecuteParallel stopped after the first n
+// matches; once a complete prefix of partitions holds n results the
+// remaining workers are cancelled.
+func (db *Database) ExecuteParallelLimit(pat *Pattern, p *Plan, n, k int) ([]Match, ExecStats, error) {
+	pe := &exec.ParallelExec{Workers: k}
+	ctx := &exec.Context{Doc: db.doc, Store: db.store}
+	out, err := pe.RunLimit(context.Background(), ctx, pat, p, n)
+	return out, ctx.Stats, err
+}
+
+// PoolStats returns a snapshot of the buffer pool's cumulative hit/miss
+// counters for this database's store (shared by all parallelism views).
+func (db *Database) PoolStats() PoolStats { return db.store.PoolStats() }
 
 // TwigStack evaluates pat with the holistic twig join (the multi-way
 // alternative of Bruno et al. that the paper cites as future work), for
