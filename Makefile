@@ -1,6 +1,8 @@
-# Build, test and benchmark entry points. `make bench` runs the tier-1
-# suite under the race detector first, then emits benchmark results as
-# streamed test2json events into BENCH_parallel.json.
+# Build, test and benchmark entry points. `make check` is the CI gate:
+# go vet plus the full suite under the race detector. `make bench` runs the
+# tier-1 suite under the race detector first, then emits benchmark results
+# as streamed test2json events into BENCH_parallel.json and the plan-cache
+# cold/warm comparison into BENCH_plancache.json.
 #
 # BENCH selects the benchmark regexp (default: the partition-parallel
 # executor benches; use BENCH=. for the full table/figure suite — slow).
@@ -8,7 +10,7 @@
 GO    ?= go
 BENCH ?= Parallel
 
-.PHONY: all build test test-race bench clean
+.PHONY: all build test test-race vet check bench clean
 
 all: build test
 
@@ -21,8 +23,14 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+vet:
+	$(GO) vet ./...
+
+check: vet test-race
+
 bench: test-race
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -json . | tee BENCH_parallel.json
+	$(GO) test -run '^$$' -bench 'PlanCache' -benchmem -json . | tee BENCH_plancache.json
 
 clean:
-	rm -f BENCH_parallel.json
+	rm -f BENCH_parallel.json BENCH_plancache.json

@@ -15,9 +15,11 @@
 package sjos_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"sjos"
 	"sjos/internal/experiments"
@@ -389,4 +391,56 @@ func BenchmarkParallelExecute(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPlanCacheColdOptimize measures the optimize phase of the
+// representative query with the plan cache bypassed — every iteration runs
+// a full optimizer search.
+func BenchmarkPlanCacheColdOptimize(b *testing.B) {
+	q, err := experiments.QueryByID(experiments.PersQuery3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := mustDataset(b, q.Dataset, 1)
+	var opt time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.QueryContext(context.Background(), q.Source,
+			sjos.QueryOptions{Method: sjos.MethodDPP, NoCache: true, Limit: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt += res.OptimizeTime
+	}
+	b.ReportMetric(float64(opt.Nanoseconds())/float64(b.N), "optimize-ns/op")
+}
+
+// BenchmarkPlanCacheWarmOptimize is the cached counterpart: after one
+// priming run, every iteration's plan comes from the cache. Comparing
+// optimize-ns/op against BenchmarkPlanCacheColdOptimize measures the
+// cache's speedup (EXPERIMENTS.md records the ratio).
+func BenchmarkPlanCacheWarmOptimize(b *testing.B) {
+	q, err := experiments.QueryByID(experiments.PersQuery3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := mustDataset(b, q.Dataset, 1)
+	if _, err := db.QueryContext(context.Background(), q.Source,
+		sjos.QueryOptions{Method: sjos.MethodDPP, Limit: 1}); err != nil {
+		b.Fatal(err)
+	}
+	var opt time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.QueryContext(context.Background(), q.Source,
+			sjos.QueryOptions{Method: sjos.MethodDPP, Limit: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.CachedPlan {
+			b.Fatal("warm iteration missed the plan cache")
+		}
+		opt += res.OptimizeTime
+	}
+	b.ReportMetric(float64(opt.Nanoseconds())/float64(b.N), "optimize-ns/op")
 }

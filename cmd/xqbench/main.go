@@ -8,6 +8,7 @@
 //	xqbench -table 3 -full      # ... including the ×500 fold (slow, needs ~2 GB)
 //	xqbench -figure 7           # Figure 7: DPAP-EB Te sweep, fold ×100
 //	xqbench -figure 8           # Figure 8: DPAP-EB Te sweep, fold ×1
+//	xqbench -cachebench         # plan cache: cold vs warm optimize phase
 //	xqbench -all                # everything (without -full folds)
 package main
 
@@ -28,6 +29,8 @@ func main() {
 	full := flag.Bool("full", false, "include the x500 fold in table 3 (slow)")
 	census := flag.Bool("census", false, "print the status search-space census for the benchmark patterns (§3 complexity)")
 	parallel := flag.Int("parallel", 0, "run table 3 partition-parallel with this many workers (0 = serial, -1 = GOMAXPROCS)")
+	cachebench := flag.Bool("cachebench", false, "measure cold vs warm (plan-cached) optimize time per benchmark query")
+	method := flag.String("method", "DPP", "optimizer for -cachebench")
 	flag.Parse()
 
 	if *census {
@@ -39,7 +42,7 @@ func main() {
 			return
 		}
 	}
-	if !*all && !*census && *table == 0 && *figure == 0 {
+	if !*all && !*census && !*cachebench && *table == 0 && *figure == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -47,6 +50,23 @@ func main() {
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "xqbench: %s: %v\n", name, err)
 			os.Exit(1)
+		}
+	}
+	if *cachebench {
+		run("cachebench", func() error {
+			m, err := sjos.ParseMethod(*method)
+			if err != nil {
+				return err
+			}
+			rows, err := experiments.CacheBench(m, 3)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderCacheBench(rows))
+			return nil
+		})
+		if !*all && *table == 0 && *figure == 0 {
+			return
 		}
 	}
 	if *all || *table == 1 {

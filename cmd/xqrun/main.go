@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"sjos"
 )
@@ -28,6 +30,8 @@ func main() {
 	explain := flag.Bool("explain", false, "compare all optimizers instead of executing")
 	trace := flag.Bool("trace", false, "print the DPP search trace instead of executing")
 	parallel := flag.Int("parallel", 0, "partition-parallel workers (0 = serial, -1 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the query after this duration (0 = none)")
+	noCache := flag.Bool("nocache", false, "bypass the plan cache")
 	flag.Parse()
 
 	if *query == "" || (*xmlPath == "") == (*dataset == "") {
@@ -42,7 +46,13 @@ func main() {
 	if *trace {
 		mode = modeTrace
 	}
-	if err := runModeParallel(*xmlPath, *dataset, *fold, *query, *method, *limit, mode, *parallel); err != nil {
+	cfg := runCfg{
+		xmlPath: *xmlPath, dataset: *dataset, fold: *fold,
+		query: *query, method: *method, limit: *limit,
+		mode: mode, parallel: *parallel,
+		timeout: *timeout, noCache: *noCache,
+	}
+	if err := runWith(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "xqrun: %v\n", err)
 		os.Exit(1)
 	}
@@ -56,6 +66,18 @@ const (
 	modeTrace
 )
 
+// runCfg bundles one invocation's settings.
+type runCfg struct {
+	xmlPath, dataset string
+	fold             int
+	query, method    string
+	limit            int
+	mode             mode
+	parallel         int
+	timeout          time.Duration
+	noCache          bool
+}
+
 // run keeps the original signature for the tests; explain selects
 // modeExplain.
 func run(xmlPath, dataset string, fold int, query, method string, limit int, explain bool) error {
@@ -67,40 +89,45 @@ func run(xmlPath, dataset string, fold int, query, method string, limit int, exp
 }
 
 func runMode(xmlPath, dataset string, fold int, query, method string, limit int, m mode) error {
-	return runModeParallel(xmlPath, dataset, fold, query, method, limit, m, 0)
+	return runWith(runCfg{
+		xmlPath: xmlPath, dataset: dataset, fold: fold,
+		query: query, method: method, limit: limit, mode: m,
+	})
 }
 
-// runModeParallel is runMode with partition-parallel execution: parallel 0
-// runs serial, otherwise queries go through db.WithParallelism(parallel).
-func runModeParallel(xmlPath, dataset string, fold int, query, method string, limit int, m mode, parallel int) error {
+// runWith loads the database and evaluates the query per cfg: parallel 0
+// runs serial, otherwise queries go through db.WithParallelism(parallel);
+// a non-zero timeout cancels the optimize and execute phases through the
+// query context.
+func runWith(cfg runCfg) error {
 	var db *sjos.Database
 	var err error
-	if xmlPath != "" {
-		f, err2 := os.Open(xmlPath)
+	if cfg.xmlPath != "" {
+		f, err2 := os.Open(cfg.xmlPath)
 		if err2 != nil {
 			return err2
 		}
 		defer f.Close()
 		db, err = sjos.LoadXML(f, nil)
 	} else {
-		db, err = sjos.GenerateDataset(dataset, 1, fold, nil)
+		db, err = sjos.GenerateDataset(cfg.dataset, 1, cfg.fold, nil)
 	}
 	if err != nil {
 		return err
 	}
-	if parallel != 0 {
-		db = db.WithParallelism(parallel)
+	if cfg.parallel != 0 {
+		db = db.WithParallelism(cfg.parallel)
 		fmt.Printf("database: %d element nodes (parallel execution, %d workers)\n",
 			db.NumNodes(), db.Parallelism())
 	} else {
 		fmt.Printf("database: %d element nodes\n", db.NumNodes())
 	}
 
-	pat, err := sjos.ParsePattern(query)
+	pat, err := sjos.ParsePattern(cfg.query)
 	if err != nil {
 		return err
 	}
-	switch m {
+	switch cfg.mode {
 	case modeExplain:
 		s, err := db.Explain(pat)
 		if err != nil {
@@ -116,22 +143,32 @@ func runModeParallel(xmlPath, dataset string, fold int, query, method string, li
 		fmt.Print(s)
 		return nil
 	}
-	meth, err := sjos.ParseMethod(method)
+	meth, err := sjos.ParseMethod(cfg.method)
 	if err != nil {
 		return err
 	}
-	res, err := db.QueryPattern(pat, meth)
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	res, err := db.QueryPatternContext(ctx, pat, sjos.QueryOptions{Method: meth, NoCache: cfg.noCache})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("optimizer %s considered %d plans in %v (estimated cost %.0f)\n",
-		method, res.PlansConsidered, res.OptimizeTime, res.EstCost)
+	cachedNote := ""
+	if res.CachedPlan {
+		cachedNote = " [cached plan]"
+	}
+	fmt.Printf("optimizer %s considered %d plans in %v (estimated cost %.0f)%s\n",
+		cfg.method, res.PlansConsidered, res.OptimizeTime, res.EstCost, cachedNote)
 	fmt.Println("plan:")
 	fmt.Print(indent(res.PlanText))
 	fmt.Printf("%d matches in %v\n", len(res.Matches), res.ExecuteTime)
 	for i, match := range res.Matches {
-		if limit >= 0 && i >= limit {
-			fmt.Printf("... and %d more\n", len(res.Matches)-limit)
+		if cfg.limit >= 0 && i >= cfg.limit {
+			fmt.Printf("... and %d more\n", len(res.Matches)-cfg.limit)
 			break
 		}
 		parts := make([]string, len(match))

@@ -14,11 +14,13 @@
 //	.trace <pattern>                  DPP search trace
 //	.method DPP|FP|...                switch optimizer
 //	.limit N                          rows to print (default 10)
+//	.cache                            plan cache statistics
 //	.quit
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -129,6 +131,11 @@ func (sh *shell) processLine(line string) bool {
 			return sh.db.TraceDPP(p)
 		})
 		return true
+	case line == ".cache":
+		cs := sh.db.CacheStats()
+		fmt.Fprintf(sh.out, "plan cache: %d/%d entries, %d hits, %d misses, %d coalesced, %d evicted, %d invalidated\n",
+			cs.Entries, cs.Capacity, cs.Hits, cs.Misses, cs.Coalesced, cs.Evictions, cs.Invalidations)
+		return true
 	case strings.HasPrefix(line, "."):
 		fmt.Fprintln(sh.out, "error: unknown command", strings.Fields(line)[0])
 		return true
@@ -157,13 +164,17 @@ func (sh *shell) withPattern(line, cmd string, f func(*sjos.Pattern) (string, er
 }
 
 func (sh *shell) runPattern(src string) {
-	res, err := sh.db.Query(src, sh.method)
+	res, err := sh.db.QueryContext(context.Background(), src, sjos.QueryOptions{Method: sh.method})
 	if err != nil {
 		fmt.Fprintln(sh.out, "error:", err)
 		return
 	}
-	fmt.Fprintf(sh.out, "%d matches (optimize %v, execute %v)\n",
-		len(res.Matches), res.OptimizeTime, res.ExecuteTime)
+	cached := ""
+	if res.CachedPlan {
+		cached = ", cached plan"
+	}
+	fmt.Fprintf(sh.out, "%d matches (optimize %v, execute %v%s)\n",
+		len(res.Matches), res.OptimizeTime, res.ExecuteTime, cached)
 	for i, m := range res.Matches {
 		if i >= sh.limit {
 			fmt.Fprintf(sh.out, "... and %d more\n", len(res.Matches)-sh.limit)

@@ -96,6 +96,22 @@ func TestShellInspectors(t *testing.T) {
 	}
 }
 
+func TestShellCacheCommand(t *testing.T) {
+	sh, out := newShell(t)
+	sh.processLine("//manager/name")
+	out.Reset()
+	sh.processLine("//manager/name")
+	if !strings.Contains(out.String(), "cached plan") {
+		t.Fatalf("repeat query not marked cached:\n%s", out.String())
+	}
+	out.Reset()
+	sh.processLine(".cache")
+	s := out.String()
+	if !strings.Contains(s, "plan cache:") || !strings.Contains(s, "1 hits") {
+		t.Fatalf(".cache output:\n%s", s)
+	}
+}
+
 func TestShellQueryErrors(t *testing.T) {
 	sh, out := newShell(t)
 	sh.processLine("///bad")

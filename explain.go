@@ -66,6 +66,9 @@ func (db *Database) ExplainAnalyze(pat *Pattern, m Method) (string, error) {
 	}
 	fmt.Fprintf(&sb, "buffer pool: %d hits, %d misses (%.1f%% hit rate)\n",
 		hits, misses, rate)
+	cs := db.CacheStats()
+	fmt.Fprintf(&sb, "plan cache: %d/%d entries, %d hits, %d misses, %d coalesced, %d evicted\n",
+		cs.Entries, cs.Capacity, cs.Hits, cs.Misses, cs.Coalesced, cs.Evictions)
 	return sb.String(), nil
 }
 
@@ -74,7 +77,8 @@ func (db *Database) ExplainAnalyze(pat *Pattern, m Method) (string, error) {
 // the paper's Figure 4 optimization walk-through. Intended for debugging
 // and teaching; the chosen plan is appended after the trace.
 func (db *Database) TraceDPP(pat *Pattern) (string, error) {
-	est, err := core.NewEstimator(pat, db.stats)
+	stats, _ := db.svc.snapshot()
+	est, err := core.NewEstimator(pat, stats)
 	if err != nil {
 		return "", err
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 
@@ -47,7 +49,7 @@ func BenchmarkOptimizeScaling(b *testing.B) {
 			b.Run(fmt.Sprintf("n=%d/%s", n, m), func(b *testing.B) {
 				var plans int
 				for i := 0; i < b.N; i++ {
-					res, err := Optimize(pat, est, testModel(), m, nil)
+					res, err := Optimize(context.Background(), pat, est, testModel(), m, nil)
 					if err != nil {
 						b.Fatal(err)
 					}

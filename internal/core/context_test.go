@@ -1,0 +1,64 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestOptimizeCancelled: a pre-cancelled context must abort every method
+// before (or during) its search, returning the context's error.
+func TestOptimizeCancelled(t *testing.T) {
+	pat := figure1Pattern()
+	est := skewedEstimator(t, pat, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, m := range []Method{MethodDP, MethodDPP, MethodDPPNoLookahead, MethodDPAPEB, MethodDPAPLD, MethodFP} {
+		if _, err := Optimize(ctx, pat, est, testModel(), m, nil); !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: err = %v, want context.Canceled", m, err)
+		}
+	}
+}
+
+// TestOptimizeNilContext: nil is treated as context.Background().
+func TestOptimizeNilContext(t *testing.T) {
+	pat := figure1Pattern()
+	est := skewedEstimator(t, pat, 1)
+	var nilCtx context.Context
+	r, err := Optimize(nilCtx, pat, est, testModel(), MethodDPP, nil)
+	if err != nil || r.Plan == nil {
+		t.Fatalf("nil ctx: %v, %v", r, err)
+	}
+}
+
+// TestOptimizeCancelMidSearch: cancelling during the search (simulated by a
+// context that expires after a fixed number of Err polls) stops DP and DPP
+// partway and surfaces the error. This exercises the in-loop polls rather
+// than the upfront check.
+func TestOptimizeCancelMidSearch(t *testing.T) {
+	pat := chainPattern(10) // big enough that searches poll many times
+	est := skewedEstimator(t, pat, 2)
+	for _, m := range []Method{MethodDP, MethodDPP} {
+		ctx := &countdownCtx{Context: context.Background(), fuel: 3}
+		_, err := Optimize(ctx, pat, est, testModel(), m, nil)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: err = %v, want context.Canceled", m, err)
+		}
+	}
+}
+
+// countdownCtx reports Canceled after fuel calls to Err. The first call
+// happens in Optimize's upfront check, so fuel >= 2 reaches the search
+// loops before expiring.
+type countdownCtx struct {
+	context.Context
+	fuel int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.fuel > 0 {
+		c.fuel--
+		return nil
+	}
+	return context.Canceled
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -98,7 +100,7 @@ func TestAllMethodsReturnValidPlans(t *testing.T) {
 	for pi, pat := range pats {
 		est := skewedEstimator(t, pat, int64(pi+1))
 		for _, m := range allMethods() {
-			r, err := Optimize(pat, est, testModel(), m, nil)
+			r, err := Optimize(context.Background(), pat, est, testModel(), m, nil)
 			if err != nil {
 				t.Fatalf("pattern %d, %v: %v", pi, m, err)
 			}
@@ -271,7 +273,7 @@ func TestSearchEffortOrdering(t *testing.T) {
 	pat := figure1Pattern()
 	est := skewedEstimator(t, pat, 31)
 	n := func(m Method, te int) int {
-		r, err := Optimize(pat, est, testModel(), m, &Options{Te: te})
+		r, err := Optimize(context.Background(), pat, est, testModel(), m, &Options{Te: te})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -297,11 +299,11 @@ func TestOptimizersDeterministic(t *testing.T) {
 	pat := figure1Pattern()
 	est := skewedEstimator(t, pat, 64)
 	for _, m := range allMethods() {
-		a, err := Optimize(pat, est, testModel(), m, nil)
+		a, err := Optimize(context.Background(), pat, est, testModel(), m, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := Optimize(pat, est, testModel(), m, nil)
+		b, err := Optimize(context.Background(), pat, est, testModel(), m, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -315,7 +317,7 @@ func TestSingleNodePattern(t *testing.T) {
 	pat := pattern.MustParse("//only")
 	est := uniformEstimator(t, pat, 42, 1)
 	for _, m := range allMethods() {
-		r, err := Optimize(pat, est, testModel(), m, nil)
+		r, err := Optimize(context.Background(), pat, est, testModel(), m, nil)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -337,7 +339,7 @@ func TestOrderByRespected(t *testing.T) {
 		pat.OrderBy = ob
 		est := skewedEstimator(t, pat, int64(200+ob))
 		for _, m := range allMethods() {
-			r, err := Optimize(pat, est, testModel(), m, nil)
+			r, err := Optimize(context.Background(), pat, est, testModel(), m, nil)
 			if err != nil {
 				t.Fatalf("OrderBy %d, %v: %v", ob, m, err)
 			}

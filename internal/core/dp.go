@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -8,6 +9,12 @@ import (
 	"sjos/internal/pattern"
 	"sjos/internal/plan"
 )
+
+// ctxCheckInterval is how many status expansions a search performs between
+// context polls. Cancellation latency is therefore bounded by the cost of
+// expanding that many statuses — microseconds — while the poll itself stays
+// off the per-candidate hot path.
+const ctxCheckInterval = 64
 
 // errNoPlan is returned if a search finds no complete plan; this cannot
 // happen for well-formed patterns (Theorem 3.1 guarantees at least the
@@ -28,6 +35,13 @@ func (sp *space) singleNode(name string) *Result {
 // from every status is considered, and for each distinct status only the
 // cheapest way of reaching it is retained.
 func DP(pat *pattern.Pattern, est *Estimator, model cost.Model) (*Result, error) {
+	return dp(context.Background(), pat, est, model)
+}
+
+// dp is DP with cancellation: ctx is polled as the DP table expands (every
+// ctxCheckInterval status expansions), so runaway searches on large
+// patterns can be abandoned mid-level.
+func dp(ctx context.Context, pat *pattern.Pattern, est *Estimator, model cost.Model) (*Result, error) {
 	sp := newSpace(pat, est, model)
 	if sp.numEdges == 0 {
 		return sp.singleNode("DP"), nil
@@ -37,9 +51,17 @@ func DP(pat *pattern.Pattern, est *Estimator, model cost.Model) (*Result, error)
 	s0 := sp.start()
 	cur[s0.key()] = s0
 	for lv := 0; lv < sp.numEdges; lv++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		next := make(map[uint64]*status)
 		for _, s := range sortedStatuses(cur) {
 			counters.StatusesExpanded++
+			if counters.StatusesExpanded%ctxCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			sp.expand(s, moveOpts{}, func(c candidate) {
 				counters.PlansConsidered++
 				k := uint64(c.edges) | uint64(c.orderMask)<<MaxPatternNodes

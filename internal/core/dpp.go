@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"sjos/internal/cost"
@@ -36,13 +37,13 @@ func (cfg *dppConfig) emit(kind TraceKind, edges, orderMask uint32, level int, c
 // Like DP it searches the whole space and returns an optimal plan, usually
 // at a fraction of DP's optimization cost.
 func DPP(pat *pattern.Pattern, est *Estimator, model cost.Model) (*Result, error) {
-	return dppSearch(pat, est, model, dppConfig{name: "DPP", lookahead: true})
+	return dppSearch(context.Background(), pat, est, model, dppConfig{name: "DPP", lookahead: true})
 }
 
 // DPPNoLookahead is DPP without the Lookahead Rule — the paper's DPP′
 // baseline used to measure the rule's effectiveness (Table 2).
 func DPPNoLookahead(pat *pattern.Pattern, est *Estimator, model cost.Model) (*Result, error) {
-	return dppSearch(pat, est, model, dppConfig{name: "DPP'"})
+	return dppSearch(context.Background(), pat, est, model, dppConfig{name: "DPP'"})
 }
 
 // DPPPipelineOnly is the sorted-move ablation (DESIGN.md A2): DPP searching
@@ -50,7 +51,7 @@ func DPPNoLookahead(pat *pattern.Pattern, est *Estimator, model cost.Model) (*Re
 // Theorem 3.1 it always succeeds, and its optimum must equal FP's — the
 // test suite uses this as an independent check of the FP algorithm.
 func DPPPipelineOnly(pat *pattern.Pattern, est *Estimator, model cost.Model) (*Result, error) {
-	return dppSearch(pat, est, model, dppConfig{name: "DPP-pipe", lookahead: true, pipelineOnly: true})
+	return dppSearch(context.Background(), pat, est, model, dppConfig{name: "DPP-pipe", lookahead: true, pipelineOnly: true})
 }
 
 // DPAPEB optimizes with Dynamic Programming with Aggressive Pruning using
@@ -58,10 +59,15 @@ func DPPPipelineOnly(pat *pattern.Pattern, est *Estimator, model cost.Model) (*R
 // and once a level saturates no earlier level is expanded again. te must be
 // at least 1. The returned plan can be suboptimal.
 func DPAPEB(pat *pattern.Pattern, est *Estimator, model cost.Model, te int) (*Result, error) {
+	return dpapEB(context.Background(), pat, est, model, te)
+}
+
+// dpapEB is DPAPEB with cancellation.
+func dpapEB(ctx context.Context, pat *pattern.Pattern, est *Estimator, model cost.Model, te int) (*Result, error) {
 	if te < 1 {
 		return nil, fmt.Errorf("core: DPAP-EB expansion bound %d, want >= 1", te)
 	}
-	return dppSearch(pat, est, model, dppConfig{name: "DPAP-EB", lookahead: true, te: te})
+	return dppSearch(ctx, pat, est, model, dppConfig{name: "DPAP-EB", lookahead: true, te: te})
 }
 
 // DPAPLD optimizes with Dynamic Programming with Aggressive Pruning
@@ -69,7 +75,7 @@ func DPAPEB(pat *pattern.Pattern, est *Estimator, model cost.Model, te int) (*Re
 // more than one pattern node (the growing node). The returned plan can be
 // suboptimal — the paper's experiments show this is the weakest heuristic.
 func DPAPLD(pat *pattern.Pattern, est *Estimator, model cost.Model) (*Result, error) {
-	return dppSearch(pat, est, model, dppConfig{name: "DPAP-LD", lookahead: true, leftDeep: true})
+	return dppSearch(context.Background(), pat, est, model, dppConfig{name: "DPAP-LD", lookahead: true, leftDeep: true})
 }
 
 // statusHeap is the DPP priority list: minimum Cost+ubCost first, with
@@ -104,7 +110,7 @@ func (h *statusHeap) Pop() any {
 	return s
 }
 
-func dppSearch(pat *pattern.Pattern, est *Estimator, model cost.Model, cfg dppConfig) (*Result, error) {
+func dppSearch(ctx context.Context, pat *pattern.Pattern, est *Estimator, model cost.Model, cfg dppConfig) (*Result, error) {
 	sp := newSpace(pat, est, model)
 	if sp.numEdges == 0 {
 		return sp.singleNode(cfg.name), nil
@@ -127,7 +133,14 @@ func dppSearch(pat *pattern.Pattern, est *Estimator, model cost.Model, cfg dppCo
 	expandedAt := make([]int, sp.numEdges+1)
 	saturated := -1 // highest level whose expansion bound was reached
 
+	pops := 0
 	for pq.Len() > 0 {
+		pops++
+		if pops%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		s := heap.Pop(&pq).(*status)
 		if haveMin && s.cost >= minCost {
 			cfg.emit(TracePruneDead, s.edges, s.orderMask, s.level, s.cost)
@@ -206,7 +219,7 @@ func dppSearch(pat *pattern.Pattern, est *Estimator, model cost.Model, cfg dppCo
 			// deadends-at-depth before any full plan is reached. Fall
 			// back to the (cheap, always-successful) FP algorithm so
 			// DPAP-EB keeps its "always returns a plan" contract.
-			fp, err := FP(pat, est, model)
+			fp, err := fp(ctx, pat, est, model)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"reflect"
 	"testing"
 
@@ -21,7 +23,7 @@ func checkPlansProduceReference(t *testing.T, doc *xmltree.Document, pat *patter
 	want := exec.ReferenceMatches(doc, pat)
 	exec.SortCanonical(want)
 	for _, m := range allMethods() {
-		r, err := Optimize(pat, est, testModel(), m, nil)
+		r, err := Optimize(context.Background(), pat, est, testModel(), m, nil)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}

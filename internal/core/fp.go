@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"sjos/internal/cost"
 	"sjos/internal/pattern"
 	"sjos/internal/plan"
@@ -18,11 +20,20 @@ import (
 // computed recursively (memoised per directed edge), and the order in which
 // the child subtrees join with N is chosen by enumerating permutations.
 func FP(pat *pattern.Pattern, est *Estimator, model cost.Model) (*Result, error) {
+	return fp(context.Background(), pat, est, model)
+}
+
+// fp is FP with cancellation: the subtree recursion polls ctx, and a
+// cancelled search returns ctx's error instead of a plan.
+func fp(ctx context.Context, pat *pattern.Pattern, est *Estimator, model cost.Model) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sp := newSpace(pat, est, model)
 	if sp.numEdges == 0 {
 		return sp.singleNode("FP"), nil
 	}
-	f := &fpSearch{sp: sp, memo: make(map[[2]int]*fpPlan)}
+	f := &fpSearch{sp: sp, memo: make(map[[2]int]*fpPlan), ctx: ctx}
 	var best *fpPlan
 	if r := pat.OrderBy; r != pattern.NoNode {
 		best = f.subtree(r, pattern.NoNode)
@@ -33,6 +44,9 @@ func FP(pat *pattern.Pattern, est *Estimator, model cost.Model) (*Result, error)
 				best = cand
 			}
 		}
+	}
+	if f.cancelled {
+		return nil, ctx.Err()
 	}
 	return &Result{
 		Plan:      best.node,
@@ -54,12 +68,27 @@ type fpSearch struct {
 	sp       *space
 	memo     map[[2]int]*fpPlan // (root, excludedNeighbor) -> best plan
 	counters Counters
+
+	ctx       context.Context
+	calls     int  // subtree invocations, for periodic ctx polling
+	cancelled bool // once set, the search short-circuits to stub plans
 }
 
 // subtree returns the best pipelined plan for the sub-pattern reachable
 // from v without crossing the neighbor `from` (pattern.NoNode for the whole
 // pattern), producing output ordered by v.
 func (f *fpSearch) subtree(v, from int) *fpPlan {
+	if !f.cancelled {
+		f.calls++
+		if f.calls%ctxCheckInterval == 0 && f.ctx.Err() != nil {
+			f.cancelled = true
+		}
+	}
+	if f.cancelled {
+		// Unwind with an unmemoised stub; fp discards it and returns the
+		// context's error.
+		return &fpPlan{node: plan.NewIndexScan(v), mask: 1 << uint(v)}
+	}
 	key := [2]int{v, from}
 	if p, ok := f.memo[key]; ok {
 		return p

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"sjos/internal/cost"
@@ -62,18 +63,28 @@ type Options struct {
 	Te int
 }
 
-// Optimize runs the selected algorithm and returns its chosen plan.
-func Optimize(pat *pattern.Pattern, est *Estimator, model cost.Model, m Method, opts *Options) (*Result, error) {
+// Optimize runs the selected algorithm and returns its chosen plan. ctx
+// cancels the search: the DP level loop, the DPP/DPAP priority-queue loop
+// and FP's subtree recursion all poll it, so even the exponential searches
+// on large patterns abandon work promptly and return ctx's error. A nil ctx
+// is treated as context.Background().
+func Optimize(ctx context.Context, pat *pattern.Pattern, est *Estimator, model cost.Model, m Method, opts *Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if !model.Valid() {
 		return nil, fmt.Errorf("core: invalid cost model %+v", model)
 	}
 	switch m {
 	case MethodDP:
-		return DP(pat, est, model)
+		return dp(ctx, pat, est, model)
 	case MethodDPP:
-		return DPP(pat, est, model)
+		return dppSearch(ctx, pat, est, model, dppConfig{name: "DPP", lookahead: true})
 	case MethodDPPNoLookahead:
-		return DPPNoLookahead(pat, est, model)
+		return dppSearch(ctx, pat, est, model, dppConfig{name: "DPP'"})
 	case MethodDPAPEB:
 		te := 0
 		if opts != nil {
@@ -85,11 +96,11 @@ func Optimize(pat *pattern.Pattern, est *Estimator, model cost.Model, m Method, 
 		if te < 1 {
 			te = 1
 		}
-		return DPAPEB(pat, est, model, te)
+		return dpapEB(ctx, pat, est, model, te)
 	case MethodDPAPLD:
-		return DPAPLD(pat, est, model)
+		return dppSearch(ctx, pat, est, model, dppConfig{name: "DPAP-LD", lookahead: true, leftDeep: true})
 	case MethodFP:
-		return FP(pat, est, model)
+		return fp(ctx, pat, est, model)
 	default:
 		return nil, fmt.Errorf("core: unknown method %d", int(m))
 	}

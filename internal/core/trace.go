@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -59,7 +60,7 @@ type TraceEvent struct {
 // paper's Figure 4 walk-through. The result is identical to DPP's.
 func DPPWithTrace(pat *pattern.Pattern, est *Estimator, model cost.Model) (*Result, []TraceEvent, error) {
 	var events []TraceEvent
-	res, err := dppSearch(pat, est, model, dppConfig{
+	res, err := dppSearch(context.Background(), pat, est, model, dppConfig{
 		name:      "DPP",
 		lookahead: true,
 		trace:     &events,

@@ -124,6 +124,12 @@ func Drain(ctx *Context, op Operator) ([]Tuple, error) {
 	}
 	var out []Tuple
 	for {
+		if len(out)&63 == 0 && ctx.Interrupt != nil {
+			if err := ctx.Interrupt(); err != nil {
+				op.Close()
+				return nil, err
+			}
+		}
 		t, ok, err := op.Next()
 		if err != nil {
 			op.Close()
@@ -148,6 +154,12 @@ func Count(ctx *Context, op Operator) (int, error) {
 	}
 	n := 0
 	for {
+		if n&63 == 0 && ctx.Interrupt != nil {
+			if err := ctx.Interrupt(); err != nil {
+				op.Close()
+				return 0, err
+			}
+		}
 		_, ok, err := op.Next()
 		if err != nil {
 			op.Close()

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"time"
+
+	"sjos"
+)
+
+// CacheBenchRow compares one benchmark query's cold optimize phase (plan
+// cache bypassed) against its warm phase (plan served from the cache).
+type CacheBenchRow struct {
+	Query   string
+	Method  sjos.Method
+	Cold    time.Duration // best cold optimize time over the rounds
+	Warm    time.Duration // best warm (cache-hit) optimize time
+	Speedup float64
+	Matches int
+}
+
+// CacheBench measures the plan cache's effect on the optimize phase for
+// all eight benchmark queries: per query the cold time is the best
+// NoCache optimize over `rounds` runs, the warm time the best cache-hit
+// optimize after priming. Cold and warm runs must produce byte-identical
+// matches; a divergence is an error.
+func CacheBench(m sjos.Method, rounds int) ([]CacheBenchRow, error) {
+	if rounds < 1 {
+		rounds = 3
+	}
+	var rows []CacheBenchRow
+	for _, q := range Queries() {
+		db, err := Dataset(q.Dataset, 1)
+		if err != nil {
+			return nil, err
+		}
+		var coldRes *sjos.QueryResult
+		cold := time.Duration(1<<63 - 1)
+		for i := 0; i < rounds; i++ {
+			r, err := db.QueryContext(context.Background(), q.Source, sjos.QueryOptions{Method: m, NoCache: true})
+			if err != nil {
+				return nil, fmt.Errorf("%s cold: %w", q.ID, err)
+			}
+			if r.OptimizeTime < cold {
+				cold, coldRes = r.OptimizeTime, r
+			}
+		}
+		if _, err := db.QueryContext(context.Background(), q.Source, sjos.QueryOptions{Method: m}); err != nil {
+			return nil, fmt.Errorf("%s prime: %w", q.ID, err)
+		}
+		var warmRes *sjos.QueryResult
+		warm := time.Duration(1<<63 - 1)
+		for i := 0; i < rounds; i++ {
+			r, err := db.QueryContext(context.Background(), q.Source, sjos.QueryOptions{Method: m})
+			if err != nil {
+				return nil, fmt.Errorf("%s warm: %w", q.ID, err)
+			}
+			if !r.CachedPlan {
+				return nil, fmt.Errorf("%s: warm run missed the plan cache", q.ID)
+			}
+			if r.OptimizeTime < warm {
+				warm, warmRes = r.OptimizeTime, r
+			}
+		}
+		if !reflect.DeepEqual(coldRes.Matches, warmRes.Matches) {
+			return nil, fmt.Errorf("%s: warm matches differ from cold matches", q.ID)
+		}
+		speedup := 0.0
+		if warm > 0 {
+			speedup = float64(cold) / float64(warm)
+		}
+		rows = append(rows, CacheBenchRow{
+			Query: q.ID, Method: m,
+			Cold: cold, Warm: warm, Speedup: speedup,
+			Matches: len(warmRes.Matches),
+		})
+	}
+	return rows, nil
+}
+
+// RenderCacheBench formats the cold/warm comparison as a table.
+func RenderCacheBench(rows []CacheBenchRow) string {
+	var sb strings.Builder
+	if len(rows) > 0 {
+		fmt.Fprintf(&sb, "Plan cache: cold vs warm optimize phase (%s)\n", rows[0].Method)
+	}
+	fmt.Fprintf(&sb, "%-14s %12s %12s %9s %9s\n", "Query", "cold opt", "warm opt", "speedup", "matches")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %12v %12v %8.1fx %9d\n",
+			r.Query, r.Cold, r.Warm, r.Speedup, r.Matches)
+	}
+	return sb.String()
+}

@@ -1,0 +1,94 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fingerprint returns a canonical identity for the pattern — equal for any
+// two patterns that are isomorphic as rooted labelled trees (same tags,
+// axes, value predicates and OrderBy position), regardless of how their
+// nodes happen to be numbered — together with the canonical renumbering
+// that witnesses it: canon[u] is the canonical index of pattern node u.
+//
+// Structurally recurring queries are the norm in real workloads (the same
+// handful of shapes arrives over and over with different node numberings
+// from different frontends), so the fingerprint is the natural plan-cache
+// key: a plan optimized for one numbering is transported to another via
+// plan.Remap with the two canonical permutations.
+//
+// The encoding is the classic bottom-up canonical form for rooted trees:
+// each node's label (axis into it, tag, predicate, OrderBy marker) is
+// concatenated with the sorted encodings of its child subtrees. Canonical
+// indexes are assigned in preorder visiting children in that sorted order,
+// so equal fingerprints come with mutually compatible numberings. When two
+// sibling subtrees are identical their relative order is arbitrary, which
+// is harmless: the tie is an automorphism of the pattern, and the match
+// set is invariant under automorphisms.
+func Fingerprint(p *Pattern) (string, []int) {
+	n := p.N()
+	kids := make([][]int, n)
+	for v := 1; v < n; v++ {
+		kids[p.Parent[v]] = append(kids[p.Parent[v]], v)
+	}
+	enc := make([]string, n)
+	var encode func(u int, root bool) string
+	encode = func(u int, root bool) string {
+		var sb strings.Builder
+		if root {
+			sb.WriteString("/")
+		} else {
+			sb.WriteString(p.Axis[u].String())
+		}
+		fmt.Fprintf(&sb, "%q", p.Nodes[u].Tag)
+		if p.Nodes[u].Op != CmpNone {
+			fmt.Fprintf(&sb, "[%d %q]", p.Nodes[u].Op, p.Nodes[u].Value)
+		}
+		if p.OrderBy == u {
+			sb.WriteString("#")
+		}
+		subs := make([]string, len(kids[u]))
+		for i, c := range kids[u] {
+			subs[i] = encode(c, false)
+		}
+		sort.Strings(subs)
+		sb.WriteString("(")
+		sb.WriteString(strings.Join(subs, ","))
+		sb.WriteString(")")
+		enc[u] = sb.String()
+		return enc[u]
+	}
+	fp := encode(0, true)
+
+	canon := make([]int, n)
+	next := 0
+	var assign func(u int)
+	assign = func(u int) {
+		canon[u] = next
+		next++
+		order := append([]int(nil), kids[u]...)
+		sort.Slice(order, func(i, j int) bool {
+			if enc[order[i]] != enc[order[j]] {
+				return enc[order[i]] < enc[order[j]]
+			}
+			return order[i] < order[j]
+		})
+		for _, c := range order {
+			assign(c)
+		}
+	}
+	assign(0)
+	return fp, canon
+}
+
+// InversePermutation inverts a permutation produced by Fingerprint:
+// inv[canon[u]] == u. It is the mapping a cached canonical-numbered plan is
+// remapped through to fit a concrete pattern's numbering.
+func InversePermutation(perm []int) []int {
+	inv := make([]int, len(perm))
+	for i, p := range perm {
+		inv[p] = i
+	}
+	return inv
+}

@@ -1,0 +1,109 @@
+package pattern
+
+import "testing"
+
+// buildFig1 builds the paper's Figure-1 pattern with children inserted in
+// the given sibling order, producing structurally identical patterns under
+// different node numberings.
+func buildFig1(order [2]string) *Pattern {
+	b := NewBuilder("manager")
+	for _, tag := range order {
+		switch tag {
+		case "dept":
+			d := b.Kid(b.Root(), "department")
+			b.Kid(d, "name")
+		case "emp":
+			e := b.Desc(b.Root(), "employee")
+			b.Where(b.Kid(e, "salary"), CmpGe, "50000")
+		}
+	}
+	return b.Pattern()
+}
+
+func TestFingerprintInvariantUnderRenumbering(t *testing.T) {
+	a := buildFig1([2]string{"dept", "emp"})
+	c := buildFig1([2]string{"emp", "dept"})
+	fpA, canonA := Fingerprint(a)
+	fpC, canonC := Fingerprint(c)
+	if fpA != fpC {
+		t.Fatalf("fingerprints differ for isomorphic patterns:\n%s\n%s", fpA, fpC)
+	}
+	// The composed mapping a-node -> canonical -> c-node must be an
+	// isomorphism: same tags, predicates and axes edge by edge.
+	invC := InversePermutation(canonC)
+	iso := make([]int, a.N())
+	for u := 0; u < a.N(); u++ {
+		iso[u] = invC[canonA[u]]
+	}
+	for u := 0; u < a.N(); u++ {
+		v := iso[u]
+		if a.Nodes[u] != c.Nodes[v] {
+			t.Fatalf("node %d maps to %d with different label: %+v vs %+v",
+				u, v, a.Nodes[u], c.Nodes[v])
+		}
+		if u == 0 {
+			continue
+		}
+		if iso[a.Parent[u]] != c.Parent[v] {
+			t.Fatalf("edge into %d not preserved: parent %d -> %d, want %d",
+				u, a.Parent[u], c.Parent[v], iso[a.Parent[u]])
+		}
+		if a.Axis[u] != c.Axis[v] {
+			t.Fatalf("axis of edge into %d not preserved", u)
+		}
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := MustParse("//manager//employee/name")
+	variants := []string{
+		"//manager/employee/name",              // axis change
+		"//manager//employee/salary",           // tag change
+		"//manager//employee/name#",            // order-by change
+		`//manager//employee/name[. >= "x"]`,   // predicate added
+		"//manager//employee",                  // node removed
+		"//manager[.//employee]/name",          // shape change
+		`//manager//employee/name[. = "x"]`,    // different op than >=
+	}
+	fpBase, _ := Fingerprint(base)
+	for _, src := range variants {
+		p := MustParse(src)
+		fp, _ := Fingerprint(p)
+		if fp == fpBase {
+			t.Errorf("pattern %q collides with base fingerprint", src)
+		}
+	}
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	p := MustParse(`//a[b/c][.//d[. = "1"]]//e`)
+	fp1, canon1 := Fingerprint(p)
+	fp2, canon2 := Fingerprint(p)
+	if fp1 != fp2 {
+		t.Fatal("fingerprint not deterministic")
+	}
+	for i := range canon1 {
+		if canon1[i] != canon2[i] {
+			t.Fatal("canonical permutation not deterministic")
+		}
+	}
+	// canon must be a permutation of 0..n-1 with the root first.
+	if canon1[0] != 0 {
+		t.Fatalf("root must map to canonical index 0, got %d", canon1[0])
+	}
+	seen := make([]bool, len(canon1))
+	for _, c := range canon1 {
+		if c < 0 || c >= len(seen) || seen[c] {
+			t.Fatalf("canon is not a permutation: %v", canon1)
+		}
+		seen[c] = true
+	}
+}
+
+func TestFingerprintSingleNode(t *testing.T) {
+	p := MustParse("/doc")
+	fp, canon := Fingerprint(p)
+	if fp == "" || len(canon) != 1 || canon[0] != 0 {
+		t.Fatalf("single-node fingerprint: %q %v", fp, canon)
+	}
+}

@@ -1,0 +1,29 @@
+package plan
+
+// Remap returns a deep copy of the plan with every pattern-node reference
+// translated through m (m[old] = new). The plan cache stores plans in the
+// canonical node numbering of their pattern's fingerprint and transports
+// them to a concrete query's numbering with the inverse permutation; because
+// the result is always a fresh tree, cached plans are never shared mutably
+// between concurrent executions.
+func Remap(n *Node, m []int) *Node {
+	if n == nil {
+		return nil
+	}
+	c := *n
+	c.Left = Remap(n.Left, m)
+	c.Right = Remap(n.Right, m)
+	switch n.Op {
+	case OpIndexScan:
+		c.PatternNode = m[n.PatternNode]
+	case OpStructuralJoin:
+		c.AncNode = m[n.AncNode]
+		c.DescNode = m[n.DescNode]
+	case OpSort:
+		c.SortBy = m[n.SortBy]
+	}
+	if n.OrderedBy >= 0 && n.OrderedBy < len(m) {
+		c.OrderedBy = m[n.OrderedBy]
+	}
+	return &c
+}

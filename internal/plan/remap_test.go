@@ -1,0 +1,74 @@
+package plan
+
+import (
+	"testing"
+
+	"sjos/internal/pattern"
+)
+
+// twoSibling builds /a with a parent-child b branch and a descendant c
+// branch, inserting the branches in the given order so the two results are
+// isomorphic but numbered differently.
+func twoSibling(bFirst bool) *pattern.Pattern {
+	bld := pattern.NewBuilder("a")
+	if bFirst {
+		bld.Kid(bld.Root(), "b")
+		bld.Desc(bld.Root(), "c")
+	} else {
+		bld.Desc(bld.Root(), "c")
+		bld.Kid(bld.Root(), "b")
+	}
+	return bld.Pattern()
+}
+
+// planFor builds a valid two-join plan for a twoSibling pattern given the
+// node indexes of b and c.
+func planFor(b, c int) *Node {
+	j1 := NewJoin(NewIndexScan(0), NewIndexScan(b), 0, b, pattern.Child, AlgoAnc)
+	return NewJoin(j1, NewIndexScan(c), 0, c, pattern.Descendant, AlgoDesc)
+}
+
+func TestRemapIdentity(t *testing.T) {
+	p := twoSibling(true)
+	pl := planFor(1, 2)
+	if err := pl.Validate(p, false); err != nil {
+		t.Fatalf("base plan invalid: %v", err)
+	}
+	id := []int{0, 1, 2}
+	got := Remap(pl, id)
+	if got == pl || got.Left == pl.Left {
+		t.Fatal("Remap must deep-copy")
+	}
+	if got.Format(p) != pl.Format(p) {
+		t.Fatalf("identity remap changed the plan:\n%s\nvs\n%s", got.Format(p), pl.Format(p))
+	}
+}
+
+func TestRemapAcrossRenumbering(t *testing.T) {
+	pa := twoSibling(true)  // b=1, c=2
+	pb := twoSibling(false) // c=1, b=2
+	_, canonA := pattern.Fingerprint(pa)
+	fpB, canonB := pattern.Fingerprint(pb)
+	fpA, _ := pattern.Fingerprint(pa)
+	if fpA != fpB {
+		t.Fatal("setup: patterns should be isomorphic")
+	}
+	// a-numbering -> canonical -> b-numbering.
+	invB := pattern.InversePermutation(canonB)
+	iso := make([]int, pa.N())
+	for u := range iso {
+		iso[u] = invB[canonA[u]]
+	}
+	pl := planFor(1, 2)
+	if err := pl.Validate(pa, false); err != nil {
+		t.Fatalf("base plan invalid: %v", err)
+	}
+	remapped := Remap(pl, iso)
+	if err := remapped.Validate(pb, false); err != nil {
+		t.Fatalf("remapped plan invalid for renumbered pattern: %v\n%s",
+			err, remapped.Format(pb))
+	}
+	if pl.Joins() != remapped.Joins() || pl.Sorts() != remapped.Sorts() {
+		t.Fatal("remap changed plan shape")
+	}
+}

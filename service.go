@@ -1,0 +1,315 @@
+package sjos
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sjos/internal/core"
+	"sjos/internal/exec"
+	"sjos/internal/histogram"
+	"sjos/internal/pattern"
+	"sjos/internal/plan"
+	"sjos/internal/plancache"
+	"sjos/internal/xmltree"
+)
+
+// CacheStats is a snapshot of the plan cache's behaviour counters.
+type CacheStats = plancache.Stats
+
+// service is the shared query-service state behind a Database and all of
+// its WithParallelism views: the statistics (replaceable by RebuildStats)
+// and the plan cache. Database values are copied by WithParallelism, so
+// anything mutable must live here, behind the shared pointer.
+type service struct {
+	mu           sync.RWMutex
+	stats        *histogram.Stats
+	statsVersion uint64
+	grid         int
+
+	cache *plancache.Cache[cachedPlan]
+}
+
+// cachedPlan is one cache entry. The plan is stored in the fingerprint's
+// canonical node numbering so one entry serves every renumbering of the
+// same query shape; hits remap it back into the caller's numbering.
+type cachedPlan struct {
+	plan     *plan.Node
+	cost     float64
+	algo     string
+	counters core.Counters
+}
+
+func newService(stats *histogram.Stats, grid, cacheCapacity int) *service {
+	return &service{
+		stats: stats,
+		grid:  grid,
+		cache: plancache.New[cachedPlan](cacheCapacity),
+	}
+}
+
+// snapshot returns the current statistics and their version under one lock,
+// so an optimization run sees a consistent (stats, version) pair even if
+// RebuildStats runs concurrently.
+func (s *service) snapshot() (*histogram.Stats, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats, s.statsVersion
+}
+
+// rebuild replaces the statistics and makes every cached plan unreachable:
+// the version bump changes all future cache keys, and Clear drops the now
+// dead entries immediately rather than waiting for LRU pressure.
+func (s *service) rebuild(doc *xmltree.Document) {
+	fresh := histogram.Build(doc, s.grid)
+	s.mu.Lock()
+	s.stats = fresh
+	s.statsVersion++
+	s.mu.Unlock()
+	s.cache.Clear()
+}
+
+// RebuildStats recomputes the positional histograms from the document (at
+// the construction-time grid resolution) and invalidates the plan cache.
+// Plans optimized before the rebuild remain executable; they are simply no
+// longer served from the cache. Shared by all WithParallelism views.
+func (db *Database) RebuildStats() {
+	db.svc.rebuild(db.doc)
+}
+
+// CacheStats returns a snapshot of the plan cache's counters (shared by all
+// WithParallelism views of this database).
+func (db *Database) CacheStats() CacheStats {
+	return db.svc.cache.Stats()
+}
+
+// optimizePattern is the cached optimize step behind QueryPatternContext:
+// structurally equivalent patterns (same shape, tags, axes, predicates —
+// regardless of node numbering) share one cache entry per (method, bound,
+// statistics version). Concurrent misses on the same key run the optimizer
+// once. The boolean reports whether the plan came from the cache (or from a
+// coalesced in-flight optimization) rather than a fresh optimizer run.
+func (db *Database) optimizePattern(ctx context.Context, pat *Pattern, m Method, te int, noCache bool) (*OptimizeResult, bool, error) {
+	stats, ver := db.svc.snapshot()
+	if noCache {
+		res, err := optimizeWith(ctx, pat, stats, db.model, m, te)
+		return res, false, err
+	}
+	fp, canon := pattern.Fingerprint(pat)
+	keyTe := 0
+	if m == MethodDPAPEB {
+		// Normalise the bound the way core.Optimize resolves it, so te=0
+		// and te=NumEdges share an entry while other methods ignore te
+		// entirely instead of fragmenting the cache.
+		keyTe = te
+		if keyTe == 0 {
+			keyTe = pat.NumEdges()
+		}
+	}
+	k := plancache.Key{Fingerprint: fp, Method: int(m), Te: keyTe, StatsVersion: ver}
+	cp, cached, err := db.svc.cache.GetOrCompute(ctx, k, func() (cachedPlan, error) {
+		res, err := optimizeWith(ctx, pat, stats, db.model, m, te)
+		if err != nil {
+			return cachedPlan{}, err
+		}
+		return cachedPlan{
+			plan:     plan.Remap(res.Plan, canon),
+			cost:     res.Cost,
+			algo:     res.Algorithm,
+			counters: res.Counters,
+		}, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	// Remap the canonical plan into this caller's node numbering. The
+	// remap deep-copies, so cached plans are never shared mutably.
+	inv := pattern.InversePermutation(canon)
+	return &OptimizeResult{
+		Plan:      plan.Remap(cp.plan, inv),
+		Cost:      cp.cost,
+		Algorithm: cp.algo,
+		Counters:  cp.counters,
+	}, cached, nil
+}
+
+// optimizeWith runs one optimizer pass against an explicit statistics
+// snapshot.
+func optimizeWith(ctx context.Context, pat *Pattern, stats *histogram.Stats, model CostModel, m Method, te int) (*OptimizeResult, error) {
+	est, err := core.NewEstimator(pat, stats)
+	if err != nil {
+		return nil, err
+	}
+	return core.Optimize(ctx, pat, est, model, m, &core.Options{Te: te})
+}
+
+// RunOptions tunes one Run call. The zero value executes the whole plan
+// with the database's configured parallelism and returns all matches.
+type RunOptions struct {
+	// Limit > 0 stops execution after that many matches — the online
+	// querying mode motivating the FP algorithm (§3.4). 0 means all.
+	Limit int
+	// Workers selects the execution mode: 0 uses the database's configured
+	// parallelism (serial by default; see WithParallelism), > 0 forces the
+	// partition-parallel driver with that many workers, < 0 forces
+	// partition-parallel with runtime.GOMAXPROCS(0) workers.
+	Workers int
+	// CountOnly suppresses match materialisation; only RunResult.Count
+	// (and the statistics) are populated.
+	CountOnly bool
+}
+
+// RunResult is the outcome of one Run call.
+type RunResult struct {
+	// Matches holds the matches in pattern-node order (nil if CountOnly).
+	Matches []Match
+	// Count is the number of matches produced (len(Matches) unless
+	// CountOnly).
+	Count int
+	// Stats reports the physical work done.
+	Stats ExecStats
+}
+
+// Run executes a plan for pat under ctx. It is the single execution entry
+// point: limits, count-only projection and serial versus partition-parallel
+// mode are all RunOptions, and every mode observes ctx — cancelling it
+// makes Run return promptly with ctx's error (index scans and output loops
+// poll it; parallel workers are cancelled). A nil ctx is treated as
+// context.Background(). Serial and parallel modes produce the same matches
+// in the same document order.
+func (db *Database) Run(ctx context.Context, pat *Pattern, p *Plan, opts RunOptions) (*RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = db.parallelism
+	} else if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ectx := &exec.Context{Doc: db.doc, Store: db.store}
+	res := &RunResult{}
+	if workers > 0 {
+		pe := &exec.ParallelExec{Workers: workers}
+		switch {
+		case opts.Limit > 0:
+			out, err := pe.RunLimit(ctx, ectx, pat, p, opts.Limit)
+			if err != nil {
+				return nil, err
+			}
+			res.Count = len(out)
+			if !opts.CountOnly {
+				res.Matches = out
+			}
+		case opts.CountOnly:
+			n, err := pe.RunCount(ctx, ectx, pat, p)
+			if err != nil {
+				return nil, err
+			}
+			res.Count = n
+		default:
+			out, err := pe.Run(ctx, ectx, pat, p)
+			if err != nil {
+				return nil, err
+			}
+			res.Matches, res.Count = out, len(out)
+		}
+		res.Stats = ectx.Stats
+		return res, nil
+	}
+	if ctx.Done() != nil {
+		ectx.Interrupt = ctx.Err
+	}
+	switch {
+	case opts.Limit > 0:
+		op, err := exec.Build(pat, p)
+		if err != nil {
+			return nil, err
+		}
+		out, err := exec.Drain(ectx, exec.NewLimit(op, opts.Limit))
+		if err != nil {
+			return nil, err
+		}
+		out = exec.NormalizeAll(op.Schema(), pat.N(), out)
+		res.Count = len(out)
+		if !opts.CountOnly {
+			res.Matches = out
+		}
+	case opts.CountOnly:
+		n, err := exec.RunCount(ectx, pat, p)
+		if err != nil {
+			return nil, err
+		}
+		res.Count = n
+	default:
+		out, err := exec.Run(ectx, pat, p)
+		if err != nil {
+			return nil, err
+		}
+		res.Matches, res.Count = out, len(out)
+	}
+	res.Stats = ectx.Stats
+	return res, nil
+}
+
+// QueryOptions tunes one QueryContext call. The zero value optimizes with
+// DP, executes without a limit, and uses the plan cache.
+type QueryOptions struct {
+	// Method selects the optimization algorithm (zero value: MethodDP).
+	Method Method
+	// Te is the DPAP-EB expansion bound (0 = number of pattern edges);
+	// other methods ignore it.
+	Te int
+	// Limit > 0 stops execution after that many matches.
+	Limit int
+	// NoCache bypasses the plan cache (no lookup, no insertion) — used by
+	// benchmarks that must measure a cold optimizer run.
+	NoCache bool
+}
+
+// QueryContext parses src, optimizes it (through the plan cache, unless
+// opts.NoCache) and executes the chosen plan, observing ctx in both phases:
+// cancellation aborts the optimizer search or the execution, whichever is
+// running, and QueryContext returns ctx's error. Query, QueryPattern and
+// XQuery are wrappers over this entry point.
+func (db *Database) QueryContext(ctx context.Context, src string, opts QueryOptions) (*QueryResult, error) {
+	pat, err := ParsePattern(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.QueryPatternContext(ctx, pat, opts)
+}
+
+// QueryPatternContext is QueryContext for an already-built pattern.
+func (db *Database) QueryPatternContext(ctx context.Context, pat *Pattern, opts QueryOptions) (*QueryResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t0 := time.Now()
+	res, cached, err := db.optimizePattern(ctx, pat, opts.Method, opts.Te, opts.NoCache)
+	if err != nil {
+		return nil, err
+	}
+	optTime := time.Since(t0)
+	t1 := time.Now()
+	rr, err := db.Run(ctx, pat, res.Plan, RunOptions{Limit: opts.Limit})
+	if err != nil {
+		return nil, fmt.Errorf("sjos: executing %v plan: %w", opts.Method, err)
+	}
+	return &QueryResult{
+		Matches:         rr.Matches,
+		Plan:            res.Plan,
+		PlanText:        res.Plan.Format(pat),
+		EstCost:         res.Cost,
+		CachedPlan:      cached,
+		OptimizeTime:    optTime,
+		ExecuteTime:     time.Since(t1),
+		PlansConsidered: res.Counters.PlansConsidered,
+		Exec:            rr.Stats,
+	}, nil
+}

@@ -1,0 +1,395 @@
+package sjos
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestQueryContextCacheWarm: the second identical query is served from the
+// plan cache with byte-identical matches.
+func TestQueryContextCacheWarm(t *testing.T) {
+	db := openDB(t)
+	src := "//manager//employee/name"
+	cold, err := db.QueryContext(context.Background(), src, QueryOptions{Method: MethodDPP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CachedPlan {
+		t.Fatal("first query cannot be a cache hit")
+	}
+	warm, err := db.QueryContext(context.Background(), src, QueryOptions{Method: MethodDPP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CachedPlan {
+		t.Fatal("second identical query must hit the plan cache")
+	}
+	if !reflect.DeepEqual(cold.Matches, warm.Matches) {
+		t.Fatal("cached plan produced different matches")
+	}
+	if warm.PlanText != cold.PlanText || warm.EstCost != cold.EstCost {
+		t.Fatalf("cached plan metadata diverged: %q vs %q", warm.PlanText, cold.PlanText)
+	}
+	cs := db.CacheStats()
+	if cs.Misses != 1 || cs.Hits != 1 || cs.Entries != 1 {
+		t.Fatalf("cache stats: %+v", cs)
+	}
+}
+
+// TestPlanCacheMethodsDistinct: different methods (and DPAP-EB bounds) get
+// separate entries, while te=0 and te=NumEdges share one.
+func TestPlanCacheMethodsDistinct(t *testing.T) {
+	db := openDB(t)
+	src := "//manager//employee/name"
+	for _, m := range []Method{MethodDPP, MethodFP} {
+		if _, err := db.QueryContext(context.Background(), src, QueryOptions{Method: m}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cs := db.CacheStats(); cs.Misses != 2 || cs.Entries != 2 {
+		t.Fatalf("methods must not share entries: %+v", cs)
+	}
+	pat := MustParsePattern(src)
+	// te=0 defaults to NumEdges: the explicit equivalent must hit.
+	if _, err := db.QueryPatternContext(context.Background(), pat, QueryOptions{Method: MethodDPAPEB}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.QueryPatternContext(context.Background(), pat, QueryOptions{Method: MethodDPAPEB, Te: pat.NumEdges()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CachedPlan {
+		t.Fatal("te=0 and te=NumEdges must share a cache entry")
+	}
+}
+
+// TestPlanCacheRenumberingInvariance: two sources whose only difference is
+// branch order produce differently numbered patterns of the same canonical
+// shape — the second must be a cache hit, and its remapped plan must
+// execute correctly against its own numbering.
+func TestPlanCacheRenumberingInvariance(t *testing.T) {
+	db := openDB(t)
+	a := "//manager[.//employee/name][.//department/name]"
+	b := "//manager[.//department/name][.//employee/name]"
+	ra, err := db.QueryContext(context.Background(), a, QueryOptions{Method: MethodDPP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := db.QueryContext(context.Background(), b, QueryOptions{Method: MethodDPP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rb.CachedPlan {
+		t.Fatal("structurally equivalent query must hit the cache")
+	}
+	if len(ra.Matches) != len(rb.Matches) {
+		t.Fatalf("match counts diverge: %d vs %d", len(ra.Matches), len(rb.Matches))
+	}
+	// Same bindings, modulo the node renumbering: compare the manager
+	// bindings (node 0 in both) as multisets via sorted order.
+	for i := range ra.Matches {
+		if ra.Matches[i][0] != rb.Matches[i][0] {
+			t.Fatalf("match %d: manager binding %v vs %v", i, ra.Matches[i][0], rb.Matches[i][0])
+		}
+	}
+	if cs := db.CacheStats(); cs.Misses != 1 || cs.Hits != 1 {
+		t.Fatalf("cache stats: %+v", cs)
+	}
+}
+
+// TestPlanCacheConcurrent: many goroutines issuing the same query must
+// coalesce onto one optimizer run (exercises single-flight under -race).
+func TestPlanCacheConcurrent(t *testing.T) {
+	db := openDB(t)
+	src := "//manager[.//employee/name]//department/name"
+	const n = 16
+	results := make([]*QueryResult, n)
+	errs := make([]error, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			results[i], errs[i] = db.QueryContext(context.Background(), src, QueryOptions{Method: MethodDPP})
+			done <- i
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i].Matches, results[0].Matches) {
+			t.Fatalf("goroutine %d: divergent matches", i)
+		}
+	}
+	cs := db.CacheStats()
+	if cs.Misses != 1 {
+		t.Fatalf("optimizer ran %d times for one query shape: %+v", cs.Misses, cs)
+	}
+	if cs.Hits+cs.Coalesced != n-1 {
+		t.Fatalf("hits+coalesced = %d, want %d: %+v", cs.Hits+cs.Coalesced, n-1, cs)
+	}
+}
+
+// TestRebuildStatsInvalidates: rebuilding statistics empties the cache and
+// forces re-optimization, while queries keep working.
+func TestRebuildStatsInvalidates(t *testing.T) {
+	db := openDB(t)
+	src := "//manager//employee/name"
+	if _, err := db.Query(src, MethodDPP); err != nil {
+		t.Fatal(err)
+	}
+	if cs := db.CacheStats(); cs.Entries != 1 {
+		t.Fatalf("expected one cached entry: %+v", cs)
+	}
+	db.RebuildStats()
+	cs := db.CacheStats()
+	if cs.Entries != 0 || cs.Invalidations != 1 {
+		t.Fatalf("rebuild must clear the cache: %+v", cs)
+	}
+	res, err := db.Query(src, MethodDPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CachedPlan {
+		t.Fatal("post-rebuild query must re-optimize")
+	}
+	if db.CacheStats().Misses != 2 {
+		t.Fatalf("stats: %+v", db.CacheStats())
+	}
+}
+
+// TestNoCacheBypass: NoCache neither reads nor populates the cache.
+func TestNoCacheBypass(t *testing.T) {
+	db := openDB(t)
+	src := "//manager//employee/name"
+	for i := 0; i < 2; i++ {
+		res, err := db.QueryContext(context.Background(), src, QueryOptions{Method: MethodDPP, NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CachedPlan {
+			t.Fatal("NoCache result marked cached")
+		}
+	}
+	cs := db.CacheStats()
+	if cs.Entries != 0 || cs.Hits != 0 || cs.Misses != 0 {
+		t.Fatalf("NoCache touched the cache: %+v", cs)
+	}
+}
+
+// TestSharedCacheAcrossViews: WithParallelism views share one cache.
+func TestSharedCacheAcrossViews(t *testing.T) {
+	db := openDB(t)
+	src := "//manager//employee/name"
+	par := db.WithParallelism(2)
+	if _, err := par.Query(src, MethodDPP); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(src, MethodDPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CachedPlan {
+		t.Fatal("serial view must hit the plan cached by the parallel view")
+	}
+	if cs := db.CacheStats(); cs.Misses != 1 || cs.Hits != 1 {
+		t.Fatalf("views don't share the cache: %+v", cs)
+	}
+}
+
+// TestQueryContextCancelled: a pre-cancelled context aborts the query in
+// both serial and parallel modes, before any optimizer or executor work.
+func TestQueryContextCancelled(t *testing.T) {
+	db := openDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, d := range map[string]*Database{"serial": db, "parallel": db.WithParallelism(2)} {
+		if _, err := d.QueryContext(ctx, "//manager//employee/name", QueryOptions{Method: MethodDPP}); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s query: err = %v, want context.Canceled", name, err)
+		}
+		if _, err := d.OptimizeContext(ctx, MustParsePattern("//manager//employee"), MethodDP, 0); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s optimize: err = %v, want context.Canceled", name, err)
+		}
+		pat := MustParsePattern("//manager//employee")
+		plan, err := d.Optimize(pat, MethodDPP, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Run(ctx, pat, plan.Plan, RunOptions{}); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s run: err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// fuelCtx has a non-nil Done channel (that never closes) and an Err that
+// flips to Canceled after a fixed number of polls — a deterministic way to
+// cancel "mid-execution" at exactly the Nth interrupt poll.
+type fuelCtx struct {
+	context.Context
+	fuel int
+}
+
+func (c *fuelCtx) Err() error {
+	if c.fuel > 0 {
+		c.fuel--
+		return nil
+	}
+	return context.Canceled
+}
+
+// TestRunCancelMidExecution: the serial executor's interrupt polls abort an
+// in-progress Drain; the error surfaces from Run.
+func TestRunCancelMidExecution(t *testing.T) {
+	db, err := GenerateDataset("pers", 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := MustParsePattern("//manager//employee/name")
+	res, err := db.Optimize(pat, MethodDPP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, cancel := context.WithCancel(context.Background())
+	defer cancel() // keeps Done non-nil without ever closing it mid-test
+	ctx := &fuelCtx{Context: base, fuel: 3}
+	if _, err := db.Run(ctx, pat, res.Plan, RunOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunCancelParallelPrompt: cancelling a parallel Run mid-flight makes
+// it return promptly with the context error.
+func TestRunCancelParallelPrompt(t *testing.T) {
+	db, err := GenerateDataset("pers", 4, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := MustParsePattern("//manager//manager//employee/name")
+	res, err := db.Optimize(pat, MethodDPP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(500 * time.Microsecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, rerr := db.Run(ctx, pat, res.Plan, RunOptions{Workers: 4})
+	elapsed := time.Since(start)
+	if rerr == nil {
+		t.Skip("execution finished before the cancel landed")
+	}
+	if !errors.Is(rerr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", rerr)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancelled run took %v to return", elapsed)
+	}
+}
+
+// TestRunOptionsModes: Run's option combinations agree with each other and
+// with the deprecated wrappers.
+func TestRunOptionsModes(t *testing.T) {
+	db := openDB(t)
+	pat := MustParsePattern("//manager//employee/name")
+	res, err := db.Optimize(pat, MethodDPP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := db.Run(context.Background(), pat, res.Plan, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Count != len(full.Matches) || full.Count == 0 {
+		t.Fatalf("full run: %+v", full)
+	}
+	wrapped, _, err := db.Execute(pat, res.Plan)
+	if err != nil || !reflect.DeepEqual(wrapped, full.Matches) {
+		t.Fatalf("Execute wrapper diverges: %v", err)
+	}
+	cnt, err := db.Run(context.Background(), pat, res.Plan, RunOptions{CountOnly: true})
+	if err != nil || cnt.Count != full.Count || cnt.Matches != nil {
+		t.Fatalf("count-only: %+v, %v", cnt, err)
+	}
+	wcnt, _, err := db.ExecuteCount(pat, res.Plan)
+	if err != nil || wcnt != full.Count {
+		t.Fatalf("ExecuteCount wrapper: %d, %v", wcnt, err)
+	}
+	lim, err := db.Run(context.Background(), pat, res.Plan, RunOptions{Limit: 2})
+	if err != nil || len(lim.Matches) != 2 || !reflect.DeepEqual(lim.Matches, full.Matches[:2]) {
+		t.Fatalf("limit: %+v, %v", lim, err)
+	}
+	wlim, _, err := db.ExecuteLimit(pat, res.Plan, 2)
+	if err != nil || !reflect.DeepEqual(wlim, lim.Matches) {
+		t.Fatalf("ExecuteLimit wrapper: %v, %v", wlim, err)
+	}
+	if out, _, err := db.ExecuteLimit(pat, res.Plan, 0); err != nil || len(out) != 0 {
+		t.Fatalf("ExecuteLimit(0) must yield nothing: %v, %v", out, err)
+	}
+	par, err := db.Run(context.Background(), pat, res.Plan, RunOptions{Workers: 3})
+	if err != nil || !reflect.DeepEqual(par.Matches, full.Matches) {
+		t.Fatalf("parallel run diverges: %v", err)
+	}
+	pcnt, err := db.Run(context.Background(), pat, res.Plan, RunOptions{Workers: -1, CountOnly: true})
+	if err != nil || pcnt.Count != full.Count {
+		t.Fatalf("parallel count: %+v, %v", pcnt, err)
+	}
+	plim, err := db.Run(context.Background(), pat, res.Plan, RunOptions{Workers: 2, Limit: 2})
+	if err != nil || !reflect.DeepEqual(plim.Matches, full.Matches[:2]) {
+		t.Fatalf("parallel limit: %+v, %v", plim, err)
+	}
+}
+
+// TestWarmCacheOptimizeSpeedup: the acceptance criterion — a warm-cache
+// optimize phase at least 10x faster than a cold one, with byte-identical
+// matches. DP on a 7-node pattern makes the cold phase comfortably
+// measurable.
+func TestWarmCacheOptimizeSpeedup(t *testing.T) {
+	db := openDB(t)
+	src := "//manager[.//employee/name][.//department/name]//employee/name"
+	opts := QueryOptions{Method: MethodDP}
+
+	cold := time.Duration(1<<63 - 1)
+	var coldRes *QueryResult
+	for i := 0; i < 3; i++ {
+		r, err := db.QueryContext(context.Background(), src, QueryOptions{Method: MethodDP, NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.OptimizeTime < cold {
+			cold, coldRes = r.OptimizeTime, r
+		}
+	}
+	if _, err := db.QueryContext(context.Background(), src, opts); err != nil {
+		t.Fatal(err) // populate the cache
+	}
+	warm := time.Duration(1<<63 - 1)
+	var warmRes *QueryResult
+	for i := 0; i < 3; i++ {
+		r, err := db.QueryContext(context.Background(), src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.CachedPlan {
+			t.Fatal("warm query missed the cache")
+		}
+		if r.OptimizeTime < warm {
+			warm, warmRes = r.OptimizeTime, r
+		}
+	}
+	if !reflect.DeepEqual(coldRes.Matches, warmRes.Matches) {
+		t.Fatal("warm matches differ from cold matches")
+	}
+	if cold < 50*time.Microsecond {
+		t.Skipf("cold optimize too fast to compare reliably (%v)", cold)
+	}
+	if warm*10 > cold {
+		t.Fatalf("warm optimize %v not 10x faster than cold %v", warm, cold)
+	}
+}

@@ -2,7 +2,6 @@ package sjos
 
 import (
 	"context"
-	"fmt"
 	"io"
 	"os"
 	"runtime"
@@ -89,6 +88,9 @@ type Options struct {
 	// file at this path instead of in memory, so all page access through
 	// the buffer pool becomes real file I/O.
 	DiskPath string
+	// PlanCacheCapacity bounds the plan cache (entries, LRU). 0 selects
+	// the default capacity; negative values are clamped to 1.
+	PlanCacheCapacity int
 }
 
 func (o *Options) model() CostModel {
@@ -107,12 +109,15 @@ func CalibrateModel() CostModel { return cost.Calibrate() }
 type Database struct {
 	doc   *xmltree.Document
 	store *storage.Store
-	stats *histogram.Stats
 	model CostModel
 
-	// parallelism > 0 routes Execute/ExecuteCount/ExecuteLimit (and
-	// therefore Query) through the partition-parallel driver with that
-	// many workers. 0 = serial.
+	// svc holds the mutable shared state — statistics (replaceable via
+	// RebuildStats) and the plan cache — behind one pointer, so all
+	// WithParallelism views of a database share it.
+	svc *service
+
+	// parallelism > 0 routes Run (and therefore Query) through the
+	// partition-parallel driver with that many workers. 0 = serial.
 	parallelism int
 }
 
@@ -183,9 +188,10 @@ func GenerateDataset(name string, scale float64, fold int, opts *Options) (*Data
 }
 
 func fromDocument(doc *xmltree.Document, opts *Options) (*Database, error) {
-	poolFrames, grid, diskPath := 0, 0, ""
+	poolFrames, grid, diskPath, cacheCap := 0, 0, "", 0
 	if opts != nil {
 		poolFrames, grid, diskPath = opts.PoolFrames, opts.HistogramGrid, opts.DiskPath
+		cacheCap = opts.PlanCacheCapacity
 	}
 	var store *storage.Store
 	var err error
@@ -204,8 +210,8 @@ func fromDocument(doc *xmltree.Document, opts *Options) (*Database, error) {
 	return &Database{
 		doc:   doc,
 		store: store,
-		stats: histogram.Build(doc, grid),
 		model: opts.model(),
+		svc:   newService(histogram.Build(doc, grid), grid, cacheCap),
 	}, nil
 }
 
@@ -223,13 +229,19 @@ func (db *Database) Model() CostModel { return db.model }
 
 // Optimize picks a plan for pat with the chosen algorithm. te is the
 // DPAP-EB expansion bound (0 = the number of pattern edges, the paper's
-// Table 1 setting); it is ignored by other methods.
+// Table 1 setting); it is ignored by other methods. Optimize always runs
+// the optimizer (it neither consults nor populates the plan cache), so
+// repeated calls measure real search effort; cached optimization is the
+// QueryContext path.
 func (db *Database) Optimize(pat *Pattern, m Method, te int) (*OptimizeResult, error) {
-	est, err := core.NewEstimator(pat, db.stats)
-	if err != nil {
-		return nil, err
-	}
-	return core.Optimize(pat, est, db.model, m, &core.Options{Te: te})
+	return db.OptimizeContext(context.Background(), pat, m, te)
+}
+
+// OptimizeContext is Optimize under a context: cancelling ctx aborts the
+// plan search (all algorithms poll it) and returns ctx's error.
+func (db *Database) OptimizeContext(ctx context.Context, pat *Pattern, m Method, te int) (*OptimizeResult, error) {
+	stats, _ := db.svc.snapshot()
+	return optimizeWith(ctx, pat, stats, db.model, m, te)
 }
 
 // OptimizeWithExactStats is Optimize with the oracle estimator: exact
@@ -242,13 +254,14 @@ func (db *Database) OptimizeWithExactStats(pat *Pattern, m Method, te int) (*Opt
 	if err != nil {
 		return nil, err
 	}
-	return core.Optimize(pat, est, db.model, m, &core.Options{Te: te})
+	return core.Optimize(context.Background(), pat, est, db.model, m, &core.Options{Te: te})
 }
 
 // BadPlan returns the estimated-worst of `samples` random valid plans —
 // the paper's §4.2.1 baseline for quantifying optimizer value.
 func (db *Database) BadPlan(pat *Pattern, samples int, seed int64) (*OptimizeResult, error) {
-	est, err := core.NewEstimator(pat, db.stats)
+	stats, _ := db.svc.snapshot()
+	est, err := core.NewEstimator(pat, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -278,73 +291,96 @@ func (db *Database) Parallelism() int { return db.parallelism }
 
 // Execute runs a plan and returns the matches in pattern-node order plus
 // the execution statistics.
+//
+// Deprecated: use Run, the context-aware execution entry point. Execute is
+// Run with a background context and the database's configured parallelism.
 func (db *Database) Execute(pat *Pattern, p *Plan) ([]Match, ExecStats, error) {
-	if db.parallelism > 0 {
-		return db.ExecuteParallel(pat, p, db.parallelism)
+	res, err := db.Run(context.Background(), pat, p, RunOptions{})
+	if err != nil {
+		return nil, ExecStats{}, err
 	}
-	ctx := &exec.Context{Doc: db.doc, Store: db.store}
-	out, err := exec.Run(ctx, pat, p)
-	return out, ctx.Stats, err
+	return res.Matches, res.Stats, nil
 }
 
 // ExecuteCount runs a plan, returning only the match count (cheaper than
 // Execute for large results).
+//
+// Deprecated: use Run with RunOptions{CountOnly: true}.
 func (db *Database) ExecuteCount(pat *Pattern, p *Plan) (int, ExecStats, error) {
-	if db.parallelism > 0 {
-		return db.ExecuteParallelCount(pat, p, db.parallelism)
+	res, err := db.Run(context.Background(), pat, p, RunOptions{CountOnly: true})
+	if err != nil {
+		return 0, ExecStats{}, err
 	}
-	ctx := &exec.Context{Doc: db.doc, Store: db.store}
-	n, err := exec.RunCount(ctx, pat, p)
-	return n, ctx.Stats, err
+	return res.Count, res.Stats, nil
 }
 
 // ExecuteLimit runs a plan but stops after the first n matches — the
 // online-querying mode that motivates the FP algorithm (§3.4): a
 // fully-pipelined plan returns its first results without computing the full
-// answer, while a blocking plan must finish its sorts first.
+// answer, while a blocking plan must finish its sorts first. n <= 0 yields
+// no matches.
+//
+// Deprecated: use Run with RunOptions{Limit: n}.
 func (db *Database) ExecuteLimit(pat *Pattern, p *Plan, n int) ([]Match, ExecStats, error) {
-	if db.parallelism > 0 {
-		return db.ExecuteParallelLimit(pat, p, n, db.parallelism)
+	if n <= 0 {
+		return []Match{}, ExecStats{}, nil
 	}
-	op, err := exec.Build(pat, p)
+	res, err := db.Run(context.Background(), pat, p, RunOptions{Limit: n})
 	if err != nil {
 		return nil, ExecStats{}, err
 	}
-	ctx := &exec.Context{Doc: db.doc, Store: db.store}
-	out, err := exec.Drain(ctx, exec.NewLimit(op, n))
-	if err != nil {
-		return nil, ctx.Stats, err
-	}
-	return exec.NormalizeAll(op.Schema(), pat.N(), out), ctx.Stats, nil
+	return res.Matches, res.Stats, nil
 }
 
 // ExecuteParallel runs a plan partition-parallel with k workers (k <= 0 =
 // GOMAXPROCS) regardless of the database's configured parallelism. The
 // result is identical to Execute: same matches, same document order. The
 // returned statistics are the merged per-worker counters.
+//
+// Deprecated: use Run with RunOptions{Workers: k} (or Workers: -1 for
+// GOMAXPROCS).
 func (db *Database) ExecuteParallel(pat *Pattern, p *Plan, k int) ([]Match, ExecStats, error) {
-	pe := &exec.ParallelExec{Workers: k}
-	ctx := &exec.Context{Doc: db.doc, Store: db.store}
-	out, err := pe.Run(context.Background(), ctx, pat, p)
-	return out, ctx.Stats, err
+	if k <= 0 {
+		k = -1
+	}
+	res, err := db.Run(context.Background(), pat, p, RunOptions{Workers: k})
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	return res.Matches, res.Stats, nil
 }
 
 // ExecuteParallelCount is ExecuteParallel returning only the match count.
+//
+// Deprecated: use Run with RunOptions{Workers: k, CountOnly: true}.
 func (db *Database) ExecuteParallelCount(pat *Pattern, p *Plan, k int) (int, ExecStats, error) {
-	pe := &exec.ParallelExec{Workers: k}
-	ctx := &exec.Context{Doc: db.doc, Store: db.store}
-	n, err := pe.RunCount(context.Background(), ctx, pat, p)
-	return n, ctx.Stats, err
+	if k <= 0 {
+		k = -1
+	}
+	res, err := db.Run(context.Background(), pat, p, RunOptions{Workers: k, CountOnly: true})
+	if err != nil {
+		return 0, ExecStats{}, err
+	}
+	return res.Count, res.Stats, nil
 }
 
 // ExecuteParallelLimit is ExecuteParallel stopped after the first n
 // matches; once a complete prefix of partitions holds n results the
-// remaining workers are cancelled.
+// remaining workers are cancelled. n <= 0 yields no matches.
+//
+// Deprecated: use Run with RunOptions{Workers: k, Limit: n}.
 func (db *Database) ExecuteParallelLimit(pat *Pattern, p *Plan, n, k int) ([]Match, ExecStats, error) {
-	pe := &exec.ParallelExec{Workers: k}
-	ctx := &exec.Context{Doc: db.doc, Store: db.store}
-	out, err := pe.RunLimit(context.Background(), ctx, pat, p, n)
-	return out, ctx.Stats, err
+	if n <= 0 {
+		return []Match{}, ExecStats{}, nil
+	}
+	if k <= 0 {
+		k = -1
+	}
+	res, err := db.Run(context.Background(), pat, p, RunOptions{Workers: k, Limit: n})
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	return res.Matches, res.Stats, nil
 }
 
 // PoolStats returns a snapshot of the buffer pool's cumulative hit/miss
@@ -372,6 +408,9 @@ type QueryResult struct {
 	PlanText string
 	// EstCost is the optimizer's estimate for the plan.
 	EstCost float64
+	// CachedPlan reports whether the plan came from the plan cache (or a
+	// coalesced in-flight optimization) instead of a fresh optimizer run.
+	CachedPlan bool
 	// OptimizeTime and ExecuteTime split the total latency the way the
 	// paper's Table 1 reports it.
 	OptimizeTime time.Duration
@@ -383,36 +422,13 @@ type QueryResult struct {
 }
 
 // Query parses src, optimizes it with method m and executes the chosen
-// plan.
+// plan. It is QueryContext with a background context and default options,
+// so structurally recurring queries are served from the plan cache.
 func (db *Database) Query(src string, m Method) (*QueryResult, error) {
-	pat, err := ParsePattern(src)
-	if err != nil {
-		return nil, err
-	}
-	return db.QueryPattern(pat, m)
+	return db.QueryContext(context.Background(), src, QueryOptions{Method: m})
 }
 
 // QueryPattern is Query for an already-built pattern.
 func (db *Database) QueryPattern(pat *Pattern, m Method) (*QueryResult, error) {
-	t0 := time.Now()
-	res, err := db.Optimize(pat, m, 0)
-	if err != nil {
-		return nil, err
-	}
-	optTime := time.Since(t0)
-	t1 := time.Now()
-	matches, stats, err := db.Execute(pat, res.Plan)
-	if err != nil {
-		return nil, fmt.Errorf("sjos: executing %v plan: %w", m, err)
-	}
-	return &QueryResult{
-		Matches:         matches,
-		Plan:            res.Plan,
-		PlanText:        res.Plan.Format(pat),
-		EstCost:         res.Cost,
-		OptimizeTime:    optTime,
-		ExecuteTime:     time.Since(t1),
-		PlansConsidered: res.Counters.PlansConsidered,
-		Exec:            stats,
-	}, nil
+	return db.QueryPatternContext(context.Background(), pat, QueryOptions{Method: m})
 }

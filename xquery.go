@@ -1,7 +1,9 @@
 package sjos
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"sjos/internal/xquery"
@@ -36,20 +38,33 @@ type XQueryResult struct {
 //	    where $e/salary >= 50000
 //	    return $m/name, $e/name`, sjos.MethodDPP)
 func (db *Database) XQuery(src string, m Method) (*XQueryResult, error) {
+	return db.XQueryContext(context.Background(), src, QueryOptions{Method: m})
+}
+
+// XQueryContext is XQuery under a context and explicit query options:
+// cancelling ctx aborts the optimization or execution of the compiled
+// pattern, and the plan cache serves recurring query shapes (unless
+// opts.NoCache). opts.Limit caps the underlying pattern matches, not the
+// deduplicated rows.
+func (db *Database) XQueryContext(ctx context.Context, src string, opts QueryOptions) (*XQueryResult, error) {
 	c, err := xquery.Compile(src)
 	if err != nil {
 		return nil, err
 	}
-	qr, err := db.QueryPattern(c.Pattern, m)
+	qr, err := db.QueryPatternContext(ctx, c.Pattern, opts)
 	if err != nil {
 		return nil, fmt.Errorf("sjos: evaluating compiled xquery pattern: %w", err)
 	}
 	// Projection slots: the FOR variables (for dedup identity) followed
-	// by the RETURN nodes; only RETURN slots are exposed per row.
-	var keyNodes []int
+	// by the RETURN nodes; only RETURN slots are exposed per row. The
+	// variable nodes are sorted into pattern-node order so the dedup key
+	// is canonical rather than dependent on Go's randomised map iteration
+	// order.
+	keyNodes := make([]int, 0, len(c.Vars))
 	for _, v := range c.Vars {
 		keyNodes = append(keyNodes, v)
 	}
+	sort.Ints(keyNodes)
 	seen := make(map[string]bool, len(qr.Matches))
 	res := &XQueryResult{
 		Pattern:      c.Pattern,
