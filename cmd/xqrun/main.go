@@ -32,6 +32,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "partition-parallel workers (0 = serial, -1 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort the query after this duration (0 = none)")
 	noCache := flag.Bool("nocache", false, "bypass the plan cache")
+	opTrace := flag.Bool("optrace", false, "print the per-operator execution trace")
 	flag.Parse()
 
 	if *query == "" || (*xmlPath == "") == (*dataset == "") {
@@ -50,7 +51,7 @@ func main() {
 		xmlPath: *xmlPath, dataset: *dataset, fold: *fold,
 		query: *query, method: *method, limit: *limit,
 		mode: mode, parallel: *parallel,
-		timeout: *timeout, noCache: *noCache,
+		timeout: *timeout, noCache: *noCache, opTrace: *opTrace,
 	}
 	if err := runWith(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "xqrun: %v\n", err)
@@ -76,6 +77,7 @@ type runCfg struct {
 	parallel         int
 	timeout          time.Duration
 	noCache          bool
+	opTrace          bool
 }
 
 // run keeps the original signature for the tests; explain selects
@@ -153,7 +155,8 @@ func runWith(cfg runCfg) error {
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
-	res, err := db.QueryPatternContext(ctx, pat, sjos.QueryOptions{Method: meth, NoCache: cfg.noCache})
+	res, err := db.QueryPatternContext(ctx, pat,
+		sjos.QueryOptions{Method: meth, NoCache: cfg.noCache, Trace: cfg.opTrace})
 	if err != nil {
 		return err
 	}
@@ -165,6 +168,10 @@ func runWith(cfg runCfg) error {
 		cfg.method, res.PlansConsidered, res.OptimizeTime, res.EstCost, cachedNote)
 	fmt.Println("plan:")
 	fmt.Print(indent(res.PlanText))
+	if res.Trace != nil {
+		fmt.Println("operator trace:")
+		fmt.Print(indent(res.Trace.Format()))
+	}
 	fmt.Printf("%d matches in %v\n", len(res.Matches), res.ExecuteTime)
 	for i, match := range res.Matches {
 		if cfg.limit >= 0 && i >= cfg.limit {

@@ -1,0 +1,172 @@
+// Command xqserve serves a loaded database over HTTP — the observability
+// face of the query service:
+//
+//	xqserve -dataset pers -addr :8377
+//	xqserve -xml file.xml -parallel 4 -slowquery 50ms
+//
+// Endpoints:
+//
+//	GET /query?q=//manager//name[&method=FP][&limit=10][&count=1][&trace=1]
+//	    evaluate a tree pattern; JSON response with matches, timings,
+//	    the plan, and (with trace=1) the per-operator trace
+//	GET /metrics   Prometheus text exposition of the database's counters
+//	GET /healthz   liveness probe
+//	GET /slow      recent slow-query log entries as JSON
+//
+// A -slowquery threshold logs offending queries (fingerprint, method,
+// duration, per-operator trace) to stderr and retains them for /slow.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+
+	"sjos"
+)
+
+func main() {
+	xmlPath := flag.String("xml", "", "XML file to load")
+	dataset := flag.String("dataset", "", "generated data set: mbench, dblp or pers")
+	fold := flag.Int("fold", 1, "folding factor for -dataset")
+	method := flag.String("method", "DPP", "default optimizer for /query")
+	parallel := flag.Int("parallel", 0, "partition-parallel workers (0 = serial, -1 = GOMAXPROCS)")
+	addr := flag.String("addr", ":8377", "listen address")
+	slowQuery := flag.Duration("slowquery", 0, "slow-query log threshold (0 = disabled)")
+	flag.Parse()
+	if (*xmlPath == "") == (*dataset == "") {
+		fmt.Fprintln(os.Stderr, "xqserve: need exactly one of -xml / -dataset")
+		os.Exit(2)
+	}
+	var db *sjos.Database
+	var err error
+	if *xmlPath != "" {
+		f, ferr := os.Open(*xmlPath)
+		if ferr != nil {
+			log.Fatalf("xqserve: %v", ferr)
+		}
+		db, err = sjos.LoadXML(f, nil)
+		f.Close()
+	} else {
+		db, err = sjos.GenerateDataset(*dataset, 1, *fold, nil)
+	}
+	if err != nil {
+		log.Fatalf("xqserve: %v", err)
+	}
+	if *parallel != 0 {
+		db = db.WithParallelism(*parallel)
+	}
+	m, err := sjos.ParseMethod(*method)
+	if err != nil {
+		log.Fatalf("xqserve: %v", err)
+	}
+	if *slowQuery > 0 {
+		db.SetSlowQueryLog(*slowQuery, func(e sjos.SlowQueryEntry) {
+			log.Printf("slow query: %s (%s, fingerprint %s) took %v (optimize %v, execute %v), %d matches",
+				e.Pattern, e.Method, e.Fingerprint, e.Duration, e.OptimizeTime, e.ExecuteTime, e.Matches)
+		})
+	}
+	log.Printf("xqserve: %d element nodes loaded; optimizer %s; listening on %s", db.NumNodes(), m, *addr)
+	log.Fatal(http.ListenAndServe(*addr, newMux(db, m)))
+}
+
+// queryResponse is the /query JSON payload.
+type queryResponse struct {
+	Count int `json:"count"`
+	// Matches renders each match as tag=value / tag#id strings, one slot
+	// per pattern node (omitted under count=1).
+	Matches [][]string `json:"matches,omitempty"`
+	Plan    string     `json:"plan"`
+	Cached  bool       `json:"cached_plan"`
+	// OptimizeNs and ExecuteNs split the latency in nanoseconds.
+	OptimizeNs int64         `json:"optimize_ns"`
+	ExecuteNs  int64         `json:"execute_ns"`
+	Trace      *sjos.OpTrace `json:"trace,omitempty"`
+}
+
+// newMux assembles the HTTP handlers for one database; split from main so
+// tests can drive it with httptest.
+func newMux(db *sjos.Database, defaultMethod sjos.Method) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		db.WriteMetrics(w)
+	})
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(db.SlowQueries())
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		src := r.URL.Query().Get("q")
+		if src == "" {
+			http.Error(w, "missing q parameter", http.StatusBadRequest)
+			return
+		}
+		m := defaultMethod
+		if ms := r.URL.Query().Get("method"); ms != "" {
+			var err error
+			if m, err = sjos.ParseMethod(ms); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		opts := sjos.QueryOptions{Method: m}
+		if ls := r.URL.Query().Get("limit"); ls != "" {
+			n, err := strconv.Atoi(ls)
+			if err != nil || n < 0 {
+				http.Error(w, "limit must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			opts.Limit = n
+		}
+		opts.Trace = boolParam(r, "trace")
+		res, err := db.QueryContext(r.Context(), src, opts)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := &queryResponse{
+			Count:      len(res.Matches),
+			Plan:       res.PlanText,
+			Cached:     res.CachedPlan,
+			OptimizeNs: res.OptimizeTime.Nanoseconds(),
+			ExecuteNs:  res.ExecuteTime.Nanoseconds(),
+			Trace:      res.Trace,
+		}
+		if !boolParam(r, "count") {
+			resp.Matches = renderMatches(db, res.Matches)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+	return mux
+}
+
+func boolParam(r *http.Request, name string) bool {
+	v := r.URL.Query().Get(name)
+	return v == "1" || v == "true" || v == "yes"
+}
+
+// renderMatches formats node bindings the way the CLI tools print them.
+func renderMatches(db *sjos.Database, matches []sjos.Match) [][]string {
+	out := make([][]string, len(matches))
+	for i, m := range matches {
+		row := make([]string, len(m))
+		for u, id := range m {
+			if v := db.Value(id); v != "" {
+				row[u] = fmt.Sprintf("%s=%q", db.TagName(id), v)
+			} else {
+				row[u] = fmt.Sprintf("%s#%d", db.TagName(id), id)
+			}
+		}
+		out[i] = row
+	}
+	return out
+}

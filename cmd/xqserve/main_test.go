@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sjos"
+)
+
+func newServer(t *testing.T) (*sjos.Database, *httptest.Server) {
+	t.Helper()
+	db, err := sjos.LoadXMLString(`<db>
+	  <manager><name>alice</name><employee><name>bob</name></employee></manager>
+	  <manager><name>carol</name><department><name>ops</name></department></manager>
+	</db>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(db, sjos.MethodDPP))
+	t.Cleanup(srv.Close)
+	return db, srv
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeHealthz(t *testing.T) {
+	_, srv := newServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestServeQuery(t *testing.T) {
+	_, srv := newServer(t)
+	var r queryResponse
+	getJSON(t, srv.URL+"/query?q=//manager/name", &r)
+	if r.Count != 2 || len(r.Matches) != 2 {
+		t.Fatalf("response: %+v", r)
+	}
+	if r.Plan == "" || r.Trace != nil {
+		t.Fatalf("plan/trace: %+v", r)
+	}
+	found := false
+	for _, row := range r.Matches {
+		for _, cell := range row {
+			if strings.Contains(cell, "alice") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("alice missing from matches: %+v", r.Matches)
+	}
+}
+
+func TestServeQueryOptions(t *testing.T) {
+	_, srv := newServer(t)
+	var r queryResponse
+	getJSON(t, srv.URL+"/query?q=//manager/name&count=1&trace=1&method=FP", &r)
+	if r.Count != 2 || r.Matches != nil {
+		t.Fatalf("count=1 response: %+v", r)
+	}
+	if r.Trace == nil || r.Trace.Rows != 2 {
+		t.Fatalf("trace=1 response trace: %+v", r.Trace)
+	}
+	getJSON(t, srv.URL+"/query?q=//manager/name&limit=1", &r)
+	if len(r.Matches) != 1 {
+		t.Fatalf("limit=1 matches: %+v", r.Matches)
+	}
+}
+
+func TestServeQueryErrors(t *testing.T) {
+	_, srv := newServer(t)
+	for _, path := range []string{
+		"/query",
+		"/query?q=///bad[",
+		"/query?q=//a&method=BOGUS",
+		"/query?q=//a&limit=-1",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestServeMetrics(t *testing.T) {
+	_, srv := newServer(t)
+	var r queryResponse
+	getJSON(t, srv.URL+"/query?q=//manager/name", &r)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{"sjos_queries_total 1", "sjos_plancache_misses_total 1", "sjos_pool_resident_pages"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestServeSlow(t *testing.T) {
+	db, srv := newServer(t)
+	db.SetSlowQueryLog(time.Nanosecond, nil)
+	var r queryResponse
+	getJSON(t, srv.URL+"/query?q=//manager/name", &r)
+	var entries []sjos.SlowQueryEntry
+	getJSON(t, srv.URL+"/slow", &entries)
+	if len(entries) != 1 {
+		t.Fatalf("%d slow entries, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.Fingerprint == "" || e.Matches != 2 || e.Trace == nil {
+		t.Fatalf("slow entry: %+v", e)
+	}
+}

@@ -15,6 +15,9 @@
 //	.method DPP|FP|...                switch optimizer
 //	.limit N                          rows to print (default 10)
 //	.cache                            plan cache statistics
+//	.metrics                          process metrics (Prometheus text)
+//	.slowlog <dur>|off                set the slow-query threshold
+//	.slow                             recent slow-query log entries
 //	.quit
 package main
 
@@ -27,6 +30,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"sjos"
 )
@@ -136,6 +140,38 @@ func (sh *shell) processLine(line string) bool {
 		fmt.Fprintf(sh.out, "plan cache: %d/%d entries, %d hits, %d misses, %d coalesced, %d evicted, %d invalidated\n",
 			cs.Entries, cs.Capacity, cs.Hits, cs.Misses, cs.Coalesced, cs.Evictions, cs.Invalidations)
 		return true
+	case line == ".metrics":
+		sh.db.WriteMetrics(sh.out)
+		return true
+	case strings.HasPrefix(line, ".slowlog"):
+		arg := strings.TrimSpace(strings.TrimPrefix(line, ".slowlog"))
+		if arg == "off" || arg == "0" {
+			sh.db.SetSlowQueryLog(0, nil)
+			fmt.Fprintln(sh.out, "slow-query log: off")
+			return true
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil || d <= 0 {
+			fmt.Fprintln(sh.out, "error: .slowlog needs a positive duration (e.g. 100ms) or 'off'")
+			return true
+		}
+		sh.db.SetSlowQueryLog(d, nil)
+		fmt.Fprintf(sh.out, "slow-query log: threshold %v\n", d)
+		return true
+	case line == ".slow":
+		entries := sh.db.SlowQueries()
+		if len(entries) == 0 {
+			fmt.Fprintln(sh.out, "slow-query log: empty")
+			return true
+		}
+		for _, e := range entries {
+			fmt.Fprintf(sh.out, "%s  %v (optimize %v, execute %v)  %d matches  %s\n",
+				e.Pattern, e.Duration, e.OptimizeTime, e.ExecuteTime, e.Matches, e.Method)
+			if e.Trace != nil {
+				fmt.Fprint(sh.out, indentTrace(e.Trace.Format()))
+			}
+		}
+		return true
 	case strings.HasPrefix(line, "."):
 		fmt.Fprintln(sh.out, "error: unknown command", strings.Fields(line)[0])
 		return true
@@ -146,6 +182,13 @@ func (sh *shell) processLine(line string) bool {
 		sh.runPattern(line)
 		return true
 	}
+}
+
+// indentTrace indents a multi-line trace rendering for display under its
+// slow-log entry header.
+func indentTrace(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "    " + strings.Join(lines, "\n    ") + "\n"
 }
 
 func (sh *shell) withPattern(line, cmd string, f func(*sjos.Pattern) (string, error)) {

@@ -124,3 +124,47 @@ func TestShellQueryErrors(t *testing.T) {
 		t.Fatal("bad xquery not reported")
 	}
 }
+
+func TestShellMetricsCommand(t *testing.T) {
+	sh, out := newShell(t)
+	sh.processLine("//manager/name")
+	out.Reset()
+	sh.processLine(".metrics")
+	s := out.String()
+	if !strings.Contains(s, "sjos_queries_total 1") || !strings.Contains(s, "sjos_pool_resident_pages") {
+		t.Fatalf(".metrics output:\n%s", s)
+	}
+}
+
+func TestShellSlowLogCommands(t *testing.T) {
+	sh, out := newShell(t)
+	sh.processLine(".slow")
+	if !strings.Contains(out.String(), "slow-query log: empty") {
+		t.Fatalf(".slow on empty log:\n%s", out.String())
+	}
+	out.Reset()
+	sh.processLine(".slowlog 1ns")
+	if !strings.Contains(out.String(), "threshold 1ns") {
+		t.Fatalf(".slowlog output:\n%s", out.String())
+	}
+	sh.processLine("//manager/name")
+	out.Reset()
+	sh.processLine(".slow")
+	s := out.String()
+	if !strings.Contains(s, "manager/name") || !strings.Contains(s, "matches") {
+		t.Fatalf(".slow output:\n%s", s)
+	}
+	if !strings.Contains(s, "IndexScan") {
+		t.Fatalf(".slow output missing the operator trace:\n%s", s)
+	}
+	out.Reset()
+	sh.processLine(".slowlog off")
+	if !strings.Contains(out.String(), "slow-query log: off") {
+		t.Fatalf(".slowlog off output:\n%s", out.String())
+	}
+	out.Reset()
+	sh.processLine(".slowlog banana")
+	if !strings.Contains(out.String(), "error:") {
+		t.Fatalf("bad .slowlog not reported:\n%s", out.String())
+	}
+}

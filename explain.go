@@ -35,15 +35,21 @@ func (db *Database) Explain(pat *Pattern) (string, error) {
 }
 
 // ExplainAnalyze optimizes pat with the given method, executes the chosen
-// plan with per-operator instrumentation, and renders the plan tree with
-// estimated vs actual output cardinalities — the library's EXPLAIN ANALYZE.
-// It reports total matches alongside the annotated plan.
+// plan with per-operator instrumentation, and renders the plan-shaped
+// trace: wall time, Next calls, and actual vs estimated output rows per
+// operator (est/actual drift is the optimizer's core feedback signal) —
+// the library's EXPLAIN ANALYZE. It reports total matches and the
+// execution's buffer-pool and plan-cache behaviour alongside.
 func (db *Database) ExplainAnalyze(pat *Pattern, m Method) (string, error) {
 	res, err := db.Optimize(pat, m, 0)
 	if err != nil {
 		return "", err
 	}
-	op, analyses, err := exec.BuildAnalyzed(pat, res.Plan)
+	tb, err := exec.NewTraceBuilder(pat, res.Plan)
+	if err != nil {
+		return "", err
+	}
+	op, err := tb.Build()
 	if err != nil {
 		return "", err
 	}
@@ -54,11 +60,10 @@ func (db *Database) ExplainAnalyze(pat *Pattern, m Method) (string, error) {
 		return "", err
 	}
 	after := db.store.PoolStats()
-	exec.Finish(analyses)
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "pattern: %s\n%s plan, estimated cost %.0f, %d matches\n",
 		pat.String(), m, res.Cost, n)
-	sb.WriteString(exec.FormatAnalysis(pat, res.Plan, analyses))
+	sb.WriteString(tb.Trace().Format())
 	hits, misses := after.Hits-before.Hits, after.Misses-before.Misses
 	rate := 0.0
 	if hits+misses > 0 {

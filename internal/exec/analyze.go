@@ -8,99 +8,55 @@ import (
 	"sjos/internal/plan"
 )
 
-// analyzed wraps an operator and counts its output tuples, giving
-// EXPLAIN ANALYZE its per-operator actual cardinalities.
-type analyzed struct {
-	inner Operator
-	rows  int
-}
-
-func (a *analyzed) Schema() *Schema { return a.inner.Schema() }
-
-func (a *analyzed) Open(ctx *Context) error { return a.inner.Open(ctx) }
-
-func (a *analyzed) Next() (Tuple, bool, error) {
-	t, ok, err := a.inner.Next()
-	if ok {
-		a.rows++
-	}
-	return t, ok, err
-}
-
-func (a *analyzed) Close() error { return a.inner.Close() }
-
 // Analysis reports one plan operator's estimated vs actual output
-// cardinality, in the order plan nodes are visited pre-order.
+// cardinality, in the order plan nodes are visited pre-order. It is the
+// cardinality-only view of the richer OpTrace instrumentation.
 type Analysis struct {
 	Node   *plan.Node
 	Actual int
 	Est    float64
 
-	counter *analyzed
+	acc *traceAcc
 }
 
-// BuildAnalyzed compiles a plan with a counting wrapper around every
-// operator. The returned analyses are filled in as execution proceeds and
-// are valid after the root has been drained.
+// BuildAnalyzed compiles a plan with an instrumentation wrapper around
+// every operator. The returned analyses are filled in as execution proceeds
+// and are valid after the root has been drained and closed.
 func BuildAnalyzed(pat *pattern.Pattern, n *plan.Node) (Operator, []*Analysis, error) {
-	var all []*Analysis
-	op, err := buildAnalyzed(pat, n, &all)
-	return op, all, err
-}
-
-func buildAnalyzed(pat *pattern.Pattern, n *plan.Node, out *[]*Analysis) (Operator, error) {
-	an := &Analysis{Node: n, Est: n.EstCard}
-	*out = append(*out, an)
-	var inner Operator
-	switch n.Op {
-	case plan.OpIndexScan:
-		if n.PatternNode < 0 || n.PatternNode >= pat.N() {
-			return nil, fmt.Errorf("exec: scan of pattern node %d out of range", n.PatternNode)
-		}
-		inner = NewIndexScan(pat, n.PatternNode)
-	case plan.OpSort:
-		in, err := buildAnalyzed(pat, n.Left, out)
-		if err != nil {
-			return nil, err
-		}
-		s, err := NewSort(in, n.SortBy)
-		if err != nil {
-			return nil, err
-		}
-		inner = s
-	case plan.OpStructuralJoin:
-		left, err := buildAnalyzed(pat, n.Left, out)
-		if err != nil {
-			return nil, err
-		}
-		right, err := buildAnalyzed(pat, n.Right, out)
-		if err != nil {
-			return nil, err
-		}
-		j, err := NewStackTreeJoin(left, right, n.AncNode, n.DescNode, n.Axis, n.Algo)
-		if err != nil {
-			return nil, err
-		}
-		inner = j
-	default:
-		return nil, fmt.Errorf("exec: unknown plan operator %d", n.Op)
+	tb, err := NewTraceBuilder(pat, n)
+	if err != nil {
+		return nil, nil, err
 	}
-	wrapped := &analyzed{inner: inner}
-	an.counter = wrapped
-	return wrapped, nil
+	op, err := tb.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	var all []*Analysis
+	var walk func(a *traceAcc)
+	walk = func(a *traceAcc) {
+		if a == nil {
+			return
+		}
+		all = append(all, &Analysis{Node: a.node, Est: a.node.EstCard, acc: a})
+		walk(a.left)
+		walk(a.right)
+	}
+	walk(tb.root)
+	return op, all, nil
 }
 
-// Finish snapshots the counters into Actual; call after draining the root.
+// Finish snapshots the counters into Actual; call after draining and
+// closing the root.
 func Finish(all []*Analysis) {
 	for _, a := range all {
-		if a.counter != nil {
-			a.Actual = a.counter.rows
+		if a.acc != nil {
+			a.Actual = int(a.acc.rows.Load())
 		}
 	}
 }
 
 // FormatAnalysis renders the plan tree with estimated and actual output
-// cardinalities side by side — the library's EXPLAIN ANALYZE.
+// cardinalities side by side — the cardinality summary of EXPLAIN ANALYZE.
 func FormatAnalysis(pat *pattern.Pattern, root *plan.Node, all []*Analysis) string {
 	byNode := make(map[*plan.Node]*Analysis, len(all))
 	for _, a := range all {
@@ -110,26 +66,17 @@ func FormatAnalysis(pat *pattern.Pattern, root *plan.Node, all []*Analysis) stri
 	var walk func(n *plan.Node, depth int)
 	walk = func(n *plan.Node, depth int) {
 		indent := strings.Repeat("  ", depth)
-		tag := func(u int) string {
-			if u >= 0 && u < pat.N() {
-				return fmt.Sprintf("%s($%d)", pat.Nodes[u].Tag, u)
-			}
-			return fmt.Sprintf("$%d", u)
-		}
 		switch n.Op {
 		case plan.OpIndexScan:
-			fmt.Fprintf(&sb, "%sIndexScan %s", indent, tag(n.PatternNode))
+			fmt.Fprintf(&sb, "%sIndexScan %s", indent, opDetail(pat, n))
 		case plan.OpSort:
-			fmt.Fprintf(&sb, "%sSort by %s", indent, tag(n.SortBy))
+			fmt.Fprintf(&sb, "%sSort %s", indent, opDetail(pat, n))
 		case plan.OpStructuralJoin:
-			fmt.Fprintf(&sb, "%s%s %s %s %s", indent, n.Algo, tag(n.AncNode), n.Axis, tag(n.DescNode))
+			fmt.Fprintf(&sb, "%s%s %s", indent, n.Algo, opDetail(pat, n))
 		}
 		if a := byNode[n]; a != nil {
-			ratio := "-"
-			if a.Actual > 0 && a.Est > 0 {
-				ratio = fmt.Sprintf("%.2fx", a.Est/float64(a.Actual))
-			}
-			fmt.Fprintf(&sb, "  [est≈%.0f actual=%d err=%s]", a.Est, a.Actual, ratio)
+			fmt.Fprintf(&sb, "  [est≈%.0f actual=%d err=%s]",
+				a.Est, a.Actual, driftRatio(a.Est, int64(a.Actual)))
 		}
 		sb.WriteString("\n")
 		if n.Left != nil {

@@ -14,31 +14,53 @@ import (
 // The plan should have passed plan.Validate; Build still reports structural
 // problems it encounters rather than mis-executing.
 func Build(pat *pattern.Pattern, n *plan.Node) (Operator, error) {
+	return buildWrapped(pat, n, nil)
+}
+
+// wrapFn decorates one compiled operator; the tracing and analysis layers
+// use it to interpose instrumentation around every node of the tree.
+type wrapFn func(n *plan.Node, op Operator) Operator
+
+// buildWrapped is the single plan-to-operator compiler: it builds the tree
+// bottom-up and, when wrap is non-nil, wraps every operator (children
+// included) with it.
+func buildWrapped(pat *pattern.Pattern, n *plan.Node, wrap wrapFn) (Operator, error) {
+	var op Operator
 	switch n.Op {
 	case plan.OpIndexScan:
 		if n.PatternNode < 0 || n.PatternNode >= pat.N() {
 			return nil, fmt.Errorf("exec: scan of pattern node %d out of range", n.PatternNode)
 		}
-		return NewIndexScan(pat, n.PatternNode), nil
+		op = NewIndexScan(pat, n.PatternNode)
 	case plan.OpSort:
-		in, err := Build(pat, n.Left)
+		in, err := buildWrapped(pat, n.Left, wrap)
 		if err != nil {
 			return nil, err
 		}
-		return NewSort(in, n.SortBy)
+		op, err = NewSort(in, n.SortBy)
+		if err != nil {
+			return nil, err
+		}
 	case plan.OpStructuralJoin:
-		left, err := Build(pat, n.Left)
+		left, err := buildWrapped(pat, n.Left, wrap)
 		if err != nil {
 			return nil, err
 		}
-		right, err := Build(pat, n.Right)
+		right, err := buildWrapped(pat, n.Right, wrap)
 		if err != nil {
 			return nil, err
 		}
-		return NewStackTreeJoin(left, right, n.AncNode, n.DescNode, n.Axis, n.Algo)
+		op, err = NewStackTreeJoin(left, right, n.AncNode, n.DescNode, n.Axis, n.Algo)
+		if err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("exec: unknown plan operator %d", n.Op)
 	}
+	if wrap != nil {
+		op = wrap(n, op)
+	}
+	return op, nil
 }
 
 // Run compiles and executes a plan, returning the result tuples normalised

@@ -1,13 +1,19 @@
 package exec
 
-// Limit caps an operator's output at n tuples, closing early. Combined with
-// fully-pipelined plans it delivers the paper's §3.4 motivation measurably:
-// non-blocking plans produce their first results long before the full
-// result is computed, which blocking (sort-containing) plans cannot do.
+// Limit caps an operator's output at n tuples and genuinely closes early:
+// the moment the n-th tuple is delivered the upstream subtree is Closed, so
+// its resources (sort buffers, stacks, scan cursors) are released before
+// the caller finishes consuming the stream. Combined with fully-pipelined
+// plans it delivers the paper's §3.4 motivation measurably: non-blocking
+// plans produce their first results long before the full result is
+// computed, which blocking (sort-containing) plans cannot do.
 type Limit struct {
-	input Operator
-	n     int
-	done  int
+	input     Operator
+	n         int
+	done      int
+	exhausted bool  // input ended before n tuples
+	closed    bool  // input has been Closed (early or via Close)
+	closeErr  error // latched error from an early upstream Close
 }
 
 // NewLimit wraps input, emitting at most n tuples.
@@ -26,16 +32,38 @@ func (l *Limit) Open(ctx *Context) error { return l.input.Open(ctx) }
 
 // Next implements Operator.
 func (l *Limit) Next() (Tuple, bool, error) {
-	if l.done >= l.n {
-		return nil, false, nil
+	if l.done >= l.n || l.exhausted {
+		// The stream is over; surface a latched early-Close failure once
+		// the cap was reached, otherwise plain end-of-stream.
+		return nil, false, l.closeErr
 	}
 	t, ok, err := l.input.Next()
-	if !ok || err != nil {
-		return nil, false, err
+	if err != nil {
+		// Propagate exactly what the input produced: if it paired a tuple
+		// with the error, the tuple must not be silently dropped here —
+		// the caller decides what an (ok, err) pair means.
+		return t, ok, err
+	}
+	if !ok {
+		l.exhausted = true
+		return nil, false, nil
 	}
 	l.done++
+	if l.done >= l.n {
+		// Cap reached: stop pulling and release the upstream subtree now.
+		l.closed = true
+		l.closeErr = l.input.Close()
+	}
 	return t, true, nil
 }
 
-// Close implements Operator.
-func (l *Limit) Close() error { return l.input.Close() }
+// Close implements Operator. If the cap was reached the input was already
+// closed by Next; Close then reports any latched early-Close failure
+// without closing the input a second time.
+func (l *Limit) Close() error {
+	if l.closed {
+		return l.closeErr
+	}
+	l.closed = true
+	return l.input.Close()
+}

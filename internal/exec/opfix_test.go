@@ -1,0 +1,175 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+)
+
+// scriptedOp is a test operator: it serves a fixed tuple list and can be
+// scripted to fail at a given Next call, optionally pairing the error with
+// a tuple. It records how often it was pulled and closed.
+type scriptedOp struct {
+	schema  *Schema
+	tuples  []Tuple
+	failAt  int   // Next index (0-based) that errors; -1 = never
+	failTup Tuple // tuple paired with the error (nil = bare error)
+	err     error
+
+	pos    int
+	nexts  int
+	closes int
+}
+
+var errScripted = errors.New("scripted operator failure")
+
+func newScriptedOp(tuples []Tuple, failAt int, failTup Tuple) *scriptedOp {
+	return &scriptedOp{
+		schema: NewSchema(0), tuples: tuples,
+		failAt: failAt, failTup: failTup, err: errScripted,
+	}
+}
+
+func (s *scriptedOp) Schema() *Schema         { return s.schema }
+func (s *scriptedOp) Open(ctx *Context) error { return nil }
+func (s *scriptedOp) Close() error            { s.closes++; return nil }
+func (s *scriptedOp) Next() (Tuple, bool, error) {
+	i := s.nexts
+	s.nexts++
+	if s.failAt >= 0 && i == s.failAt {
+		return s.failTup, s.failTup != nil, s.err
+	}
+	if s.pos >= len(s.tuples) {
+		return nil, false, nil
+	}
+	t := s.tuples[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// TestSortLatchesLoadError is the regression test for the mid-stream load
+// failure: a Sort whose input errors part-way through must keep returning
+// the error on every later Next instead of serving the partial, unsorted
+// buffer as if it were valid output.
+func TestSortLatchesLoadError(t *testing.T) {
+	doc := personnelDoc(t)
+	in := newScriptedOp([]Tuple{{3}, {1}}, 2, nil) // two tuples, then error
+	s, err := NewSort(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := newCtx(t, doc)
+	if err := s.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Next(); !errors.Is(err, errScripted) || ok {
+		t.Fatalf("first Next: ok=%v err=%v, want the load error", ok, err)
+	}
+	// The old code set loaded=true on failure and then served the partial
+	// buffer here.
+	tup, ok, err := s.Next()
+	if !errors.Is(err, errScripted) || ok || tup != nil {
+		t.Fatalf("second Next after failed load: (%v, %v, %v), want latched error", tup, ok, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLimitDoesNotDropErrorTuple is the regression test for the Limit
+// error path: when the input pairs a tuple with its error, Limit must
+// propagate both instead of silently dropping the tuple.
+func TestLimitDoesNotDropErrorTuple(t *testing.T) {
+	in := newScriptedOp(nil, 0, Tuple{7})
+	l := NewLimit(in, 5)
+	if err := l.Open(newCtx(t, personnelDoc(t))); err != nil {
+		t.Fatal(err)
+	}
+	tup, ok, err := l.Next()
+	if !errors.Is(err, errScripted) {
+		t.Fatalf("err = %v, want scripted error", err)
+	}
+	if !ok || tup == nil || tup[0] != 7 {
+		t.Fatalf("(%v, %v) — the error's tuple was dropped", tup, ok)
+	}
+}
+
+// TestLimitClosesUpstreamEarly verifies the doc's early-termination claim:
+// the moment the n-th tuple is delivered, the upstream subtree is Closed —
+// and not Closed a second time by Limit.Close.
+func TestLimitClosesUpstreamEarly(t *testing.T) {
+	in := newScriptedOp([]Tuple{{1}, {2}, {3}}, -1, nil)
+	l := NewLimit(in, 2)
+	if err := l.Open(newCtx(t, personnelDoc(t))); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok, err := l.Next(); !ok || err != nil {
+			t.Fatalf("Next %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if in.closes != 1 {
+		t.Fatalf("input closed %d times after the cap, want 1 (early close)", in.closes)
+	}
+	// No more pulls after the cap.
+	pulls := in.nexts
+	if _, ok, err := l.Next(); ok || err != nil {
+		t.Fatalf("Next past cap: ok=%v err=%v", ok, err)
+	}
+	if in.nexts != pulls {
+		t.Fatal("Limit kept pulling upstream past the cap")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if in.closes != 1 {
+		t.Fatalf("input closed %d times in total, want exactly 1", in.closes)
+	}
+}
+
+// TestLimitExhaustedInputStopsPulling covers the short-input case: once the
+// input reports end of stream, Limit must not pull it again.
+func TestLimitExhaustedInputStopsPulling(t *testing.T) {
+	in := newScriptedOp([]Tuple{{1}}, -1, nil)
+	l := NewLimit(in, 5)
+	if err := l.Open(newCtx(t, personnelDoc(t))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := l.Next(); !ok {
+		t.Fatal("first tuple missing")
+	}
+	if _, ok, _ := l.Next(); ok {
+		t.Fatal("unexpected tuple past end")
+	}
+	pulls := in.nexts
+	if _, ok, _ := l.Next(); ok {
+		t.Fatal("unexpected tuple past end")
+	}
+	if in.nexts != pulls {
+		t.Fatal("Limit pulled an exhausted input again")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if in.closes != 1 {
+		t.Fatalf("input closed %d times, want 1", in.closes)
+	}
+}
+
+// TestLimitZero keeps the degenerate cap working: no output, exactly one
+// upstream Close (via Limit.Close).
+func TestLimitZero(t *testing.T) {
+	in := newScriptedOp([]Tuple{{1}}, -1, nil)
+	l := NewLimit(in, 0)
+	if err := l.Open(newCtx(t, personnelDoc(t))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := l.Next(); ok || err != nil {
+		t.Fatalf("Next on zero limit: ok=%v err=%v", ok, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if in.closes != 1 {
+		t.Fatalf("input closed %d times, want 1", in.closes)
+	}
+}

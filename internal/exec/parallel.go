@@ -43,6 +43,19 @@ type ParallelExec struct {
 	// into; <= 0 means Workers. More partitions than workers improve load
 	// balance at a small per-partition setup cost.
 	Partitions int
+	// BuildOp, when non-nil, compiles each partition's fresh operator tree
+	// in place of Build(pat, p). The tracing layer points it at a
+	// TraceBuilder so every clone accumulates into one shared
+	// plan-shaped trace.
+	BuildOp func() (Operator, error)
+}
+
+// build compiles one operator tree for a partition, honouring BuildOp.
+func (pe *ParallelExec) build(pat *pattern.Pattern, p *plan.Node) (Operator, error) {
+	if pe.BuildOp != nil {
+		return pe.BuildOp()
+	}
+	return Build(pat, p)
 }
 
 func (pe *ParallelExec) workers() int {
@@ -96,7 +109,11 @@ func (pe *ParallelExec) RunLimit(ctx context.Context, base *Context, pat *patter
 func (pe *ParallelExec) RunCount(ctx context.Context, base *Context, pat *pattern.Pattern, p *plan.Node) (int, error) {
 	parts := pe.ranges(base, pat)
 	if len(parts) == 1 {
-		return RunCount(base, pat, p)
+		op, err := pe.build(pat, p)
+		if err != nil {
+			return 0, err
+		}
+		return Count(base, op)
 	}
 	counts := make([]int, len(parts))
 	err := pe.forEachPartition(ctx, base, pat, p, parts, func(cctx context.Context, i int, local *Context, root Operator) error {
@@ -128,7 +145,7 @@ func (pe *ParallelExec) run(ctx context.Context, base *Context, pat *pattern.Pat
 	if len(parts) == 1 {
 		// Degenerate split (K=1, unknown root tag, or a document whose
 		// root tag admits no cut): run the ordinary serial path.
-		op, err := Build(pat, p)
+		op, err := pe.build(pat, p)
 		if err != nil {
 			return nil, err
 		}
@@ -256,7 +273,7 @@ func (pe *ParallelExec) forEachPartition(
 					Range:     &rg,
 					Interrupt: cctx.Err,
 				}
-				root, err := Build(pat, p)
+				root, err := pe.build(pat, p)
 				if err == nil {
 					err = body(cctx, i, local, root)
 				}

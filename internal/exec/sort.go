@@ -17,6 +17,7 @@ type Sort struct {
 	buf    []Tuple
 	pos    int
 	loaded bool
+	err    error // latched load failure: every later Next returns it
 	ctx    *Context
 }
 
@@ -40,8 +41,16 @@ func (s *Sort) Open(ctx *Context) error {
 
 // Next implements Operator.
 func (s *Sort) Next() (Tuple, bool, error) {
+	if s.err != nil {
+		return nil, false, s.err
+	}
 	if !s.loaded {
 		if err := s.load(); err != nil {
+			// Latch the failure: a partially-loaded buffer is not valid
+			// output, so every subsequent Next must keep failing instead
+			// of serving the unsorted remnant.
+			s.err = err
+			s.buf = nil
 			return nil, false, err
 		}
 	}

@@ -1,0 +1,157 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"sjos/internal/pattern"
+	"sjos/internal/plan"
+)
+
+func TestTraceBuilderSerial(t *testing.T) {
+	doc := personnelDoc(t)
+	pat := pattern.MustParse("//manager//name")
+	p := plan.NewJoin(plan.NewIndexScan(0), plan.NewIndexScan(1), 0, 1, pattern.Descendant, plan.AlgoDesc)
+	p.EstCard = 42
+	tb, err := NewTraceBuilder(pat, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Count(newCtx(t, doc), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tb.Trace()
+	if tr.Op != "STJ-Desc" {
+		t.Fatalf("root op = %q", tr.Op)
+	}
+	if tr.Rows != int64(n) {
+		t.Fatalf("root rows = %d, want %d", tr.Rows, n)
+	}
+	// Rows + one end-of-stream call in a full drain.
+	if tr.NextCalls != int64(n)+1 {
+		t.Fatalf("root next calls = %d, want %d", tr.NextCalls, n+1)
+	}
+	if tr.Clones != 1 {
+		t.Fatalf("root clones = %d, want 1", tr.Clones)
+	}
+	if tr.EstRows != 42 {
+		t.Fatalf("root est = %v, want 42", tr.EstRows)
+	}
+	if len(tr.Children) != 2 {
+		t.Fatalf("%d children, want 2", len(tr.Children))
+	}
+	mgr, _ := doc.LookupTag("manager")
+	nm, _ := doc.LookupTag("name")
+	if tr.Children[0].Rows != int64(doc.TagCount(mgr)) || tr.Children[1].Rows != int64(doc.TagCount(nm)) {
+		t.Fatalf("leaf rows %d/%d, want %d/%d", tr.Children[0].Rows, tr.Children[1].Rows,
+			doc.TagCount(mgr), doc.TagCount(nm))
+	}
+	for _, c := range tr.Children {
+		if c.Op != "IndexScan" {
+			t.Fatalf("child op = %q", c.Op)
+		}
+	}
+	out := tr.Format()
+	for _, want := range []string{"STJ-Desc", "IndexScan", "manager($0)", "name($1)", "est≈42", "actual=", "calls=", "time="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTraceBuilderMultipleClones simulates the partition-parallel driver:
+// several clones built from one TraceBuilder accumulate into a single
+// plan-shaped trace.
+func TestTraceBuilderMultipleClones(t *testing.T) {
+	doc := personnelDoc(t)
+	pat := pattern.MustParse("//manager//name")
+	p := plan.NewJoin(plan.NewIndexScan(0), plan.NewIndexScan(1), 0, 1, pattern.Descendant, plan.AlgoDesc)
+	tb, err := NewTraceBuilder(pat, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := 0; i < 3; i++ {
+		op, err := tb.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := Count(newCtx(t, doc), op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	tr := tb.Trace()
+	if tr.Clones != 3 {
+		t.Fatalf("clones = %d, want 3", tr.Clones)
+	}
+	if tr.Rows != int64(total) {
+		t.Fatalf("rows = %d, want %d summed over clones", tr.Rows, total)
+	}
+}
+
+func TestTraceBuilderMatchesPlainExecution(t *testing.T) {
+	doc := personnelDoc(t)
+	pat := pattern.MustParse("//manager[.//employee]//name")
+	me := plan.NewJoin(plan.NewIndexScan(0), plan.NewIndexScan(1), 0, 1, pattern.Descendant, plan.AlgoAnc)
+	men := plan.NewJoin(me, plan.NewIndexScan(2), 0, 2, pattern.Descendant, plan.AlgoAnc)
+	plain, err := RunCount(newCtx(t, doc), pat, men)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTraceBuilder(pat, men)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Count(newCtx(t, doc), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != plain {
+		t.Fatalf("traced count %d, plain %d", n, plain)
+	}
+	if tr := tb.Trace(); tr.Rows != int64(plain) {
+		t.Fatalf("trace rows %d, want %d", tr.Rows, plain)
+	}
+}
+
+func TestTraceBuilderRejectsBadPlans(t *testing.T) {
+	pat := pattern.MustParse("//a//b")
+	if _, err := NewTraceBuilder(pat, &plan.Node{Op: plan.Op(99)}); err == nil {
+		t.Fatal("unknown operator accepted")
+	}
+}
+
+func TestTracedFlushOnce(t *testing.T) {
+	in := newScriptedOp([]Tuple{{1}, {2}}, -1, nil)
+	acc := &traceAcc{node: plan.NewIndexScan(0)}
+	tr := &traced{inner: in, acc: acc}
+	if err := tr.Open(newCtx(t, personnelDoc(t))); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok, err := tr.Next(); err != nil {
+			t.Fatal(err)
+		} else if !ok {
+			break
+		}
+	}
+	tr.Close()
+	tr.Close() // double Close must not double-count
+	if got := acc.rows.Load(); got != 2 {
+		t.Fatalf("acc rows = %d, want 2", got)
+	}
+	if got := acc.clones.Load(); got != 1 {
+		t.Fatalf("acc clones = %d, want 1", got)
+	}
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketBounds(t *testing.T) {
+	if got := bucketBound(0); got != time.Microsecond {
+		t.Fatalf("bucketBound(0) = %v", got)
+	}
+	if got := bucketBound(10); got != 1024*time.Microsecond {
+		t.Fatalf("bucketBound(10) = %v", got)
+	}
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{time.Millisecond, 10},
+		{24 * time.Hour, numBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.d); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestRegistryCounters(t *testing.T) {
+	var r Registry
+	r.QueryStarted()
+	r.QueryStarted()
+	if got := r.Snapshot().InFlight; got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	r.QueryFinished(time.Millisecond, nil)
+	r.QueryFinished(2*time.Millisecond, errors.New("boom"))
+	r.SlowQuery()
+	s := r.Snapshot()
+	if s.Queries != 2 || s.Errors != 1 || s.SlowQueries != 1 || s.InFlight != 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.TotalTime != 3*time.Millisecond {
+		t.Fatalf("TotalTime = %v", s.TotalTime)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	var r Registry
+	// 90 fast queries at ~1ms, 10 slow at ~100ms.
+	for i := 0; i < 90; i++ {
+		r.QueryStarted()
+		r.QueryFinished(time.Millisecond, nil)
+	}
+	for i := 0; i < 10; i++ {
+		r.QueryStarted()
+		r.QueryFinished(100*time.Millisecond, nil)
+	}
+	s := r.Snapshot()
+	// Quantiles are bucket upper bounds: 1ms lands in the bucket bounded
+	// by ~1.024ms, 100ms in the one bounded by ~131ms.
+	if s.P50 > 2*time.Millisecond {
+		t.Fatalf("P50 = %v, want ~1ms bucket bound", s.P50)
+	}
+	if s.P95 < 50*time.Millisecond || s.P95 > 200*time.Millisecond {
+		t.Fatalf("P95 = %v, want ~131ms bucket bound", s.P95)
+	}
+	if s.P99 != s.P95 {
+		t.Fatalf("P99 = %v, want same bucket as P95 (%v)", s.P99, s.P95)
+	}
+	if s.Quantile(0) > 2*time.Millisecond {
+		t.Fatalf("Quantile(0) = %v", s.Quantile(0))
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var s Snapshot
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var r Registry
+	r.QueryStarted()
+	r.QueryFinished(time.Millisecond, nil)
+	var b strings.Builder
+	r.Snapshot().WriteText(&b, "sjos")
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE sjos_queries_total counter",
+		"sjos_queries_total 1",
+		"sjos_query_errors_total 0",
+		"sjos_slow_queries_total 0",
+		"# TYPE sjos_queries_in_flight gauge",
+		"sjos_queries_in_flight 0",
+		"# TYPE sjos_query_latency_seconds summary",
+		`sjos_query_latency_seconds{quantile="0.5"}`,
+		`sjos_query_latency_seconds{quantile="0.99"}`,
+		"sjos_query_latency_seconds_sum 0.001",
+		"sjos_query_latency_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	var r Registry
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.QueryStarted()
+				r.QueryFinished(time.Duration(i)*time.Microsecond, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Queries != 8000 || s.InFlight != 0 {
+		t.Fatalf("after concurrent load: %+v", s)
+	}
+	var total uint64
+	for _, c := range s.buckets {
+		total += c
+	}
+	if total != 8000 {
+		t.Fatalf("histogram total = %d, want 8000", total)
+	}
+}

@@ -21,6 +21,7 @@ type BufferPool struct {
 	mu      sync.Mutex
 	table   map[PageID]*frame
 	lru     *list.List // unpinned frames, front = least recently used
+	free    []*frame   // allocated frames whose page read failed, for reuse
 	hits    uint64
 	misses  uint64
 	evicted uint64
@@ -69,13 +70,21 @@ func (bp *BufferPool) Get(id PageID) (*Page, error) {
 		return &fr.page, nil
 	}
 	bp.misses++
-	fr, err := bp.allocFrameLocked()
+	fr, evicted, err := bp.allocFrameLocked()
 	if err != nil {
 		return nil, err
 	}
 	if err := bp.file.ReadPage(id, &fr.page); err != nil {
+		// The caller gets an error, so the page never becomes resident:
+		// return the frame to the free list for the next Get to reuse
+		// (no second victim is evicted for it) and leave the eviction
+		// counter untouched — PoolStats only counts replacements that
+		// actually brought a page in.
 		bp.freeFrameLocked(fr)
 		return nil, err
+	}
+	if evicted {
+		bp.evicted++
 	}
 	fr.id = id
 	fr.pins = 1
@@ -142,31 +151,41 @@ func (bp *BufferPool) pinLocked(fr *frame) {
 }
 
 // allocFrameLocked returns a free frame, evicting the LRU unpinned page if
-// the pool is at capacity.
-func (bp *BufferPool) allocFrameLocked() (*frame, error) {
+// the pool is at capacity. evicted reports whether a resident page was
+// displaced; the caller counts it only once the replacement page is
+// actually read in.
+func (bp *BufferPool) allocFrameLocked() (fr *frame, evicted bool, err error) {
+	if n := len(bp.free); n > 0 {
+		fr = bp.free[n-1]
+		bp.free = bp.free[:n-1]
+		return fr, false, nil
+	}
 	if len(bp.table) < bp.frames {
-		return &frame{}, nil
+		return &frame{}, false, nil
 	}
 	front := bp.lru.Front()
 	if front == nil {
-		return nil, ErrPoolFull
+		return nil, false, ErrPoolFull
 	}
-	fr := front.Value.(*frame)
-	bp.lru.Remove(front)
-	fr.elem = nil
+	fr = front.Value.(*frame)
 	if fr.dirty {
 		if err := bp.file.WritePage(fr.id, &fr.page); err != nil {
-			return nil, err
+			// Write-back failed: the victim stays resident and evictable
+			// (it keeps its LRU slot) instead of leaking off both lists.
+			return nil, false, err
 		}
+		fr.dirty = false
 	}
+	bp.lru.Remove(front)
+	fr.elem = nil
 	delete(bp.table, fr.id)
-	bp.evicted++
-	return fr, nil
+	return fr, true, nil
 }
 
 // freeFrameLocked returns a frame allocated by allocFrameLocked that was
-// never published in the table.
+// never published in the table; the next allocation reuses it before
+// evicting anyone else.
 func (bp *BufferPool) freeFrameLocked(fr *frame) {
-	// Nothing to do: the frame was not in table or lru.
-	_ = fr
+	*fr = frame{}
+	bp.free = append(bp.free, fr)
 }

@@ -184,3 +184,143 @@ func TestBufferPoolDefaultFrames(t *testing.T) {
 		t.Fatalf("Frames = %d, want %d", bp.Frames(), DefaultPoolFrames)
 	}
 }
+
+// flakyFile wraps a MemFile with switchable read/write failures, for
+// exercising the pool's I/O error paths.
+type flakyFile struct {
+	*MemFile
+	failReads  bool
+	failWrites bool
+}
+
+var errFlaky = errors.New("injected I/O failure")
+
+func (f *flakyFile) ReadPage(id PageID, dst *Page) error {
+	if f.failReads {
+		return errFlaky
+	}
+	return f.MemFile.ReadPage(id, dst)
+}
+
+func (f *flakyFile) WritePage(id PageID, src *Page) error {
+	if f.failWrites {
+		return errFlaky
+	}
+	return f.MemFile.WritePage(id, src)
+}
+
+// TestBufferPoolReadFailureAccounting is the regression test for the
+// eviction-counter skew: a Get whose ReadPage fails after a victim was
+// evicted must not count as an eviction (no replacement page was brought
+// in), and the freed frame must be reused by the next Get instead of
+// evicting a second victim.
+func TestBufferPoolReadFailureAccounting(t *testing.T) {
+	mf := NewMemFile()
+	writePages(t, mf, 10)
+	f := &flakyFile{MemFile: mf}
+	bp := NewBufferPool(f, 2)
+	get := func(id PageID) {
+		t.Helper()
+		if _, err := bp.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(id, false)
+	}
+	get(0)
+	get(1) // pool at capacity, both unpinned; page 0 is LRU
+
+	f.failReads = true
+	if _, err := bp.Get(2); !errors.Is(err, errFlaky) {
+		t.Fatalf("Get with failing read: err = %v", err)
+	}
+	st := bp.Stats()
+	// The old code bumped Evicted before attempting the read, reporting a
+	// replacement that never happened.
+	if st.Evicted != 0 {
+		t.Fatalf("Evicted = %d after failed read, want 0", st.Evicted)
+	}
+	if st.Resident != 1 {
+		t.Fatalf("Resident = %d after failed read, want 1 (victim gone, no replacement)", st.Resident)
+	}
+
+	// Recovery: the next Get reuses the freed frame — nobody else is
+	// evicted for it.
+	f.failReads = false
+	get(2)
+	st = bp.Stats()
+	if st.Evicted != 0 {
+		t.Fatalf("Evicted = %d after frame reuse, want 0", st.Evicted)
+	}
+	if st.Resident != 2 {
+		t.Fatalf("Resident = %d, want 2", st.Resident)
+	}
+
+	// Back at capacity, a genuine replacement counts again.
+	get(3)
+	if st = bp.Stats(); st.Evicted != 1 {
+		t.Fatalf("Evicted = %d after genuine eviction, want 1", st.Evicted)
+	}
+}
+
+// TestBufferPoolWritebackFailureKeepsVictim: when evicting a dirty page
+// whose write-back fails, the victim must stay resident and evictable
+// rather than leaking out of both the table and the LRU list.
+func TestBufferPoolWritebackFailureKeepsVictim(t *testing.T) {
+	mf := NewMemFile()
+	writePages(t, mf, 5)
+	f := &flakyFile{MemFile: mf}
+	bp := NewBufferPool(f, 1)
+	pg, err := bp.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg[9] = 0x77
+	bp.Unpin(0, true)
+
+	f.failWrites = true
+	if _, err := bp.Get(1); !errors.Is(err, errFlaky) {
+		t.Fatalf("Get with failing write-back: err = %v", err)
+	}
+	// Victim still resident: getting it again is a hit, not ErrPoolFull.
+	hits := bp.Stats().Hits
+	if _, err := bp.Get(0); err != nil {
+		t.Fatalf("victim page lost after failed write-back: %v", err)
+	}
+	bp.Unpin(0, false)
+	if got := bp.Stats().Hits; got != hits+1 {
+		t.Fatalf("Hits = %d, want %d (victim should still be cached)", got, hits+1)
+	}
+
+	// Once writes recover, the eviction goes through and the dirty page
+	// lands on disk.
+	f.failWrites = false
+	if _, err := bp.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(1, false)
+	var raw Page
+	if err := mf.ReadPage(0, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw[9] != 0x77 {
+		t.Fatal("dirty victim not written back after write recovery")
+	}
+}
+
+// TestBufferPoolDoubleUnpinPanics: the second Unpin of the same pin must
+// panic rather than silently corrupting the pin count.
+func TestBufferPoolDoubleUnpinPanics(t *testing.T) {
+	mf := NewMemFile()
+	writePages(t, mf, 2)
+	bp := NewBufferPool(mf, 2)
+	if _, err := bp.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(0, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Unpin should panic")
+		}
+	}()
+	bp.Unpin(0, false)
+}

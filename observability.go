@@ -1,0 +1,172 @@
+package sjos
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"sjos/internal/exec"
+	"sjos/internal/metrics"
+	"sjos/internal/pattern"
+)
+
+// OpTrace is a plan-shaped per-operator execution trace: wall time per
+// iterator phase, Next calls, and actual vs estimated output rows for
+// every operator of the executed plan. Produced by Run/QueryContext when
+// tracing is enabled (RunOptions.Trace / QueryOptions.Trace, or a
+// configured slow-query log).
+type OpTrace = exec.OpTrace
+
+// MetricsSnapshot is the process-wide query counters' point-in-time copy.
+type MetricsSnapshot = metrics.Snapshot
+
+// Metrics is one observability snapshot of a database: query-level
+// counters and latency quantiles, plus the plan cache's and buffer pool's
+// own counters. All parallelism views of a database share one Metrics
+// source.
+type Metrics struct {
+	// Query holds queries served, errors, slow queries, the in-flight
+	// gauge and the p50/p95/p99 latency quantiles.
+	Query MetricsSnapshot
+	// Cache is the plan cache's hit/miss/coalesced/eviction counters.
+	Cache CacheStats
+	// Pool is the buffer pool's page-cache counters.
+	Pool PoolStats
+}
+
+// Metrics returns a snapshot of the database's observability counters.
+func (db *Database) Metrics() Metrics {
+	return Metrics{
+		Query: db.svc.metrics.Snapshot(),
+		Cache: db.CacheStats(),
+		Pool:  db.PoolStats(),
+	}
+}
+
+// WriteMetrics renders the database's counters in the Prometheus text
+// exposition format (metric prefix "sjos") — the payload of xqserve's
+// /metrics endpoint and xqshell's .metrics command.
+func (db *Database) WriteMetrics(w io.Writer) {
+	m := db.Metrics()
+	m.Query.WriteText(w, "sjos")
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP sjos_%s %s\n# TYPE sjos_%s counter\nsjos_%s %d\n",
+			name, help, name, name, v)
+	}
+	counter("plancache_hits_total", "Plan cache hits.", uint64(m.Cache.Hits))
+	counter("plancache_misses_total", "Plan cache misses.", uint64(m.Cache.Misses))
+	counter("plancache_coalesced_total", "Optimizations coalesced onto an in-flight run.", uint64(m.Cache.Coalesced))
+	counter("plancache_evictions_total", "Plan cache LRU evictions.", uint64(m.Cache.Evictions))
+	fmt.Fprintf(w, "# HELP sjos_plancache_entries Plans currently cached.\n# TYPE sjos_plancache_entries gauge\nsjos_plancache_entries %d\n", m.Cache.Entries)
+	counter("pool_hits_total", "Buffer pool page hits.", m.Pool.Hits)
+	counter("pool_misses_total", "Buffer pool page misses.", m.Pool.Misses)
+	counter("pool_evictions_total", "Buffer pool page evictions.", m.Pool.Evicted)
+	fmt.Fprintf(w, "# HELP sjos_pool_resident_pages Pages resident in the buffer pool.\n# TYPE sjos_pool_resident_pages gauge\nsjos_pool_resident_pages %d\n", m.Pool.Resident)
+}
+
+// SlowQueryEntry describes one query that crossed the slow-query
+// threshold: identity (pattern text and renumbering-invariant
+// fingerprint), how it ran, and its per-operator trace.
+type SlowQueryEntry struct {
+	// Time is when the query finished.
+	Time time.Time
+	// Pattern is the query's tree-pattern text; Fingerprint its canonical
+	// shape encoding (shared by all renumberings of the same query).
+	Pattern     string
+	Fingerprint string
+	// Method is the optimization algorithm the query ran with.
+	Method Method
+	// Duration is the total latency (optimize + execute); OptimizeTime
+	// and ExecuteTime split it.
+	Duration     time.Duration
+	OptimizeTime time.Duration
+	ExecuteTime  time.Duration
+	// Matches is the number of results produced; CachedPlan whether the
+	// plan came from the plan cache.
+	Matches    int
+	CachedPlan bool
+	// Trace is the query's per-operator execution trace.
+	Trace *OpTrace
+}
+
+// slowRingCap bounds the in-memory log of recent slow queries.
+const slowRingCap = 32
+
+// slowLog is the service-shared slow-query configuration and ring buffer.
+type slowLog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	fn        func(SlowQueryEntry)
+	ring      []SlowQueryEntry // oldest first
+}
+
+func (l *slowLog) config() (time.Duration, func(SlowQueryEntry)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.threshold, l.fn
+}
+
+func (l *slowLog) record(e SlowQueryEntry) {
+	l.mu.Lock()
+	if len(l.ring) == slowRingCap {
+		copy(l.ring, l.ring[1:])
+		l.ring = l.ring[:slowRingCap-1]
+	}
+	l.ring = append(l.ring, e)
+	l.mu.Unlock()
+}
+
+func (l *slowLog) entries() []SlowQueryEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQueryEntry, len(l.ring))
+	copy(out, l.ring)
+	return out
+}
+
+// SetSlowQueryLog configures the slow-query log shared by all parallelism
+// views of this database: every QueryContext / QueryPatternContext /
+// XQueryContext call whose total latency reaches threshold is recorded in
+// an in-memory ring (see SlowQueries) and reported to fn, if non-nil.
+// While a threshold is active those queries run with per-operator tracing
+// enabled so the log can attribute the time; that instrumentation costs a
+// few percent per query. threshold <= 0 disables the log.
+func (db *Database) SetSlowQueryLog(threshold time.Duration, fn func(SlowQueryEntry)) {
+	db.svc.slow.mu.Lock()
+	db.svc.slow.threshold = threshold
+	db.svc.slow.fn = fn
+	db.svc.slow.mu.Unlock()
+}
+
+// SlowQueries returns the most recent slow-query log entries, oldest
+// first (at most 32 are retained).
+func (db *Database) SlowQueries() []SlowQueryEntry {
+	return db.svc.slow.entries()
+}
+
+// maybeLogSlow applies the slow-query policy to one finished query.
+func (db *Database) maybeLogSlow(pat *Pattern, opts QueryOptions, thr time.Duration, fn func(SlowQueryEntry), optTime, execTime time.Duration, rr *RunResult, cached bool) {
+	total := optTime + execTime
+	if thr <= 0 || total < thr {
+		return
+	}
+	fp, _ := pattern.Fingerprint(pat)
+	e := SlowQueryEntry{
+		Time:         time.Now(),
+		Pattern:      pat.String(),
+		Fingerprint:  fp,
+		Method:       opts.Method,
+		Duration:     total,
+		OptimizeTime: optTime,
+		ExecuteTime:  execTime,
+		Matches:      rr.Count,
+		CachedPlan:   cached,
+		Trace:        rr.Trace,
+	}
+	db.svc.metrics.SlowQuery()
+	db.svc.slow.record(e)
+	if fn != nil {
+		fn(e)
+	}
+}

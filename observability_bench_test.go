@@ -1,0 +1,55 @@
+package sjos
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkObservabilityOverhead quantifies what the observability layer
+// costs on the BenchmarkParallelExecute workload (Q.Pers.3.d, Pers ×100,
+// count-only; EXPERIMENTS.md records the ratios):
+//
+//	raw       — the unmetered execution path (db.run), exactly what Run
+//	            did before the observability layer existed
+//	disabled  — db.Run with tracing off: the metrics registry's atomic
+//	            counters are the only addition (acceptance bar: <5% vs raw)
+//	traced    — db.Run with per-operator tracing on
+//
+// A white-box benchmark (package sjos) so the raw lane can bypass the
+// metering wrapper.
+func BenchmarkObservabilityOverhead(b *testing.B) {
+	db, err := GenerateDataset("pers", 1, 100, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat := MustParsePattern("//manager[.//employee/name]//manager/department/name")
+	res, err := db.Optimize(pat, MethodDPP, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := db.run(context.Background(), pat, res.Plan, RunOptions{CountOnly: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range []struct {
+		label string
+		opts  RunOptions
+		fn    func(context.Context, *Pattern, *Plan, RunOptions) (*RunResult, error)
+	}{
+		{"raw", RunOptions{CountOnly: true}, db.run},
+		{"disabled", RunOptions{CountOnly: true}, db.Run},
+		{"traced", RunOptions{CountOnly: true, Trace: true}, db.Run},
+	} {
+		b.Run(v.label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rr, err := v.fn(context.Background(), pat, res.Plan, v.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rr.Count != want.Count {
+					b.Fatalf("count %d, want %d", rr.Count, want.Count)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,308 @@
+package sjos
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRunTraceMatchesPlain: a traced Run returns the same matches as an
+// untraced one, plus a plan-shaped trace whose root actuals agree with the
+// result.
+func TestRunTraceMatchesPlain(t *testing.T) {
+	db := openDB(t)
+	pat := MustParsePattern("//manager//employee/name")
+	res, err := db.Optimize(pat, MethodDPP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := db.Run(context.Background(), pat, res.Plan, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Fatal("untraced run carries a trace")
+	}
+	traced, err := db.Run(context.Background(), pat, res.Plan, RunOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Trace == nil {
+		t.Fatal("traced run has no trace")
+	}
+	if !reflect.DeepEqual(traced.Matches, plain.Matches) {
+		t.Fatal("tracing changed the result")
+	}
+	if traced.Trace.Rows != int64(plain.Count) {
+		t.Fatalf("trace root rows = %d, result count = %d", traced.Trace.Rows, plain.Count)
+	}
+	if traced.Trace.Clones != 1 {
+		t.Fatalf("serial trace clones = %d, want 1", traced.Trace.Clones)
+	}
+}
+
+// TestRunTraceParallel: under partition-parallel execution the trace sums
+// the per-partition clones and the row totals still match the result.
+func TestRunTraceParallel(t *testing.T) {
+	db := openDB(t)
+	pat := MustParsePattern("//manager//employee/name")
+	res, err := db.Optimize(pat, MethodDPP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := db.Run(context.Background(), pat, res.Plan, RunOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := db.Run(context.Background(), pat, res.Plan, RunOptions{Workers: 3, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Trace == nil {
+		t.Fatal("parallel traced run has no trace")
+	}
+	if !reflect.DeepEqual(traced.Matches, plain.Matches) {
+		t.Fatal("tracing changed the parallel result")
+	}
+	if traced.Trace.Rows != int64(plain.Count) {
+		t.Fatalf("trace root rows = %d, result count = %d", traced.Trace.Rows, plain.Count)
+	}
+	if traced.Trace.Clones < 1 {
+		t.Fatalf("parallel trace clones = %d", traced.Trace.Clones)
+	}
+}
+
+// TestQueryMetrics: the registry counts queries, errors, and latency.
+func TestQueryMetrics(t *testing.T) {
+	db := openDB(t)
+	if m := db.Metrics(); m.Query.Queries != 0 {
+		t.Fatalf("fresh database metrics: %+v", m.Query)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := db.QueryContext(context.Background(), "//manager//employee/name", QueryOptions{Method: MethodDPP}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := db.Metrics()
+	if m.Query.Queries != 3 || m.Query.Errors != 0 || m.Query.InFlight != 0 {
+		t.Fatalf("after 3 queries: %+v", m.Query)
+	}
+	if m.Query.TotalTime <= 0 || m.Query.P50 <= 0 {
+		t.Fatalf("latency not recorded: %+v", m.Query)
+	}
+	if m.Cache.Misses != 1 || m.Cache.Hits != 2 {
+		t.Fatalf("cache counters not surfaced: %+v", m.Cache)
+	}
+
+	// Failed executions count as errors. Run with a cancelled context so
+	// the failure happens inside Run (the metered section).
+	pat := MustParsePattern("//manager//employee")
+	res, err := db.Optimize(pat, MethodDPP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.Run(ctx, pat, res.Plan, RunOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	m = db.Metrics()
+	if m.Query.Errors != 1 {
+		t.Fatalf("error not counted: %+v", m.Query)
+	}
+}
+
+// TestWriteMetricsText: the Prometheus rendering includes the query,
+// plan-cache and buffer-pool families.
+func TestWriteMetricsText(t *testing.T) {
+	db := openDB(t)
+	if _, err := db.Query("//manager//employee/name", MethodDPP); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	db.WriteMetrics(&b)
+	out := b.String()
+	for _, want := range []string{
+		"sjos_queries_total 1",
+		"sjos_query_errors_total 0",
+		"sjos_queries_in_flight 0",
+		`sjos_query_latency_seconds{quantile="0.95"}`,
+		"sjos_plancache_misses_total 1",
+		"sjos_plancache_entries 1",
+		"sjos_pool_hits_total",
+		"sjos_pool_resident_pages",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteMetrics missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestSlowQueryLog: a zero-distance threshold catches every query with a
+// full entry (fingerprint, timings, trace); raising the threshold stops
+// the logging; per-call overrides work without the global hook.
+func TestSlowQueryLog(t *testing.T) {
+	db := openDB(t)
+	var mu sync.Mutex
+	var logged []SlowQueryEntry
+	db.SetSlowQueryLog(time.Nanosecond, func(e SlowQueryEntry) {
+		mu.Lock()
+		logged = append(logged, e)
+		mu.Unlock()
+	})
+	src := "//manager//employee/name"
+	res, err := db.QueryContext(context.Background(), src, QueryOptions{Method: MethodDPP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	n := len(logged)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("%d slow entries, want 1", n)
+	}
+	e := logged[0]
+	if e.Pattern == "" || e.Fingerprint == "" {
+		t.Fatalf("entry missing identity: %+v", e)
+	}
+	if e.Method != MethodDPP || e.Matches != len(res.Matches) {
+		t.Fatalf("entry: %+v", e)
+	}
+	if e.Duration < e.OptimizeTime || e.Duration < e.ExecuteTime {
+		t.Fatalf("duration %v < parts (%v, %v)", e.Duration, e.OptimizeTime, e.ExecuteTime)
+	}
+	if e.Trace == nil {
+		t.Fatal("slow entry has no operator trace (tracing should auto-enable)")
+	}
+	if res.Trace == nil {
+		t.Fatal("result should carry the trace when the slow log forces tracing")
+	}
+	if got := db.SlowQueries(); len(got) != 1 || got[0].Fingerprint != e.Fingerprint {
+		t.Fatalf("ring: %+v", got)
+	}
+	if got := db.Metrics().Query.SlowQueries; got != 1 {
+		t.Fatalf("slow counter = %d", got)
+	}
+
+	// An unreachable threshold logs nothing.
+	db.SetSlowQueryLog(time.Hour, nil)
+	if _, err := db.QueryContext(context.Background(), src, QueryOptions{Method: MethodDPP}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.SlowQueries(); len(got) != 1 {
+		t.Fatalf("hour threshold logged: %d entries", len(got))
+	}
+
+	// Per-call override wins over the (disabled) global config.
+	db.SetSlowQueryLog(0, nil)
+	var perCall int
+	if _, err := db.QueryContext(context.Background(), src, QueryOptions{
+		Method:             MethodDPP,
+		SlowQueryThreshold: time.Nanosecond,
+		OnSlowQuery:        func(SlowQueryEntry) { perCall++ },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if perCall != 1 {
+		t.Fatalf("per-call hook fired %d times, want 1", perCall)
+	}
+}
+
+// TestSlowQueryRingBounded: the in-memory log keeps only the most recent
+// entries, oldest first.
+func TestSlowQueryRingBounded(t *testing.T) {
+	db := openDB(t)
+	db.SetSlowQueryLog(time.Nanosecond, nil)
+	src := "//manager//employee/name"
+	for i := 0; i < 40; i++ {
+		if _, err := db.QueryContext(context.Background(), src, QueryOptions{Method: MethodDPP}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := db.SlowQueries()
+	if len(got) != 32 {
+		t.Fatalf("ring holds %d entries, want 32", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Time.Before(got[i-1].Time) {
+			t.Fatal("ring not oldest-first")
+		}
+	}
+	if got := db.Metrics().Query.SlowQueries; got != 40 {
+		t.Fatalf("slow counter = %d, want 40", got)
+	}
+}
+
+// TestExplainAnalyzeOutput: EXPLAIN ANALYZE prints the operator tree with
+// estimated vs actual rows, drift, call counts and wall time.
+func TestExplainAnalyzeOutput(t *testing.T) {
+	db := openDB(t)
+	out, err := db.ExplainAnalyze(MustParsePattern("//manager//employee/name"), MethodDPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"est≈", "actual=", "err=", "calls=", "time=", "IndexScan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ExplainAnalyze missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestObservabilityConcurrent hammers queries (traced and untraced, serial
+// and parallel) against concurrent metrics scrapes, slow-log reads and
+// threshold flips — the -race correctness test for the whole layer.
+func TestObservabilityConcurrent(t *testing.T) {
+	db := openDB(t)
+	db.SetSlowQueryLog(time.Nanosecond, func(SlowQueryEntry) {})
+	par := db.WithParallelism(2)
+	src := "//manager//employee/name"
+	const goroutines = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				d := db
+				if g%2 == 0 {
+					d = par
+				}
+				opts := QueryOptions{Method: MethodDPP, Trace: i%2 == 0}
+				if _, err := d.QueryContext(context.Background(), src, opts); err != nil {
+					errs <- err
+					return
+				}
+				switch i % 3 {
+				case 0:
+					_ = db.Metrics()
+				case 1:
+					db.WriteMetrics(&strings.Builder{})
+				case 2:
+					_ = db.SlowQueries()
+				}
+				if i == iters/2 && g == 0 {
+					db.SetSlowQueryLog(time.Hour, nil)
+					db.SetSlowQueryLog(time.Nanosecond, func(SlowQueryEntry) {})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	m := db.Metrics()
+	if m.Query.Queries != goroutines*iters {
+		t.Fatalf("queries = %d, want %d", m.Query.Queries, goroutines*iters)
+	}
+	if m.Query.InFlight != 0 {
+		t.Fatalf("in-flight = %d after quiesce", m.Query.InFlight)
+	}
+}

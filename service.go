@@ -10,6 +10,7 @@ import (
 	"sjos/internal/core"
 	"sjos/internal/exec"
 	"sjos/internal/histogram"
+	"sjos/internal/metrics"
 	"sjos/internal/pattern"
 	"sjos/internal/plan"
 	"sjos/internal/plancache"
@@ -30,6 +31,12 @@ type service struct {
 	grid         int
 
 	cache *plancache.Cache[cachedPlan]
+
+	// metrics accumulates process-wide query counters; slow holds the
+	// slow-query log configuration and ring buffer. Both are shared by
+	// all WithParallelism views.
+	metrics metrics.Registry
+	slow    slowLog
 }
 
 // cachedPlan is one cache entry. The plan is stored in the fingerprint's
@@ -159,6 +166,11 @@ type RunOptions struct {
 	// CountOnly suppresses match materialisation; only RunResult.Count
 	// (and the statistics) are populated.
 	CountOnly bool
+	// Trace enables per-operator instrumentation: wall time, Next calls
+	// and output rows per plan operator, reported as RunResult.Trace.
+	// It costs two clock reads per operator per tuple; leave it off on
+	// hot paths (disabled tracing adds no per-operator work).
+	Trace bool
 }
 
 // RunResult is the outcome of one Run call.
@@ -170,16 +182,31 @@ type RunResult struct {
 	Count int
 	// Stats reports the physical work done.
 	Stats ExecStats
+	// Trace is the per-operator execution trace (nil unless
+	// RunOptions.Trace was set). Under parallel execution the counters
+	// merge every partition clone of each operator.
+	Trace *OpTrace
 }
 
 // Run executes a plan for pat under ctx. It is the single execution entry
-// point: limits, count-only projection and serial versus partition-parallel
-// mode are all RunOptions, and every mode observes ctx — cancelling it
-// makes Run return promptly with ctx's error (index scans and output loops
-// poll it; parallel workers are cancelled). A nil ctx is treated as
-// context.Background(). Serial and parallel modes produce the same matches
-// in the same document order.
+// point: limits, count-only projection, per-operator tracing and serial
+// versus partition-parallel mode are all RunOptions, and every mode
+// observes ctx — cancelling it makes Run return promptly with ctx's error
+// (index scans and output loops poll it; parallel workers are cancelled).
+// A nil ctx is treated as context.Background(). Serial and parallel modes
+// produce the same matches in the same document order. Every Run is
+// observed by the database's metrics registry (queries served, in-flight
+// gauge, latency histogram; see Metrics).
 func (db *Database) Run(ctx context.Context, pat *Pattern, p *Plan, opts RunOptions) (*RunResult, error) {
+	db.svc.metrics.QueryStarted()
+	t0 := time.Now()
+	res, err := db.run(ctx, pat, p, opts)
+	db.svc.metrics.QueryFinished(time.Since(t0), err)
+	return res, err
+}
+
+// run is Run without the metrics observation.
+func (db *Database) run(ctx context.Context, pat *Pattern, p *Plan, opts RunOptions) (*RunResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -192,10 +219,26 @@ func (db *Database) Run(ctx context.Context, pat *Pattern, p *Plan, opts RunOpti
 	} else if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// With tracing on, operator trees (one per partition in parallel mode)
+	// are built through a TraceBuilder so every clone accumulates into one
+	// plan-shaped trace; with tracing off the plain compiler runs and
+	// execution carries zero instrumentation.
+	var tb *exec.TraceBuilder
+	buildOp := func() (exec.Operator, error) { return exec.Build(pat, p) }
+	if opts.Trace {
+		var err error
+		if tb, err = exec.NewTraceBuilder(pat, p); err != nil {
+			return nil, err
+		}
+		buildOp = tb.Build
+	}
 	ectx := &exec.Context{Doc: db.doc, Store: db.store}
 	res := &RunResult{}
 	if workers > 0 {
 		pe := &exec.ParallelExec{Workers: workers}
+		if tb != nil {
+			pe.BuildOp = tb.Build
+		}
 		switch {
 		case opts.Limit > 0:
 			out, err := pe.RunLimit(ctx, ectx, pat, p, opts.Limit)
@@ -220,17 +263,20 @@ func (db *Database) Run(ctx context.Context, pat *Pattern, p *Plan, opts RunOpti
 			res.Matches, res.Count = out, len(out)
 		}
 		res.Stats = ectx.Stats
+		if tb != nil {
+			res.Trace = tb.Trace()
+		}
 		return res, nil
 	}
 	if ctx.Done() != nil {
 		ectx.Interrupt = ctx.Err
 	}
+	op, err := buildOp()
+	if err != nil {
+		return nil, err
+	}
 	switch {
 	case opts.Limit > 0:
-		op, err := exec.Build(pat, p)
-		if err != nil {
-			return nil, err
-		}
 		out, err := exec.Drain(ectx, exec.NewLimit(op, opts.Limit))
 		if err != nil {
 			return nil, err
@@ -241,19 +287,23 @@ func (db *Database) Run(ctx context.Context, pat *Pattern, p *Plan, opts RunOpti
 			res.Matches = out
 		}
 	case opts.CountOnly:
-		n, err := exec.RunCount(ectx, pat, p)
+		n, err := exec.Count(ectx, op)
 		if err != nil {
 			return nil, err
 		}
 		res.Count = n
 	default:
-		out, err := exec.Run(ectx, pat, p)
+		out, err := exec.Drain(ectx, op)
 		if err != nil {
 			return nil, err
 		}
-		res.Matches, res.Count = out, len(out)
+		res.Matches = exec.NormalizeAll(op.Schema(), pat.N(), out)
+		res.Count = len(res.Matches)
 	}
 	res.Stats = ectx.Stats
+	if tb != nil {
+		res.Trace = tb.Trace()
+	}
 	return res, nil
 }
 
@@ -270,6 +320,16 @@ type QueryOptions struct {
 	// NoCache bypasses the plan cache (no lookup, no insertion) — used by
 	// benchmarks that must measure a cold optimizer run.
 	NoCache bool
+	// Trace enables per-operator instrumentation for this query; the
+	// trace is reported as QueryResult.Trace.
+	Trace bool
+	// SlowQueryThreshold, when > 0, overrides the database-level
+	// slow-query threshold (SetSlowQueryLog) for this call.
+	SlowQueryThreshold time.Duration
+	// OnSlowQuery, when non-nil, is called (in addition to any
+	// database-level hook being replaced for this call) if the query
+	// crosses the effective threshold.
+	OnSlowQuery func(SlowQueryEntry)
 }
 
 // QueryContext parses src, optimizes it (through the plan cache, unless
@@ -285,10 +345,20 @@ func (db *Database) QueryContext(ctx context.Context, src string, opts QueryOpti
 	return db.QueryPatternContext(ctx, pat, opts)
 }
 
-// QueryPatternContext is QueryContext for an already-built pattern.
+// QueryPatternContext is QueryContext for an already-built pattern. When a
+// slow-query log is configured (SetSlowQueryLog or the per-call options)
+// the query runs with per-operator tracing so a threshold-crossing entry
+// can attribute its time.
 func (db *Database) QueryPatternContext(ctx context.Context, pat *Pattern, opts QueryOptions) (*QueryResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	thr, slowFn := db.svc.slow.config()
+	if opts.SlowQueryThreshold > 0 {
+		thr = opts.SlowQueryThreshold
+	}
+	if opts.OnSlowQuery != nil {
+		slowFn = opts.OnSlowQuery
 	}
 	t0 := time.Now()
 	res, cached, err := db.optimizePattern(ctx, pat, opts.Method, opts.Te, opts.NoCache)
@@ -297,10 +367,12 @@ func (db *Database) QueryPatternContext(ctx context.Context, pat *Pattern, opts 
 	}
 	optTime := time.Since(t0)
 	t1 := time.Now()
-	rr, err := db.Run(ctx, pat, res.Plan, RunOptions{Limit: opts.Limit})
+	rr, err := db.Run(ctx, pat, res.Plan, RunOptions{Limit: opts.Limit, Trace: opts.Trace || thr > 0})
 	if err != nil {
 		return nil, fmt.Errorf("sjos: executing %v plan: %w", opts.Method, err)
 	}
+	execTime := time.Since(t1)
+	db.maybeLogSlow(pat, opts, thr, slowFn, optTime, execTime, rr, cached)
 	return &QueryResult{
 		Matches:         rr.Matches,
 		Plan:            res.Plan,
@@ -308,8 +380,9 @@ func (db *Database) QueryPatternContext(ctx context.Context, pat *Pattern, opts 
 		EstCost:         res.Cost,
 		CachedPlan:      cached,
 		OptimizeTime:    optTime,
-		ExecuteTime:     time.Since(t1),
+		ExecuteTime:     execTime,
 		PlansConsidered: res.Counters.PlansConsidered,
 		Exec:            rr.Stats,
+		Trace:           rr.Trace,
 	}, nil
 }

@@ -419,6 +419,9 @@ type QueryResult struct {
 	PlansConsidered int
 	// Exec reports the physical work done.
 	Exec ExecStats
+	// Trace is the per-operator execution trace (nil unless
+	// QueryOptions.Trace was set or a slow-query log is active).
+	Trace *OpTrace
 }
 
 // Query parses src, optimizes it with method m and executes the chosen
