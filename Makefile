@@ -1,8 +1,11 @@
 # Build, test and benchmark entry points. `make check` is the CI gate:
 # go vet plus the full suite under the race detector. `make bench` runs the
 # tier-1 suite under the race detector first, then emits benchmark results
-# as streamed test2json events into BENCH_parallel.json and the plan-cache
-# cold/warm comparison into BENCH_plancache.json.
+# as streamed test2json events into BENCH_parallel.json, the plan-cache
+# cold/warm comparison into BENCH_plancache.json and the batched-vs-tuple
+# executor comparison into BENCH_batch.json. `make benchquick` smoke-runs
+# the key benchmarks at one iteration each — a CI-friendly check that they
+# still build, run and validate their counts.
 #
 # BENCH selects the benchmark regexp (default: the partition-parallel
 # executor benches; use BENCH=. for the full table/figure suite — slow).
@@ -10,7 +13,7 @@
 GO    ?= go
 BENCH ?= Parallel
 
-.PHONY: all build test test-race vet check bench clean
+.PHONY: all build test test-race vet check bench benchquick clean
 
 all: build test
 
@@ -31,6 +34,10 @@ check: vet test-race
 bench: test-race
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -json . | tee BENCH_parallel.json
 	$(GO) test -run '^$$' -bench 'PlanCache' -benchmem -json . | tee BENCH_plancache.json
+	$(GO) test -run '^$$' -bench 'BatchExecute$$' -benchmem -json . | tee BENCH_batch.json
+
+benchquick:
+	$(GO) test -run '^$$' -bench 'ParallelExecute|PlanCache|BatchExecute$$|ObservabilityOverhead' -benchtime=1x .
 
 clean:
-	rm -f BENCH_parallel.json BENCH_plancache.json
+	rm -f BENCH_parallel.json BENCH_plancache.json BENCH_batch.json

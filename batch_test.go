@@ -1,0 +1,174 @@
+package sjos
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBatchedTupleDifferential is the acceptance differential for the
+// batched executor: for every optimizer's chosen plan, the batched path
+// (the default), the tuple-at-a-time path (NoBatch) and the
+// partition-parallel variants of both must produce identical match
+// multisets and counts on random documents and patterns.
+func TestBatchedTupleDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	tags := []string{"a", "b", "c", "d"}
+	methods := []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP}
+	lanes := []struct {
+		name string
+		opts RunOptions
+	}{
+		{"batched", RunOptions{}},
+		{"tuple", RunOptions{NoBatch: true}},
+		{"batched-parallel", RunOptions{Workers: 3}},
+		{"tuple-parallel", RunOptions{Workers: 3, NoBatch: true}},
+	}
+	for trial := 0; trial < 8; trial++ {
+		doc := randomXML(rng, 40+rng.Intn(300), tags)
+		db, err := LoadXMLString(doc, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for q := 0; q < 4; q++ {
+			pat := randomTwig(rng, tags, 2+rng.Intn(4))
+			for _, m := range methods {
+				res, err := db.Optimize(pat, m, 0)
+				if err != nil {
+					t.Fatalf("trial %d %v on %s: %v", trial, m, pat, err)
+				}
+				var want []string
+				for _, lane := range lanes {
+					r, err := db.Run(nil, pat, res.Plan, lane.opts)
+					if err != nil {
+						t.Fatalf("trial %d %v %s on %s: %v", trial, m, lane.name, pat, err)
+					}
+					got := canonicalize(r.Matches)
+					if lane.name == "batched" {
+						want = got
+						continue
+					}
+					if !equalStrings(got, want) {
+						t.Fatalf("trial %d: %v %s disagrees with batched on %s: %d vs %d matches",
+							trial, m, lane.name, pat, len(got), len(want))
+					}
+					// CountOnly must agree without materialising.
+					rc, err := db.Run(nil, pat, res.Plan, RunOptions{
+						CountOnly: true, NoBatch: lane.opts.NoBatch, Workers: lane.opts.Workers})
+					if err != nil {
+						t.Fatalf("trial %d %v %s count on %s: %v", trial, m, lane.name, pat, err)
+					}
+					if rc.Count != len(want) {
+						t.Fatalf("trial %d: %v %s CountOnly = %d, want %d",
+							trial, m, lane.name, rc.Count, len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedLimitAndStats checks the Limit run mode under batching and
+// that the batched path reports its root batches through RunResult.Stats.
+func TestBatchedLimitAndStats(t *testing.T) {
+	db, err := GenerateDataset("pers", 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := MustParsePattern("//manager//employee/name")
+	res, err := db.Optimize(pat, MethodDPP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := db.Run(nil, pat, res.Plan, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.Batches == 0 {
+		t.Error("batched run reported zero root batches")
+	}
+	nb, err := db.Run(nil, pat, res.Plan, RunOptions{NoBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Stats.Batches != 0 {
+		t.Errorf("tuple run reported %d batches", nb.Stats.Batches)
+	}
+	if full.Count < 3 {
+		t.Fatalf("fixture too small: %d matches", full.Count)
+	}
+	for _, lim := range []int{1, 2, full.Count + 10} {
+		for _, noBatch := range []bool{false, true} {
+			r, err := db.Run(nil, pat, res.Plan, RunOptions{Limit: lim, NoBatch: noBatch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := lim
+			if want > full.Count {
+				want = full.Count
+			}
+			if r.Count != want {
+				t.Fatalf("limit %d nobatch=%v: got %d matches, want %d", lim, noBatch, r.Count, want)
+			}
+		}
+	}
+}
+
+// TestBatchedTraceReportsBatches checks traced batched execution populates
+// the per-operator batch counters in the trace.
+func TestBatchedTraceReportsBatches(t *testing.T) {
+	db, err := GenerateDataset("pers", 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := MustParsePattern("//manager//employee/name")
+	res, err := db.Optimize(pat, MethodDPP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := db.Run(nil, pat, res.Plan, RunOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trace == nil {
+		t.Fatal("Trace requested but not returned")
+	}
+	var walk func(*OpTrace) (int64, int64)
+	walk = func(tr *OpTrace) (batches, rows int64) {
+		batches, rows = tr.Batches, tr.Rows
+		for _, c := range tr.Children {
+			b, rw := walk(c)
+			batches += b
+			rows += rw
+		}
+		return
+	}
+	batches, rows := walk(r.Trace)
+	if batches == 0 {
+		t.Error("traced batched run recorded no batches in the operator trace")
+	}
+	if rows == 0 {
+		t.Error("traced batched run recorded no rows")
+	}
+	tuple, err := db.Run(nil, pat, res.Plan, RunOptions{Trace: true, NoBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuple.Count != r.Count {
+		t.Fatalf("traced lanes disagree: batched %d, tuple %d", r.Count, tuple.Count)
+	}
+}
+
+// TestMetricsCountBatches checks executions fold their batch and skip
+// counters into the process metrics registry.
+func TestMetricsCountBatches(t *testing.T) {
+	db, err := GenerateDataset("pers", 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("//manager//employee/name", MethodDPP); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Metrics().Query.Batches; got == 0 {
+		t.Error("metrics snapshot reports zero exec batches after a batched query")
+	}
+}

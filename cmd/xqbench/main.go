@@ -9,6 +9,8 @@
 //	xqbench -figure 7           # Figure 7: DPAP-EB Te sweep, fold ×100
 //	xqbench -figure 8           # Figure 8: DPAP-EB Te sweep, fold ×1
 //	xqbench -cachebench         # plan cache: cold vs warm optimize phase
+//	xqbench -batchbench         # batched executor vs tuple-at-a-time, table 3 workload
+//	xqbench -table 3 -nobatch   # run table 3 tuple-at-a-time (batching escape hatch)
 //	xqbench -all                # everything (without -full folds)
 package main
 
@@ -30,7 +32,9 @@ func main() {
 	census := flag.Bool("census", false, "print the status search-space census for the benchmark patterns (§3 complexity)")
 	parallel := flag.Int("parallel", 0, "run table 3 partition-parallel with this many workers (0 = serial, -1 = GOMAXPROCS)")
 	cachebench := flag.Bool("cachebench", false, "measure cold vs warm (plan-cached) optimize time per benchmark query")
-	method := flag.String("method", "DPP", "optimizer for -cachebench")
+	batchbench := flag.Bool("batchbench", false, "measure batched vs tuple-at-a-time execution on the table 3 workload")
+	nobatch := flag.Bool("nobatch", false, "run table 3 tuple-at-a-time instead of batched (escape hatch)")
+	method := flag.String("method", "DPP", "optimizer for -cachebench and -batchbench")
 	flag.Parse()
 
 	if *census {
@@ -42,7 +46,7 @@ func main() {
 			return
 		}
 	}
-	if !*all && !*census && !*cachebench && *table == 0 && *figure == 0 {
+	if !*all && !*census && !*cachebench && !*batchbench && *table == 0 && *figure == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -63,6 +67,27 @@ func main() {
 				return err
 			}
 			fmt.Print(experiments.RenderCacheBench(rows))
+			return nil
+		})
+		if !*all && !*batchbench && *table == 0 && *figure == 0 {
+			return
+		}
+	}
+	if *batchbench {
+		run("batchbench", func() error {
+			m, err := sjos.ParseMethod(*method)
+			if err != nil {
+				return err
+			}
+			folds := []int{1, 10, 100}
+			if *full {
+				folds = append(folds, 500)
+			}
+			rows, err := experiments.BatchBench(m, folds)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderBatchBench(rows, m))
 			return nil
 		})
 		if !*all && *table == 0 && *figure == 0 {
@@ -97,10 +122,14 @@ func main() {
 			}
 			var rows []experiments.Table3Row
 			var err error
-			if *parallel != 0 {
+			switch {
+			case *parallel != 0:
 				fmt.Printf("(partition-parallel execution, %d workers)\n", *parallel)
 				rows, err = experiments.Table3Parallel(folds, *parallel)
-			} else {
+			case *nobatch:
+				fmt.Println("(tuple-at-a-time execution, -nobatch)")
+				rows, err = experiments.Table3NoBatch(folds)
+			default:
 				rows, err = experiments.Table3(folds)
 			}
 			if err != nil {

@@ -32,6 +32,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "partition-parallel workers (0 = serial, -1 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort the query after this duration (0 = none)")
 	noCache := flag.Bool("nocache", false, "bypass the plan cache")
+	noBatch := flag.Bool("nobatch", false, "disable the batched (vectorized) execution path")
 	opTrace := flag.Bool("optrace", false, "print the per-operator execution trace")
 	flag.Parse()
 
@@ -51,7 +52,7 @@ func main() {
 		xmlPath: *xmlPath, dataset: *dataset, fold: *fold,
 		query: *query, method: *method, limit: *limit,
 		mode: mode, parallel: *parallel,
-		timeout: *timeout, noCache: *noCache, opTrace: *opTrace,
+		timeout: *timeout, noCache: *noCache, noBatch: *noBatch, opTrace: *opTrace,
 	}
 	if err := runWith(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "xqrun: %v\n", err)
@@ -77,6 +78,7 @@ type runCfg struct {
 	parallel         int
 	timeout          time.Duration
 	noCache          bool
+	noBatch          bool
 	opTrace          bool
 }
 
@@ -156,7 +158,7 @@ func runWith(cfg runCfg) error {
 		defer cancel()
 	}
 	res, err := db.QueryPatternContext(ctx, pat,
-		sjos.QueryOptions{Method: meth, NoCache: cfg.noCache, Trace: cfg.opTrace})
+		sjos.QueryOptions{Method: meth, NoCache: cfg.noCache, NoBatch: cfg.noBatch, Trace: cfg.opTrace})
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@
 //	.trace <pattern>                  DPP search trace
 //	.method DPP|FP|...                switch optimizer
 //	.limit N                          rows to print (default 10)
+//	.batch on|off                     toggle batched (vectorized) execution
 //	.cache                            plan cache statistics
 //	.metrics                          process metrics (Prometheus text)
 //	.slowlog <dur>|off                set the slow-query threshold
@@ -86,10 +87,11 @@ func main() {
 // shell holds the interactive session state; processLine is the unit the
 // tests drive.
 type shell struct {
-	db     *sjos.Database
-	method sjos.Method
-	limit  int
-	out    io.Writer
+	db      *sjos.Database
+	method  sjos.Method
+	limit   int
+	nobatch bool
+	out     io.Writer
 }
 
 // processLine handles one input line; it returns false when the session
@@ -119,6 +121,19 @@ func (sh *shell) processLine(line string) bool {
 			return true
 		}
 		sh.limit = n
+		return true
+	case strings.HasPrefix(line, ".batch"):
+		arg := strings.TrimSpace(strings.TrimPrefix(line, ".batch"))
+		switch arg {
+		case "on":
+			sh.nobatch = false
+		case "off":
+			sh.nobatch = true
+		default:
+			fmt.Fprintln(sh.out, "error: .batch needs 'on' or 'off'")
+			return true
+		}
+		fmt.Fprintln(sh.out, "batched execution:", arg)
 		return true
 	case strings.HasPrefix(line, ".explain"):
 		sh.withPattern(line, ".explain", func(p *sjos.Pattern) (string, error) {
@@ -207,7 +222,8 @@ func (sh *shell) withPattern(line, cmd string, f func(*sjos.Pattern) (string, er
 }
 
 func (sh *shell) runPattern(src string) {
-	res, err := sh.db.QueryContext(context.Background(), src, sjos.QueryOptions{Method: sh.method})
+	res, err := sh.db.QueryContext(context.Background(), src,
+		sjos.QueryOptions{Method: sh.method, NoBatch: sh.nobatch})
 	if err != nil {
 		fmt.Fprintln(sh.out, "error:", err)
 		return

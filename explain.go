@@ -55,7 +55,9 @@ func (db *Database) ExplainAnalyze(pat *Pattern, m Method) (string, error) {
 	}
 	before := db.store.PoolStats()
 	ctx := &exec.Context{Doc: db.doc, Store: db.store}
-	n, err := exec.Count(ctx, op)
+	// Analyze runs the batched path — the execution default — so the trace
+	// reports batches, rows and skip-ahead postings per operator.
+	n, err := exec.CountBatched(ctx, op)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,341 @@
+package exec
+
+import (
+	"sort"
+
+	"sjos/internal/xmltree"
+)
+
+// BatchRows is the number of tuples one Batch holds: large enough to
+// amortise the per-call virtual dispatch of the Volcano contract over ~1K
+// tuples, small enough that a batch of the widest plans stays well inside
+// the L2 cache.
+const BatchRows = 1024
+
+// Batch is a reusable block of tuples with one flat backing array: row i is
+// the width-sized slice at offset i*width. Rows handed out by Row alias the
+// backing array, so they are valid only until the batch is reset or
+// refilled — consumers that retain tuples must copy them (see Drain's
+// batched path). The caller owns the batch it passes to NextBatch;
+// operators own the batches they use to read their children.
+type Batch struct {
+	width int
+	rows  int
+	buf   []xmltree.NodeID
+}
+
+// NewBatch returns an empty batch for tuples of the given width.
+func NewBatch(width int) *Batch {
+	return &Batch{width: width, buf: make([]xmltree.NodeID, 0, width*BatchRows)}
+}
+
+// Reset empties the batch, keeping the backing array.
+func (b *Batch) Reset() { b.rows, b.buf = 0, b.buf[:0] }
+
+// Len returns the number of rows in the batch.
+func (b *Batch) Len() int { return b.rows }
+
+// Full reports whether the batch is at capacity.
+func (b *Batch) Full() bool { return b.rows >= BatchRows }
+
+// Width returns the tuple width.
+func (b *Batch) Width() int { return b.width }
+
+// Row returns row i as a Tuple view into the backing array; it is valid
+// only until the batch is reset or refilled.
+func (b *Batch) Row(i int) Tuple {
+	return Tuple(b.buf[i*b.width : (i+1)*b.width : (i+1)*b.width])
+}
+
+// AppendRow copies one tuple into the batch.
+func (b *Batch) AppendRow(t Tuple) {
+	b.buf = append(b.buf, t...)
+	b.rows++
+}
+
+// AppendPair copies a join output (left tuple then right tuple) into the
+// batch without materialising the concatenation anywhere else — this is
+// what replaces the tuple path's per-output allocation in joined.
+func (b *Batch) AppendPair(l, r Tuple) {
+	b.buf = append(append(b.buf, l...), r...)
+	b.rows++
+}
+
+// AppendID copies a single-column row into the batch (the scan fast path).
+func (b *Batch) AppendID(id xmltree.NodeID) {
+	b.buf = append(b.buf, id)
+	b.rows++
+}
+
+// AppendIDs bulk-copies single-column rows into the batch.
+func (b *Batch) AppendIDs(ids []xmltree.NodeID) {
+	b.buf = append(b.buf, ids...)
+	b.rows += len(ids)
+}
+
+// Truncate drops every row past the first n.
+func (b *Batch) Truncate(n int) {
+	if n < b.rows {
+		b.rows = n
+		b.buf = b.buf[:n*b.width]
+	}
+}
+
+// BatchOperator is the vectorized iterator contract: NextBatch fills b with
+// the next rows of the stream (after resetting it) and an empty batch marks
+// the end of the stream. Mixing NextBatch and Next calls on one operator
+// instance is not supported — the driver picks one mode at the root and the
+// tree follows. On error the batch's contents are undefined.
+type BatchOperator interface {
+	Operator
+	NextBatch(b *Batch) error
+}
+
+// batchFromTuples adapts a tuple-only operator to the batch contract by
+// pulling Next in a loop. It keeps Unwrap so the seek probe can still reach
+// a Seeker underneath.
+type batchFromTuples struct{ Operator }
+
+// NextBatch implements BatchOperator.
+func (a batchFromTuples) NextBatch(b *Batch) error {
+	b.Reset()
+	for !b.Full() {
+		t, ok, err := a.Operator.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		b.AppendRow(t)
+	}
+	return nil
+}
+
+// Unwrap exposes the adapted operator.
+func (a batchFromTuples) Unwrap() Operator { return a.Operator }
+
+// AsBatchOperator returns op itself if it is batch-native, or a
+// tuple-pulling adapter otherwise, so any operator can sit under a batched
+// consumer.
+func AsBatchOperator(op Operator) BatchOperator {
+	if bop, ok := op.(BatchOperator); ok {
+		return bop
+	}
+	return batchFromTuples{op}
+}
+
+// Seeker is the skip-ahead contract: SeekGE discards every pending output
+// row whose join-column Start position is below pos, without producing it.
+// ok is false when the operator cannot seek (then nothing was consumed);
+// skipped counts the index postings bypassed. Only operators whose output
+// is ordered by the sought column's Start position may implement it.
+type Seeker interface {
+	SeekGE(pos xmltree.Pos) (skipped int, ok bool, err error)
+}
+
+// trySeek probes op (unwrapping adapters) for skip-ahead support and seeks
+// if possible.
+func trySeek(op any, pos xmltree.Pos) (int, bool, error) {
+	for {
+		if s, ok := op.(Seeker); ok {
+			return s.SeekGE(pos)
+		}
+		u, ok := op.(interface{ Unwrap() Operator })
+		if !ok {
+			return 0, false, nil
+		}
+		op = u.Unwrap()
+	}
+}
+
+// batchReader pulls one operator's output through a private batch, serving
+// rows with plain slice indexing instead of a virtual call per tuple. The
+// row returned by next is valid until the reader refills, which happens
+// only on the next-after-last row — so the consumer may hold the current
+// row across arbitrarily many of its own emissions.
+type batchReader struct {
+	bop   BatchOperator
+	batch *Batch
+	i     int
+	eof   bool
+}
+
+func newBatchReader(op Operator) *batchReader {
+	return &batchReader{bop: AsBatchOperator(op), batch: NewBatch(op.Schema().Width())}
+}
+
+// next returns the next row of the stream.
+func (r *batchReader) next() (Tuple, bool, error) {
+	if r.i < r.batch.Len() {
+		t := r.batch.Row(r.i)
+		r.i++
+		return t, true, nil
+	}
+	return r.refill()
+}
+
+// refill fetches the next batch and serves its first row.
+func (r *batchReader) refill() (Tuple, bool, error) {
+	if r.eof {
+		return nil, false, nil
+	}
+	if err := r.bop.NextBatch(r.batch); err != nil {
+		return nil, false, err
+	}
+	r.i = 0
+	if r.batch.Len() == 0 {
+		r.eof = true
+		return nil, false, nil
+	}
+	r.i = 1
+	return r.batch.Row(0), true, nil
+}
+
+// seekGE advances the reader to the first row whose col Start position is
+// >= pos: buffered rows are skipped with a binary search (the stream is
+// ordered by col's Start), and once the buffer is exhausted the underlying
+// operator is seeked through the Seeker interface if it supports it —
+// otherwise whole batches are drained, which is still one virtual call per
+// BatchRows rows rather than per row.
+func (r *batchReader) seekGE(pos xmltree.Pos, doc *xmltree.Document, col int) (Tuple, bool, error) {
+	for {
+		if r.i < r.batch.Len() {
+			n := r.batch.Len()
+			j := r.i + sort.Search(n-r.i, func(k int) bool {
+				return doc.Start(r.batch.Row(r.i+k)[col]) >= pos
+			})
+			if j < n {
+				r.i = j + 1
+				return r.batch.Row(j), true, nil
+			}
+			r.i = n
+		}
+		if r.eof {
+			return nil, false, nil
+		}
+		if _, _, err := trySeek(r.bop, pos); err != nil {
+			return nil, false, err
+		}
+		// Refill regardless of seek support; unsupported seeks fall back to
+		// discarding batch-wise in the loop above.
+		if err := r.bop.NextBatch(r.batch); err != nil {
+			return nil, false, err
+		}
+		r.i = 0
+		if r.batch.Len() == 0 {
+			r.eof = true
+			return nil, false, nil
+		}
+	}
+}
+
+// nodeArena allocates tuple storage in large chunks, replacing one make per
+// retained tuple with one per ~16K node IDs. Allocations live until the
+// arena itself is garbage, so it suits the join's stack copies and buffered
+// pairs, whose lifetime is the operator's.
+type nodeArena struct {
+	chunk []xmltree.NodeID
+}
+
+const arenaChunk = 16 * 1024
+
+func (a *nodeArena) alloc(n int) []xmltree.NodeID {
+	if len(a.chunk)+n > cap(a.chunk) {
+		sz := arenaChunk
+		if n > sz {
+			sz = n
+		}
+		a.chunk = make([]xmltree.NodeID, 0, sz)
+	}
+	off := len(a.chunk)
+	a.chunk = a.chunk[:off+n]
+	return a.chunk[off : off+n : off+n]
+}
+
+// copyTuple clones t into the arena.
+func (a *nodeArena) copyTuple(t Tuple) Tuple {
+	s := a.alloc(len(t))
+	copy(s, t)
+	return Tuple(s)
+}
+
+// joined builds the concatenation of l and r in the arena.
+func (a *nodeArena) joined(l, r Tuple) Tuple {
+	s := a.alloc(len(l) + len(r))
+	n := copy(s, l)
+	copy(s[n:], r)
+	return Tuple(s)
+}
+
+// DrainBatched is Drain over the batched execution path: the plan is driven
+// with NextBatch at the root (operators batch recursively), and rows are
+// copied out of the reused batch into stable arena-backed tuples.
+func DrainBatched(ctx *Context, op Operator) ([]Tuple, error) {
+	bop := AsBatchOperator(op)
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	var (
+		out   []Tuple
+		arena nodeArena
+		b     = NewBatch(op.Schema().Width())
+	)
+	for {
+		if ctx.Interrupt != nil {
+			if err := ctx.Interrupt(); err != nil {
+				op.Close()
+				return nil, err
+			}
+		}
+		if err := bop.NextBatch(b); err != nil {
+			op.Close()
+			return nil, err
+		}
+		if b.Len() == 0 {
+			break
+		}
+		ctx.Stats.Batches++
+		for i := 0; i < b.Len(); i++ {
+			out = append(out, arena.copyTuple(b.Row(i)))
+		}
+	}
+	if err := op.Close(); err != nil {
+		return nil, err
+	}
+	ctx.Stats.OutputTuples = len(out)
+	return out, nil
+}
+
+// CountBatched is Count over the batched execution path; it never touches
+// row contents, so counting costs one virtual call per batch.
+func CountBatched(ctx *Context, op Operator) (int, error) {
+	bop := AsBatchOperator(op)
+	if err := op.Open(ctx); err != nil {
+		return 0, err
+	}
+	n := 0
+	b := NewBatch(op.Schema().Width())
+	for {
+		if ctx.Interrupt != nil {
+			if err := ctx.Interrupt(); err != nil {
+				op.Close()
+				return 0, err
+			}
+		}
+		if err := bop.NextBatch(b); err != nil {
+			op.Close()
+			return 0, err
+		}
+		if b.Len() == 0 {
+			break
+		}
+		ctx.Stats.Batches++
+		n += b.Len()
+	}
+	if err := op.Close(); err != nil {
+		return 0, err
+	}
+	ctx.Stats.OutputTuples = n
+	return n, nil
+}

@@ -1,0 +1,428 @@
+package exec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sjos/internal/pattern"
+	"sjos/internal/plan"
+	"sjos/internal/xmltree"
+)
+
+// runEdgeJoinBatched is runEdgeJoin driven through the batched path on a
+// freshly built tree (one mode per operator instance).
+func runEdgeJoinBatched(t *testing.T, doc *xmltree.Document, anc, desc string, ax pattern.Axis, algo plan.Algo) []Tuple {
+	t.Helper()
+	src := "//" + anc + "/" + desc
+	if ax == pattern.Descendant {
+		src = "//" + anc + "//" + desc
+	}
+	pat := pattern.MustParse(src)
+	j, err := NewStackTreeJoin(NewIndexScan(pat, 0), NewIndexScan(pat, 1), 0, 1, ax, algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DrainBatched(newCtx(t, doc), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NormalizeAll(j.Schema(), 2, out)
+}
+
+// TestBatchMatchesTupleRandomDocs is the executor's core differential
+// property: on random documents, the batched path must produce exactly the
+// tuple path's multiset for both axes and both join algorithms.
+func TestBatchMatchesTupleRandomDocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tags := []string{"a", "b", "c"}
+	for trial := 0; trial < 120; trial++ {
+		doc := xmltree.RandomDocument(rng, 2+rng.Intn(120), tags)
+		for _, ax := range []pattern.Axis{pattern.Child, pattern.Descendant} {
+			for _, algo := range []plan.Algo{plan.AlgoDesc, plan.AlgoAnc} {
+				a := tags[rng.Intn(len(tags))]
+				b := tags[rng.Intn(len(tags))]
+				got := runEdgeJoinBatched(t, doc, a, b, ax, algo)
+				want := runEdgeJoin(t, doc, a, b, ax, algo)
+				if !sortedEq(got, want) {
+					t.Fatalf("trial %d: %s %v %s via %v: batched %d, tuple %d",
+						trial, a, ax, b, algo, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestBatchMultiJoinPipeline batches a join over join outputs (tuple
+// streams), plus a Sort and a Limit on top — the full operator zoo in one
+// batched tree.
+func TestBatchMultiJoinPipeline(t *testing.T) {
+	doc := personnelDoc(t)
+	pat := pattern.MustParse("//manager[.//employee]//name")
+	build := func() Operator {
+		me, err := NewStackTreeJoin(NewIndexScan(pat, 0), NewIndexScan(pat, 1), 0, 1, pattern.Descendant, plan.AlgoAnc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		men, err := NewStackTreeJoin(me, NewIndexScan(pat, 2), 0, 2, pattern.Descendant, plan.AlgoAnc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return men
+	}
+	op := build()
+	got, err := DrainBatched(newCtx(t, doc), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ReferenceMatches(doc, pat)
+	if !sortedEq(NormalizeAll(op.Schema(), 3, got), want) {
+		t.Fatalf("batched pipeline: got %d matches, want %d", len(got), len(want))
+	}
+
+	srt, err := NewSort(build(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := DrainBatched(newCtx(t, doc), srt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sorted) != len(want) {
+		t.Fatalf("batched sort: got %d rows, want %d", len(sorted), len(want))
+	}
+	col, _ := srt.Schema().Col(2)
+	for i := 1; i < len(sorted); i++ {
+		if doc.Start(sorted[i][col]) < doc.Start(sorted[i-1][col]) {
+			t.Fatal("batched sort output out of order")
+		}
+	}
+
+	for _, n := range []int{0, 1, 3, len(want), len(want) + 5} {
+		lim, err := DrainBatched(newCtx(t, doc), NewLimit(build(), n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantN := n
+		if wantN > len(want) {
+			wantN = len(want)
+		}
+		if len(lim) != wantN {
+			t.Fatalf("batched limit %d: got %d rows, want %d", n, len(lim), wantN)
+		}
+	}
+}
+
+// TestBatchLimitNotSeekable guards the deliberate hole in the Unwrap chain:
+// a skip-ahead probe must not reach through a Limit, because seeking past
+// rows the Limit has not counted would break its cap accounting.
+func TestBatchLimitNotSeekable(t *testing.T) {
+	pat := pattern.MustParse("//a//b")
+	l := NewLimit(NewIndexScan(pat, 0), 1)
+	if _, ok, _ := trySeek(l, 10); ok {
+		t.Fatal("trySeek reached through a Limit; seeks would bypass the row cap")
+	}
+}
+
+// TestTrySeekUnwrapsAdapters checks the seek probe walks the adapter chain
+// down to the scan — the dynamic-dispatch hole Go embedding leaves is
+// bridged by explicit Unwrap methods.
+func TestTrySeekUnwrapsAdapters(t *testing.T) {
+	doc := personnelDoc(t)
+	pat := pattern.MustParse("//manager//name")
+	s := NewIndexScan(pat, 1)
+	if err := s.Open(newCtx(t, doc)); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wrapped Operator = batchFromTuples{s}
+	if _, ok, err := trySeek(wrapped, 0); !ok || err != nil {
+		t.Fatalf("trySeek through adapter: ok=%v err=%v, want seekable", ok, err)
+	}
+}
+
+// TestIndexScanSkipAhead seeks a scan past a dead region and checks the
+// skipped postings are counted and the remaining stream is intact.
+func TestIndexScanSkipAhead(t *testing.T) {
+	// 40 b leaves, then an a subtree holding 2 more bs: a seek to the a's
+	// Start position must bypass the 40 dead bs.
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 40; i++ {
+		sb.WriteString("<b></b>")
+	}
+	sb.WriteString("<a><b></b><c><b></b></c></a></r>")
+	doc, err := xmltree.ParseString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := pattern.MustParse("//a//b")
+	ctx := newCtx(t, doc)
+	s := NewIndexScan(pat, 1)
+	if err := s.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	aTag, _ := doc.LookupTag("a")
+	aStart := doc.Start(doc.NodesWithTag(aTag)[0])
+	skipped, ok, err := s.SeekGE(aStart)
+	if err != nil || !ok {
+		t.Fatalf("SeekGE: ok=%v err=%v", ok, err)
+	}
+	if skipped != 40 {
+		t.Fatalf("SeekGE skipped %d postings, want 40", skipped)
+	}
+	if ctx.Stats.SkippedTuples != 40 {
+		t.Fatalf("SkippedTuples = %d, want 40", ctx.Stats.SkippedTuples)
+	}
+	var rest int
+	for {
+		tup, ok, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if doc.Start(tup[0]) < aStart {
+			t.Fatal("scan produced a row from the skipped region")
+		}
+		rest++
+	}
+	if rest != 2 {
+		t.Fatalf("post-seek scan produced %d rows, want 2", rest)
+	}
+}
+
+// TestJoinSkipAheadEndToEnd drives the whole skip-ahead path: a sparse
+// ancestor stream over a dense descendant stream must trigger seeks (counted
+// in SkippedTuples) and still produce exactly the tuple path's result.
+func TestJoinSkipAheadEndToEnd(t *testing.T) {
+	// Dead regions of bs between sparse as; only bs inside as match. Each
+	// dead region is bigger than one Batch so the skip must reach the
+	// storage layer rather than being absorbed by the reader's in-buffer
+	// binary search.
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for blk := 0; blk < 3; blk++ {
+		for i := 0; i < BatchRows+200; i++ {
+			sb.WriteString("<b></b>")
+		}
+		sb.WriteString("<a><b></b></a>")
+	}
+	sb.WriteString("</r>")
+	doc, err := xmltree.ParseString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []plan.Algo{plan.AlgoDesc, plan.AlgoAnc} {
+		pat := pattern.MustParse("//a//b")
+		j, err := NewStackTreeJoin(NewIndexScan(pat, 0), NewIndexScan(pat, 1), 0, 1, pattern.Descendant, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := newCtx(t, doc)
+		got, err := DrainBatched(ctx, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ReferenceMatches(doc, pat)
+		if !sortedEq(NormalizeAll(j.Schema(), 2, got), want) {
+			t.Fatalf("%v: skip-ahead changed results: got %d, want %d", algo, len(got), len(want))
+		}
+		if ctx.Stats.SkippedTuples == 0 {
+			t.Errorf("%v: no postings skipped on a workload built of dead regions", algo)
+		}
+		if ctx.Stats.Batches == 0 {
+			t.Errorf("%v: Stats.Batches not counted", algo)
+		}
+	}
+}
+
+// TestAncReadyQueueReleasesSlots is the regression test for the ready-queue
+// retention fix: consuming the queue must nil out served slots and reset the
+// queue once drained, instead of re-slicing forward and pinning every served
+// tuple in the backing array.
+func TestAncReadyQueueReleasesSlots(t *testing.T) {
+	j := &StackTreeJoin{}
+	tuples := []Tuple{{1}, {2}, {3}}
+	j.ready = append(j.ready, tuples...)
+	for i, want := range tuples {
+		got := j.popReady()
+		if got[0] != want[0] {
+			t.Fatalf("popReady #%d = %v, want %v", i, got, want)
+		}
+		if i < len(tuples)-1 {
+			if j.ready[i] != nil {
+				t.Fatalf("served slot %d still pins its tuple", i)
+			}
+			if j.readyHead != i+1 {
+				t.Fatalf("readyHead = %d, want %d", j.readyHead, i+1)
+			}
+		}
+	}
+	if len(j.ready) != 0 || j.readyHead != 0 {
+		t.Fatalf("drained queue not reset: len=%d head=%d", len(j.ready), j.readyHead)
+	}
+	// The reset queue must be reusable in place.
+	j.ready = append(j.ready, Tuple{4})
+	if got := j.popReady(); got[0] != 4 {
+		t.Fatalf("reused queue served %v, want [4]", got)
+	}
+}
+
+// TestIndexScanLocalInterruptCounter is the regression test for the
+// interrupt-poll stride: it must tick on a scan-local counter, not the
+// context's shared ScannedTuples (which other operators also bump, making
+// the stride drift under concurrent scans).
+func TestIndexScanLocalInterruptCounter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	doc := xmltree.RandomDocument(rng, 9000, []string{"a"})
+	pat := pattern.MustParse("//a//a")
+	ctx := newCtx(t, doc)
+	polls := 0
+	ctx.Interrupt = func() error { polls++; return nil }
+	// Pre-poison the shared counter: a stride keyed off it would start
+	// mid-cycle, while the scan-local stride is unaffected.
+	ctx.Stats.ScannedTuples = 1<<20 + 17
+	s := NewIndexScan(pat, 0)
+	if err := s.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, ok, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	s.Close()
+	if s.rows != n {
+		t.Fatalf("scan-local row counter = %d after %d rows", s.rows, n)
+	}
+	if want := n / 0x1000; polls != want {
+		t.Fatalf("interrupt polled %d times over %d rows, want %d (scan-local 0x1000 stride)",
+			polls, n, want)
+	}
+}
+
+// TestBatchAppendersAndTruncate unit-tests the Batch container itself.
+func TestBatchAppendersAndTruncate(t *testing.T) {
+	b := NewBatch(2)
+	b.AppendRow(Tuple{1, 2})
+	b.AppendPair(Tuple{3}, Tuple{4})
+	if b.Len() != 2 || b.Width() != 2 {
+		t.Fatalf("len=%d width=%d, want 2/2", b.Len(), b.Width())
+	}
+	if got := b.Row(1); got[0] != 3 || got[1] != 4 {
+		t.Fatalf("Row(1) = %v, want [3 4]", got)
+	}
+	b.Truncate(1)
+	if b.Len() != 1 {
+		t.Fatalf("after Truncate(1): len=%d", b.Len())
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatal("Reset left rows behind")
+	}
+	ids := NewBatch(1)
+	ids.AppendID(9)
+	ids.AppendIDs([]xmltree.NodeID{10, 11})
+	if ids.Len() != 3 || ids.Row(2)[0] != 11 {
+		t.Fatalf("ID appenders broken: len=%d", ids.Len())
+	}
+}
+
+// TestBatchReaderSeekWithinBuffer checks the reader's binary search over
+// buffered rows (the in-buffer half of seekGE).
+func TestBatchReaderSeekWithinBuffer(t *testing.T) {
+	doc := personnelDoc(t)
+	pat := pattern.MustParse("//name")
+	s := NewIndexScan(pat, 0)
+	ctx := newCtx(t, doc)
+	if err := s.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r := newBatchReader(s)
+	first, ok, err := r.next()
+	if err != nil || !ok {
+		t.Fatalf("empty name scan: ok=%v err=%v", ok, err)
+	}
+	// Seek to a position past the first few names: result must be the first
+	// name at or after it, same as scanning forward.
+	nmTag, _ := doc.LookupTag("name")
+	names := doc.NodesWithTag(nmTag)
+	if len(names) < 3 {
+		t.Fatal("fixture too small")
+	}
+	target := doc.Start(names[2])
+	got, ok, err := r.seekGE(target, doc, 0)
+	if err != nil || !ok {
+		t.Fatalf("seekGE: ok=%v err=%v", ok, err)
+	}
+	if doc.Start(got[0]) < target {
+		t.Fatalf("seekGE returned a row before the target position")
+	}
+	if got[0] == first[0] {
+		t.Fatal("seekGE did not advance")
+	}
+	// And fully past the end: stream must terminate cleanly.
+	if _, ok, err := r.seekGE(xmltree.Pos(1<<30), doc, 0); ok || err != nil {
+		t.Fatalf("seekGE past end: ok=%v err=%v, want end of stream", ok, err)
+	}
+}
+
+// TestBatchVsTupleBuiltPlans cross-checks complete built plans (via the
+// optimizer-facing Build/Run path) between the tuple and batched drivers,
+// against the brute-force reference, on left-deep and branching shapes.
+func TestBatchVsTupleBuiltPlans(t *testing.T) {
+	doc := personnelDoc(t)
+	cases := []struct {
+		src string
+		p   *plan.Node
+	}{
+		{"//manager//employee/name",
+			plan.NewJoin(
+				plan.NewJoin(plan.NewIndexScan(0), plan.NewIndexScan(1), 0, 1, pattern.Descendant, plan.AlgoDesc),
+				plan.NewIndexScan(2), 1, 2, pattern.Child, plan.AlgoDesc)},
+		{"//manager[.//department]//name",
+			plan.NewJoin(
+				plan.NewJoin(plan.NewIndexScan(0), plan.NewIndexScan(1), 0, 1, pattern.Descendant, plan.AlgoAnc),
+				plan.NewIndexScan(2), 0, 2, pattern.Descendant, plan.AlgoDesc)},
+		{"//db//manager//employee",
+			plan.NewJoin(
+				plan.NewJoin(plan.NewIndexScan(0), plan.NewIndexScan(1), 0, 1, pattern.Descendant, plan.AlgoDesc),
+				plan.NewIndexScan(2), 1, 2, pattern.Descendant, plan.AlgoDesc)},
+	}
+	for _, tc := range cases {
+		pat := pattern.MustParse(tc.src)
+		if err := tc.p.Validate(pat, false); err != nil {
+			t.Fatalf("%s: test plan invalid: %v", tc.src, err)
+		}
+		gotB, err := RunBatched(newCtx(t, doc), pat, tc.p)
+		if err != nil {
+			t.Fatalf("%s batched: %v", tc.src, err)
+		}
+		gotT, err := Run(newCtx(t, doc), pat, tc.p)
+		if err != nil {
+			t.Fatalf("%s tuple: %v", tc.src, err)
+		}
+		want := ReferenceMatches(doc, pat)
+		if !sortedEq(gotB, want) || !sortedEq(gotT, want) {
+			t.Fatalf("%s: batched %d, tuple %d, reference %d matches",
+				tc.src, len(gotB), len(gotT), len(want))
+		}
+		nb, err := RunCountBatched(newCtx(t, doc), pat, tc.p)
+		if err != nil {
+			t.Fatalf("%s count batched: %v", tc.src, err)
+		}
+		if nb != len(want) {
+			t.Fatalf("%s: CountBatched = %d, want %d", tc.src, nb, len(want))
+		}
+	}
+}

@@ -70,6 +70,8 @@ type Stats struct {
 	BufferedPairs int // pairs written to Anc self/inherit lists (f_IO term)
 	SortedTuples  int // tuples materialised by Sort operators (f_s term)
 	OutputTuples  int // tuples produced by the plan root
+	Batches       int // root-level NextBatch calls on the batched path
+	SkippedTuples int // index postings bypassed by skip-ahead seeks
 }
 
 // Add accumulates o's counters into s. The partition-parallel driver uses
@@ -82,6 +84,8 @@ func (s *Stats) Add(o Stats) {
 	s.BufferedPairs += o.BufferedPairs
 	s.SortedTuples += o.SortedTuples
 	s.OutputTuples += o.OutputTuples
+	s.Batches += o.Batches
+	s.SkippedTuples += o.SkippedTuples
 }
 
 // Context carries the execution environment shared by all operators of one

@@ -19,6 +19,13 @@ import (
 //     them when the entry leaves an empty stack (output ordered by the
 //     ancestor column). The buffering is what the cost model's
 //     2·|AB|·f_IO term charges for.
+//
+// The join runs in one of two modes, chosen by the first call it receives
+// and never mixed: tuple-at-a-time (Next) or batched (NextBatch). The
+// batched drivers additionally skip ahead: whenever the stack is empty and
+// the next ancestor starts past the current descendant, every right tuple
+// before that ancestor is provably dead, so the right input is seeked
+// (Seeker) rather than drained.
 type StackTreeJoin struct {
 	algo    plan.Algo
 	axis    pattern.Axis
@@ -43,8 +50,18 @@ type StackTreeJoin struct {
 	emitIdx int
 	emitR   Tuple
 
-	// Anc emission state: released output.
-	ready []Tuple
+	// Anc emission state: released output, consumed from readyHead. The
+	// head index (instead of re-slicing ready forward) keeps the backing
+	// array reusable and lets emitted slots be released immediately.
+	ready     []Tuple
+	readyHead int
+
+	// Batched-mode state: block readers over the inputs, an arena for
+	// tuples that outlive their input batch (stack copies, Anc buffered
+	// pairs), and a reusable copy of the right tuple under emission.
+	lr, rr   *batchReader
+	arena    nodeArena
+	emitRBuf Tuple
 }
 
 type stackEntry struct {
@@ -123,9 +140,33 @@ func (j *StackTreeJoin) Next() (Tuple, bool, error) {
 	return j.nextAnc()
 }
 
+// NextBatch implements BatchOperator: the same Stack-Tree drivers, consuming
+// the inputs through block readers and producing whole batches, with
+// skip-ahead over dead regions of the right input.
+func (j *StackTreeJoin) NextBatch(b *Batch) error {
+	b.Reset()
+	if !j.started {
+		j.started = true
+		j.lr = newBatchReader(j.left)
+		j.rr = newBatchReader(j.right)
+		var err error
+		if j.lTuple, j.lOK, err = j.lr.next(); err != nil {
+			return err
+		}
+		if j.rTuple, j.rOK, err = j.rr.next(); err != nil {
+			return err
+		}
+	}
+	if j.algo == plan.AlgoDesc {
+		return j.nextBatchDesc(b)
+	}
+	return j.nextBatchAnc(b)
+}
+
 // joined builds the output tuple for (entry, right): one exact-size
 // allocation and two copies — this runs once per output tuple, so it is the
-// hottest allocation site in the executor.
+// hottest allocation site in the tuple-at-a-time executor (the batched path
+// appends pairs into the output batch or an arena instead).
 func (j *StackTreeJoin) joined(e *stackEntry, r Tuple) Tuple {
 	out := make(Tuple, len(e.tuple)+len(r))
 	n := copy(out, e.tuple)
@@ -153,6 +194,24 @@ func (j *StackTreeJoin) push(expireBefore xmltree.Pos, collect func(*stackEntry)
 	j.ctx.Stats.StackOps++
 	var err error
 	j.lTuple, j.lOK, err = j.left.Next()
+	return err
+}
+
+// pushBatch is push for the batched drivers: the left tuple aliases the left
+// reader's reusable batch, so the stack entry gets an arena copy, and the
+// input advances through the reader.
+func (j *StackTreeJoin) pushBatch(expireBefore xmltree.Pos, collect func(*stackEntry)) error {
+	j.expire(expireBefore, collect)
+	a := j.lTuple[j.lCol]
+	j.stack = append(j.stack, &stackEntry{
+		t:     a,
+		end:   j.doc.End(a),
+		level: j.doc.Level(a),
+		tuple: j.arena.copyTuple(j.lTuple),
+	})
+	j.ctx.Stats.StackOps++
+	var err error
+	j.lTuple, j.lOK, err = j.lr.next()
 	return err
 }
 
@@ -212,13 +271,105 @@ func (j *StackTreeJoin) nextDesc() (Tuple, bool, error) {
 	}
 }
 
+// skipRight reports whether the right input can be seeked past a dead
+// region, and does so: with an empty stack, every right tuple starting
+// before the next ancestor's Start matches nothing (an ancestor always
+// starts before its descendants), and with the left input exhausted on an
+// empty stack the rest of the right input is dead outright.
+func (j *StackTreeJoin) skipRight(dStart xmltree.Pos) (bool, error) {
+	if len(j.stack) > 0 {
+		return false, nil
+	}
+	if !j.lOK {
+		j.rTuple, j.rOK = nil, false
+		return true, nil
+	}
+	lStart := j.doc.Start(j.lTuple[j.lCol])
+	if lStart <= dStart {
+		// Equal Start cannot happen across distinct nodes; <= keeps the
+		// guard strictly-progressing either way.
+		return false, nil
+	}
+	var err error
+	j.rTuple, j.rOK, err = j.rr.seekGE(lStart, j.doc, j.rCol)
+	return true, err
+}
+
+// nextBatchDesc is the Stack-Tree-Desc driver over batches.
+func (j *StackTreeJoin) nextBatchDesc(b *Batch) error {
+	doc := j.doc
+	for {
+		// Drain pending emissions for the current right tuple first.
+		if j.emitIdx < len(j.emit) {
+			dLevel := doc.Level(j.emitR[j.rCol])
+			for j.emitIdx < len(j.emit) {
+				if b.Full() {
+					return nil
+				}
+				e := j.emit[j.emitIdx]
+				j.emitIdx++
+				if j.matches(e, dLevel) {
+					b.AppendPair(e.tuple, j.emitR)
+				}
+			}
+		}
+		j.emit, j.emitR = j.emit[:0], nil
+
+		if !j.rOK {
+			return nil // no right input left: join is done
+		}
+		if b.Full() {
+			return nil
+		}
+		dStart := doc.Start(j.rTuple[j.rCol])
+		if j.lOK && doc.Start(j.lTuple[j.lCol]) < dStart {
+			if err := j.pushBatch(doc.Start(j.lTuple[j.lCol]), nil); err != nil {
+				return err
+			}
+			continue
+		}
+		if skipped, err := j.skipRight(dStart); err != nil {
+			return err
+		} else if skipped {
+			continue
+		}
+		// Process the right tuple against the stack. The emission snapshot
+		// must survive advancing the right reader (which may refill its
+		// batch), so the right tuple is copied into the join-owned buffer.
+		j.expire(dStart, nil)
+		if len(j.stack) > 0 {
+			j.emitRBuf = append(j.emitRBuf[:0], j.rTuple...)
+			j.emit = append(j.emit[:0], j.stack...)
+			j.emitIdx = 0
+			j.emitR = j.emitRBuf
+		}
+		var err error
+		j.rTuple, j.rOK, err = j.rr.next()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// popReady serves the head of the ready queue and releases its slot; once
+// the queue drains the backing array is reset for reuse, so neither it nor
+// the emitted tuples stay pinned.
+func (j *StackTreeJoin) popReady() Tuple {
+	t := j.ready[j.readyHead]
+	j.ready[j.readyHead] = nil
+	j.readyHead++
+	if j.readyHead == len(j.ready) {
+		j.ready = j.ready[:0]
+		j.readyHead = 0
+	}
+	return t
+}
+
 // nextAnc is the Stack-Tree-Anc driver.
 func (j *StackTreeJoin) nextAnc() (Tuple, bool, error) {
 	for {
-		if len(j.ready) > 0 {
-			t := j.ready[0]
-			j.ready = j.ready[1:]
-			return t, true, nil
+		if j.readyHead < len(j.ready) {
+			return j.popReady(), true, nil
 		}
 		if !j.rOK {
 			// No more pairs can form; release everything still on the
@@ -253,6 +404,64 @@ func (j *StackTreeJoin) nextAnc() (Tuple, bool, error) {
 		j.rTuple, j.rOK, err = j.right.Next()
 		if err != nil {
 			return nil, false, err
+		}
+	}
+}
+
+// nextBatchAnc is the Stack-Tree-Anc driver over batches.
+func (j *StackTreeJoin) nextBatchAnc(b *Batch) error {
+	doc := j.doc
+	for {
+		if j.readyHead < len(j.ready) {
+			for j.readyHead < len(j.ready) {
+				if b.Full() {
+					return nil
+				}
+				b.AppendRow(j.popReady())
+			}
+			continue
+		}
+		if !j.rOK {
+			if len(j.stack) > 0 {
+				for len(j.stack) > 0 {
+					top := j.stack[len(j.stack)-1]
+					j.stack = j.stack[:len(j.stack)-1]
+					j.ctx.Stats.StackOps++
+					j.release(top)
+				}
+				continue
+			}
+			return nil
+		}
+		if b.Full() {
+			return nil
+		}
+		dStart := doc.Start(j.rTuple[j.rCol])
+		if j.lOK && doc.Start(j.lTuple[j.lCol]) < dStart {
+			if err := j.pushBatch(doc.Start(j.lTuple[j.lCol]), j.release); err != nil {
+				return err
+			}
+			continue
+		}
+		if skipped, err := j.skipRight(dStart); err != nil {
+			return err
+		} else if skipped {
+			continue
+		}
+		j.expire(dStart, j.release)
+		dLevel := doc.Level(j.rTuple[j.rCol])
+		for _, e := range j.stack {
+			if j.matches(e, dLevel) {
+				// Buffered pairs outlive the right reader's batch, so they
+				// are built in the arena, not with per-pair allocations.
+				e.selfList = append(e.selfList, j.arena.joined(e.tuple, j.rTuple))
+				j.ctx.Stats.BufferedPairs++
+			}
+		}
+		var err error
+		j.rTuple, j.rOK, err = j.rr.next()
+		if err != nil {
+			return err
 		}
 	}
 }

@@ -9,6 +9,7 @@ package exec
 // computed, which blocking (sort-containing) plans cannot do.
 type Limit struct {
 	input     Operator
+	inputB    BatchOperator // lazily bound batched view of input
 	n         int
 	done      int
 	exhausted bool  // input ended before n tuples
@@ -55,6 +56,36 @@ func (l *Limit) Next() (Tuple, bool, error) {
 		l.closeErr = l.input.Close()
 	}
 	return t, true, nil
+}
+
+// NextBatch implements BatchOperator: whole batches are pulled until the
+// cap, the final batch is truncated to it, and the upstream subtree is
+// closed early exactly as on the tuple path.
+func (l *Limit) NextBatch(b *Batch) error {
+	b.Reset()
+	if l.done >= l.n || l.exhausted {
+		return l.closeErr
+	}
+	if l.inputB == nil {
+		l.inputB = AsBatchOperator(l.input)
+	}
+	if err := l.inputB.NextBatch(b); err != nil {
+		return err
+	}
+	if b.Len() == 0 {
+		l.exhausted = true
+		return nil
+	}
+	if l.done+b.Len() >= l.n {
+		b.Truncate(l.n - l.done)
+		l.done = l.n
+		// Cap reached: stop pulling and release the upstream subtree now.
+		l.closed = true
+		l.closeErr = l.input.Close()
+		return nil
+	}
+	l.done += b.Len()
+	return nil
 }
 
 // Close implements Operator. If the cap was reached the input was already

@@ -48,6 +48,9 @@ type ParallelExec struct {
 	// TraceBuilder so every clone accumulates into one shared
 	// plan-shaped trace.
 	BuildOp func() (Operator, error)
+	// Batch selects the batched execution path for every partition (and
+	// for the degenerate single-partition fallback).
+	Batch bool
 }
 
 // build compiles one operator tree for a partition, honouring BuildOp.
@@ -113,11 +116,20 @@ func (pe *ParallelExec) RunCount(ctx context.Context, base *Context, pat *patter
 		if err != nil {
 			return 0, err
 		}
+		if pe.Batch {
+			return CountBatched(base, op)
+		}
 		return Count(base, op)
 	}
 	counts := make([]int, len(parts))
 	err := pe.forEachPartition(ctx, base, pat, p, parts, func(cctx context.Context, i int, local *Context, root Operator) error {
-		n, err := drainCount(cctx, local, root)
+		var n int
+		var err error
+		if pe.Batch {
+			n, err = drainCountBatched(cctx, local, root)
+		} else {
+			n, err = drainCount(cctx, local, root)
+		}
 		counts[i] = n
 		return err
 	})
@@ -153,7 +165,12 @@ func (pe *ParallelExec) run(ctx context.Context, base *Context, pat *pattern.Pat
 		if limit >= 0 {
 			root = NewLimit(op, limit)
 		}
-		out, err := Drain(base, root)
+		var out []Tuple
+		if pe.Batch {
+			out, err = DrainBatched(base, root)
+		} else {
+			out, err = Drain(base, root)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -170,7 +187,13 @@ func (pe *ParallelExec) run(ctx context.Context, base *Context, pat *pattern.Pat
 			// answer is an order-prefix of the concatenation.
 			rootOp = NewLimit(root, limit)
 		}
-		out, err := drainTuples(cctx, local, rootOp)
+		var out []Tuple
+		var err error
+		if pe.Batch {
+			out, err = drainTuplesBatched(cctx, local, rootOp)
+		} else {
+			out, err = drainTuples(cctx, local, rootOp)
+		}
 		if err != nil {
 			return err
 		}
@@ -329,6 +352,72 @@ func drainTuples(cctx context.Context, local *Context, root Operator) ([]Tuple, 
 	}
 	local.Stats.OutputTuples = len(out)
 	return out, nil
+}
+
+// drainTuplesBatched is drainTuples over the batched path, polling cctx
+// once per batch; retained rows are copied out of the reusable batch.
+func drainTuplesBatched(cctx context.Context, local *Context, root Operator) ([]Tuple, error) {
+	bop := AsBatchOperator(root)
+	if err := root.Open(local); err != nil {
+		return nil, err
+	}
+	var (
+		out   []Tuple
+		arena nodeArena
+		b     = NewBatch(root.Schema().Width())
+	)
+	for {
+		if err := cctx.Err(); err != nil {
+			root.Close()
+			return nil, err
+		}
+		if err := bop.NextBatch(b); err != nil {
+			root.Close()
+			return nil, err
+		}
+		if b.Len() == 0 {
+			break
+		}
+		local.Stats.Batches++
+		for i := 0; i < b.Len(); i++ {
+			out = append(out, arena.copyTuple(b.Row(i)))
+		}
+	}
+	if err := root.Close(); err != nil {
+		return nil, err
+	}
+	local.Stats.OutputTuples = len(out)
+	return out, nil
+}
+
+// drainCountBatched is drainCount over the batched path.
+func drainCountBatched(cctx context.Context, local *Context, root Operator) (int, error) {
+	bop := AsBatchOperator(root)
+	if err := root.Open(local); err != nil {
+		return 0, err
+	}
+	n := 0
+	b := NewBatch(root.Schema().Width())
+	for {
+		if err := cctx.Err(); err != nil {
+			root.Close()
+			return 0, err
+		}
+		if err := bop.NextBatch(b); err != nil {
+			root.Close()
+			return 0, err
+		}
+		if b.Len() == 0 {
+			break
+		}
+		local.Stats.Batches++
+		n += b.Len()
+	}
+	if err := root.Close(); err != nil {
+		return 0, err
+	}
+	local.Stats.OutputTuples = n
+	return n, nil
 }
 
 // drainCount is drainTuples without materialisation.

@@ -6,6 +6,7 @@ import (
 	"sjos/internal/histogram"
 	"sjos/internal/pattern"
 	"sjos/internal/storage"
+	"sjos/internal/xmltree"
 )
 
 // IndexScan retrieves all candidates for one pattern node through the
@@ -22,6 +23,8 @@ type IndexScan struct {
 	ctx  *Context
 	scan *storage.TagScanner
 	done bool
+	rows int              // scan-local row count; drives the interrupt poll stride
+	blk  []xmltree.NodeID // posting block for the batched path
 }
 
 // NewIndexScan builds a scan for pattern node u of pat.
@@ -70,10 +73,15 @@ func (s *IndexScan) Next() (Tuple, bool, error) {
 			return nil, false, nil
 		}
 		s.ctx.Stats.ScannedTuples++
+		s.rows++
 		// Poll for cancellation on long scans (every 4096 rows) so a
 		// cancelled parallel query stops even inside a selective scan
 		// that produces no output for the driver's drain loop to observe.
-		if s.ctx.Interrupt != nil && s.ctx.Stats.ScannedTuples&0xfff == 0 {
+		// The stride counter is scan-local: the shared ScannedTuples stats
+		// counter advances for every scan in the query, so two interleaved
+		// scans could keep it permanently misaligned with any one scan's
+		// stride.
+		if s.ctx.Interrupt != nil && s.rows&0xfff == 0 {
 			if err := s.ctx.Interrupt(); err != nil {
 				return nil, false, err
 			}
@@ -84,6 +92,62 @@ func (s *IndexScan) Next() (Tuple, bool, error) {
 		}
 		return Tuple{id}, true, nil
 	}
+}
+
+// NextBatch implements BatchOperator: postings are pulled a page-sized block
+// at a time straight off the index (no per-posting virtual dispatch, and —
+// for predicate-free scans — no node-record reads at all), then appended to
+// the batch in a tight loop.
+func (s *IndexScan) NextBatch(b *Batch) error {
+	b.Reset()
+	if s.done {
+		return nil
+	}
+	if s.blk == nil {
+		s.blk = make([]xmltree.NodeID, BatchRows)
+	}
+	for !b.Full() {
+		if s.ctx.Interrupt != nil {
+			if err := s.ctx.Interrupt(); err != nil {
+				return err
+			}
+		}
+		n, err := s.scan.NextBlock(s.blk[:BatchRows-b.Len()])
+		if err != nil {
+			return fmt.Errorf("exec: index scan of %q: %w", s.tag, err)
+		}
+		if n == 0 {
+			s.done = true
+			return nil
+		}
+		s.ctx.Stats.ScannedTuples += n
+		if s.op == pattern.CmpNone {
+			b.AppendIDs(s.blk[:n])
+			continue
+		}
+		doc := s.ctx.Doc
+		for _, id := range s.blk[:n] {
+			if histogram.EvalPredicate(doc.Value(id), s.op, s.value) {
+				b.AppendID(id)
+			}
+		}
+	}
+	return nil
+}
+
+// SeekGE implements Seeker: the scan jumps over every posting whose Start
+// position is below pos with a binary search in the index instead of
+// reading them.
+func (s *IndexScan) SeekGE(pos xmltree.Pos) (int, bool, error) {
+	if s.done {
+		return 0, true, nil
+	}
+	skipped, err := s.scan.SeekGE(pos)
+	if err != nil {
+		return 0, false, fmt.Errorf("exec: index scan of %q: %w", s.tag, err)
+	}
+	s.ctx.Stats.SkippedTuples += skipped
+	return skipped, true, nil
 }
 
 // Close implements Operator.

@@ -62,6 +62,28 @@ func (s *Sort) Next() (Tuple, bool, error) {
 	return t, true, nil
 }
 
+// NextBatch implements BatchOperator: the input is materialised through its
+// own batched path (one virtual call per input batch), and the sorted
+// buffer is then served in batch-sized runs.
+func (s *Sort) NextBatch(b *Batch) error {
+	b.Reset()
+	if s.err != nil {
+		return s.err
+	}
+	if !s.loaded {
+		if err := s.loadBatched(); err != nil {
+			s.err = err
+			s.buf = nil
+			return err
+		}
+	}
+	for s.pos < len(s.buf) && !b.Full() {
+		b.AppendRow(s.buf[s.pos])
+		s.pos++
+	}
+	return nil
+}
+
 func (s *Sort) load() error {
 	s.loaded = true
 	for {
@@ -74,6 +96,33 @@ func (s *Sort) load() error {
 		}
 		s.buf = append(s.buf, t)
 	}
+	s.sortBuf()
+	return nil
+}
+
+// loadBatched is load over the input's batched path; batch rows are
+// ephemeral, so retained tuples are copied into an arena.
+func (s *Sort) loadBatched() error {
+	s.loaded = true
+	bop := AsBatchOperator(s.input)
+	in := NewBatch(s.schema.Width())
+	var arena nodeArena
+	for {
+		if err := bop.NextBatch(in); err != nil {
+			return err
+		}
+		if in.Len() == 0 {
+			break
+		}
+		for i := 0; i < in.Len(); i++ {
+			s.buf = append(s.buf, arena.copyTuple(in.Row(i)))
+		}
+	}
+	s.sortBuf()
+	return nil
+}
+
+func (s *Sort) sortBuf() {
 	s.ctx.Stats.SortedTuples += len(s.buf)
 	doc := s.ctx.Doc
 	col := s.col
@@ -82,7 +131,6 @@ func (s *Sort) load() error {
 	sort.SliceStable(s.buf, func(i, j int) bool {
 		return doc.Start(s.buf[i][col]) < doc.Start(s.buf[j][col])
 	})
-	return nil
 }
 
 // Close implements Operator.

@@ -8,6 +8,7 @@ import (
 
 	"sjos/internal/pattern"
 	"sjos/internal/plan"
+	"sjos/internal/xmltree"
 )
 
 // OpTrace is one operator's instrumentation record in a plan-shaped trace
@@ -29,6 +30,11 @@ type OpTrace struct {
 	// NextCalls counts Next invocations (Rows + one end-of-stream call per
 	// clone, fewer under an early-terminating Limit).
 	NextCalls int64 `json:"next_calls"`
+	// Batches counts NextBatch invocations on the batched path (0 under
+	// tuple-at-a-time execution); Skipped counts index postings the
+	// operator bypassed via skip-ahead seeks.
+	Batches int64 `json:"batches,omitempty"`
+	Skipped int64 `json:"skipped,omitempty"`
 	// Clones is the number of operator instances that fed this record: 1
 	// for serial execution, one per partition for parallel runs.
 	Clones int64 `json:"clones"`
@@ -53,10 +59,16 @@ func (t *OpTrace) Format() string {
 	var sb strings.Builder
 	var walk func(n *OpTrace, depth int)
 	walk = func(n *OpTrace, depth int) {
-		fmt.Fprintf(&sb, "%s%s %s  [est≈%.0f actual=%d err=%s calls=%d time=%v]\n",
+		fmt.Fprintf(&sb, "%s%s %s  [est≈%.0f actual=%d err=%s calls=%d",
 			strings.Repeat("  ", depth), n.Op, n.Detail,
-			n.EstRows, n.Rows, driftRatio(n.EstRows, n.Rows),
-			n.NextCalls, n.WallTime().Round(time.Microsecond))
+			n.EstRows, n.Rows, driftRatio(n.EstRows, n.Rows), n.NextCalls)
+		if n.Batches > 0 {
+			fmt.Fprintf(&sb, " batches=%d", n.Batches)
+		}
+		if n.Skipped > 0 {
+			fmt.Fprintf(&sb, " skipped=%d", n.Skipped)
+		}
+		fmt.Fprintf(&sb, " time=%v]\n", n.WallTime().Round(time.Microsecond))
 		for _, c := range n.Children {
 			walk(c, depth+1)
 		}
@@ -83,6 +95,8 @@ type traceAcc struct {
 
 	rows      atomic.Int64
 	nextCalls atomic.Int64
+	batches   atomic.Int64
+	skipped   atomic.Int64
 	clones    atomic.Int64
 	openNs    atomic.Int64
 	nextNs    atomic.Int64
@@ -158,6 +172,8 @@ func (tb *TraceBuilder) snapshot(a *traceAcc) *OpTrace {
 		EstRows:   a.node.EstCard,
 		Rows:      a.rows.Load(),
 		NextCalls: a.nextCalls.Load(),
+		Batches:   a.batches.Load(),
+		Skipped:   a.skipped.Load(),
 		Clones:    a.clones.Load(),
 		OpenTime:  time.Duration(a.openNs.Load()),
 		NextTime:  time.Duration(a.nextNs.Load()),
@@ -208,11 +224,14 @@ func opDetail(pat *pattern.Pattern, n *plan.Node) string {
 // Counters stay clone-local (no synchronisation on the Next path) and are
 // flushed into the shared accumulator once, when the operator is Closed.
 type traced struct {
-	inner Operator
-	acc   *traceAcc
+	inner  Operator
+	innerB BatchOperator // lazily bound batched view of inner
+	acc    *traceAcc
 
 	rows      int64
 	nextCalls int64
+	batches   int64
+	skipped   int64
 	openNs    int64
 	nextNs    int64
 	closeNs   int64
@@ -242,6 +261,31 @@ func (t *traced) Next() (Tuple, bool, error) {
 	return tup, ok, err
 }
 
+// NextBatch implements BatchOperator with one timing sample and one counter
+// update per batch rather than per tuple — this is what collapses tracing
+// overhead on the batched path.
+func (t *traced) NextBatch(b *Batch) error {
+	if t.innerB == nil {
+		t.innerB = AsBatchOperator(t.inner)
+	}
+	start := time.Now()
+	err := t.innerB.NextBatch(b)
+	t.nextNs += int64(time.Since(start))
+	t.batches++
+	t.rows += int64(b.Len())
+	return err
+}
+
+// SeekGE implements Seeker by delegating to the wrapped operator (if it can
+// seek), recording the skipped postings in the trace.
+func (t *traced) SeekGE(pos xmltree.Pos) (int, bool, error) {
+	skipped, ok, err := trySeek(t.inner, pos)
+	if ok {
+		t.skipped += int64(skipped)
+	}
+	return skipped, ok, err
+}
+
 // Close implements Operator; it flushes this clone's counters into the
 // shared trace exactly once.
 func (t *traced) Close() error {
@@ -259,6 +303,8 @@ func (t *traced) flush() {
 	t.flushed = true
 	t.acc.rows.Add(t.rows)
 	t.acc.nextCalls.Add(t.nextCalls)
+	t.acc.batches.Add(t.batches)
+	t.acc.skipped.Add(t.skipped)
 	t.acc.clones.Add(1)
 	t.acc.openNs.Add(t.openNs)
 	t.acc.nextNs.Add(t.nextNs)

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"sjos"
+)
+
+// BatchBenchRow compares one fold of the Table-3 workload executed through
+// the batched (vectorized) path against the tuple-at-a-time path.
+type BatchBenchRow struct {
+	Fold    int
+	Batched time.Duration // best batched execution over the rounds
+	Tuple   time.Duration // best tuple-at-a-time execution
+	Speedup float64
+	Matches int
+	Batches int // root batches driven on the batched lane
+	Skipped int // index postings bypassed by skip-ahead seeks
+}
+
+// BatchBench measures the batched executor against the tuple-at-a-time
+// executor on the paper's Table-3 workload (Q.Pers.3.d, CountOnly) across
+// folding factors. Per fold both lanes run the same optimized plan; their
+// match counts must agree, a divergence is an error.
+func BatchBench(m sjos.Method, folds []int) ([]BatchBenchRow, error) {
+	q, err := QueryByID(PersQuery3)
+	if err != nil {
+		return nil, err
+	}
+	pat, err := sjos.ParsePattern(q.Source)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BatchBenchRow
+	for _, fold := range folds {
+		db, err := Dataset(q.Dataset, fold)
+		if err != nil {
+			return nil, err
+		}
+		res, err := db.Optimize(pat, m, 0)
+		if err != nil {
+			return nil, err
+		}
+		row := BatchBenchRow{Fold: fold, Matches: -1}
+		lane := func(noBatch bool) (time.Duration, error) {
+			best := time.Duration(1<<63 - 1)
+			for i := 0; i < evalRepeat; i++ {
+				start := time.Now()
+				r, err := db.Run(context.Background(), pat, res.Plan,
+					sjos.RunOptions{CountOnly: true, NoBatch: noBatch})
+				if err != nil {
+					return 0, err
+				}
+				if d := time.Since(start); d < best {
+					best = d
+				}
+				if row.Matches == -1 {
+					row.Matches = r.Count
+				} else if r.Count != row.Matches {
+					return 0, fmt.Errorf("fold %d: nobatch=%v counted %d matches, other lane %d",
+						fold, noBatch, r.Count, row.Matches)
+				}
+				if !noBatch {
+					row.Batches = r.Stats.Batches
+					row.Skipped = r.Stats.SkippedTuples
+				}
+			}
+			return best, nil
+		}
+		if row.Batched, err = lane(false); err != nil {
+			return nil, err
+		}
+		if row.Tuple, err = lane(true); err != nil {
+			return nil, err
+		}
+		if row.Batched > 0 {
+			row.Speedup = float64(row.Tuple) / float64(row.Batched)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderBatchBench formats the batched vs tuple comparison as a table.
+func RenderBatchBench(rows []BatchBenchRow, m sjos.Method) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Batched executor vs tuple-at-a-time (%s on %s, CountOnly)\n", PersQuery3, m)
+	fmt.Fprintf(&sb, "%-6s %12s %12s %9s %9s %9s %9s\n",
+		"Fold", "batched", "tuple", "speedup", "matches", "batches", "skipped")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "x%-5d %12v %12v %8.2fx %9d %9d %9d\n",
+			r.Fold, r.Batched, r.Tuple, r.Speedup, r.Matches, r.Batches, r.Skipped)
+	}
+	return sb.String()
+}

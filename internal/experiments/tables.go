@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -158,7 +159,7 @@ type Table3Row struct {
 // algorithm's chosen plan for Q.Pers.3.d as the data set is folded. The
 // paper uses folds ×1, ×10, ×100 and ×500.
 func Table3(folds []int) ([]Table3Row, error) {
-	return table3(folds, 0)
+	return table3(folds, 0, false)
 }
 
 // Table3Parallel is Table 3 with every plan executed partition-parallel
@@ -168,12 +169,18 @@ func Table3Parallel(folds []int, k int) ([]Table3Row, error) {
 	if k <= 0 {
 		k = -1 // force WithParallelism's GOMAXPROCS default
 	}
-	return table3(folds, k)
+	return table3(folds, k, false)
+}
+
+// Table3NoBatch is Table 3 executed tuple-at-a-time (the pre-batching
+// executor) — xqbench's -nobatch escape hatch.
+func Table3NoBatch(folds []int) ([]Table3Row, error) {
+	return table3(folds, 0, true)
 }
 
 // table3 is the shared driver; parallel != 0 routes execution through
-// db.WithParallelism.
-func table3(folds []int, parallel int) ([]Table3Row, error) {
+// db.WithParallelism, noBatch disables the batched execution path.
+func table3(folds []int, parallel int, noBatch bool) ([]Table3Row, error) {
 	q, err := QueryByID(PersQuery3)
 	if err != nil {
 		return nil, err
@@ -204,7 +211,8 @@ func table3(folds []int, parallel int) ([]Table3Row, error) {
 				return nil, err
 			}
 			eval, err := timeIt(evalRepeat, func() error {
-				_, _, e := db.ExecuteCount(pat, res.Plan)
+				_, e := db.Run(context.Background(), pat, res.Plan,
+					sjos.RunOptions{CountOnly: true, NoBatch: noBatch})
 				return e
 			})
 			if err != nil {

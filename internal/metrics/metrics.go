@@ -42,6 +42,8 @@ type Registry struct {
 	errors   atomic.Uint64
 	slow     atomic.Uint64
 	inFlight atomic.Int64
+	batches  atomic.Uint64
+	skipped  atomic.Uint64
 
 	latCount atomic.Uint64
 	latSum   atomic.Int64 // nanoseconds
@@ -68,6 +70,18 @@ func (r *Registry) QueryFinished(d time.Duration, err error) {
 // SlowQuery counts one query that crossed the slow-query threshold.
 func (r *Registry) SlowQuery() { r.slow.Add(1) }
 
+// ExecBatched folds one execution's batched-path counters into the
+// registry: batches driven through the plan root and index postings
+// bypassed by skip-ahead seeks.
+func (r *Registry) ExecBatched(batches, skipped int) {
+	if batches > 0 {
+		r.batches.Add(uint64(batches))
+	}
+	if skipped > 0 {
+		r.skipped.Add(uint64(skipped))
+	}
+}
+
 // Snapshot is a consistent-enough point-in-time copy of the registry: each
 // counter is read atomically (the set is not read under one lock, which is
 // fine for monitoring).
@@ -78,6 +92,10 @@ type Snapshot struct {
 	SlowQueries uint64
 	// InFlight is the number of executions currently running.
 	InFlight int64
+	// Batches counts NextBatch calls driven through plan roots; Skipped
+	// counts index postings bypassed by skip-ahead seeks. Both stay 0
+	// while every query runs tuple-at-a-time.
+	Batches, Skipped uint64
 	// TotalTime is the summed latency of all completed executions.
 	TotalTime time.Duration
 	// P50, P95 and P99 are latency quantiles (bucket upper bounds of the
@@ -94,6 +112,8 @@ func (r *Registry) Snapshot() Snapshot {
 		Errors:      r.errors.Load(),
 		SlowQueries: r.slow.Load(),
 		InFlight:    r.inFlight.Load(),
+		Batches:     r.batches.Load(),
+		Skipped:     r.skipped.Load(),
 		TotalTime:   time.Duration(r.latSum.Load()),
 	}
 	for i := range s.buckets {
@@ -140,6 +160,8 @@ func (s Snapshot) WriteText(w io.Writer, prefix string) {
 	counter("queries_total", "Completed query executions.", s.Queries)
 	counter("query_errors_total", "Query executions that returned an error.", s.Errors)
 	counter("slow_queries_total", "Queries that crossed the slow-query threshold.", s.SlowQueries)
+	counter("exec_batches_total", "Tuple batches driven through plan roots.", s.Batches)
+	counter("exec_skipped_tuples_total", "Index postings bypassed by skip-ahead seeks.", s.Skipped)
 	fmt.Fprintf(w, "# HELP %s_queries_in_flight Query executions currently running.\n# TYPE %s_queries_in_flight gauge\n%s_queries_in_flight %d\n",
 		prefix, prefix, prefix, s.InFlight)
 	fmt.Fprintf(w, "# HELP %s_query_latency_seconds Query latency distribution.\n# TYPE %s_query_latency_seconds summary\n", prefix, prefix)

@@ -1,0 +1,270 @@
+package storage
+
+import (
+	"testing"
+
+	"sjos/internal/xmltree"
+)
+
+// tagPostings returns the document's postings for tag, in document order,
+// as (id, start) pairs — the oracle for the scanner tests below.
+func tagPostings(doc *xmltree.Document, tag xmltree.TagID) ([]xmltree.NodeID, []xmltree.Pos) {
+	ids := doc.NodesWithTag(tag)
+	starts := make([]xmltree.Pos, len(ids))
+	for i, id := range ids {
+		starts[i] = doc.Start(id)
+	}
+	return ids, starts
+}
+
+// drainScanner collects every remaining posting of sc.
+func drainScanner(t *testing.T, sc *TagScanner) []xmltree.NodeID {
+	t.Helper()
+	var out []xmltree.NodeID
+	for {
+		id, _, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, id)
+	}
+}
+
+func equalIDs(a, b []xmltree.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestScanTagRangeBoundaries covers the half-open range contract on exact
+// posting positions: Lo on a posting includes it, Hi on a posting excludes
+// it, an empty range yields nothing, and a range past the last posting
+// yields nothing.
+func TestScanTagRangeBoundaries(t *testing.T) {
+	doc := buildDoc(t, 4000)
+	st, err := BuildStore(doc, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := xmltree.TagID(0)
+	ids, starts := tagPostings(doc, tag)
+	if len(ids) < 4 {
+		t.Fatalf("need at least 4 postings, got %d", len(ids))
+	}
+	mid, last := len(ids)/2, len(ids)-1
+
+	cases := []struct {
+		name   string
+		lo, hi xmltree.Pos
+		want   []xmltree.NodeID
+	}{
+		{"lo exactly on a posting", starts[mid], starts[last] + 1, ids[mid:]},
+		{"hi exactly on a posting (excluded)", starts[0], starts[mid], ids[:mid]},
+		{"both bounds on postings", starts[1], starts[last], ids[1:last]},
+		{"empty range lo==hi", starts[mid], starts[mid], nil},
+		{"empty range between postings", starts[mid] + 1, starts[mid] + 1, nil},
+		{"range past the last posting", starts[last] + 1, starts[last] + 1000, nil},
+		{"range before the first posting", 0, starts[0], nil},
+		{"full range", 0, starts[last] + 1, ids},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := drainScanner(t, st.ScanTagRange(tag, tc.lo, tc.hi))
+			if !equalIDs(got, tc.want) {
+				t.Fatalf("got %d postings, want %d", len(got), len(tc.want))
+			}
+		})
+	}
+}
+
+// TestScanTagRangeParksAfterEnd checks that a bounded scanner that hit its
+// range end stays exhausted (repeated Next keeps returning !ok).
+func TestScanTagRangeParksAfterEnd(t *testing.T) {
+	doc := buildDoc(t, 1000)
+	st, err := BuildStore(doc, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := xmltree.TagID(1)
+	_, starts := tagPostings(doc, tag)
+	sc := st.ScanTagRange(tag, 0, starts[len(starts)/2])
+	drainScanner(t, sc)
+	for i := 0; i < 3; i++ {
+		if _, _, ok, err := sc.Next(); ok || err != nil {
+			t.Fatalf("exhausted scanner: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// TestSeekGE covers the skip-ahead entry points: seek before the first
+// posting, to an exact posting, between postings, past the end, repeated
+// and backwards (no-op) seeks — against both plain and range-bounded
+// scanners.
+func TestSeekGE(t *testing.T) {
+	doc := buildDoc(t, 4000)
+	st, err := BuildStore(doc, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := xmltree.TagID(2)
+	ids, starts := tagPostings(doc, tag)
+	if len(ids) < 8 {
+		t.Fatalf("need at least 8 postings, got %d", len(ids))
+	}
+	last := len(ids) - 1
+
+	t.Run("before first", func(t *testing.T) {
+		sc := st.ScanTag(tag)
+		skipped, err := sc.SeekGE(0)
+		if err != nil || skipped != 0 {
+			t.Fatalf("skipped=%d err=%v, want 0, nil", skipped, err)
+		}
+		if got := drainScanner(t, sc); !equalIDs(got, ids) {
+			t.Fatalf("seek to 0 lost postings: %d of %d", len(got), len(ids))
+		}
+	})
+	t.Run("exactly on a posting", func(t *testing.T) {
+		sc := st.ScanTag(tag)
+		mid := len(ids) / 2
+		skipped, err := sc.SeekGE(starts[mid])
+		if err != nil || skipped != mid {
+			t.Fatalf("skipped=%d err=%v, want %d, nil", skipped, err, mid)
+		}
+		if got := drainScanner(t, sc); !equalIDs(got, ids[mid:]) {
+			t.Fatalf("got %d postings, want %d", len(got), len(ids)-mid)
+		}
+	})
+	t.Run("between postings", func(t *testing.T) {
+		sc := st.ScanTag(tag)
+		mid := len(ids) / 2
+		// A position strictly between posting mid-1 and mid lands on mid.
+		pos := starts[mid-1] + 1
+		if pos > starts[mid] {
+			t.Skip("adjacent postings")
+		}
+		if _, err := sc.SeekGE(pos); err != nil {
+			t.Fatal(err)
+		}
+		if got := drainScanner(t, sc); !equalIDs(got, ids[mid:]) {
+			t.Fatalf("got %d postings, want %d", len(got), len(ids)-mid)
+		}
+	})
+	t.Run("past the end", func(t *testing.T) {
+		sc := st.ScanTag(tag)
+		skipped, err := sc.SeekGE(starts[last] + 1)
+		if err != nil || skipped != len(ids) {
+			t.Fatalf("skipped=%d err=%v, want %d, nil", skipped, err, len(ids))
+		}
+		if got := drainScanner(t, sc); len(got) != 0 {
+			t.Fatalf("scanner returned %d postings after seek past end", len(got))
+		}
+	})
+	t.Run("repeated seeks are monotone", func(t *testing.T) {
+		sc := st.ScanTag(tag)
+		q1, q3 := len(ids)/4, 3*len(ids)/4
+		if _, err := sc.SeekGE(starts[q3]); err != nil {
+			t.Fatal(err)
+		}
+		// A backwards seek must not rewind.
+		if skipped, err := sc.SeekGE(starts[q1]); err != nil || skipped != 0 {
+			t.Fatalf("backwards seek: skipped=%d err=%v", skipped, err)
+		}
+		if got := drainScanner(t, sc); !equalIDs(got, ids[q3:]) {
+			t.Fatalf("got %d postings, want %d", len(got), len(ids)-q3)
+		}
+	})
+	t.Run("interleaved with Next", func(t *testing.T) {
+		sc := st.ScanTag(tag)
+		for i := 0; i < 2; i++ {
+			if _, _, ok, err := sc.Next(); !ok || err != nil {
+				t.Fatalf("Next: ok=%v err=%v", ok, err)
+			}
+		}
+		mid := len(ids) / 2
+		if _, err := sc.SeekGE(starts[mid]); err != nil {
+			t.Fatal(err)
+		}
+		if got := drainScanner(t, sc); !equalIDs(got, ids[mid:]) {
+			t.Fatalf("got %d postings, want %d", len(got), len(ids)-mid)
+		}
+	})
+	t.Run("bounded scanner seeks inside its range", func(t *testing.T) {
+		lo, hi := len(ids)/4, 3*len(ids)/4
+		sc := st.ScanTagRange(tag, starts[lo], starts[hi])
+		// Seeking before the range's Lo must not escape it.
+		if _, err := sc.SeekGE(0); err != nil {
+			t.Fatal(err)
+		}
+		mid := len(ids) / 2
+		if _, err := sc.SeekGE(starts[mid]); err != nil {
+			t.Fatal(err)
+		}
+		if got := drainScanner(t, sc); !equalIDs(got, ids[mid:hi]) {
+			t.Fatalf("got %d postings, want %d", len(got), hi-mid)
+		}
+	})
+}
+
+// TestNextBlockMatchesNext checks the batched read path against the
+// tuple-at-a-time scanner for plain, bounded and seek-interleaved scans,
+// across block sizes that straddle page boundaries.
+func TestNextBlockMatchesNext(t *testing.T) {
+	doc := buildDoc(t, 6000)
+	st, err := BuildStore(doc, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tg := 0; tg < doc.NumTags(); tg++ {
+		tag := xmltree.TagID(tg)
+		ids, starts := tagPostings(doc, tag)
+		for _, blockSize := range []int{1, 7, 256, 5000} {
+			sc := st.ScanTag(tag)
+			var got []xmltree.NodeID
+			buf := make([]xmltree.NodeID, blockSize)
+			for {
+				n, err := sc.NextBlock(buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n == 0 {
+					break
+				}
+				got = append(got, buf[:n]...)
+			}
+			if !equalIDs(got, ids) {
+				t.Fatalf("tag %d block %d: got %d postings, want %d", tg, blockSize, len(got), len(ids))
+			}
+		}
+		if len(ids) < 4 {
+			continue
+		}
+		// Bounded block scan agrees with the bounded tuple scan.
+		lo, hi := starts[len(ids)/4], starts[3*len(ids)/4]
+		want := drainScanner(t, st.ScanTagRange(tag, lo, hi))
+		sc := st.ScanTagRange(tag, lo, hi)
+		var got []xmltree.NodeID
+		buf := make([]xmltree.NodeID, 64)
+		for {
+			n, err := sc.NextBlock(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if !equalIDs(got, want) {
+			t.Fatalf("tag %d bounded block scan: got %d postings, want %d", tg, len(got), len(want))
+		}
+	}
+}

@@ -241,7 +241,15 @@ func (sc *TagScanner) posting(i int) (xmltree.NodeID, error) {
 // seek positions the scanner on the first posting with Start >= lo.
 func (sc *TagScanner) seek() error {
 	sc.seeked = true
-	lo, hi := 0, sc.run.count
+	return sc.advanceTo(sc.lo)
+}
+
+// advanceTo binary-searches the unread postings [sc.i, count) for the first
+// one with Start >= pos and moves the cursor there. Postings are in document
+// order, and document order is Start order, so the search costs O(log n)
+// positioned page reads through the buffer pool.
+func (sc *TagScanner) advanceTo(pos xmltree.Pos) error {
+	lo, hi := sc.i, sc.run.count
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
 		id, err := sc.posting(mid)
@@ -252,7 +260,7 @@ func (sc *TagScanner) seek() error {
 		if err != nil {
 			return err
 		}
-		if rec.Start < sc.lo {
+		if rec.Start < pos {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -260,6 +268,26 @@ func (sc *TagScanner) seek() error {
 	}
 	sc.i = lo
 	return nil
+}
+
+// SeekGE skips the scanner forward to the first unread posting whose Start
+// position is >= pos, bypassing every posting in between without reading it
+// sequentially — the index skip-ahead behind the executor's Seeker
+// interface. Seeks only move forward: a pos at or before the current
+// position is a no-op. It returns how many postings were skipped. For a
+// bounded scanner the pending initial seek to the range's Lo runs first, so
+// SeekGE never escapes the range's lower bound.
+func (sc *TagScanner) SeekGE(pos xmltree.Pos) (int, error) {
+	if sc.bounded && !sc.seeked {
+		if err := sc.seek(); err != nil {
+			return 0, err
+		}
+	}
+	before := sc.i
+	if err := sc.advanceTo(pos); err != nil {
+		return 0, err
+	}
+	return sc.i - before, nil
 }
 
 // Next returns the next (NodeID, NodeRecord) for the tag. ok is false when
@@ -288,6 +316,92 @@ func (sc *TagScanner) Next() (xmltree.NodeID, NodeRecord, bool, error) {
 	}
 	sc.i++
 	return id, rec, true, nil
+}
+
+// NextBlock fills ids with the next postings of the tag, returning how many
+// were produced (0 at end of stream). It is the batched counterpart of Next:
+// each postings page is pinned once per block rather than once per posting,
+// and an unbounded scanner fetches no node records at all — the executor
+// resolves positions through the in-memory document. A bounded scanner
+// still checks each posting's Start against the range end, reading the node
+// records with one pin per node page instead of one per posting.
+func (sc *TagScanner) NextBlock(ids []xmltree.NodeID) (int, error) {
+	if sc.bounded && !sc.seeked {
+		if err := sc.seek(); err != nil {
+			return 0, err
+		}
+	}
+	n := 0
+	for n < len(ids) && sc.i < sc.run.count {
+		global := sc.run.offset + sc.i
+		p := sc.run.firstPage + PageID(global/postingsPerPage)
+		off := global % postingsPerPage
+		avail := postingsPerPage - off // postings left on this page
+		if rem := sc.run.count - sc.i; avail > rem {
+			avail = rem
+		}
+		if want := len(ids) - n; avail > want {
+			avail = want
+		}
+		pg, err := sc.store.pool.Get(p)
+		if err != nil {
+			return n, err
+		}
+		for k := 0; k < avail; k++ {
+			ids[n+k] = xmltree.NodeID(binary.LittleEndian.Uint32(pg[(off+k)*postingSize:]))
+		}
+		sc.store.pool.Unpin(p, false)
+		if sc.bounded {
+			kept, err := sc.clipAtRangeEnd(ids[n : n+avail])
+			if err != nil {
+				return n, err
+			}
+			n += kept
+			sc.i += kept
+			if kept < avail {
+				sc.i = sc.run.count // range exhausted: park at end
+				return n, nil
+			}
+			continue
+		}
+		n += avail
+		sc.i += avail
+	}
+	return n, nil
+}
+
+// clipAtRangeEnd returns how many leading ids (in document order) still have
+// Start < the range end, reading node records with one pin per node page.
+func (sc *TagScanner) clipAtRangeEnd(ids []xmltree.NodeID) (int, error) {
+	var (
+		pg      *Page
+		curPage PageID
+	)
+	defer func() {
+		if pg != nil {
+			sc.store.pool.Unpin(curPage, false)
+		}
+	}()
+	for k, id := range ids {
+		p := PageID(int(id) / nodesPerPage)
+		if pg == nil || p != curPage {
+			if pg != nil {
+				sc.store.pool.Unpin(curPage, false)
+				pg = nil
+			}
+			var err error
+			pg, err = sc.store.pool.Get(p)
+			if err != nil {
+				return 0, err
+			}
+			curPage = p
+		}
+		off := (int(id) % nodesPerPage) * nodeRecSize
+		if start := xmltree.Pos(binary.LittleEndian.Uint32(pg[off:])); start >= sc.hi {
+			return k, nil
+		}
+	}
+	return len(ids), nil
 }
 
 // Remaining returns how many postings are left to scan. For a bounded

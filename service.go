@@ -169,8 +169,14 @@ type RunOptions struct {
 	// Trace enables per-operator instrumentation: wall time, Next calls
 	// and output rows per plan operator, reported as RunResult.Trace.
 	// It costs two clock reads per operator per tuple; leave it off on
-	// hot paths (disabled tracing adds no per-operator work).
+	// hot paths (disabled tracing adds no per-operator work). On the
+	// batched path (the default) the instrumentation is per batch, so
+	// tracing there is near-free.
 	Trace bool
+	// NoBatch disables the batched (vectorized) execution path and runs
+	// the plan tuple-at-a-time. Batched execution produces identical
+	// results; this is an escape hatch for debugging and A/B measurement.
+	NoBatch bool
 }
 
 // RunResult is the outcome of one Run call.
@@ -202,6 +208,9 @@ func (db *Database) Run(ctx context.Context, pat *Pattern, p *Plan, opts RunOpti
 	t0 := time.Now()
 	res, err := db.run(ctx, pat, p, opts)
 	db.svc.metrics.QueryFinished(time.Since(t0), err)
+	if res != nil {
+		db.svc.metrics.ExecBatched(res.Stats.Batches, res.Stats.SkippedTuples)
+	}
 	return res, err
 }
 
@@ -235,7 +244,7 @@ func (db *Database) run(ctx context.Context, pat *Pattern, p *Plan, opts RunOpti
 	ectx := &exec.Context{Doc: db.doc, Store: db.store}
 	res := &RunResult{}
 	if workers > 0 {
-		pe := &exec.ParallelExec{Workers: workers}
+		pe := &exec.ParallelExec{Workers: workers, Batch: !opts.NoBatch}
 		if tb != nil {
 			pe.BuildOp = tb.Build
 		}
@@ -275,9 +284,18 @@ func (db *Database) run(ctx context.Context, pat *Pattern, p *Plan, opts RunOpti
 	if err != nil {
 		return nil, err
 	}
+	// The driver picks the execution mode at the root: DrainBatched/
+	// CountBatched pull NextBatch through the whole tree, Drain/Count pull
+	// tuples. The operator tree itself is mode-agnostic.
+	drain := exec.Drain
+	count := exec.Count
+	if !opts.NoBatch {
+		drain = exec.DrainBatched
+		count = exec.CountBatched
+	}
 	switch {
 	case opts.Limit > 0:
-		out, err := exec.Drain(ectx, exec.NewLimit(op, opts.Limit))
+		out, err := drain(ectx, exec.NewLimit(op, opts.Limit))
 		if err != nil {
 			return nil, err
 		}
@@ -287,13 +305,13 @@ func (db *Database) run(ctx context.Context, pat *Pattern, p *Plan, opts RunOpti
 			res.Matches = out
 		}
 	case opts.CountOnly:
-		n, err := exec.Count(ectx, op)
+		n, err := count(ectx, op)
 		if err != nil {
 			return nil, err
 		}
 		res.Count = n
 	default:
-		out, err := exec.Drain(ectx, op)
+		out, err := drain(ectx, op)
 		if err != nil {
 			return nil, err
 		}
@@ -323,6 +341,9 @@ type QueryOptions struct {
 	// Trace enables per-operator instrumentation for this query; the
 	// trace is reported as QueryResult.Trace.
 	Trace bool
+	// NoBatch disables the batched execution path for this query (see
+	// RunOptions.NoBatch).
+	NoBatch bool
 	// SlowQueryThreshold, when > 0, overrides the database-level
 	// slow-query threshold (SetSlowQueryLog) for this call.
 	SlowQueryThreshold time.Duration
@@ -367,7 +388,7 @@ func (db *Database) QueryPatternContext(ctx context.Context, pat *Pattern, opts 
 	}
 	optTime := time.Since(t0)
 	t1 := time.Now()
-	rr, err := db.Run(ctx, pat, res.Plan, RunOptions{Limit: opts.Limit, Trace: opts.Trace || thr > 0})
+	rr, err := db.Run(ctx, pat, res.Plan, RunOptions{Limit: opts.Limit, Trace: opts.Trace || thr > 0, NoBatch: opts.NoBatch})
 	if err != nil {
 		return nil, fmt.Errorf("sjos: executing %v plan: %w", opts.Method, err)
 	}
