@@ -13,7 +13,7 @@
 GO    ?= go
 BENCH ?= Parallel
 
-.PHONY: all build test test-race vet check bench benchquick clean
+.PHONY: all build test test-race vet check chaos bench benchquick clean
 
 all: build test
 
@@ -30,6 +30,14 @@ vet:
 	$(GO) vet ./...
 
 check: vet test-race
+
+# Fault-injection differential suite under the race detector: every
+# optimizer method over an injected-fault store must return the exact
+# fault-free result or a typed error — never a wrong answer or a panic.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestRunRecovers|TestAdmission|TestDrain|TestQueryPath|TestWriteMetricsResilience' .
+	$(GO) test -race -run 'ParallelExecReleasesPins|ParallelExecRecoversWorkerPanics|PropagatesStorageErrors' ./internal/exec/
+	$(GO) test -race ./internal/faultfs/ ./internal/admission/
 
 bench: test-race
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -json . | tee BENCH_parallel.json

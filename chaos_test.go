@@ -1,0 +1,199 @@
+package sjos
+
+// Chaos differential suite: every optimizer method's plan runs over a store
+// whose page file injects read failures and corruption at swept fault
+// points, in all four execution modes (serial/parallel × batched/tuple).
+// The contract is differential — each run must either produce exactly the
+// fault-free result or return the injected (typed) error. Never a wrong
+// answer, never a panic, never a pinned frame left behind.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sjos/internal/faultfs"
+	"sjos/internal/storage"
+	"sjos/internal/xmltree"
+)
+
+// chaosDB builds a database whose pages live on a fault-injecting file
+// (initially fault-free) with a deliberately tiny buffer pool, so queries
+// perform physical reads that the policy can intercept.
+func chaosDB(t *testing.T, seed int64, n int) (*Database, *faultfs.File) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	doc := xmltree.RandomDocument(rng, n, []string{"a", "b", "c"})
+	ff := faultfs.Wrap(storage.NewMemFile(), faultfs.Policy{})
+	db, err := fromDocument(doc, &Options{PageFile: ff, PoolFrames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, ff
+}
+
+// runChaos executes one plan under the current fault policy and enforces the
+// invariants that hold regardless of outcome: no panic-typed error, no
+// leaked pins.
+func runChaos(t *testing.T, db *Database, pat *Pattern, p *Plan, opts RunOptions) (*RunResult, error) {
+	t.Helper()
+	res, err := db.Run(context.Background(), pat, p, opts)
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		t.Fatalf("panic escaped as error: %v\n%s", pe, pe.Stack)
+	}
+	if pinned := db.PoolStats().Pinned; pinned != 0 {
+		t.Fatalf("pin leak: %d frames still pinned", pinned)
+	}
+	return res, err
+}
+
+// faultPoints picks fault ordinals spanning a mode's read count: the first
+// read, mid-flight, and the last.
+func faultPoints(reads int) []int {
+	if reads < 1 {
+		reads = 1
+	}
+	pts := []int{1}
+	for _, p := range []int{reads / 2, reads} {
+		if p > pts[len(pts)-1] {
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func TestChaosDifferential(t *testing.T) {
+	db, ff := chaosDB(t, 42, 5000)
+	pat := MustParsePattern("//a//b//c")
+	methods := []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP}
+	modes := []struct {
+		name string
+		opts RunOptions
+	}{
+		{"serial-batch", RunOptions{}},
+		{"serial-tuple", RunOptions{NoBatch: true}},
+		{"parallel-batch", RunOptions{Workers: 2}},
+		{"parallel-tuple", RunOptions{Workers: 2, NoBatch: true}},
+	}
+	want := -1
+	var failFired, corruptFired, healed int
+	for _, m := range methods {
+		opt, err := db.Optimize(pat, m, 0)
+		if err != nil {
+			t.Fatalf("%v: optimize: %v", m, err)
+		}
+		for _, mode := range modes {
+			// Fault-free baseline; also measures this mode's physical read
+			// count so the fault sweep covers its real I/O schedule.
+			ff.SetPolicy(faultfs.Policy{})
+			base, err := runChaos(t, db, pat, opt.Plan, mode.opts)
+			if err != nil {
+				t.Fatalf("%v/%s: baseline: %v", m, mode.name, err)
+			}
+			if want == -1 {
+				want = base.Count
+			} else if base.Count != want {
+				t.Fatalf("%v/%s: baseline count = %d, want %d", m, mode.name, base.Count, want)
+			}
+			reads := int(ff.Reads())
+			for _, p := range faultPoints(reads) {
+				// Permanent read failure: correct result (fault point past
+				// this run's reads) or the injected error.
+				ff.SetPolicy(faultfs.Policy{FailNthRead: p})
+				if res, err := runChaos(t, db, pat, opt.Plan, mode.opts); err != nil {
+					failFired++
+					if !errors.Is(err, faultfs.ErrInjected) {
+						t.Fatalf("%v/%s failNth=%d: error = %v, want injected", m, mode.name, p, err)
+					}
+				} else if res.Count != want {
+					t.Fatalf("%v/%s failNth=%d: count = %d, want %d", m, mode.name, p, res.Count, want)
+				}
+
+				// Transient read failure: the pool's retry loop must heal it
+				// — the full, correct result, no error.
+				ff.SetPolicy(faultfs.Policy{FailNthRead: p, Transient: true})
+				res, err := runChaos(t, db, pat, opt.Plan, mode.opts)
+				if err != nil {
+					t.Fatalf("%v/%s transient failNth=%d: %v", m, mode.name, p, err)
+				}
+				if res.Count != want {
+					t.Fatalf("%v/%s transient failNth=%d: count = %d, want %d", m, mode.name, p, res.Count, want)
+				}
+				if ff.FaultsInjected() > 0 {
+					healed++
+				}
+
+				// Permanent corruption: checksum verification must catch the
+				// flipped bit and surface a typed CorruptPageError.
+				ff.SetPolicy(faultfs.Policy{CorruptNthRead: p})
+				if res, err := runChaos(t, db, pat, opt.Plan, mode.opts); err != nil {
+					corruptFired++
+					var ce *CorruptPageError
+					if !errors.As(err, &ce) {
+						t.Fatalf("%v/%s corruptNth=%d: error = %v, want *CorruptPageError", m, mode.name, p, err)
+					}
+				} else if res.Count != want {
+					t.Fatalf("%v/%s corruptNth=%d: count = %d, want %d", m, mode.name, p, res.Count, want)
+				}
+
+				// Transient corruption (a torn read): one bad copy, re-read
+				// clean — must heal to the correct result.
+				ff.SetPolicy(faultfs.Policy{CorruptNthRead: p, Transient: true})
+				before := db.PoolStats().ChecksumFailures
+				res, err = runChaos(t, db, pat, opt.Plan, mode.opts)
+				if err != nil {
+					t.Fatalf("%v/%s transient corruptNth=%d: %v", m, mode.name, p, err)
+				}
+				if res.Count != want {
+					t.Fatalf("%v/%s transient corruptNth=%d: count = %d, want %d", m, mode.name, p, res.Count, want)
+				}
+				if ff.FaultsInjected() > 0 && db.PoolStats().ChecksumFailures <= before {
+					t.Fatalf("%v/%s transient corruptNth=%d: corruption injected but no checksum failure counted", m, mode.name, p)
+				}
+			}
+		}
+	}
+	// The sweep must actually exercise the error paths, not just baselines.
+	if failFired == 0 || corruptFired == 0 || healed == 0 {
+		t.Fatalf("chaos sweep too tame: %d fail, %d corrupt, %d healed runs fired", failFired, corruptFired, healed)
+	}
+	// The store's injected-fault count surfaces through the metrics probe.
+	if db.Metrics().FaultsInjected == 0 {
+		t.Fatal("Metrics().FaultsInjected = 0 after a chaos sweep")
+	}
+}
+
+// TestChaosProbabilistic drives seeded random fault injection (the same
+// engine behind xqbench -chaos) across every method: with transient faults
+// and retries every run must come back correct.
+func TestChaosProbabilistic(t *testing.T) {
+	db, ff := chaosDB(t, 43, 4000)
+	pat := MustParsePattern("//a//b")
+	base, err := db.Run(context.Background(), pat, mustPlan(t, db, pat, MethodDP), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP} {
+		p := mustPlan(t, db, pat, m)
+		ff.SetPolicy(faultfs.Policy{FailProb: 0.05, Seed: int64(m) + 1, Transient: true})
+		res, err := runChaos(t, db, pat, p, RunOptions{Workers: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Count != base.Count {
+			t.Fatalf("%v: count = %d, want %d", m, res.Count, base.Count)
+		}
+	}
+	ff.SetPolicy(faultfs.Policy{})
+}
+
+func mustPlan(t *testing.T, db *Database, pat *Pattern, m Method) *Plan {
+	t.Helper()
+	res, err := db.Optimize(pat, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Plan
+}

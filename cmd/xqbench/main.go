@@ -11,6 +11,7 @@
 //	xqbench -cachebench         # plan cache: cold vs warm optimize phase
 //	xqbench -batchbench         # batched executor vs tuple-at-a-time, table 3 workload
 //	xqbench -table 3 -nobatch   # run table 3 tuple-at-a-time (batching escape hatch)
+//	xqbench -chaos              # fault-injected runs: every result correct or typed error
 //	xqbench -all                # everything (without -full folds)
 package main
 
@@ -35,6 +36,10 @@ func main() {
 	batchbench := flag.Bool("batchbench", false, "measure batched vs tuple-at-a-time execution on the table 3 workload")
 	nobatch := flag.Bool("nobatch", false, "run table 3 tuple-at-a-time instead of batched (escape hatch)")
 	method := flag.String("method", "DPP", "optimizer for -cachebench and -batchbench")
+	chaos := flag.Bool("chaos", false, "drive all queries and methods over a fault-injecting store")
+	chaosIters := flag.Int("chaositers", 0, "fault iterations per query x method for -chaos (0 = default)")
+	chaosProb := flag.Float64("chaosprob", 0, "per-read transient fault probability for -chaos (0 = default)")
+	chaosSeed := flag.Int64("chaosseed", 1, "fault schedule seed for -chaos")
 	flag.Parse()
 
 	if *census {
@@ -46,7 +51,7 @@ func main() {
 			return
 		}
 	}
-	if !*all && !*census && !*cachebench && !*batchbench && *table == 0 && *figure == 0 {
+	if !*all && !*census && !*cachebench && !*batchbench && !*chaos && *table == 0 && *figure == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -54,6 +59,20 @@ func main() {
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "xqbench: %s: %v\n", name, err)
 			os.Exit(1)
+		}
+	}
+	if *chaos {
+		run("chaos", func() error {
+			cfg := experiments.ChaosConfig{Iters: *chaosIters, Prob: *chaosProb, Seed: *chaosSeed}
+			rows, err := experiments.Chaos(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderChaos(rows, cfg))
+			return nil
+		})
+		if !*all && !*cachebench && !*batchbench && *table == 0 && *figure == 0 {
+			return
 		}
 	}
 	if *cachebench {

@@ -15,16 +15,26 @@
 //
 // A -slowquery threshold logs offending queries (fingerprint, method,
 // duration, per-operator trace) to stderr and retains them for /slow.
+//
+// The server sheds load and exits gracefully: -maxinflight bounds how many
+// queries execute at once (with up to -queuedepth more waiting; arrivals
+// past that get 503), and on SIGTERM/SIGINT the server stops accepting,
+// drains in-flight queries for up to -draintimeout, then exits.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
+	"time"
 
 	"sjos"
 )
@@ -37,11 +47,15 @@ func main() {
 	parallel := flag.Int("parallel", 0, "partition-parallel workers (0 = serial, -1 = GOMAXPROCS)")
 	addr := flag.String("addr", ":8377", "listen address")
 	slowQuery := flag.Duration("slowquery", 0, "slow-query log threshold (0 = disabled)")
+	maxInFlight := flag.Int("maxinflight", 0, "max concurrently executing queries (0 = unlimited)")
+	queueDepth := flag.Int("queuedepth", 0, "queries allowed to wait for an execution slot when -maxinflight is set")
+	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "how long shutdown waits for in-flight queries")
 	flag.Parse()
 	if (*xmlPath == "") == (*dataset == "") {
 		fmt.Fprintln(os.Stderr, "xqserve: need exactly one of -xml / -dataset")
 		os.Exit(2)
 	}
+	opts := &sjos.Options{MaxInFlight: *maxInFlight, QueueDepth: *queueDepth}
 	var db *sjos.Database
 	var err error
 	if *xmlPath != "" {
@@ -49,10 +63,10 @@ func main() {
 		if ferr != nil {
 			log.Fatalf("xqserve: %v", ferr)
 		}
-		db, err = sjos.LoadXML(f, nil)
+		db, err = sjos.LoadXML(f, opts)
 		f.Close()
 	} else {
-		db, err = sjos.GenerateDataset(*dataset, 1, *fold, nil)
+		db, err = sjos.GenerateDataset(*dataset, 1, *fold, opts)
 	}
 	if err != nil {
 		log.Fatalf("xqserve: %v", err)
@@ -71,7 +85,29 @@ func main() {
 		})
 	}
 	log.Printf("xqserve: %d element nodes loaded; optimizer %s; listening on %s", db.NumNodes(), m, *addr)
-	log.Fatal(http.ListenAndServe(*addr, newMux(db, m)))
+	srv := &http.Server{Addr: *addr, Handler: newMux(db, m)}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatalf("xqserve: %v", err)
+	case <-ctx.Done():
+	}
+	// Graceful exit: stop accepting connections, then wait for every
+	// admitted query to finish (new arrivals already get 503 via the
+	// database's drain) — both bounded by -draintimeout.
+	log.Printf("xqserve: shutting down (draining for up to %v)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := db.Drain(dctx); err != nil {
+		log.Printf("xqserve: drain: %v (queries still running)", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("xqserve: shutdown: %v", err)
+	}
+	log.Printf("xqserve: bye")
 }
 
 // queryResponse is the /query JSON payload.
@@ -129,6 +165,13 @@ func newMux(db *sjos.Database, defaultMethod sjos.Method) *http.ServeMux {
 		opts.Trace = boolParam(r, "trace")
 		res, err := db.QueryContext(r.Context(), src, opts)
 		if err != nil {
+			// Load shed and shutdown are retryable service conditions, not
+			// client errors.
+			if errors.Is(err, sjos.ErrOverloaded) || errors.Is(err, sjos.ErrShuttingDown) {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -148,5 +149,32 @@ func TestServeSlow(t *testing.T) {
 	e := entries[0]
 	if e.Fingerprint == "" || e.Matches != 2 || e.Trace == nil {
 		t.Fatalf("slow entry: %+v", e)
+	}
+}
+
+// TestServeShedsLoad: admission errors surface as 503 + Retry-After, not 400.
+func TestServeShedsLoad(t *testing.T) {
+	db, err := sjos.LoadXMLString(`<db><manager><name>alice</name></manager></db>`,
+		&sjos.Options{MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(db, sjos.MethodDPP))
+	t.Cleanup(srv.Close)
+	// Draining with nothing in flight completes instantly and flips every
+	// later arrival into the shed path.
+	if err := db.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/query?q=//manager/name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
 	}
 }

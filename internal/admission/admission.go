@@ -1,0 +1,162 @@
+// Package admission bounds how many queries run concurrently: a
+// context-aware semaphore with a bounded wait queue. Callers past the
+// in-flight limit wait their turn; callers past the queue limit fail fast
+// with ErrOverloaded instead of piling up. Drain flips the controller into
+// shutdown: new arrivals get ErrShuttingDown and Drain returns once every
+// admitted query has released its slot — the server's graceful-exit
+// barrier.
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned when the wait queue is full: shedding load fast
+// beats queueing work the server cannot reach.
+var ErrOverloaded = errors.New("admission: overloaded (wait queue full)")
+
+// ErrShuttingDown is returned to queries arriving after Drain began.
+var ErrShuttingDown = errors.New("admission: shutting down")
+
+// Controller is the admission semaphore. A nil *Controller is valid and
+// admits everything (no limit configured).
+type Controller struct {
+	slots      chan struct{} // semaphore: acquire = send, release = receive
+	queueDepth int
+
+	draining  chan struct{} // closed when Drain begins
+	drainOnce sync.Once
+	drainMu   sync.Mutex   // serialises Drain callers
+	collected atomic.Int64 // drain tokens already collected
+
+	waiting  atomic.Int64 // callers blocked on a slot right now
+	queued   atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// Stats is a snapshot of admission counters.
+type Stats struct {
+	// InFlight is the number of currently held slots; Waiting the callers
+	// queued for one.
+	InFlight, Waiting int
+	// Queued counts acquisitions that had to wait; Rejected counts
+	// fast-fails (queue full or shutting down).
+	Queued, Rejected uint64
+}
+
+// New returns a controller admitting at most maxInFlight queries with up to
+// queueDepth more waiting. maxInFlight <= 0 returns nil — the unlimited
+// controller. queueDepth < 0 is treated as 0 (no waiting: the limit is a
+// hard fast-fail).
+func New(maxInFlight, queueDepth int) *Controller {
+	if maxInFlight <= 0 {
+		return nil
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &Controller{
+		slots:      make(chan struct{}, maxInFlight),
+		queueDepth: queueDepth,
+		draining:   make(chan struct{}),
+	}
+}
+
+// Acquire claims an execution slot, waiting in the bounded queue if all
+// slots are busy. It returns the release func the caller must invoke
+// exactly once when the query finishes, or an error: ErrOverloaded (queue
+// full), ErrShuttingDown (drain in progress), or ctx.Err() (caller gave up
+// waiting). On a nil controller it is a no-op admit.
+func (c *Controller) Acquire(ctx context.Context) (release func(), err error) {
+	if c == nil {
+		return func() {}, nil
+	}
+	select {
+	case <-c.draining:
+		c.rejected.Add(1)
+		return nil, ErrShuttingDown
+	default:
+	}
+	// Fast path: a slot is free.
+	select {
+	case c.slots <- struct{}{}:
+		return c.releaseFunc(), nil
+	default:
+	}
+	// Slow path: join the bounded wait queue.
+	if int(c.waiting.Add(1)) > c.queueDepth {
+		c.waiting.Add(-1)
+		c.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	c.queued.Add(1)
+	defer c.waiting.Add(-1)
+	select {
+	case c.slots <- struct{}{}:
+		// A waiter can win a slot in the same instant Drain begins; give
+		// it back so Drain's accounting stays exact (all cap slots held by
+		// Drain ⇒ nothing in flight).
+		select {
+		case <-c.draining:
+			<-c.slots
+			c.rejected.Add(1)
+			return nil, ErrShuttingDown
+		default:
+		}
+		return c.releaseFunc(), nil
+	case <-c.draining:
+		c.rejected.Add(1)
+		return nil, ErrShuttingDown
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (c *Controller) releaseFunc() func() {
+	var once sync.Once
+	return func() { once.Do(func() { <-c.slots }) }
+}
+
+// Drain stops admitting new queries and waits for every in-flight query to
+// release its slot (by acquiring all of them), or until ctx expires —
+// returning ctx.Err() with queries still running. Safe to call more than
+// once: a repeat call resumes collecting where a timed-out one stopped, and
+// returns immediately once the controller is fully drained. A nil
+// controller drains instantly.
+func (c *Controller) Drain(ctx context.Context) error {
+	if c == nil {
+		return nil
+	}
+	c.drainOnce.Do(func() { close(c.draining) })
+	c.drainMu.Lock()
+	defer c.drainMu.Unlock()
+	for int(c.collected.Load()) < cap(c.slots) {
+		select {
+		case c.slots <- struct{}{}:
+			c.collected.Add(1)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the controller's counters (zero for nil).
+func (c *Controller) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	inFlight := len(c.slots) - int(c.collected.Load())
+	if inFlight < 0 {
+		inFlight = 0
+	}
+	return Stats{
+		InFlight: inFlight,
+		Waiting:  int(c.waiting.Load()),
+		Queued:   c.queued.Load(),
+		Rejected: c.rejected.Load(),
+	}
+}

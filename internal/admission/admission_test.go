@@ -1,0 +1,268 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNilControllerAdmitsEverything(t *testing.T) {
+	var c *Controller
+	for i := 0; i < 100; i++ {
+		release, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	if err := c.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats() != (Stats{}) {
+		t.Fatal("nil controller has stats")
+	}
+}
+
+func TestNewUnlimited(t *testing.T) {
+	if New(0, 5) != nil || New(-1, 5) != nil {
+		t.Fatal("maxInFlight <= 0 should return the nil controller")
+	}
+}
+
+func TestAcquireReleaseBounds(t *testing.T) {
+	c := New(2, 0) // no queue: the third Acquire fast-fails
+	r1, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over limit: err = %v", err)
+	}
+	st := c.Stats()
+	if st.InFlight != 2 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	r1()
+	if r3, err := c.Acquire(context.Background()); err != nil {
+		t.Fatalf("after release: %v", err)
+	} else {
+		r3()
+	}
+	r2()
+	r2() // double release is a no-op, not a corrupted count
+	if got := c.Stats().InFlight; got != 0 {
+		t.Fatalf("InFlight = %d after all releases", got)
+	}
+}
+
+func TestQueueAdmitsWhenSlotFrees(t *testing.T) {
+	c := New(1, 4)
+	r1, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		release, err := c.Acquire(context.Background())
+		if err == nil {
+			release()
+		}
+		got <- err
+	}()
+	// The waiter must be queued, not rejected.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Waiting == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r1()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("queued acquire: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued waiter never admitted")
+	}
+	if st := c.Stats(); st.Queued != 1 {
+		t.Fatalf("Queued = %d, want 1", st.Queued)
+	}
+}
+
+func TestQueueDepthRejects(t *testing.T) {
+	c := New(1, 2)
+	release, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Acquire(ctx) // parks until cancel
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Waiting < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queue full: err = %v", err)
+	}
+	cancel()
+	wg.Wait()
+}
+
+func TestAcquireHonorsCancellation(t *testing.T) {
+	c := New(1, 4)
+	release, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx)
+		done <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Waiting == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled acquire: err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter did not return promptly")
+	}
+	if got := c.Stats().Waiting; got != 0 {
+		t.Fatalf("Waiting = %d after cancellation", got)
+	}
+}
+
+func TestDrainWaitsForInFlight(t *testing.T) {
+	c := New(2, 2)
+	r1, _ := c.Acquire(context.Background())
+	r2, _ := c.Acquire(context.Background())
+
+	drained := make(chan error, 1)
+	go func() { drained <- c.Drain(context.Background()) }()
+
+	// New arrivals are turned away during drain.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := c.Acquire(context.Background())
+		if errors.Is(err, ErrShuttingDown) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("acquire during drain: err = %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-drained:
+		t.Fatal("Drain returned with queries in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	r1()
+	r2()
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Drain never finished after releases")
+	}
+	// Idempotent.
+	if err := c.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain: %v", err)
+	}
+}
+
+func TestDrainTimeout(t *testing.T) {
+	c := New(1, 0)
+	release, _ := c.Acquire(context.Background())
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := c.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain with stuck query: err = %v", err)
+	}
+}
+
+// TestConcurrentHammer drives many goroutines through a small controller
+// (run with -race): the in-flight bound must never be exceeded and all
+// bookkeeping must settle at zero.
+func TestConcurrentHammer(t *testing.T) {
+	const limit = 4
+	c := New(limit, 16)
+	var inFlight, maxSeen atomic.Int64
+	var admitted, rejected atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				release, err := c.Acquire(context.Background())
+				if err != nil {
+					if !errors.Is(err, ErrOverloaded) {
+						t.Errorf("acquire: %v", err)
+						return
+					}
+					rejected.Add(1)
+					continue
+				}
+				admitted.Add(1)
+				n := inFlight.Add(1)
+				for {
+					m := maxSeen.Load()
+					if n <= m || maxSeen.CompareAndSwap(m, n) {
+						break
+					}
+				}
+				inFlight.Add(-1)
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxSeen.Load() > limit {
+		t.Fatalf("observed %d in flight, limit %d", maxSeen.Load(), limit)
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("nothing admitted")
+	}
+	st := c.Stats()
+	if st.InFlight != 0 || st.Waiting != 0 {
+		t.Fatalf("bookkeeping did not settle: %+v", st)
+	}
+	if err := c.Drain(context.Background()); err != nil {
+		t.Fatalf("drain after hammer: %v", err)
+	}
+}

@@ -18,6 +18,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"sjos/internal/storage"
@@ -94,6 +95,11 @@ type Context struct {
 	Doc   *xmltree.Document
 	Store *storage.Store
 	Stats Stats
+
+	// Ctx, when non-nil, is threaded into the store's page reads so a
+	// cancelled query aborts I/O waits (including buffer-pool retry
+	// backoffs) instead of only being noticed at the next Interrupt poll.
+	Ctx context.Context
 
 	// Range, when non-nil, restricts every IndexScan to candidates whose
 	// Start position lies in [Range.Lo, Range.Hi). The partition-parallel

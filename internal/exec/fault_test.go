@@ -1,65 +1,53 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
 
+	"sjos/internal/faultfs"
 	"sjos/internal/pattern"
 	"sjos/internal/plan"
 	"sjos/internal/storage"
 	"sjos/internal/xmltree"
 )
 
-// faultFile injects a read failure after a fixed number of physical reads,
-// exercising the executor's error propagation paths end to end.
-type faultFile struct {
-	inner     storage.PageFile
-	failAfter int
-	reads     int
-}
-
-var errInjected = errors.New("injected page-read failure")
-
-func (f *faultFile) ReadPage(id storage.PageID, dst *storage.Page) error {
-	f.reads++
-	if f.reads > f.failAfter {
-		return errInjected
-	}
-	return f.inner.ReadPage(id, dst)
-}
-
-func (f *faultFile) WritePage(id storage.PageID, src *storage.Page) error {
-	return f.inner.WritePage(id, src)
-}
-
-func (f *faultFile) NumPages() int { return f.inner.NumPages() }
-
-// faultyStore builds a store whose page file starts failing after
-// failAfter reads. The buffer pool is sized at 1 frame so almost every
+// faultyStore builds a store whose page file starts failing permanently at
+// the failNth physical read (faultfs.Policy semantics: the Nth and every
+// later read fail). The buffer pool is sized at 1 frame so almost every
 // access is a physical read.
-func faultyStore(t *testing.T, doc *xmltree.Document, failAfter int) *storage.Store {
+func faultyStore(t *testing.T, doc *xmltree.Document, failNth int) *storage.Store {
 	t.Helper()
-	ff := &faultFile{inner: storage.NewMemFile(), failAfter: 1 << 30}
+	ff := faultfs.Wrap(storage.NewMemFile(), faultfs.Policy{})
 	st, err := storage.BuildStoreOn(ff, doc, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ff.failAfter = failAfter
-	ff.reads = 0
+	ff.SetPolicy(faultfs.Policy{FailNthRead: failNth})
 	return st
+}
+
+// assertNoPins is the pin-leak regression check: after any execution —
+// successful or failed — every buffer-pool page must be unpinned.
+func assertNoPins(t *testing.T, st *storage.Store) {
+	t.Helper()
+	if pinned := st.PoolStats().Pinned; pinned != 0 {
+		t.Fatalf("pin leak: %d pages still pinned after execution", pinned)
+	}
 }
 
 func TestScanPropagatesStorageErrors(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	doc := xmltree.RandomDocument(rng, 2000, []string{"a", "b"})
-	st := faultyStore(t, doc, 3)
+	st := faultyStore(t, doc, 4)
 	pat := pattern.MustParse("//a")
 	ctx := &Context{Doc: doc, Store: st}
 	_, err := Drain(ctx, NewIndexScan(pat, 0))
-	if !errors.Is(err, errInjected) {
+	if !errors.Is(err, faultfs.ErrInjected) {
 		t.Fatalf("scan error = %v, want injected failure", err)
 	}
+	assertNoPins(t, st)
 }
 
 func TestJoinPropagatesStorageErrors(t *testing.T) {
@@ -67,23 +55,24 @@ func TestJoinPropagatesStorageErrors(t *testing.T) {
 	doc := xmltree.RandomDocument(rng, 2000, []string{"a", "b"})
 	pat := pattern.MustParse("//a//b")
 	for _, algo := range []plan.Algo{plan.AlgoDesc, plan.AlgoAnc} {
-		st := faultyStore(t, doc, 10)
+		st := faultyStore(t, doc, 11)
 		j, err := NewStackTreeJoin(NewIndexScan(pat, 0), NewIndexScan(pat, 1),
 			0, 1, pattern.Descendant, algo)
 		if err != nil {
 			t.Fatal(err)
 		}
 		ctx := &Context{Doc: doc, Store: st}
-		if _, err := Drain(ctx, j); !errors.Is(err, errInjected) {
+		if _, err := Drain(ctx, j); !errors.Is(err, faultfs.ErrInjected) {
 			t.Fatalf("%v: error = %v, want injected failure", algo, err)
 		}
+		assertNoPins(t, st)
 	}
 }
 
 func TestSortPropagatesStorageErrors(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	doc := xmltree.RandomDocument(rng, 2000, []string{"a", "b"})
-	st := faultyStore(t, doc, 5)
+	st := faultyStore(t, doc, 6)
 	pat := pattern.MustParse("//a//b")
 	j, _ := NewStackTreeJoin(NewIndexScan(pat, 0), NewIndexScan(pat, 1),
 		0, 1, pattern.Descendant, plan.AlgoDesc)
@@ -92,17 +81,18 @@ func TestSortPropagatesStorageErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := &Context{Doc: doc, Store: st}
-	if _, err := Drain(ctx, s); !errors.Is(err, errInjected) {
+	if _, err := Drain(ctx, s); !errors.Is(err, faultfs.ErrInjected) {
 		t.Fatalf("sort error = %v, want injected failure", err)
 	}
+	assertNoPins(t, st)
 }
 
 // TestRunSurvivesZeroFailures double-checks the fault harness itself: with
-// the trigger beyond the workload's read count, execution succeeds.
+// no faults configured, execution succeeds.
 func TestRunSurvivesZeroFailures(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	doc := xmltree.RandomDocument(rng, 500, []string{"a", "b"})
-	st := faultyStore(t, doc, 1<<30)
+	st := faultyStore(t, doc, 0)
 	pat := pattern.MustParse("//a//b")
 	j, _ := NewStackTreeJoin(NewIndexScan(pat, 0), NewIndexScan(pat, 1),
 		0, 1, pattern.Descendant, plan.AlgoDesc)
@@ -114,5 +104,97 @@ func TestRunSurvivesZeroFailures(t *testing.T) {
 	want := ReferenceMatches(doc, pat)
 	if len(got) != len(want) {
 		t.Fatalf("fault-harness store returned %d matches, want %d", len(got), len(want))
+	}
+	assertNoPins(t, st)
+}
+
+// TestParallelExecReleasesPinsOnFailure drives the partition-parallel
+// executor into a mid-query storage error and asserts full worker teardown:
+// a typed error out, no pinned frames left behind.
+func TestParallelExecReleasesPinsOnFailure(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	doc := xmltree.RandomDocument(rng, 4000, []string{"a", "b", "c"})
+	pat := pattern.MustParse("//a//b")
+	pln := plan.NewJoin(plan.NewIndexScan(0), plan.NewIndexScan(1), 0, 1, pattern.Descendant, plan.AlgoDesc)
+	want := len(ReferenceMatches(doc, pat))
+	failed := 0
+	for _, batch := range []bool{false, true} {
+		// A few fault points: early (during the first scans) and later
+		// (mid-join), so both open-time and next-time teardown run. A
+		// fault point past the mode's physical read count legitimately
+		// never fires (the batched path reads far fewer pages), so the
+		// contract is differential: correct result or the injected error.
+		for _, failNth := range []int{1, 5, 25, 100} {
+			st := faultyStore(t, doc, failNth)
+			pe := &ParallelExec{Workers: 4, Partitions: 4, Batch: batch}
+			base := &Context{Doc: doc, Store: st}
+			out, err := pe.Run(context.Background(), base, pat, pln)
+			if err == nil {
+				if len(out) != want {
+					t.Fatalf("batch=%v failNth=%d: %d matches, want %d", batch, failNth, len(out), want)
+				}
+			} else {
+				failed++
+				if !errors.Is(err, faultfs.ErrInjected) {
+					t.Fatalf("batch=%v failNth=%d: error = %v, want injected failure", batch, failNth, err)
+				}
+			}
+			assertNoPins(t, st)
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no fault point fired in any mode — harness not exercising error paths")
+	}
+}
+
+// panicOp panics a fixed number of Next calls into the stream.
+type panicOp struct {
+	inner Operator
+	after int
+	n     int
+}
+
+func (p *panicOp) Schema() *Schema         { return p.inner.Schema() }
+func (p *panicOp) Open(ctx *Context) error { return p.inner.Open(ctx) }
+func (p *panicOp) Close() error            { return p.inner.Close() }
+func (p *panicOp) Next() (Tuple, bool, error) {
+	p.n++
+	if p.n > p.after {
+		panic("injected operator panic")
+	}
+	return p.inner.Next()
+}
+
+// TestParallelExecRecoversWorkerPanics: a panic inside a partition worker
+// must surface as a *PanicError from Run — not crash the process (the
+// facade's Run-level recover cannot see worker goroutines).
+func TestParallelExecRecoversWorkerPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	doc := xmltree.RandomDocument(rng, 3000, []string{"a", "b"})
+	st, err := storage.BuildStore(doc, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := pattern.MustParse("//a//b")
+	pln := plan.NewJoin(plan.NewIndexScan(0), plan.NewIndexScan(1), 0, 1, pattern.Descendant, plan.AlgoDesc)
+	pe := &ParallelExec{
+		Workers:    4,
+		Partitions: 4,
+		BuildOp: func() (Operator, error) {
+			op, err := Build(pat, pln)
+			if err != nil {
+				return nil, err
+			}
+			return &panicOp{inner: op, after: 3}, nil
+		},
+	}
+	base := &Context{Doc: doc, Store: st}
+	_, err = pe.Run(context.Background(), base, pat, pln)
+	var pe2 *PanicError
+	if !errors.As(err, &pe2) {
+		t.Fatalf("worker panic surfaced as %v, want *PanicError", err)
+	}
+	if len(pe2.Stack) == 0 {
+		t.Fatal("PanicError carries no stack")
 	}
 }

@@ -1,0 +1,33 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// PanicError is a panic converted into an ordinary error at a goroutine
+// boundary: parallel partition workers recover their own panics into it so
+// a bug in one partition fails the query instead of crashing the process.
+// The facade's Run-level recovery wraps the same way for the serial path.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: recovered panic: %v", e.Value)
+}
+
+// RecoverPanic converts a recovered panic value (from recover()) into a
+// *PanicError with the current stack captured. Returns nil for a nil value
+// so it can be called unconditionally in a defer.
+func RecoverPanic(v any) error {
+	if v == nil {
+		return nil
+	}
+	buf := make([]byte, 64<<10)
+	return &PanicError{Value: v, Stack: buf[:runtime.Stack(buf, false)]}
+}

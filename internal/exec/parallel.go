@@ -112,14 +112,7 @@ func (pe *ParallelExec) RunLimit(ctx context.Context, base *Context, pat *patter
 func (pe *ParallelExec) RunCount(ctx context.Context, base *Context, pat *pattern.Pattern, p *plan.Node) (int, error) {
 	parts := pe.ranges(base, pat)
 	if len(parts) == 1 {
-		op, err := pe.build(pat, p)
-		if err != nil {
-			return 0, err
-		}
-		if pe.Batch {
-			return CountBatched(base, op)
-		}
-		return Count(base, op)
+		return pe.countSerial(base, pat, p)
 	}
 	counts := make([]int, len(parts))
 	err := pe.forEachPartition(ctx, base, pat, p, parts, func(cctx context.Context, i int, local *Context, root Operator) error {
@@ -157,24 +150,7 @@ func (pe *ParallelExec) run(ctx context.Context, base *Context, pat *pattern.Pat
 	if len(parts) == 1 {
 		// Degenerate split (K=1, unknown root tag, or a document whose
 		// root tag admits no cut): run the ordinary serial path.
-		op, err := pe.build(pat, p)
-		if err != nil {
-			return nil, err
-		}
-		var root Operator = op
-		if limit >= 0 {
-			root = NewLimit(op, limit)
-		}
-		var out []Tuple
-		if pe.Batch {
-			out, err = DrainBatched(base, root)
-		} else {
-			out, err = Drain(base, root)
-		}
-		if err != nil {
-			return nil, err
-		}
-		return NormalizeAll(op.Schema(), pat.N(), out), nil
+		return pe.runSerial(base, pat, p, limit)
 	}
 
 	outs := make([][]Tuple, len(parts))
@@ -247,6 +223,51 @@ func (pe *ParallelExec) run(ctx context.Context, base *Context, pat *pattern.Pat
 	return finishRun(base, result), nil
 }
 
+// runSerial is the degenerate single-partition path of run. It carries the
+// same panic guarantee as the partitioned path: a panicking operator
+// surfaces as a *PanicError, never as a process crash.
+func (pe *ParallelExec) runSerial(base *Context, pat *pattern.Pattern, p *plan.Node, limit int) (out []Tuple, err error) {
+	defer func() {
+		if perr := RecoverPanic(recover()); perr != nil {
+			out, err = nil, perr
+		}
+	}()
+	op, err := pe.build(pat, p)
+	if err != nil {
+		return nil, err
+	}
+	var root Operator = op
+	if limit >= 0 {
+		root = NewLimit(op, limit)
+	}
+	if pe.Batch {
+		out, err = DrainBatched(base, root)
+	} else {
+		out, err = Drain(base, root)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return NormalizeAll(op.Schema(), pat.N(), out), nil
+}
+
+// countSerial is runSerial for RunCount.
+func (pe *ParallelExec) countSerial(base *Context, pat *pattern.Pattern, p *plan.Node) (n int, err error) {
+	defer func() {
+		if perr := RecoverPanic(recover()); perr != nil {
+			n, err = 0, perr
+		}
+	}()
+	op, err := pe.build(pat, p)
+	if err != nil {
+		return 0, err
+	}
+	if pe.Batch {
+		return CountBatched(base, op)
+	}
+	return Count(base, op)
+}
+
 // finishRun fixes up the merged OutputTuples counter (limit trimming may
 // discard tuples a partition already counted).
 func finishRun(base *Context, result []Tuple) []Tuple {
@@ -294,12 +315,10 @@ func (pe *ParallelExec) forEachPartition(
 					Doc:       base.Doc,
 					Store:     base.Store,
 					Range:     &rg,
+					Ctx:       cctx,
 					Interrupt: cctx.Err,
 				}
-				root, err := pe.build(pat, p)
-				if err == nil {
-					err = body(cctx, i, local, root)
-				}
+				err := pe.runPartition(pat, p, cctx, i, local, body)
 				mu.Lock()
 				base.Stats.Add(local.Stats)
 				switch {
@@ -321,6 +340,29 @@ func (pe *ParallelExec) forEachPartition(
 	// A cancel initiated by the caller is an error; a limit-satisfied
 	// cancel is success.
 	return ctx.Err()
+}
+
+// runPartition executes one partition's build + body, converting a panic in
+// either into a *PanicError: a bug in one worker fails the query instead of
+// killing the process (Run-level recovery cannot see worker goroutines).
+func (pe *ParallelExec) runPartition(
+	pat *pattern.Pattern,
+	p *plan.Node,
+	cctx context.Context,
+	i int,
+	local *Context,
+	body func(cctx context.Context, i int, local *Context, root Operator) error,
+) (err error) {
+	defer func() {
+		if perr := RecoverPanic(recover()); perr != nil {
+			err = perr
+		}
+	}()
+	root, err := pe.build(pat, p)
+	if err != nil {
+		return err
+	}
+	return body(cctx, i, local, root)
 }
 
 // drainTuples runs root to completion on local, polling cctx between

@@ -51,9 +51,9 @@ func (s *IndexScan) Open(ctx *Context) error {
 		return nil
 	}
 	if r := ctx.Range; r != nil {
-		s.scan = ctx.Store.ScanTagRange(tag, r.Lo, r.Hi)
+		s.scan = ctx.Store.ScanTagRangeCtx(ctx.Ctx, tag, r.Lo, r.Hi)
 	} else {
-		s.scan = ctx.Store.ScanTag(tag)
+		s.scan = ctx.Store.ScanTagCtx(ctx.Ctx, tag)
 	}
 	return nil
 }

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"sjos"
+	"sjos/internal/faultfs"
+	"sjos/internal/storage"
+)
+
+// ChaosConfig tunes the chaos experiment (xqbench -chaos).
+type ChaosConfig struct {
+	// Iters is the number of fault iterations per query × method for each
+	// fault flavour (0 = 20).
+	Iters int
+	// Prob is the per-read probability of a transient injected failure in
+	// the probabilistic rounds (0 = 0.02).
+	Prob float64
+	// Seed makes the probabilistic fault schedule reproducible.
+	Seed int64
+}
+
+// ChaosRow summarises one query × method cell of the chaos experiment.
+type ChaosRow struct {
+	Query  string
+	Method sjos.Method
+	// Runs is the number of fault-injected executions; Correct how many
+	// returned the exact fault-free result; TypedErrors how many failed
+	// with the injected (typed) error. Correct + TypedErrors must equal
+	// Runs — anything else (wrong answer, panic) fails the experiment.
+	Runs, Correct, TypedErrors int
+	// Faults and Retries are the injected-fault and pool-retry totals
+	// accumulated over the cell's runs.
+	Faults, Retries uint64
+}
+
+// Chaos drives every benchmark query under every optimizer method over a
+// store with injected page faults: seeded probabilistic transient failures
+// (which the buffer pool's retry loop must heal — every run must come back
+// correct) and a sweep of permanent fail-at-read-N points (where each run
+// must either produce the exact fault-free result or fail with the typed
+// injected error). A wrong answer or an escaped panic aborts with an error;
+// the returned rows are the per-cell tallies.
+func Chaos(cfg ChaosConfig) ([]ChaosRow, error) {
+	iters := cfg.Iters
+	if iters <= 0 {
+		iters = 20
+	}
+	prob := cfg.Prob
+	if prob <= 0 {
+		prob = 0.02
+	}
+	methods := []sjos.Method{sjos.MethodDP, sjos.MethodDPP, sjos.MethodDPAPEB, sjos.MethodDPAPLD, sjos.MethodFP}
+	dbs := map[string]*sjos.Database{}
+	files := map[string]*faultfs.File{}
+	var rows []ChaosRow
+	for _, q := range Queries() {
+		db, ff := dbs[q.Dataset], files[q.Dataset]
+		if db == nil {
+			// A deliberately tiny pool: the fold-1 datasets would otherwise
+			// become fully cache-resident and give faults nothing to hit.
+			ff = faultfs.Wrap(storage.NewMemFile(), faultfs.Policy{})
+			var err error
+			db, err = sjos.GenerateDataset(q.Dataset, 1, 1, &sjos.Options{PageFile: ff, PoolFrames: 4})
+			if err != nil {
+				return nil, err
+			}
+			dbs[q.Dataset], files[q.Dataset] = db, ff
+		}
+		pat, err := sjos.ParsePattern(q.Source)
+		if err != nil {
+			return nil, err
+		}
+		for mi, m := range methods {
+			opt, err := db.Optimize(pat, m, 0)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: optimize: %w", q.ID, m, err)
+			}
+			ff.SetPolicy(faultfs.Policy{})
+			base, err := db.Run(context.Background(), pat, opt.Plan, sjos.RunOptions{CountOnly: true})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: baseline: %w", q.ID, m, err)
+			}
+			reads := int(ff.Reads())
+			retries0 := db.PoolStats().Retries
+			row := ChaosRow{Query: q.ID, Method: m}
+			check := func(label string, wantTyped func(error) bool) error {
+				res, err := db.Run(context.Background(), pat, opt.Plan, sjos.RunOptions{CountOnly: true})
+				row.Runs++
+				switch {
+				case err == nil && res.Count == base.Count:
+					row.Correct++
+				case err == nil:
+					return fmt.Errorf("%s/%v %s: WRONG ANSWER: %d matches, want %d", q.ID, m, label, res.Count, base.Count)
+				case wantTyped(err):
+					row.TypedErrors++
+				default:
+					return fmt.Errorf("%s/%v %s: unexpected error: %w", q.ID, m, label, err)
+				}
+				if pinned := db.PoolStats().Pinned; pinned != 0 {
+					return fmt.Errorf("%s/%v %s: %d pinned frames leaked", q.ID, m, label, pinned)
+				}
+				return nil
+			}
+			// Probabilistic transient faults: the retry loop heals them
+			// (retry exhaustion — all attempts unlucky — still surfaces as
+			// the typed injected error, never a wrong answer).
+			for i := 0; i < iters; i++ {
+				ff.SetPolicy(faultfs.Policy{FailProb: prob, Seed: cfg.Seed + int64(mi*iters+i), Transient: true})
+				if err := check("transient", func(err error) bool {
+					return errors.Is(err, faultfs.ErrInjected)
+				}); err != nil {
+					return nil, err
+				}
+				row.Faults += ff.FaultsInjected()
+			}
+			// Permanent fail-at-read-N sweep across the baseline's read
+			// schedule: correct result or the injected error, nothing else.
+			for i := 0; i < iters; i++ {
+				n := 1 + i*(reads+1)/iters
+				ff.SetPolicy(faultfs.Policy{FailNthRead: n})
+				if err := check("permanent", func(err error) bool {
+					return errors.Is(err, faultfs.ErrInjected)
+				}); err != nil {
+					return nil, err
+				}
+				row.Faults += ff.FaultsInjected()
+			}
+			ff.SetPolicy(faultfs.Policy{})
+			row.Retries = db.PoolStats().Retries - retries0
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderChaos renders the chaos tallies as an aligned text table.
+func RenderChaos(rows []ChaosRow, cfg ChaosConfig) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos: fault-injected execution, every run correct or typed error (seed %d)\n", cfg.Seed)
+	fmt.Fprintf(&b, "%-14s %-8s %6s %8s %7s %8s %8s\n",
+		"Query", "Method", "runs", "correct", "errors", "faults", "retries")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-8v %6d %8d %7d %8d %8d\n",
+			r.Query, r.Method, r.Runs, r.Correct, r.TypedErrors, r.Faults, r.Retries)
+	}
+	return b.String()
+}

@@ -1,0 +1,181 @@
+// Package faultfs wraps a storage.PageFile with configurable fault
+// injection: deterministic fail-nth-read, seeded probabilistic failures,
+// transient-vs-permanent errors, latency injection, and page-bit corruption.
+// It is the chaos harness behind the executor's fault differential tests and
+// xqbench -chaos — the same wrapper in both places, so what the tests prove
+// is what the benchmark exercises.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sjos/internal/storage"
+)
+
+// ErrInjected is the base error of every injected read failure; wrap
+// detection works through errors.Is on the returned error chain.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Policy configures which reads fail and how. The zero Policy injects
+// nothing. Counters (nth-read indices) are 1-based and count physical
+// ReadPage calls on the wrapper since the last SetPolicy.
+type Policy struct {
+	// FailNthRead fails reads by ordinal: with Transient false the Nth and
+	// every later read fail (a device that died); with Transient true only
+	// the Nth read fails (a blip retry can heal). 0 disables.
+	FailNthRead int
+	// FailProb fails each read independently with this probability, drawn
+	// from a rand.Rand seeded with Seed — the same seed replays the same
+	// fault schedule. Transient applies.
+	FailProb float64
+	// Seed seeds the probabilistic fault stream (0 is a valid fixed seed).
+	Seed int64
+	// Transient marks injected failures retryable (storage.MarkTransient),
+	// so the buffer pool's RetryPolicy applies to them.
+	Transient bool
+	// CorruptNthRead flips one payload bit in the Nth read's result instead
+	// of failing it: the read "succeeds" but checksum verification must
+	// catch it. With Transient false the page is remembered and every later
+	// read of it is corrupted too (damage at rest); with Transient true
+	// only the Nth read is damaged (a torn read in flight). 0 disables.
+	CorruptNthRead int
+	// Latency delays every read (sleep before the inner read), for
+	// simulating slow devices. 0 disables.
+	Latency time.Duration
+	// MaxFaults caps the total number of injected faults (failures plus
+	// corruptions); once reached, reads pass through untouched. 0 means
+	// unlimited.
+	MaxFaults int
+}
+
+// File wraps an inner storage.PageFile with fault injection under a Policy.
+// It is safe for concurrent use.
+type File struct {
+	inner storage.PageFile
+
+	mu        sync.Mutex
+	policy    Policy
+	rng       *rand.Rand
+	reads     uint64
+	faults    uint64
+	corrupted map[storage.PageID]bool // pages with permanent at-rest damage
+}
+
+// Wrap returns inner behind fault injection with the given policy.
+func Wrap(inner storage.PageFile, policy Policy) *File {
+	f := &File{inner: inner}
+	f.SetPolicy(policy)
+	return f
+}
+
+// SetPolicy replaces the policy and resets the read/fault counters, the
+// probabilistic fault stream, and the permanent-corruption memory — each
+// SetPolicy starts a fresh, reproducible fault schedule.
+func (f *File) SetPolicy(policy Policy) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.policy = policy
+	f.rng = rand.New(rand.NewSource(policy.Seed))
+	f.reads = 0
+	f.faults = 0
+	f.corrupted = nil
+}
+
+// Reads returns how many ReadPage calls the wrapper has seen since the last
+// SetPolicy.
+func (f *File) Reads() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reads
+}
+
+// FaultsInjected returns how many reads were sabotaged (failed or
+// corrupted) since the last SetPolicy. The facade surfaces it as
+// sjos_faults_injected_total.
+func (f *File) FaultsInjected() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.faults
+}
+
+// verdict is the per-read decision taken under the mutex.
+type verdict struct {
+	fail    bool
+	corrupt bool
+	ordinal uint64
+	latency time.Duration
+}
+
+func (f *File) decide(id storage.PageID) verdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.reads++
+	v := verdict{ordinal: f.reads, latency: f.policy.Latency}
+	if f.policy.MaxFaults > 0 && f.faults >= uint64(f.policy.MaxFaults) {
+		return v
+	}
+	p := f.policy
+	switch {
+	case f.corrupted[id]:
+		v.corrupt = true
+	case p.CorruptNthRead > 0 && f.reads == uint64(p.CorruptNthRead):
+		v.corrupt = true
+		if !p.Transient {
+			if f.corrupted == nil {
+				f.corrupted = make(map[storage.PageID]bool)
+			}
+			f.corrupted[id] = true
+		}
+	case p.FailNthRead > 0 && (f.reads == uint64(p.FailNthRead) ||
+		(!p.Transient && f.reads > uint64(p.FailNthRead))):
+		v.fail = true
+	case p.FailProb > 0 && f.rng.Float64() < p.FailProb:
+		v.fail = true
+	}
+	if v.fail || v.corrupt {
+		f.faults++
+	}
+	return v
+}
+
+// ReadPage implements storage.PageFile with the policy's faults applied.
+func (f *File) ReadPage(id storage.PageID, dst *storage.Page) error {
+	v := f.decide(id)
+	if v.latency > 0 {
+		time.Sleep(v.latency)
+	}
+	if v.fail {
+		err := fmt.Errorf("%w (read #%d, page %d)", ErrInjected, v.ordinal, id)
+		if f.transient() {
+			return storage.MarkTransient(err)
+		}
+		return err
+	}
+	if err := f.inner.ReadPage(id, dst); err != nil {
+		return err
+	}
+	if v.corrupt {
+		// Flip one payload bit past the integrity header: the read
+		// succeeds but VerifyPage must flag the page.
+		dst[storage.PageHeaderSize+int(v.ordinal)%64] ^= 0x01
+	}
+	return nil
+}
+
+func (f *File) transient() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.policy.Transient
+}
+
+// WritePage passes through to the inner file.
+func (f *File) WritePage(id storage.PageID, src *storage.Page) error {
+	return f.inner.WritePage(id, src)
+}
+
+// NumPages passes through to the inner file.
+func (f *File) NumPages() int { return f.inner.NumPages() }

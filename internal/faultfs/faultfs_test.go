@@ -1,0 +1,221 @@
+package faultfs
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sjos/internal/storage"
+)
+
+func seededFile(t *testing.T, pages int) *storage.MemFile {
+	t.Helper()
+	mf := storage.NewMemFile()
+	for i := 0; i < pages; i++ {
+		var p storage.Page
+		p[storage.PageHeaderSize] = byte(i)
+		storage.SealPage(storage.PageID(i), &p)
+		if err := mf.WritePage(storage.PageID(i), &p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mf
+}
+
+func TestFailNthReadPermanent(t *testing.T) {
+	f := Wrap(seededFile(t, 4), Policy{FailNthRead: 3})
+	var p storage.Page
+	for i := 1; i <= 2; i++ {
+		if err := f.ReadPage(0, &p); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	// Read 3 and every later read fail.
+	for i := 3; i <= 5; i++ {
+		err := f.ReadPage(0, &p)
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("read %d: err = %v", i, err)
+		}
+		if storage.IsTransient(err) {
+			t.Fatalf("read %d: permanent fault marked transient", i)
+		}
+	}
+	if f.FaultsInjected() != 3 {
+		t.Fatalf("FaultsInjected = %d, want 3", f.FaultsInjected())
+	}
+}
+
+func TestFailNthReadTransient(t *testing.T) {
+	f := Wrap(seededFile(t, 4), Policy{FailNthRead: 2, Transient: true})
+	var p storage.Page
+	if err := f.ReadPage(0, &p); err != nil {
+		t.Fatal(err)
+	}
+	err := f.ReadPage(0, &p)
+	if !errors.Is(err, ErrInjected) || !storage.IsTransient(err) {
+		t.Fatalf("transient nth read: err = %v", err)
+	}
+	// Only the Nth read fails.
+	if err := f.ReadPage(0, &p); err != nil {
+		t.Fatalf("read after transient blip: %v", err)
+	}
+	if f.FaultsInjected() != 1 {
+		t.Fatalf("FaultsInjected = %d, want 1", f.FaultsInjected())
+	}
+}
+
+// TestProbabilisticFaultsDeterministic: the same seed produces the same
+// fault schedule; a different seed produces a different one.
+func TestProbabilisticFaultsDeterministic(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		f := Wrap(seededFile(t, 2), Policy{FailProb: 0.3, Seed: seed})
+		var p storage.Page
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = f.ReadPage(0, &p) != nil
+		}
+		return out
+	}
+	a, b := schedule(7), schedule(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at read %d", i)
+		}
+	}
+	c := schedule(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 100-read schedule")
+	}
+	// Sanity: ~30% fault rate, not 0 or 100.
+	n := 0
+	for _, failed := range a {
+		if failed {
+			n++
+		}
+	}
+	if n < 10 || n > 60 {
+		t.Fatalf("fault count %d/100 implausible for p=0.3", n)
+	}
+}
+
+// TestSetPolicyResetsSchedule: SetPolicy with the same seed replays the
+// identical fault stream from the start.
+func TestSetPolicyResetsSchedule(t *testing.T) {
+	f := Wrap(seededFile(t, 2), Policy{FailProb: 0.5, Seed: 42})
+	var p storage.Page
+	first := make([]bool, 20)
+	for i := range first {
+		first[i] = f.ReadPage(0, &p) != nil
+	}
+	f.SetPolicy(Policy{FailProb: 0.5, Seed: 42})
+	if f.Reads() != 0 || f.FaultsInjected() != 0 {
+		t.Fatal("SetPolicy did not reset counters")
+	}
+	for i := range first {
+		if got := f.ReadPage(0, &p) != nil; got != first[i] {
+			t.Fatalf("replayed schedule diverged at read %d", i)
+		}
+	}
+}
+
+func TestCorruptNthRead(t *testing.T) {
+	f := Wrap(seededFile(t, 4), Policy{CorruptNthRead: 2})
+	var p storage.Page
+	if err := f.ReadPage(0, &p); err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.VerifyPage(0, &p); err != nil {
+		t.Fatalf("clean read fails verification: %v", err)
+	}
+	// Read 2 is corrupted: ReadPage succeeds but verification fails …
+	if err := f.ReadPage(1, &p); err != nil {
+		t.Fatalf("corrupted read should succeed at the I/O level: %v", err)
+	}
+	if err := storage.VerifyPage(1, &p); !storage.IsCorrupt(err) {
+		t.Fatalf("corrupted page passes verification: %v", err)
+	}
+	// … and permanent corruption sticks to that page on every later read.
+	if err := f.ReadPage(1, &p); err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.VerifyPage(1, &p); !storage.IsCorrupt(err) {
+		t.Fatal("at-rest corruption healed itself on re-read")
+	}
+	// Other pages stay intact.
+	if err := f.ReadPage(0, &p); err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.VerifyPage(0, &p); err != nil {
+		t.Fatalf("unrelated page damaged: %v", err)
+	}
+}
+
+func TestCorruptNthReadTransient(t *testing.T) {
+	f := Wrap(seededFile(t, 2), Policy{CorruptNthRead: 1, Transient: true})
+	var p storage.Page
+	if err := f.ReadPage(1, &p); err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.VerifyPage(1, &p); !storage.IsCorrupt(err) {
+		t.Fatal("transient corruption not applied")
+	}
+	// A torn read heals on retry.
+	if err := f.ReadPage(1, &p); err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.VerifyPage(1, &p); err != nil {
+		t.Fatalf("transient corruption persisted: %v", err)
+	}
+}
+
+func TestMaxFaultsCap(t *testing.T) {
+	f := Wrap(seededFile(t, 2), Policy{FailProb: 1, MaxFaults: 3})
+	var p storage.Page
+	failures := 0
+	for i := 0; i < 10; i++ {
+		if f.ReadPage(0, &p) != nil {
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("failures = %d, want 3 (MaxFaults cap)", failures)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	f := Wrap(seededFile(t, 1), Policy{Latency: 5 * time.Millisecond})
+	var p storage.Page
+	start := time.Now()
+	if err := f.ReadPage(0, &p); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("read returned in %v, want >= 5ms", d)
+	}
+}
+
+// TestPoolHealsTransientInjectedFaults wires the wrapper under a real
+// buffer pool: a transient blip is retried away invisibly.
+func TestPoolHealsTransientInjectedFaults(t *testing.T) {
+	f := Wrap(seededFile(t, 4), Policy{FailNthRead: 1, Transient: true})
+	bp := storage.NewBufferPool(f, 4)
+	bp.SetRetryPolicy(storage.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond})
+	pg, err := bp.Get(0)
+	if err != nil {
+		t.Fatalf("pool over transient fault: %v", err)
+	}
+	if pg[storage.PageHeaderSize] != 0 {
+		t.Fatalf("content = %d", pg[storage.PageHeaderSize])
+	}
+	bp.Unpin(0, false)
+	if st := bp.Stats(); st.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", st.Retries)
+	}
+}

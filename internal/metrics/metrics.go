@@ -44,6 +44,7 @@ type Registry struct {
 	inFlight atomic.Int64
 	batches  atomic.Uint64
 	skipped  atomic.Uint64
+	panics   atomic.Uint64
 
 	latCount atomic.Uint64
 	latSum   atomic.Int64 // nanoseconds
@@ -69,6 +70,10 @@ func (r *Registry) QueryFinished(d time.Duration, err error) {
 
 // SlowQuery counts one query that crossed the slow-query threshold.
 func (r *Registry) SlowQuery() { r.slow.Add(1) }
+
+// RecoveredPanic counts one panic recovered at a query boundary and
+// converted into a typed error.
+func (r *Registry) RecoveredPanic() { r.panics.Add(1) }
 
 // ExecBatched folds one execution's batched-path counters into the
 // registry: batches driven through the plan root and index postings
@@ -96,6 +101,9 @@ type Snapshot struct {
 	// counts index postings bypassed by skip-ahead seeks. Both stay 0
 	// while every query runs tuple-at-a-time.
 	Batches, Skipped uint64
+	// RecoveredPanics counts panics recovered at query boundaries (each one
+	// is a bug that became a typed error instead of a crash).
+	RecoveredPanics uint64
 	// TotalTime is the summed latency of all completed executions.
 	TotalTime time.Duration
 	// P50, P95 and P99 are latency quantiles (bucket upper bounds of the
@@ -108,13 +116,14 @@ type Snapshot struct {
 // Snapshot captures the current counters and derives the quantiles.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		Queries:     r.queries.Load(),
-		Errors:      r.errors.Load(),
-		SlowQueries: r.slow.Load(),
-		InFlight:    r.inFlight.Load(),
-		Batches:     r.batches.Load(),
-		Skipped:     r.skipped.Load(),
-		TotalTime:   time.Duration(r.latSum.Load()),
+		Queries:         r.queries.Load(),
+		Errors:          r.errors.Load(),
+		SlowQueries:     r.slow.Load(),
+		InFlight:        r.inFlight.Load(),
+		Batches:         r.batches.Load(),
+		Skipped:         r.skipped.Load(),
+		RecoveredPanics: r.panics.Load(),
+		TotalTime:       time.Duration(r.latSum.Load()),
 	}
 	for i := range s.buckets {
 		s.buckets[i] = r.buckets[i].Load()
@@ -162,6 +171,7 @@ func (s Snapshot) WriteText(w io.Writer, prefix string) {
 	counter("slow_queries_total", "Queries that crossed the slow-query threshold.", s.SlowQueries)
 	counter("exec_batches_total", "Tuple batches driven through plan roots.", s.Batches)
 	counter("exec_skipped_tuples_total", "Index postings bypassed by skip-ahead seeks.", s.Skipped)
+	counter("recovered_panics_total", "Panics recovered at query boundaries.", s.RecoveredPanics)
 	fmt.Fprintf(w, "# HELP %s_queries_in_flight Query executions currently running.\n# TYPE %s_queries_in_flight gauge\n%s_queries_in_flight %d\n",
 		prefix, prefix, prefix, s.InFlight)
 	fmt.Fprintf(w, "# HELP %s_query_latency_seconds Query latency distribution.\n# TYPE %s_query_latency_seconds summary\n", prefix, prefix)

@@ -9,8 +9,9 @@ func writePages(t *testing.T, f *MemFile, n int) {
 	t.Helper()
 	for i := 0; i < n; i++ {
 		var p Page
-		p[0] = byte(i)
-		p[1] = byte(i >> 8)
+		p[PageHeaderSize] = byte(i)
+		p[PageHeaderSize+1] = byte(i >> 8)
+		SealPage(PageID(i), &p)
 		if err := f.WritePage(PageID(i), &p); err != nil {
 			t.Fatalf("WritePage(%d): %v", i, err)
 		}
@@ -27,8 +28,8 @@ func TestMemFileBasics(t *testing.T) {
 	if err := f.ReadPage(3, &p); err != nil {
 		t.Fatal(err)
 	}
-	if p[0] != 3 {
-		t.Fatalf("page 3 content = %d", p[0])
+	if p[PageHeaderSize] != 3 {
+		t.Fatalf("page 3 content = %d", p[PageHeaderSize])
 	}
 	if err := f.ReadPage(9, &p); !errors.Is(err, ErrPageOutOfRange) {
 		t.Fatalf("read past end: err = %v", err)
@@ -50,8 +51,8 @@ func TestBufferPoolHitsAndMisses(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if pg[0] != byte(i) {
-			t.Fatalf("page %d content = %d", i, pg[0])
+		if pg[PageHeaderSize] != byte(i) {
+			t.Fatalf("page %d content = %d", i, pg[PageHeaderSize])
 		}
 		bp.Unpin(PageID(i), false)
 	}
@@ -154,7 +155,7 @@ func TestBufferPoolFlush(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pg[7] = 0x55
+	pg[200] = 0x55
 	bp.Unpin(1, true)
 	if err := bp.Flush(); err != nil {
 		t.Fatal(err)
@@ -163,8 +164,13 @@ func TestBufferPoolFlush(t *testing.T) {
 	if err := f.ReadPage(1, &raw); err != nil {
 		t.Fatal(err)
 	}
-	if raw[7] != 0x55 {
+	if raw[200] != 0x55 {
 		t.Fatal("Flush did not persist dirty page")
+	}
+	// Flush must reseal: the persisted page verifies against its new
+	// content.
+	if err := VerifyPage(1, &raw); err != nil {
+		t.Fatalf("flushed page fails verification: %v", err)
 	}
 }
 

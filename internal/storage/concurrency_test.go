@@ -14,7 +14,8 @@ func TestBufferPoolConcurrentReaders(t *testing.T) {
 	const pages = 32
 	for i := 0; i < pages; i++ {
 		var p Page
-		p[0] = byte(i)
+		p[PageHeaderSize] = byte(i)
+		SealPage(PageID(i), &p)
 		if err := f.WritePage(PageID(i), &p); err != nil {
 			t.Fatal(err)
 		}
@@ -33,8 +34,8 @@ func TestBufferPoolConcurrentReaders(t *testing.T) {
 					errs <- err
 					return
 				}
-				if pg[0] != byte(id) {
-					t.Errorf("page %d content %d", id, pg[0])
+				if pg[PageHeaderSize] != byte(id) {
+					t.Errorf("page %d content %d", id, pg[PageHeaderSize])
 				}
 				bp.Unpin(id, false)
 			}

@@ -100,7 +100,8 @@ func TestBufferPoolOverDiskFile(t *testing.T) {
 	defer d.Close()
 	for i := 0; i < 10; i++ {
 		var p Page
-		p[0] = byte(i)
+		p[PageHeaderSize] = byte(i)
+		SealPage(PageID(i), &p)
 		if err := d.WritePage(PageID(i), &p); err != nil {
 			t.Fatal(err)
 		}
@@ -112,8 +113,8 @@ func TestBufferPoolOverDiskFile(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if pg[0] != byte(i) {
-				t.Fatalf("page %d content %d", i, pg[0])
+			if pg[PageHeaderSize] != byte(i) {
+				t.Fatalf("page %d content %d", i, pg[PageHeaderSize])
 			}
 			bp.Unpin(PageID(i), false)
 		}

@@ -1,0 +1,116 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Every page carries an integrity header so torn writes, bit rot and
+// misdirected reads are detected at the buffer pool boundary instead of
+// silently corrupting query results:
+//
+//	bytes [0:4)  CRC32-C (Castagnoli) of bytes [4:PageSize)
+//	bytes [4:8)  the page's own ID (little endian) — a misdirected read
+//	             (right bytes, wrong page) fails this check even when the
+//	             checksum of the stolen page is internally consistent
+//
+// Payload starts at PageHeaderSize. Writers seal pages with SealPage before
+// handing them to a PageFile; the buffer pool verifies every physical read
+// with VerifyPage and retries transient mismatches under its RetryPolicy.
+
+// PageHeaderSize is the number of bytes reserved for the integrity header
+// at the start of every page; record payload begins at this offset.
+const PageHeaderSize = 8
+
+// PayloadSize is the per-page byte capacity left for records.
+const PayloadSize = PageSize - PageHeaderSize
+
+// castagnoli is the CRC32-C polynomial table (hardware-accelerated on
+// amd64/arm64), shared by all seal/verify calls.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SealPage stamps p's integrity header: the page's ID and the CRC32-C of
+// everything after the checksum field. Callers must seal after the last
+// payload mutation and before handing the page to a PageFile.
+func SealPage(id PageID, p *Page) {
+	binary.LittleEndian.PutUint32(p[4:8], uint32(id))
+	binary.LittleEndian.PutUint32(p[0:4], crc32.Checksum(p[4:], castagnoli))
+}
+
+// VerifyPage checks p's integrity header against the expected page ID. A
+// failure is reported as a *CorruptPageError whose Tag names the check that
+// failed ("page-id" for a misdirected read, "checksum" for content damage).
+func VerifyPage(id PageID, p *Page) error {
+	if got := PageID(binary.LittleEndian.Uint32(p[4:8])); got != id {
+		return &CorruptPageError{Page: id, Tag: "page-id", Got: uint32(got)}
+	}
+	want := binary.LittleEndian.Uint32(p[0:4])
+	if got := crc32.Checksum(p[4:], castagnoli); got != want {
+		return &CorruptPageError{Page: id, Tag: "checksum", Got: got, Want: want}
+	}
+	return nil
+}
+
+// CorruptPageError reports a page that failed integrity verification after
+// every permitted read attempt. It propagates losslessly (errors.As) through
+// the batch and tuple executors up to the query API, so callers can
+// distinguish data corruption from transient I/O trouble.
+type CorruptPageError struct {
+	// Page is the page that failed verification.
+	Page PageID
+	// Tag names the failed check: "checksum" (content damage) or
+	// "page-id" (misdirected read).
+	Tag string
+	// Got and Want are the mismatching values of the failed check (for
+	// "page-id", Got is the ID found in the header and Want is unused).
+	Got, Want uint32
+	// Attempts is how many reads were tried before giving up (0 when the
+	// error did not pass through the buffer pool's retry loop).
+	Attempts int
+}
+
+// Error implements error.
+func (e *CorruptPageError) Error() string {
+	msg := fmt.Sprintf("storage: page %d corrupt (%s: got %#x, want %#x)", e.Page, e.Tag, e.Got, e.Want)
+	if e.Tag == "page-id" {
+		msg = fmt.Sprintf("storage: page %d corrupt (%s: header claims page %d)", e.Page, e.Tag, e.Got)
+	}
+	if e.Attempts > 1 {
+		msg += fmt.Sprintf(" after %d attempts", e.Attempts)
+	}
+	return msg
+}
+
+// TransientError marks an error as retryable: the same operation may
+// succeed if repeated (flaky I/O, injected chaos faults). The buffer pool
+// retries transient read failures under its RetryPolicy; everything else
+// fails fast.
+type TransientError struct{ Err error }
+
+// Error implements error.
+func (e *TransientError) Error() string { return "storage: transient: " + e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// MarkTransient wraps err as retryable. A nil err stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// IsTransient reports whether err is marked retryable anywhere in its chain.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// IsCorrupt reports whether err carries a *CorruptPageError.
+func IsCorrupt(err error) bool {
+	var ce *CorruptPageError
+	return errors.As(err, &ce)
+}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -21,14 +22,15 @@ type NodeRecord struct {
 // nodeRecSize is the serialised size of a NodeRecord.
 const nodeRecSize = 4 + 4 + 2 + 4 + 4
 
-// nodesPerPage is how many NodeRecords fit in one page.
-const nodesPerPage = PageSize / nodeRecSize
+// nodesPerPage is how many NodeRecords fit in one page's payload (the first
+// PageHeaderSize bytes hold the integrity header).
+const nodesPerPage = PayloadSize / nodeRecSize
 
 // postingSize is the serialised size of one tag-index posting (a NodeID).
 const postingSize = 4
 
-// postingsPerPage is how many postings fit in one page.
-const postingsPerPage = PageSize / postingSize
+// postingsPerPage is how many postings fit in one page's payload.
+const postingsPerPage = PayloadSize / postingSize
 
 // Store is the paged element store plus tag index for one document: the
 // stand-in for Timber's SHORE-backed element storage. All page access goes
@@ -81,8 +83,9 @@ func BuildStoreOn(file PageFile, doc *xmltree.Document, poolFrames int) (*Store,
 			if id >= n {
 				break
 			}
-			encodeNode(page[i*nodeRecSize:], doc, xmltree.NodeID(id))
+			encodeNode(page[PageHeaderSize+i*nodeRecSize:], doc, xmltree.NodeID(id))
 		}
+		SealPage(PageID(p), &page)
 		if err := file.WritePage(PageID(p), &page); err != nil {
 			return nil, fmt.Errorf("storage: build node segment: %w", err)
 		}
@@ -101,9 +104,10 @@ func BuildStoreOn(file PageFile, doc *xmltree.Document, poolFrames int) (*Store,
 			count:     len(nodes),
 		}
 		for _, nd := range nodes {
-			binary.LittleEndian.PutUint32(page[inPage*postingSize:], uint32(nd))
+			binary.LittleEndian.PutUint32(page[PageHeaderSize+inPage*postingSize:], uint32(nd))
 			inPage++
 			if inPage == postingsPerPage {
+				SealPage(cur, &page)
 				if err := file.WritePage(cur, &page); err != nil {
 					return nil, fmt.Errorf("storage: build postings: %w", err)
 				}
@@ -114,6 +118,7 @@ func BuildStoreOn(file PageFile, doc *xmltree.Document, poolFrames int) (*Store,
 		}
 	}
 	if inPage > 0 {
+		SealPage(cur, &page)
 		if err := file.WritePage(cur, &page); err != nil {
 			return nil, fmt.Errorf("storage: build postings: %w", err)
 		}
@@ -176,9 +181,15 @@ func (s *Store) TagCount(t xmltree.TagID) int {
 
 // Node fetches one node record through the buffer pool.
 func (s *Store) Node(id xmltree.NodeID) (NodeRecord, error) {
+	return s.NodeCtx(context.Background(), id)
+}
+
+// NodeCtx is Node under a context: cancellation aborts page-read waits
+// (including the pool's retry backoffs).
+func (s *Store) NodeCtx(ctx context.Context, id xmltree.NodeID) (NodeRecord, error) {
 	p := PageID(int(id) / nodesPerPage)
-	off := (int(id) % nodesPerPage) * nodeRecSize
-	pg, err := s.pool.Get(p)
+	off := PageHeaderSize + (int(id)%nodesPerPage)*nodeRecSize
+	pg, err := s.pool.GetCtx(ctx, p)
 	if err != nil {
 		return NodeRecord{}, err
 	}
@@ -194,6 +205,7 @@ func (s *Store) Node(id xmltree.NodeID) (NodeRecord, error) {
 // half-open range — the partition-parallel executor's leaf access path.
 type TagScanner struct {
 	store *Store
+	ctx   context.Context
 	run   tagRun
 	i     int // postings consumed
 
@@ -205,11 +217,20 @@ type TagScanner struct {
 
 // ScanTag opens a scanner over tag t's postings.
 func (s *Store) ScanTag(t xmltree.TagID) *TagScanner {
+	return s.ScanTagCtx(context.Background(), t)
+}
+
+// ScanTagCtx is ScanTag under a context: the scanner's page reads — and any
+// retry backoffs inside them — abort when ctx is cancelled.
+func (s *Store) ScanTagCtx(ctx context.Context, t xmltree.TagID) *TagScanner {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var run tagRun
 	if int(t) < len(s.tagDir) {
 		run = s.tagDir[t]
 	}
-	return &TagScanner{store: s, run: run}
+	return &TagScanner{store: s, ctx: ctx, run: run}
 }
 
 // ScanTagRange opens a scanner over the subset of tag t's postings whose
@@ -219,7 +240,12 @@ func (s *Store) ScanTag(t xmltree.TagID) *TagScanner {
 // call, so a partition pays O(log n) page reads instead of skipping every
 // earlier posting.
 func (s *Store) ScanTagRange(t xmltree.TagID, lo, hi xmltree.Pos) *TagScanner {
-	sc := s.ScanTag(t)
+	return s.ScanTagRangeCtx(context.Background(), t, lo, hi)
+}
+
+// ScanTagRangeCtx is ScanTagRange under a context (see ScanTagCtx).
+func (s *Store) ScanTagRangeCtx(ctx context.Context, t xmltree.TagID, lo, hi xmltree.Pos) *TagScanner {
+	sc := s.ScanTagCtx(ctx, t)
 	sc.bounded, sc.lo, sc.hi = true, lo, hi
 	return sc
 }
@@ -228,8 +254,8 @@ func (s *Store) ScanTagRange(t xmltree.TagID, lo, hi xmltree.Pos) *TagScanner {
 func (sc *TagScanner) posting(i int) (xmltree.NodeID, error) {
 	global := sc.run.offset + i
 	p := sc.run.firstPage + PageID(global/postingsPerPage)
-	off := (global % postingsPerPage) * postingSize
-	pg, err := sc.store.pool.Get(p)
+	off := PageHeaderSize + (global%postingsPerPage)*postingSize
+	pg, err := sc.store.pool.GetCtx(sc.ctx, p)
 	if err != nil {
 		return 0, err
 	}
@@ -256,7 +282,7 @@ func (sc *TagScanner) advanceTo(pos xmltree.Pos) error {
 		if err != nil {
 			return err
 		}
-		rec, err := sc.store.Node(id)
+		rec, err := sc.store.NodeCtx(sc.ctx, id)
 		if err != nil {
 			return err
 		}
@@ -306,7 +332,7 @@ func (sc *TagScanner) Next() (xmltree.NodeID, NodeRecord, bool, error) {
 	if err != nil {
 		return 0, NodeRecord{}, false, err
 	}
-	rec, err := sc.store.Node(id)
+	rec, err := sc.store.NodeCtx(sc.ctx, id)
 	if err != nil {
 		return 0, NodeRecord{}, false, err
 	}
@@ -343,12 +369,12 @@ func (sc *TagScanner) NextBlock(ids []xmltree.NodeID) (int, error) {
 		if want := len(ids) - n; avail > want {
 			avail = want
 		}
-		pg, err := sc.store.pool.Get(p)
+		pg, err := sc.store.pool.GetCtx(sc.ctx, p)
 		if err != nil {
 			return n, err
 		}
 		for k := 0; k < avail; k++ {
-			ids[n+k] = xmltree.NodeID(binary.LittleEndian.Uint32(pg[(off+k)*postingSize:]))
+			ids[n+k] = xmltree.NodeID(binary.LittleEndian.Uint32(pg[PageHeaderSize+(off+k)*postingSize:]))
 		}
 		sc.store.pool.Unpin(p, false)
 		if sc.bounded {
@@ -390,13 +416,13 @@ func (sc *TagScanner) clipAtRangeEnd(ids []xmltree.NodeID) (int, error) {
 				pg = nil
 			}
 			var err error
-			pg, err = sc.store.pool.Get(p)
+			pg, err = sc.store.pool.GetCtx(sc.ctx, p)
 			if err != nil {
 				return 0, err
 			}
 			curPage = p
 		}
-		off := (int(id) % nodesPerPage) * nodeRecSize
+		off := PageHeaderSize + (int(id)%nodesPerPage)*nodeRecSize
 		if start := xmltree.Pos(binary.LittleEndian.Uint32(pg[off:])); start >= sc.hi {
 			return k, nil
 		}

@@ -31,17 +31,31 @@ type Metrics struct {
 	Query MetricsSnapshot
 	// Cache is the plan cache's hit/miss/coalesced/eviction counters.
 	Cache CacheStats
-	// Pool is the buffer pool's page-cache counters.
+	// Pool is the buffer pool's page-cache counters, including read
+	// retries and checksum failures.
 	Pool PoolStats
+	// Admission is the admission controller's counters (all zero when no
+	// MaxInFlight limit is configured).
+	Admission AdmissionStats
+	// FaultsInjected counts faults the page file injected, when the store
+	// sits on a fault-injecting file (internal/faultfs); 0 otherwise.
+	FaultsInjected uint64
 }
 
 // Metrics returns a snapshot of the database's observability counters.
 func (db *Database) Metrics() Metrics {
-	return Metrics{
-		Query: db.svc.metrics.Snapshot(),
-		Cache: db.CacheStats(),
-		Pool:  db.PoolStats(),
+	m := Metrics{
+		Query:     db.svc.metrics.Snapshot(),
+		Cache:     db.CacheStats(),
+		Pool:      db.PoolStats(),
+		Admission: db.AdmissionStats(),
 	}
+	// A chaos-mode store reports its injected-fault count through this
+	// optional interface (satisfied by *faultfs.File).
+	if ff, ok := db.store.File().(interface{ FaultsInjected() uint64 }); ok {
+		m.FaultsInjected = ff.FaultsInjected()
+	}
+	return m
 }
 
 // WriteMetrics renders the database's counters in the Prometheus text
@@ -63,6 +77,11 @@ func (db *Database) WriteMetrics(w io.Writer) {
 	counter("pool_misses_total", "Buffer pool page misses.", m.Pool.Misses)
 	counter("pool_evictions_total", "Buffer pool page evictions.", m.Pool.Evicted)
 	fmt.Fprintf(w, "# HELP sjos_pool_resident_pages Pages resident in the buffer pool.\n# TYPE sjos_pool_resident_pages gauge\nsjos_pool_resident_pages %d\n", m.Pool.Resident)
+	counter("page_retries_total", "Page reads retried after transient failures or checksum mismatches.", m.Pool.Retries)
+	counter("checksum_failures_total", "Page reads that failed checksum or header verification.", m.Pool.ChecksumFailures)
+	counter("admission_queued_total", "Queries that waited for an execution slot.", m.Admission.Queued)
+	counter("admission_rejected_total", "Queries shed by admission control (queue full or shutting down).", m.Admission.Rejected)
+	counter("faults_injected_total", "Faults injected by the page file (chaos mode; 0 in production).", m.FaultsInjected)
 }
 
 // SlowQueryEntry describes one query that crossed the slow-query
@@ -88,6 +107,11 @@ type SlowQueryEntry struct {
 	CachedPlan bool
 	// Trace is the query's per-operator execution trace.
 	Trace *OpTrace
+	// Error and Stack are set only for entries recording a recovered
+	// panic: the typed error's message and the goroutine stack captured at
+	// panic time. Both are empty for ordinary slow queries.
+	Error string
+	Stack string
 }
 
 // slowRingCap bounds the in-memory log of recent slow queries.

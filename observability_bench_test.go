@@ -3,6 +3,8 @@ package sjos
 import (
 	"context"
 	"testing"
+
+	"sjos/internal/admission"
 )
 
 // BenchmarkObservabilityOverhead quantifies what the observability layer
@@ -12,11 +14,16 @@ import (
 //	raw       — the unmetered execution path (db.run), exactly what Run
 //	            did before the observability layer existed
 //	disabled  — db.Run with tracing off: the metrics registry's atomic
-//	            counters are the only addition (acceptance bar: <5% vs raw)
+//	            counters, the panic-recovery defer and the (nil, no-op)
+//	            admission check are the only additions (acceptance bar:
+//	            <5% vs raw; with page checksums it must stay <3% over the
+//	            seed's metered path)
+//	admitted  — db.Run with an uncontended admission controller installed:
+//	            adds one channel send/receive per query
 //	traced    — db.Run with per-operator tracing on
 //
 // A white-box benchmark (package sjos) so the raw lane can bypass the
-// metering wrapper.
+// metering wrapper and the admitted lane can install a controller.
 func BenchmarkObservabilityOverhead(b *testing.B) {
 	db, err := GenerateDataset("pers", 1, 100, nil)
 	if err != nil {
@@ -35,12 +42,16 @@ func BenchmarkObservabilityOverhead(b *testing.B) {
 		label string
 		opts  RunOptions
 		fn    func(context.Context, *Pattern, *Plan, RunOptions) (*RunResult, error)
+		admit *admission.Controller
 	}{
-		{"raw", RunOptions{CountOnly: true}, db.run},
-		{"disabled", RunOptions{CountOnly: true}, db.Run},
-		{"traced", RunOptions{CountOnly: true, Trace: true}, db.Run},
+		{"raw", RunOptions{CountOnly: true}, db.run, nil},
+		{"disabled", RunOptions{CountOnly: true}, db.Run, nil},
+		{"admitted", RunOptions{CountOnly: true}, db.Run, admission.New(64, 64)},
+		{"traced", RunOptions{CountOnly: true, Trace: true}, db.Run, nil},
 	} {
 		b.Run(v.label, func(b *testing.B) {
+			db.svc.admit = v.admit
+			defer func() { db.svc.admit = nil }()
 			for i := 0; i < b.N; i++ {
 				rr, err := v.fn(context.Background(), pat, res.Plan, v.opts)
 				if err != nil {

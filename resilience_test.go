@@ -1,0 +1,243 @@
+package sjos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"sjos/internal/faultfs"
+	"sjos/internal/storage"
+	"sjos/internal/xmltree"
+)
+
+// resilienceDB builds a small in-memory database with the given options.
+func resilienceDB(t *testing.T, seed int64, opts *Options) *Database {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	doc := xmltree.RandomDocument(rng, 800, []string{"a", "b"})
+	db, err := fromDocument(doc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestRunRecoversPanics: a panic under Run must surface as a *PanicError —
+// counted in metrics, recorded with its stack in the slow-query ring — and
+// leave the database fully usable.
+func TestRunRecoversPanics(t *testing.T) {
+	db := resilienceDB(t, 21, nil)
+	pat := MustParsePattern("//a//b")
+	p := mustPlan(t, db, pat, MethodDP)
+	db.svc.testHookRun = func() { panic("injected facade panic") }
+	_, err := db.Run(context.Background(), pat, p, RunOptions{})
+	db.svc.testHookRun = nil
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run returned %v, want *PanicError", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError carries no stack")
+	}
+	m := db.Metrics()
+	if m.Query.RecoveredPanics != 1 {
+		t.Fatalf("RecoveredPanics = %d, want 1", m.Query.RecoveredPanics)
+	}
+	if m.Query.Errors != 1 {
+		t.Fatalf("Errors = %d, want 1", m.Query.Errors)
+	}
+	if m.Query.InFlight != 0 {
+		t.Fatalf("InFlight = %d after recovery, want 0", m.Query.InFlight)
+	}
+	entries := db.SlowQueries()
+	if len(entries) == 0 {
+		t.Fatal("no slow-query entry for the recovered panic")
+	}
+	last := entries[len(entries)-1]
+	if !strings.Contains(last.Error, "injected facade panic") {
+		t.Fatalf("ring entry error = %q, want the panic message", last.Error)
+	}
+	if last.Stack == "" || last.Pattern == "" || last.Fingerprint == "" {
+		t.Fatalf("ring entry incomplete: stack=%d bytes, pattern=%q, fp=%q",
+			len(last.Stack), last.Pattern, last.Fingerprint)
+	}
+	// The database survives: the next query runs normally.
+	if _, err := db.Run(context.Background(), pat, p, RunOptions{}); err != nil {
+		t.Fatalf("query after recovered panic: %v", err)
+	}
+}
+
+// blockingDB installs a Run hook that parks queries on a channel, so tests
+// can hold execution slots open deterministically.
+func blockingDB(t *testing.T, opts *Options) (db *Database, entered chan struct{}, unblock chan struct{}) {
+	t.Helper()
+	db = resilienceDB(t, 22, opts)
+	entered = make(chan struct{}, 16)
+	unblock = make(chan struct{})
+	db.svc.testHookRun = func() {
+		entered <- struct{}{}
+		<-unblock
+	}
+	return db, entered, unblock
+}
+
+// waitFor polls cond for up to 2s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionOverloadAndQueue: with MaxInFlight 1 and QueueDepth 1, the
+// second query waits its turn and the third is shed with ErrOverloaded.
+func TestAdmissionOverloadAndQueue(t *testing.T) {
+	db, entered, unblock := blockingDB(t, &Options{MaxInFlight: 1, QueueDepth: 1})
+	pat := MustParsePattern("//a//b")
+	p := mustPlan(t, db, pat, MethodDP)
+	first := make(chan error, 1)
+	go func() {
+		_, err := db.Run(context.Background(), pat, p, RunOptions{})
+		first <- err
+	}()
+	<-entered // first query holds the only slot
+	second := make(chan error, 1)
+	go func() {
+		_, err := db.Run(context.Background(), pat, p, RunOptions{})
+		second <- err
+	}()
+	waitFor(t, "second query to queue", func() bool { return db.AdmissionStats().Waiting == 1 })
+	// Queue full: the third arrival is shed immediately.
+	if _, err := db.Run(context.Background(), pat, p, RunOptions{}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third query error = %v, want ErrOverloaded", err)
+	}
+	close(unblock)
+	if err := <-first; err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	if err := <-second; err != nil {
+		t.Fatalf("queued query: %v", err)
+	}
+	st := db.AdmissionStats()
+	if st.Queued < 1 || st.Rejected < 1 {
+		t.Fatalf("stats = %+v, want Queued >= 1 and Rejected >= 1", st)
+	}
+	waitFor(t, "slots to release", func() bool { return db.AdmissionStats().InFlight == 0 })
+}
+
+// TestAdmissionHonorsCancellation: a caller waiting for a slot gives up when
+// its context expires.
+func TestAdmissionHonorsCancellation(t *testing.T) {
+	db, entered, unblock := blockingDB(t, &Options{MaxInFlight: 1, QueueDepth: 4})
+	defer close(unblock)
+	pat := MustParsePattern("//a//b")
+	p := mustPlan(t, db, pat, MethodDP)
+	go db.Run(context.Background(), pat, p, RunOptions{})
+	<-entered
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := db.Run(ctx, pat, p, RunOptions{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiting query error = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestDrainGraceful: Drain stops new admissions (ErrShuttingDown), waits for
+// in-flight queries, honours its context deadline, and is resumable.
+func TestDrainGraceful(t *testing.T) {
+	db, entered, unblock := blockingDB(t, &Options{MaxInFlight: 2})
+	pat := MustParsePattern("//a//b")
+	p := mustPlan(t, db, pat, MethodDP)
+	running := make(chan error, 1)
+	go func() {
+		_, err := db.Run(context.Background(), pat, p, RunOptions{})
+		running <- err
+	}()
+	<-entered
+	// A query is still in flight: a bounded Drain times out...
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := db.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("bounded Drain = %v, want DeadlineExceeded", err)
+	}
+	// ...and new arrivals are already refused.
+	if _, err := db.Run(context.Background(), pat, p, RunOptions{}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("query during drain = %v, want ErrShuttingDown", err)
+	}
+	close(unblock)
+	if err := <-running; err != nil {
+		t.Fatalf("in-flight query: %v", err)
+	}
+	// The retried Drain resumes and completes; repeating it is a no-op.
+	if err := db.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain after queries finished: %v", err)
+	}
+	if err := db.Drain(context.Background()); err != nil {
+		t.Fatalf("repeated Drain: %v", err)
+	}
+}
+
+// TestQueryPathRespectsAdmission: the high-level Query entry points flow
+// through Run, so admission errors surface there too.
+func TestQueryPathRespectsAdmission(t *testing.T) {
+	db, entered, unblock := blockingDB(t, &Options{MaxInFlight: 1})
+	pat := MustParsePattern("//a//b")
+	go db.QueryPatternContext(context.Background(), pat, QueryOptions{})
+	<-entered
+	_, err := db.QueryPatternContext(context.Background(), pat, QueryOptions{})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("query error = %v, want ErrOverloaded", err)
+	}
+	close(unblock)
+	waitFor(t, "slot release", func() bool { return db.AdmissionStats().InFlight == 0 })
+}
+
+// TestWriteMetricsResilienceCounters: the Prometheus exposition carries the
+// new integrity/admission/chaos counters, end to end — a transient injected
+// fault is healed by a retry and shows up in every relevant series.
+func TestWriteMetricsResilienceCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	doc := xmltree.RandomDocument(rng, 800, []string{"a", "b"})
+	ff := faultfs.Wrap(storage.NewMemFile(), faultfs.Policy{})
+	db, err := fromDocument(doc, &Options{PageFile: ff, PoolFrames: 4, MaxInFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff.SetPolicy(faultfs.Policy{FailNthRead: 1, Transient: true})
+	pat := MustParsePattern("//a//b")
+	if _, err := db.QueryPatternContext(context.Background(), pat, QueryOptions{}); err != nil {
+		t.Fatalf("query over transient fault: %v", err)
+	}
+	m := db.Metrics()
+	if m.FaultsInjected == 0 {
+		t.Fatal("FaultsInjected = 0, want > 0")
+	}
+	if m.Pool.Retries == 0 {
+		t.Fatal("Pool.Retries = 0, want > 0 (retry healed the injected fault)")
+	}
+	var buf bytes.Buffer
+	db.WriteMetrics(&buf)
+	text := buf.String()
+	for _, series := range []string{
+		"sjos_recovered_panics_total",
+		"sjos_page_retries_total",
+		"sjos_checksum_failures_total",
+		"sjos_admission_queued_total",
+		"sjos_admission_rejected_total",
+		"sjos_faults_injected_total",
+	} {
+		if !strings.Contains(text, series) {
+			t.Fatalf("metrics exposition missing %s:\n%s", series, text)
+		}
+	}
+	if !strings.Contains(text, "sjos_page_retries_total 1") {
+		t.Fatalf("page retries not reported:\n%s", text)
+	}
+}

@@ -2,11 +2,13 @@ package sjos
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
+	"sjos/internal/admission"
 	"sjos/internal/core"
 	"sjos/internal/exec"
 	"sjos/internal/histogram"
@@ -37,6 +39,14 @@ type service struct {
 	// all WithParallelism views.
 	metrics metrics.Registry
 	slow    slowLog
+
+	// admit bounds concurrent executions (nil = unlimited). Shared by all
+	// WithParallelism views so the limit is per database, not per view.
+	admit *admission.Controller
+
+	// testHookRun, when non-nil, runs inside every Run's recovery scope —
+	// white-box tests use it to inject panics at the query boundary.
+	testHookRun func()
 }
 
 // cachedPlan is one cache entry. The plan is stored in the fingerprint's
@@ -198,20 +208,69 @@ type RunResult struct {
 // point: limits, count-only projection, per-operator tracing and serial
 // versus partition-parallel mode are all RunOptions, and every mode
 // observes ctx — cancelling it makes Run return promptly with ctx's error
-// (index scans and output loops poll it; parallel workers are cancelled).
-// A nil ctx is treated as context.Background(). Serial and parallel modes
-// produce the same matches in the same document order. Every Run is
-// observed by the database's metrics registry (queries served, in-flight
-// gauge, latency histogram; see Metrics).
-func (db *Database) Run(ctx context.Context, pat *Pattern, p *Plan, opts RunOptions) (*RunResult, error) {
+// (index scans, buffer-pool retry waits and output loops poll it; parallel
+// workers are cancelled). A nil ctx is treated as context.Background().
+// Serial and parallel modes produce the same matches in the same document
+// order. Every Run is observed by the database's metrics registry (queries
+// served, in-flight gauge, latency histogram; see Metrics).
+//
+// Run is also the resilience boundary. When the database was built with an
+// in-flight limit (Options.MaxInFlight) each call first claims an admission
+// slot, waiting in the bounded queue; past the queue it fails fast with
+// ErrOverloaded, and after Drain began with ErrShuttingDown. A panic
+// anywhere under Run — optimizer bug, corrupted operator state — is
+// recovered into a *PanicError (stack attached, counted in metrics and
+// recorded in the slow-query ring) instead of crashing the process.
+func (db *Database) Run(ctx context.Context, pat *Pattern, p *Plan, opts RunOptions) (res *RunResult, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	release, aerr := db.svc.admit.Acquire(ctx)
+	if aerr != nil {
+		// Shed load before it becomes work: rejected queries never reach
+		// the metrics' served/latency counters (they have no execution to
+		// measure); admission keeps its own rejected/queued counters.
+		return nil, aerr
+	}
+	defer release()
 	db.svc.metrics.QueryStarted()
 	t0 := time.Now()
-	res, err := db.run(ctx, pat, p, opts)
-	db.svc.metrics.QueryFinished(time.Since(t0), err)
-	if res != nil {
-		db.svc.metrics.ExecBatched(res.Stats.Batches, res.Stats.SkippedTuples)
+	defer func() {
+		if perr := exec.RecoverPanic(recover()); perr != nil {
+			res, err = nil, perr
+			db.recordPanic(pat, perr)
+		}
+		db.svc.metrics.QueryFinished(time.Since(t0), err)
+		if res != nil {
+			db.svc.metrics.ExecBatched(res.Stats.Batches, res.Stats.SkippedTuples)
+		}
+	}()
+	if hook := db.svc.testHookRun; hook != nil {
+		hook()
 	}
+	res, err = db.run(ctx, pat, p, opts)
 	return res, err
+}
+
+// recordPanic folds one recovered panic into the observability surfaces:
+// the metrics counter and a slow-query ring entry carrying the stack, so
+// the crash-that-wasn't is diagnosable after the fact.
+func (db *Database) recordPanic(pat *Pattern, perr error) {
+	db.svc.metrics.RecoveredPanic()
+	e := SlowQueryEntry{
+		Time:  time.Now(),
+		Error: perr.Error(),
+	}
+	var pe *exec.PanicError
+	if errors.As(perr, &pe) {
+		e.Stack = string(pe.Stack)
+	}
+	if pat != nil {
+		e.Pattern = pat.String()
+		fp, _ := pattern.Fingerprint(pat)
+		e.Fingerprint = fp
+	}
+	db.svc.slow.record(e)
 }
 
 // run is Run without the metrics observation.
@@ -241,7 +300,7 @@ func (db *Database) run(ctx context.Context, pat *Pattern, p *Plan, opts RunOpti
 		}
 		buildOp = tb.Build
 	}
-	ectx := &exec.Context{Doc: db.doc, Store: db.store}
+	ectx := &exec.Context{Ctx: ctx, Doc: db.doc, Store: db.store}
 	res := &RunResult{}
 	if workers > 0 {
 		pe := &exec.ParallelExec{Workers: workers, Batch: !opts.NoBatch}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"sjos/internal/admission"
 	"sjos/internal/core"
 	"sjos/internal/cost"
 	"sjos/internal/datagen"
@@ -43,6 +44,30 @@ type (
 	ExecStats = exec.Stats
 	// PoolStats reports the buffer pool's page-cache behaviour.
 	PoolStats = storage.PoolStats
+	// PageFile is the paged storage interface a database image lives on;
+	// Options.PageFile injects a custom implementation (fault-injection
+	// wrappers, alternative backends).
+	PageFile = storage.PageFile
+	// RetryPolicy bounds the buffer pool's read-retry loop (attempts,
+	// exponential backoff, jitter); see Options.Retry.
+	RetryPolicy = storage.RetryPolicy
+	// CorruptPageError is the typed error a query returns when a page
+	// fails checksum or header verification on every allowed attempt.
+	CorruptPageError = storage.CorruptPageError
+	// PanicError is the typed error Run returns for a panic recovered at
+	// the query boundary; Stack holds the goroutine stack at panic time.
+	PanicError = exec.PanicError
+	// AdmissionStats reports the admission controller's counters.
+	AdmissionStats = admission.Stats
+)
+
+// Admission-control errors, returned by Run (and Query*) without executing
+// anything: ErrOverloaded when the bounded wait queue is full,
+// ErrShuttingDown once Drain has begun. Both are fast-fail signals a server
+// should map to a retryable status (HTTP 503).
+var (
+	ErrOverloaded   = admission.ErrOverloaded
+	ErrShuttingDown = admission.ErrShuttingDown
 )
 
 // The optimization algorithms (see the package documentation).
@@ -91,6 +116,23 @@ type Options struct {
 	// PlanCacheCapacity bounds the plan cache (entries, LRU). 0 selects
 	// the default capacity; negative values are clamped to 1.
 	PlanCacheCapacity int
+	// PageFile, when non-nil, stores the paged database image on this
+	// file instead of memory or DiskPath — the injection point for fault
+	// wrappers (see internal/faultfs) and alternative backends. It takes
+	// precedence over DiskPath.
+	PageFile PageFile
+	// Retry overrides the buffer pool's read-retry policy (transient I/O
+	// failures and checksum mismatches are retried under bounded
+	// exponential backoff). The zero value keeps the default policy
+	// (4 attempts, 200µs base delay); MaxAttempts: 1 disables retries.
+	Retry RetryPolicy
+	// MaxInFlight > 0 bounds how many queries execute concurrently;
+	// arrivals past the limit wait (up to QueueDepth of them), and past
+	// that fail fast with ErrOverloaded. 0 means unlimited.
+	MaxInFlight int
+	// QueueDepth bounds how many queries may wait for an execution slot
+	// when MaxInFlight is set (0 = no waiting: the limit fails fast).
+	QueueDepth int
 }
 
 func (o *Options) model() CostModel {
@@ -189,29 +231,42 @@ func GenerateDataset(name string, scale float64, fold int, opts *Options) (*Data
 
 func fromDocument(doc *xmltree.Document, opts *Options) (*Database, error) {
 	poolFrames, grid, diskPath, cacheCap := 0, 0, "", 0
+	var pageFile PageFile
+	var retry RetryPolicy
+	maxInFlight, queueDepth := 0, 0
 	if opts != nil {
 		poolFrames, grid, diskPath = opts.PoolFrames, opts.HistogramGrid, opts.DiskPath
 		cacheCap = opts.PlanCacheCapacity
+		pageFile, retry = opts.PageFile, opts.Retry
+		maxInFlight, queueDepth = opts.MaxInFlight, opts.QueueDepth
 	}
 	var store *storage.Store
 	var err error
-	if diskPath != "" {
+	switch {
+	case pageFile != nil:
+		store, err = storage.BuildStoreOn(pageFile, doc, poolFrames)
+	case diskPath != "":
 		file, ferr := storage.CreateDiskFile(diskPath)
 		if ferr != nil {
 			return nil, ferr
 		}
 		store, err = storage.BuildStoreOn(file, doc, poolFrames)
-	} else {
+	default:
 		store, err = storage.BuildStore(doc, poolFrames)
 	}
 	if err != nil {
 		return nil, err
 	}
+	if retry != (RetryPolicy{}) {
+		store.Pool().SetRetryPolicy(retry)
+	}
+	svc := newService(histogram.Build(doc, grid), grid, cacheCap)
+	svc.admit = admission.New(maxInFlight, queueDepth)
 	return &Database{
 		doc:   doc,
 		store: store,
 		model: opts.model(),
-		svc:   newService(histogram.Build(doc, grid), grid, cacheCap),
+		svc:   svc,
 	}, nil
 }
 
@@ -386,6 +441,18 @@ func (db *Database) ExecuteParallelLimit(pat *Pattern, p *Plan, n, k int) ([]Mat
 // PoolStats returns a snapshot of the buffer pool's cumulative hit/miss
 // counters for this database's store (shared by all parallelism views).
 func (db *Database) PoolStats() PoolStats { return db.store.PoolStats() }
+
+// AdmissionStats returns the admission controller's counters (all zero when
+// no MaxInFlight was configured). Shared by all parallelism views.
+func (db *Database) AdmissionStats() AdmissionStats { return db.svc.admit.Stats() }
+
+// Drain flips the database into shutdown: queries arriving after Drain
+// begins fail fast with ErrShuttingDown, and Drain returns once every
+// in-flight query has finished — or ctx's error if they have not by then
+// (calling Drain again resumes waiting). Without a configured MaxInFlight
+// there is no admission barrier and Drain returns immediately; it is the
+// graceful-exit step for servers built with one (see cmd/xqserve).
+func (db *Database) Drain(ctx context.Context) error { return db.svc.admit.Drain(ctx) }
 
 // TwigStack evaluates pat with the holistic twig join (the multi-way
 // alternative of Bruno et al. that the paper cites as future work), for
