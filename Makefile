@@ -2,10 +2,11 @@
 # go vet plus the full suite under the race detector. `make bench` runs the
 # tier-1 suite under the race detector first, then emits benchmark results
 # as streamed test2json events into BENCH_parallel.json, the plan-cache
-# cold/warm comparison into BENCH_plancache.json and the batched-vs-tuple
-# executor comparison into BENCH_batch.json. `make benchquick` smoke-runs
-# the key benchmarks at one iteration each — a CI-friendly check that they
-# still build, run and validate their counts.
+# cold/warm comparison into BENCH_plancache.json, the batched-vs-tuple
+# executor comparison into BENCH_batch.json and the value-index pushdown
+# comparison into BENCH_content.json. `make benchquick` smoke-runs the key
+# benchmarks at one iteration each (plus the allocs/op regression guard) —
+# a CI-friendly check that they still build, run and validate their counts.
 #
 # BENCH selects the benchmark regexp (default: the partition-parallel
 # executor benches; use BENCH=. for the full table/figure suite — slow).
@@ -43,9 +44,11 @@ bench: test-race
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -json . | tee BENCH_parallel.json
 	$(GO) test -run '^$$' -bench 'PlanCache' -benchmem -json . | tee BENCH_plancache.json
 	$(GO) test -run '^$$' -bench 'BatchExecute$$' -benchmem -json . | tee BENCH_batch.json
+	$(GO) test -run '^$$' -bench 'ContentIndex' -benchmem -json . | tee BENCH_content.json
 
 benchquick:
-	$(GO) test -run '^$$' -bench 'ParallelExecute|PlanCache|BatchExecute$$|ObservabilityOverhead' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'ParallelExecute|PlanCache|BatchExecute$$|ContentIndex|ObservabilityOverhead' -benchtime=1x .
+	$(GO) test -run 'TestBatchedProbeAllocs' -v .
 
 clean:
-	rm -f BENCH_parallel.json BENCH_plancache.json BENCH_batch.json
+	rm -f BENCH_parallel.json BENCH_plancache.json BENCH_batch.json BENCH_content.json

@@ -513,3 +513,60 @@ func BenchmarkBatchExecuteMaterialize(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkContentIndex measures value-index predicate pushdown against
+// the scan+filter escape hatch on selective-predicate queries over the
+// DBLP data set (the -contentbench workload). Each lane executes its own
+// optimizer-chosen plan (ValueIndexScan vs IndexScan leaves) count-only,
+// isolating the access-path difference from match materialisation. The
+// probe lane should win by >=1.5x; results feed BENCH_content.json.
+func BenchmarkContentIndex(b *testing.B) {
+	queries := []struct {
+		name string
+		src  string
+	}{
+		{"range-year", `//article[year < 1975]/title`},
+		{"eq-booktitle", `//inproceedings[booktitle = "conf-7"]/author`},
+	}
+	for _, q := range queries {
+		pat, err := sjos.ParsePattern(q.src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, fold := range []int{1, 10} {
+			db := mustDataset(b, "dblp", fold)
+			want := -1
+			for _, lane := range []struct {
+				name   string
+				noVidx bool
+			}{{"probe", false}, {"scan", true}} {
+				res, err := db.QueryPatternContext(context.Background(), pat,
+					sjos.QueryOptions{Method: sjos.MethodDPP, NoValueIndex: lane.noVidx, NoCache: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if want == -1 {
+					want = len(res.Matches)
+				} else if len(res.Matches) != want {
+					b.Fatalf("%s found %d matches, want %d", lane.name, len(res.Matches), want)
+				}
+				if probes := res.Exec.ValueProbes; (probes > 0) == lane.noVidx {
+					b.Fatalf("%s lane ran %d value probes", lane.name, probes)
+				}
+				b.Run(fmt.Sprintf("%s/fold=%d/%s", q.name, fold, lane.name), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						r, err := db.Run(context.Background(), pat, res.Plan,
+							sjos.RunOptions{CountOnly: true})
+						if err != nil {
+							b.Fatal(err)
+						}
+						if r.Count != want {
+							b.Fatalf("%s counted %d, want %d", lane.name, r.Count, want)
+						}
+					}
+				})
+			}
+		}
+	}
+}

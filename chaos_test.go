@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"sjos/internal/faultfs"
@@ -196,4 +197,97 @@ func mustPlan(t *testing.T, db *Database, pat *Pattern, m Method) *Plan {
 		t.Fatal(err)
 	}
 	return res.Plan
+}
+
+// TestChaosValueProbe sweeps fault injection over a value-index probe
+// plan: the probe's compressed postings reads go through the same buffer
+// pool, checksum and retry path as everything else, so each run must
+// return the fault-free count or a typed injected/corruption error — and
+// transient faults must heal. The scan+filter lane over the same faulty
+// store is the correctness oracle.
+func TestChaosValueProbe(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	doc := randomValueXML(rng, 4000, []string{"a", "b", "c"})
+	ff := faultfs.Wrap(storage.NewMemFile(), faultfs.Policy{})
+	db, err := LoadXMLString(doc, &Options{PageFile: ff, PoolFrames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := MustParsePattern(`//a[b = "w2"]`)
+	opt, err := db.Optimize(pat, MethodDPP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsOp(opt.Plan.Format(pat), "ValueIndexScan") {
+		t.Fatalf("chaos fixture plan has no value probe:\n%s", opt.Plan.Format(pat))
+	}
+	// Oracle: scan+filter on the same (currently fault-free) store.
+	ff.SetPolicy(faultfs.Policy{})
+	res, err := db.QueryPatternContext(context.Background(), pat,
+		QueryOptions{Method: MethodDPP, NoValueIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(res.Matches)
+	modes := []struct {
+		name string
+		opts RunOptions
+	}{
+		{"serial-batch", RunOptions{}},
+		{"serial-tuple", RunOptions{NoBatch: true}},
+		{"parallel-batch", RunOptions{Workers: 2}},
+		{"parallel-tuple", RunOptions{Workers: 2, NoBatch: true}},
+	}
+	var fired, healed int
+	for _, mode := range modes {
+		ff.SetPolicy(faultfs.Policy{})
+		base, err := runChaos(t, db, pat, opt.Plan, mode.opts)
+		if err != nil {
+			t.Fatalf("%s: baseline: %v", mode.name, err)
+		}
+		if base.Count != want {
+			t.Fatalf("%s: baseline count = %d, oracle %d", mode.name, base.Count, want)
+		}
+		reads := int(ff.Reads())
+		for _, p := range faultPoints(reads) {
+			ff.SetPolicy(faultfs.Policy{FailNthRead: p})
+			if res, err := runChaos(t, db, pat, opt.Plan, mode.opts); err != nil {
+				fired++
+				if !errors.Is(err, faultfs.ErrInjected) {
+					t.Fatalf("%s failNth=%d: error = %v, want injected", mode.name, p, err)
+				}
+			} else if res.Count != want {
+				t.Fatalf("%s failNth=%d: count = %d, want %d", mode.name, p, res.Count, want)
+			}
+			ff.SetPolicy(faultfs.Policy{FailNthRead: p, Transient: true})
+			res, err := runChaos(t, db, pat, opt.Plan, mode.opts)
+			if err != nil {
+				t.Fatalf("%s transient failNth=%d: %v", mode.name, p, err)
+			}
+			if res.Count != want {
+				t.Fatalf("%s transient failNth=%d: count = %d, want %d", mode.name, p, res.Count, want)
+			}
+			if ff.FaultsInjected() > 0 {
+				healed++
+			}
+			ff.SetPolicy(faultfs.Policy{CorruptNthRead: p})
+			if res, err := runChaos(t, db, pat, opt.Plan, mode.opts); err != nil {
+				var ce *CorruptPageError
+				if !errors.As(err, &ce) {
+					t.Fatalf("%s corruptNth=%d: error = %v, want *CorruptPageError", mode.name, p, err)
+				}
+			} else if res.Count != want {
+				t.Fatalf("%s corruptNth=%d: count = %d, want %d", mode.name, p, res.Count, want)
+			}
+		}
+	}
+	ff.SetPolicy(faultfs.Policy{})
+	if fired == 0 || healed == 0 {
+		t.Fatalf("value-probe chaos sweep too tame: %d fail runs fired, %d healed", fired, healed)
+	}
+}
+
+// containsOp reports whether a plan rendering mentions an operator name.
+func containsOp(plan, op string) bool {
+	return strings.Contains(plan, op)
 }

@@ -10,6 +10,7 @@
 //	xqbench -figure 8           # Figure 8: DPAP-EB Te sweep, fold ×1
 //	xqbench -cachebench         # plan cache: cold vs warm optimize phase
 //	xqbench -batchbench         # batched executor vs tuple-at-a-time, table 3 workload
+//	xqbench -contentbench       # value-index probes vs scan+filter, selective predicates
 //	xqbench -table 3 -nobatch   # run table 3 tuple-at-a-time (batching escape hatch)
 //	xqbench -chaos              # fault-injected runs: every result correct or typed error
 //	xqbench -all                # everything (without -full folds)
@@ -34,6 +35,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "run table 3 partition-parallel with this many workers (0 = serial, -1 = GOMAXPROCS)")
 	cachebench := flag.Bool("cachebench", false, "measure cold vs warm (plan-cached) optimize time per benchmark query")
 	batchbench := flag.Bool("batchbench", false, "measure batched vs tuple-at-a-time execution on the table 3 workload")
+	contentbench := flag.Bool("contentbench", false, "measure value-index predicate pushdown vs scan+filter")
 	nobatch := flag.Bool("nobatch", false, "run table 3 tuple-at-a-time instead of batched (escape hatch)")
 	method := flag.String("method", "DPP", "optimizer for -cachebench and -batchbench")
 	chaos := flag.Bool("chaos", false, "drive all queries and methods over a fault-injecting store")
@@ -51,7 +53,7 @@ func main() {
 			return
 		}
 	}
-	if !*all && !*census && !*cachebench && !*batchbench && !*chaos && *table == 0 && *figure == 0 {
+	if !*all && !*census && !*cachebench && !*batchbench && !*contentbench && !*chaos && *table == 0 && *figure == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -71,7 +73,7 @@ func main() {
 			fmt.Print(experiments.RenderChaos(rows, cfg))
 			return nil
 		})
-		if !*all && !*cachebench && !*batchbench && *table == 0 && *figure == 0 {
+		if !*all && !*cachebench && !*batchbench && !*contentbench && *table == 0 && *figure == 0 {
 			return
 		}
 	}
@@ -88,7 +90,7 @@ func main() {
 			fmt.Print(experiments.RenderCacheBench(rows))
 			return nil
 		})
-		if !*all && !*batchbench && *table == 0 && *figure == 0 {
+		if !*all && !*batchbench && !*contentbench && *table == 0 && *figure == 0 {
 			return
 		}
 	}
@@ -107,6 +109,27 @@ func main() {
 				return err
 			}
 			fmt.Print(experiments.RenderBatchBench(rows, m))
+			return nil
+		})
+		if !*all && !*contentbench && *table == 0 && *figure == 0 {
+			return
+		}
+	}
+	if *contentbench {
+		run("contentbench", func() error {
+			m, err := sjos.ParseMethod(*method)
+			if err != nil {
+				return err
+			}
+			folds := []int{1, 10, 100}
+			if *full {
+				folds = append(folds, 500)
+			}
+			rows, err := experiments.ContentBench(m, folds)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderContentBench(rows, m))
 			return nil
 		})
 		if !*all && *table == 0 && *figure == 0 {

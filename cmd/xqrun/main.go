@@ -33,6 +33,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the query after this duration (0 = none)")
 	noCache := flag.Bool("nocache", false, "bypass the plan cache")
 	noBatch := flag.Bool("nobatch", false, "disable the batched (vectorized) execution path")
+	noVidx := flag.Bool("novidx", false, "disable value-index probes (predicated leaves scan+filter)")
 	opTrace := flag.Bool("optrace", false, "print the per-operator execution trace")
 	flag.Parse()
 
@@ -52,7 +53,7 @@ func main() {
 		xmlPath: *xmlPath, dataset: *dataset, fold: *fold,
 		query: *query, method: *method, limit: *limit,
 		mode: mode, parallel: *parallel,
-		timeout: *timeout, noCache: *noCache, noBatch: *noBatch, opTrace: *opTrace,
+		timeout: *timeout, noCache: *noCache, noBatch: *noBatch, noVidx: *noVidx, opTrace: *opTrace,
 	}
 	if err := runWith(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "xqrun: %v\n", err)
@@ -79,6 +80,7 @@ type runCfg struct {
 	timeout          time.Duration
 	noCache          bool
 	noBatch          bool
+	noVidx           bool
 	opTrace          bool
 }
 
@@ -158,7 +160,7 @@ func runWith(cfg runCfg) error {
 		defer cancel()
 	}
 	res, err := db.QueryPatternContext(ctx, pat,
-		sjos.QueryOptions{Method: meth, NoCache: cfg.noCache, NoBatch: cfg.noBatch, Trace: cfg.opTrace})
+		sjos.QueryOptions{Method: meth, NoCache: cfg.noCache, NoBatch: cfg.noBatch, NoValueIndex: cfg.noVidx, Trace: cfg.opTrace})
 	if err != nil {
 		return err
 	}

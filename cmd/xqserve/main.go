@@ -6,7 +6,7 @@
 //
 // Endpoints:
 //
-//	GET /query?q=//manager//name[&method=FP][&limit=10][&count=1][&trace=1]
+//	GET /query?q=//manager//name[&method=FP][&limit=10][&count=1][&trace=1][&novidx=1]
 //	    evaluate a tree pattern; JSON response with matches, timings,
 //	    the plan, and (with trace=1) the per-operator trace
 //	GET /metrics   Prometheus text exposition of the database's counters
@@ -163,6 +163,7 @@ func newMux(db *sjos.Database, defaultMethod sjos.Method) *http.ServeMux {
 			opts.Limit = n
 		}
 		opts.Trace = boolParam(r, "trace")
+		opts.NoValueIndex = boolParam(r, "novidx")
 		res, err := db.QueryContext(r.Context(), src, opts)
 		if err != nil {
 			// Load shed and shutdown are retryable service conditions, not

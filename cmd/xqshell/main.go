@@ -15,6 +15,7 @@
 //	.method DPP|FP|...                switch optimizer
 //	.limit N                          rows to print (default 10)
 //	.batch on|off                     toggle batched (vectorized) execution
+//	.vidx on|off                      toggle value-index probes (predicate pushdown)
 //	.cache                            plan cache statistics
 //	.metrics                          process metrics (Prometheus text)
 //	.slowlog <dur>|off                set the slow-query threshold
@@ -91,6 +92,7 @@ type shell struct {
 	method  sjos.Method
 	limit   int
 	nobatch bool
+	novidx  bool
 	out     io.Writer
 }
 
@@ -134,6 +136,19 @@ func (sh *shell) processLine(line string) bool {
 			return true
 		}
 		fmt.Fprintln(sh.out, "batched execution:", arg)
+		return true
+	case strings.HasPrefix(line, ".vidx"):
+		arg := strings.TrimSpace(strings.TrimPrefix(line, ".vidx"))
+		switch arg {
+		case "on":
+			sh.novidx = false
+		case "off":
+			sh.novidx = true
+		default:
+			fmt.Fprintln(sh.out, "error: .vidx needs 'on' or 'off'")
+			return true
+		}
+		fmt.Fprintln(sh.out, "value-index probes:", arg)
 		return true
 	case strings.HasPrefix(line, ".explain"):
 		sh.withPattern(line, ".explain", func(p *sjos.Pattern) (string, error) {
@@ -223,7 +238,7 @@ func (sh *shell) withPattern(line, cmd string, f func(*sjos.Pattern) (string, er
 
 func (sh *shell) runPattern(src string) {
 	res, err := sh.db.QueryContext(context.Background(), src,
-		sjos.QueryOptions{Method: sh.method, NoBatch: sh.nobatch})
+		sjos.QueryOptions{Method: sh.method, NoBatch: sh.nobatch, NoValueIndex: sh.novidx})
 	if err != nil {
 		fmt.Fprintln(sh.out, "error:", err)
 		return

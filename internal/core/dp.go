@@ -25,6 +25,7 @@ var errNoPlan = errors.New("core: search completed without finding a plan")
 // algorithms: the plan is a bare index scan.
 func (sp *space) singleNode(name string) *Result {
 	leaf := plan.NewIndexScan(0)
+	leaf.ValueIndex = sp.leafProbe[0]
 	leaf.EstCard = sp.est.NodeCard(0)
 	leaf.EstCost = sp.scanCost
 	return &Result{Plan: leaf, Cost: sp.scanCost, Algorithm: name}

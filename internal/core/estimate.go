@@ -20,8 +20,25 @@ import (
 type Estimator struct {
 	pat      *pattern.Pattern
 	nodeCard []float64 // per pattern node, after value-predicate selectivity
+	scanCard []float64 // per pattern node, before predicate (full tag scan)
+	probe    []bool    // per pattern node: value-index probe available
 	edgeSel  []float64 // per edge id (1..n-1); [0] unused
 	memo     map[uint64]float64
+}
+
+// ProbeEligibility answers whether a value predicate on a tag can be
+// served by a content-index probe with scan+filter semantics. It is
+// implemented by *storage.Store; declared here so core does not depend on
+// the storage package.
+type ProbeEligibility interface {
+	ProbeEligible(tag string, op pattern.CmpOp, value string) bool
+}
+
+// ProbeSelectivity optionally refines ProbeEligibility with the exact
+// probe result count. Stores implement it, making the indexed leaf's
+// cardinality estimate exact.
+type ProbeSelectivity interface {
+	ProbeSelectivity(tag string, op pattern.CmpOp, value string) (int, bool)
 }
 
 // NewEstimator derives an estimator for pat from document statistics.
@@ -35,6 +52,8 @@ func NewEstimator(pat *pattern.Pattern, stats *histogram.Stats) (*Estimator, err
 	e := &Estimator{
 		pat:      pat,
 		nodeCard: make([]float64, pat.N()),
+		scanCard: make([]float64, pat.N()),
+		probe:    make([]bool, pat.N()),
 		edgeSel:  make([]float64, pat.N()),
 		memo:     make(map[uint64]float64),
 	}
@@ -46,6 +65,7 @@ func NewEstimator(pat *pattern.Pattern, stats *histogram.Stats) (*Estimator, err
 			continue
 		}
 		card := stats.TagCount(tag)
+		e.scanCard[u] = card
 		if nd.Op != pattern.CmpNone {
 			card *= stats.PredicateSelectivity(tag, nd.Op, nd.Value)
 		}
@@ -81,13 +101,52 @@ func NewManualEstimator(pat *pattern.Pattern, nodeCard, edgeSel []float64) (*Est
 	return &Estimator{
 		pat:      pat,
 		nodeCard: append([]float64(nil), nodeCard...),
+		scanCard: append([]float64(nil), nodeCard...),
+		probe:    make([]bool, pat.N()),
 		edgeSel:  append([]float64(nil), edgeSel...),
 		memo:     make(map[uint64]float64),
 	}, nil
 }
 
+// EnableValueIndex marks pattern nodes whose value predicate the given
+// store can serve by an index probe; the planner then weighs a probe of
+// NodeCard(u) postings against a scan of ScanCard(u) postings for those
+// leaves. When pe also implements ProbeSelectivity, the indexed leaf's
+// cardinality estimate is replaced by the exact probe result count (the
+// index knows precisely how many postings it will return). Not calling
+// this — or passing nil — leaves every leaf on the scan+filter path.
+func (e *Estimator) EnableValueIndex(pe ProbeEligibility) {
+	if pe == nil {
+		return
+	}
+	ps, exact := pe.(ProbeSelectivity)
+	for u := 0; u < e.pat.N(); u++ {
+		nd := e.pat.Nodes[u]
+		if nd.Op == pattern.CmpNone || !pe.ProbeEligible(nd.Tag, nd.Op, nd.Value) {
+			continue
+		}
+		e.probe[u] = true
+		if exact {
+			if n, ok := ps.ProbeSelectivity(nd.Tag, nd.Op, nd.Value); ok {
+				e.nodeCard[u] = float64(n)
+			}
+		}
+	}
+	// Cluster cardinalities depend on nodeCard; drop any memoised values.
+	e.memo = make(map[uint64]float64)
+}
+
 // NodeCard returns the estimated candidate count for pattern node u.
 func (e *Estimator) NodeCard(u int) float64 { return e.nodeCard[u] }
+
+// ScanCard returns the estimated full tag-scan size for pattern node u —
+// what an unindexed leaf must read before filtering. For nodes without a
+// predicate it equals NodeCard.
+func (e *Estimator) ScanCard(u int) float64 { return e.scanCard[u] }
+
+// ProbeOK reports whether pattern node u's predicate can be served by a
+// value-index probe (see EnableValueIndex).
+func (e *Estimator) ProbeOK(u int) bool { return e.probe[u] }
 
 // EdgeSelectivity returns the estimated selectivity of edge v.
 func (e *Estimator) EdgeSelectivity(v int) float64 { return e.edgeSel[v] }

@@ -36,7 +36,7 @@ func NewOracleEstimator(pat *pattern.Pattern, doc *xmltree.Document) (*Estimator
 		}
 		n := 0
 		for _, id := range doc.NodesWithTag(tag) {
-			if histogram.EvalPredicate(doc.Value(id), nd.Op, nd.Value) {
+			if nd.MatchesValue(doc.Value(id)) {
 				n++
 			}
 		}

@@ -16,7 +16,14 @@ type space struct {
 	model    cost.Model
 	numEdges int
 	allEdges uint32  // bit e set for every edge id e (1..n-1)
-	scanCost float64 // Σ index-access cost; paid by every plan
+	scanCost float64 // Σ leaf access cost; paid by every plan
+
+	// Per-node leaf access path, chosen once in newSpace: a value-index
+	// probe of the predicate's postings, or a tag scan (+ filter). Leaf
+	// cost is paid by every plan, so the choice never changes the join
+	// order — but it changes the leaf operators and absolute plan cost.
+	leafCost  []float64
+	leafProbe []bool
 
 	compMemo map[uint32][]int8  // edge mask -> per-node cluster root
 	ubMemo   map[uint32]float64 // edge mask -> ubCost (order-independent)
@@ -68,8 +75,23 @@ func newSpace(pat *pattern.Pattern, est *Estimator, model cost.Model) *space {
 	for e := 1; e < pat.N(); e++ {
 		sp.allEdges |= 1 << uint(e)
 	}
+	// Leaf access-path selection (predicate pushdown). A node without a
+	// predicate scans its tag postings. A predicated node compares the full
+	// scan-and-filter (every tag posting passes through the index) with a
+	// value-index probe that retrieves only the NodeCard(u) matching
+	// postings, when the store offers one with identical semantics.
+	sp.leafCost = make([]float64, pat.N())
+	sp.leafProbe = make([]bool, pat.N())
 	for u := 0; u < pat.N(); u++ {
-		sp.scanCost += model.IndexAccess(est.NodeCard(u))
+		c := model.IndexAccess(est.ScanCard(u))
+		if est.ProbeOK(u) {
+			if probe := model.ValueProbe(est.NodeCard(u)); probe < c {
+				c = probe
+				sp.leafProbe[u] = true
+			}
+		}
+		sp.leafCost[u] = c
+		sp.scanCost += c
 	}
 	return sp
 }
@@ -319,8 +341,9 @@ func (sp *space) finalize(final *status) *plan.Node {
 	for i := 0; i < n; i++ {
 		comp[i] = i
 		leaf := plan.NewIndexScan(i)
+		leaf.ValueIndex = sp.leafProbe[i]
 		leaf.EstCard = sp.est.NodeCard(i)
-		leaf.EstCost = sp.model.IndexAccess(leaf.EstCard)
+		leaf.EstCost = sp.leafCost[i]
 		plans[i] = leaf
 	}
 	find := func(x int) int {

@@ -62,6 +62,21 @@ func Calibrate() Model {
 	}
 	m.FST = perUnit(time.Since(start), n)
 
+	// f_V: value-probe posting — varint-style decode plus a merge compare.
+	start = time.Now()
+	var acc uint64
+	for _, p := range postings {
+		v := p
+		for v >= 0x80 { // stand-in for uvarint delta decode
+			v >>= 7
+		}
+		acc += v
+		if acc > sink {
+			sink = acc
+		}
+	}
+	m.FV = perUnit(time.Since(start), n)
+
 	// f_sc: streaming one tuple through a merge step (compare + copy).
 	start = time.Now()
 	var prev uint64
@@ -90,6 +105,9 @@ func Calibrate() Model {
 	}
 	if m.FSC <= 0 {
 		m.FSC = def.FSC
+	}
+	if m.FV <= 0 {
+		m.FV = def.FV
 	}
 	return m
 }

@@ -33,6 +33,7 @@ type Model struct {
 	FIO float64 // per item of buffered join output written+read (Anc lists)
 	FST float64 // per stack operation in a Stack-Tree join
 	FSC float64 // per tuple streamed into or out of a join
+	FV  float64 // per item retrieved through a value-index probe
 }
 
 // DefaultModel returns factors measured against this library's executor on
@@ -45,11 +46,26 @@ func DefaultModel() Model {
 		FIO: 45, // buffered pair written + read back
 		FST: 30, // push+pop bookkeeping per input tuple
 		FSC: 4,  // merge-step and output-tuple construction
+		FV:  75, // value-probe posting: block decode + possible merge step
 	}
 }
 
 // IndexAccess returns the cost of retrieving n items through a tag index.
 func (m Model) IndexAccess(n float64) float64 { return m.FI * n }
+
+// ValueProbe returns the cost of retrieving n items through a value-index
+// probe. A probed posting is slightly more expensive than a tag-index
+// posting (smaller blocks decode worse, and multi-run probes pay a merge
+// step), so FV defaults above FI — the probe wins on cardinality, not on
+// per-item rate. Models predating FV (zero value) fall back to 1.25·FI so
+// hand-built Model literals in tests and calibration files keep working.
+func (m Model) ValueProbe(n float64) float64 {
+	fv := m.FV
+	if fv <= 0 {
+		fv = 1.25 * m.FI
+	}
+	return fv * n
+}
 
 // Sort returns the cost of sorting n items.
 func (m Model) Sort(n float64) float64 {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"sjos/internal/histogram"
 	"sjos/internal/pattern"
 	"sjos/internal/plan"
 	"sjos/internal/xmltree"
@@ -28,10 +27,11 @@ func buildWrapped(pat *pattern.Pattern, n *plan.Node, wrap wrapFn) (Operator, er
 	var op Operator
 	switch n.Op {
 	case plan.OpIndexScan:
-		if n.PatternNode < 0 || n.PatternNode >= pat.N() {
-			return nil, fmt.Errorf("exec: scan of pattern node %d out of range", n.PatternNode)
+		var err error
+		op, err = buildLeaf(pat, n)
+		if err != nil {
+			return nil, err
 		}
-		op = NewIndexScan(pat, n.PatternNode)
 	case plan.OpSort:
 		in, err := buildWrapped(pat, n.Left, wrap)
 		if err != nil {
@@ -156,8 +156,7 @@ func ReferenceMatches(doc *xmltree.Document, pat *pattern.Pattern) []Tuple {
 			return nil
 		}
 		for _, id := range doc.NodesWithTag(tag) {
-			if pat.Nodes[u].Op != pattern.CmpNone &&
-				!evalPredicateRef(doc.Value(id), pat.Nodes[u], pat) {
+			if !pat.Nodes[u].MatchesValue(doc.Value(id)) {
 				continue
 			}
 			cand[u] = append(cand[u], id)
@@ -191,10 +190,4 @@ func ReferenceMatches(doc *xmltree.Document, pat *pattern.Pattern) []Tuple {
 	}
 	rec(0)
 	return out
-}
-
-// evalPredicateRef evaluates a node's value predicate for the reference
-// matcher (delegating to the shared predicate semantics).
-func evalPredicateRef(v string, nd pattern.Node, _ *pattern.Pattern) bool {
-	return histogram.EvalPredicate(v, nd.Op, nd.Value)
 }

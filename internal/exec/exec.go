@@ -73,6 +73,7 @@ type Stats struct {
 	OutputTuples  int // tuples produced by the plan root
 	Batches       int // root-level NextBatch calls on the batched path
 	SkippedTuples int // index postings bypassed by skip-ahead seeks
+	ValueProbes   int // value-index probes opened (predicate pushdown leaves)
 }
 
 // Add accumulates o's counters into s. The partition-parallel driver uses
@@ -87,6 +88,7 @@ func (s *Stats) Add(o Stats) {
 	s.OutputTuples += o.OutputTuples
 	s.Batches += o.Batches
 	s.SkippedTuples += o.SkippedTuples
+	s.ValueProbes += o.ValueProbes
 }
 
 // Context carries the execution environment shared by all operators of one

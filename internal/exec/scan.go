@@ -3,7 +3,6 @@ package exec
 import (
 	"fmt"
 
-	"sjos/internal/histogram"
 	"sjos/internal/pattern"
 	"sjos/internal/storage"
 	"sjos/internal/xmltree"
@@ -87,7 +86,7 @@ func (s *IndexScan) Next() (Tuple, bool, error) {
 			}
 		}
 		if s.op != pattern.CmpNone &&
-			!histogram.EvalPredicate(s.ctx.Doc.Value(id), s.op, s.value) {
+			!pattern.EvalPredicate(s.ctx.Doc.Value(id), s.op, s.value) {
 			continue
 		}
 		return Tuple{id}, true, nil
@@ -127,7 +126,7 @@ func (s *IndexScan) NextBatch(b *Batch) error {
 		}
 		doc := s.ctx.Doc
 		for _, id := range s.blk[:n] {
-			if histogram.EvalPredicate(doc.Value(id), s.op, s.value) {
+			if pattern.EvalPredicate(doc.Value(id), s.op, s.value) {
 				b.AppendID(id)
 			}
 		}

@@ -191,6 +191,9 @@ func (tb *TraceBuilder) snapshot(a *traceAcc) *OpTrace {
 func opName(n *plan.Node) string {
 	switch n.Op {
 	case plan.OpIndexScan:
+		if n.ValueIndex {
+			return "ValueIndexScan"
+		}
 		return "IndexScan"
 	case plan.OpSort:
 		return "Sort"

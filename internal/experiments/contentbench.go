@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"sjos"
+)
+
+// contentQueries are the predicate-pushdown workload: selective value
+// predicates over the DBLP-like data set, one exercising the numeric-range
+// directory (year is all-numeric, uniform over 33 values) and one the
+// exact-match postings (booktitle has ~300 distinct values).
+var contentQueries = []struct {
+	ID     string
+	Source string
+}{
+	{"range/year", `//article[year < 1975]/title`},
+	{"eq/booktitle", `//inproceedings[booktitle = "conf-7"]/author`},
+}
+
+// ContentBenchRow compares one (query, fold) cell executed through
+// value-index probes against the scan+filter escape hatch (NoValueIndex).
+type ContentBenchRow struct {
+	Query   string
+	Fold    int
+	Probe   time.Duration // best execution with value-index probes
+	Scan    time.Duration // best execution with NoValueIndex (scan+filter)
+	Speedup float64
+	Matches int
+	Probes  int // value-index probes opened on the probe lane
+	// ScannedProbe / ScannedScan are the tuples each lane's leaves
+	// produced — the work the pushdown avoids.
+	ScannedProbe int
+	ScannedScan  int
+}
+
+// ContentBench measures value-index predicate pushdown against scan+filter
+// on selective-predicate queries over the DBLP data set, across folding
+// factors. Per cell both lanes optimize and execute independently (the
+// plans differ: ValueIndexScan vs IndexScan leaves); their match counts
+// must agree, a divergence is an error.
+func ContentBench(m sjos.Method, folds []int) ([]ContentBenchRow, error) {
+	var rows []ContentBenchRow
+	for _, q := range contentQueries {
+		pat, err := sjos.ParsePattern(q.Source)
+		if err != nil {
+			return nil, err
+		}
+		for _, fold := range folds {
+			db, err := Dataset("dblp", fold)
+			if err != nil {
+				return nil, err
+			}
+			row := ContentBenchRow{Query: q.ID, Fold: fold, Matches: -1}
+			lane := func(noVidx bool) (time.Duration, error) {
+				best := time.Duration(1<<63 - 1)
+				for i := 0; i < evalRepeat; i++ {
+					r, err := db.QueryPatternContext(context.Background(), pat,
+						sjos.QueryOptions{Method: m, NoValueIndex: noVidx})
+					if err != nil {
+						return 0, err
+					}
+					// Time only the execution phase: after the first round the
+					// plan cache absorbs the optimize phase anyway, and the
+					// pushdown's effect is on execution.
+					if r.ExecuteTime < best {
+						best = r.ExecuteTime
+					}
+					if row.Matches == -1 {
+						row.Matches = len(r.Matches)
+					} else if len(r.Matches) != row.Matches {
+						return 0, fmt.Errorf("%s x%d: novidx=%v found %d matches, other lane %d",
+							q.ID, fold, noVidx, len(r.Matches), row.Matches)
+					}
+					if noVidx {
+						row.ScannedScan = r.Exec.ScannedTuples
+					} else {
+						row.Probes = r.Exec.ValueProbes
+						row.ScannedProbe = r.Exec.ScannedTuples
+					}
+				}
+				return best, nil
+			}
+			if row.Probe, err = lane(false); err != nil {
+				return nil, err
+			}
+			if row.Scan, err = lane(true); err != nil {
+				return nil, err
+			}
+			if row.Probe > 0 {
+				row.Speedup = float64(row.Scan) / float64(row.Probe)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderContentBench formats the pushdown comparison as a table, followed
+// by the store's compression footprint for the largest fold measured.
+func RenderContentBench(rows []ContentBenchRow, m sjos.Method) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Value-index probes vs scan+filter (dblp, %s)\n", m)
+	fmt.Fprintf(&sb, "%-14s %-6s %12s %12s %9s %9s %7s %10s %10s\n",
+		"Query", "Fold", "probe", "scan", "speedup", "matches", "probes", "scanned", "filtered")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s x%-5d %12v %12v %8.2fx %9d %7d %10d %10d\n",
+			r.Query, r.Fold, r.Probe, r.Scan, r.Speedup, r.Matches, r.Probes,
+			r.ScannedProbe, r.ScannedScan)
+	}
+	if len(rows) > 0 {
+		maxFold := 0
+		for _, r := range rows {
+			if r.Fold > maxFold {
+				maxFold = r.Fold
+			}
+		}
+		if db, err := Dataset("dblp", maxFold); err == nil {
+			cs := db.ContentStats()
+			ratio := 0.0
+			if cs.RawPostingsBytes > 0 {
+				ratio = float64(cs.PostingsBytes) / float64(cs.RawPostingsBytes)
+			}
+			fmt.Fprintf(&sb, "postings x%d: %d bytes encoded / %d raw (%.0f%%), %d value runs, interning saved %d bytes\n",
+				maxFold, cs.PostingsBytes, cs.RawPostingsBytes, 100*ratio,
+				cs.ValueRuns, cs.Intern.BytesSaved)
+		}
+	}
+	return sb.String()
+}

@@ -21,8 +21,6 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
 
 	"sjos/internal/pattern"
@@ -373,48 +371,12 @@ func (s *Stats) PredicateSelectivity(t xmltree.TagID, op pattern.CmpOp, value st
 	return sel
 }
 
-// EvalPredicate reports whether a node text value satisfies (op, rhs). It is
-// shared with the executor's filter operator so estimates and execution use
-// identical semantics.
+// EvalPredicate reports whether a node text value satisfies (op, rhs). It
+// forwards to pattern.EvalPredicate, the single definition of the predicate
+// semantics shared by the estimator, the executor's filter operator and the
+// value index.
 func EvalPredicate(v string, op pattern.CmpOp, rhs string) bool {
-	switch op {
-	case pattern.CmpNone:
-		return true
-	case pattern.CmpContains:
-		return strings.Contains(v, rhs)
-	}
-	var c int
-	if fa, ea := strconv.ParseFloat(v, 64); ea == nil {
-		if fb, eb := strconv.ParseFloat(rhs, 64); eb == nil {
-			switch {
-			case fa < fb:
-				c = -1
-			case fa > fb:
-				c = 1
-			}
-			return cmpHolds(c, op)
-		}
-	}
-	c = strings.Compare(v, rhs)
-	return cmpHolds(c, op)
-}
-
-func cmpHolds(c int, op pattern.CmpOp) bool {
-	switch op {
-	case pattern.CmpEq:
-		return c == 0
-	case pattern.CmpNe:
-		return c != 0
-	case pattern.CmpLt:
-		return c < 0
-	case pattern.CmpLe:
-		return c <= 0
-	case pattern.CmpGt:
-		return c > 0
-	case pattern.CmpGe:
-		return c >= 0
-	}
-	return false
+	return pattern.EvalPredicate(v, op, rhs)
 }
 
 // sortedLevels returns a tag's populated levels in ascending order; used by

@@ -54,6 +54,12 @@ type Node struct {
 
 	// PatternNode is the pattern node an OpIndexScan feeds.
 	PatternNode int
+	// ValueIndex marks an OpIndexScan that retrieves its candidates by a
+	// value-index probe of the pattern node's predicate instead of a full
+	// tag scan + filter (predicate pushdown). Only meaningful on leaves of
+	// predicated pattern nodes; the executor falls back to scan+filter if
+	// the store cannot serve the probe.
+	ValueIndex bool
 
 	// Left and Right are the operator inputs. OpSort uses only Left.
 	Left, Right *Node
@@ -200,6 +206,9 @@ func (n *Node) validate(pat *pattern.Pattern, seenEdges map[int]bool) error {
 		if n.OrderedBy != n.PatternNode {
 			return fmt.Errorf("plan: scan of %d claims order by %d", n.PatternNode, n.OrderedBy)
 		}
+		if n.ValueIndex && pat.Nodes[n.PatternNode].Op == pattern.CmpNone {
+			return fmt.Errorf("plan: value-index scan of %d, which has no predicate", n.PatternNode)
+		}
 		return nil
 	case OpSort:
 		if err := n.Left.validate(pat, seenEdges); err != nil {
@@ -276,7 +285,11 @@ func (n *Node) format(pat *pattern.Pattern, sb *strings.Builder, depth int) {
 	}
 	switch n.Op {
 	case OpIndexScan:
-		fmt.Fprintf(sb, "%sIndexScan %s", indent, tag(n.PatternNode))
+		name := "IndexScan"
+		if n.ValueIndex {
+			name = "ValueIndexScan"
+		}
+		fmt.Fprintf(sb, "%s%s %s", indent, name, tag(n.PatternNode))
 	case OpSort:
 		fmt.Fprintf(sb, "%sSort by %s", indent, tag(n.SortBy))
 	case OpStructuralJoin:

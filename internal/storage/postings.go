@@ -1,0 +1,412 @@
+package storage
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"sjos/internal/xmltree"
+)
+
+// Compressed postings: every postings list in the store — one per element
+// tag and one per indexed (tag, value) group — is stored as a sequence of
+// delta+varint encoded blocks of at most postingsBlockLen NodeIDs. Blocks
+// never cross a page boundary, so one block decode pins exactly one page,
+// and the per-run block directory (kept in memory, like the tag directory
+// itself) carries each block's first NodeID and first Start position. That
+// directory makes SeekGE a binary search over in-memory block headers plus
+// at most one in-block search, and NextBlock a straight block-by-block
+// decode — the skip-ahead and batch contracts of the uncompressed format,
+// at a fraction of the on-disk size.
+//
+// Block wire format (within a page payload):
+//
+//	uvarint count            — postings in this block (1..postingsBlockLen)
+//	uvarint firstID          — the block's first NodeID
+//	uvarint delta × (count-1) — id[k] - id[k-1]; strictly positive
+const postingsBlockLen = 128
+
+// maxBlockBytes bounds one encoded block (count and first up to 5 bytes,
+// every delta up to 5 bytes).
+const maxBlockBytes = 2*binary.MaxVarintLen32 + (postingsBlockLen-1)*binary.MaxVarintLen32
+
+// blockRef locates one encoded block and summarises its content. The
+// directory entry is what makes block-wise skip-ahead cheap: firstStart is
+// consulted without touching the page.
+type blockRef struct {
+	page       PageID
+	off        uint16 // byte offset within the page payload
+	n          uint16 // postings in the block
+	startIdx   int32  // index of the block's first posting within its run
+	firstID    xmltree.NodeID
+	firstStart xmltree.Pos
+}
+
+// postingsRun is one postings list: its length and the in-memory directory
+// of its encoded blocks.
+type postingsRun struct {
+	count  int
+	blocks []blockRef
+}
+
+// encodeBlock writes ids (strictly increasing, non-empty) into dst and
+// returns the encoded length.
+func encodeBlock(dst []byte, ids []xmltree.NodeID) int {
+	n := binary.PutUvarint(dst, uint64(len(ids)))
+	n += binary.PutUvarint(dst[n:], uint64(ids[0]))
+	for k := 1; k < len(ids); k++ {
+		n += binary.PutUvarint(dst[n:], uint64(ids[k]-ids[k-1]))
+	}
+	return n
+}
+
+// decodeBlock reads a block from a page payload into dst, validating the
+// count against the directory and the strict-increase invariant (a corrupt
+// but checksum-passing page must not produce garbage postings silently).
+func decodeBlock(payload []byte, ref blockRef, dst []xmltree.NodeID) error {
+	b := payload[ref.off:]
+	count, n := binary.Uvarint(b)
+	if n <= 0 || count != uint64(ref.n) {
+		return fmt.Errorf("storage: postings block on page %d: count %d, directory says %d", ref.page, count, ref.n)
+	}
+	b = b[n:]
+	first, n := binary.Uvarint(b)
+	if n <= 0 {
+		return fmt.Errorf("storage: postings block on page %d: bad first id", ref.page)
+	}
+	b = b[n:]
+	id := xmltree.NodeID(first)
+	dst[0] = id
+	for k := 1; k < int(ref.n); k++ {
+		d, n := binary.Uvarint(b)
+		if n <= 0 || d == 0 {
+			return fmt.Errorf("storage: postings block on page %d: bad delta at %d", ref.page, k)
+		}
+		b = b[n:]
+		id += xmltree.NodeID(d)
+		dst[k] = id
+	}
+	return nil
+}
+
+// postingsWriter appends encoded blocks to consecutive pages of a page
+// file, sealing each page (checksum header) as it fills. It serves both the
+// tag-postings segment and the value-index segment of a store build.
+type postingsWriter struct {
+	file    PageFile
+	page    Page
+	cur     PageID
+	off     int // next free byte within the current page's payload
+	dirty   bool
+	bytes   int // total encoded bytes, for compression accounting
+	scratch [maxBlockBytes]byte
+}
+
+func newPostingsWriter(file PageFile, first PageID) *postingsWriter {
+	return &postingsWriter{file: file, cur: first}
+}
+
+// writeRun encodes ids as blocks, appending to the current page and
+// advancing to fresh pages as needed; start resolves a NodeID to its Start
+// position for the directory (document order is Start order, so a block's
+// firstStart orders the whole run).
+func (w *postingsWriter) writeRun(ids []xmltree.NodeID, start func(xmltree.NodeID) xmltree.Pos) (postingsRun, error) {
+	run := postingsRun{count: len(ids)}
+	for i := 0; i < len(ids); i += postingsBlockLen {
+		blk := ids[i:]
+		if len(blk) > postingsBlockLen {
+			blk = blk[:postingsBlockLen]
+		}
+		enc := encodeBlock(w.scratch[:], blk)
+		if w.off+enc > PayloadSize {
+			if err := w.flushPage(); err != nil {
+				return postingsRun{}, err
+			}
+		}
+		copy(w.page[PageHeaderSize+w.off:], w.scratch[:enc])
+		run.blocks = append(run.blocks, blockRef{
+			page:       w.cur,
+			off:        uint16(w.off),
+			n:          uint16(len(blk)),
+			startIdx:   int32(i),
+			firstID:    blk[0],
+			firstStart: start(blk[0]),
+		})
+		w.off += enc
+		w.bytes += enc
+		w.dirty = true
+	}
+	return run, nil
+}
+
+// flushPage seals and writes the current page and moves to the next one.
+func (w *postingsWriter) flushPage() error {
+	SealPage(w.cur, &w.page)
+	if err := w.file.WritePage(w.cur, &w.page); err != nil {
+		return fmt.Errorf("storage: write postings page %d: %w", w.cur, err)
+	}
+	w.page = Page{}
+	w.cur++
+	w.off = 0
+	w.dirty = false
+	return nil
+}
+
+// finish flushes the trailing partial page and returns the first unused
+// page id.
+func (w *postingsWriter) finish() (PageID, error) {
+	if w.dirty {
+		if err := w.flushPage(); err != nil {
+			return 0, err
+		}
+	}
+	return w.cur, nil
+}
+
+// runCursor iterates one postings run in document order through the buffer
+// pool, decoding one block at a time. It carries the optional Start-range
+// restriction of partition-parallel scans; TagScanner and the value-index
+// scanners are thin layers over it.
+type runCursor struct {
+	store *Store
+	ctx   context.Context
+	run   postingsRun
+	i     int // postings consumed (index within the run)
+
+	blk  int // decoded block index, -1 = none
+	bufN int
+	buf  [postingsBlockLen]xmltree.NodeID
+
+	// Range restriction (ScanTagRange and partitioned probes only).
+	bounded bool
+	lo, hi  xmltree.Pos
+	seeked  bool // initial seek to lo performed
+}
+
+func (sc *runCursor) init(store *Store, ctx context.Context, run postingsRun) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sc.store, sc.ctx, sc.run, sc.blk = store, ctx, run, -1
+}
+
+func (sc *runCursor) restrict(lo, hi xmltree.Pos) {
+	sc.bounded, sc.lo, sc.hi = true, lo, hi
+}
+
+// loadBlock decodes block b into the cursor's buffer (one page pin).
+func (sc *runCursor) loadBlock(b int) error {
+	if sc.blk == b {
+		return nil
+	}
+	ref := sc.run.blocks[b]
+	pg, err := sc.store.pool.GetCtx(sc.ctx, ref.page)
+	if err != nil {
+		return err
+	}
+	err = decodeBlock(pg[PageHeaderSize:], ref, sc.buf[:ref.n])
+	sc.store.pool.Unpin(ref.page, false)
+	if err != nil {
+		return err
+	}
+	sc.blk, sc.bufN = b, int(ref.n)
+	sc.store.blocksDecoded.Add(1)
+	return nil
+}
+
+// blockFor returns the index of the block containing posting i.
+func (sc *runCursor) blockFor(i int) int {
+	// Runs are short directories; the common case advances into the next
+	// block, so check it before binary searching.
+	if sc.blk >= 0 {
+		if ref := sc.run.blocks[sc.blk]; i >= int(ref.startIdx) && i < int(ref.startIdx)+int(ref.n) {
+			return sc.blk
+		}
+		if n := sc.blk + 1; n < len(sc.run.blocks) {
+			if ref := sc.run.blocks[n]; i >= int(ref.startIdx) && i < int(ref.startIdx)+int(ref.n) {
+				return n
+			}
+		}
+	}
+	return sort.Search(len(sc.run.blocks), func(b int) bool {
+		return int(sc.run.blocks[b].startIdx) > i
+	}) - 1
+}
+
+// seek positions the cursor on the first posting with Start >= lo.
+func (sc *runCursor) seek() error {
+	sc.seeked = true
+	return sc.advanceTo(sc.lo)
+}
+
+// advanceTo moves the cursor forward to the first unread posting with
+// Start >= pos. The block directory is searched in memory; at most one
+// block is decoded and binary-searched with node-record reads, so a seek
+// costs O(log blocks) memory work plus O(log blockLen) page reads — the
+// index skip-ahead behind SeekGE.
+func (sc *runCursor) advanceTo(pos xmltree.Pos) error {
+	blocks := sc.run.blocks
+	b := sort.Search(len(blocks), func(k int) bool {
+		return blocks[k].firstStart >= pos
+	})
+	j := sc.run.count
+	if b < len(blocks) {
+		j = int(blocks[b].startIdx)
+	}
+	if b > 0 {
+		// The first in-range posting may sit inside the preceding block.
+		ref := blocks[b-1]
+		if err := sc.loadBlock(b - 1); err != nil {
+			return err
+		}
+		lo, hi := 0, int(ref.n)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			rec, err := sc.store.NodeCtx(sc.ctx, sc.buf[mid])
+			if err != nil {
+				return err
+			}
+			if rec.Start < pos {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < int(ref.n) {
+			j = int(ref.startIdx) + lo
+		}
+	}
+	if j > sc.i {
+		sc.i = j
+	}
+	return nil
+}
+
+// SeekGE skips the cursor forward to the first unread posting whose Start
+// position is >= pos; a pos at or before the current position is a no-op.
+// It returns how many postings were skipped. For a bounded cursor the
+// pending initial seek to the range's Lo runs first, so SeekGE never
+// escapes the range's lower bound.
+func (sc *runCursor) SeekGE(pos xmltree.Pos) (int, error) {
+	if sc.bounded && !sc.seeked {
+		if err := sc.seek(); err != nil {
+			return 0, err
+		}
+	}
+	before := sc.i
+	if err := sc.advanceTo(pos); err != nil {
+		return 0, err
+	}
+	return sc.i - before, nil
+}
+
+// Next returns the next (NodeID, NodeRecord) of the run. ok is false when
+// the postings (or, for a bounded cursor, the in-range postings) are
+// exhausted.
+func (sc *runCursor) Next() (xmltree.NodeID, NodeRecord, bool, error) {
+	if sc.bounded && !sc.seeked {
+		if err := sc.seek(); err != nil {
+			return 0, NodeRecord{}, false, err
+		}
+	}
+	if sc.i >= sc.run.count {
+		return 0, NodeRecord{}, false, nil
+	}
+	b := sc.blockFor(sc.i)
+	if err := sc.loadBlock(b); err != nil {
+		return 0, NodeRecord{}, false, err
+	}
+	id := sc.buf[sc.i-int(sc.run.blocks[b].startIdx)]
+	rec, err := sc.store.NodeCtx(sc.ctx, id)
+	if err != nil {
+		return 0, NodeRecord{}, false, err
+	}
+	if sc.bounded && rec.Start >= sc.hi {
+		sc.i = sc.run.count // range exhausted: park at end
+		return 0, NodeRecord{}, false, nil
+	}
+	sc.i++
+	return id, rec, true, nil
+}
+
+// NextBlock fills ids with the run's next postings, returning how many were
+// produced (0 at end of stream). Each encoded block is decoded once per
+// pass (one page pin per block), and an unbounded cursor fetches no node
+// records at all; a bounded cursor clips each decoded slice against the
+// range end with one pin per node page.
+func (sc *runCursor) NextBlock(ids []xmltree.NodeID) (int, error) {
+	if sc.bounded && !sc.seeked {
+		if err := sc.seek(); err != nil {
+			return 0, err
+		}
+	}
+	n := 0
+	for n < len(ids) && sc.i < sc.run.count {
+		b := sc.blockFor(sc.i)
+		if err := sc.loadBlock(b); err != nil {
+			return n, err
+		}
+		off := sc.i - int(sc.run.blocks[b].startIdx)
+		avail := sc.bufN - off
+		if want := len(ids) - n; avail > want {
+			avail = want
+		}
+		copy(ids[n:n+avail], sc.buf[off:off+avail])
+		if sc.bounded {
+			kept, err := sc.clipAtRangeEnd(ids[n : n+avail])
+			if err != nil {
+				return n, err
+			}
+			n += kept
+			sc.i += kept
+			if kept < avail {
+				sc.i = sc.run.count // range exhausted: park at end
+				return n, nil
+			}
+			continue
+		}
+		n += avail
+		sc.i += avail
+	}
+	return n, nil
+}
+
+// clipAtRangeEnd returns how many leading ids (in document order) still have
+// Start < the range end, reading node records with one pin per node page.
+func (sc *runCursor) clipAtRangeEnd(ids []xmltree.NodeID) (int, error) {
+	var (
+		pg      *Page
+		curPage PageID
+	)
+	defer func() {
+		if pg != nil {
+			sc.store.pool.Unpin(curPage, false)
+		}
+	}()
+	for k, id := range ids {
+		p := PageID(int(id) / nodesPerPage)
+		if pg == nil || p != curPage {
+			if pg != nil {
+				sc.store.pool.Unpin(curPage, false)
+				pg = nil
+			}
+			var err error
+			pg, err = sc.store.pool.GetCtx(sc.ctx, p)
+			if err != nil {
+				return 0, err
+			}
+			curPage = p
+		}
+		off := PageHeaderSize + (int(id)%nodesPerPage)*nodeRecSize
+		if start := xmltree.Pos(binary.LittleEndian.Uint32(pg[off:])); start >= sc.hi {
+			return k, nil
+		}
+	}
+	return len(ids), nil
+}
+
+// Remaining returns how many postings are left to scan. For a bounded
+// cursor this is an upper bound: the tail beyond the range's end is
+// included until the cursor reaches it.
+func (sc *runCursor) Remaining() int { return sc.run.count - sc.i }

@@ -4,7 +4,9 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
+	"sjos/internal/intern"
 	"sjos/internal/xmltree"
 )
 
@@ -26,22 +28,34 @@ const nodeRecSize = 4 + 4 + 2 + 4 + 4
 // PageHeaderSize bytes hold the integrity header).
 const nodesPerPage = PayloadSize / nodeRecSize
 
-// postingSize is the serialised size of one tag-index posting (a NodeID).
-const postingSize = 4
+// rawPostingSize is the serialised size of one uncompressed posting (a
+// NodeID) — the baseline the compressed blocks are measured against.
+const rawPostingSize = 4
 
-// postingsPerPage is how many postings fit in one page's payload.
-const postingsPerPage = PayloadSize / postingSize
-
-// Store is the paged element store plus tag index for one document: the
-// stand-in for Timber's SHORE-backed element storage. All page access goes
-// through a BufferPool so experiments observe hit/miss behaviour.
+// Store is the paged element store plus tag and value indexes for one
+// document: the stand-in for Timber's SHORE-backed element storage. All
+// page access goes through a BufferPool so experiments observe hit/miss
+// behaviour. Postings — tag lists and value-index lists alike — are stored
+// as compressed delta+varint blocks (see postings.go).
 type Store struct {
 	doc  *storeMeta
 	file PageFile
 	pool *BufferPool
 
 	nodePages int // node records occupy pages [0, nodePages)
-	tagDir    []tagRun
+	tagDir    []postingsRun
+	tagByName map[string]xmltree.TagID
+
+	// vidx is the (tag, value) content index; nil when the store was built
+	// with StoreOptions.NoValueIndex.
+	vidx *valueIndex
+
+	// Compression and probe accounting (see ContentStats).
+	postingsBytes    int
+	rawPostingsBytes int
+	internStats      intern.Stats
+	probes           atomic.Uint64
+	blocksDecoded    atomic.Uint64
 }
 
 // storeMeta holds the document-level metadata the store needs after build.
@@ -51,11 +65,11 @@ type storeMeta struct {
 	Tags     []string
 }
 
-// tagRun locates one tag's postings inside the postings segment.
-type tagRun struct {
-	firstPage PageID // page holding the first posting
-	offset    int    // posting index within firstPage
-	count     int
+// StoreOptions tunes store construction.
+type StoreOptions struct {
+	// NoValueIndex skips building the (tag, value) content index; value
+	// predicates then always run as scan+filter.
+	NoValueIndex bool
 }
 
 // BuildStore serialises doc into a fresh MemFile and returns a Store reading
@@ -69,6 +83,11 @@ func BuildStore(doc *xmltree.Document, poolFrames int) (*Store, error) {
 // DiskFile for a persistent database image — and returns a Store reading
 // through a buffer pool with the given number of frames.
 func BuildStoreOn(file PageFile, doc *xmltree.Document, poolFrames int) (*Store, error) {
+	return BuildStoreOnOpts(file, doc, poolFrames, StoreOptions{})
+}
+
+// BuildStoreOnOpts is BuildStoreOn with construction options.
+func BuildStoreOnOpts(file PageFile, doc *xmltree.Document, poolFrames int, opts StoreOptions) (*Store, error) {
 	if file.NumPages() != 0 {
 		return nil, fmt.Errorf("storage: BuildStoreOn needs an empty file, got %d pages", file.NumPages())
 	}
@@ -92,48 +111,52 @@ func BuildStoreOn(file PageFile, doc *xmltree.Document, poolFrames int) (*Store,
 		page = Page{}
 	}
 
-	// Postings segment: all tags' postings concatenated.
-	dir := make([]tagRun, doc.NumTags())
-	cur := PageID(nodePages)
-	inPage := 0
+	// Postings segment: all tags' postings, compressed block-wise, followed
+	// by the value index's postings on the same writer.
+	w := newPostingsWriter(file, PageID(nodePages))
+	dir := make([]postingsRun, doc.NumTags())
+	rawBytes := 0
 	for t := 0; t < doc.NumTags(); t++ {
 		nodes := doc.NodesWithTag(xmltree.TagID(t))
-		dir[t] = tagRun{
-			firstPage: cur,
-			offset:    inPage,
-			count:     len(nodes),
-		}
-		for _, nd := range nodes {
-			binary.LittleEndian.PutUint32(page[PageHeaderSize+inPage*postingSize:], uint32(nd))
-			inPage++
-			if inPage == postingsPerPage {
-				SealPage(cur, &page)
-				if err := file.WritePage(cur, &page); err != nil {
-					return nil, fmt.Errorf("storage: build postings: %w", err)
-				}
-				page = Page{}
-				cur++
-				inPage = 0
-			}
-		}
-	}
-	if inPage > 0 {
-		SealPage(cur, &page)
-		if err := file.WritePage(cur, &page); err != nil {
+		run, err := w.writeRun(nodes, doc.Start)
+		if err != nil {
 			return nil, fmt.Errorf("storage: build postings: %w", err)
 		}
+		dir[t] = run
+		rawBytes += rawPostingSize * len(nodes)
+	}
+
+	var vx *valueIndex
+	if !opts.NoValueIndex {
+		var err error
+		var vxRaw int
+		vx, vxRaw, err = buildValueIndex(w, doc)
+		if err != nil {
+			return nil, fmt.Errorf("storage: build value index: %w", err)
+		}
+		rawBytes += vxRaw
+	}
+	if _, err := w.finish(); err != nil {
+		return nil, err
 	}
 
 	tags := make([]string, doc.NumTags())
+	byName := make(map[string]xmltree.TagID, doc.NumTags())
 	for t := range tags {
 		tags[t] = doc.TagName(xmltree.TagID(t))
+		byName[tags[t]] = xmltree.TagID(t)
 	}
 	return &Store{
-		doc:       &storeMeta{NumNodes: n, NumTags: doc.NumTags(), Tags: tags},
-		file:      file,
-		pool:      NewBufferPool(file, poolFrames),
-		nodePages: nodePages,
-		tagDir:    dir,
+		doc:              &storeMeta{NumNodes: n, NumTags: doc.NumTags(), Tags: tags},
+		file:             file,
+		pool:             NewBufferPool(file, poolFrames),
+		nodePages:        nodePages,
+		tagDir:           dir,
+		tagByName:        byName,
+		vidx:             vx,
+		postingsBytes:    w.bytes,
+		rawPostingsBytes: rawBytes,
+		internStats:      doc.InternStats(),
 	}, nil
 }
 
@@ -203,16 +226,10 @@ func (s *Store) NodeCtx(ctx context.Context, id xmltree.NodeID) (NodeRecord, err
 // paper's "index access" leaf operator. A scanner opened with ScanTagRange
 // is additionally restricted to nodes whose Start position lies inside a
 // half-open range — the partition-parallel executor's leaf access path.
+// All iteration mechanics (block decode, skip-ahead, range clipping) live
+// in the embedded runCursor, shared with the value-index scanners.
 type TagScanner struct {
-	store *Store
-	ctx   context.Context
-	run   tagRun
-	i     int // postings consumed
-
-	// Range restriction (ScanTagRange only).
-	bounded bool
-	lo, hi  xmltree.Pos
-	seeked  bool // initial binary search for lo performed
+	runCursor
 }
 
 // ScanTag opens a scanner over tag t's postings.
@@ -223,22 +240,21 @@ func (s *Store) ScanTag(t xmltree.TagID) *TagScanner {
 // ScanTagCtx is ScanTag under a context: the scanner's page reads — and any
 // retry backoffs inside them — abort when ctx is cancelled.
 func (s *Store) ScanTagCtx(ctx context.Context, t xmltree.TagID) *TagScanner {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	var run tagRun
+	var run postingsRun
 	if int(t) < len(s.tagDir) {
 		run = s.tagDir[t]
 	}
-	return &TagScanner{store: s, ctx: ctx, run: run}
+	sc := &TagScanner{}
+	sc.init(s, ctx, run)
+	return sc
 }
 
 // ScanTagRange opens a scanner over the subset of tag t's postings whose
 // Start position lies in [lo, hi). The scanner seeks to the first in-range
-// posting with a binary search over the postings segment (postings are in
-// document order, and document order is Start order) on the first Next
-// call, so a partition pays O(log n) page reads instead of skipping every
-// earlier posting.
+// posting on the first Next call — a binary search over the in-memory
+// block directory plus one block decode (postings are in document order,
+// and document order is Start order) — so a partition pays O(log) work
+// instead of skipping every earlier posting.
 func (s *Store) ScanTagRange(t xmltree.TagID, lo, hi xmltree.Pos) *TagScanner {
 	return s.ScanTagRangeCtx(context.Background(), t, lo, hi)
 }
@@ -246,191 +262,52 @@ func (s *Store) ScanTagRange(t xmltree.TagID, lo, hi xmltree.Pos) *TagScanner {
 // ScanTagRangeCtx is ScanTagRange under a context (see ScanTagCtx).
 func (s *Store) ScanTagRangeCtx(ctx context.Context, t xmltree.TagID, lo, hi xmltree.Pos) *TagScanner {
 	sc := s.ScanTagCtx(ctx, t)
-	sc.bounded, sc.lo, sc.hi = true, lo, hi
+	sc.restrict(lo, hi)
 	return sc
 }
 
-// posting reads the i-th posting of the scanner's tag.
-func (sc *TagScanner) posting(i int) (xmltree.NodeID, error) {
-	global := sc.run.offset + i
-	p := sc.run.firstPage + PageID(global/postingsPerPage)
-	off := PageHeaderSize + (global%postingsPerPage)*postingSize
-	pg, err := sc.store.pool.GetCtx(sc.ctx, p)
-	if err != nil {
-		return 0, err
-	}
-	id := xmltree.NodeID(binary.LittleEndian.Uint32(pg[off:]))
-	sc.store.pool.Unpin(p, false)
-	return id, nil
+// ContentStats reports the store's content-index and compression counters:
+// how many value probes and block decodes the store has served, the
+// compressed versus raw postings footprint, and the document build's
+// intern-table behaviour.
+type ContentStats struct {
+	// ValueIndexed reports whether the (tag, value) index was built.
+	ValueIndexed bool
+	// ValueRuns is the number of (tag, value) postings lists persisted.
+	ValueRuns int
+	// NumericTags is the number of tags with a numeric-range index.
+	NumericTags int
+	// ValueProbes counts index probes served (sjos_value_index_probes_total).
+	ValueProbes uint64
+	// BlocksDecoded counts compressed postings blocks decoded
+	// (sjos_postings_blocks_decoded_total).
+	BlocksDecoded uint64
+	// PostingsBytes is the encoded size of all postings (tag + value);
+	// RawPostingsBytes the size the same lists would occupy uncompressed
+	// (4 bytes per posting).
+	PostingsBytes    int
+	RawPostingsBytes int
+	// Intern is the document build's value intern-table snapshot.
+	Intern intern.Stats
 }
 
-// seek positions the scanner on the first posting with Start >= lo.
-func (sc *TagScanner) seek() error {
-	sc.seeked = true
-	return sc.advanceTo(sc.lo)
-}
-
-// advanceTo binary-searches the unread postings [sc.i, count) for the first
-// one with Start >= pos and moves the cursor there. Postings are in document
-// order, and document order is Start order, so the search costs O(log n)
-// positioned page reads through the buffer pool.
-func (sc *TagScanner) advanceTo(pos xmltree.Pos) error {
-	lo, hi := sc.i, sc.run.count
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		id, err := sc.posting(mid)
-		if err != nil {
-			return err
-		}
-		rec, err := sc.store.NodeCtx(sc.ctx, id)
-		if err != nil {
-			return err
-		}
-		if rec.Start < pos {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+// ContentStats returns a snapshot of the store's content-index counters.
+func (s *Store) ContentStats() ContentStats {
+	cs := ContentStats{
+		ValueIndexed:     s.vidx != nil,
+		ValueProbes:      s.probes.Load(),
+		BlocksDecoded:    s.blocksDecoded.Load(),
+		PostingsBytes:    s.postingsBytes,
+		RawPostingsBytes: s.rawPostingsBytes,
+		Intern:           s.internStats,
 	}
-	sc.i = lo
-	return nil
-}
-
-// SeekGE skips the scanner forward to the first unread posting whose Start
-// position is >= pos, bypassing every posting in between without reading it
-// sequentially — the index skip-ahead behind the executor's Seeker
-// interface. Seeks only move forward: a pos at or before the current
-// position is a no-op. It returns how many postings were skipped. For a
-// bounded scanner the pending initial seek to the range's Lo runs first, so
-// SeekGE never escapes the range's lower bound.
-func (sc *TagScanner) SeekGE(pos xmltree.Pos) (int, error) {
-	if sc.bounded && !sc.seeked {
-		if err := sc.seek(); err != nil {
-			return 0, err
-		}
-	}
-	before := sc.i
-	if err := sc.advanceTo(pos); err != nil {
-		return 0, err
-	}
-	return sc.i - before, nil
-}
-
-// Next returns the next (NodeID, NodeRecord) for the tag. ok is false when
-// the postings (or, for a bounded scanner, the in-range postings) are
-// exhausted.
-func (sc *TagScanner) Next() (xmltree.NodeID, NodeRecord, bool, error) {
-	if sc.bounded && !sc.seeked {
-		if err := sc.seek(); err != nil {
-			return 0, NodeRecord{}, false, err
-		}
-	}
-	if sc.i >= sc.run.count {
-		return 0, NodeRecord{}, false, nil
-	}
-	id, err := sc.posting(sc.i)
-	if err != nil {
-		return 0, NodeRecord{}, false, err
-	}
-	rec, err := sc.store.NodeCtx(sc.ctx, id)
-	if err != nil {
-		return 0, NodeRecord{}, false, err
-	}
-	if sc.bounded && rec.Start >= sc.hi {
-		sc.i = sc.run.count // range exhausted: park at end
-		return 0, NodeRecord{}, false, nil
-	}
-	sc.i++
-	return id, rec, true, nil
-}
-
-// NextBlock fills ids with the next postings of the tag, returning how many
-// were produced (0 at end of stream). It is the batched counterpart of Next:
-// each postings page is pinned once per block rather than once per posting,
-// and an unbounded scanner fetches no node records at all — the executor
-// resolves positions through the in-memory document. A bounded scanner
-// still checks each posting's Start against the range end, reading the node
-// records with one pin per node page instead of one per posting.
-func (sc *TagScanner) NextBlock(ids []xmltree.NodeID) (int, error) {
-	if sc.bounded && !sc.seeked {
-		if err := sc.seek(); err != nil {
-			return 0, err
-		}
-	}
-	n := 0
-	for n < len(ids) && sc.i < sc.run.count {
-		global := sc.run.offset + sc.i
-		p := sc.run.firstPage + PageID(global/postingsPerPage)
-		off := global % postingsPerPage
-		avail := postingsPerPage - off // postings left on this page
-		if rem := sc.run.count - sc.i; avail > rem {
-			avail = rem
-		}
-		if want := len(ids) - n; avail > want {
-			avail = want
-		}
-		pg, err := sc.store.pool.GetCtx(sc.ctx, p)
-		if err != nil {
-			return n, err
-		}
-		for k := 0; k < avail; k++ {
-			ids[n+k] = xmltree.NodeID(binary.LittleEndian.Uint32(pg[PageHeaderSize+(off+k)*postingSize:]))
-		}
-		sc.store.pool.Unpin(p, false)
-		if sc.bounded {
-			kept, err := sc.clipAtRangeEnd(ids[n : n+avail])
-			if err != nil {
-				return n, err
+	if s.vidx != nil {
+		cs.ValueRuns = s.vidx.runs
+		for t := range s.vidx.nums {
+			if s.vidx.nums[t].allNumeric && len(s.vidx.nums[t].vals) > 0 {
+				cs.NumericTags++
 			}
-			n += kept
-			sc.i += kept
-			if kept < avail {
-				sc.i = sc.run.count // range exhausted: park at end
-				return n, nil
-			}
-			continue
-		}
-		n += avail
-		sc.i += avail
-	}
-	return n, nil
-}
-
-// clipAtRangeEnd returns how many leading ids (in document order) still have
-// Start < the range end, reading node records with one pin per node page.
-func (sc *TagScanner) clipAtRangeEnd(ids []xmltree.NodeID) (int, error) {
-	var (
-		pg      *Page
-		curPage PageID
-	)
-	defer func() {
-		if pg != nil {
-			sc.store.pool.Unpin(curPage, false)
-		}
-	}()
-	for k, id := range ids {
-		p := PageID(int(id) / nodesPerPage)
-		if pg == nil || p != curPage {
-			if pg != nil {
-				sc.store.pool.Unpin(curPage, false)
-				pg = nil
-			}
-			var err error
-			pg, err = sc.store.pool.GetCtx(sc.ctx, p)
-			if err != nil {
-				return 0, err
-			}
-			curPage = p
-		}
-		off := PageHeaderSize + (int(id)%nodesPerPage)*nodeRecSize
-		if start := xmltree.Pos(binary.LittleEndian.Uint32(pg[off:])); start >= sc.hi {
-			return k, nil
 		}
 	}
-	return len(ids), nil
+	return cs
 }
-
-// Remaining returns how many postings are left to scan. For a bounded
-// scanner this is an upper bound: the tail beyond the range's end is
-// included until the scanner reaches it.
-func (sc *TagScanner) Remaining() int { return sc.run.count - sc.i }

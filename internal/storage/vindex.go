@@ -1,0 +1,448 @@
+package storage
+
+import (
+	"context"
+	"sort"
+
+	"sjos/internal/pattern"
+	"sjos/internal/xmltree"
+)
+
+// The value (content) index: per tag, a postings list for every distinct
+// text value (exact-match lookups) and, over the distinct numeric values, a
+// sorted directory for range lookups. Postings live in the same compressed
+// paged format as the tag index — one postingsWriter lays both segments out
+// during the build, so value-index reads flow through the buffer pool,
+// checksums and the retry path like every other page access.
+//
+// Eligibility is deliberately conservative: a probe is offered only when
+// the index provably reproduces pattern.EvalPredicate's semantics.
+//
+//   - CmpEq with a non-numeric rhs: byte-exact lookup. A numeric stored
+//     value can never equal a non-numeric rhs (equality would imply equal
+//     bytes, hence equal parseability), so the exact map suffices.
+//   - CmpEq with a numeric rhs: numeric-group lookup, which merges
+//     byte-distinct spellings of one number ("1", "1.0"). Non-numeric
+//     stored values compare lexicographically against the rhs and byte
+//     equality would again imply parseability, so none can match.
+//   - CmpLt/Le/Gt/Ge with a numeric rhs: served from the numeric directory
+//     only when every node of the tag has a non-empty numeric value
+//     (allNumeric) — otherwise some values would compare lexicographically
+//     and the numeric index cannot reproduce that.
+//   - Everything else (CmpNe, CmpContains, lexicographic ranges, empty
+//     rhs): not eligible; the executor falls back to scan+filter.
+type valueIndex struct {
+	exact map[valueKey]postingsRun
+	nums  []tagNumeric // indexed by TagID
+	runs  int          // postings lists persisted (exact groups + merged numeric groups)
+}
+
+// valueKey identifies one (tag, value) postings list. Values are the
+// document's interned strings, so keys share the document's backing bytes.
+type valueKey struct {
+	tag xmltree.TagID
+	val string
+}
+
+// tagNumeric is one tag's numeric-range directory: the distinct numeric
+// values in ascending order, each with the postings of all nodes whose
+// value parses to that number (regardless of spelling).
+type tagNumeric struct {
+	allNumeric bool // every node of the tag has a non-empty numeric value
+	vals       []float64
+	runs       []postingsRun
+}
+
+// buildValueIndex groups every tag's nodes by text value and writes the
+// groups' postings through w. It returns the index and the raw
+// (uncompressed-equivalent) byte count of the lists written.
+func buildValueIndex(w *postingsWriter, doc *xmltree.Document) (*valueIndex, int, error) {
+	vx := &valueIndex{
+		exact: make(map[valueKey]postingsRun),
+		nums:  make([]tagNumeric, doc.NumTags()),
+	}
+	rawBytes := 0
+	for t := 0; t < doc.NumTags(); t++ {
+		tag := xmltree.TagID(t)
+		nodes := doc.NodesWithTag(tag)
+		if len(nodes) == 0 {
+			continue
+		}
+		// Group postings by exact value, in document order. Values are
+		// already interned by the document builder, so the map keys alias
+		// the document's strings — no new value allocations here.
+		groups := make(map[string][]xmltree.NodeID)
+		allNumeric := true
+		for _, id := range nodes {
+			v := doc.Value(id)
+			if v == "" {
+				allNumeric = false
+				continue
+			}
+			if _, ok := pattern.ParseNumeric(v); !ok {
+				allNumeric = false
+			}
+			groups[v] = append(groups[v], id)
+		}
+		if len(groups) == 0 {
+			continue
+		}
+		vals := make([]string, 0, len(groups))
+		for v := range groups {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals) // deterministic layout
+		for _, v := range vals {
+			run, err := w.writeRun(groups[v], doc.Start)
+			if err != nil {
+				return nil, 0, err
+			}
+			vx.exact[valueKey{tag, v}] = run
+			vx.runs++
+			rawBytes += rawPostingSize * len(groups[v])
+		}
+		// Numeric directory: distinct parsed numbers in ascending order.
+		// A number spelled one way reuses its exact run; byte-distinct
+		// spellings of the same number get one merged run.
+		byNum := make(map[float64][]string)
+		for _, v := range vals {
+			if f, ok := pattern.ParseNumeric(v); ok {
+				byNum[f] = append(byNum[f], v)
+			}
+		}
+		if len(byNum) == 0 {
+			vx.nums[t] = tagNumeric{allNumeric: false}
+			continue
+		}
+		nums := make([]float64, 0, len(byNum))
+		for f := range byNum {
+			nums = append(nums, f)
+		}
+		sort.Float64s(nums)
+		tn := tagNumeric{
+			allNumeric: allNumeric,
+			vals:       nums,
+			runs:       make([]postingsRun, len(nums)),
+		}
+		for i, f := range nums {
+			reps := byNum[f]
+			if len(reps) == 1 {
+				tn.runs[i] = vx.exact[valueKey{tag, reps[0]}]
+				continue
+			}
+			merged := mergeIDLists(groups, reps)
+			run, err := w.writeRun(merged, doc.Start)
+			if err != nil {
+				return nil, 0, err
+			}
+			tn.runs[i] = run
+			vx.runs++
+			rawBytes += rawPostingSize * len(merged)
+		}
+		vx.nums[t] = tn
+	}
+	return vx, rawBytes, nil
+}
+
+// mergeIDLists merges the (sorted) id lists of the given group keys into
+// one sorted list.
+func mergeIDLists(groups map[string][]xmltree.NodeID, keys []string) []xmltree.NodeID {
+	total := 0
+	for _, k := range keys {
+		total += len(groups[k])
+	}
+	out := make([]xmltree.NodeID, 0, total)
+	for _, k := range keys {
+		out = append(out, groups[k]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasValueIndex reports whether the store carries a content index.
+func (s *Store) HasValueIndex() bool { return s.vidx != nil }
+
+// ProbeEligible reports whether the value predicate (op, value) on the
+// given tag can be served by an index probe with semantics identical to
+// scan+filter (see the package comment above for the case analysis). The
+// optimizer consults this through the estimator; the executor re-checks it
+// when opening a ValueIndexScan.
+func (s *Store) ProbeEligible(tag string, op pattern.CmpOp, value string) bool {
+	if s.vidx == nil {
+		return false
+	}
+	t, ok := s.tagByName[tag]
+	if !ok {
+		return false
+	}
+	switch op {
+	case pattern.CmpEq:
+		// Empty values are not indexed, and [. = ""] does match them.
+		return value != ""
+	case pattern.CmpLt, pattern.CmpLe, pattern.CmpGt, pattern.CmpGe:
+		if _, numeric := pattern.ParseNumeric(value); !numeric {
+			return false // lexicographic range: scan+filter
+		}
+		return s.vidx.nums[t].allNumeric
+	}
+	return false
+}
+
+// ProbeSelectivity returns the exact number of nodes an eligible probe
+// would produce, and whether the probe is eligible at all. The optimizer
+// uses it as a perfect cardinality for the indexed leaf.
+func (s *Store) ProbeSelectivity(tag string, op pattern.CmpOp, value string) (int, bool) {
+	runs, ok := s.probeRuns(tag, op, value)
+	if !ok {
+		return 0, false
+	}
+	n := 0
+	for _, r := range runs {
+		n += r.count
+	}
+	return n, true
+}
+
+// probeRuns resolves the postings runs an eligible probe reads (possibly
+// none, for a value absent from the document).
+func (s *Store) probeRuns(tag string, op pattern.CmpOp, value string) ([]postingsRun, bool) {
+	if !s.ProbeEligible(tag, op, value) {
+		return nil, false
+	}
+	t := s.tagByName[tag]
+	if op == pattern.CmpEq {
+		if f, numeric := pattern.ParseNumeric(value); numeric {
+			tn := &s.vidx.nums[t]
+			i := sort.SearchFloat64s(tn.vals, f)
+			if i < len(tn.vals) && tn.vals[i] == f {
+				return []postingsRun{tn.runs[i]}, true
+			}
+			return nil, true // value absent: empty probe
+		}
+		if run, ok := s.vidx.exact[valueKey{t, value}]; ok {
+			return []postingsRun{run}, true
+		}
+		return nil, true
+	}
+	// Numeric range: select the directory slice satisfying the bound.
+	f, _ := pattern.ParseNumeric(value)
+	tn := &s.vidx.nums[t]
+	lower := sort.SearchFloat64s(tn.vals, f) // first index with vals >= f
+	upper := lower
+	for upper < len(tn.vals) && tn.vals[upper] == f {
+		upper++ // first index with vals > f
+	}
+	var sel []postingsRun
+	switch op {
+	case pattern.CmpLt:
+		sel = tn.runs[:lower]
+	case pattern.CmpLe:
+		sel = tn.runs[:upper]
+	case pattern.CmpGt:
+		sel = tn.runs[upper:]
+	case pattern.CmpGe:
+		sel = tn.runs[lower:]
+	}
+	return sel, true
+}
+
+// ValueScanner streams the postings of a value-index probe in document
+// order, with the same iteration contract as TagScanner: tuple-at-a-time
+// Next, block-wise NextBlock, forward-only SeekGE skip-ahead and a
+// Remaining upper bound.
+type ValueScanner interface {
+	Next() (xmltree.NodeID, NodeRecord, bool, error)
+	NextBlock(ids []xmltree.NodeID) (int, error)
+	SeekGE(pos xmltree.Pos) (int, error)
+	Remaining() int
+}
+
+// ProbeValue opens a probe scanner for (tag, op, value). ok is false when
+// the probe is not eligible (the caller should fall back to scan+filter);
+// an eligible probe of an absent value returns an empty scanner.
+func (s *Store) ProbeValue(tag string, op pattern.CmpOp, value string) (ValueScanner, bool) {
+	return s.ProbeValueCtx(context.Background(), tag, op, value)
+}
+
+// ProbeValueCtx is ProbeValue under a context (see ScanTagCtx).
+func (s *Store) ProbeValueCtx(ctx context.Context, tag string, op pattern.CmpOp, value string) (ValueScanner, bool) {
+	return s.probeValue(ctx, tag, op, value, false, 0, 0)
+}
+
+// ProbeValueRangeCtx is ProbeValueCtx restricted to nodes whose Start
+// position lies in [lo, hi) — the partition-parallel probe path.
+func (s *Store) ProbeValueRangeCtx(ctx context.Context, tag string, op pattern.CmpOp, value string, lo, hi xmltree.Pos) (ValueScanner, bool) {
+	return s.probeValue(ctx, tag, op, value, true, lo, hi)
+}
+
+func (s *Store) probeValue(ctx context.Context, tag string, op pattern.CmpOp, value string, bounded bool, lo, hi xmltree.Pos) (ValueScanner, bool) {
+	runs, ok := s.probeRuns(tag, op, value)
+	if !ok {
+		return nil, false
+	}
+	s.probes.Add(1)
+	newCursor := func(run postingsRun) *runCursor {
+		cur := &runCursor{}
+		cur.init(s, ctx, run)
+		if bounded {
+			cur.restrict(lo, hi)
+		}
+		return cur
+	}
+	switch len(runs) {
+	case 0:
+		return newCursor(postingsRun{}), true
+	case 1:
+		return newCursor(runs[0]), true
+	}
+	m := &mergeScanner{store: s, ctx: ctx, kids: make([]mergeKid, len(runs))}
+	for i, r := range runs {
+		m.kids[i] = mergeKid{cur: newCursor(r), buf: make([]xmltree.NodeID, postingsBlockLen)}
+	}
+	return m, true
+}
+
+// mergeScanner k-way merges several postings runs by NodeID (NodeIDs are
+// assigned in document order, so merging by id is merging by Start). Each
+// child refills a block-sized buffer via its cursor's NextBlock, so the
+// batched path stays block-wise: no per-posting node-record reads, and
+// range restriction is already handled inside each child.
+type mergeScanner struct {
+	store *Store
+	ctx   context.Context
+	kids  []mergeKid
+}
+
+type mergeKid struct {
+	cur  *runCursor
+	buf  []xmltree.NodeID
+	pos  int
+	n    int
+	done bool
+}
+
+// fill tops up one child's buffer if it is empty.
+func (m *mergeScanner) fill(k *mergeKid) error {
+	if k.done || k.pos < k.n {
+		return nil
+	}
+	n, err := k.cur.NextBlock(k.buf)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		k.done = true
+		return nil
+	}
+	k.pos, k.n = 0, n
+	return nil
+}
+
+// minKid returns the child holding the smallest buffered id (-1 when all
+// children are exhausted). The child count is the number of merged value
+// groups — small — so a linear min is cheaper than heap bookkeeping.
+func (m *mergeScanner) minKid() (int, error) {
+	best := -1
+	var bestID xmltree.NodeID
+	for i := range m.kids {
+		k := &m.kids[i]
+		if err := m.fill(k); err != nil {
+			return 0, err
+		}
+		if k.done {
+			continue
+		}
+		if id := k.buf[k.pos]; best < 0 || id < bestID {
+			best, bestID = i, id
+		}
+	}
+	return best, nil
+}
+
+// Next implements ValueScanner.
+func (m *mergeScanner) Next() (xmltree.NodeID, NodeRecord, bool, error) {
+	i, err := m.minKid()
+	if err != nil {
+		return 0, NodeRecord{}, false, err
+	}
+	if i < 0 {
+		return 0, NodeRecord{}, false, nil
+	}
+	k := &m.kids[i]
+	id := k.buf[k.pos]
+	k.pos++
+	rec, err := m.store.NodeCtx(m.ctx, id)
+	if err != nil {
+		return 0, NodeRecord{}, false, err
+	}
+	return id, rec, true, nil
+}
+
+// NextBlock implements ValueScanner: the merge happens over in-memory
+// buffers, so no node records are read at all.
+func (m *mergeScanner) NextBlock(ids []xmltree.NodeID) (int, error) {
+	n := 0
+	for n < len(ids) {
+		i, err := m.minKid()
+		if err != nil {
+			return n, err
+		}
+		if i < 0 {
+			break
+		}
+		k := &m.kids[i]
+		ids[n] = k.buf[k.pos]
+		k.pos++
+		n++
+	}
+	return n, nil
+}
+
+// SeekGE implements ValueScanner: each child first drops buffered postings
+// below pos (binary search with node-record reads), then delegates the
+// remainder of the skip to its cursor.
+func (m *mergeScanner) SeekGE(pos xmltree.Pos) (int, error) {
+	skipped := 0
+	for i := range m.kids {
+		k := &m.kids[i]
+		if k.pos < k.n {
+			lo, hi := k.pos, k.n
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				rec, err := m.store.NodeCtx(m.ctx, k.buf[mid])
+				if err != nil {
+					return skipped, err
+				}
+				if rec.Start < pos {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			skipped += lo - k.pos
+			k.pos = lo
+			if k.pos < k.n {
+				continue // target position is inside the buffer
+			}
+		}
+		if k.done {
+			continue
+		}
+		sk, err := k.cur.SeekGE(pos)
+		if err != nil {
+			return skipped, err
+		}
+		skipped += sk
+	}
+	return skipped, nil
+}
+
+// Remaining implements ValueScanner (an upper bound, as for TagScanner).
+func (m *mergeScanner) Remaining() int {
+	n := 0
+	for i := range m.kids {
+		k := &m.kids[i]
+		n += (k.n - k.pos) + k.cur.Remaining()
+	}
+	return n
+}

@@ -23,7 +23,6 @@ package twigjoin
 import (
 	"fmt"
 
-	"sjos/internal/histogram"
 	"sjos/internal/pattern"
 	"sjos/internal/xmltree"
 )
@@ -97,7 +96,7 @@ func (t *twig) init() error {
 		}
 		for _, id := range t.doc.NodesWithTag(tag) {
 			if nd.Op != pattern.CmpNone &&
-				!histogram.EvalPredicate(t.doc.Value(id), nd.Op, nd.Value) {
+				!nd.MatchesValue(t.doc.Value(id)) {
 				continue
 			}
 			t.cand[u] = append(t.cand[u], id)

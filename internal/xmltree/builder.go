@@ -3,6 +3,8 @@ package xmltree
 import (
 	"errors"
 	"fmt"
+
+	"sjos/internal/intern"
 )
 
 // Builder constructs a Document through nested Open/Close calls that mirror
@@ -20,14 +22,25 @@ type Builder struct {
 	stack  []NodeID
 	nextNo Pos
 	err    error
+
+	// vals interns node text values: XML data repeats values heavily, so
+	// equal values share one backing string in the finished Document.
+	vals *intern.Table
 }
 
 // NewBuilder returns an empty Builder.
 func NewBuilder() *Builder {
 	return &Builder{
-		doc: &Document{tagByNm: make(map[string]TagID)},
+		doc:  &Document{tagByNm: make(map[string]TagID)},
+		vals: intern.New(),
 	}
 }
+
+// InternValue canonicalises a text value through the builder's intern
+// table. Open/OpenTag intern their value argument already; InternValue is
+// for callers that patch values in after the fact (e.g. the XML parser's
+// deferred text handling).
+func (b *Builder) InternValue(v []byte) string { return b.vals.InternBytes(v) }
 
 // Tag interns a tag name, returning its TagID. Repeated calls with the same
 // name return the same ID.
@@ -67,7 +80,7 @@ func (b *Builder) OpenTag(t TagID, value string) NodeID {
 	d.level = append(d.level, lvl)
 	d.tag = append(d.tag, t)
 	d.parent = append(d.parent, parent)
-	d.value = append(d.value, value)
+	d.value = append(d.value, b.vals.Intern(value))
 	d.byTag[t] = append(d.byTag[t], id)
 	b.nextNo++
 	b.stack = append(b.stack, id)
@@ -108,6 +121,7 @@ func (b *Builder) Finish() (*Document, error) {
 	if b.doc.NumNodes() == 0 {
 		return nil, errors.New("xmltree: empty document")
 	}
+	b.doc.intern = b.vals.Stats()
 	return b.doc, nil
 }
 

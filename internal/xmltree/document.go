@@ -3,6 +3,8 @@ package xmltree
 import (
 	"fmt"
 	"sort"
+
+	"sjos/internal/intern"
 )
 
 // NodeID identifies an element node within a Document. IDs are dense and
@@ -37,7 +39,13 @@ type Document struct {
 	tags    []string         // TagID -> name
 	tagByNm map[string]TagID // name -> TagID
 	byTag   [][]NodeID       // TagID -> nodes in document order
+
+	intern intern.Stats // value intern-table behaviour during build
 }
+
+// InternStats reports the value intern table's behaviour during document
+// construction: distinct values, hit/miss counts and bytes deduplicated.
+func (d *Document) InternStats() intern.Stats { return d.intern }
 
 // NumNodes returns the number of element nodes in the document.
 func (d *Document) NumNodes() int { return len(d.start) }

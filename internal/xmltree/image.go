@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"sjos/internal/intern"
 )
 
 // Binary document images: a versioned serialisation of a Document used for
@@ -157,13 +159,29 @@ func ReadImage(r io.Reader) (*Document, error) {
 		d.parent[i] = NodeID(par)
 		d.byTag[tg] = append(d.byTag[tg], NodeID(i))
 	}
+	// Values are interned through a scratch buffer: a repeated value is a
+	// map hit on the buffer and costs no allocation, so loading an image
+	// retains one string per distinct value instead of one per node.
+	vals := intern.New()
+	var scratch []byte
 	for i := range d.value {
-		v, err := readString()
+		n, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("xmltree: image value %d: %w", i, err)
 		}
-		d.value[i] = v
+		if n > sanityMax {
+			return nil, fmt.Errorf("xmltree: image value %d: implausible length %d", i, n)
+		}
+		if uint64(cap(scratch)) < n {
+			scratch = make([]byte, n)
+		}
+		scratch = scratch[:n]
+		if _, err := io.ReadFull(br, scratch); err != nil {
+			return nil, fmt.Errorf("xmltree: image value %d: %w", i, err)
+		}
+		d.value[i] = vals.InternBytes(scratch)
 	}
+	d.intern = vals.Stats()
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("xmltree: image failed validation: %w", err)
 	}

@@ -2,6 +2,7 @@ package xmltree
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -46,8 +47,10 @@ func Parse(r io.Reader) (*Document, error) {
 			pendingText = InvalidNode
 		case xml.CharData:
 			if pendingText != InvalidNode && b.doc.value[pendingText] == "" {
-				if s := strings.TrimSpace(string(t)); s != "" {
-					b.doc.value[pendingText] = s
+				// Trim and intern without materialising an intermediate
+				// string: repeated values cost no allocation at all.
+				if trimmed := bytes.TrimSpace(t); len(trimmed) != 0 {
+					b.doc.value[pendingText] = b.InternValue(trimmed)
 				}
 			}
 		}

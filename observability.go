@@ -40,6 +40,10 @@ type Metrics struct {
 	// FaultsInjected counts faults the page file injected, when the store
 	// sits on a fault-injecting file (internal/faultfs); 0 otherwise.
 	FaultsInjected uint64
+	// Content is the store's content-index and compression counters: value
+	// probes served, postings blocks decoded, compressed vs raw postings
+	// footprint and the document build's string-intern behaviour.
+	Content ContentStats
 }
 
 // Metrics returns a snapshot of the database's observability counters.
@@ -55,6 +59,7 @@ func (db *Database) Metrics() Metrics {
 	if ff, ok := db.store.File().(interface{ FaultsInjected() uint64 }); ok {
 		m.FaultsInjected = ff.FaultsInjected()
 	}
+	m.Content = db.store.ContentStats()
 	return m
 }
 
@@ -82,6 +87,23 @@ func (db *Database) WriteMetrics(w io.Writer) {
 	counter("admission_queued_total", "Queries that waited for an execution slot.", m.Admission.Queued)
 	counter("admission_rejected_total", "Queries shed by admission control (queue full or shutting down).", m.Admission.Rejected)
 	counter("faults_injected_total", "Faults injected by the page file (chaos mode; 0 in production).", m.FaultsInjected)
+	counter("value_index_probes_total", "Value predicates served by content-index probes instead of scan+filter.", m.Content.ValueProbes)
+	counter("postings_blocks_decoded_total", "Compressed postings blocks decoded (tag and value index).", m.Content.BlocksDecoded)
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP sjos_%s %s\n# TYPE sjos_%s gauge\nsjos_%s %d\n",
+			name, help, name, name, v)
+	}
+	vidx := int64(0)
+	if m.Content.ValueIndexed {
+		vidx = 1
+	}
+	gauge("value_index_enabled", "Whether the (tag, value) content index was built.", vidx)
+	gauge("postings_bytes", "Encoded size of all postings (tag and value index).", int64(m.Content.PostingsBytes))
+	gauge("postings_raw_bytes", "Size the same postings would occupy uncompressed.", int64(m.Content.RawPostingsBytes))
+	counter("intern_hits_total", "Value intern-table hits during document build.", m.Content.Intern.Hits)
+	counter("intern_misses_total", "Value intern-table misses (distinct values) during document build.", m.Content.Intern.Misses)
+	gauge("intern_strings", "Distinct values retained by the intern table.", int64(m.Content.Intern.Strings))
+	gauge("intern_bytes_saved", "Value bytes deduplicated by interning.", int64(m.Content.Intern.BytesSaved))
 }
 
 // SlowQueryEntry describes one query that crossed the slow-query
@@ -105,6 +127,9 @@ type SlowQueryEntry struct {
 	// plan came from the plan cache.
 	Matches    int
 	CachedPlan bool
+	// ValueProbes is how many of the query's leaves ran as value-index
+	// probes (predicate pushdown) rather than scan+filter.
+	ValueProbes int
 	// Trace is the query's per-operator execution trace.
 	Trace *OpTrace
 	// Error and Stack are set only for entries recording a recovered
@@ -186,6 +211,7 @@ func (db *Database) maybeLogSlow(pat *Pattern, opts QueryOptions, thr time.Durat
 		ExecuteTime:  execTime,
 		Matches:      rr.Count,
 		CachedPlan:   cached,
+		ValueProbes:  rr.Stats.ValueProbes,
 		Trace:        rr.Trace,
 	}
 	db.svc.metrics.SlowQuery()

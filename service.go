@@ -108,10 +108,17 @@ func (db *Database) CacheStats() CacheStats {
 // statistics version). Concurrent misses on the same key run the optimizer
 // once. The boolean reports whether the plan came from the cache (or from a
 // coalesced in-flight optimization) rather than a fresh optimizer run.
-func (db *Database) optimizePattern(ctx context.Context, pat *Pattern, m Method, te int, noCache bool) (*OptimizeResult, bool, error) {
+func (db *Database) optimizePattern(ctx context.Context, pat *Pattern, m Method, te int, noCache, noVidx bool) (*OptimizeResult, bool, error) {
 	stats, ver := db.svc.snapshot()
+	// Predicate pushdown: unless disabled for this call, the optimizer may
+	// choose value-index probes for eligible predicated leaves. The store's
+	// eligibility is part of the plan, so the cache key carries the flag.
+	var pe core.ProbeEligibility
+	if !noVidx {
+		pe = db.store
+	}
 	if noCache {
-		res, err := optimizeWith(ctx, pat, stats, db.model, m, te)
+		res, err := optimizeWith(ctx, pat, stats, db.model, m, te, pe)
 		return res, false, err
 	}
 	fp, canon := pattern.Fingerprint(pat)
@@ -125,9 +132,9 @@ func (db *Database) optimizePattern(ctx context.Context, pat *Pattern, m Method,
 			keyTe = pat.NumEdges()
 		}
 	}
-	k := plancache.Key{Fingerprint: fp, Method: int(m), Te: keyTe, StatsVersion: ver}
+	k := plancache.Key{Fingerprint: fp, Method: int(m), Te: keyTe, StatsVersion: ver, NoVidx: noVidx}
 	cp, cached, err := db.svc.cache.GetOrCompute(ctx, k, func() (cachedPlan, error) {
-		res, err := optimizeWith(ctx, pat, stats, db.model, m, te)
+		res, err := optimizeWith(ctx, pat, stats, db.model, m, te, pe)
 		if err != nil {
 			return cachedPlan{}, err
 		}
@@ -153,12 +160,14 @@ func (db *Database) optimizePattern(ctx context.Context, pat *Pattern, m Method,
 }
 
 // optimizeWith runs one optimizer pass against an explicit statistics
-// snapshot.
-func optimizeWith(ctx context.Context, pat *Pattern, stats *histogram.Stats, model CostModel, m Method, te int) (*OptimizeResult, error) {
+// snapshot. pe, when non-nil, lets the estimator offer value-index probes
+// for eligible predicated leaves (nil keeps every leaf on scan+filter).
+func optimizeWith(ctx context.Context, pat *Pattern, stats *histogram.Stats, model CostModel, m Method, te int, pe core.ProbeEligibility) (*OptimizeResult, error) {
 	est, err := core.NewEstimator(pat, stats)
 	if err != nil {
 		return nil, err
 	}
+	est.EnableValueIndex(pe)
 	return core.Optimize(ctx, pat, est, model, m, &core.Options{Te: te})
 }
 
@@ -403,6 +412,10 @@ type QueryOptions struct {
 	// NoBatch disables the batched execution path for this query (see
 	// RunOptions.NoBatch).
 	NoBatch bool
+	// NoValueIndex keeps the optimizer from choosing value-index probes
+	// for this query: every predicated leaf scans its tag and filters.
+	// Escape hatch for debugging and A/B measurement, mirroring NoBatch.
+	NoValueIndex bool
 	// SlowQueryThreshold, when > 0, overrides the database-level
 	// slow-query threshold (SetSlowQueryLog) for this call.
 	SlowQueryThreshold time.Duration
@@ -441,7 +454,7 @@ func (db *Database) QueryPatternContext(ctx context.Context, pat *Pattern, opts 
 		slowFn = opts.OnSlowQuery
 	}
 	t0 := time.Now()
-	res, cached, err := db.optimizePattern(ctx, pat, opts.Method, opts.Te, opts.NoCache)
+	res, cached, err := db.optimizePattern(ctx, pat, opts.Method, opts.Te, opts.NoCache, opts.NoValueIndex)
 	if err != nil {
 		return nil, err
 	}

@@ -44,6 +44,9 @@ type (
 	ExecStats = exec.Stats
 	// PoolStats reports the buffer pool's page-cache behaviour.
 	PoolStats = storage.PoolStats
+	// ContentStats reports the store's content-index, postings-compression
+	// and string-interning counters.
+	ContentStats = storage.ContentStats
 	// PageFile is the paged storage interface a database image lives on;
 	// Options.PageFile injects a custom implementation (fault-injection
 	// wrappers, alternative backends).
@@ -133,6 +136,10 @@ type Options struct {
 	// QueueDepth bounds how many queries may wait for an execution slot
 	// when MaxInFlight is set (0 = no waiting: the limit fails fast).
 	QueueDepth int
+	// NoValueIndex skips building the (tag, value) content index at store
+	// construction. Value predicates then always execute as scan+filter;
+	// per-query opt-out is QueryOptions.NoValueIndex.
+	NoValueIndex bool
 }
 
 func (o *Options) model() CostModel {
@@ -234,26 +241,26 @@ func fromDocument(doc *xmltree.Document, opts *Options) (*Database, error) {
 	var pageFile PageFile
 	var retry RetryPolicy
 	maxInFlight, queueDepth := 0, 0
+	var sopts storage.StoreOptions
 	if opts != nil {
 		poolFrames, grid, diskPath = opts.PoolFrames, opts.HistogramGrid, opts.DiskPath
 		cacheCap = opts.PlanCacheCapacity
 		pageFile, retry = opts.PageFile, opts.Retry
 		maxInFlight, queueDepth = opts.MaxInFlight, opts.QueueDepth
+		sopts.NoValueIndex = opts.NoValueIndex
 	}
 	var store *storage.Store
 	var err error
 	switch {
-	case pageFile != nil:
-		store, err = storage.BuildStoreOn(pageFile, doc, poolFrames)
-	case diskPath != "":
-		file, ferr := storage.CreateDiskFile(diskPath)
-		if ferr != nil {
-			return nil, ferr
+	case pageFile == nil && diskPath != "":
+		pageFile, err = storage.CreateDiskFile(diskPath)
+		if err != nil {
+			return nil, err
 		}
-		store, err = storage.BuildStoreOn(file, doc, poolFrames)
-	default:
-		store, err = storage.BuildStore(doc, poolFrames)
+	case pageFile == nil:
+		pageFile = storage.NewMemFile()
 	}
+	store, err = storage.BuildStoreOnOpts(pageFile, doc, poolFrames, sopts)
 	if err != nil {
 		return nil, err
 	}
@@ -296,7 +303,7 @@ func (db *Database) Optimize(pat *Pattern, m Method, te int) (*OptimizeResult, e
 // plan search (all algorithms poll it) and returns ctx's error.
 func (db *Database) OptimizeContext(ctx context.Context, pat *Pattern, m Method, te int) (*OptimizeResult, error) {
 	stats, _ := db.svc.snapshot()
-	return optimizeWith(ctx, pat, stats, db.model, m, te)
+	return optimizeWith(ctx, pat, stats, db.model, m, te, db.store)
 }
 
 // OptimizeWithExactStats is Optimize with the oracle estimator: exact
@@ -441,6 +448,11 @@ func (db *Database) ExecuteParallelLimit(pat *Pattern, p *Plan, n, k int) ([]Mat
 // PoolStats returns a snapshot of the buffer pool's cumulative hit/miss
 // counters for this database's store (shared by all parallelism views).
 func (db *Database) PoolStats() PoolStats { return db.store.PoolStats() }
+
+// ContentStats returns a snapshot of the store's content-index,
+// postings-compression and string-interning counters (shared by all
+// parallelism views).
+func (db *Database) ContentStats() ContentStats { return db.store.ContentStats() }
 
 // AdmissionStats returns the admission controller's counters (all zero when
 // no MaxInFlight was configured). Shared by all parallelism views.
