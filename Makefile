@@ -7,6 +7,9 @@
 # comparison into BENCH_content.json. `make benchquick` smoke-runs the key
 # benchmarks at one iteration each (plus the allocs/op regression guard) —
 # a CI-friendly check that they still build, run and validate their counts.
+# `make loadbench` runs the open-loop corpus serving benchmark (Poisson
+# arrivals, p50/p95/p99 under load) into BENCH_corpus.json; `make loadquick`
+# is its short CI variant.
 #
 # BENCH selects the benchmark regexp (default: the partition-parallel
 # executor benches; use BENCH=. for the full table/figure suite — slow).
@@ -14,7 +17,7 @@
 GO    ?= go
 BENCH ?= Parallel
 
-.PHONY: all build test test-race vet check chaos bench benchquick clean
+.PHONY: all build test test-race vet check chaos bench benchquick loadbench loadquick clean
 
 all: build test
 
@@ -50,5 +53,15 @@ benchquick:
 	$(GO) test -run '^$$' -bench 'ParallelExecute|PlanCache|BatchExecute$$|ContentIndex|ObservabilityOverhead' -benchtime=1x .
 	$(GO) test -run 'TestBatchedProbeAllocs' -v .
 
+# Open-loop corpus serving benchmark: Poisson arrivals against a sharded
+# corpus, latency measured from arrival (queueing included), results into
+# BENCH_corpus.json. loadquick is the CI smoke variant: small corpus, short
+# load phase, still asserting completed queries and a clean drain.
+loadbench:
+	$(GO) run ./cmd/xqbench -loadbench
+
+loadquick:
+	$(GO) run ./cmd/xqbench -loadbench -loaddocs 4 -loadshards 2 -loadrate 50 -loadduration 1s -loadclients 4
+
 clean:
-	rm -f BENCH_parallel.json BENCH_plancache.json BENCH_batch.json BENCH_content.json
+	rm -f BENCH_parallel.json BENCH_plancache.json BENCH_batch.json BENCH_content.json BENCH_corpus.json

@@ -19,9 +19,9 @@ func TestBatchedTupleDifferential(t *testing.T) {
 		opts RunOptions
 	}{
 		{"batched", RunOptions{}},
-		{"tuple", RunOptions{NoBatch: true}},
+		{"tuple", RunOptions{ExecOptions: ExecOptions{NoBatch: true}}},
 		{"batched-parallel", RunOptions{Workers: 3}},
-		{"tuple-parallel", RunOptions{Workers: 3, NoBatch: true}},
+		{"tuple-parallel", RunOptions{ExecOptions: ExecOptions{NoBatch: true}, Workers: 3}},
 	}
 	for trial := 0; trial < 8; trial++ {
 		doc := randomXML(rng, 40+rng.Intn(300), tags)
@@ -52,8 +52,7 @@ func TestBatchedTupleDifferential(t *testing.T) {
 							trial, m, lane.name, pat, len(got), len(want))
 					}
 					// CountOnly must agree without materialising.
-					rc, err := db.Run(nil, pat, res.Plan, RunOptions{
-						CountOnly: true, NoBatch: lane.opts.NoBatch, Workers: lane.opts.Workers})
+					rc, err := db.Run(nil, pat, res.Plan, RunOptions{ExecOptions: ExecOptions{NoBatch: lane.opts.NoBatch}, CountOnly: true, Workers: lane.opts.Workers})
 					if err != nil {
 						t.Fatalf("trial %d %v %s count on %s: %v", trial, m, lane.name, pat, err)
 					}
@@ -86,7 +85,7 @@ func TestBatchedLimitAndStats(t *testing.T) {
 	if full.Stats.Batches == 0 {
 		t.Error("batched run reported zero root batches")
 	}
-	nb, err := db.Run(nil, pat, res.Plan, RunOptions{NoBatch: true})
+	nb, err := db.Run(nil, pat, res.Plan, RunOptions{ExecOptions: ExecOptions{NoBatch: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +97,7 @@ func TestBatchedLimitAndStats(t *testing.T) {
 	}
 	for _, lim := range []int{1, 2, full.Count + 10} {
 		for _, noBatch := range []bool{false, true} {
-			r, err := db.Run(nil, pat, res.Plan, RunOptions{Limit: lim, NoBatch: noBatch})
+			r, err := db.Run(nil, pat, res.Plan, RunOptions{ExecOptions: ExecOptions{Limit: lim, NoBatch: noBatch}})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -125,7 +124,7 @@ func TestBatchedTraceReportsBatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := db.Run(nil, pat, res.Plan, RunOptions{Trace: true})
+	r, err := db.Run(nil, pat, res.Plan, RunOptions{ExecOptions: ExecOptions{Trace: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +148,7 @@ func TestBatchedTraceReportsBatches(t *testing.T) {
 	if rows == 0 {
 		t.Error("traced batched run recorded no rows")
 	}
-	tuple, err := db.Run(nil, pat, res.Plan, RunOptions{Trace: true, NoBatch: true})
+	tuple, err := db.Run(nil, pat, res.Plan, RunOptions{ExecOptions: ExecOptions{Trace: true, NoBatch: true}})
 	if err != nil {
 		t.Fatal(err)
 	}

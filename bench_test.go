@@ -81,7 +81,7 @@ func BenchmarkTable1Execute(b *testing.B) {
 				var n int
 				for i := 0; i < b.N; i++ {
 					var err error
-					n, _, err = db.ExecuteCount(pat, res.Plan)
+					n, _, err = execCount(db, pat, res.Plan)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -104,7 +104,7 @@ func BenchmarkTable1BadPlan(b *testing.B) {
 		}
 		b.Run(q.ID, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := db.ExecuteCount(pat, bad.Plan); err != nil {
+				if _, _, err := execCount(db, pat, bad.Plan); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -168,7 +168,7 @@ func BenchmarkTable3Folding(b *testing.B) {
 			}
 			b.Run(fmt.Sprintf("x%d/%s", fold, label), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, _, err := db.ExecuteCount(pat, plan); err != nil {
+					if _, _, err := execCount(db, pat, plan); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -193,7 +193,7 @@ func benchTeSweep(b *testing.B, fold int) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, _, err := db.ExecuteCount(pat, res.Plan); err != nil {
+			if _, _, err := execCount(db, pat, res.Plan); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -273,7 +273,7 @@ func BenchmarkTimeToFirstResults(b *testing.B) {
 	}{{"pipelined", fp.Plan}, {"blocking", blocking}} {
 		b.Run(v.label, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				ms, _, err := db.ExecuteLimit(pat, v.plan, 10)
+				ms, _, err := execLimit(db, pat, v.plan, 10)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -306,7 +306,7 @@ func BenchmarkAblationEstimator(b *testing.B) {
 		}{{"histogram", hist.Plan}, {"oracle", oracle.Plan}} {
 			b.Run(q.ID+"/"+v.label, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, _, err := db.ExecuteCount(pat, v.plan); err != nil {
+					if _, _, err := execCount(db, pat, v.plan); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -328,14 +328,14 @@ func BenchmarkAblationTwigStack(b *testing.B) {
 		}
 		b.Run(q.ID+"/plan", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := db.ExecuteCount(pat, res.Plan); err != nil {
+				if _, _, err := execCount(db, pat, res.Plan); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(q.ID+"/plan-parallel", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := db.ExecuteParallelCount(pat, res.Plan, runtime.GOMAXPROCS(0)); err != nil {
+				if _, _, err := execParallelCount(db, pat, res.Plan, runtime.GOMAXPROCS(0)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -367,13 +367,13 @@ func BenchmarkParallelExecute(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	want, _, err := db.ExecuteCount(pat, res.Plan)
+	want, _, err := execCount(db, pat, res.Plan)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Run("serial", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := db.ExecuteCount(pat, res.Plan); err != nil {
+			if _, _, err := execCount(db, pat, res.Plan); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -381,7 +381,7 @@ func BenchmarkParallelExecute(b *testing.B) {
 	for _, k := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", k), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				n, _, err := db.ExecuteParallelCount(pat, res.Plan, k)
+				n, _, err := execParallelCount(db, pat, res.Plan, k)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -406,7 +406,7 @@ func BenchmarkPlanCacheColdOptimize(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := db.QueryContext(context.Background(), q.Source,
-			sjos.QueryOptions{Method: sjos.MethodDPP, NoCache: true, Limit: 1})
+			sjos.QueryOptions{ExecOptions: sjos.ExecOptions{Method: sjos.MethodDPP, NoCache: true, Limit: 1}})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -426,14 +426,14 @@ func BenchmarkPlanCacheWarmOptimize(b *testing.B) {
 	}
 	db := mustDataset(b, q.Dataset, 1)
 	if _, err := db.QueryContext(context.Background(), q.Source,
-		sjos.QueryOptions{Method: sjos.MethodDPP, Limit: 1}); err != nil {
+		sjos.QueryOptions{ExecOptions: sjos.ExecOptions{Method: sjos.MethodDPP, Limit: 1}}); err != nil {
 		b.Fatal(err)
 	}
 	var opt time.Duration
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := db.QueryContext(context.Background(), q.Source,
-			sjos.QueryOptions{Method: sjos.MethodDPP, Limit: 1})
+			sjos.QueryOptions{ExecOptions: sjos.ExecOptions{Method: sjos.MethodDPP, Limit: 1}})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -472,7 +472,7 @@ func BenchmarkBatchExecute(b *testing.B) {
 			b.Run(fmt.Sprintf("fold=%d/%s", fold, lane.name), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					r, err := db.Run(context.Background(), pat, res.Plan,
-						sjos.RunOptions{CountOnly: true, NoBatch: lane.noBatch})
+						sjos.RunOptions{ExecOptions: sjos.ExecOptions{NoBatch: lane.noBatch}, CountOnly: true})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -506,7 +506,7 @@ func BenchmarkBatchExecuteMaterialize(b *testing.B) {
 		b.Run(lane.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := db.Run(context.Background(), pat, res.Plan,
-					sjos.RunOptions{NoBatch: lane.noBatch}); err != nil {
+					sjos.RunOptions{ExecOptions: sjos.ExecOptions{NoBatch: lane.noBatch}}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -541,7 +541,7 @@ func BenchmarkContentIndex(b *testing.B) {
 				noVidx bool
 			}{{"probe", false}, {"scan", true}} {
 				res, err := db.QueryPatternContext(context.Background(), pat,
-					sjos.QueryOptions{Method: sjos.MethodDPP, NoValueIndex: lane.noVidx, NoCache: true})
+					sjos.QueryOptions{ExecOptions: sjos.ExecOptions{Method: sjos.MethodDPP, NoValueIndex: lane.noVidx, NoCache: true}})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -74,9 +74,9 @@ func TestChaosDifferential(t *testing.T) {
 		opts RunOptions
 	}{
 		{"serial-batch", RunOptions{}},
-		{"serial-tuple", RunOptions{NoBatch: true}},
+		{"serial-tuple", RunOptions{ExecOptions: ExecOptions{NoBatch: true}}},
 		{"parallel-batch", RunOptions{Workers: 2}},
-		{"parallel-tuple", RunOptions{Workers: 2, NoBatch: true}},
+		{"parallel-tuple", RunOptions{ExecOptions: ExecOptions{NoBatch: true}, Workers: 2}},
 	}
 	want := -1
 	var failFired, corruptFired, healed int
@@ -224,7 +224,7 @@ func TestChaosValueProbe(t *testing.T) {
 	// Oracle: scan+filter on the same (currently fault-free) store.
 	ff.SetPolicy(faultfs.Policy{})
 	res, err := db.QueryPatternContext(context.Background(), pat,
-		QueryOptions{Method: MethodDPP, NoValueIndex: true})
+		QueryOptions{ExecOptions: ExecOptions{Method: MethodDPP, NoValueIndex: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,9 +234,9 @@ func TestChaosValueProbe(t *testing.T) {
 		opts RunOptions
 	}{
 		{"serial-batch", RunOptions{}},
-		{"serial-tuple", RunOptions{NoBatch: true}},
+		{"serial-tuple", RunOptions{ExecOptions: ExecOptions{NoBatch: true}}},
 		{"parallel-batch", RunOptions{Workers: 2}},
-		{"parallel-tuple", RunOptions{Workers: 2, NoBatch: true}},
+		{"parallel-tuple", RunOptions{ExecOptions: ExecOptions{NoBatch: true}, Workers: 2}},
 	}
 	var fired, healed int
 	for _, mode := range modes {

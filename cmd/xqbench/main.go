@@ -13,10 +13,12 @@
 //	xqbench -contentbench       # value-index probes vs scan+filter, selective predicates
 //	xqbench -table 3 -nobatch   # run table 3 tuple-at-a-time (batching escape hatch)
 //	xqbench -chaos              # fault-injected runs: every result correct or typed error
+//	xqbench -loadbench          # open-loop corpus serving: p50/p95/p99 under Poisson load
 //	xqbench -all                # everything (without -full folds)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +44,13 @@ func main() {
 	chaosIters := flag.Int("chaositers", 0, "fault iterations per query x method for -chaos (0 = default)")
 	chaosProb := flag.Float64("chaosprob", 0, "per-read transient fault probability for -chaos (0 = default)")
 	chaosSeed := flag.Int64("chaosseed", 1, "fault schedule seed for -chaos")
+	loadbench := flag.Bool("loadbench", false, "open-loop load benchmark against a sharded corpus")
+	loadrate := flag.Float64("loadrate", 0, "offered query rate per second for -loadbench (0 = default)")
+	loadduration := flag.Duration("loadduration", 0, "load phase length for -loadbench (0 = default)")
+	loadclients := flag.Int("loadclients", 0, "client workers for -loadbench (0 = default)")
+	loaddocs := flag.Int("loaddocs", 0, "corpus documents for -loadbench (0 = default)")
+	loadshards := flag.Int("loadshards", 0, "corpus shards for -loadbench (0 = default)")
+	loadout := flag.String("loadout", "BENCH_corpus.json", "JSON result file for -loadbench (empty = stdout only)")
 	flag.Parse()
 
 	if *census {
@@ -53,7 +62,7 @@ func main() {
 			return
 		}
 	}
-	if !*all && !*census && !*cachebench && !*batchbench && !*contentbench && !*chaos && *table == 0 && *figure == 0 {
+	if !*all && !*census && !*cachebench && !*batchbench && !*contentbench && !*chaos && !*loadbench && *table == 0 && *figure == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -61,6 +70,47 @@ func main() {
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "xqbench: %s: %v\n", name, err)
 			os.Exit(1)
+		}
+	}
+	if *loadbench {
+		run("loadbench", func() error {
+			m, err := sjos.ParseMethod(*method)
+			if err != nil {
+				return err
+			}
+			res, err := experiments.LoadBench(experiments.LoadBenchConfig{
+				Docs:     *loaddocs,
+				Shards:   *loadshards,
+				Rate:     *loadrate,
+				Duration: *loadduration,
+				Clients:  *loadclients,
+				Method:   m,
+				Seed:     1,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderLoadBench(res))
+			if res.Completed == 0 || res.Throughput <= 0 {
+				return fmt.Errorf("no queries completed under load")
+			}
+			if !res.DrainClean {
+				return fmt.Errorf("corpus did not drain cleanly after the load phase")
+			}
+			if *loadout != "" {
+				blob, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*loadout, append(blob, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *loadout)
+			}
+			return nil
+		})
+		if !*all && !*chaos && !*cachebench && !*batchbench && !*contentbench && *table == 0 && *figure == 0 {
+			return
 		}
 	}
 	if *chaos {

@@ -160,7 +160,7 @@ func runWith(cfg runCfg) error {
 		defer cancel()
 	}
 	res, err := db.QueryPatternContext(ctx, pat,
-		sjos.QueryOptions{Method: meth, NoCache: cfg.noCache, NoBatch: cfg.noBatch, NoValueIndex: cfg.noVidx, Trace: cfg.opTrace})
+		sjos.QueryOptions{ExecOptions: sjos.ExecOptions{Method: meth, NoCache: cfg.noCache, NoBatch: cfg.noBatch, NoValueIndex: cfg.noVidx, Trace: cfg.opTrace}})
 	if err != nil {
 		return err
 	}

@@ -1,25 +1,33 @@
-// Command xqserve serves a loaded database over HTTP — the observability
-// face of the query service:
+// Command xqserve serves one or more query collections over HTTP — the
+// observability face of the query service. A collection is a corpus:
+// many documents sharded by consistent hashing, queried with scatter-gather.
 //
-//	xqserve -dataset pers -addr :8377
+//	xqserve -dataset pers -docs 8 -shards 4 -addr :8377
+//	xqserve -collections staff=pers:8,papers=dblp:4 -shards 4
 //	xqserve -xml file.xml -parallel 4 -slowquery 50ms
 //
 // Endpoints:
 //
 //	GET /query?q=//manager//name[&method=FP][&limit=10][&count=1][&trace=1][&novidx=1]
-//	    evaluate a tree pattern; JSON response with matches, timings,
-//	    the plan, and (with trace=1) the per-operator trace
-//	GET /metrics   Prometheus text exposition of the database's counters
-//	GET /healthz   liveness probe
-//	GET /slow      recent slow-query log entries as JSON
+//	    evaluate a tree pattern on the default (first) collection; JSON
+//	    response with matches, their documents, timings, the plan, and
+//	    (with trace=1) the merged per-operator trace
+//	GET /collections                     list collections (docs, shards, nodes)
+//	GET /collections/{name}/query        evaluate on a named collection
+//	GET /collections/{name}/metrics      that collection's Prometheus counters
+//	GET /collections/{name}/slow         that collection's slow-query log
+//	GET /metrics   Prometheus text exposition (default collection)
+//	GET /healthz   per-collection, per-shard health as JSON
+//	GET /slow      recent slow-query log entries (default collection)
 //
 // A -slowquery threshold logs offending queries (fingerprint, method,
 // duration, per-operator trace) to stderr and retains them for /slow.
 //
 // The server sheds load and exits gracefully: -maxinflight bounds how many
-// queries execute at once (with up to -queuedepth more waiting; arrivals
-// past that get 503), and on SIGTERM/SIGINT the server stops accepting,
-// drains in-flight queries for up to -draintimeout, then exits.
+// queries execute at once per collection (with up to -queuedepth more
+// waiting; arrivals past that get 503), and on SIGTERM/SIGINT the server
+// stops accepting, drains every collection for up to -draintimeout, then
+// exits.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,52 +49,47 @@ import (
 )
 
 func main() {
-	xmlPath := flag.String("xml", "", "XML file to load")
+	xmlPath := flag.String("xml", "", "XML file to serve as a single-document collection")
 	dataset := flag.String("dataset", "", "generated data set: mbench, dblp or pers")
-	fold := flag.Int("fold", 1, "folding factor for -dataset")
+	collections := flag.String("collections", "", "comma-separated name=dataset[:docs] collection specs (overrides -xml/-dataset)")
+	docs := flag.Int("docs", 1, "documents per collection for -dataset (distinct generator seeds)")
+	shards := flag.Int("shards", 0, "shards per collection (0 = one per document, capped at GOMAXPROCS)")
+	fold := flag.Int("fold", 1, "folding factor for generated data sets")
 	method := flag.String("method", "DPP", "default optimizer for /query")
-	parallel := flag.Int("parallel", 0, "partition-parallel workers (0 = serial, -1 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "partition-parallel workers per shard (0 = serial, -1 = GOMAXPROCS)")
 	addr := flag.String("addr", ":8377", "listen address")
 	slowQuery := flag.Duration("slowquery", 0, "slow-query log threshold (0 = disabled)")
-	maxInFlight := flag.Int("maxinflight", 0, "max concurrently executing queries (0 = unlimited)")
+	maxInFlight := flag.Int("maxinflight", 0, "max concurrently executing queries per collection (0 = unlimited)")
 	queueDepth := flag.Int("queuedepth", 0, "queries allowed to wait for an execution slot when -maxinflight is set")
 	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "how long shutdown waits for in-flight queries")
 	flag.Parse()
-	if (*xmlPath == "") == (*dataset == "") {
-		fmt.Fprintln(os.Stderr, "xqserve: need exactly one of -xml / -dataset")
-		os.Exit(2)
-	}
-	opts := &sjos.Options{MaxInFlight: *maxInFlight, QueueDepth: *queueDepth}
-	var db *sjos.Database
-	var err error
-	if *xmlPath != "" {
-		f, ferr := os.Open(*xmlPath)
-		if ferr != nil {
-			log.Fatalf("xqserve: %v", ferr)
-		}
-		db, err = sjos.LoadXML(f, opts)
-		f.Close()
-	} else {
-		db, err = sjos.GenerateDataset(*dataset, 1, *fold, opts)
-	}
+
+	cols, err := buildCollections(*collections, *xmlPath, *dataset, *docs, *shards, *fold, *maxInFlight, *queueDepth)
 	if err != nil {
-		log.Fatalf("xqserve: %v", err)
-	}
-	if *parallel != 0 {
-		db = db.WithParallelism(*parallel)
+		fmt.Fprintf(os.Stderr, "xqserve: %v\n", err)
+		os.Exit(2)
 	}
 	m, err := sjos.ParseMethod(*method)
 	if err != nil {
 		log.Fatalf("xqserve: %v", err)
 	}
-	if *slowQuery > 0 {
-		db.SetSlowQueryLog(*slowQuery, func(e sjos.SlowQueryEntry) {
-			log.Printf("slow query: %s (%s, fingerprint %s) took %v (optimize %v, execute %v), %d matches",
-				e.Pattern, e.Method, e.Fingerprint, e.Duration, e.OptimizeTime, e.ExecuteTime, e.Matches)
-		})
+	for _, name := range cols.names {
+		c := cols.byName[name]
+		if *parallel != 0 {
+			c = c.WithParallelism(*parallel)
+			cols.byName[name] = c
+		}
+		if *slowQuery > 0 {
+			name := name
+			c.SetSlowQueryLog(*slowQuery, func(e sjos.SlowQueryEntry) {
+				log.Printf("slow query [%s]: %s (%s, fingerprint %s) took %v (optimize %v, execute %v), %d matches",
+					name, e.Pattern, e.Method, e.Fingerprint, e.Duration, e.OptimizeTime, e.ExecuteTime, e.Matches)
+			})
+		}
+		log.Printf("xqserve: collection %q: %d documents over %d shards", name, c.NumDocs(), c.NumShards())
 	}
-	log.Printf("xqserve: %d element nodes loaded; optimizer %s; listening on %s", db.NumNodes(), m, *addr)
-	srv := &http.Server{Addr: *addr, Handler: newMux(db, m)}
+	log.Printf("xqserve: optimizer %s; listening on %s", m, *addr)
+	srv := &http.Server{Addr: *addr, Handler: newMux(cols, m)}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 	errc := make(chan error, 1)
@@ -96,13 +100,15 @@ func main() {
 	case <-ctx.Done():
 	}
 	// Graceful exit: stop accepting connections, then wait for every
-	// admitted query to finish (new arrivals already get 503 via the
-	// database's drain) — both bounded by -draintimeout.
+	// admitted query in every collection to finish (new arrivals already
+	// get 503 via the corpus drains) — all bounded by -draintimeout.
 	log.Printf("xqserve: shutting down (draining for up to %v)", *drainTimeout)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := db.Drain(dctx); err != nil {
-		log.Printf("xqserve: drain: %v (queries still running)", err)
+	for _, name := range cols.names {
+		if err := cols.byName[name].Drain(dctx); err != nil {
+			log.Printf("xqserve: drain %q: %v (queries still running)", name, err)
+		}
 	}
 	if err := srv.Shutdown(dctx); err != nil {
 		log.Printf("xqserve: shutdown: %v", err)
@@ -110,87 +116,232 @@ func main() {
 	log.Printf("xqserve: bye")
 }
 
+// collections is the server's routing table: named corpora in registration
+// order; the first is the default one behind the legacy top-level routes.
+type collections struct {
+	names  []string
+	byName map[string]*sjos.Corpus
+}
+
+func (c *collections) add(name string, corpus *sjos.Corpus) {
+	if c.byName == nil {
+		c.byName = make(map[string]*sjos.Corpus)
+	}
+	c.names = append(c.names, name)
+	c.byName[name] = corpus
+}
+
+func (c *collections) def() *sjos.Corpus { return c.byName[c.names[0]] }
+
+// buildCollections assembles the serving set from the flag spec: either
+// explicit -collections entries, or the legacy single -xml / -dataset
+// source as the collection "default".
+func buildCollections(spec, xmlPath, dataset string, docs, shards, fold, maxInFlight, queueDepth int) (*collections, error) {
+	opts := sjos.Options{MaxInFlight: maxInFlight, QueueDepth: queueDepth}
+	cols := &collections{}
+	if spec != "" {
+		for _, entry := range strings.Split(spec, ",") {
+			name, src, ok := strings.Cut(strings.TrimSpace(entry), "=")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("bad -collections entry %q (want name=dataset[:docs])", entry)
+			}
+			ds, cnt := src, docs
+			if d, n, ok := strings.Cut(src, ":"); ok {
+				v, err := strconv.Atoi(n)
+				if err != nil || v < 1 {
+					return nil, fmt.Errorf("bad document count in -collections entry %q", entry)
+				}
+				ds, cnt = d, v
+			}
+			c, err := buildDatasetCorpus(name, ds, cnt, shards, fold, opts)
+			if err != nil {
+				return nil, err
+			}
+			cols.add(name, c)
+		}
+		return cols, nil
+	}
+	if (xmlPath == "") == (dataset == "") {
+		return nil, errors.New("need exactly one of -xml / -dataset / -collections")
+	}
+	if xmlPath != "" {
+		f, err := os.Open(xmlPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		db, err := sjos.LoadXML(f, &opts)
+		if err != nil {
+			return nil, err
+		}
+		cols.add("default", db.AsCorpus(xmlPath))
+		return cols, nil
+	}
+	c, err := buildDatasetCorpus("default", dataset, docs, shards, fold, opts)
+	if err != nil {
+		return nil, err
+	}
+	cols.add("default", c)
+	return cols, nil
+}
+
+func buildDatasetCorpus(name, dataset string, docs, shards, fold int, opts sjos.Options) (*sjos.Corpus, error) {
+	if docs < 1 {
+		docs = 1
+	}
+	b := sjos.NewCorpusBuilder(&sjos.CorpusOptions{Options: opts, Shards: shards})
+	for i := 0; i < docs; i++ {
+		id := fmt.Sprintf("%s-%03d", dataset, i)
+		if err := b.AddDataset(id, dataset, 1, fold, int64(1+i)); err != nil {
+			return nil, fmt.Errorf("collection %q: %w", name, err)
+		}
+	}
+	return b.Build()
+}
+
 // queryResponse is the /query JSON payload.
 type queryResponse struct {
 	Count int `json:"count"`
 	// Matches renders each match as tag=value / tag#id strings, one slot
-	// per pattern node (omitted under count=1).
+	// per pattern node (omitted under count=1); Docs gives each match's
+	// document ID, index-parallel with Matches.
 	Matches [][]string `json:"matches,omitempty"`
+	Docs    []string   `json:"docs,omitempty"`
 	Plan    string     `json:"plan"`
 	Cached  bool       `json:"cached_plan"`
 	// OptimizeNs and ExecuteNs split the latency in nanoseconds.
 	OptimizeNs int64         `json:"optimize_ns"`
 	ExecuteNs  int64         `json:"execute_ns"`
+	Shards     int           `json:"shards_queried"`
 	Trace      *sjos.OpTrace `json:"trace,omitempty"`
 }
 
-// newMux assembles the HTTP handlers for one database; split from main so
-// tests can drive it with httptest.
-func newMux(db *sjos.Database, defaultMethod sjos.Method) *http.ServeMux {
+// collectionInfo is one /collections list entry.
+type collectionInfo struct {
+	Name   string `json:"name"`
+	Docs   int    `json:"docs"`
+	Shards int    `json:"shards"`
+	Nodes  int    `json:"nodes"`
+}
+
+// healthResponse is the /healthz payload: liveness plus per-collection,
+// per-shard detail.
+type healthResponse struct {
+	Status      string                        `json:"status"`
+	Collections map[string][]sjos.ShardHealth `json:"collections"`
+}
+
+// newMux assembles the HTTP handlers; split from main so tests can drive it
+// with httptest.
+func newMux(cols *collections, defaultMethod sjos.Method) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		db.WriteMetrics(w)
-	})
-	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(db.SlowQueries())
-	})
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		src := r.URL.Query().Get("q")
-		if src == "" {
-			http.Error(w, "missing q parameter", http.StatusBadRequest)
-			return
-		}
-		m := defaultMethod
-		if ms := r.URL.Query().Get("method"); ms != "" {
-			var err error
-			if m, err = sjos.ParseMethod(ms); err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-		}
-		opts := sjos.QueryOptions{Method: m}
-		if ls := r.URL.Query().Get("limit"); ls != "" {
-			n, err := strconv.Atoi(ls)
-			if err != nil || n < 0 {
-				http.Error(w, "limit must be a non-negative integer", http.StatusBadRequest)
-				return
-			}
-			opts.Limit = n
-		}
-		opts.Trace = boolParam(r, "trace")
-		opts.NoValueIndex = boolParam(r, "novidx")
-		res, err := db.QueryContext(r.Context(), src, opts)
-		if err != nil {
-			// Load shed and shutdown are retryable service conditions, not
-			// client errors.
-			if errors.Is(err, sjos.ErrOverloaded) || errors.Is(err, sjos.ErrShuttingDown) {
-				w.Header().Set("Retry-After", "1")
-				http.Error(w, err.Error(), http.StatusServiceUnavailable)
-				return
-			}
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		resp := &queryResponse{
-			Count:      len(res.Matches),
-			Plan:       res.PlanText,
-			Cached:     res.CachedPlan,
-			OptimizeNs: res.OptimizeTime.Nanoseconds(),
-			ExecuteNs:  res.ExecuteTime.Nanoseconds(),
-			Trace:      res.Trace,
-		}
-		if !boolParam(r, "count") {
-			resp.Matches = renderMatches(db, res.Matches)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		resp := healthResponse{Status: "ok", Collections: make(map[string][]sjos.ShardHealth, len(cols.names))}
+		for _, name := range cols.names {
+			resp.Collections[name] = cols.byName[name].Health()
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(resp)
 	})
+	mux.HandleFunc("GET /collections", func(w http.ResponseWriter, r *http.Request) {
+		out := make([]collectionInfo, 0, len(cols.names))
+		for _, name := range cols.names {
+			c := cols.byName[name]
+			info := collectionInfo{Name: name, Docs: c.NumDocs(), Shards: c.NumShards()}
+			for _, h := range c.Health() {
+				info.Nodes += h.Nodes
+			}
+			out = append(out, info)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+	named := func(pick func(*http.Request) (*sjos.Corpus, bool), h func(http.ResponseWriter, *http.Request, *sjos.Corpus)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			c, ok := pick(r)
+			if !ok {
+				http.Error(w, "no such collection", http.StatusNotFound)
+				return
+			}
+			h(w, r, c)
+		}
+	}
+	defC := func(*http.Request) (*sjos.Corpus, bool) { return cols.def(), true }
+	byPath := func(r *http.Request) (*sjos.Corpus, bool) {
+		c, ok := cols.byName[r.PathValue("name")]
+		return c, ok
+	}
+	metrics := func(w http.ResponseWriter, r *http.Request, c *sjos.Corpus) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		c.WriteMetrics(w)
+	}
+	slow := func(w http.ResponseWriter, r *http.Request, c *sjos.Corpus) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(c.SlowQueries())
+	}
+	query := func(w http.ResponseWriter, r *http.Request, c *sjos.Corpus) {
+		serveQuery(w, r, c, defaultMethod)
+	}
+	mux.HandleFunc("GET /metrics", named(defC, metrics))
+	mux.HandleFunc("GET /slow", named(defC, slow))
+	mux.HandleFunc("GET /query", named(defC, query))
+	mux.HandleFunc("GET /collections/{name}/metrics", named(byPath, metrics))
+	mux.HandleFunc("GET /collections/{name}/slow", named(byPath, slow))
+	mux.HandleFunc("GET /collections/{name}/query", named(byPath, query))
 	return mux
+}
+
+func serveQuery(w http.ResponseWriter, r *http.Request, c *sjos.Corpus, defaultMethod sjos.Method) {
+	src := r.URL.Query().Get("q")
+	if src == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	m := defaultMethod
+	if ms := r.URL.Query().Get("method"); ms != "" {
+		var err error
+		if m, err = sjos.ParseMethod(ms); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	opts := sjos.QueryOptions{ExecOptions: sjos.ExecOptions{Method: m}}
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			http.Error(w, "limit must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		opts.Limit = n
+	}
+	opts.Trace = boolParam(r, "trace")
+	opts.NoValueIndex = boolParam(r, "novidx")
+	res, err := c.QueryContext(r.Context(), src, opts)
+	if err != nil {
+		// Load shed and shutdown are retryable service conditions, not
+		// client errors.
+		if errors.Is(err, sjos.ErrOverloaded) || errors.Is(err, sjos.ErrShuttingDown) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := &queryResponse{
+		Count:      res.Count,
+		Plan:       res.PlanText,
+		Cached:     res.CachedPlan,
+		OptimizeNs: res.OptimizeTime.Nanoseconds(),
+		ExecuteNs:  res.ExecuteTime.Nanoseconds(),
+		Shards:     res.ShardsQueried,
+		Trace:      res.Trace,
+	}
+	if !boolParam(r, "count") {
+		resp.Matches, resp.Docs = renderMatches(c, res.Matches)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
 }
 
 func boolParam(r *http.Request, name string) bool {
@@ -198,19 +349,23 @@ func boolParam(r *http.Request, name string) bool {
 	return v == "1" || v == "true" || v == "yes"
 }
 
-// renderMatches formats node bindings the way the CLI tools print them.
-func renderMatches(db *sjos.Database, matches []sjos.Match) [][]string {
+// renderMatches formats node bindings the way the CLI tools print them,
+// plus each match's document ID.
+func renderMatches(c *sjos.Corpus, matches []sjos.CorpusMatch) ([][]string, []string) {
 	out := make([][]string, len(matches))
+	docIDs := make([]string, len(matches))
 	for i, m := range matches {
-		row := make([]string, len(m))
-		for u, id := range m {
-			if v := db.Value(id); v != "" {
-				row[u] = fmt.Sprintf("%s=%q", db.TagName(id), v)
+		docIDs[i] = m.DocID
+		row := make([]string, len(m.Nodes))
+		for u, id := range m.Nodes {
+			tag, _ := c.TagName(m.DocID, id)
+			if v, _ := c.Value(m.DocID, id); v != "" {
+				row[u] = fmt.Sprintf("%s=%q", tag, v)
 			} else {
-				row[u] = fmt.Sprintf("%s#%d", db.TagName(id), id)
+				row[u] = fmt.Sprintf("%s#%d", tag, id)
 			}
 		}
 		out[i] = row
 	}
-	return out
+	return out, docIDs
 }

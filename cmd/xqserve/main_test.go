@@ -22,9 +22,40 @@ func newServer(t *testing.T) (*sjos.Database, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newMux(db, sjos.MethodDPP))
+	cols := &collections{}
+	cols.add("default", db.AsCorpus("staff.xml"))
+	srv := httptest.NewServer(newMux(cols, sjos.MethodDPP))
 	t.Cleanup(srv.Close)
 	return db, srv
+}
+
+// newMultiServer serves two collections, the first of them multi-document.
+func newMultiServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	build := func(ids, srcs []string) *sjos.Corpus {
+		b := sjos.NewCorpusBuilder(&sjos.CorpusOptions{Shards: 2})
+		for i, id := range ids {
+			if err := b.AddXMLString(id, srcs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	cols := &collections{}
+	cols.add("staff", build([]string{"east", "west"}, []string{
+		`<db><manager><name>alice</name></manager></db>`,
+		`<db><manager><name>bob</name></manager><manager><name>eve</name></manager></db>`,
+	}))
+	cols.add("papers", build([]string{"p1"}, []string{
+		`<db><article><title>joins</title></article></db>`,
+	}))
+	srv := httptest.NewServer(newMux(cols, sjos.MethodDPP))
+	t.Cleanup(srv.Close)
+	return srv
 }
 
 func getJSON(t *testing.T, url string, v any) {
@@ -44,13 +75,17 @@ func getJSON(t *testing.T, url string, v any) {
 
 func TestServeHealthz(t *testing.T) {
 	_, srv := newServer(t)
-	resp, err := http.Get(srv.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
+	var h healthResponse
+	getJSON(t, srv.URL+"/healthz", &h)
+	if h.Status != "ok" {
+		t.Fatalf("healthz status %q", h.Status)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz status %d", resp.StatusCode)
+	shards, ok := h.Collections["default"]
+	if !ok || len(shards) != 1 {
+		t.Fatalf("healthz collections: %+v", h.Collections)
+	}
+	if shards[0].Docs != 1 || shards[0].Nodes == 0 {
+		t.Fatalf("shard health: %+v", shards[0])
 	}
 }
 
@@ -63,6 +98,9 @@ func TestServeQuery(t *testing.T) {
 	}
 	if r.Plan == "" || r.Trace != nil {
 		t.Fatalf("plan/trace: %+v", r)
+	}
+	if r.Shards != 1 || len(r.Docs) != 2 || r.Docs[0] != "staff.xml" {
+		t.Fatalf("corpus attribution: %+v", r)
 	}
 	found := false
 	for _, row := range r.Matches {
@@ -95,20 +133,76 @@ func TestServeQueryOptions(t *testing.T) {
 
 func TestServeQueryErrors(t *testing.T) {
 	_, srv := newServer(t)
-	for _, path := range []string{
-		"/query",
-		"/query?q=///bad[",
-		"/query?q=//a&method=BOGUS",
-		"/query?q=//a&limit=-1",
+	for path, want := range map[string]int{
+		"/query":                        http.StatusBadRequest,
+		"/query?q=///bad[":              http.StatusBadRequest,
+		"/query?q=//a&method=BOGUS":     http.StatusBadRequest,
+		"/query?q=//a&limit=-1":         http.StatusBadRequest,
+		"/collections/nope/query?q=//a": http.StatusNotFound,
+		"/collections/nope/metrics":     http.StatusNotFound,
 	} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("GET %s: status %d, want 400", path, resp.StatusCode)
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, want)
 		}
+	}
+}
+
+func TestServeCollections(t *testing.T) {
+	srv := newMultiServer(t)
+	var infos []collectionInfo
+	getJSON(t, srv.URL+"/collections", &infos)
+	if len(infos) != 2 || infos[0].Name != "staff" || infos[1].Name != "papers" {
+		t.Fatalf("collections: %+v", infos)
+	}
+	if infos[0].Docs != 2 || infos[0].Shards != 2 || infos[0].Nodes == 0 {
+		t.Fatalf("staff info: %+v", infos[0])
+	}
+
+	// Named query: results grouped by document in insertion order, with
+	// document attribution.
+	var r queryResponse
+	getJSON(t, srv.URL+"/collections/staff/query?q=//manager/name", &r)
+	if r.Count != 3 || len(r.Matches) != 3 || len(r.Docs) != 3 {
+		t.Fatalf("staff query: %+v", r)
+	}
+	if r.Docs[0] != "east" || r.Docs[1] != "west" || r.Docs[2] != "west" {
+		t.Fatalf("document order: %v", r.Docs)
+	}
+
+	// The other collection answers independently.
+	getJSON(t, srv.URL+"/collections/papers/query?q=//article/title", &r)
+	if r.Count != 1 || r.Docs[0] != "p1" {
+		t.Fatalf("papers query: %+v", r)
+	}
+
+	// Per-collection metrics and healthz cover both.
+	resp, err := http.Get(srv.URL + "/collections/staff/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "sjos_queries_total") {
+		t.Fatalf("staff metrics: %s", body)
+	}
+	var h healthResponse
+	getJSON(t, srv.URL+"/healthz", &h)
+	// Both collections were built with 2 shards; papers' single document
+	// leaves one of its shards empty but still reported.
+	if len(h.Collections["staff"]) != 2 || len(h.Collections["papers"]) != 2 {
+		t.Fatalf("healthz: %+v", h.Collections)
+	}
+	var paperDocs int
+	for _, sh := range h.Collections["papers"] {
+		paperDocs += sh.Docs
+	}
+	if paperDocs != 1 {
+		t.Fatalf("papers healthz docs = %d, want 1", paperDocs)
 	}
 }
 
@@ -159,10 +253,13 @@ func TestServeShedsLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newMux(db, sjos.MethodDPP))
+	cols := &collections{}
+	cols.add("default", db.AsCorpus("solo"))
+	srv := httptest.NewServer(newMux(cols, sjos.MethodDPP))
 	t.Cleanup(srv.Close)
 	// Draining with nothing in flight completes instantly and flips every
-	// later arrival into the shed path.
+	// later arrival into the shed path — through the shared admission
+	// controller, the corpus view drains with the database.
 	if err := db.Drain(context.Background()); err != nil {
 		t.Fatal(err)
 	}
@@ -176,5 +273,16 @@ func TestServeShedsLoad(t *testing.T) {
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("503 without Retry-After")
+	}
+}
+
+func TestBuildCollectionsSpecErrors(t *testing.T) {
+	for _, spec := range []string{"noequals", "=pers", "a=pers:0", "a=pers:x"} {
+		if _, err := buildCollections(spec, "", "", 1, 0, 1, 0, 0); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	if _, err := buildCollections("", "", "", 1, 0, 1, 0, 0); err == nil {
+		t.Error("empty source accepted")
 	}
 }

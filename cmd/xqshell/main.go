@@ -238,7 +238,7 @@ func (sh *shell) withPattern(line, cmd string, f func(*sjos.Pattern) (string, er
 
 func (sh *shell) runPattern(src string) {
 	res, err := sh.db.QueryContext(context.Background(), src,
-		sjos.QueryOptions{Method: sh.method, NoBatch: sh.nobatch, NoValueIndex: sh.novidx})
+		sjos.QueryOptions{ExecOptions: sjos.ExecOptions{Method: sh.method, NoBatch: sh.nobatch, NoValueIndex: sh.novidx}})
 	if err != nil {
 		fmt.Fprintln(sh.out, "error:", err)
 		return

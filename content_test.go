@@ -112,7 +112,7 @@ func TestValueIndexDifferential(t *testing.T) {
 						target = dbp
 					}
 					r, err := target.QueryPatternContext(context.Background(), pat,
-						QueryOptions{Method: m, NoValueIndex: lane.novidx, NoBatch: lane.nobatch})
+						QueryOptions{ExecOptions: ExecOptions{Method: m, NoValueIndex: lane.novidx, NoBatch: lane.nobatch}})
 					if err != nil {
 						t.Fatalf("trial %d %v %s on %s: %v", trial, m, lane.name, pat, err)
 					}
@@ -147,7 +147,7 @@ func TestValueIndexPlanAndStats(t *testing.T) {
 	}
 	pat := MustParsePattern(`//article[year < 1980]/title`)
 	probe, err := db.QueryPatternContext(context.Background(), pat,
-		QueryOptions{Method: MethodDPP})
+		QueryOptions{ExecOptions: ExecOptions{Method: MethodDPP}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestValueIndexPlanAndStats(t *testing.T) {
 		t.Fatalf("probe lane reported no value probes: %+v", probe.Exec)
 	}
 	scan, err := db.QueryPatternContext(context.Background(), pat,
-		QueryOptions{Method: MethodDPP, NoValueIndex: true})
+		QueryOptions{ExecOptions: ExecOptions{Method: MethodDPP, NoValueIndex: true}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,895 @@
+package sjos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sjos/internal/admission"
+	"sjos/internal/core"
+	"sjos/internal/datagen"
+	"sjos/internal/exec"
+	"sjos/internal/histogram"
+	"sjos/internal/pattern"
+	"sjos/internal/shardring"
+	"sjos/internal/xmltree"
+)
+
+// CorpusOptions configures corpus construction. The embedded Options apply
+// per shard (pool size, histogram grid, retry policy, value index, cost
+// model, plan-cache capacity) with three corpus-level exceptions:
+// MaxInFlight and QueueDepth bound concurrent queries across the whole
+// corpus (shards themselves admit unconditionally — the corpus is the
+// admission boundary), and DiskPath names a path prefix from which each
+// shard derives its own image file ("<path>.shard-NNN"). Options.PageFile
+// is ignored; use ShardPageFile to inject per-shard page files.
+type CorpusOptions struct {
+	Options
+
+	// Shards is the number of shards documents are distributed over by
+	// consistent hashing of their IDs. <= 0 selects min(#docs, GOMAXPROCS).
+	Shards int
+	// Replicas is the consistent-hash ring's virtual points per shard
+	// (<= 0 selects the default, see internal/shardring).
+	Replicas int
+	// ShardWorkers bounds how many shards one query fans out to
+	// concurrently (<= 0 selects min(#shards, GOMAXPROCS)).
+	ShardWorkers int
+	// ShardPageFile, when non-nil, supplies the page file each shard's
+	// store is built on — the injection point for per-shard fault wrappers
+	// (chaos testing a single failing shard) and alternative backends. It
+	// takes precedence over DiskPath.
+	ShardPageFile func(shard int) PageFile
+}
+
+// docRef locates a document: the shard holding it and its member index
+// inside that shard's merged forest.
+type docRef struct {
+	shard  int
+	member int
+}
+
+// corpusShard is one shard: a regular Database over the merged forest of
+// its member documents, plus the bookkeeping to translate merged node IDs
+// back into per-document ones.
+type corpusShard struct {
+	id int
+	db *Database
+	// spans[i] is member i's node range inside the merged document, in
+	// ascending First order (members were merged in insertion order).
+	spans []xmltree.DocSpan
+	// docIdx[i] / docIDs[i] are member i's global insertion index and ID.
+	docIdx []int
+	docIDs []string
+}
+
+// memberOf maps a merged-document node ID to the member that owns it.
+func (sh *corpusShard) memberOf(id NodeID) int {
+	return sort.Search(len(sh.spans), func(i int) bool { return sh.spans[i].First > id }) - 1
+}
+
+// corpusState is the shared identity behind a Corpus and all of its
+// WithParallelism views — mirror of dbState.
+type corpusState struct {
+	shards []*corpusShard // one per ring shard; nil when no document hashed there
+	ring   *shardring.Ring
+	ids    []string // global document insertion order
+	byID   map[string]docRef
+	model  CostModel
+	svc    *service // corpus-level: merged stats, plan cache, metrics, admission
+	probe  core.ProbeEligibility
+	// shardWorkers bounds scatter fan-out (resolved at Build).
+	shardWorkers int
+}
+
+// Corpus is many documents behind one query surface: documents are
+// distributed over shards by consistent hashing of their IDs, each shard
+// stores its documents as one merged forest (reusing the paged, checksummed
+// store and all indexes), and queries scatter across shards and gather in
+// document order. The Corpus is the primary entry point for multi-document
+// workloads; Database remains the single-document convenience, and
+// Database.AsCorpus adapts one into the other.
+//
+// Plans are optimized once per query against corpus-wide merged statistics
+// and executed unchanged on every shard — correct because no structural
+// relationship crosses a shard, so a corpus answer is exactly the
+// concatenation of per-shard answers in document order.
+type Corpus struct {
+	*corpusState
+
+	// parallelism > 0 routes each shard's execution through the
+	// partition-parallel driver with that many workers (in addition to the
+	// cross-shard scatter). 0 = serial per shard.
+	parallelism int
+}
+
+// CorpusBuilder accumulates documents for one Corpus. Add documents in the
+// order results should be reported in, then call Build.
+type CorpusBuilder struct {
+	opts CorpusOptions
+	ids  []string
+	docs []*xmltree.Document
+	seen map[string]bool
+	err  error
+}
+
+// NewCorpusBuilder starts a corpus build; opts may be nil for defaults.
+func NewCorpusBuilder(opts *CorpusOptions) *CorpusBuilder {
+	b := &CorpusBuilder{seen: make(map[string]bool)}
+	if opts != nil {
+		b.opts = *opts
+	}
+	return b
+}
+
+// add registers a parsed document under id. Errors are sticky: the first
+// one fails the eventual Build.
+func (b *CorpusBuilder) add(id string, doc *xmltree.Document, err error) error {
+	if b.err != nil {
+		return b.err
+	}
+	switch {
+	case err != nil:
+	case id == "":
+		err = fmt.Errorf("sjos: corpus document needs a non-empty ID")
+	case b.seen[id]:
+		err = fmt.Errorf("sjos: duplicate corpus document ID %q", id)
+	}
+	if err != nil {
+		b.err = err
+		return err
+	}
+	b.seen[id] = true
+	b.ids = append(b.ids, id)
+	b.docs = append(b.docs, doc)
+	return nil
+}
+
+// AddXML parses an XML document from r and adds it under id.
+func (b *CorpusBuilder) AddXML(id string, r io.Reader) error {
+	if b.err != nil {
+		return b.err
+	}
+	doc, err := xmltree.Parse(r)
+	return b.add(id, doc, err)
+}
+
+// AddXMLString is AddXML over a string.
+func (b *CorpusBuilder) AddXMLString(id, src string) error {
+	return b.AddXML(id, strings.NewReader(src))
+}
+
+// AddDataset generates one of the synthetic benchmark data sets ("mbench",
+// "dblp", "pers") at the given scale and folding factor with the given PRNG
+// seed, and adds it under id. Distinct seeds produce distinct documents —
+// the corpus-population path of the load generator.
+func (b *CorpusBuilder) AddDataset(id, name string, scale float64, fold int, seed int64) error {
+	if b.err != nil {
+		return b.err
+	}
+	doc, err := datagen.Generate(datagen.Config{Name: name, Scale: scale, Seed: seed})
+	if err == nil {
+		doc = xmltree.Fold(doc, fold)
+	}
+	return b.add(id, doc, err)
+}
+
+// NumPending reports how many documents have been added so far.
+func (b *CorpusBuilder) NumPending() int { return len(b.ids) }
+
+// Build assigns the added documents to shards, merges each shard's members
+// into one forest document, and constructs the per-shard stores, indexes
+// and statistics plus the corpus-wide merged statistics.
+func (b *CorpusBuilder) Build() (*Corpus, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.docs) == 0 {
+		return nil, fmt.Errorf("sjos: corpus needs at least one document")
+	}
+	shards := b.opts.Shards
+	if shards <= 0 {
+		shards = min(len(b.docs), runtime.GOMAXPROCS(0))
+	}
+	ring := shardring.New(shards, b.opts.Replicas)
+	shards = ring.Shards()
+
+	cs := &corpusState{
+		ring: ring,
+		ids:  append([]string(nil), b.ids...),
+		byID: make(map[string]docRef, len(b.ids)),
+	}
+	// Group documents by owning shard, preserving global insertion order
+	// within each group.
+	groupDocs := make([][]*xmltree.Document, shards)
+	groupIdx := make([][]int, shards)
+	for gi, id := range b.ids {
+		s := ring.Shard(id)
+		cs.byID[id] = docRef{shard: s, member: len(groupDocs[s])}
+		groupDocs[s] = append(groupDocs[s], b.docs[gi])
+		groupIdx[s] = append(groupIdx[s], gi)
+	}
+
+	cs.shards = make([]*corpusShard, shards)
+	var parts []*histogram.Stats
+	for s := 0; s < shards; s++ {
+		if len(groupDocs[s]) == 0 {
+			continue
+		}
+		merged, spans, err := xmltree.MergeDocuments(groupDocs[s])
+		if err != nil {
+			return nil, fmt.Errorf("sjos: merging shard %d: %w", s, err)
+		}
+		sopts := b.opts.Options
+		// The corpus is the admission boundary; shards execute whatever the
+		// scatter driver hands them.
+		sopts.MaxInFlight, sopts.QueueDepth = 0, 0
+		sopts.PageFile = nil
+		if b.opts.ShardPageFile != nil {
+			sopts.PageFile = b.opts.ShardPageFile(s)
+			sopts.DiskPath = ""
+		} else if sopts.DiskPath != "" {
+			sopts.DiskPath = fmt.Sprintf("%s.shard-%03d", sopts.DiskPath, s)
+		}
+		db, err := fromDocument(merged, &sopts)
+		if err != nil {
+			return nil, fmt.Errorf("sjos: building shard %d: %w", s, err)
+		}
+		sh := &corpusShard{
+			id:     s,
+			db:     db,
+			spans:  spans,
+			docIdx: groupIdx[s],
+			docIDs: make([]string, len(groupIdx[s])),
+		}
+		for m, gi := range groupIdx[s] {
+			sh.docIDs[m] = cs.ids[gi]
+		}
+		cs.shards[s] = sh
+		parts = append(parts, db.histStats())
+	}
+
+	grid, cacheCap := b.opts.HistogramGrid, b.opts.PlanCacheCapacity
+	cs.svc = newService(histogram.Merge(parts), grid, cacheCap)
+	cs.svc.admit = admission.New(b.opts.MaxInFlight, b.opts.QueueDepth)
+	cs.model = b.opts.model()
+	cs.probe = corpusProbe{shards: cs.shards}
+	cs.shardWorkers = b.opts.ShardWorkers
+	return &Corpus{corpusState: cs}, nil
+}
+
+// histStats returns the database's statistics when they are plain
+// single-document positional histograms (always true for databases built by
+// the constructors).
+func (db *Database) histStats() *histogram.Stats {
+	s, _ := db.svc.snapshot()
+	hs, _ := s.(*histogram.Stats)
+	return hs
+}
+
+// AsCorpus adapts a single-document Database into a one-shard Corpus under
+// the given document ID, sharing the database's state: store, statistics,
+// plan cache, metrics and admission control. Queries through either handle
+// observe the same caches and limits (corpus queries bypass only the
+// double admission a nested Database.Run would cost).
+func (db *Database) AsCorpus(docID string) *Corpus {
+	sh := &corpusShard{
+		db:     db,
+		spans:  []xmltree.DocSpan{{First: 0, Nodes: db.doc.NumNodes()}},
+		docIdx: []int{0},
+		docIDs: []string{docID},
+	}
+	return &Corpus{corpusState: &corpusState{
+		shards:       []*corpusShard{sh},
+		ring:         shardring.New(1, 0),
+		ids:          []string{docID},
+		byID:         map[string]docRef{docID: {}},
+		model:        db.model,
+		svc:          db.svc,
+		probe:        db.store,
+		shardWorkers: 1,
+	}, parallelism: db.parallelism}
+}
+
+// corpusProbe aggregates per-shard value-index eligibility for the corpus
+// planner: a probe is offered only when every populated shard can serve it
+// (shards that cannot would silently fall back to scan+filter, which stays
+// correct but would skew the shared plan's cost model), and the exact probe
+// selectivity is the per-shard sum.
+type corpusProbe struct {
+	shards []*corpusShard
+}
+
+func (p corpusProbe) ProbeEligible(tag string, op pattern.CmpOp, value string) bool {
+	any := false
+	for _, sh := range p.shards {
+		if sh == nil {
+			continue
+		}
+		if !sh.db.store.ProbeEligible(tag, op, value) {
+			return false
+		}
+		any = true
+	}
+	return any
+}
+
+func (p corpusProbe) ProbeSelectivity(tag string, op pattern.CmpOp, value string) (int, bool) {
+	total, any := 0, false
+	for _, sh := range p.shards {
+		if sh == nil {
+			continue
+		}
+		n, ok := sh.db.store.ProbeSelectivity(tag, op, value)
+		if !ok {
+			return 0, false
+		}
+		total += n
+		any = true
+	}
+	return total, any
+}
+
+// NumShards returns the corpus's shard count (including shards no document
+// hashed to).
+func (c *Corpus) NumShards() int { return len(c.shards) }
+
+// NumDocs returns the number of member documents.
+func (c *Corpus) NumDocs() int { return len(c.ids) }
+
+// DocIDs returns the document IDs in insertion order — the order results
+// are reported in.
+func (c *Corpus) DocIDs() []string { return append([]string(nil), c.ids...) }
+
+// ShardOf reports which shard holds the document.
+func (c *Corpus) ShardOf(docID string) (int, bool) {
+	ref, ok := c.byID[docID]
+	return ref.shard, ok
+}
+
+// Model returns the corpus's cost model.
+func (c *Corpus) Model() CostModel { return c.model }
+
+// resolve translates a (document ID, document-local node ID) pair into the
+// owning shard and the merged-document node ID.
+func (c *Corpus) resolve(docID string, id NodeID) (*corpusShard, NodeID, bool) {
+	ref, ok := c.byID[docID]
+	if !ok {
+		return nil, 0, false
+	}
+	sh := c.shards[ref.shard]
+	span := sh.spans[ref.member]
+	if int(id) >= span.Nodes {
+		return nil, 0, false
+	}
+	return sh, span.First + id, true
+}
+
+// TagName returns the element tag of a matched node of the given document.
+func (c *Corpus) TagName(docID string, id NodeID) (string, bool) {
+	sh, gid, ok := c.resolve(docID, id)
+	if !ok {
+		return "", false
+	}
+	return sh.db.doc.TagName(sh.db.doc.Tag(gid)), true
+}
+
+// Value returns the text value of a matched node of the given document
+// ("" if none).
+func (c *Corpus) Value(docID string, id NodeID) (string, bool) {
+	sh, gid, ok := c.resolve(docID, id)
+	if !ok {
+		return "", false
+	}
+	return sh.db.doc.Value(gid), true
+}
+
+// WithParallelism returns a derived handle whose queries execute each
+// shard's plan through the partition-parallel driver with k workers, on top
+// of the cross-shard scatter (total concurrency ≈ ShardWorkers × k).
+// k <= 0 selects runtime.GOMAXPROCS(0). Like Database.WithParallelism, the
+// derived handle shares all corpus state — plan cache, statistics, metrics
+// and admission control.
+func (c *Corpus) WithParallelism(k int) *Corpus {
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	return &Corpus{corpusState: c.corpusState, parallelism: k}
+}
+
+// Parallelism reports the per-shard worker count queries run with
+// (0 = serial within each shard).
+func (c *Corpus) Parallelism() int { return c.parallelism }
+
+// Optimize picks a plan for pat against the corpus-wide merged statistics
+// (summed tag counts and join estimates over all shards — exact at the
+// corpus level because joins never cross shards). The chosen plan executes
+// unchanged on every shard. Like Database.Optimize it bypasses the plan
+// cache; cached optimization is the QueryContext path.
+func (c *Corpus) Optimize(pat *Pattern, m Method, te int) (*OptimizeResult, error) {
+	return c.OptimizeContext(context.Background(), pat, m, te)
+}
+
+// OptimizeContext is Optimize under a context.
+func (c *Corpus) OptimizeContext(ctx context.Context, pat *Pattern, m Method, te int) (*OptimizeResult, error) {
+	stats, _ := c.svc.snapshot()
+	return optimizeWith(ctx, pat, stats, c.model, m, te, c.probe)
+}
+
+// CorpusMatch is one pattern match of a corpus query: the document it
+// occurred in and the per-pattern-node bindings in that document's own
+// node numbering — exactly the IDs a standalone Database over the same
+// document would report.
+type CorpusMatch struct {
+	// DocID and Doc identify the document (ID and insertion index).
+	DocID string
+	Doc   int
+	// Nodes holds the matched document nodes, slot u = pattern node u.
+	Nodes Match
+}
+
+// CorpusRunResult is the outcome of one Corpus.Run call.
+type CorpusRunResult struct {
+	// Matches holds the matches grouped by document in insertion order,
+	// and inside each document in that document's standalone match order
+	// (nil if CountOnly).
+	Matches []CorpusMatch
+	// Count is the number of matches produced.
+	Count int
+	// Stats merges the physical work of every shard execution.
+	Stats ExecStats
+	// Trace is the plan-shaped trace with all shards' operator clones
+	// merged (nil unless RunOptions.Trace).
+	Trace *OpTrace
+	// ShardsQueried is the number of populated shards the query was
+	// scattered to.
+	ShardsQueried int
+}
+
+// errCorpusLimit marks a scatter cancellation caused by the corpus-level
+// Limit being satisfied — shards cancelled for this reason are not errors.
+var errCorpusLimit = errors.New("sjos: corpus limit satisfied")
+
+// Run executes one plan on every populated shard and gathers the results
+// in document order. It mirrors Database.Run as the corpus's resilience
+// boundary: corpus-level admission control, metrics observation and panic
+// recovery wrap the scatter. Within the scatter, ShardWorkers shards
+// execute concurrently (each serial or partition-parallel per
+// WithParallelism / opts.Workers); the first shard error cancels the rest
+// and Run returns that error with no partial results, and under
+// opts.Limit the remaining shards are cancelled as soon as a document-order
+// prefix of gathered results satisfies the limit.
+func (c *Corpus) Run(ctx context.Context, pat *Pattern, p *Plan, opts RunOptions) (res *CorpusRunResult, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	release, aerr := c.svc.admit.Acquire(ctx)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer release()
+	c.svc.metrics.QueryStarted()
+	t0 := time.Now()
+	defer func() {
+		if perr := exec.RecoverPanic(recover()); perr != nil {
+			res, err = nil, perr
+			c.svc.recordPanic(pat, perr)
+		}
+		c.svc.metrics.QueryFinished(time.Since(t0), err)
+		if res != nil {
+			c.svc.metrics.ExecBatched(res.Stats.Batches, res.Stats.SkippedTuples)
+		}
+	}()
+	if hook := c.svc.testHookRun; hook != nil {
+		hook()
+	}
+	res, err = c.scatter(ctx, pat, p, opts)
+	return res, err
+}
+
+// shardOut is one shard's gathered output: the raw run result plus its
+// matches demultiplexed into per-member, document-local form.
+type shardOut struct {
+	res      *RunResult
+	byMember [][]Match
+}
+
+// scatter is Run without the admission/metrics/recovery envelope.
+func (c *Corpus) scatter(ctx context.Context, pat *Pattern, p *Plan, opts RunOptions) (*CorpusRunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var live []int
+	for i, sh := range c.shards {
+		if sh != nil {
+			live = append(live, i)
+		}
+	}
+	out := &CorpusRunResult{ShardsQueried: len(live)}
+	if len(live) == 0 {
+		return out, nil
+	}
+
+	shOpts := opts
+	if shOpts.Workers == 0 {
+		shOpts.Workers = c.parallelism
+	}
+	// A corpus Limit k is served by per-shard limit k: any plan's output is
+	// in document-position order and members occupy disjoint ascending
+	// ranges, so each shard's first k matches cover every possible prefix
+	// contribution. Count-only is pushed down only when no demux is needed
+	// (gathering a limited prefix requires the matches to attribute them to
+	// documents).
+	shOpts.CountOnly = opts.CountOnly && opts.Limit <= 0
+
+	runCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+		results  = make([]*shardOut, len(c.shards))
+		done     = make([]bool, len(c.shards))
+	)
+	// checkLimit (mu held): walk documents in global order while their
+	// shard has finished, accumulating gathered matches; once a prefix
+	// satisfies the limit the still-running shards can only contribute
+	// matches past the cutoff, so cancel them.
+	checkLimit := func() {
+		if opts.Limit <= 0 || firstErr != nil {
+			return
+		}
+		total := 0
+		for _, id := range c.ids {
+			ref := c.byID[id]
+			if !done[ref.shard] {
+				return
+			}
+			if so := results[ref.shard]; so != nil {
+				total += len(so.byMember[ref.member])
+			}
+			if total >= opts.Limit {
+				cancel(errCorpusLimit)
+				return
+			}
+		}
+	}
+	runShard := func(si int) {
+		sh := c.shards[si]
+		r, err := func() (r *RunResult, err error) {
+			// Shard executions run on scatter goroutines, outside Run's own
+			// recovery scope — recover here so a panicking shard surfaces as
+			// this query's typed error, not a process crash.
+			defer func() {
+				if perr := exec.RecoverPanic(recover()); perr != nil {
+					r, err = nil, perr
+				}
+			}()
+			return sh.db.run(runCtx, pat, p, shOpts)
+		}()
+		mu.Lock()
+		defer mu.Unlock()
+		done[si] = true
+		if err != nil {
+			// A shard cancelled because the corpus limit was already
+			// satisfied did not fail; anything else is the query's error.
+			if context.Cause(runCtx) != errCorpusLimit && firstErr == nil {
+				firstErr = err
+				cancel(nil)
+			}
+			return
+		}
+		so := &shardOut{res: r}
+		if !shOpts.CountOnly {
+			so.byMember = demux(sh, r.Matches)
+		}
+		results[si] = so
+		checkLimit()
+	}
+
+	workers := c.shardWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(live) {
+		workers = len(live)
+	}
+	jobs := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for si := range jobs {
+				runShard(si)
+			}
+		}()
+	}
+	for _, si := range live {
+		jobs <- si
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Gather: merge per-shard statistics and traces, then emit matches by
+	// walking documents in global insertion order — each document's matches
+	// come whole from its shard, already in standalone order.
+	for _, si := range live {
+		so := results[si]
+		if so == nil {
+			continue // cancelled by the satisfied limit; not part of the prefix
+		}
+		out.Stats.Add(so.res.Stats)
+		if so.res.Trace != nil {
+			if out.Trace == nil {
+				out.Trace = so.res.Trace
+			} else {
+				out.Trace.Merge(so.res.Trace)
+			}
+		}
+	}
+	if shOpts.CountOnly {
+		for _, si := range live {
+			if so := results[si]; so != nil {
+				out.Count += so.res.Count
+			}
+		}
+		return out, nil
+	}
+	var matches []CorpusMatch
+gather:
+	for gi, id := range c.ids {
+		ref := c.byID[id]
+		so := results[ref.shard]
+		if so == nil {
+			continue
+		}
+		for _, m := range so.byMember[ref.member] {
+			matches = append(matches, CorpusMatch{DocID: id, Doc: gi, Nodes: m})
+			if opts.Limit > 0 && len(matches) >= opts.Limit {
+				break gather
+			}
+		}
+	}
+	out.Count = len(matches)
+	if !opts.CountOnly {
+		if matches == nil {
+			matches = []CorpusMatch{}
+		}
+		out.Matches = matches
+	}
+	return out, nil
+}
+
+// demux splits one shard's matches by member document and rebases every
+// binding into the member's own node numbering. Matches arrive in
+// document-position order; members occupy disjoint ascending ranges, so
+// each member's slice preserves its standalone order.
+func demux(sh *corpusShard, ms []Match) [][]Match {
+	out := make([][]Match, len(sh.spans))
+	for _, m := range ms {
+		mi := sh.memberOf(m[0])
+		span := sh.spans[mi]
+		local := make(Match, len(m))
+		for i, id := range m {
+			local[i] = id - span.First
+		}
+		out[mi] = append(out[mi], local)
+	}
+	return out
+}
+
+// CorpusQueryResult is the outcome of a corpus Query/QueryContext call.
+type CorpusQueryResult struct {
+	// Matches holds the matches grouped by document in insertion order.
+	Matches []CorpusMatch
+	// Count is the number of matches produced.
+	Count int
+	// Plan is the executed plan (one plan, every shard); PlanText its
+	// rendering.
+	Plan     *Plan
+	PlanText string
+	// EstCost is the optimizer's corpus-wide estimate for the plan.
+	EstCost float64
+	// CachedPlan reports whether the plan came from the corpus plan cache.
+	CachedPlan bool
+	// OptimizeTime and ExecuteTime split the total latency; ExecuteTime
+	// covers the whole scatter-gather.
+	OptimizeTime time.Duration
+	ExecuteTime  time.Duration
+	// PlansConsidered is the optimizer's search effort.
+	PlansConsidered int
+	// Exec merges the physical work of every shard execution.
+	Exec ExecStats
+	// Trace is the merged per-operator trace (nil unless requested or a
+	// slow-query log is active).
+	Trace *OpTrace
+	// ShardsQueried is the number of populated shards scattered to.
+	ShardsQueried int
+}
+
+// Query parses src, optimizes it once against the corpus-wide statistics
+// with method m, and executes the chosen plan on every shard.
+func (c *Corpus) Query(src string, m Method) (*CorpusQueryResult, error) {
+	return c.QueryContext(context.Background(), src, QueryOptions{ExecOptions: ExecOptions{Method: m}})
+}
+
+// QueryContext parses src, optimizes it (through the corpus plan cache,
+// unless opts.NoCache) and scatter-executes the chosen plan, observing ctx
+// in both phases. Options are exactly Database.QueryContext's.
+func (c *Corpus) QueryContext(ctx context.Context, src string, opts QueryOptions) (*CorpusQueryResult, error) {
+	pat, err := ParsePattern(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.QueryPatternContext(ctx, pat, opts)
+}
+
+// QueryPatternContext is QueryContext for an already-built pattern.
+func (c *Corpus) QueryPatternContext(ctx context.Context, pat *Pattern, opts QueryOptions) (*CorpusQueryResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	thr, slowFn := c.svc.slow.config()
+	if opts.SlowQueryThreshold > 0 {
+		thr = opts.SlowQueryThreshold
+	}
+	if opts.OnSlowQuery != nil {
+		slowFn = opts.OnSlowQuery
+	}
+	t0 := time.Now()
+	res, cached, err := c.svc.optimizePattern(ctx, pat, c.model, c.probe, opts.Method, opts.Te, opts.NoCache, opts.NoValueIndex)
+	if err != nil {
+		return nil, err
+	}
+	optTime := time.Since(t0)
+	t1 := time.Now()
+	eo := opts.ExecOptions
+	eo.Trace = opts.Trace || thr > 0
+	rr, err := c.Run(ctx, pat, res.Plan, RunOptions{ExecOptions: eo})
+	if err != nil {
+		return nil, fmt.Errorf("sjos: executing %v plan on corpus: %w", opts.Method, err)
+	}
+	execTime := time.Since(t1)
+	c.svc.maybeLogSlow(pat, opts.Method, thr, slowFn, optTime, execTime, rr.Count, rr.Stats, rr.Trace, cached)
+	return &CorpusQueryResult{
+		Matches:         rr.Matches,
+		Count:           rr.Count,
+		Plan:            res.Plan,
+		PlanText:        res.Plan.Format(pat),
+		EstCost:         res.Cost,
+		CachedPlan:      cached,
+		OptimizeTime:    optTime,
+		ExecuteTime:     execTime,
+		PlansConsidered: res.Counters.PlansConsidered,
+		Exec:            rr.Stats,
+		Trace:           rr.Trace,
+		ShardsQueried:   rr.ShardsQueried,
+	}, nil
+}
+
+// ShardHealth is one shard's health snapshot.
+type ShardHealth struct {
+	// Shard is the shard index; Docs and Nodes its document and element
+	// node populations (0 for shards no document hashed to).
+	Shard int
+	Docs  int
+	Nodes int
+	// Pool and Content are the shard store's buffer-pool and content-index
+	// counters (zero for empty shards).
+	Pool    PoolStats
+	Content ContentStats
+	// FaultsInjected counts faults the shard's page file injected, when it
+	// sits on a fault-injecting file (chaos mode); 0 otherwise.
+	FaultsInjected uint64
+}
+
+// Health reports a per-shard health snapshot, one entry per shard
+// (including empty ones) — the payload of xqserve's /healthz.
+func (c *Corpus) Health() []ShardHealth {
+	out := make([]ShardHealth, len(c.shards))
+	for i, sh := range c.shards {
+		out[i].Shard = i
+		if sh == nil {
+			continue
+		}
+		out[i].Docs = len(sh.spans)
+		for _, sp := range sh.spans {
+			out[i].Nodes += sp.Nodes
+		}
+		out[i].Pool = sh.db.PoolStats()
+		out[i].Content = sh.db.ContentStats()
+		if ff, ok := sh.db.store.File().(interface{ FaultsInjected() uint64 }); ok {
+			out[i].FaultsInjected = ff.FaultsInjected()
+		}
+	}
+	return out
+}
+
+// CacheStats returns the corpus plan cache's counters.
+func (c *Corpus) CacheStats() CacheStats { return c.svc.cache.Stats() }
+
+// AdmissionStats returns the corpus admission controller's counters.
+func (c *Corpus) AdmissionStats() AdmissionStats { return c.svc.admit.Stats() }
+
+// Drain flips the corpus into shutdown: queries arriving after Drain
+// begins fail fast with ErrShuttingDown, and Drain returns once every
+// in-flight query has finished (see Database.Drain).
+func (c *Corpus) Drain(ctx context.Context) error { return c.svc.admit.Drain(ctx) }
+
+// RebuildStats recomputes every shard's positional histograms and
+// re-merges them into fresh corpus-wide statistics, invalidating the
+// corpus plan cache.
+func (c *Corpus) RebuildStats() {
+	var parts []*histogram.Stats
+	for _, sh := range c.shards {
+		if sh == nil {
+			continue
+		}
+		sh.db.RebuildStats()
+		parts = append(parts, sh.db.histStats())
+	}
+	c.svc.setStats(histogram.Merge(parts))
+}
+
+// SetSlowQueryLog configures the corpus's slow-query log (see
+// Database.SetSlowQueryLog).
+func (c *Corpus) SetSlowQueryLog(threshold time.Duration, fn func(SlowQueryEntry)) {
+	c.svc.slow.mu.Lock()
+	c.svc.slow.threshold = threshold
+	c.svc.slow.fn = fn
+	c.svc.slow.mu.Unlock()
+}
+
+// SlowQueries returns the corpus's most recent slow-query log entries,
+// oldest first.
+func (c *Corpus) SlowQueries() []SlowQueryEntry { return c.svc.slow.entries() }
+
+// Metrics returns a corpus-level observability snapshot: query counters,
+// plan cache and admission are the corpus's own; buffer-pool, content and
+// fault counters aggregate every shard.
+func (c *Corpus) Metrics() Metrics {
+	m := Metrics{
+		Query:     c.svc.metrics.Snapshot(),
+		Cache:     c.CacheStats(),
+		Admission: c.AdmissionStats(),
+	}
+	for _, h := range c.Health() {
+		m.Pool.Hits += h.Pool.Hits
+		m.Pool.Misses += h.Pool.Misses
+		m.Pool.Evicted += h.Pool.Evicted
+		m.Pool.Resident += h.Pool.Resident
+		m.Pool.Pinned += h.Pool.Pinned
+		m.Pool.Retries += h.Pool.Retries
+		m.Pool.ChecksumFailures += h.Pool.ChecksumFailures
+		m.FaultsInjected += h.FaultsInjected
+		m.Content.ValueIndexed = m.Content.ValueIndexed || h.Content.ValueIndexed
+		m.Content.ValueRuns += h.Content.ValueRuns
+		m.Content.NumericTags += h.Content.NumericTags
+		m.Content.ValueProbes += h.Content.ValueProbes
+		m.Content.BlocksDecoded += h.Content.BlocksDecoded
+		m.Content.PostingsBytes += h.Content.PostingsBytes
+		m.Content.RawPostingsBytes += h.Content.RawPostingsBytes
+		m.Content.Intern.Strings += h.Content.Intern.Strings
+		m.Content.Intern.Hits += h.Content.Intern.Hits
+		m.Content.Intern.Misses += h.Content.Intern.Misses
+		m.Content.Intern.BytesSaved += h.Content.Intern.BytesSaved
+	}
+	return m
+}
+
+// WriteMetrics renders the corpus's counters in the Prometheus text
+// exposition format (metric prefix "sjos").
+func (c *Corpus) WriteMetrics(w io.Writer) {
+	writeMetricsText(w, c.Metrics())
+}

@@ -1,0 +1,574 @@
+package sjos
+
+// Corpus differential suite: a corpus over N documents must answer exactly
+// as the concatenation of N standalone single-document databases, for every
+// optimizer method and every execution mode — plus first-k, count-only,
+// shared derived handles, and a chaos run with one failing shard.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"sjos/internal/datagen"
+	"sjos/internal/faultfs"
+	"sjos/internal/storage"
+	"sjos/internal/xmltree"
+)
+
+// corpusFixtureDocs generates n distinct small dblp-like documents.
+func corpusFixtureDocs(t *testing.T, n int) ([]string, []*xmltree.Document) {
+	return corpusFixtureDocsScale(t, n, 0.02)
+}
+
+func corpusFixtureDocsScale(t *testing.T, n int, scale float64) ([]string, []*xmltree.Document) {
+	t.Helper()
+	ids := make([]string, n)
+	docs := make([]*xmltree.Document, n)
+	for i := range docs {
+		doc, err := datagen.Generate(datagen.Config{Name: "dblp", Scale: scale, Seed: int64(100 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}[i%6] + strings.Repeat("x", i/6)
+		docs[i] = doc
+	}
+	return ids, docs
+}
+
+// buildTestCorpus assembles the documents into a corpus (white-box: adds
+// pre-built documents directly, so standalone databases over the very same
+// documents are the ground truth).
+func buildTestCorpus(t *testing.T, ids []string, docs []*xmltree.Document, opts *CorpusOptions) *Corpus {
+	t.Helper()
+	b := NewCorpusBuilder(opts)
+	for i, doc := range docs {
+		if err := b.add(ids[i], doc, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// standaloneResults computes the ground truth: each document queried alone,
+// results concatenated in document order.
+func standaloneResults(t *testing.T, ids []string, docs []*xmltree.Document, pat *Pattern) []CorpusMatch {
+	t.Helper()
+	var want []CorpusMatch
+	for gi, doc := range docs {
+		db, err := fromDocument(doc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := db.Query(pat.String(), MethodDPP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range res.Matches {
+			want = append(want, CorpusMatch{DocID: ids[gi], Doc: gi, Nodes: m})
+		}
+	}
+	return want
+}
+
+func sameCorpusMatches(got, want []CorpusMatch) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i].DocID != want[i].DocID || got[i].Doc != want[i].Doc {
+			return false
+		}
+		if len(got[i].Nodes) != len(want[i].Nodes) {
+			return false
+		}
+		for u := range got[i].Nodes {
+			if got[i].Nodes[u] != want[i].Nodes[u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCorpusDifferential(t *testing.T) {
+	ids, docs := corpusFixtureDocs(t, 5)
+	c := buildTestCorpus(t, ids, docs, &CorpusOptions{Shards: 3})
+	if c.NumShards() != 3 || c.NumDocs() != 5 {
+		t.Fatalf("shards=%d docs=%d, want 3/5", c.NumShards(), c.NumDocs())
+	}
+	methods := []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP}
+	modes := []struct {
+		name string
+		opts RunOptions
+	}{
+		{"serial-batch", RunOptions{}},
+		{"serial-tuple", RunOptions{ExecOptions: ExecOptions{NoBatch: true}}},
+		{"parallel-batch", RunOptions{Workers: 2}},
+		{"parallel-tuple", RunOptions{ExecOptions: ExecOptions{NoBatch: true}, Workers: 2}},
+	}
+	for _, src := range []string{
+		`//article//author`,
+		`//article[year < 1980]/title`,
+	} {
+		pat := MustParsePattern(src)
+		want := standaloneResults(t, ids, docs, pat)
+		if len(want) == 0 {
+			t.Fatalf("%s: ground truth is empty — fixture too small", src)
+		}
+		for _, m := range methods {
+			opt, err := c.Optimize(pat, m, 0)
+			if err != nil {
+				t.Fatalf("%s/%v: optimize: %v", src, m, err)
+			}
+			for _, mode := range modes {
+				res, err := c.Run(context.Background(), pat, opt.Plan, mode.opts)
+				if err != nil {
+					t.Fatalf("%s/%v/%s: %v", src, m, mode.name, err)
+				}
+				if !sameCorpusMatches(res.Matches, want) {
+					t.Fatalf("%s/%v/%s: corpus result (%d matches) differs from per-document concatenation (%d)",
+						src, m, mode.name, len(res.Matches), len(want))
+				}
+				if res.Count != len(want) {
+					t.Fatalf("%s/%v/%s: Count = %d, want %d", src, m, mode.name, res.Count, len(want))
+				}
+				if res.ShardsQueried != 3 {
+					t.Fatalf("%s/%v/%s: ShardsQueried = %d, want 3", src, m, mode.name, res.ShardsQueried)
+				}
+			}
+		}
+	}
+}
+
+func TestCorpusLimitAndCountOnly(t *testing.T) {
+	ids, docs := corpusFixtureDocs(t, 4)
+	c := buildTestCorpus(t, ids, docs, &CorpusOptions{Shards: 2})
+	pat := MustParsePattern(`//article//author`)
+	want := standaloneResults(t, ids, docs, pat)
+	total := len(want)
+	if total < 4 {
+		t.Fatalf("fixture too small: %d matches", total)
+	}
+	opt, err := c.Optimize(pat, MethodDPP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := c.Run(context.Background(), pat, opt.Plan, RunOptions{CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Count != total || full.Matches != nil {
+		t.Fatalf("count-only: Count=%d Matches=%v, want %d/nil", full.Count, full.Matches, total)
+	}
+
+	for _, k := range []int{1, 2, total - 1, total, total + 7} {
+		res, err := c.Run(context.Background(), pat, opt.Plan, RunOptions{ExecOptions: ExecOptions{Limit: k}})
+		if err != nil {
+			t.Fatalf("limit %d: %v", k, err)
+		}
+		n := min(k, total)
+		if !sameCorpusMatches(res.Matches, want[:n]) {
+			t.Fatalf("limit %d: got %d matches, want the first %d of the concatenation", k, len(res.Matches), n)
+		}
+		// Limit composes with CountOnly: count the limited prefix.
+		cres, err := c.Run(context.Background(), pat, opt.Plan, RunOptions{ExecOptions: ExecOptions{Limit: k}, CountOnly: true})
+		if err != nil {
+			t.Fatalf("limit %d count-only: %v", k, err)
+		}
+		if cres.Count != n || cres.Matches != nil {
+			t.Fatalf("limit %d count-only: Count=%d, want %d", k, cres.Count, n)
+		}
+	}
+}
+
+func TestCorpusQueryContext(t *testing.T) {
+	ids, docs := corpusFixtureDocs(t, 3)
+	c := buildTestCorpus(t, ids, docs, &CorpusOptions{Shards: 2})
+	pat := MustParsePattern(`//article//author`)
+	want := standaloneResults(t, ids, docs, pat)
+
+	res, err := c.Query(`//article//author`, MethodDPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameCorpusMatches(res.Matches, want) {
+		t.Fatalf("QueryContext result differs from per-document concatenation")
+	}
+	if res.CachedPlan {
+		t.Fatal("first query reported a cached plan")
+	}
+	if res.PlanText == "" || res.Plan == nil {
+		t.Fatal("missing plan in query result")
+	}
+
+	// Second identical query must hit the corpus plan cache — including
+	// through a derived parallel handle, which shares it.
+	res2, err := c.WithParallelism(2).QueryContext(context.Background(), `//article//author`, QueryOptions{ExecOptions: ExecOptions{Method: MethodDPP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.CachedPlan {
+		t.Fatal("derived handle did not see the cached plan")
+	}
+	if !sameCorpusMatches(res2.Matches, want) {
+		t.Fatal("parallel derived-handle result differs")
+	}
+	if cs := c.CacheStats(); cs.Hits == 0 {
+		t.Fatalf("corpus cache stats show no hit: %+v", cs)
+	}
+
+	// Tracing produces one merged corpus trace.
+	res3, err := c.QueryContext(context.Background(), `//article//author`, QueryOptions{ExecOptions: ExecOptions{Method: MethodDPP, Trace: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Trace == nil || res3.Trace.Rows != int64(len(want)) {
+		t.Fatalf("merged trace: %+v, want root Rows = %d", res3.Trace, len(want))
+	}
+
+	// RebuildStats bumps the stats version: cached plans are invalidated.
+	c.RebuildStats()
+	res4, err := c.QueryContext(context.Background(), `//article//author`, QueryOptions{ExecOptions: ExecOptions{Method: MethodDPP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.CachedPlan {
+		t.Fatal("plan survived a stats rebuild")
+	}
+	if !sameCorpusMatches(res4.Matches, want) {
+		t.Fatal("post-rebuild result differs")
+	}
+}
+
+// TestCorpusChaosOneShard injects read failures into exactly one shard's
+// page file: every query must return either the exact fault-free result or
+// the injected typed error — never a partial merge.
+func TestCorpusChaosOneShard(t *testing.T) {
+	// Large enough documents that the 8-frame pool cannot hold a shard's
+	// working set: every run performs physical reads the policy can hit.
+	ids, docs := corpusFixtureDocsScale(t, 4, 0.5)
+	var faulty *faultfs.File
+	c := buildTestCorpus(t, ids, docs, &CorpusOptions{
+		Shards:  2,
+		Options: Options{PoolFrames: 8},
+		ShardPageFile: func(shard int) PageFile {
+			f := storage.NewMemFile()
+			if shard != 1 {
+				return f
+			}
+			faulty = faultfs.Wrap(f, faultfs.Policy{})
+			return faulty
+		},
+	})
+	if faulty == nil {
+		t.Fatal("shard 1 was not built on the fault-injecting file")
+	}
+	pat := MustParsePattern(`//article//author`)
+	want := standaloneResults(t, ids, docs, pat)
+	opt, err := c.Optimize(pat, MethodDPP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(opts RunOptions) (*CorpusRunResult, error) {
+		res, err := c.Run(context.Background(), pat, opt.Plan, opts)
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			t.Fatalf("panic escaped as error: %v\n%s", pe, pe.Stack)
+		}
+		return res, err
+	}
+	modes := []RunOptions{
+		{},
+		{Workers: 2},
+		{ExecOptions: ExecOptions{NoBatch: true}},
+	}
+	var fired, healed int
+	for _, mode := range modes {
+		faulty.SetPolicy(faultfs.Policy{})
+		base, err := run(mode)
+		if err != nil {
+			t.Fatalf("baseline: %v", err)
+		}
+		if !sameCorpusMatches(base.Matches, want) {
+			t.Fatal("baseline differs from per-document concatenation")
+		}
+		reads := int(faulty.Reads())
+		for _, p := range faultPoints(reads) {
+			// Permanent failure in one shard: the whole query fails with the
+			// injected error (no partial result), or the fault point was past
+			// this run's reads and the result is exact.
+			faulty.SetPolicy(faultfs.Policy{FailNthRead: p})
+			if res, err := run(mode); err != nil {
+				fired++
+				if !errors.Is(err, faultfs.ErrInjected) {
+					t.Fatalf("failNth=%d: error = %v, want injected", p, err)
+				}
+				if res != nil {
+					t.Fatalf("failNth=%d: partial result alongside error", p)
+				}
+			} else if !sameCorpusMatches(res.Matches, want) {
+				t.Fatalf("failNth=%d: result differs from fault-free answer", p)
+			}
+
+			// Transient failure: the shard pool's retry loop heals it.
+			faulty.SetPolicy(faultfs.Policy{FailNthRead: p, Transient: true})
+			res, err := run(mode)
+			if err != nil {
+				t.Fatalf("transient failNth=%d: %v", p, err)
+			}
+			if !sameCorpusMatches(res.Matches, want) {
+				t.Fatalf("transient failNth=%d: result differs", p)
+			}
+			if faulty.FaultsInjected() > 0 {
+				healed++
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatal("no permanent fault ever fired — sweep did not cover the read schedule")
+	}
+	if healed == 0 {
+		t.Fatal("no transient fault was healed")
+	}
+	// The corpus surfaces the shard's injected-fault count in its health
+	// and aggregated metrics (counters reset on SetPolicy, so force one
+	// fresh fault and read them while it is live).
+	faulty.SetPolicy(faultfs.Policy{FailNthRead: 1, Transient: true, MaxFaults: 1})
+	if _, err := run(RunOptions{}); err != nil {
+		t.Fatalf("transient warm-up: %v", err)
+	}
+	var health uint64
+	for _, h := range c.Health() {
+		health += h.FaultsInjected
+	}
+	if health == 0 || c.Metrics().FaultsInjected != health {
+		t.Fatalf("fault counters: health=%d metrics=%d", health, c.Metrics().FaultsInjected)
+	}
+}
+
+// TestDerivedHandlesShareState pins the WithParallelism contract for both
+// facades: derived handles share the plan cache and the admission
+// controller with their parent.
+func TestDerivedHandlesShareState(t *testing.T) {
+	doc, err := datagen.Generate(datagen.Config{Name: "dblp", Scale: 0.02, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := fromDocument(doc, &Options{MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`//article//author`, MethodDPP); err != nil {
+		t.Fatal(err)
+	}
+	par := db.WithParallelism(2)
+	res, err := par.QueryContext(context.Background(), `//article//author`, QueryOptions{ExecOptions: ExecOptions{Method: MethodDPP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CachedPlan {
+		t.Fatal("derived database handle missed the shared plan cache")
+	}
+	if db.CacheStats() != par.CacheStats() {
+		t.Fatal("cache stats diverge across derived handles")
+	}
+	// Draining the parent shuts down the derived handle too (one shared
+	// admission controller), and both observe the rejection counter.
+	if err := db.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := par.Query(`//article//author`, MethodDPP); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("derived handle after parent drain: %v, want ErrShuttingDown", err)
+	}
+	if db.AdmissionStats() != par.AdmissionStats() || db.AdmissionStats().Rejected == 0 {
+		t.Fatalf("admission stats diverge or missed the rejection: %+v vs %+v",
+			db.AdmissionStats(), par.AdmissionStats())
+	}
+}
+
+func TestCorpusDrainAndAdmission(t *testing.T) {
+	ids, docs := corpusFixtureDocs(t, 2)
+	c := buildTestCorpus(t, ids, docs, &CorpusOptions{Shards: 2, Options: Options{MaxInFlight: 2}})
+	if _, err := c.Query(`//article//author`, MethodDPP); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Query(`//article//author`, MethodDPP)
+	if !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-drain corpus query: %v, want ErrShuttingDown", err)
+	}
+	if c.AdmissionStats().Rejected == 0 {
+		t.Fatal("corpus admission counters missed the rejection")
+	}
+	// Derived corpus handles share the drained controller.
+	if _, err := c.WithParallelism(2).Query(`//article//author`, MethodDPP); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("derived corpus handle after drain: %v, want ErrShuttingDown", err)
+	}
+}
+
+func TestCorpusAccessors(t *testing.T) {
+	ids, docs := corpusFixtureDocs(t, 4)
+	c := buildTestCorpus(t, ids, docs, &CorpusOptions{Shards: 3})
+	if got := c.DocIDs(); len(got) != 4 || got[0] != ids[0] || got[3] != ids[3] {
+		t.Fatalf("DocIDs = %v", got)
+	}
+	for _, id := range ids {
+		s, ok := c.ShardOf(id)
+		if !ok || s < 0 || s >= c.NumShards() {
+			t.Fatalf("ShardOf(%q) = %d, %v", id, s, ok)
+		}
+	}
+	if _, ok := c.ShardOf("no-such-doc"); ok {
+		t.Fatal("ShardOf found a nonexistent document")
+	}
+
+	// Per-document node accessors agree with the standalone document.
+	pat := MustParsePattern(`//article/title`)
+	want := standaloneResults(t, ids, docs, pat)
+	res, err := c.Query(`//article/title`, MethodDPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameCorpusMatches(res.Matches, want) {
+		t.Fatal("accessor fixture query differs")
+	}
+	m := res.Matches[0]
+	gi := m.Doc
+	for u, id := range m.Nodes {
+		wantTag := docs[gi].TagName(docs[gi].Tag(id))
+		if tag, ok := c.TagName(m.DocID, id); !ok || tag != wantTag {
+			t.Fatalf("TagName(%q, %d) = %q, %v; want %q", m.DocID, id, tag, ok, wantTag)
+		}
+		if val, ok := c.Value(m.DocID, id); !ok || val != docs[gi].Value(id) {
+			t.Fatalf("Value mismatch at slot %d", u)
+		}
+	}
+	if _, ok := c.TagName(m.DocID, NodeID(1<<30)); ok {
+		t.Fatal("TagName accepted an out-of-range node")
+	}
+
+	// Health covers every shard and counts exactly the corpus's documents
+	// and nodes (synthetic forest roots excluded).
+	var hd, hn int
+	for _, h := range c.Health() {
+		hd += h.Docs
+		hn += h.Nodes
+	}
+	wantNodes := 0
+	for _, d := range docs {
+		wantNodes += d.NumNodes()
+	}
+	if hd != 4 || hn != wantNodes {
+		t.Fatalf("health sums: docs=%d nodes=%d, want 4/%d", hd, hn, wantNodes)
+	}
+
+	var sb strings.Builder
+	c.WriteMetrics(&sb)
+	for _, want := range []string{"sjos_queries_total", "sjos_pool_hits_total", "sjos_plancache_hits_total"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("corpus metrics exposition missing %s", want)
+		}
+	}
+}
+
+func TestAsCorpus(t *testing.T) {
+	doc, err := datagen.Generate(datagen.Config{Name: "dblp", Scale: 0.02, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := fromDocument(doc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := db.AsCorpus("solo")
+	if c.NumDocs() != 1 || c.NumShards() != 1 {
+		t.Fatalf("docs=%d shards=%d", c.NumDocs(), c.NumShards())
+	}
+	want, err := db.Query(`//article//author`, MethodDPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Query(`//article//author`, MethodDPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != len(want.Matches) || len(got.Matches) != len(want.Matches) {
+		t.Fatalf("AsCorpus count = %d, database = %d", got.Count, len(want.Matches))
+	}
+	for i := range got.Matches {
+		if got.Matches[i].DocID != "solo" || got.Matches[i].Doc != 0 {
+			t.Fatalf("match %d: %+v", i, got.Matches[i])
+		}
+		for u := range got.Matches[i].Nodes {
+			if got.Matches[i].Nodes[u] != want.Matches[i][u] {
+				t.Fatalf("match %d slot %d differs", i, u)
+			}
+		}
+	}
+	// One shared plan cache: the corpus query warmed it for the database.
+	res, err := db.Query(`//article//author`, MethodDPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CachedPlan {
+		t.Fatal("AsCorpus does not share the database's plan cache")
+	}
+}
+
+func TestCorpusBuilderErrors(t *testing.T) {
+	b := NewCorpusBuilder(nil)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("empty corpus built")
+	}
+	b = NewCorpusBuilder(nil)
+	if err := b.AddXMLString("d1", `<a><b/></a>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddXMLString("d1", `<a><c/></a>`); err == nil {
+		t.Fatal("duplicate document ID accepted")
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build ignored the sticky builder error")
+	}
+	b = NewCorpusBuilder(nil)
+	if err := b.AddXMLString("", `<a/>`); err == nil {
+		t.Fatal("empty document ID accepted")
+	}
+}
+
+func TestCorpusFromXML(t *testing.T) {
+	b := NewCorpusBuilder(&CorpusOptions{Shards: 2})
+	if err := b.AddXMLString("one", `<lib><book><author>k</author></book></lib>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddXMLString("two", `<lib><book><author>p</author><author>q</author></book></lib>`); err != nil {
+		t.Fatal(err)
+	}
+	if n := b.NumPending(); n != 2 {
+		t.Fatalf("NumPending = %d", n)
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(`//book//author`, MethodDPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 3 {
+		t.Fatalf("Count = %d, want 3", res.Count)
+	}
+	// Document order: all of "one"'s matches before "two"'s.
+	if res.Matches[0].DocID != "one" || res.Matches[1].DocID != "two" || res.Matches[2].DocID != "two" {
+		t.Fatalf("match order: %v", res.Matches)
+	}
+}

@@ -15,6 +15,27 @@
 //	if err != nil { ... }
 //	fmt.Println(len(res.Matches), "matches via plan:\n", res.PlanText)
 //
+// # Corpora
+//
+// Multi-document workloads use the Corpus, the collection-first entry
+// point: documents are distributed over shards by consistent hashing of
+// their IDs, each shard stores its members as one merged forest over the
+// same paged store, and queries are planned once against corpus-wide
+// merged statistics, executed on every shard, and gathered in document
+// order with document-local node IDs:
+//
+//	b := sjos.NewCorpusBuilder(&sjos.CorpusOptions{Shards: 4})
+//	b.AddXMLString("inventory", `<db><a><b/></a></db>`)
+//	b.AddXMLString("archive", `<db><a><b/><b/></a></db>`)
+//	c, err := b.Build()
+//	if err != nil { ... }
+//	res, err := c.Query("//a//b", sjos.MethodDPP)
+//	for _, m := range res.Matches { fmt.Println(m.DocID, m.Nodes) }
+//
+// A corpus answers exactly as the concatenation of standalone
+// per-document databases; Database.AsCorpus adapts a single document into
+// a one-shard corpus sharing its caches.
+//
 // # The five optimizers
 //
 // The paper's algorithms are selected with a Method:

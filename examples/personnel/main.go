@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -36,10 +37,11 @@ func main() {
 		}
 		opt := time.Since(t0)
 		t1 := time.Now()
-		n, _, err := db.ExecuteCount(pat, res.Plan)
+		rr, err := db.Run(context.Background(), pat, res.Plan, sjos.RunOptions{CountOnly: true})
 		if err != nil {
 			log.Fatal(err)
 		}
+		n := rr.Count
 		eval := time.Since(t1)
 		shape := "bushy"
 		if res.Plan.LeftDeep() {
@@ -59,7 +61,7 @@ func main() {
 		log.Fatal(err)
 	}
 	t0 := time.Now()
-	if _, _, err := db.ExecuteCount(pat, bad.Plan); err != nil {
+	if _, err := db.Run(context.Background(), pat, bad.Plan, sjos.RunOptions{CountOnly: true}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%-8s  opt %-10s eval %-10v %s cost≈%.0f\n",

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -48,16 +49,18 @@ func main() {
 
 	measure := func(label string, p *sjos.Plan) {
 		t0 := time.Now()
-		first, _, err := db.ExecuteLimit(pat, p, 10)
+		fr, err := db.Run(context.Background(), pat, p, sjos.RunOptions{ExecOptions: sjos.ExecOptions{Limit: 10}})
 		if err != nil {
 			log.Fatal(err)
 		}
+		first := fr.Matches
 		firstLatency := time.Since(t0)
 		t0 = time.Now()
-		total, _, err := db.ExecuteCount(pat, p)
+		tr, err := db.Run(context.Background(), pat, p, sjos.RunOptions{CountOnly: true})
 		if err != nil {
 			log.Fatal(err)
 		}
+		total := tr.Count
 		fullLatency := time.Since(t0)
 		fmt.Printf("%-22s first %d results in %-12v full %d results in %v\n",
 			label, len(first), firstLatency.Round(time.Microsecond), total, fullLatency.Round(time.Millisecond))

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -33,7 +34,7 @@ func main() {
 		}
 		opt := time.Since(t0)
 		t1 := time.Now()
-		if _, _, err := db.ExecuteCount(pat, res.Plan); err != nil {
+		if _, err := db.Run(context.Background(), pat, res.Plan, sjos.RunOptions{CountOnly: true}); err != nil {
 			log.Fatal(err)
 		}
 		eval := time.Since(t1)
@@ -51,7 +52,7 @@ func main() {
 		}
 		opt := time.Since(t0)
 		t1 := time.Now()
-		if _, _, err := db.ExecuteCount(pat, res.Plan); err != nil {
+		if _, err := db.Run(context.Background(), pat, res.Plan, sjos.RunOptions{CountOnly: true}); err != nil {
 			log.Fatal(err)
 		}
 		eval := time.Since(t1)

@@ -1,6 +1,7 @@
 package sjos
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -133,10 +134,18 @@ func (p *Prepared) Plan() *Plan { return p.plan }
 
 // Execute runs the prepared plan, returning matches in pattern-node order.
 func (p *Prepared) Execute() ([]Match, ExecStats, error) {
-	return p.db.Execute(p.pat, p.plan)
+	res, err := p.db.Run(context.Background(), p.pat, p.plan, RunOptions{})
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	return res.Matches, res.Stats, nil
 }
 
 // Count runs the prepared plan, returning only the match count.
 func (p *Prepared) Count() (int, ExecStats, error) {
-	return p.db.ExecuteCount(p.pat, p.plan)
+	res, err := p.db.Run(context.Background(), p.pat, p.plan, RunOptions{CountOnly: true})
+	if err != nil {
+		return 0, ExecStats{}, err
+	}
+	return res.Count, res.Stats, nil
 }

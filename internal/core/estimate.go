@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math/bits"
 
-	"sjos/internal/histogram"
 	"sjos/internal/pattern"
+	"sjos/internal/xmltree"
 )
 
 // Estimator supplies the cardinality estimates the cost model needs:
@@ -41,8 +41,22 @@ type ProbeSelectivity interface {
 	ProbeSelectivity(tag string, op pattern.CmpOp, value string) (int, bool)
 }
 
-// NewEstimator derives an estimator for pat from document statistics.
-func NewEstimator(pat *pattern.Pattern, stats *histogram.Stats) (*Estimator, error) {
+// StatsSource is the statistics surface the estimator consumes: tag
+// resolution, tag population counts, value-predicate selectivities and
+// per-edge join selectivities. *histogram.Stats implements it for a single
+// document; *histogram.Multi implements it corpus-wide over per-shard
+// statistics. Declared here so core stays independent of how statistics are
+// aggregated.
+type StatsSource interface {
+	Lookup(name string) (xmltree.TagID, bool)
+	TagCount(t xmltree.TagID) float64
+	PredicateSelectivity(t xmltree.TagID, op pattern.CmpOp, value string) float64
+	Selectivity(ta, tb xmltree.TagID, ax pattern.Axis) float64
+}
+
+// NewEstimator derives an estimator for pat from document (or corpus)
+// statistics.
+func NewEstimator(pat *pattern.Pattern, stats StatsSource) (*Estimator, error) {
 	if err := pat.Validate(); err != nil {
 		return nil, err
 	}

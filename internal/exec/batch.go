@@ -203,7 +203,7 @@ func (r *batchReader) seekGE(pos xmltree.Pos, doc *xmltree.Document, col int) (T
 		if r.i < r.batch.Len() {
 			n := r.batch.Len()
 			j := r.i + sort.Search(n-r.i, func(k int) bool {
-				return doc.Start(r.batch.Row(r.i+k)[col]) >= pos
+				return doc.Start(r.batch.Row(r.i + k)[col]) >= pos
 			})
 			if j < n {
 				r.i = j + 1

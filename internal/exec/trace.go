@@ -77,6 +77,32 @@ func (t *OpTrace) Format() string {
 	return sb.String()
 }
 
+// Merge folds another trace of the same plan shape into t, summing every
+// counter and duration recursively. The corpus driver uses it to collapse
+// per-shard traces of one shared plan into a single corpus-wide trace;
+// EstRows stays corpus-level (the merged-statistics estimate), so it is kept
+// from t rather than summed. Shapes are matched positionally — children
+// beyond t's own are ignored, which cannot happen when both traces were
+// built from the same plan.
+func (t *OpTrace) Merge(o *OpTrace) {
+	if o == nil {
+		return
+	}
+	t.Rows += o.Rows
+	t.NextCalls += o.NextCalls
+	t.Batches += o.Batches
+	t.Skipped += o.Skipped
+	t.Clones += o.Clones
+	t.OpenTime += o.OpenTime
+	t.NextTime += o.NextTime
+	t.CloseTime += o.CloseTime
+	for i, c := range t.Children {
+		if i < len(o.Children) {
+			c.Merge(o.Children[i])
+		}
+	}
+}
+
 // driftRatio renders est/actual ("-" when either side is zero).
 func driftRatio(est float64, actual int64) string {
 	if actual <= 0 || est <= 0 {

@@ -50,7 +50,7 @@ func BatchBench(m sjos.Method, folds []int) ([]BatchBenchRow, error) {
 			for i := 0; i < evalRepeat; i++ {
 				start := time.Now()
 				r, err := db.Run(context.Background(), pat, res.Plan,
-					sjos.RunOptions{CountOnly: true, NoBatch: noBatch})
+					sjos.RunOptions{ExecOptions: sjos.ExecOptions{NoBatch: noBatch}, CountOnly: true})
 				if err != nil {
 					return 0, err
 				}

@@ -39,7 +39,7 @@ func CacheBench(m sjos.Method, rounds int) ([]CacheBenchRow, error) {
 		var coldRes *sjos.QueryResult
 		cold := time.Duration(1<<63 - 1)
 		for i := 0; i < rounds; i++ {
-			r, err := db.QueryContext(context.Background(), q.Source, sjos.QueryOptions{Method: m, NoCache: true})
+			r, err := db.QueryContext(context.Background(), q.Source, sjos.QueryOptions{ExecOptions: sjos.ExecOptions{Method: m, NoCache: true}})
 			if err != nil {
 				return nil, fmt.Errorf("%s cold: %w", q.ID, err)
 			}
@@ -47,13 +47,13 @@ func CacheBench(m sjos.Method, rounds int) ([]CacheBenchRow, error) {
 				cold, coldRes = r.OptimizeTime, r
 			}
 		}
-		if _, err := db.QueryContext(context.Background(), q.Source, sjos.QueryOptions{Method: m}); err != nil {
+		if _, err := db.QueryContext(context.Background(), q.Source, sjos.QueryOptions{ExecOptions: sjos.ExecOptions{Method: m}}); err != nil {
 			return nil, fmt.Errorf("%s prime: %w", q.ID, err)
 		}
 		var warmRes *sjos.QueryResult
 		warm := time.Duration(1<<63 - 1)
 		for i := 0; i < rounds; i++ {
-			r, err := db.QueryContext(context.Background(), q.Source, sjos.QueryOptions{Method: m})
+			r, err := db.QueryContext(context.Background(), q.Source, sjos.QueryOptions{ExecOptions: sjos.ExecOptions{Method: m}})
 			if err != nil {
 				return nil, fmt.Errorf("%s warm: %w", q.ID, err)
 			}

@@ -59,7 +59,7 @@ func ContentBench(m sjos.Method, folds []int) ([]ContentBenchRow, error) {
 				best := time.Duration(1<<63 - 1)
 				for i := 0; i < evalRepeat; i++ {
 					r, err := db.QueryPatternContext(context.Background(), pat,
-						sjos.QueryOptions{Method: m, NoValueIndex: noVidx})
+						sjos.QueryOptions{ExecOptions: sjos.ExecOptions{Method: m, NoValueIndex: noVidx}})
 					if err != nil {
 						return 0, err
 					}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -248,18 +249,20 @@ func TestFoldingScalesAllQueries(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			nb, _, err := base.ExecuteCount(pat, rb.Plan)
+			rbase, err := base.Run(context.Background(), pat, rb.Plan, sjos.RunOptions{CountOnly: true})
 			if err != nil {
 				t.Fatal(err)
 			}
+			nb := rbase.Count
 			rf, err := folded.Optimize(pat, m, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
-			nf, _, err := folded.ExecuteCount(pat, rf.Plan)
+			rfold, err := folded.Run(context.Background(), pat, rf.Plan, sjos.RunOptions{CountOnly: true})
 			if err != nil {
 				t.Fatal(err)
 			}
+			nf := rfold.Count
 			if nf != 3*nb {
 				t.Errorf("%s %v: folded count %d, want %d", q.ID, m, nf, 3*nb)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"time"
 
@@ -48,7 +49,7 @@ func Figure78(fold int) ([]FigureBar, error) {
 			return err
 		}
 		eval, err := timeIt(evalRepeat, func() error {
-			_, _, e := db.ExecuteCount(pat, res.Plan)
+			_, e := db.Run(context.Background(), pat, res.Plan, sjos.RunOptions{CountOnly: true})
 			return e
 		})
 		if err != nil {

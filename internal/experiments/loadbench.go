@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sjos"
+	"sjos/internal/loadgen"
+)
+
+// LoadBenchConfig shapes the open-loop corpus serving benchmark.
+type LoadBenchConfig struct {
+	// Docs and Shards size the corpus (pers documents with distinct
+	// generator seeds). <= 0 selects 8 documents over 4 shards.
+	Docs   int
+	Shards int
+	// Rate is the offered query arrival rate per second (<= 0 selects 200).
+	Rate float64
+	// Duration is the load phase length (<= 0 selects 3 s).
+	Duration time.Duration
+	// Clients is the loadgen worker pool draining arrivals (<= 0 selects
+	// 2 × Shards); MaxOutstanding its queue bound (<= 0 selects
+	// 4 × Clients).
+	Clients        int
+	MaxOutstanding int
+	// Method is the optimizer every query runs with.
+	Method sjos.Method
+	// Seed offsets the document generator seeds and seeds the arrival
+	// process.
+	Seed int64
+}
+
+func (c *LoadBenchConfig) defaults() {
+	if c.Docs <= 0 {
+		c.Docs = 8
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Rate <= 0 {
+		c.Rate = 200
+	}
+	if c.Duration <= 0 {
+		c.Duration = 3 * time.Second
+	}
+	if c.Clients <= 0 {
+		c.Clients = 2 * c.Shards
+	}
+}
+
+// LoadBenchResult is one load run's record, JSON-shaped for
+// BENCH_corpus.json.
+type LoadBenchResult struct {
+	// Corpus geometry and workload identity.
+	Docs     int      `json:"docs"`
+	Shards   int      `json:"shards"`
+	Nodes    int      `json:"nodes"`
+	Method   string   `json:"method"`
+	Rate     float64  `json:"offered_rate_per_sec"`
+	Duration string   `json:"duration"`
+	Clients  int      `json:"clients"`
+	Queries  []string `json:"queries"`
+
+	// Open-loop accounting and latency quantiles (arrival-to-completion,
+	// queueing included).
+	Offered    int     `json:"offered"`
+	Started    int     `json:"started"`
+	Completed  int     `json:"completed"`
+	Errors     int     `json:"errors"`
+	Shed       int     `json:"shed"`
+	Throughput float64 `json:"throughput_per_sec"`
+	P50        string  `json:"p50"`
+	P95        string  `json:"p95"`
+	P99        string  `json:"p99"`
+	Max        string  `json:"max"`
+
+	// Server-side corroboration from the corpus's own metrics.
+	ServedQueries uint64 `json:"served_queries"`
+	PlanCacheHits int64  `json:"plancache_hits"`
+	DrainClean    bool   `json:"drain_clean"`
+}
+
+// LoadBench builds a sharded corpus of distinct pers documents, offers an
+// open-loop Poisson query stream against it (cycling the pers query mix),
+// then drains the corpus and reports latency quantiles plus the corpus's
+// own served-query accounting.
+func LoadBench(cfg LoadBenchConfig) (*LoadBenchResult, error) {
+	cfg.defaults()
+	b := sjos.NewCorpusBuilder(&sjos.CorpusOptions{Shards: cfg.Shards})
+	for i := 0; i < cfg.Docs; i++ {
+		id := fmt.Sprintf("pers-%03d", i)
+		if err := b.AddDataset(id, "pers", 1, 1, cfg.Seed+int64(i)); err != nil {
+			return nil, err
+		}
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	var mix []string
+	for _, q := range Queries() {
+		if q.Dataset == "pers" {
+			mix = append(mix, q.Source)
+		}
+	}
+	res := &LoadBenchResult{
+		Docs:     c.NumDocs(),
+		Shards:   c.NumShards(),
+		Method:   cfg.Method.String(),
+		Rate:     cfg.Rate,
+		Duration: cfg.Duration.String(),
+		Clients:  cfg.Clients,
+		Queries:  mix,
+	}
+	for _, h := range c.Health() {
+		res.Nodes += h.Nodes
+	}
+
+	var next atomic.Int64
+	lr, err := loadgen.Run(loadgen.Config{
+		Rate:           cfg.Rate,
+		Duration:       cfg.Duration,
+		Workers:        cfg.Clients,
+		MaxOutstanding: cfg.MaxOutstanding,
+		Seed:           cfg.Seed,
+	}, func() error {
+		src := mix[int(next.Add(1)-1)%len(mix)]
+		_, qerr := c.QueryContext(context.Background(), src,
+			sjos.QueryOptions{ExecOptions: sjos.ExecOptions{Method: cfg.Method}})
+		return qerr
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res.DrainClean = c.Drain(drainCtx) == nil
+
+	m := c.Metrics()
+	res.Offered = lr.Offered
+	res.Started = lr.Started
+	res.Completed = lr.Completed
+	res.Errors = lr.Errors
+	res.Shed = lr.Shed
+	res.Throughput = lr.Throughput
+	res.P50 = lr.P50.String()
+	res.P95 = lr.P95.String()
+	res.P99 = lr.P99.String()
+	res.Max = lr.Max.String()
+	res.ServedQueries = m.Query.Queries
+	res.PlanCacheHits = m.Cache.Hits
+	return res, nil
+}
+
+// RenderLoadBench formats one load run for the terminal.
+func RenderLoadBench(r *LoadBenchResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Open-loop corpus serving (%d docs / %d shards / %d nodes, %s, %.0f req/s offered for %s, %d clients)\n",
+		r.Docs, r.Shards, r.Nodes, r.Method, r.Rate, r.Duration, r.Clients)
+	fmt.Fprintf(&sb, "offered %d  started %d  completed %d  errors %d  shed %d\n",
+		r.Offered, r.Started, r.Completed, r.Errors, r.Shed)
+	fmt.Fprintf(&sb, "throughput %.1f/s  p50 %s  p95 %s  p99 %s  max %s\n",
+		r.Throughput, r.P50, r.P95, r.P99, r.Max)
+	fmt.Fprintf(&sb, "server: %d queries served, %d plan-cache hits, drain clean: %v\n",
+		r.ServedQueries, r.PlanCacheHits, r.DrainClean)
+	return sb.String()
+}

@@ -43,8 +43,10 @@ func RunQuery(db *sjos.Database, q Query, m sjos.Method) (Cell, error) {
 	}
 	var n int
 	eval, err := timeIt(evalRepeat, func() error {
-		var e error
-		n, _, e = db.ExecuteCount(pat, res.Plan)
+		r, e := db.Run(context.Background(), pat, res.Plan, sjos.RunOptions{CountOnly: true})
+		if e == nil {
+			n = r.Count
+		}
 		return e
 	})
 	if err != nil {
@@ -67,7 +69,7 @@ func RunBadPlan(db *sjos.Database, q Query) (time.Duration, float64, error) {
 	// scheduler noise is irrelevant and repetition would dominate the
 	// whole table's wall time at large folds.
 	eval, err := timeIt(1, func() error {
-		_, _, e := db.ExecuteCount(pat, bad.Plan)
+		_, e := db.Run(context.Background(), pat, bad.Plan, sjos.RunOptions{CountOnly: true})
 		return e
 	})
 	return eval, bad.Cost, err
@@ -212,7 +214,7 @@ func table3(folds []int, parallel int, noBatch bool) ([]Table3Row, error) {
 			}
 			eval, err := timeIt(evalRepeat, func() error {
 				_, e := db.Run(context.Background(), pat, res.Plan,
-					sjos.RunOptions{CountOnly: true, NoBatch: noBatch})
+					sjos.RunOptions{ExecOptions: sjos.ExecOptions{NoBatch: noBatch}, CountOnly: true})
 				return e
 			})
 			if err != nil {

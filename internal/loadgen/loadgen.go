@@ -1,0 +1,148 @@
+// Package loadgen generates open-loop query load: arrivals follow a
+// Poisson process at a fixed offered rate, independent of how fast the
+// system under test completes work. Latency is measured from the arrival
+// instant — queueing delay included — so a saturated server shows its real
+// tail latency instead of the flattering closed-loop numbers a
+// think-time-per-client driver produces (coordinated omission).
+package loadgen
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config shapes one load run.
+type Config struct {
+	// Rate is the offered arrival rate in requests per second (> 0).
+	Rate float64
+	// Duration is how long arrivals are generated; completions past the
+	// deadline still finish and are measured.
+	Duration time.Duration
+	// Workers is the number of concurrent executors draining the arrival
+	// queue (<= 0 selects GOMAXPROCS).
+	Workers int
+	// MaxOutstanding bounds the arrival queue: arrivals past the bound are
+	// shed — counted, not executed — modelling a server-side admission
+	// queue (<= 0 selects 4 × Workers).
+	MaxOutstanding int
+	// Seed seeds the arrival process (0 is a valid fixed seed): the same
+	// seed offers the same arrival schedule.
+	Seed int64
+}
+
+// Result reports one load run's accounting and latency distribution.
+type Result struct {
+	// Offered arrivals split into Started (executed) and Shed (queue full).
+	Offered, Started, Shed int
+	// Completed and Errors partition the started requests by outcome.
+	Completed, Errors int
+	// Elapsed is the wall time from first arrival to last completion;
+	// Throughput the completed requests per second over it.
+	Elapsed    time.Duration
+	Throughput float64
+	// P50/P95/P99/Max summarize the latency distribution, measured from
+	// each request's arrival instant (queueing included).
+	P50, P95, P99, Max time.Duration
+}
+
+// Run offers cfg.Rate arrivals per second for cfg.Duration, executing each
+// accepted arrival as one do() call on a worker pool, and reports the run's
+// accounting and latency quantiles. do must be safe for concurrent calls.
+func Run(cfg Config, do func() error) (Result, error) {
+	if cfg.Rate <= 0 {
+		return Result{}, errors.New("loadgen: Rate must be > 0")
+	}
+	if cfg.Duration <= 0 {
+		return Result{}, errors.New("loadgen: Duration must be > 0")
+	}
+	if do == nil {
+		return Result{}, errors.New("loadgen: nil workload")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	queueCap := cfg.MaxOutstanding
+	if queueCap <= 0 {
+		queueCap = 4 * workers
+	}
+
+	var res Result
+	queue := make(chan time.Time, queueCap)
+	lats := make([][]time.Duration, workers)
+	errCounts := make([]int, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for arrived := range queue {
+				err := do()
+				lat := time.Since(arrived)
+				lats[w] = append(lats[w], lat)
+				if err != nil {
+					errCounts[w]++
+				}
+			}
+		}(w)
+	}
+
+	// Open-loop dispatcher: the next arrival is scheduled from the
+	// previous arrival's instant, never from a completion, so a slow
+	// server faces an ever-deeper queue instead of a politely waiting
+	// client.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Now()
+	next := start
+	deadline := start.Add(cfg.Duration)
+	for next.Before(deadline) {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		res.Offered++
+		select {
+		case queue <- next:
+			res.Started++
+		default:
+			res.Shed++
+		}
+		next = next.Add(time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second)))
+	}
+	close(queue)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+
+	var all []time.Duration
+	for w := range lats {
+		all = append(all, lats[w]...)
+		res.Errors += errCounts[w]
+	}
+	res.Completed = len(all) - res.Errors
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		res.P50 = percentile(all, 0.50)
+		res.P95 = percentile(all, 0.95)
+		res.P99 = percentile(all, 0.99)
+		res.Max = all[len(all)-1]
+	}
+	if s := res.Elapsed.Seconds(); s > 0 {
+		res.Throughput = float64(res.Completed) / s
+	}
+	return res, nil
+}
+
+// percentile picks the nearest-rank quantile of a sorted sample.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -57,13 +57,13 @@ func TestFingerprintInvariantUnderRenumbering(t *testing.T) {
 func TestFingerprintDistinguishes(t *testing.T) {
 	base := MustParse("//manager//employee/name")
 	variants := []string{
-		"//manager/employee/name",              // axis change
-		"//manager//employee/salary",           // tag change
-		"//manager//employee/name#",            // order-by change
-		`//manager//employee/name[. >= "x"]`,   // predicate added
-		"//manager//employee",                  // node removed
-		"//manager[.//employee]/name",          // shape change
-		`//manager//employee/name[. = "x"]`,    // different op than >=
+		"//manager/employee/name",            // axis change
+		"//manager//employee/salary",         // tag change
+		"//manager//employee/name#",          // order-by change
+		`//manager//employee/name[. >= "x"]`, // predicate added
+		"//manager//employee",                // node removed
+		"//manager[.//employee]/name",        // shape change
+		`//manager//employee/name[. = "x"]`,  // different op than >=
 	}
 	fpBase, _ := Fingerprint(base)
 	for _, src := range variants {

@@ -1,0 +1,99 @@
+// Package shardring implements a consistent-hash ring for assigning
+// document IDs to corpus shards.
+//
+// Each shard contributes a fixed number of virtual points to a 64-bit hash
+// circle; a key is owned by the shard of the first point at or after the
+// key's hash. Consistent hashing keeps assignments stable under resharding:
+// growing an S-shard ring to S+1 shards moves only ~1/(S+1) of the keys,
+// because the new shard's points claim arcs from every existing shard
+// instead of renumbering the whole key space (the property RadegastXDB-style
+// multi-document stores rely on for incremental rebalancing).
+package shardring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultReplicas is the default number of virtual points per shard. A few
+// hundred points per shard keep the maximum/mean shard load within tens of
+// percent for realistic corpus sizes while the ring stays a few KB.
+const DefaultReplicas = 256
+
+// Ring is an immutable consistent-hash ring over a fixed shard count. It is
+// safe for concurrent use.
+type Ring struct {
+	shards   int
+	replicas int
+	hashes   []uint64 // sorted virtual points
+	owner    []int    // owner[i] = shard owning hashes[i]
+}
+
+// New builds a ring with the given shard count and virtual points per shard
+// (replicas <= 0 selects DefaultReplicas). shards must be >= 1.
+func New(shards, replicas int) *Ring {
+	if shards < 1 {
+		shards = 1
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	type point struct {
+		h     uint64
+		shard int
+	}
+	pts := make([]point, 0, shards*replicas)
+	for s := 0; s < shards; s++ {
+		for r := 0; r < replicas; r++ {
+			pts = append(pts, point{h: hash64(fmt.Sprintf("shard-%d#%d", s, r)), shard: s})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].h != pts[j].h {
+			return pts[i].h < pts[j].h
+		}
+		// Ties (vanishingly rare with 64-bit hashes) break towards the
+		// lower shard index so the ring stays deterministic.
+		return pts[i].shard < pts[j].shard
+	})
+	rg := &Ring{
+		shards:   shards,
+		replicas: replicas,
+		hashes:   make([]uint64, len(pts)),
+		owner:    make([]int, len(pts)),
+	}
+	for i, p := range pts {
+		rg.hashes[i] = p.h
+		rg.owner[i] = p.shard
+	}
+	return rg
+}
+
+// Shards returns the ring's shard count.
+func (r *Ring) Shards() int { return r.shards }
+
+// Shard returns the shard owning key: the shard of the first virtual point
+// at or after the key's hash, wrapping past the top of the circle.
+func (r *Ring) Shard(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.owner[i]
+}
+
+// hash64 is FNV-1a finished with a splitmix64 mixer. FNV alone spreads the
+// short, similar keys used here ("shard-3#17", "doc-0042") unevenly around
+// the circle; the finalizer decorrelates the low and high bits so virtual
+// points land uniformly. The assignment only needs an even spread, not
+// cryptographic strength.
+func hash64(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	z := h.Sum64() + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,77 @@
+package shardring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDeterministic(t *testing.T) {
+	a, b := New(5, 0), New(5, 0)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("doc-%04d", i)
+		if a.Shard(k) != b.Shard(k) {
+			t.Fatalf("ring not deterministic for %q: %d vs %d", k, a.Shard(k), b.Shard(k))
+		}
+	}
+}
+
+func TestCoversAllShards(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 8} {
+		r := New(shards, 0)
+		seen := make(map[int]bool)
+		for i := 0; i < 4096; i++ {
+			s := r.Shard(fmt.Sprintf("doc-%d", i))
+			if s < 0 || s >= shards {
+				t.Fatalf("shard %d out of range [0,%d)", s, shards)
+			}
+			seen[s] = true
+		}
+		if len(seen) != shards {
+			t.Errorf("%d shards: only %d received keys", shards, len(seen))
+		}
+	}
+}
+
+func TestBalance(t *testing.T) {
+	const shards, keys = 8, 64 << 10
+	r := New(shards, 0)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.Shard(fmt.Sprintf("doc-%06d", i))]++
+	}
+	mean := float64(keys) / shards
+	for s, n := range counts {
+		if ratio := float64(n) / mean; ratio < 0.5 || ratio > 1.7 {
+			t.Errorf("shard %d holds %d keys (%.2fx the mean) — ring badly unbalanced", s, n, ratio)
+		}
+	}
+}
+
+// TestResharding: growing the ring by one shard must move only a small
+// fraction of keys — the property that distinguishes consistent hashing
+// from mod-N assignment (which moves almost everything).
+func TestResharding(t *testing.T) {
+	const keys = 16 << 10
+	small, large := New(8, 0), New(9, 0)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("doc-%06d", i)
+		if small.Shard(k) != large.Shard(k) {
+			moved++
+		}
+	}
+	// Ideal is 1/9 ≈ 11%; allow generous slack for virtual-point variance
+	// but stay far below mod-N's ~89%.
+	if frac := float64(moved) / keys; frac > 0.30 {
+		t.Errorf("resharding 8→9 moved %.1f%% of keys, want ≲ 30%%", frac*100)
+	}
+}
+
+func TestShardClamping(t *testing.T) {
+	if got := New(0, 0).Shards(); got != 1 {
+		t.Errorf("New(0) shards = %d, want 1", got)
+	}
+	if New(1, 0).Shard("anything") != 0 {
+		t.Error("single-shard ring must assign everything to shard 0")
+	}
+}

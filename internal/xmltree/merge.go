@@ -1,0 +1,126 @@
+package xmltree
+
+import (
+	"fmt"
+
+	"sjos/internal/intern"
+)
+
+// MergedRootTag is the reserved tag of the synthetic root a MergeDocuments
+// call places above the member documents. The NUL byte cannot appear in an
+// XML element name, so the tag can never collide with a parsed document's
+// tags and never matches a query pattern node.
+const MergedRootTag = "\x00doc-forest"
+
+// DocSpan locates one member document inside a merged document: its nodes
+// occupy the dense NodeID range [First, First+Nodes), in the member's own
+// pre-order. Subtracting First converts a merged NodeID back into the
+// member document's standalone numbering.
+type DocSpan struct {
+	First NodeID
+	Nodes int
+}
+
+// Local converts a merged-document node ID into the member's standalone
+// numbering.
+func (s DocSpan) Local(id NodeID) NodeID { return id - s.First }
+
+// Contains reports whether the merged node ID belongs to this member.
+func (s DocSpan) Contains(id NodeID) bool {
+	return id >= s.First && int(id-s.First) < s.Nodes
+}
+
+// MergeDocuments combines member documents into one Document under a
+// synthetic root carrying MergedRootTag — the per-shard "forest" layout of
+// a multi-document corpus. Every member keeps its internal structure
+// exactly: node IDs stay dense and in the member's pre-order (shifted by a
+// per-member offset, reported as a DocSpan), positions shift uniformly, and
+// levels shift by one (below the synthetic root). Because member regions
+// are disjoint, no structural relationship — and therefore no pattern
+// match — ever crosses a member boundary, and the synthetic root's tag
+// never matches a query node; a query against the merged document returns
+// exactly the union of the per-member answers, in member order.
+func MergeDocuments(docs []*Document) (*Document, []DocSpan, error) {
+	if len(docs) == 0 {
+		return nil, nil, fmt.Errorf("xmltree: MergeDocuments needs at least one document")
+	}
+	total := 1 // synthetic root
+	for i, d := range docs {
+		if d == nil || d.NumNodes() == 0 {
+			return nil, nil, fmt.Errorf("xmltree: MergeDocuments: member %d is empty", i)
+		}
+		if _, collides := d.LookupTag(MergedRootTag); collides {
+			return nil, nil, fmt.Errorf("xmltree: MergeDocuments: member %d uses the reserved root tag", i)
+		}
+		total += d.NumNodes()
+	}
+
+	m := &Document{
+		start:   make([]Pos, 1, total),
+		end:     make([]Pos, 1, total),
+		level:   make([]uint16, 1, total),
+		tag:     make([]TagID, 1, total),
+		parent:  make([]NodeID, 1, total),
+		value:   make([]string, 1, total),
+		tagByNm: make(map[string]TagID),
+	}
+	rootTag := m.internTag(MergedRootTag)
+	m.start[0] = 0
+	m.level[0] = 0
+	m.tag[0] = rootTag
+	m.parent[0] = InvalidNode
+	m.byTag[rootTag] = append(m.byTag[rootTag], 0)
+
+	spans := make([]DocSpan, len(docs))
+	var internStats intern.Stats
+	posOff := Pos(1)
+	for i, d := range docs {
+		n := d.NumNodes()
+		nodeOff := NodeID(len(m.start))
+		spans[i] = DocSpan{First: nodeOff, Nodes: n}
+		// Remap the member's tag dictionary into the union dictionary.
+		remap := make([]TagID, d.NumTags())
+		for t := 0; t < d.NumTags(); t++ {
+			remap[t] = m.internTag(d.TagName(TagID(t)))
+		}
+		for j := 0; j < n; j++ {
+			id := NodeID(j)
+			parent := NodeID(0) // member root hangs off the synthetic root
+			if p := d.parent[id]; p != InvalidNode {
+				parent = p + nodeOff
+			}
+			t := remap[d.tag[id]]
+			m.start = append(m.start, d.start[id]+posOff)
+			m.end = append(m.end, d.end[id]+posOff)
+			m.level = append(m.level, d.level[id]+1)
+			m.tag = append(m.tag, t)
+			m.parent = append(m.parent, parent)
+			m.value = append(m.value, d.value[id])
+			// Appending per member keeps each postings list sorted: node
+			// IDs only grow across members.
+			m.byTag[t] = append(m.byTag[t], id+nodeOff)
+		}
+		posOff += d.MaxPos() + 1
+		is := d.InternStats()
+		internStats.Hits += is.Hits
+		internStats.Misses += is.Misses
+		internStats.Strings += is.Strings
+		internStats.BytesSaved += is.BytesSaved
+	}
+	m.end[0] = posOff
+	m.intern = internStats
+	return m, spans, nil
+}
+
+// internTag adds a tag name to the merged dictionary (or returns the
+// existing ID).
+func (d *Document) internTag(name string) TagID {
+	if t, ok := d.tagByNm[name]; ok {
+		return t
+	}
+	t := TagID(len(d.tags))
+	d.tags = append(d.tags, name)
+	d.tagByNm[name] = t
+	d.byTag = append(d.byTag, nil)
+	return t
+}

@@ -1,0 +1,107 @@
+package xmltree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMergeDocumentsStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tags := []string{"a", "b", "c", "d"}
+	docs := []*Document{
+		RandomDocument(rng, 37, tags),
+		RandomDocument(rng, 1, tags),
+		RandomDocument(rng, 120, tags[:2]),
+	}
+	m, spans, err := MergeDocuments(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged document fails validation: %v", err)
+	}
+	wantNodes := 1
+	for _, d := range docs {
+		wantNodes += d.NumNodes()
+	}
+	if m.NumNodes() != wantNodes {
+		t.Fatalf("merged NumNodes = %d, want %d", m.NumNodes(), wantNodes)
+	}
+	if m.TagName(m.Tag(0)) != MergedRootTag {
+		t.Fatalf("node 0 tag = %q, want synthetic root", m.TagName(m.Tag(0)))
+	}
+	if len(spans) != len(docs) {
+		t.Fatalf("got %d spans, want %d", len(spans), len(docs))
+	}
+	// Per-member structure preserved exactly under the span offset.
+	for i, d := range docs {
+		sp := spans[i]
+		if sp.Nodes != d.NumNodes() {
+			t.Fatalf("member %d span holds %d nodes, want %d", i, sp.Nodes, d.NumNodes())
+		}
+		for j := 0; j < d.NumNodes(); j++ {
+			local, merged := NodeID(j), sp.First+NodeID(j)
+			if !sp.Contains(merged) || sp.Local(merged) != local {
+				t.Fatalf("member %d node %d: span arithmetic broken", i, j)
+			}
+			if m.TagName(m.Tag(merged)) != d.TagName(d.Tag(local)) {
+				t.Fatalf("member %d node %d: tag mismatch", i, j)
+			}
+			if m.Value(merged) != d.Value(local) {
+				t.Fatalf("member %d node %d: value mismatch", i, j)
+			}
+			if m.Level(merged) != d.Level(local)+1 {
+				t.Fatalf("member %d node %d: level %d, want %d", i, j, m.Level(merged), d.Level(local)+1)
+			}
+			wantParent := sp.First // member root hangs off the synthetic root
+			if p := d.Parent(local); p != InvalidNode {
+				wantParent = p + sp.First
+			} else {
+				wantParent = 0
+			}
+			if m.Parent(merged) != wantParent {
+				t.Fatalf("member %d node %d: parent %d, want %d", i, j, m.Parent(merged), wantParent)
+			}
+		}
+	}
+	// Structural joins never cross member boundaries: a member root is
+	// never an ancestor of another member's node.
+	for i := range docs {
+		for j := range docs {
+			if i == j {
+				continue
+			}
+			if m.IsAncestor(spans[i].First, spans[j].First) {
+				t.Fatalf("member %d root is ancestor of member %d root", i, j)
+			}
+		}
+	}
+}
+
+func TestMergeDocumentsErrors(t *testing.T) {
+	if _, _, err := MergeDocuments(nil); err == nil {
+		t.Error("MergeDocuments(nil) must fail")
+	}
+	b := NewBuilder()
+	b.Open(MergedRootTag, "")
+	b.Close()
+	bad := b.MustFinish()
+	if _, _, err := MergeDocuments([]*Document{bad}); err == nil {
+		t.Error("reserved root tag collision must fail")
+	}
+}
+
+func TestMergeSingleDocument(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := RandomDocument(rng, 25, []string{"x", "y"})
+	m, spans, err := MergeDocuments([]*Document{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if spans[0].First != 1 || spans[0].Nodes != 25 {
+		t.Fatalf("span = %+v, want {1 25}", spans[0])
+	}
+}

@@ -67,7 +67,13 @@ func (db *Database) Metrics() Metrics {
 // exposition format (metric prefix "sjos") — the payload of xqserve's
 // /metrics endpoint and xqshell's .metrics command.
 func (db *Database) WriteMetrics(w io.Writer) {
-	m := db.Metrics()
+	writeMetricsText(w, db.Metrics())
+}
+
+// writeMetricsText renders one Metrics snapshot in the Prometheus text
+// exposition format; shared by Database.WriteMetrics and
+// Corpus.WriteMetrics (whose Pool/Content counters aggregate all shards).
+func writeMetricsText(w io.Writer, m Metrics) {
 	m.Query.WriteText(w, "sjos")
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP sjos_%s %s\n# TYPE sjos_%s counter\nsjos_%s %d\n",
@@ -194,8 +200,9 @@ func (db *Database) SlowQueries() []SlowQueryEntry {
 	return db.svc.slow.entries()
 }
 
-// maybeLogSlow applies the slow-query policy to one finished query.
-func (db *Database) maybeLogSlow(pat *Pattern, opts QueryOptions, thr time.Duration, fn func(SlowQueryEntry), optTime, execTime time.Duration, rr *RunResult, cached bool) {
+// maybeLogSlow applies the slow-query policy to one finished query, for
+// Database and Corpus alike.
+func (s *service) maybeLogSlow(pat *Pattern, method Method, thr time.Duration, fn func(SlowQueryEntry), optTime, execTime time.Duration, matches int, stats ExecStats, trace *OpTrace, cached bool) {
 	total := optTime + execTime
 	if thr <= 0 || total < thr {
 		return
@@ -205,17 +212,17 @@ func (db *Database) maybeLogSlow(pat *Pattern, opts QueryOptions, thr time.Durat
 		Time:         time.Now(),
 		Pattern:      pat.String(),
 		Fingerprint:  fp,
-		Method:       opts.Method,
+		Method:       method,
 		Duration:     total,
 		OptimizeTime: optTime,
 		ExecuteTime:  execTime,
-		Matches:      rr.Count,
+		Matches:      matches,
 		CachedPlan:   cached,
-		ValueProbes:  rr.Stats.ValueProbes,
-		Trace:        rr.Trace,
+		ValueProbes:  stats.ValueProbes,
+		Trace:        trace,
 	}
-	db.svc.metrics.SlowQuery()
-	db.svc.slow.record(e)
+	s.metrics.SlowQuery()
+	s.slow.record(e)
 	if fn != nil {
 		fn(e)
 	}

@@ -47,7 +47,7 @@ func BenchmarkObservabilityOverhead(b *testing.B) {
 		{"raw", RunOptions{CountOnly: true}, db.run, nil},
 		{"disabled", RunOptions{CountOnly: true}, db.Run, nil},
 		{"admitted", RunOptions{CountOnly: true}, db.Run, admission.New(64, 64)},
-		{"traced", RunOptions{CountOnly: true, Trace: true}, db.Run, nil},
+		{"traced", RunOptions{ExecOptions: ExecOptions{Trace: true}, CountOnly: true}, db.Run, nil},
 	} {
 		b.Run(v.label, func(b *testing.B) {
 			db.svc.admit = v.admit

@@ -27,7 +27,7 @@ func TestRunTraceMatchesPlain(t *testing.T) {
 	if plain.Trace != nil {
 		t.Fatal("untraced run carries a trace")
 	}
-	traced, err := db.Run(context.Background(), pat, res.Plan, RunOptions{Trace: true})
+	traced, err := db.Run(context.Background(), pat, res.Plan, RunOptions{ExecOptions: ExecOptions{Trace: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestRunTraceParallel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	traced, err := db.Run(context.Background(), pat, res.Plan, RunOptions{Workers: 3, Trace: true})
+	traced, err := db.Run(context.Background(), pat, res.Plan, RunOptions{ExecOptions: ExecOptions{Trace: true}, Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestQueryMetrics(t *testing.T) {
 		t.Fatalf("fresh database metrics: %+v", m.Query)
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := db.QueryContext(context.Background(), "//manager//employee/name", QueryOptions{Method: MethodDPP}); err != nil {
+		if _, err := db.QueryContext(context.Background(), "//manager//employee/name", QueryOptions{ExecOptions: ExecOptions{Method: MethodDPP}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -155,7 +155,7 @@ func TestSlowQueryLog(t *testing.T) {
 		mu.Unlock()
 	})
 	src := "//manager//employee/name"
-	res, err := db.QueryContext(context.Background(), src, QueryOptions{Method: MethodDPP})
+	res, err := db.QueryContext(context.Background(), src, QueryOptions{ExecOptions: ExecOptions{Method: MethodDPP}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestSlowQueryLog(t *testing.T) {
 
 	// An unreachable threshold logs nothing.
 	db.SetSlowQueryLog(time.Hour, nil)
-	if _, err := db.QueryContext(context.Background(), src, QueryOptions{Method: MethodDPP}); err != nil {
+	if _, err := db.QueryContext(context.Background(), src, QueryOptions{ExecOptions: ExecOptions{Method: MethodDPP}}); err != nil {
 		t.Fatal(err)
 	}
 	if got := db.SlowQueries(); len(got) != 1 {
@@ -201,7 +201,7 @@ func TestSlowQueryLog(t *testing.T) {
 	db.SetSlowQueryLog(0, nil)
 	var perCall int
 	if _, err := db.QueryContext(context.Background(), src, QueryOptions{
-		Method:             MethodDPP,
+		ExecOptions:        ExecOptions{Method: MethodDPP},
 		SlowQueryThreshold: time.Nanosecond,
 		OnSlowQuery:        func(SlowQueryEntry) { perCall++ },
 	}); err != nil {
@@ -219,7 +219,7 @@ func TestSlowQueryRingBounded(t *testing.T) {
 	db.SetSlowQueryLog(time.Nanosecond, nil)
 	src := "//manager//employee/name"
 	for i := 0; i < 40; i++ {
-		if _, err := db.QueryContext(context.Background(), src, QueryOptions{Method: MethodDPP}); err != nil {
+		if _, err := db.QueryContext(context.Background(), src, QueryOptions{ExecOptions: ExecOptions{Method: MethodDPP}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -273,7 +273,7 @@ func TestObservabilityConcurrent(t *testing.T) {
 				if g%2 == 0 {
 					d = par
 				}
-				opts := QueryOptions{Method: MethodDPP, Trace: i%2 == 0}
+				opts := QueryOptions{ExecOptions: ExecOptions{Method: MethodDPP, Trace: i%2 == 0}}
 				if _, err := d.QueryContext(context.Background(), src, opts); err != nil {
 					errs <- err
 					return

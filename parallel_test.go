@@ -29,13 +29,13 @@ func TestParallelExecuteProperty(t *testing.T) {
 				t.Logf("seed %d: optimize %s: %v", seed, pat, err)
 				return false
 			}
-			want, wantStats, err := db.Execute(pat, res.Plan)
+			want, wantStats, err := execAll(db, pat, res.Plan)
 			if err != nil {
 				t.Logf("seed %d: serial %s: %v", seed, pat, err)
 				return false
 			}
 			for _, k := range []int{1, 2, 3, 7} {
-				got, gotStats, err := db.ExecuteParallel(pat, res.Plan, k)
+				got, gotStats, err := execParallel(db, pat, res.Plan, k)
 				if err != nil {
 					t.Logf("seed %d k=%d: %s: %v", seed, k, pat, err)
 					return false
@@ -90,12 +90,12 @@ func TestParallelStatsMatchSerial(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", src, err)
 		}
-		_, serial, err := db.Execute(pat, res.Plan)
+		_, serial, err := execAll(db, pat, res.Plan)
 		if err != nil {
 			t.Fatalf("%s serial: %v", src, err)
 		}
 		for _, k := range []int{2, 4} {
-			_, par, err := db.ExecuteParallel(pat, res.Plan, k)
+			_, par, err := execParallel(db, pat, res.Plan, k)
 			if err != nil {
 				t.Fatalf("%s k=%d: %v", src, k, err)
 			}
@@ -142,18 +142,18 @@ func TestParallelViewRouting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := db.Execute(pat, res.Plan)
+	want, _, err := execAll(db, pat, res.Plan)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := pdb.Execute(pat, res.Plan)
+	got, _, err := execAll(pdb, pat, res.Plan)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("parallel view Execute: %d matches, serial %d", len(got), len(want))
 	}
-	n, _, err := pdb.ExecuteCount(pat, res.Plan)
+	n, _, err := execCount(pdb, pat, res.Plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func TestParallelViewRouting(t *testing.T) {
 		t.Fatalf("parallel view ExecuteCount = %d, want %d", n, len(want))
 	}
 	if len(want) > 1 {
-		lim, _, err := pdb.ExecuteLimit(pat, res.Plan, len(want)-1)
+		lim, _, err := execLimit(pdb, pat, res.Plan, len(want)-1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -183,7 +183,7 @@ func TestParallelSharedDatabase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := db.Execute(pat, res.Plan)
+	want, _, err := execAll(db, pat, res.Plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,9 +197,9 @@ func TestParallelSharedDatabase(t *testing.T) {
 				var got []Match
 				var err error
 				if g%2 == 0 {
-					got, _, err = db.ExecuteParallel(pat, res.Plan, 1+g%4)
+					got, _, err = execParallel(db, pat, res.Plan, 1+g%4)
 				} else {
-					got, _, err = db.Execute(pat, res.Plan)
+					got, _, err = execAll(db, pat, res.Plan)
 				}
 				if err != nil {
 					errs <- err

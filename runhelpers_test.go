@@ -1,0 +1,56 @@
+package sjos
+
+import "context"
+
+// Test-local conveniences over Run, replacing the removed Execute* wrappers:
+// the tests below exercise the Run API exclusively, these just keep the
+// call sites compact.
+
+func execAll(db *Database, pat *Pattern, p *Plan) ([]Match, ExecStats, error) {
+	res, err := db.Run(context.Background(), pat, p, RunOptions{})
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	return res.Matches, res.Stats, nil
+}
+
+func execCount(db *Database, pat *Pattern, p *Plan) (int, ExecStats, error) {
+	res, err := db.Run(context.Background(), pat, p, RunOptions{CountOnly: true})
+	if err != nil {
+		return 0, ExecStats{}, err
+	}
+	return res.Count, res.Stats, nil
+}
+
+func execLimit(db *Database, pat *Pattern, p *Plan, n int) ([]Match, ExecStats, error) {
+	if n <= 0 {
+		return []Match{}, ExecStats{}, nil
+	}
+	res, err := db.Run(context.Background(), pat, p, RunOptions{ExecOptions: ExecOptions{Limit: n}})
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	return res.Matches, res.Stats, nil
+}
+
+func execParallel(db *Database, pat *Pattern, p *Plan, k int) ([]Match, ExecStats, error) {
+	if k <= 0 {
+		k = -1
+	}
+	res, err := db.Run(context.Background(), pat, p, RunOptions{Workers: k})
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	return res.Matches, res.Stats, nil
+}
+
+func execParallelCount(db *Database, pat *Pattern, p *Plan, k int) (int, ExecStats, error) {
+	if k <= 0 {
+		k = -1
+	}
+	res, err := db.Run(context.Background(), pat, p, RunOptions{Workers: k, CountOnly: true})
+	if err != nil {
+		return 0, ExecStats{}, err
+	}
+	return res.Count, res.Stats, nil
+}

@@ -22,13 +22,16 @@ import (
 // CacheStats is a snapshot of the plan cache's behaviour counters.
 type CacheStats = plancache.Stats
 
-// service is the shared query-service state behind a Database and all of
-// its WithParallelism views: the statistics (replaceable by RebuildStats)
-// and the plan cache. Database values are copied by WithParallelism, so
-// anything mutable must live here, behind the shared pointer.
+// service is the shared query-service state behind a Database (and all of
+// its WithParallelism views) or a Corpus: the statistics (replaceable by
+// RebuildStats), the plan cache, metrics, the slow-query log and admission
+// control. Handles are copied by WithParallelism, so anything mutable must
+// live here, behind the shared pointer. The statistics are an abstract
+// StatsSource: a single document's positional histograms for a Database,
+// the merged corpus-wide view for a Corpus.
 type service struct {
 	mu           sync.RWMutex
-	stats        *histogram.Stats
+	stats        core.StatsSource
 	statsVersion uint64
 	grid         int
 
@@ -59,7 +62,7 @@ type cachedPlan struct {
 	counters core.Counters
 }
 
-func newService(stats *histogram.Stats, grid, cacheCapacity int) *service {
+func newService(stats core.StatsSource, grid, cacheCapacity int) *service {
 	return &service{
 		stats: stats,
 		grid:  grid,
@@ -70,22 +73,27 @@ func newService(stats *histogram.Stats, grid, cacheCapacity int) *service {
 // snapshot returns the current statistics and their version under one lock,
 // so an optimization run sees a consistent (stats, version) pair even if
 // RebuildStats runs concurrently.
-func (s *service) snapshot() (*histogram.Stats, uint64) {
+func (s *service) snapshot() (core.StatsSource, uint64) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.stats, s.statsVersion
 }
 
-// rebuild replaces the statistics and makes every cached plan unreachable:
+// setStats replaces the statistics and makes every cached plan unreachable:
 // the version bump changes all future cache keys, and Clear drops the now
 // dead entries immediately rather than waiting for LRU pressure.
-func (s *service) rebuild(doc *xmltree.Document) {
-	fresh := histogram.Build(doc, s.grid)
+func (s *service) setStats(stats core.StatsSource) {
 	s.mu.Lock()
-	s.stats = fresh
+	s.stats = stats
 	s.statsVersion++
 	s.mu.Unlock()
 	s.cache.Clear()
+}
+
+// rebuild recomputes single-document statistics at the service's grid
+// resolution and installs them via setStats.
+func (s *service) rebuild(doc *xmltree.Document) {
+	s.setStats(histogram.Build(doc, s.grid))
 }
 
 // RebuildStats recomputes the positional histograms from the document (at
@@ -102,23 +110,24 @@ func (db *Database) CacheStats() CacheStats {
 	return db.svc.cache.Stats()
 }
 
-// optimizePattern is the cached optimize step behind QueryPatternContext:
-// structurally equivalent patterns (same shape, tags, axes, predicates —
-// regardless of node numbering) share one cache entry per (method, bound,
-// statistics version). Concurrent misses on the same key run the optimizer
-// once. The boolean reports whether the plan came from the cache (or from a
-// coalesced in-flight optimization) rather than a fresh optimizer run.
-func (db *Database) optimizePattern(ctx context.Context, pat *Pattern, m Method, te int, noCache, noVidx bool) (*OptimizeResult, bool, error) {
-	stats, ver := db.svc.snapshot()
+// optimizePattern is the cached optimize step behind QueryPatternContext —
+// for both Database and Corpus, which differ only in the statistics the
+// service holds and the probe-eligibility source they pass: structurally
+// equivalent patterns (same shape, tags, axes, predicates — regardless of
+// node numbering) share one cache entry per (method, bound, statistics
+// version). Concurrent misses on the same key run the optimizer once. The
+// boolean reports whether the plan came from the cache (or from a coalesced
+// in-flight optimization) rather than a fresh optimizer run.
+func (s *service) optimizePattern(ctx context.Context, pat *Pattern, model CostModel, pe core.ProbeEligibility, m Method, te int, noCache, noVidx bool) (*OptimizeResult, bool, error) {
+	stats, ver := s.snapshot()
 	// Predicate pushdown: unless disabled for this call, the optimizer may
 	// choose value-index probes for eligible predicated leaves. The store's
 	// eligibility is part of the plan, so the cache key carries the flag.
-	var pe core.ProbeEligibility
-	if !noVidx {
-		pe = db.store
+	if noVidx {
+		pe = nil
 	}
 	if noCache {
-		res, err := optimizeWith(ctx, pat, stats, db.model, m, te, pe)
+		res, err := optimizeWith(ctx, pat, stats, model, m, te, pe)
 		return res, false, err
 	}
 	fp, canon := pattern.Fingerprint(pat)
@@ -133,8 +142,8 @@ func (db *Database) optimizePattern(ctx context.Context, pat *Pattern, m Method,
 		}
 	}
 	k := plancache.Key{Fingerprint: fp, Method: int(m), Te: keyTe, StatsVersion: ver, NoVidx: noVidx}
-	cp, cached, err := db.svc.cache.GetOrCompute(ctx, k, func() (cachedPlan, error) {
-		res, err := optimizeWith(ctx, pat, stats, db.model, m, te, pe)
+	cp, cached, err := s.cache.GetOrCompute(ctx, k, func() (cachedPlan, error) {
+		res, err := optimizeWith(ctx, pat, stats, model, m, te, pe)
 		if err != nil {
 			return cachedPlan{}, err
 		}
@@ -162,7 +171,7 @@ func (db *Database) optimizePattern(ctx context.Context, pat *Pattern, m Method,
 // optimizeWith runs one optimizer pass against an explicit statistics
 // snapshot. pe, when non-nil, lets the estimator offer value-index probes
 // for eligible predicated leaves (nil keeps every leaf on scan+filter).
-func optimizeWith(ctx context.Context, pat *Pattern, stats *histogram.Stats, model CostModel, m Method, te int, pe core.ProbeEligibility) (*OptimizeResult, error) {
+func optimizeWith(ctx context.Context, pat *Pattern, stats core.StatsSource, model CostModel, m Method, te int, pe core.ProbeEligibility) (*OptimizeResult, error) {
 	est, err := core.NewEstimator(pat, stats)
 	if err != nil {
 		return nil, err
@@ -171,31 +180,58 @@ func optimizeWith(ctx context.Context, pat *Pattern, stats *histogram.Stats, mod
 	return core.Optimize(ctx, pat, est, model, m, &core.Options{Te: te})
 }
 
-// RunOptions tunes one Run call. The zero value executes the whole plan
-// with the database's configured parallelism and returns all matches.
-type RunOptions struct {
+// ExecOptions is the execution-tuning surface shared by every query entry
+// point — Database and Corpus take identical option shapes: RunOptions and
+// QueryOptions both embed it. Plan-execution entry points (Run) read Limit,
+// Trace and NoBatch and ignore the optimizer fields (Method, Te, NoCache,
+// NoValueIndex), which only apply where a plan is being chosen
+// (QueryContext and friends). The zero value optimizes with DP, executes
+// without a limit, uses the plan cache, the batched executor and the value
+// index.
+type ExecOptions struct {
+	// Method selects the optimization algorithm (zero value: MethodDP).
+	// Ignored by Run, which executes an already-chosen plan.
+	Method Method
+	// Te is the DPAP-EB expansion bound (0 = number of pattern edges);
+	// other methods — and Run — ignore it.
+	Te int
 	// Limit > 0 stops execution after that many matches — the online
 	// querying mode motivating the FP algorithm (§3.4). 0 means all.
 	Limit int
-	// Workers selects the execution mode: 0 uses the database's configured
-	// parallelism (serial by default; see WithParallelism), > 0 forces the
-	// partition-parallel driver with that many workers, < 0 forces
-	// partition-parallel with runtime.GOMAXPROCS(0) workers.
-	Workers int
-	// CountOnly suppresses match materialisation; only RunResult.Count
-	// (and the statistics) are populated.
-	CountOnly bool
 	// Trace enables per-operator instrumentation: wall time, Next calls
-	// and output rows per plan operator, reported as RunResult.Trace.
-	// It costs two clock reads per operator per tuple; leave it off on
-	// hot paths (disabled tracing adds no per-operator work). On the
-	// batched path (the default) the instrumentation is per batch, so
-	// tracing there is near-free.
+	// and output rows per plan operator, reported in the result. It costs
+	// two clock reads per operator per tuple; leave it off on hot paths
+	// (disabled tracing adds no per-operator work). On the batched path
+	// (the default) the instrumentation is per batch, so tracing there is
+	// near-free.
 	Trace bool
+	// NoCache bypasses the plan cache (no lookup, no insertion) — used by
+	// benchmarks that must measure a cold optimizer run. Ignored by Run.
+	NoCache bool
 	// NoBatch disables the batched (vectorized) execution path and runs
 	// the plan tuple-at-a-time. Batched execution produces identical
 	// results; this is an escape hatch for debugging and A/B measurement.
 	NoBatch bool
+	// NoValueIndex keeps the optimizer from choosing value-index probes:
+	// every predicated leaf scans its tag and filters. Escape hatch for
+	// debugging and A/B measurement, mirroring NoBatch. Ignored by Run.
+	NoValueIndex bool
+}
+
+// RunOptions tunes one Run call. The zero value executes the whole plan
+// with the handle's configured parallelism and returns all matches. Of the
+// embedded ExecOptions, Run reads Limit, Trace and NoBatch; the optimizer
+// fields are ignored (the plan is already chosen).
+type RunOptions struct {
+	ExecOptions
+	// Workers selects the execution mode: 0 uses the handle's configured
+	// parallelism (serial by default; see WithParallelism), > 0 forces the
+	// partition-parallel driver with that many workers, < 0 forces
+	// partition-parallel with runtime.GOMAXPROCS(0) workers.
+	Workers int
+	// CountOnly suppresses match materialisation; only the result's Count
+	// (and the statistics) are populated.
+	CountOnly bool
 }
 
 // RunResult is the outcome of one Run call.
@@ -247,7 +283,7 @@ func (db *Database) Run(ctx context.Context, pat *Pattern, p *Plan, opts RunOpti
 	defer func() {
 		if perr := exec.RecoverPanic(recover()); perr != nil {
 			res, err = nil, perr
-			db.recordPanic(pat, perr)
+			db.svc.recordPanic(pat, perr)
 		}
 		db.svc.metrics.QueryFinished(time.Since(t0), err)
 		if res != nil {
@@ -264,8 +300,8 @@ func (db *Database) Run(ctx context.Context, pat *Pattern, p *Plan, opts RunOpti
 // recordPanic folds one recovered panic into the observability surfaces:
 // the metrics counter and a slow-query ring entry carrying the stack, so
 // the crash-that-wasn't is diagnosable after the fact.
-func (db *Database) recordPanic(pat *Pattern, perr error) {
-	db.svc.metrics.RecoveredPanic()
+func (s *service) recordPanic(pat *Pattern, perr error) {
+	s.metrics.RecoveredPanic()
 	e := SlowQueryEntry{
 		Time:  time.Now(),
 		Error: perr.Error(),
@@ -279,7 +315,7 @@ func (db *Database) recordPanic(pat *Pattern, perr error) {
 		fp, _ := pattern.Fingerprint(pat)
 		e.Fingerprint = fp
 	}
-	db.svc.slow.record(e)
+	s.slow.record(e)
 }
 
 // run is Run without the metrics observation.
@@ -394,33 +430,16 @@ func (db *Database) run(ctx context.Context, pat *Pattern, p *Plan, opts RunOpti
 }
 
 // QueryOptions tunes one QueryContext call. The zero value optimizes with
-// DP, executes without a limit, and uses the plan cache.
+// DP, executes without a limit, and uses the plan cache. All ExecOptions
+// fields apply: the optimizer fields steer the (cached) plan search, the
+// execution fields the run of the chosen plan.
 type QueryOptions struct {
-	// Method selects the optimization algorithm (zero value: MethodDP).
-	Method Method
-	// Te is the DPAP-EB expansion bound (0 = number of pattern edges);
-	// other methods ignore it.
-	Te int
-	// Limit > 0 stops execution after that many matches.
-	Limit int
-	// NoCache bypasses the plan cache (no lookup, no insertion) — used by
-	// benchmarks that must measure a cold optimizer run.
-	NoCache bool
-	// Trace enables per-operator instrumentation for this query; the
-	// trace is reported as QueryResult.Trace.
-	Trace bool
-	// NoBatch disables the batched execution path for this query (see
-	// RunOptions.NoBatch).
-	NoBatch bool
-	// NoValueIndex keeps the optimizer from choosing value-index probes
-	// for this query: every predicated leaf scans its tag and filters.
-	// Escape hatch for debugging and A/B measurement, mirroring NoBatch.
-	NoValueIndex bool
-	// SlowQueryThreshold, when > 0, overrides the database-level
-	// slow-query threshold (SetSlowQueryLog) for this call.
+	ExecOptions
+	// SlowQueryThreshold, when > 0, overrides the handle-level slow-query
+	// threshold (SetSlowQueryLog) for this call.
 	SlowQueryThreshold time.Duration
 	// OnSlowQuery, when non-nil, is called (in addition to any
-	// database-level hook being replaced for this call) if the query
+	// handle-level hook being replaced for this call) if the query
 	// crosses the effective threshold.
 	OnSlowQuery func(SlowQueryEntry)
 }
@@ -454,18 +473,20 @@ func (db *Database) QueryPatternContext(ctx context.Context, pat *Pattern, opts 
 		slowFn = opts.OnSlowQuery
 	}
 	t0 := time.Now()
-	res, cached, err := db.optimizePattern(ctx, pat, opts.Method, opts.Te, opts.NoCache, opts.NoValueIndex)
+	res, cached, err := db.svc.optimizePattern(ctx, pat, db.model, db.store, opts.Method, opts.Te, opts.NoCache, opts.NoValueIndex)
 	if err != nil {
 		return nil, err
 	}
 	optTime := time.Since(t0)
 	t1 := time.Now()
-	rr, err := db.Run(ctx, pat, res.Plan, RunOptions{Limit: opts.Limit, Trace: opts.Trace || thr > 0, NoBatch: opts.NoBatch})
+	eo := opts.ExecOptions
+	eo.Trace = opts.Trace || thr > 0
+	rr, err := db.Run(ctx, pat, res.Plan, RunOptions{ExecOptions: eo})
 	if err != nil {
 		return nil, fmt.Errorf("sjos: executing %v plan: %w", opts.Method, err)
 	}
 	execTime := time.Since(t1)
-	db.maybeLogSlow(pat, opts, thr, slowFn, optTime, execTime, rr, cached)
+	db.svc.maybeLogSlow(pat, opts.Method, thr, slowFn, optTime, execTime, rr.Count, rr.Stats, rr.Trace, cached)
 	return &QueryResult{
 		Matches:         rr.Matches,
 		Plan:            res.Plan,

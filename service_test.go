@@ -13,14 +13,14 @@ import (
 func TestQueryContextCacheWarm(t *testing.T) {
 	db := openDB(t)
 	src := "//manager//employee/name"
-	cold, err := db.QueryContext(context.Background(), src, QueryOptions{Method: MethodDPP})
+	cold, err := db.QueryContext(context.Background(), src, QueryOptions{ExecOptions: ExecOptions{Method: MethodDPP}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cold.CachedPlan {
 		t.Fatal("first query cannot be a cache hit")
 	}
-	warm, err := db.QueryContext(context.Background(), src, QueryOptions{Method: MethodDPP})
+	warm, err := db.QueryContext(context.Background(), src, QueryOptions{ExecOptions: ExecOptions{Method: MethodDPP}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestPlanCacheMethodsDistinct(t *testing.T) {
 	db := openDB(t)
 	src := "//manager//employee/name"
 	for _, m := range []Method{MethodDPP, MethodFP} {
-		if _, err := db.QueryContext(context.Background(), src, QueryOptions{Method: m}); err != nil {
+		if _, err := db.QueryContext(context.Background(), src, QueryOptions{ExecOptions: ExecOptions{Method: m}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -54,10 +54,10 @@ func TestPlanCacheMethodsDistinct(t *testing.T) {
 	}
 	pat := MustParsePattern(src)
 	// te=0 defaults to NumEdges: the explicit equivalent must hit.
-	if _, err := db.QueryPatternContext(context.Background(), pat, QueryOptions{Method: MethodDPAPEB}); err != nil {
+	if _, err := db.QueryPatternContext(context.Background(), pat, QueryOptions{ExecOptions: ExecOptions{Method: MethodDPAPEB}}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := db.QueryPatternContext(context.Background(), pat, QueryOptions{Method: MethodDPAPEB, Te: pat.NumEdges()})
+	res, err := db.QueryPatternContext(context.Background(), pat, QueryOptions{ExecOptions: ExecOptions{Method: MethodDPAPEB, Te: pat.NumEdges()}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,11 +74,11 @@ func TestPlanCacheRenumberingInvariance(t *testing.T) {
 	db := openDB(t)
 	a := "//manager[.//employee/name][.//department/name]"
 	b := "//manager[.//department/name][.//employee/name]"
-	ra, err := db.QueryContext(context.Background(), a, QueryOptions{Method: MethodDPP})
+	ra, err := db.QueryContext(context.Background(), a, QueryOptions{ExecOptions: ExecOptions{Method: MethodDPP}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := db.QueryContext(context.Background(), b, QueryOptions{Method: MethodDPP})
+	rb, err := db.QueryContext(context.Background(), b, QueryOptions{ExecOptions: ExecOptions{Method: MethodDPP}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestPlanCacheConcurrent(t *testing.T) {
 	done := make(chan int, n)
 	for i := 0; i < n; i++ {
 		go func(i int) {
-			results[i], errs[i] = db.QueryContext(context.Background(), src, QueryOptions{Method: MethodDPP})
+			results[i], errs[i] = db.QueryContext(context.Background(), src, QueryOptions{ExecOptions: ExecOptions{Method: MethodDPP}})
 			done <- i
 		}(i)
 	}
@@ -168,7 +168,7 @@ func TestNoCacheBypass(t *testing.T) {
 	db := openDB(t)
 	src := "//manager//employee/name"
 	for i := 0; i < 2; i++ {
-		res, err := db.QueryContext(context.Background(), src, QueryOptions{Method: MethodDPP, NoCache: true})
+		res, err := db.QueryContext(context.Background(), src, QueryOptions{ExecOptions: ExecOptions{Method: MethodDPP, NoCache: true}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -209,7 +209,7 @@ func TestQueryContextCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	for name, d := range map[string]*Database{"serial": db, "parallel": db.WithParallelism(2)} {
-		if _, err := d.QueryContext(ctx, "//manager//employee/name", QueryOptions{Method: MethodDPP}); !errors.Is(err, context.Canceled) {
+		if _, err := d.QueryContext(ctx, "//manager//employee/name", QueryOptions{ExecOptions: ExecOptions{Method: MethodDPP}}); !errors.Is(err, context.Canceled) {
 			t.Errorf("%s query: err = %v, want context.Canceled", name, err)
 		}
 		if _, err := d.OptimizeContext(ctx, MustParsePattern("//manager//employee"), MethodDP, 0); !errors.Is(err, context.Canceled) {
@@ -293,8 +293,7 @@ func TestRunCancelParallelPrompt(t *testing.T) {
 	}
 }
 
-// TestRunOptionsModes: Run's option combinations agree with each other and
-// with the deprecated wrappers.
+// TestRunOptionsModes: Run's option combinations agree with each other.
 func TestRunOptionsModes(t *testing.T) {
 	db := openDB(t)
 	pat := MustParsePattern("//manager//employee/name")
@@ -309,28 +308,13 @@ func TestRunOptionsModes(t *testing.T) {
 	if full.Count != len(full.Matches) || full.Count == 0 {
 		t.Fatalf("full run: %+v", full)
 	}
-	wrapped, _, err := db.Execute(pat, res.Plan)
-	if err != nil || !reflect.DeepEqual(wrapped, full.Matches) {
-		t.Fatalf("Execute wrapper diverges: %v", err)
-	}
 	cnt, err := db.Run(context.Background(), pat, res.Plan, RunOptions{CountOnly: true})
 	if err != nil || cnt.Count != full.Count || cnt.Matches != nil {
 		t.Fatalf("count-only: %+v, %v", cnt, err)
 	}
-	wcnt, _, err := db.ExecuteCount(pat, res.Plan)
-	if err != nil || wcnt != full.Count {
-		t.Fatalf("ExecuteCount wrapper: %d, %v", wcnt, err)
-	}
-	lim, err := db.Run(context.Background(), pat, res.Plan, RunOptions{Limit: 2})
+	lim, err := db.Run(context.Background(), pat, res.Plan, RunOptions{ExecOptions: ExecOptions{Limit: 2}})
 	if err != nil || len(lim.Matches) != 2 || !reflect.DeepEqual(lim.Matches, full.Matches[:2]) {
 		t.Fatalf("limit: %+v, %v", lim, err)
-	}
-	wlim, _, err := db.ExecuteLimit(pat, res.Plan, 2)
-	if err != nil || !reflect.DeepEqual(wlim, lim.Matches) {
-		t.Fatalf("ExecuteLimit wrapper: %v, %v", wlim, err)
-	}
-	if out, _, err := db.ExecuteLimit(pat, res.Plan, 0); err != nil || len(out) != 0 {
-		t.Fatalf("ExecuteLimit(0) must yield nothing: %v, %v", out, err)
 	}
 	par, err := db.Run(context.Background(), pat, res.Plan, RunOptions{Workers: 3})
 	if err != nil || !reflect.DeepEqual(par.Matches, full.Matches) {
@@ -340,7 +324,7 @@ func TestRunOptionsModes(t *testing.T) {
 	if err != nil || pcnt.Count != full.Count {
 		t.Fatalf("parallel count: %+v, %v", pcnt, err)
 	}
-	plim, err := db.Run(context.Background(), pat, res.Plan, RunOptions{Workers: 2, Limit: 2})
+	plim, err := db.Run(context.Background(), pat, res.Plan, RunOptions{ExecOptions: ExecOptions{Limit: 2}, Workers: 2})
 	if err != nil || !reflect.DeepEqual(plim.Matches, full.Matches[:2]) {
 		t.Fatalf("parallel limit: %+v, %v", plim, err)
 	}
@@ -353,12 +337,12 @@ func TestRunOptionsModes(t *testing.T) {
 func TestWarmCacheOptimizeSpeedup(t *testing.T) {
 	db := openDB(t)
 	src := "//manager[.//employee/name][.//department/name]//employee/name"
-	opts := QueryOptions{Method: MethodDP}
+	opts := QueryOptions{ExecOptions: ExecOptions{Method: MethodDP}}
 
 	cold := time.Duration(1<<63 - 1)
 	var coldRes *QueryResult
 	for i := 0; i < 3; i++ {
-		r, err := db.QueryContext(context.Background(), src, QueryOptions{Method: MethodDP, NoCache: true})
+		r, err := db.QueryContext(context.Background(), src, QueryOptions{ExecOptions: ExecOptions{Method: MethodDP, NoCache: true}})
 		if err != nil {
 			t.Fatal(err)
 		}

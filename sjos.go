@@ -152,18 +152,28 @@ func (o *Options) model() CostModel {
 // CalibrateModel measures cost model factors on the current machine.
 func CalibrateModel() CostModel { return cost.Calibrate() }
 
-// Database is a loaded, indexed XML document ready for querying. The
-// zero parallelism (the default for every constructor) executes plans
-// serially; see WithParallelism.
-type Database struct {
+// dbState is the immutable-identity core of a Database: the document, its
+// store and the shared service. Derived handles (WithParallelism) share one
+// dbState pointer, so cached plans, statistics, metrics and admission
+// control are one per database — a derived handle differs only in its
+// execution settings.
+type dbState struct {
 	doc   *xmltree.Document
 	store *storage.Store
 	model CostModel
 
 	// svc holds the mutable shared state — statistics (replaceable via
-	// RebuildStats) and the plan cache — behind one pointer, so all
-	// WithParallelism views of a database share it.
+	// RebuildStats), the plan cache, metrics, the slow-query log and
+	// admission control — behind one pointer.
 	svc *service
+}
+
+// Database is a loaded, indexed XML document ready for querying. The
+// zero parallelism (the default for every constructor) executes plans
+// serially; see WithParallelism. For many documents behind one query
+// surface, see Corpus — Database is the single-document convenience.
+type Database struct {
+	*dbState
 
 	// parallelism > 0 routes Run (and therefore Query) through the
 	// partition-parallel driver with that many workers. 0 = serial.
@@ -270,10 +280,12 @@ func fromDocument(doc *xmltree.Document, opts *Options) (*Database, error) {
 	svc := newService(histogram.Build(doc, grid), grid, cacheCap)
 	svc.admit = admission.New(maxInFlight, queueDepth)
 	return &Database{
-		doc:   doc,
-		store: store,
-		model: opts.model(),
-		svc:   svc,
+		dbState: &dbState{
+			doc:   doc,
+			store: store,
+			model: opts.model(),
+			svc:   svc,
+		},
 	}, nil
 }
 
@@ -330,120 +342,26 @@ func (db *Database) BadPlan(pat *Pattern, samples int, seed int64) (*OptimizeRes
 	return core.BadPlan(pat, est, db.model, samples, seed)
 }
 
-// WithParallelism returns a view of the database whose Execute,
-// ExecuteCount, ExecuteLimit (and therefore Query) run plans through the
-// partition-parallel driver with k workers: the document is split into k
-// region ranges balanced by postings weight, an independent clone of the
-// plan runs per range on a bounded worker pool, and the partition outputs
-// are concatenated in document order — the same matches, in the same
-// order, as serial execution. k <= 0 selects runtime.GOMAXPROCS(0). The
-// receiver is unchanged (and stays serial); views share the underlying
-// store and are safe for concurrent use.
+// WithParallelism returns a derived handle whose Run (and therefore Query)
+// executes plans through the partition-parallel driver with k workers: the
+// document is split into k region ranges balanced by postings weight, an
+// independent clone of the plan runs per range on a bounded worker pool,
+// and the partition outputs are concatenated in document order — the same
+// matches, in the same order, as serial execution. k <= 0 selects
+// runtime.GOMAXPROCS(0). The receiver is unchanged (and stays serial).
+// Derived handles share the database's state — store, statistics, plan
+// cache, metrics, slow-query log and admission control — so a plan cached
+// through one handle is served to all, and the in-flight limit is per
+// database, not per handle. Handles are safe for concurrent use.
 func (db *Database) WithParallelism(k int) *Database {
 	if k <= 0 {
 		k = runtime.GOMAXPROCS(0)
 	}
-	c := *db
-	c.parallelism = k
-	return &c
+	return &Database{dbState: db.dbState, parallelism: k}
 }
 
 // Parallelism reports the worker count queries run with (0 = serial).
 func (db *Database) Parallelism() int { return db.parallelism }
-
-// Execute runs a plan and returns the matches in pattern-node order plus
-// the execution statistics.
-//
-// Deprecated: use Run, the context-aware execution entry point. Execute is
-// Run with a background context and the database's configured parallelism.
-func (db *Database) Execute(pat *Pattern, p *Plan) ([]Match, ExecStats, error) {
-	res, err := db.Run(context.Background(), pat, p, RunOptions{})
-	if err != nil {
-		return nil, ExecStats{}, err
-	}
-	return res.Matches, res.Stats, nil
-}
-
-// ExecuteCount runs a plan, returning only the match count (cheaper than
-// Execute for large results).
-//
-// Deprecated: use Run with RunOptions{CountOnly: true}.
-func (db *Database) ExecuteCount(pat *Pattern, p *Plan) (int, ExecStats, error) {
-	res, err := db.Run(context.Background(), pat, p, RunOptions{CountOnly: true})
-	if err != nil {
-		return 0, ExecStats{}, err
-	}
-	return res.Count, res.Stats, nil
-}
-
-// ExecuteLimit runs a plan but stops after the first n matches — the
-// online-querying mode that motivates the FP algorithm (§3.4): a
-// fully-pipelined plan returns its first results without computing the full
-// answer, while a blocking plan must finish its sorts first. n <= 0 yields
-// no matches.
-//
-// Deprecated: use Run with RunOptions{Limit: n}.
-func (db *Database) ExecuteLimit(pat *Pattern, p *Plan, n int) ([]Match, ExecStats, error) {
-	if n <= 0 {
-		return []Match{}, ExecStats{}, nil
-	}
-	res, err := db.Run(context.Background(), pat, p, RunOptions{Limit: n})
-	if err != nil {
-		return nil, ExecStats{}, err
-	}
-	return res.Matches, res.Stats, nil
-}
-
-// ExecuteParallel runs a plan partition-parallel with k workers (k <= 0 =
-// GOMAXPROCS) regardless of the database's configured parallelism. The
-// result is identical to Execute: same matches, same document order. The
-// returned statistics are the merged per-worker counters.
-//
-// Deprecated: use Run with RunOptions{Workers: k} (or Workers: -1 for
-// GOMAXPROCS).
-func (db *Database) ExecuteParallel(pat *Pattern, p *Plan, k int) ([]Match, ExecStats, error) {
-	if k <= 0 {
-		k = -1
-	}
-	res, err := db.Run(context.Background(), pat, p, RunOptions{Workers: k})
-	if err != nil {
-		return nil, ExecStats{}, err
-	}
-	return res.Matches, res.Stats, nil
-}
-
-// ExecuteParallelCount is ExecuteParallel returning only the match count.
-//
-// Deprecated: use Run with RunOptions{Workers: k, CountOnly: true}.
-func (db *Database) ExecuteParallelCount(pat *Pattern, p *Plan, k int) (int, ExecStats, error) {
-	if k <= 0 {
-		k = -1
-	}
-	res, err := db.Run(context.Background(), pat, p, RunOptions{Workers: k, CountOnly: true})
-	if err != nil {
-		return 0, ExecStats{}, err
-	}
-	return res.Count, res.Stats, nil
-}
-
-// ExecuteParallelLimit is ExecuteParallel stopped after the first n
-// matches; once a complete prefix of partitions holds n results the
-// remaining workers are cancelled. n <= 0 yields no matches.
-//
-// Deprecated: use Run with RunOptions{Workers: k, Limit: n}.
-func (db *Database) ExecuteParallelLimit(pat *Pattern, p *Plan, n, k int) ([]Match, ExecStats, error) {
-	if n <= 0 {
-		return []Match{}, ExecStats{}, nil
-	}
-	if k <= 0 {
-		k = -1
-	}
-	res, err := db.Run(context.Background(), pat, p, RunOptions{Workers: k, Limit: n})
-	if err != nil {
-		return nil, ExecStats{}, err
-	}
-	return res.Matches, res.Stats, nil
-}
 
 // PoolStats returns a snapshot of the buffer pool's cumulative hit/miss
 // counters for this database's store (shared by all parallelism views).
@@ -507,10 +425,10 @@ type QueryResult struct {
 // plan. It is QueryContext with a background context and default options,
 // so structurally recurring queries are served from the plan cache.
 func (db *Database) Query(src string, m Method) (*QueryResult, error) {
-	return db.QueryContext(context.Background(), src, QueryOptions{Method: m})
+	return db.QueryContext(context.Background(), src, QueryOptions{ExecOptions: ExecOptions{Method: m}})
 }
 
 // QueryPattern is Query for an already-built pattern.
 func (db *Database) QueryPattern(pat *Pattern, m Method) (*QueryResult, error) {
-	return db.QueryPatternContext(context.Background(), pat, QueryOptions{Method: m})
+	return db.QueryPatternContext(context.Background(), pat, QueryOptions{ExecOptions: ExecOptions{Method: m}})
 }

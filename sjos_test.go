@@ -117,11 +117,11 @@ func TestBadPlanFacade(t *testing.T) {
 		t.Fatalf("bad plan cost %v < optimal %v", bad.Cost, good.Cost)
 	}
 	// Both must execute to the same result count.
-	nb, _, err := db.ExecuteCount(pat, bad.Plan)
+	nb, _, err := execCount(db, pat, bad.Plan)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ng, _, err := db.ExecuteCount(pat, good.Plan)
+	ng, _, err := execCount(db, pat, good.Plan)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -38,7 +38,7 @@ type XQueryResult struct {
 //	    where $e/salary >= 50000
 //	    return $m/name, $e/name`, sjos.MethodDPP)
 func (db *Database) XQuery(src string, m Method) (*XQueryResult, error) {
-	return db.XQueryContext(context.Background(), src, QueryOptions{Method: m})
+	return db.XQueryContext(context.Background(), src, QueryOptions{ExecOptions: ExecOptions{Method: m}})
 }
 
 // XQueryContext is XQuery under a context and explicit query options:
