@@ -9,7 +9,11 @@
 # a CI-friendly check that they still build, run and validate their counts.
 # `make loadbench` runs the open-loop corpus serving benchmark (Poisson
 # arrivals, p50/p95/p99 under load) into BENCH_corpus.json; `make loadquick`
-# is its short CI variant.
+# is its short CI variant (run on the replicated, hedged path so routing
+# stays covered). `make replicabench` compares hedged vs unhedged tail
+# latency with one slow replica per shard into BENCH_replica.json;
+# `make replicachaos` is the replica fault-injection suite under the race
+# detector (a dead replica per shard must never change query results).
 #
 # BENCH selects the benchmark regexp (default: the partition-parallel
 # executor benches; use BENCH=. for the full table/figure suite — slow).
@@ -17,7 +21,7 @@
 GO    ?= go
 BENCH ?= Parallel
 
-.PHONY: all build test test-race vet check chaos bench benchquick loadbench loadquick clean
+.PHONY: all build test test-race vet check chaos replicachaos bench benchquick loadbench loadquick replicabench replicaquick clean
 
 all: build test
 
@@ -43,6 +47,13 @@ chaos:
 	$(GO) test -race -run 'ParallelExecReleasesPins|ParallelExecRecoversWorkerPanics|PropagatesStorageErrors' ./internal/exec/
 	$(GO) test -race ./internal/faultfs/ ./internal/admission/
 
+# Replica fault-injection suite: kill one replica of every shard, hedge,
+# fail over, recover through probation probes — all under the race detector,
+# with results compared byte-for-byte against a fault-free corpus.
+replicachaos:
+	$(GO) test -race -count=1 -run 'TestCorpusReplica|TestCorpusLimitErrorRace|TestAsCorpusRebuildStats' .
+	$(GO) test -race -count=1 ./internal/replica/
+
 bench: test-race
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -json . | tee BENCH_parallel.json
 	$(GO) test -run '^$$' -bench 'PlanCache' -benchmem -json . | tee BENCH_plancache.json
@@ -61,7 +72,16 @@ loadbench:
 	$(GO) run ./cmd/xqbench -loadbench
 
 loadquick:
-	$(GO) run ./cmd/xqbench -loadbench -loaddocs 4 -loadshards 2 -loadrate 50 -loadduration 1s -loadclients 4
+	$(GO) run ./cmd/xqbench -loadbench -loaddocs 4 -loadshards 2 -loadrate 50 -loadduration 1s -loadclients 4 -loadreplicas 2
+
+# Hedged-vs-unhedged tail comparison: a replicated corpus with one slow
+# replica per shard serves the same Poisson load twice, into
+# BENCH_replica.json. replicaquick is the CI smoke variant.
+replicabench:
+	$(GO) run ./cmd/xqbench -replicabench
+
+replicaquick:
+	$(GO) run ./cmd/xqbench -replicabench -loaddocs 2 -loadshards 1 -loadrate 100 -loadduration 500ms -loadclients 4 -replicaslow 200us -replicahedge 1ms
 
 clean:
-	rm -f BENCH_parallel.json BENCH_plancache.json BENCH_batch.json BENCH_content.json BENCH_corpus.json
+	rm -f BENCH_parallel.json BENCH_plancache.json BENCH_batch.json BENCH_content.json BENCH_corpus.json BENCH_replica.json

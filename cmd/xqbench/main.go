@@ -14,6 +14,7 @@
 //	xqbench -table 3 -nobatch   # run table 3 tuple-at-a-time (batching escape hatch)
 //	xqbench -chaos              # fault-injected runs: every result correct or typed error
 //	xqbench -loadbench          # open-loop corpus serving: p50/p95/p99 under Poisson load
+//	xqbench -replicabench       # hedged vs unhedged tails with a slow replica per shard
 //	xqbench -all                # everything (without -full folds)
 package main
 
@@ -51,6 +52,11 @@ func main() {
 	loaddocs := flag.Int("loaddocs", 0, "corpus documents for -loadbench (0 = default)")
 	loadshards := flag.Int("loadshards", 0, "corpus shards for -loadbench (0 = default)")
 	loadout := flag.String("loadout", "BENCH_corpus.json", "JSON result file for -loadbench (empty = stdout only)")
+	loadreplicas := flag.Int("loadreplicas", 0, "store replicas per shard for -loadbench (0 = 1; >1 enables hedged routing)")
+	replicabench := flag.Bool("replicabench", false, "hedged vs unhedged tail comparison with one slow replica per shard")
+	replicaslow := flag.Duration("replicaslow", 0, "per-read latency of each shard's slow replica for -replicabench (0 = default)")
+	replicahedge := flag.Duration("replicahedge", 0, "fixed hedge delay for -replicabench and -loadbench (0 = adaptive p95)")
+	replicaout := flag.String("replicaout", "BENCH_replica.json", "JSON result file for -replicabench (empty = stdout only)")
 	flag.Parse()
 
 	if *census {
@@ -62,7 +68,7 @@ func main() {
 			return
 		}
 	}
-	if !*all && !*census && !*cachebench && !*batchbench && !*contentbench && !*chaos && !*loadbench && *table == 0 && *figure == 0 {
+	if !*all && !*census && !*cachebench && !*batchbench && !*contentbench && !*chaos && !*loadbench && !*replicabench && *table == 0 && *figure == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -79,13 +85,15 @@ func main() {
 				return err
 			}
 			res, err := experiments.LoadBench(experiments.LoadBenchConfig{
-				Docs:     *loaddocs,
-				Shards:   *loadshards,
-				Rate:     *loadrate,
-				Duration: *loadduration,
-				Clients:  *loadclients,
-				Method:   m,
-				Seed:     1,
+				Docs:       *loaddocs,
+				Shards:     *loadshards,
+				Rate:       *loadrate,
+				Duration:   *loadduration,
+				Clients:    *loadclients,
+				Method:     m,
+				Seed:       1,
+				Replicas:   *loadreplicas,
+				HedgeDelay: *replicahedge,
 			})
 			if err != nil {
 				return err
@@ -106,6 +114,47 @@ func main() {
 					return err
 				}
 				fmt.Printf("wrote %s\n", *loadout)
+			}
+			return nil
+		})
+		if !*all && !*replicabench && !*chaos && !*cachebench && !*batchbench && !*contentbench && *table == 0 && *figure == 0 {
+			return
+		}
+	}
+	if *replicabench {
+		run("replicabench", func() error {
+			m, err := sjos.ParseMethod(*method)
+			if err != nil {
+				return err
+			}
+			res, err := experiments.ReplicaBench(experiments.ReplicaBenchConfig{
+				Docs:        *loaddocs,
+				Shards:      *loadshards,
+				Replicas:    *loadreplicas,
+				SlowLatency: *replicaslow,
+				HedgeDelay:  *replicahedge,
+				Rate:        *loadrate,
+				Duration:    *loadduration,
+				Clients:     *loadclients,
+				Method:      m,
+				Seed:        1,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderReplicaBench(res))
+			if res.Unhedged.Completed == 0 || res.Hedged.Completed == 0 {
+				return fmt.Errorf("no queries completed under load")
+			}
+			if *replicaout != "" {
+				blob, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*replicaout, append(blob, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *replicaout)
 			}
 			return nil
 		})

@@ -3,6 +3,7 @@
 // many documents sharded by consistent hashing, queried with scatter-gather.
 //
 //	xqserve -dataset pers -docs 8 -shards 4 -addr :8377
+//	xqserve -dataset pers -docs 8 -shards 4 -replicas 2 -hedge 2ms
 //	xqserve -collections staff=pers:8,papers=dblp:4 -shards 4
 //	xqserve -xml file.xml -parallel 4 -slowquery 50ms
 //
@@ -17,7 +18,9 @@
 //	GET /collections/{name}/metrics      that collection's Prometheus counters
 //	GET /collections/{name}/slow         that collection's slow-query log
 //	GET /metrics   Prometheus text exposition (default collection)
-//	GET /healthz   per-collection, per-shard health as JSON
+//	GET /healthz   per-collection, per-shard health as JSON, including each
+//	               replica's routing state (healthy / suspect / probation)
+//	               when -replicas > 1
 //	GET /slow      recent slow-query log entries (default collection)
 //
 // A -slowquery threshold logs offending queries (fingerprint, method,
@@ -54,6 +57,8 @@ func main() {
 	collections := flag.String("collections", "", "comma-separated name=dataset[:docs] collection specs (overrides -xml/-dataset)")
 	docs := flag.Int("docs", 1, "documents per collection for -dataset (distinct generator seeds)")
 	shards := flag.Int("shards", 0, "shards per collection (0 = one per document, capped at GOMAXPROCS)")
+	replicas := flag.Int("replicas", 1, "store replicas per shard (>1 enables health-aware routing and hedged reads)")
+	hedge := flag.String("hedge", "auto", "hedged reads: auto (adaptive p95 delay), off, or a fixed delay like 2ms")
 	fold := flag.Int("fold", 1, "folding factor for generated data sets")
 	method := flag.String("method", "DPP", "default optimizer for /query")
 	parallel := flag.Int("parallel", 0, "partition-parallel workers per shard (0 = serial, -1 = GOMAXPROCS)")
@@ -64,7 +69,12 @@ func main() {
 	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "how long shutdown waits for in-flight queries")
 	flag.Parse()
 
-	cols, err := buildCollections(*collections, *xmlPath, *dataset, *docs, *shards, *fold, *maxInFlight, *queueDepth)
+	rep, err := parseHedge(*replicas, *hedge)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xqserve: %v\n", err)
+		os.Exit(2)
+	}
+	cols, err := buildCollections(*collections, *xmlPath, *dataset, *docs, *shards, *fold, *maxInFlight, *queueDepth, rep)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xqserve: %v\n", err)
 		os.Exit(2)
@@ -86,7 +96,8 @@ func main() {
 					name, e.Pattern, e.Method, e.Fingerprint, e.Duration, e.OptimizeTime, e.ExecuteTime, e.Matches)
 			})
 		}
-		log.Printf("xqserve: collection %q: %d documents over %d shards", name, c.NumDocs(), c.NumShards())
+		log.Printf("xqserve: collection %q: %d documents over %d shards (%d replicas/shard)",
+			name, c.NumDocs(), c.NumShards(), rep.perShard)
 	}
 	log.Printf("xqserve: optimizer %s; listening on %s", m, *addr)
 	srv := &http.Server{Addr: *addr, Handler: newMux(cols, m)}
@@ -133,10 +144,39 @@ func (c *collections) add(name string, corpus *sjos.Corpus) {
 
 func (c *collections) def() *sjos.Corpus { return c.byName[c.names[0]] }
 
+// replication carries the -replicas / -hedge flag settings into corpus
+// construction.
+type replication struct {
+	perShard   int
+	hedgeDelay time.Duration
+	hedgeOff   bool
+}
+
+// parseHedge validates the -replicas count and the -hedge mode: "auto"
+// (adaptive p95 delay), "off", or a fixed duration such as "2ms".
+func parseHedge(replicas int, hedge string) (replication, error) {
+	if replicas < 1 {
+		return replication{}, fmt.Errorf("-replicas must be at least 1 (got %d)", replicas)
+	}
+	r := replication{perShard: replicas}
+	switch hedge {
+	case "auto", "":
+	case "off":
+		r.hedgeOff = true
+	default:
+		d, err := time.ParseDuration(hedge)
+		if err != nil || d <= 0 {
+			return replication{}, fmt.Errorf("-hedge must be auto, off, or a positive duration (got %q)", hedge)
+		}
+		r.hedgeDelay = d
+	}
+	return r, nil
+}
+
 // buildCollections assembles the serving set from the flag spec: either
 // explicit -collections entries, or the legacy single -xml / -dataset
 // source as the collection "default".
-func buildCollections(spec, xmlPath, dataset string, docs, shards, fold, maxInFlight, queueDepth int) (*collections, error) {
+func buildCollections(spec, xmlPath, dataset string, docs, shards, fold, maxInFlight, queueDepth int, rep replication) (*collections, error) {
 	opts := sjos.Options{MaxInFlight: maxInFlight, QueueDepth: queueDepth}
 	cols := &collections{}
 	if spec != "" {
@@ -153,7 +193,7 @@ func buildCollections(spec, xmlPath, dataset string, docs, shards, fold, maxInFl
 				}
 				ds, cnt = d, v
 			}
-			c, err := buildDatasetCorpus(name, ds, cnt, shards, fold, opts)
+			c, err := buildDatasetCorpus(name, ds, cnt, shards, fold, opts, rep)
 			if err != nil {
 				return nil, err
 			}
@@ -177,7 +217,7 @@ func buildCollections(spec, xmlPath, dataset string, docs, shards, fold, maxInFl
 		cols.add("default", db.AsCorpus(xmlPath))
 		return cols, nil
 	}
-	c, err := buildDatasetCorpus("default", dataset, docs, shards, fold, opts)
+	c, err := buildDatasetCorpus("default", dataset, docs, shards, fold, opts, rep)
 	if err != nil {
 		return nil, err
 	}
@@ -185,11 +225,17 @@ func buildCollections(spec, xmlPath, dataset string, docs, shards, fold, maxInFl
 	return cols, nil
 }
 
-func buildDatasetCorpus(name, dataset string, docs, shards, fold int, opts sjos.Options) (*sjos.Corpus, error) {
+func buildDatasetCorpus(name, dataset string, docs, shards, fold int, opts sjos.Options, rep replication) (*sjos.Corpus, error) {
 	if docs < 1 {
 		docs = 1
 	}
-	b := sjos.NewCorpusBuilder(&sjos.CorpusOptions{Options: opts, Shards: shards})
+	b := sjos.NewCorpusBuilder(&sjos.CorpusOptions{
+		Options:          opts,
+		Shards:           shards,
+		ReplicasPerShard: rep.perShard,
+		HedgeDelay:       rep.hedgeDelay,
+		DisableHedging:   rep.hedgeOff,
+	})
 	for i := 0; i < docs; i++ {
 		id := fmt.Sprintf("%s-%03d", dataset, i)
 		if err := b.AddDataset(id, dataset, 1, fold, int64(1+i)); err != nil {

@@ -277,12 +277,109 @@ func TestServeShedsLoad(t *testing.T) {
 }
 
 func TestBuildCollectionsSpecErrors(t *testing.T) {
+	rep := replication{perShard: 1}
 	for _, spec := range []string{"noequals", "=pers", "a=pers:0", "a=pers:x"} {
-		if _, err := buildCollections(spec, "", "", 1, 0, 1, 0, 0); err == nil {
+		if _, err := buildCollections(spec, "", "", 1, 0, 1, 0, 0, rep); err == nil {
 			t.Errorf("spec %q accepted", spec)
 		}
 	}
-	if _, err := buildCollections("", "", "", 1, 0, 1, 0, 0); err == nil {
+	if _, err := buildCollections("", "", "", 1, 0, 1, 0, 0, rep); err == nil {
 		t.Error("empty source accepted")
+	}
+}
+
+func TestParseHedge(t *testing.T) {
+	cases := []struct {
+		replicas int
+		hedge    string
+		want     replication
+		wantErr  bool
+	}{
+		{1, "auto", replication{perShard: 1}, false},
+		{2, "", replication{perShard: 2}, false},
+		{2, "off", replication{perShard: 2, hedgeOff: true}, false},
+		{3, "2ms", replication{perShard: 3, hedgeDelay: 2 * time.Millisecond}, false},
+		{0, "auto", replication{}, true},
+		{2, "bogus", replication{}, true},
+		{2, "-1ms", replication{}, true},
+	}
+	for _, tc := range cases {
+		got, err := parseHedge(tc.replicas, tc.hedge)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseHedge(%d, %q): accepted, want error", tc.replicas, tc.hedge)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseHedge(%d, %q): %v", tc.replicas, tc.hedge, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseHedge(%d, %q) = %+v, want %+v", tc.replicas, tc.hedge, got, tc.want)
+		}
+	}
+}
+
+// TestHealthzReplicas exercises the serving path against a replicated
+// collection: /healthz must expose every replica's routing state, and
+// queries must still produce correct results through hedged routing.
+func TestHealthzReplicas(t *testing.T) {
+	c, err := buildDatasetCorpus("default", "pers", 2, 2, 1, sjos.Options{},
+		replication{perShard: 2, hedgeDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := &collections{}
+	cols.add("default", c)
+	srv := httptest.NewServer(newMux(cols, sjos.MethodDPP))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	shards := hr.Collections["default"]
+	if len(shards) == 0 {
+		t.Fatal("no shards in /healthz")
+	}
+	populated := 0
+	for _, sh := range shards {
+		if sh.Docs == 0 {
+			continue // empty shards carry no stores, hence no replicas
+		}
+		populated++
+		if len(sh.Replicas) != 2 {
+			t.Fatalf("shard %d: %d replicas in /healthz, want 2", sh.Shard, len(sh.Replicas))
+		}
+		for _, r := range sh.Replicas {
+			if r.State != "healthy" {
+				t.Errorf("shard %d replica %d state %q, want healthy", sh.Shard, r.Replica, r.State)
+			}
+		}
+	}
+	if populated == 0 {
+		t.Fatal("no populated shards in /healthz")
+	}
+
+	qr, err := http.Get(srv.URL + "/query?q=//manager//name&count=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qr.Body.Close()
+	if qr.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d, want 200", qr.StatusCode)
+	}
+	var q queryResponse
+	if err := json.NewDecoder(qr.Body).Decode(&q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Count == 0 {
+		t.Fatal("replicated collection returned no matches")
 	}
 }

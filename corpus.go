@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sjos/internal/admission"
@@ -17,6 +18,7 @@ import (
 	"sjos/internal/exec"
 	"sjos/internal/histogram"
 	"sjos/internal/pattern"
+	"sjos/internal/replica"
 	"sjos/internal/shardring"
 	"sjos/internal/xmltree"
 )
@@ -41,11 +43,27 @@ type CorpusOptions struct {
 	// ShardWorkers bounds how many shards one query fans out to
 	// concurrently (<= 0 selects min(#shards, GOMAXPROCS)).
 	ShardWorkers int
-	// ShardPageFile, when non-nil, supplies the page file each shard's
-	// store is built on — the injection point for per-shard fault wrappers
-	// (chaos testing a single failing shard) and alternative backends. It
-	// takes precedence over DiskPath.
-	ShardPageFile func(shard int) PageFile
+	// ReplicasPerShard is the number of independent store copies built per
+	// shard (<= 0 selects 1). Replicas share the shard's merged forest and
+	// statistics but each has its own page file and buffer pool; queries
+	// route to the healthiest replica, fail over on error, and hedge onto
+	// the next replica when the first is slow.
+	ReplicasPerShard int
+	// HedgeDelay fixes the hedged-read delay: how long a shard query waits
+	// on its first replica before re-issuing on the next. 0 (the default)
+	// adapts the delay to the observed p95 of shard executions.
+	HedgeDelay time.Duration
+	// DisableHedging turns hedged reads off; failover on error still
+	// happens.
+	DisableHedging bool
+	// ReplicaProbeInterval spaces the half-open probes of a probation
+	// replica (<= 0 selects the internal/replica default, 500ms).
+	ReplicaProbeInterval time.Duration
+	// ShardPageFile, when non-nil, supplies the page file each replica of
+	// each shard's store is built on — the injection point for per-replica
+	// fault wrappers (chaos testing a single failing replica) and
+	// alternative backends. It takes precedence over DiskPath.
+	ShardPageFile func(shard, replica int) PageFile
 }
 
 // docRef locates a document: the shard holding it and its member index
@@ -55,18 +73,69 @@ type docRef struct {
 	member int
 }
 
-// corpusShard is one shard: a regular Database over the merged forest of
-// its member documents, plus the bookkeeping to translate merged node IDs
-// back into per-document ones.
+// corpusReplica is one independent copy of a shard's store: its own page
+// file and buffer pool over the same merged forest, plus the health tracker
+// routing decisions consult.
+type corpusReplica struct {
+	db     *Database
+	health *replica.Tracker
+}
+
+// corpusShard is one shard: one or more replica Databases over the merged
+// forest of its member documents, plus the bookkeeping to translate merged
+// node IDs back into per-document ones.
 type corpusShard struct {
 	id int
-	db *Database
+	// replicas holds the shard's store copies; always at least one.
+	replicas []*corpusReplica
+	// rr rotates query routing among the healthy replicas.
+	rr atomic.Uint64
 	// spans[i] is member i's node range inside the merged document, in
 	// ascending First order (members were merged in insertion order).
 	spans []xmltree.DocSpan
 	// docIdx[i] / docIDs[i] are member i's global insertion index and ID.
 	docIdx []int
 	docIDs []string
+}
+
+// meta returns the shard's metadata replica: every replica shares the same
+// merged document, tag dictionary and statistics, so replica 0 answers all
+// planning and node-resolution questions regardless of routing health.
+func (sh *corpusShard) meta() *Database { return sh.replicas[0].db }
+
+// routeOrder ranks the shard's replicas for one query: a degraded replica
+// whose half-open probe is due goes first (the query IS the probe — its
+// outcome decides recovery, and failover covers it if the probe fails), then
+// healthy replicas in rotation, then suspect ones as failover targets, then
+// probation replicas as a last resort. Every replica appears exactly once,
+// so failover can always exhaust the set.
+func (sh *corpusShard) routeOrder(now time.Time) []*corpusReplica {
+	if len(sh.replicas) == 1 {
+		return sh.replicas
+	}
+	var probing, healthy, suspect, probation []*corpusReplica
+	for _, rep := range sh.replicas {
+		switch {
+		case rep.health.AllowProbe(now):
+			probing = append(probing, rep)
+		case rep.health.State() == replica.Healthy:
+			healthy = append(healthy, rep)
+		case rep.health.State() == replica.Suspect:
+			suspect = append(suspect, rep)
+		default:
+			probation = append(probation, rep)
+		}
+	}
+	if len(healthy) > 1 {
+		k := int(sh.rr.Add(1) % uint64(len(healthy)))
+		healthy = append(healthy[k:len(healthy):len(healthy)], healthy[:k]...)
+	}
+	order := make([]*corpusReplica, 0, len(sh.replicas))
+	order = append(order, probing...)
+	order = append(order, healthy...)
+	order = append(order, suspect...)
+	order = append(order, probation...)
+	return order
 }
 
 // memberOf maps a merged-document node ID to the member that owns it.
@@ -86,6 +155,38 @@ type corpusState struct {
 	probe  core.ProbeEligibility
 	// shardWorkers bounds scatter fan-out (resolved at Build).
 	shardWorkers int
+
+	// lat observes successful shard-replica execution latencies; its p95 is
+	// the adaptive hedged-read delay.
+	lat replica.Latency
+	// hedged / failovers count hedge launches and error failovers across
+	// all shards (the sjos_hedged_requests_total /
+	// sjos_replica_failovers_total series).
+	hedged    atomic.Uint64
+	failovers atomic.Uint64
+	// fixedHedge pins the hedge delay (0 = adaptive); hedgeOff disables
+	// hedging entirely (failover on error still happens).
+	fixedHedge time.Duration
+	hedgeOff   bool
+}
+
+// hedgeDelay returns how long a shard query waits on its first replica
+// before hedging onto the next: the fixed override when set, otherwise the
+// observed p95 clamped to [500µs, 100ms] (2ms before any observation).
+func (cs *corpusState) hedgeDelay() time.Duration {
+	if cs.fixedHedge > 0 {
+		return cs.fixedHedge
+	}
+	d := cs.lat.Quantile(0.95)
+	switch {
+	case d == 0:
+		return 2 * time.Millisecond
+	case d < 500*time.Microsecond:
+		return 500 * time.Microsecond
+	case d > 100*time.Millisecond:
+		return 100 * time.Millisecond
+	}
+	return d
 }
 
 // Corpus is many documents behind one query surface: documents are
@@ -216,6 +317,14 @@ func (b *CorpusBuilder) Build() (*Corpus, error) {
 		groupIdx[s] = append(groupIdx[s], gi)
 	}
 
+	rps := b.opts.ReplicasPerShard
+	if rps <= 0 {
+		rps = 1
+	}
+	repCfg := replica.Config{ProbeInterval: b.opts.ReplicaProbeInterval}
+	cs.fixedHedge = b.opts.HedgeDelay
+	cs.hedgeOff = b.opts.DisableHedging
+
 	cs.shards = make([]*corpusShard, shards)
 	var parts []*histogram.Stats
 	for s := 0; s < shards; s++ {
@@ -226,33 +335,43 @@ func (b *CorpusBuilder) Build() (*Corpus, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sjos: merging shard %d: %w", s, err)
 		}
-		sopts := b.opts.Options
-		// The corpus is the admission boundary; shards execute whatever the
-		// scatter driver hands them.
-		sopts.MaxInFlight, sopts.QueueDepth = 0, 0
-		sopts.PageFile = nil
-		if b.opts.ShardPageFile != nil {
-			sopts.PageFile = b.opts.ShardPageFile(s)
-			sopts.DiskPath = ""
-		} else if sopts.DiskPath != "" {
-			sopts.DiskPath = fmt.Sprintf("%s.shard-%03d", sopts.DiskPath, s)
-		}
-		db, err := fromDocument(merged, &sopts)
-		if err != nil {
-			return nil, fmt.Errorf("sjos: building shard %d: %w", s, err)
-		}
 		sh := &corpusShard{
 			id:     s,
-			db:     db,
 			spans:  spans,
 			docIdx: groupIdx[s],
 			docIDs: make([]string, len(groupIdx[s])),
+		}
+		for r := 0; r < rps; r++ {
+			sopts := b.opts.Options
+			// The corpus is the admission boundary; shards execute whatever
+			// the scatter driver hands them.
+			sopts.MaxInFlight, sopts.QueueDepth = 0, 0
+			sopts.PageFile = nil
+			if b.opts.ShardPageFile != nil {
+				sopts.PageFile = b.opts.ShardPageFile(s, r)
+				sopts.DiskPath = ""
+			} else if sopts.DiskPath != "" {
+				// Replica 0 keeps the PR 7 path layout so existing images
+				// stay addressable; extra replicas get their own files.
+				sopts.DiskPath = fmt.Sprintf("%s.shard-%03d", sopts.DiskPath, s)
+				if r > 0 {
+					sopts.DiskPath = fmt.Sprintf("%s.r%d", sopts.DiskPath, r)
+				}
+			}
+			db, err := fromDocument(merged, &sopts)
+			if err != nil {
+				return nil, fmt.Errorf("sjos: building shard %d replica %d: %w", s, r, err)
+			}
+			sh.replicas = append(sh.replicas, &corpusReplica{
+				db:     db,
+				health: replica.NewTracker(repCfg),
+			})
 		}
 		for m, gi := range groupIdx[s] {
 			sh.docIDs[m] = cs.ids[gi]
 		}
 		cs.shards[s] = sh
-		parts = append(parts, db.histStats())
+		parts = append(parts, sh.meta().histStats())
 	}
 
 	grid, cacheCap := b.opts.HistogramGrid, b.opts.PlanCacheCapacity
@@ -280,10 +399,10 @@ func (db *Database) histStats() *histogram.Stats {
 // double admission a nested Database.Run would cost).
 func (db *Database) AsCorpus(docID string) *Corpus {
 	sh := &corpusShard{
-		db:     db,
-		spans:  []xmltree.DocSpan{{First: 0, Nodes: db.doc.NumNodes()}},
-		docIdx: []int{0},
-		docIDs: []string{docID},
+		replicas: []*corpusReplica{{db: db, health: replica.NewTracker(replica.Config{})}},
+		spans:    []xmltree.DocSpan{{First: 0, Nodes: db.doc.NumNodes()}},
+		docIdx:   []int{0},
+		docIDs:   []string{docID},
 	}
 	return &Corpus{corpusState: &corpusState{
 		shards:       []*corpusShard{sh},
@@ -312,7 +431,7 @@ func (p corpusProbe) ProbeEligible(tag string, op pattern.CmpOp, value string) b
 		if sh == nil {
 			continue
 		}
-		if !sh.db.store.ProbeEligible(tag, op, value) {
+		if !sh.meta().store.ProbeEligible(tag, op, value) {
 			return false
 		}
 		any = true
@@ -326,7 +445,7 @@ func (p corpusProbe) ProbeSelectivity(tag string, op pattern.CmpOp, value string
 		if sh == nil {
 			continue
 		}
-		n, ok := sh.db.store.ProbeSelectivity(tag, op, value)
+		n, ok := sh.meta().store.ProbeSelectivity(tag, op, value)
 		if !ok {
 			return 0, false
 		}
@@ -377,7 +496,8 @@ func (c *Corpus) TagName(docID string, id NodeID) (string, bool) {
 	if !ok {
 		return "", false
 	}
-	return sh.db.doc.TagName(sh.db.doc.Tag(gid)), true
+	doc := sh.meta().doc
+	return doc.TagName(doc.Tag(gid)), true
 }
 
 // Value returns the text value of a matched node of the given document
@@ -387,7 +507,7 @@ func (c *Corpus) Value(docID string, id NodeID) (string, bool) {
 	if !ok {
 		return "", false
 	}
-	return sh.db.doc.Value(gid), true
+	return sh.meta().doc.Value(gid), true
 }
 
 // WithParallelism returns a derived handle whose queries execute each
@@ -563,17 +683,7 @@ func (c *Corpus) scatter(ctx context.Context, pat *Pattern, p *Plan, opts RunOpt
 	}
 	runShard := func(si int) {
 		sh := c.shards[si]
-		r, err := func() (r *RunResult, err error) {
-			// Shard executions run on scatter goroutines, outside Run's own
-			// recovery scope — recover here so a panicking shard surfaces as
-			// this query's typed error, not a process crash.
-			defer func() {
-				if perr := exec.RecoverPanic(recover()); perr != nil {
-					r, err = nil, perr
-				}
-			}()
-			return sh.db.run(runCtx, pat, p, shOpts)
-		}()
+		r, err := c.runShardReplicated(runCtx, sh, pat, p, shOpts)
 		mu.Lock()
 		defer mu.Unlock()
 		done[si] = true
@@ -669,6 +779,121 @@ gather:
 		out.Matches = matches
 	}
 	return out, nil
+}
+
+// errHedgeLoser marks the cancellation of a hedged replica attempt whose
+// sibling already produced the shard's result — a routing decision, not a
+// failure, so losers never feed the health trackers.
+var errHedgeLoser = errors.New("sjos: hedged read superseded")
+
+// runReplicaOnce executes the shard plan on one replica. Replica attempts
+// run on their own goroutines, outside Run's recovery scope — recover here
+// so a panicking replica surfaces as that attempt's typed error (and a
+// failover opportunity), not a process crash.
+func runReplicaOnce(ctx context.Context, rep *corpusReplica, pat *Pattern, p *Plan, opts RunOptions) (r *RunResult, err error) {
+	defer func() {
+		if perr := exec.RecoverPanic(recover()); perr != nil {
+			r, err = nil, perr
+		}
+	}()
+	return rep.db.run(ctx, pat, p, opts)
+}
+
+// replicaAttempt is one replica execution's outcome, tagged with its
+// position in the route order.
+type replicaAttempt struct {
+	idx     int
+	res     *RunResult
+	err     error
+	elapsed time.Duration
+}
+
+// runShardReplicated serves one shard's slice of a scatter from its replica
+// set: the query goes to the best replica per routeOrder, fails over to the
+// next on a genuine error, and (unless hedging is off) is re-issued on the
+// next replica after hedgeDelay when the current attempts are still
+// running — first success wins and the losers are cancelled with
+// errHedgeLoser. Health is recorded only for attempts that ran to their own
+// conclusion: a success resets the replica, a genuine failure advances its
+// state machine, and attempts cut short by the scatter's own cancellation
+// (limit satisfied, caller gone, hedge already won) leave health untouched.
+func (c *Corpus) runShardReplicated(ctx context.Context, sh *corpusShard, pat *Pattern, p *Plan, opts RunOptions) (*RunResult, error) {
+	order := sh.routeOrder(time.Now())
+	if len(order) == 1 {
+		rep := order[0]
+		t0 := time.Now()
+		r, err := runReplicaOnce(ctx, rep, pat, p, opts)
+		if err == nil {
+			rep.health.RecordSuccess()
+			c.lat.Observe(time.Since(t0))
+		} else if ctx.Err() == nil {
+			rep.health.RecordFailure()
+		}
+		return r, err
+	}
+
+	runCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(errHedgeLoser)
+	// Buffered to the full route: losers deposit their outcome and exit
+	// without anyone reading it.
+	attempts := make(chan replicaAttempt, len(order))
+	launch := func(i int) {
+		go func() {
+			t0 := time.Now()
+			r, err := runReplicaOnce(runCtx, order[i], pat, p, opts)
+			attempts <- replicaAttempt{idx: i, res: r, err: err, elapsed: time.Since(t0)}
+		}()
+	}
+	next := 0
+	launch(next)
+	next++
+	inFlight := 1
+
+	var timerC <-chan time.Time
+	if !c.hedgeOff && next < len(order) {
+		timer := time.NewTimer(c.hedgeDelay())
+		defer timer.Stop()
+		timerC = timer.C
+	}
+
+	var lastErr error
+	for {
+		select {
+		case <-timerC:
+			// One hedge per shard query: the slow path gets exactly one
+			// extra chance, bounding the amplification at 2× per shard.
+			timerC = nil
+			if next < len(order) {
+				c.hedged.Add(1)
+				launch(next)
+				next++
+				inFlight++
+			}
+		case at := <-attempts:
+			inFlight--
+			rep := order[at.idx]
+			if at.err == nil {
+				rep.health.RecordSuccess()
+				c.lat.Observe(at.elapsed)
+				return at.res, nil
+			}
+			if ctx.Err() != nil {
+				// The scatter itself was cancelled (limit satisfied or the
+				// caller gave up) — not this replica's fault.
+				return nil, at.err
+			}
+			rep.health.RecordFailure()
+			lastErr = at.err
+			if next < len(order) {
+				c.failovers.Add(1)
+				launch(next)
+				next++
+				inFlight++
+			} else if inFlight == 0 {
+				return nil, lastErr
+			}
+		}
+	}
 }
 
 // demux splits one shard's matches by member document and rebases every
@@ -778,6 +1003,24 @@ func (c *Corpus) QueryPatternContext(ctx context.Context, pat *Pattern, opts Que
 	}, nil
 }
 
+// ReplicaHealth is one replica's health snapshot inside a ShardHealth.
+type ReplicaHealth struct {
+	// Replica is the replica index within its shard.
+	Replica int
+	// State is the routing state ("healthy", "suspect", "probation").
+	State string
+	// ConsecutiveFailures is the current failure run; Failures and
+	// Successes are lifetime counters.
+	ConsecutiveFailures int
+	Failures            uint64
+	Successes           uint64
+	// Pool is this replica's own buffer-pool counters.
+	Pool PoolStats
+	// FaultsInjected counts faults this replica's page file injected, when
+	// it sits on a fault-injecting file (chaos mode); 0 otherwise.
+	FaultsInjected uint64
+}
+
 // ShardHealth is one shard's health snapshot.
 type ShardHealth struct {
 	// Shard is the shard index; Docs and Nodes its document and element
@@ -785,13 +1028,19 @@ type ShardHealth struct {
 	Shard int
 	Docs  int
 	Nodes int
-	// Pool and Content are the shard store's buffer-pool and content-index
-	// counters (zero for empty shards).
-	Pool    PoolStats
+	// Pool sums the buffer-pool counters of every replica of this shard
+	// (zero for empty shards).
+	Pool PoolStats
+	// Content reports the shard's content-index counters: the index
+	// structure (runs, tags, bytes) from the metadata replica — every
+	// replica indexes the same forest — with the dynamic probe/decode
+	// counters summed across replicas.
 	Content ContentStats
-	// FaultsInjected counts faults the shard's page file injected, when it
-	// sits on a fault-injecting file (chaos mode); 0 otherwise.
+	// FaultsInjected sums the injected-fault counters of every replica.
 	FaultsInjected uint64
+	// Replicas holds the per-replica state, replica 0 first (nil for empty
+	// shards).
+	Replicas []ReplicaHealth
 }
 
 // Health reports a per-shard health snapshot, one entry per shard
@@ -807,10 +1056,34 @@ func (c *Corpus) Health() []ShardHealth {
 		for _, sp := range sh.spans {
 			out[i].Nodes += sp.Nodes
 		}
-		out[i].Pool = sh.db.PoolStats()
-		out[i].Content = sh.db.ContentStats()
-		if ff, ok := sh.db.store.File().(interface{ FaultsInjected() uint64 }); ok {
-			out[i].FaultsInjected = ff.FaultsInjected()
+		out[i].Content = sh.meta().ContentStats()
+		out[i].Content.ValueProbes = 0
+		out[i].Content.BlocksDecoded = 0
+		for r, rep := range sh.replicas {
+			hs := rep.health.Snapshot()
+			rh := ReplicaHealth{
+				Replica:             r,
+				State:               hs.State.String(),
+				ConsecutiveFailures: hs.ConsecutiveFailures,
+				Failures:            hs.Failures,
+				Successes:           hs.Successes,
+				Pool:                rep.db.PoolStats(),
+			}
+			if ff, ok := rep.db.store.File().(interface{ FaultsInjected() uint64 }); ok {
+				rh.FaultsInjected = ff.FaultsInjected()
+			}
+			cst := rep.db.ContentStats()
+			out[i].Content.ValueProbes += cst.ValueProbes
+			out[i].Content.BlocksDecoded += cst.BlocksDecoded
+			out[i].Pool.Hits += rh.Pool.Hits
+			out[i].Pool.Misses += rh.Pool.Misses
+			out[i].Pool.Evicted += rh.Pool.Evicted
+			out[i].Pool.Resident += rh.Pool.Resident
+			out[i].Pool.Pinned += rh.Pool.Pinned
+			out[i].Pool.Retries += rh.Pool.Retries
+			out[i].Pool.ChecksumFailures += rh.Pool.ChecksumFailures
+			out[i].FaultsInjected += rh.FaultsInjected
+			out[i].Replicas = append(out[i].Replicas, rh)
 		}
 	}
 	return out
@@ -830,14 +1103,22 @@ func (c *Corpus) Drain(ctx context.Context) error { return c.svc.admit.Drain(ctx
 // RebuildStats recomputes every shard's positional histograms and
 // re-merges them into fresh corpus-wide statistics, invalidating the
 // corpus plan cache.
+//
+// Each shard's fresh *Stats is derived directly from its document rather
+// than read back through the shard service's snapshot: on an AsCorpus
+// handle the shard shares the corpus service, so a concurrent rebuild could
+// have installed the merged *Multi there in between — reading it back as a
+// *Stats yielded nil and poisoned the merge.
 func (c *Corpus) RebuildStats() {
 	var parts []*histogram.Stats
 	for _, sh := range c.shards {
 		if sh == nil {
 			continue
 		}
-		sh.db.RebuildStats()
-		parts = append(parts, sh.db.histStats())
+		db := sh.meta()
+		hs := histogram.Build(db.doc, db.svc.grid)
+		db.svc.setStats(hs)
+		parts = append(parts, hs)
 	}
 	c.svc.setStats(histogram.Merge(parts))
 }
@@ -863,6 +1144,18 @@ func (c *Corpus) Metrics() Metrics {
 		Query:     c.svc.metrics.Snapshot(),
 		Cache:     c.CacheStats(),
 		Admission: c.AdmissionStats(),
+	}
+	m.Replica.HedgedRequests = c.hedged.Load()
+	m.Replica.Failovers = c.failovers.Load()
+	for _, sh := range c.shards {
+		if sh == nil {
+			continue
+		}
+		for _, rep := range sh.replicas {
+			if rep.health.State() != replica.Healthy {
+				m.Replica.Suspect++
+			}
+		}
 	}
 	for _, h := range c.Health() {
 		m.Pool.Hits += h.Pool.Hits

@@ -1,0 +1,405 @@
+package sjos
+
+// Replica-set suite: with R store copies per shard, a corpus must survive a
+// permanently dead replica of every shard with exact results (failover, not
+// error), hedge slow replicas onto fast ones, walk dead replicas through the
+// suspect/probation state machine and back on recovery, and keep the corpus
+// limit/error race of the scatter sound under -race.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sjos/internal/faultfs"
+	"sjos/internal/storage"
+	"sjos/internal/xmltree"
+)
+
+// buildReplicaCorpus builds a corpus with every replica's page file wrapped
+// in fault injection (zero policy: faults armed later, so construction-time
+// reads succeed). files[shard][replica] is the wrapper.
+func buildReplicaCorpus(t *testing.T, ids []string, docs []*xmltree.Document, opts CorpusOptions) (*Corpus, map[int]map[int]*faultfs.File) {
+	t.Helper()
+	files := make(map[int]map[int]*faultfs.File)
+	var mu sync.Mutex
+	opts.ShardPageFile = func(shard, replica int) PageFile {
+		f := faultfs.Wrap(storage.NewMemFile(), faultfs.Policy{})
+		mu.Lock()
+		if files[shard] == nil {
+			files[shard] = make(map[int]*faultfs.File)
+		}
+		files[shard][replica] = f
+		mu.Unlock()
+		return f
+	}
+	return buildTestCorpus(t, ids, docs, &opts), files
+}
+
+// TestCorpusReplicaChaos kills one replica of EVERY shard permanently and
+// requires every method × scatter mode × execution mode to return the exact
+// fault-free result: with R=2 a dead store copy is a failover, not an error.
+func TestCorpusReplicaChaos(t *testing.T) {
+	ids, docs := corpusFixtureDocsScale(t, 4, 0.5)
+	c, files := buildReplicaCorpus(t, ids, docs, CorpusOptions{
+		Shards:           2,
+		ReplicasPerShard: 2,
+		Options:          Options{PoolFrames: 8},
+	})
+	for s, reps := range files {
+		if len(reps) != 2 {
+			t.Fatalf("shard %d built %d replicas, want 2", s, len(reps))
+		}
+		// Alternate which replica dies so the metadata replica (0) is dead
+		// on some shards: planning must not depend on a live replica 0.
+		reps[s%2].SetPolicy(faultfs.Policy{FailNthRead: 1})
+	}
+
+	pat := MustParsePattern(`//article//author`)
+	want := standaloneResults(t, ids, docs, pat)
+	if len(want) == 0 {
+		t.Fatal("fixture ground truth is empty")
+	}
+	methods := []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP}
+	modes := []struct {
+		name string
+		opts RunOptions
+	}{
+		{"serial-batch", RunOptions{}},
+		{"serial-tuple", RunOptions{ExecOptions: ExecOptions{NoBatch: true}}},
+		{"parallel-batch", RunOptions{Workers: 2}},
+		{"parallel-tuple", RunOptions{ExecOptions: ExecOptions{NoBatch: true}, Workers: 2}},
+	}
+	for _, m := range methods {
+		opt, err := c.Optimize(pat, m, 0)
+		if err != nil {
+			t.Fatalf("%v: optimize: %v", m, err)
+		}
+		for _, mode := range modes {
+			res, err := c.Run(context.Background(), pat, opt.Plan, mode.opts)
+			if err != nil {
+				t.Fatalf("%v/%s: dead replica leaked as error: %v", m, mode.name, err)
+			}
+			if !sameCorpusMatches(res.Matches, want) {
+				t.Fatalf("%v/%s: result differs from fault-free answer", m, mode.name)
+			}
+		}
+	}
+
+	met := c.Metrics()
+	if met.Replica.Failovers == 0 {
+		t.Fatal("no failovers recorded despite a dead replica per shard")
+	}
+	if met.Replica.Suspect == 0 {
+		t.Fatal("no replica degraded despite permanent failures")
+	}
+	deadDegraded := 0
+	for _, h := range c.Health() {
+		if len(h.Replicas) != 2 {
+			t.Fatalf("shard %d health reports %d replicas, want 2", h.Shard, len(h.Replicas))
+		}
+		dead := h.Shard % 2
+		if h.Replicas[dead].State != "healthy" {
+			deadDegraded++
+		}
+		if live := h.Replicas[1-dead]; live.State != "healthy" || live.Successes == 0 {
+			t.Fatalf("shard %d live replica: %+v, want healthy with successes", h.Shard, live)
+		}
+		if h.FaultsInjected == 0 {
+			t.Fatalf("shard %d reports no injected faults", h.Shard)
+		}
+	}
+	if deadDegraded == 0 {
+		t.Fatal("no dead replica left the healthy state")
+	}
+	var sb strings.Builder
+	c.WriteMetrics(&sb)
+	for _, series := range []string{"sjos_hedged_requests_total", "sjos_replica_failovers_total", "sjos_replicas_suspect"} {
+		if !strings.Contains(sb.String(), series) {
+			t.Fatalf("metrics exposition missing %s", series)
+		}
+	}
+}
+
+// TestCorpusReplicaHedge pins a fixed hedge delay far below a slow replica's
+// injected latency: queries routed to the slow copy first must be re-issued
+// on the fast copy and still return the exact result.
+func TestCorpusReplicaHedge(t *testing.T) {
+	ids, docs := corpusFixtureDocs(t, 2)
+	c, files := buildReplicaCorpus(t, ids, docs, CorpusOptions{
+		Shards:           1,
+		ReplicasPerShard: 2,
+		HedgeDelay:       2 * time.Millisecond,
+	})
+	files[0][0].SetPolicy(faultfs.Policy{Latency: 25 * time.Millisecond})
+
+	pat := MustParsePattern(`//article//author`)
+	want := standaloneResults(t, ids, docs, pat)
+	opt, err := c.Optimize(pat, MethodDPP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rotation alternates which replica goes first; across a handful of
+	// queries some are slow-first and must hedge onto the fast copy.
+	for i := 0; i < 8; i++ {
+		res, err := c.Run(context.Background(), pat, opt.Plan, RunOptions{})
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if !sameCorpusMatches(res.Matches, want) {
+			t.Fatalf("query %d: hedged result differs", i)
+		}
+	}
+	if met := c.Metrics(); met.Replica.HedgedRequests == 0 {
+		t.Fatalf("no hedged requests despite a 25ms-per-read replica and a 2ms hedge delay: %+v", met.Replica)
+	}
+}
+
+// TestCorpusReplicaProbeRecovery walks a dead replica down to probation and
+// back: half-open probes keep testing it (at most one per interval), and the
+// first probe after it heals snaps it back to healthy routing.
+func TestCorpusReplicaProbeRecovery(t *testing.T) {
+	ids, docs := corpusFixtureDocs(t, 2)
+	c, files := buildReplicaCorpus(t, ids, docs, CorpusOptions{
+		Shards:               1,
+		ReplicasPerShard:     2,
+		DisableHedging:       true,
+		ReplicaProbeInterval: time.Millisecond,
+	})
+	files[0][1].SetPolicy(faultfs.Policy{FailNthRead: 1})
+
+	pat := MustParsePattern(`//article//author`)
+	want := standaloneResults(t, ids, docs, pat)
+	opt, err := c.Optimize(pat, MethodDPP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		t.Helper()
+		res, err := c.Run(context.Background(), pat, opt.Plan, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameCorpusMatches(res.Matches, want) {
+			t.Fatal("result differs from fault-free answer")
+		}
+	}
+	state := func() string { return c.Health()[0].Replicas[1].State }
+
+	deadline := time.Now().Add(5 * time.Second)
+	for state() != "probation" {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica stuck in %q, never reached probation", state())
+		}
+		run()
+		time.Sleep(2 * time.Millisecond) // let the next half-open probe come due
+	}
+
+	// Heal the store; the next granted probe routes a real query through the
+	// replica, succeeds, and restores it to healthy.
+	files[0][1].SetPolicy(faultfs.Policy{})
+	for state() != "healthy" {
+		if time.Now().After(deadline) {
+			t.Fatalf("healed replica stuck in %q", state())
+		}
+		run()
+		time.Sleep(2 * time.Millisecond)
+	}
+	if h := c.Health()[0].Replicas[1]; h.Successes == 0 {
+		t.Fatalf("recovered replica has no recorded successes: %+v", h)
+	}
+}
+
+// TestCorpusLimitErrorRace exercises interleavings of the scatter's
+// limit-satisfied cancellation with a genuinely failing shard (single
+// replica, so failover cannot mask it): a real error may be pre-empted by a
+// satisfied limit, but the result is then the exact prefix — never a partial
+// or wrong answer, and never a swallowed error with a bad result.
+func TestCorpusLimitErrorRace(t *testing.T) {
+	ids, docs := corpusFixtureDocsScale(t, 4, 0.5)
+	c, files := buildReplicaCorpus(t, ids, docs, CorpusOptions{
+		Shards:  2,
+		Options: Options{PoolFrames: 8},
+	})
+	pat := MustParsePattern(`//article//author`)
+	want := standaloneResults(t, ids, docs, pat)
+	if len(want) == 0 || want[0].Doc != 0 {
+		t.Fatal("fixture's first document has no matches — prefix test needs one")
+	}
+	opt, err := c.Optimize(pat, MethodDPP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstShard, ok := c.ShardOf(ids[0])
+	if !ok {
+		t.Fatal("first document not placed")
+	}
+	otherShard := -1
+	for s := range files {
+		if s != firstShard {
+			otherShard = s
+		}
+	}
+	if otherShard < 0 {
+		t.Fatal("fixture hashed every document to one shard")
+	}
+
+	run := func() (*CorpusRunResult, error) {
+		res, err := c.Run(context.Background(), pat, opt.Plan, RunOptions{ExecOptions: ExecOptions{Limit: 1}})
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			t.Fatalf("panic escaped as error: %v\n%s", pe, pe.Stack)
+		}
+		return res, err
+	}
+
+	// Baseline under the limit, faults disarmed: establishes the exact
+	// prefix and how many physical reads the racing shard performs.
+	for _, f := range files[otherShard] {
+		f.SetPolicy(faultfs.Policy{})
+	}
+	base, err := run()
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	if !sameCorpusMatches(base.Matches, want[:1]) {
+		t.Fatal("baseline limit prefix differs")
+	}
+	reads := int(files[otherShard][0].Reads())
+	if reads == 0 {
+		t.Fatal("limited run performed no physical reads on the racing shard — fixture too small for the pool")
+	}
+
+	// Case A: the failing shard owns no document of the limit prefix. The
+	// limit cancellation and the shard's failure race; whichever wins, the
+	// outcome must be the exact prefix or the injected error — at every
+	// fault point, repeatedly, under -race.
+	for _, p := range faultPoints(reads) {
+		for i := 0; i < 3; i++ {
+			files[otherShard][0].SetPolicy(faultfs.Policy{FailNthRead: p})
+			res, err := run()
+			if err != nil {
+				if !errors.Is(err, faultfs.ErrInjected) {
+					t.Fatalf("failNth=%d: error = %v, want injected", p, err)
+				}
+				if res != nil {
+					t.Fatalf("failNth=%d: partial result alongside error", p)
+				}
+				continue
+			}
+			if !sameCorpusMatches(res.Matches, want[:1]) {
+				t.Fatalf("failNth=%d: swallowed fault produced a wrong prefix", p)
+			}
+		}
+	}
+	for _, f := range files[otherShard] {
+		f.SetPolicy(faultfs.Policy{})
+	}
+
+	// Case B: the failing shard owns the prefix's first document, so the
+	// limit can never be satisfied without it — the injected error must
+	// surface. A fresh corpus keeps the shard's buffer pool cold, so the
+	// very first read hits the dead store.
+	c2, files2 := buildReplicaCorpus(t, ids, docs, CorpusOptions{
+		Shards:  2,
+		Options: Options{PoolFrames: 8},
+	})
+	opt2, err := c2.Optimize(pat, MethodDPP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files2[firstShard][0].SetPolicy(faultfs.Policy{FailNthRead: 1})
+	res, err := c2.Run(context.Background(), pat, opt2.Plan, RunOptions{ExecOptions: ExecOptions{Limit: 1}})
+	if err == nil {
+		t.Fatal("prefix shard's injected error was swallowed by the limit")
+	}
+	if !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("prefix shard: error = %v, want injected", err)
+	}
+	if res != nil {
+		t.Fatal("prefix shard: partial result alongside error")
+	}
+}
+
+// TestAsCorpusRebuildStats covers the AsCorpus → RebuildStats → RebuildStats
+// path, sequentially and concurrently: the one-shard corpus shares its
+// service with the database, so rebuilds must re-derive per-shard stats
+// rather than read them back through the shared snapshot (which may hold the
+// merged view and used to poison histogram.Merge with a nil part).
+func TestAsCorpusRebuildStats(t *testing.T) {
+	_, docs := corpusFixtureDocs(t, 1)
+	db, err := fromDocument(docs[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := db.AsCorpus("solo")
+
+	query := func() {
+		t.Helper()
+		res, err := c.Query(`//article//author`, MethodDPP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count == 0 {
+			t.Fatal("rebuilt corpus lost its matches")
+		}
+	}
+	c.RebuildStats()
+	c.RebuildStats()
+	query()
+
+	// Concurrent rebuilds through both handles interleave setStats calls on
+	// the one shared service; every interleaving must stay panic-free and
+	// leave usable statistics.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				if i%2 == 0 {
+					c.RebuildStats()
+				} else {
+					db.RebuildStats()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	c.RebuildStats()
+	query()
+	if res, err := db.Query(`//article//author`, MethodDPP); err != nil || len(res.Matches) == 0 {
+		t.Fatalf("database view after rebuild storm: res=%v err=%v", res, err)
+	}
+}
+
+// TestCorpusReplicaDiskPaths checks that every replica of a disk-backed
+// shard gets its own image file: replica 0 keeps the PR 7 layout, extra
+// replicas get a .rN suffix.
+func TestCorpusReplicaDiskPaths(t *testing.T) {
+	ids, docs := corpusFixtureDocs(t, 2)
+	dir := t.TempDir()
+	c := buildTestCorpus(t, ids, docs, &CorpusOptions{
+		Shards:           1,
+		ReplicasPerShard: 2,
+		Options:          Options{DiskPath: dir + "/corpus.img"},
+	})
+	pat := MustParsePattern(`//article//author`)
+	want := standaloneResults(t, ids, docs, pat)
+	res, err := c.Query(`//article//author`, MethodDPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameCorpusMatches(res.Matches, want) {
+		t.Fatal("disk-backed replica corpus result differs")
+	}
+	for _, p := range []string{dir + "/corpus.img.shard-000", dir + "/corpus.img.shard-000.r1"} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("replica image %s missing: %v", p, err)
+		}
+	}
+}

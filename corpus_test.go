@@ -258,7 +258,7 @@ func TestCorpusChaosOneShard(t *testing.T) {
 	c := buildTestCorpus(t, ids, docs, &CorpusOptions{
 		Shards:  2,
 		Options: Options{PoolFrames: 8},
-		ShardPageFile: func(shard int) PageFile {
+		ShardPageFile: func(shard, replica int) PageFile {
 			f := storage.NewMemFile()
 			if shard != 1 {
 				return f

@@ -269,3 +269,37 @@ func TestFoldingScalesAllQueries(t *testing.T) {
 		}
 	}
 }
+
+func TestReplicaBenchSmoke(t *testing.T) {
+	res, err := ReplicaBench(ReplicaBenchConfig{
+		Docs:        2,
+		Shards:      1,
+		Replicas:    2,
+		SlowLatency: 500 * time.Microsecond,
+		HedgeDelay:  time.Millisecond,
+		Rate:        150,
+		Duration:    400 * time.Millisecond,
+		Clients:     4,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range []ReplicaBenchRun{res.Unhedged, res.Hedged} {
+		if run.Completed == 0 {
+			t.Fatalf("arm hedged=%v completed nothing: %+v", run.Hedged, run)
+		}
+		if run.Errors != 0 {
+			t.Fatalf("arm hedged=%v had %d errors — a slow replica must not fail queries", run.Hedged, run.Errors)
+		}
+	}
+	if res.Unhedged.HedgedRequests != 0 {
+		t.Fatalf("unhedged arm hedged %d requests", res.Unhedged.HedgedRequests)
+	}
+	if res.Hedged.HedgedRequests == 0 {
+		t.Fatal("hedged arm never hedged despite a slow replica and a 1ms delay")
+	}
+	if out := RenderReplicaBench(res); !strings.Contains(out, "hedged") || !strings.Contains(out, "p99") {
+		t.Fatalf("render missing fields:\n%s", out)
+	}
+}

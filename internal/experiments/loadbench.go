@@ -31,6 +31,14 @@ type LoadBenchConfig struct {
 	// Seed offsets the document generator seeds and seeds the arrival
 	// process.
 	Seed int64
+	// Replicas is the number of store copies per shard (<= 0 selects 1);
+	// with more than one, queries route health-aware and hedge per
+	// HedgeDelay/DisableHedging.
+	Replicas int
+	// HedgeDelay fixes the hedged-read delay (0 = adaptive p95).
+	HedgeDelay time.Duration
+	// DisableHedging turns hedged reads off (failover still applies).
+	DisableHedging bool
 }
 
 func (c *LoadBenchConfig) defaults() {
@@ -81,6 +89,11 @@ type LoadBenchResult struct {
 	ServedQueries uint64 `json:"served_queries"`
 	PlanCacheHits int64  `json:"plancache_hits"`
 	DrainClean    bool   `json:"drain_clean"`
+
+	// Replica routing counters (zero when Replicas <= 1).
+	Replicas       int    `json:"replicas"`
+	HedgedRequests uint64 `json:"hedged_requests"`
+	Failovers      uint64 `json:"replica_failovers"`
 }
 
 // LoadBench builds a sharded corpus of distinct pers documents, offers an
@@ -89,7 +102,12 @@ type LoadBenchResult struct {
 // own served-query accounting.
 func LoadBench(cfg LoadBenchConfig) (*LoadBenchResult, error) {
 	cfg.defaults()
-	b := sjos.NewCorpusBuilder(&sjos.CorpusOptions{Shards: cfg.Shards})
+	b := sjos.NewCorpusBuilder(&sjos.CorpusOptions{
+		Shards:           cfg.Shards,
+		ReplicasPerShard: cfg.Replicas,
+		HedgeDelay:       cfg.HedgeDelay,
+		DisableHedging:   cfg.DisableHedging,
+	})
 	for i := 0; i < cfg.Docs; i++ {
 		id := fmt.Sprintf("pers-%03d", i)
 		if err := b.AddDataset(id, "pers", 1, 1, cfg.Seed+int64(i)); err != nil {
@@ -154,6 +172,13 @@ func LoadBench(cfg LoadBenchConfig) (*LoadBenchResult, error) {
 	res.Max = lr.Max.String()
 	res.ServedQueries = m.Query.Queries
 	res.PlanCacheHits = m.Cache.Hits
+	if cfg.Replicas > 1 {
+		res.Replicas = cfg.Replicas
+	} else {
+		res.Replicas = 1
+	}
+	res.HedgedRequests = m.Replica.HedgedRequests
+	res.Failovers = m.Replica.Failovers
 	return res, nil
 }
 

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sjos"
+	"sjos/internal/faultfs"
+	"sjos/internal/loadgen"
+	"sjos/internal/storage"
+)
+
+// ReplicaBenchConfig shapes the hedged-vs-unhedged tail comparison: a
+// replicated corpus where one replica of every shard is slow (injected
+// per-read latency), serving the same open-loop load twice — once with
+// hedged reads off (failover only) and once on.
+type ReplicaBenchConfig struct {
+	// Docs and Shards size the corpus (<= 0 selects 8 over 4, as
+	// LoadBench); Replicas is the store copies per shard (<= 0 selects 2).
+	Docs     int
+	Shards   int
+	Replicas int
+	// SlowLatency is the injected per-read delay of each shard's slow
+	// replica (<= 0 selects 1ms).
+	SlowLatency time.Duration
+	// HedgeDelay fixes the hedged run's hedge delay (0 = adaptive p95).
+	HedgeDelay time.Duration
+	// Rate, Duration, Clients, MaxOutstanding, Method, Seed are exactly
+	// LoadBenchConfig's knobs.
+	Rate           float64
+	Duration       time.Duration
+	Clients        int
+	MaxOutstanding int
+	Method         sjos.Method
+	Seed           int64
+}
+
+func (c *ReplicaBenchConfig) defaults() {
+	if c.Docs <= 0 {
+		c.Docs = 8
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Replicas <= 1 {
+		c.Replicas = 2
+	}
+	if c.SlowLatency <= 0 {
+		c.SlowLatency = time.Millisecond
+	}
+	if c.Rate <= 0 {
+		c.Rate = 200
+	}
+	if c.Duration <= 0 {
+		c.Duration = 3 * time.Second
+	}
+	if c.Clients <= 0 {
+		c.Clients = 2 * c.Shards
+	}
+}
+
+// ReplicaBenchRun is one arm (hedged or unhedged) of the comparison.
+type ReplicaBenchRun struct {
+	Hedged         bool    `json:"hedged"`
+	Offered        int     `json:"offered"`
+	Completed      int     `json:"completed"`
+	Errors         int     `json:"errors"`
+	Shed           int     `json:"shed"`
+	Throughput     float64 `json:"throughput_per_sec"`
+	P50            string  `json:"p50"`
+	P95            string  `json:"p95"`
+	P99            string  `json:"p99"`
+	Max            string  `json:"max"`
+	HedgedRequests uint64  `json:"hedged_requests"`
+	Failovers      uint64  `json:"replica_failovers"`
+}
+
+// ReplicaBenchResult is the BENCH_replica.json record: the corpus geometry,
+// the injected slowness, and the two arms.
+type ReplicaBenchResult struct {
+	Docs        int             `json:"docs"`
+	Shards      int             `json:"shards"`
+	Replicas    int             `json:"replicas"`
+	Nodes       int             `json:"nodes"`
+	Method      string          `json:"method"`
+	Rate        float64         `json:"offered_rate_per_sec"`
+	Duration    string          `json:"duration"`
+	Clients     int             `json:"clients"`
+	SlowLatency string          `json:"slow_replica_read_latency"`
+	Unhedged    ReplicaBenchRun `json:"unhedged"`
+	Hedged      ReplicaBenchRun `json:"hedged"`
+}
+
+// replicaBenchArm builds one replicated corpus with replica 1 of every
+// shard slowed by cfg.SlowLatency and serves the open-loop load against it.
+func replicaBenchArm(cfg ReplicaBenchConfig, hedged bool) (*ReplicaBenchRun, int, error) {
+	var mu sync.Mutex
+	slow := make(map[int]*faultfs.File)
+	b := sjos.NewCorpusBuilder(&sjos.CorpusOptions{
+		Shards:           cfg.Shards,
+		ReplicasPerShard: cfg.Replicas,
+		HedgeDelay:       cfg.HedgeDelay,
+		DisableHedging:   !hedged,
+		ShardPageFile: func(shard, replica int) sjos.PageFile {
+			f := faultfs.Wrap(storage.NewMemFile(), faultfs.Policy{})
+			if replica == 1 {
+				mu.Lock()
+				slow[shard] = f
+				mu.Unlock()
+			}
+			return f
+		},
+	})
+	for i := 0; i < cfg.Docs; i++ {
+		id := fmt.Sprintf("pers-%03d", i)
+		if err := b.AddDataset(id, "pers", 1, 1, cfg.Seed+int64(i)); err != nil {
+			return nil, 0, err
+		}
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Slow the replicas only after construction so both arms build at full
+	// speed on identical stores.
+	for _, f := range slow {
+		f.SetPolicy(faultfs.Policy{Latency: cfg.SlowLatency})
+	}
+
+	var mix []string
+	for _, q := range Queries() {
+		if q.Dataset == "pers" {
+			mix = append(mix, q.Source)
+		}
+	}
+	var next atomic.Int64
+	lr, err := loadgen.Run(loadgen.Config{
+		Rate:           cfg.Rate,
+		Duration:       cfg.Duration,
+		Workers:        cfg.Clients,
+		MaxOutstanding: cfg.MaxOutstanding,
+		Seed:           cfg.Seed,
+	}, func() error {
+		src := mix[int(next.Add(1)-1)%len(mix)]
+		_, qerr := c.QueryContext(context.Background(), src,
+			sjos.QueryOptions{ExecOptions: sjos.ExecOptions{Method: cfg.Method}})
+		return qerr
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = c.Drain(drainCtx)
+
+	nodes := 0
+	for _, h := range c.Health() {
+		nodes += h.Nodes
+	}
+	m := c.Metrics()
+	return &ReplicaBenchRun{
+		Hedged:         hedged,
+		Offered:        lr.Offered,
+		Completed:      lr.Completed,
+		Errors:         lr.Errors,
+		Shed:           lr.Shed,
+		Throughput:     lr.Throughput,
+		P50:            lr.P50.String(),
+		P95:            lr.P95.String(),
+		P99:            lr.P99.String(),
+		Max:            lr.Max.String(),
+		HedgedRequests: m.Replica.HedgedRequests,
+		Failovers:      m.Replica.Failovers,
+	}, nodes, nil
+}
+
+// ReplicaBench runs the hedged-vs-unhedged comparison: same documents, same
+// arrival schedule, same slow replica per shard — the only difference is
+// whether a shard query slower than the hedge delay is re-issued on the next
+// replica. The two arms' tail quantiles are the experiment's output.
+func ReplicaBench(cfg ReplicaBenchConfig) (*ReplicaBenchResult, error) {
+	cfg.defaults()
+	res := &ReplicaBenchResult{
+		Docs:        cfg.Docs,
+		Shards:      cfg.Shards,
+		Replicas:    cfg.Replicas,
+		Method:      cfg.Method.String(),
+		Rate:        cfg.Rate,
+		Duration:    cfg.Duration.String(),
+		Clients:     cfg.Clients,
+		SlowLatency: cfg.SlowLatency.String(),
+	}
+	un, nodes, err := replicaBenchArm(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	res.Unhedged = *un
+	res.Nodes = nodes
+	he, _, err := replicaBenchArm(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	res.Hedged = *he
+	return res, nil
+}
+
+// RenderReplicaBench formats the comparison for the terminal.
+func RenderReplicaBench(r *ReplicaBenchResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Hedged-read tails (%d docs / %d shards / %d replicas, one %s-per-read slow replica per shard, %s, %.0f req/s for %s)\n",
+		r.Docs, r.Shards, r.Replicas, r.SlowLatency, r.Method, r.Rate, r.Duration)
+	row := func(run ReplicaBenchRun) {
+		name := "unhedged"
+		if run.Hedged {
+			name = "hedged"
+		}
+		fmt.Fprintf(&sb, "%-8s  p50 %-10s p95 %-10s p99 %-10s max %-10s  hedges %d  failovers %d  errors %d\n",
+			name, run.P50, run.P95, run.P99, run.Max, run.HedgedRequests, run.Failovers, run.Errors)
+	}
+	row(r.Unhedged)
+	row(r.Hedged)
+	return sb.String()
+}

@@ -32,8 +32,17 @@ type Multi struct {
 
 // Merge builds the corpus-wide view over the given per-shard statistics.
 // Union TagIDs are assigned deterministically: parts in order, and within a
-// part its local TagIDs in order.
+// part its local TagIDs in order. Nil parts are skipped — a shard whose
+// statistics are momentarily unavailable (e.g. a concurrent rebuild swapped
+// in a merged view) contributes nothing rather than crashing the merge.
 func Merge(parts []*Stats) *Multi {
+	live := make([]*Stats, 0, len(parts))
+	for _, p := range parts {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	parts = live
 	m := &Multi{byName: make(map[string]xmltree.TagID), parts: parts}
 	for pi, p := range parts {
 		byID := make([]string, len(p.byTag))

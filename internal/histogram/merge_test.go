@@ -141,3 +141,28 @@ func TestMultiDeterministicTagIDs(t *testing.T) {
 		}
 	}
 }
+
+// TestMergeSkipsNilParts: a nil part (a shard whose stats snapshot was
+// momentarily a merged view during a concurrent rebuild) must contribute
+// nothing — the old code dereferenced it and panicked.
+func TestMergeSkipsNilParts(t *testing.T) {
+	s1, s2 := twoParts(t)
+	m := Merge([]*Stats{s1, nil, s2, nil})
+	if m.Parts() != 2 {
+		t.Fatalf("Parts() = %d, want 2 (nil parts skipped)", m.Parts())
+	}
+	ref := Merge([]*Stats{s1, s2})
+	for _, name := range []string{"a", "b", "c"} {
+		gt, ok := m.Lookup(name)
+		rt, rok := m.Lookup(name)
+		if !ok || !rok {
+			t.Fatalf("Lookup(%q) failed", name)
+		}
+		if got, want := m.TagCount(gt), ref.TagCount(rt); got != want {
+			t.Errorf("TagCount(%q) = %g, want %g", name, got, want)
+		}
+	}
+	if allNil := Merge([]*Stats{nil, nil}); allNil.Parts() != 0 {
+		t.Fatalf("all-nil merge Parts() = %d, want 0", allNil.Parts())
+	}
+}

@@ -8,6 +8,7 @@ package loadgen
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -135,9 +136,12 @@ func Run(cfg Config, do func() error) (Result, error) {
 	return res, nil
 }
 
-// percentile picks the nearest-rank quantile of a sorted sample.
+// percentile picks the nearest-rank quantile of a sorted sample: the
+// ceil(q·n)-th order statistic, so no reported percentile ever understates
+// the sample (rounding the rank down would report e.g. the 9th of 10 samples
+// as the p92).
 func percentile(sorted []time.Duration, q float64) time.Duration {
-	i := int(q*float64(len(sorted))+0.5) - 1
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
 	if i < 0 {
 		i = 0
 	}

@@ -83,3 +83,80 @@ func TestRunValidates(t *testing.T) {
 		t.Fatal("nil workload accepted")
 	}
 }
+
+// TestPercentileNearestRank pins the documented nearest-rank definition
+// (ceil(q·n)-1, 0-indexed) on awkward (q, n) pairs. The old implementation
+// rounded the rank (int(q·n+0.5)-1), which e.g. reported the 9th of 10
+// samples as the p92 — understating tails.
+func TestPercentileNearestRank(t *testing.T) {
+	mk := func(n int) []time.Duration {
+		s := make([]time.Duration, n)
+		for i := range s {
+			s[i] = time.Duration(i+1) * time.Millisecond
+		}
+		return s
+	}
+	cases := []struct {
+		q    float64
+		n    int
+		want int // 1-based rank = sample value in ms
+	}{
+		{0.92, 10, 10}, // ceil(9.2) = 10; rounding gave 9
+		{0.50, 10, 5},
+		{0.95, 10, 10}, // ceil(9.5) = 10; rounding gave 10 too, but by luck
+		{0.99, 100, 99},
+		{0.999, 100, 100}, // ceil(99.9) = 100; rounding gave 100
+		{0.95, 100, 95},
+		{0.95, 3, 3},  // ceil(2.85) = 3; rounding gave 3
+		{0.25, 3, 1},  // ceil(0.75) = 1; rounding gave 1
+		{0.10, 4, 1},  // ceil(0.4) = 1; rounding gave 0 → clamped to 1
+		{0.51, 2, 2},  // ceil(1.02) = 2; rounding gave 1
+		{0.50, 1, 1},
+		{1.00, 7, 7},
+	}
+	for _, c := range cases {
+		got := percentile(mk(c.n), c.q)
+		want := time.Duration(c.want) * time.Millisecond
+		if got != want {
+			t.Errorf("percentile(q=%v, n=%d) = %v, want %v (rank %d)", c.q, c.n, got, want, c.want)
+		}
+	}
+}
+
+// TestRunAccountingProperty checks the accounting invariants across seeds
+// and mixed success/failure workloads: every offered arrival is either
+// started or shed, and every started request completes or errors — nothing
+// is double-counted or lost, at any interleaving.
+func TestRunAccountingProperty(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		var n atomic.Int64
+		res, err := Run(Config{
+			Rate:           1500,
+			Duration:       60 * time.Millisecond,
+			Workers:        3,
+			MaxOutstanding: 4,
+			Seed:           seed,
+		}, func() error {
+			if n.Add(1)%3 == 0 {
+				return errors.New("synthetic failure")
+			}
+			time.Sleep(500 * time.Microsecond)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Offered != res.Started+res.Shed {
+			t.Fatalf("seed %d: Offered %d != Started %d + Shed %d", seed, res.Offered, res.Started, res.Shed)
+		}
+		if res.Started != res.Completed+res.Errors {
+			t.Fatalf("seed %d: Started %d != Completed %d + Errors %d", seed, res.Started, res.Completed, res.Errors)
+		}
+		if int(n.Load()) != res.Started {
+			t.Fatalf("seed %d: workload ran %d times, Started %d", seed, n.Load(), res.Started)
+		}
+		if res.Started > 0 && (res.P50 > res.P95 || res.P95 > res.P99 || res.P99 > res.Max) {
+			t.Fatalf("seed %d: quantiles out of order: %+v", seed, res)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package replica
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latBuckets is the latency histogram resolution: bucket i covers latencies
+// up to 1µs·2^i, mirroring the metrics registry's exponential layout.
+const latBuckets = 32
+
+func latBound(i int) time.Duration { return time.Microsecond << uint(i) }
+
+// Latency is a lock-free exponential latency histogram. The corpus feeds it
+// every successful shard execution and reads a percentile back as the
+// hedged-read delay, so the hedge fires only for requests already slower
+// than the chosen quantile of their recent peers.
+type Latency struct {
+	buckets [latBuckets]atomic.Uint64
+}
+
+// Observe folds one latency into the histogram.
+func (l *Latency) Observe(d time.Duration) {
+	i := 0
+	for i < latBuckets-1 && d > latBound(i) {
+		i++
+	}
+	l.buckets[i].Add(1)
+}
+
+// Quantile returns the upper bound of the bucket holding the q-th
+// observation (an upper estimate within 2×), or 0 when nothing has been
+// observed yet.
+func (l *Latency) Quantile(q float64) time.Duration {
+	var counts [latBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = l.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum > rank {
+			return latBound(i)
+		}
+	}
+	return latBound(latBuckets - 1)
+}

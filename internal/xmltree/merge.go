@@ -2,9 +2,25 @@ package xmltree
 
 import (
 	"fmt"
+	"math"
 
 	"sjos/internal/intern"
 )
+
+// DepthOverflowError reports a MergeDocuments member that cannot be placed
+// below a synthetic root: one of its nodes already sits at the uint16 level
+// ceiling, so shifting every level by one would silently wrap to 0 and
+// corrupt level-sensitive execution (child-axis joins, level predicates).
+type DepthOverflowError struct {
+	// Member is the index of the offending document in the merge input.
+	Member int
+	// Depth is the offending node's level in the member's own numbering.
+	Depth int
+}
+
+func (e *DepthOverflowError) Error() string {
+	return fmt.Sprintf("xmltree: MergeDocuments: member %d has a node at depth %d; merging below a synthetic root would overflow the uint16 level", e.Member, e.Depth)
+}
 
 // MergedRootTag is the reserved tag of the synthetic root a MergeDocuments
 // call places above the member documents. The NUL byte cannot appear in an
@@ -51,6 +67,11 @@ func MergeDocuments(docs []*Document) (*Document, []DocSpan, error) {
 		}
 		if _, collides := d.LookupTag(MergedRootTag); collides {
 			return nil, nil, fmt.Errorf("xmltree: MergeDocuments: member %d uses the reserved root tag", i)
+		}
+		for _, lv := range d.level {
+			if lv == math.MaxUint16 {
+				return nil, nil, &DepthOverflowError{Member: i, Depth: int(lv)}
+			}
 		}
 		total += d.NumNodes()
 	}

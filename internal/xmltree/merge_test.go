@@ -1,6 +1,8 @@
 package xmltree
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -103,5 +105,38 @@ func TestMergeSingleDocument(t *testing.T) {
 	}
 	if spans[0].First != 1 || spans[0].Nodes != 25 {
 		t.Fatalf("span = %+v, want {1 25}", spans[0])
+	}
+}
+
+// TestMergeDocumentsDepthOverflow: a member with a node already at the
+// uint16 level ceiling cannot be pushed one level deeper; the old code
+// silently wrapped the level to 0 and corrupted level-sensitive execution.
+func TestMergeDocumentsDepthOverflow(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i <= math.MaxUint16; i++ { // levels 0 .. 65535
+		b.Open("n", "")
+	}
+	for i := 0; i <= math.MaxUint16; i++ {
+		b.Close()
+	}
+	deep := b.MustFinish()
+	if got := deep.Level(NodeID(deep.NumNodes() - 1)); got != math.MaxUint16 {
+		t.Fatalf("deepest node level = %d, want %d", got, math.MaxUint16)
+	}
+
+	shallow := RandomDocument(rand.New(rand.NewSource(1)), 10, []string{"a"})
+	_, _, err := MergeDocuments([]*Document{shallow, deep})
+	var de *DepthOverflowError
+	if !errors.As(err, &de) {
+		t.Fatalf("MergeDocuments err = %v, want *DepthOverflowError", err)
+	}
+	if de.Member != 1 || de.Depth != math.MaxUint16 {
+		t.Fatalf("error detail = %+v, want member 1 at depth %d", de, math.MaxUint16)
+	}
+
+	// A member at one short of the ceiling still merges: the shifted level
+	// lands exactly on MaxUint16 without wrapping.
+	if m, _, err := MergeDocuments([]*Document{shallow}); err != nil || m == nil {
+		t.Fatalf("shallow-only merge failed: %v", err)
 	}
 }
