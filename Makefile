@@ -10,7 +10,10 @@
 # `make loadbench` runs the open-loop corpus serving benchmark (Poisson
 # arrivals, p50/p95/p99 under load) into BENCH_corpus.json; `make loadquick`
 # is its short CI variant (run on the replicated, hedged path so routing
-# stays covered). `make replicabench` compares hedged vs unhedged tail
+# stays covered). `make plannerbench` runs the planning-cost lane — optimize
+# time vs resulting execution time for every method, including the
+# statistics-free Greedy orderer — into BENCH_planner.json; `make
+# plannerquick` is its CI smoke variant. `make replicabench` compares hedged vs unhedged tail
 # latency with one slow replica per shard into BENCH_replica.json;
 # `make replicachaos` is the replica fault-injection suite under the race
 # detector (a dead replica per shard must never change query results).
@@ -21,7 +24,7 @@
 GO    ?= go
 BENCH ?= Parallel
 
-.PHONY: all build test test-race vet check chaos replicachaos bench benchquick loadbench loadquick replicabench replicaquick clean
+.PHONY: all build test test-race vet check chaos replicachaos bench benchquick loadbench loadquick replicabench replicaquick plannerbench plannerquick clean
 
 all: build test
 
@@ -59,6 +62,17 @@ bench: test-race
 	$(GO) test -run '^$$' -bench 'PlanCache' -benchmem -json . | tee BENCH_plancache.json
 	$(GO) test -run '^$$' -bench 'BatchExecute$$' -benchmem -json . | tee BENCH_batch.json
 	$(GO) test -run '^$$' -bench 'ContentIndex' -benchmem -json . | tee BENCH_content.json
+	$(GO) run ./cmd/xqbench -plannerbench
+
+# Planning-cost lane: optimize time and resulting execution time for every
+# optimizer method (DP, DPP, DPAP-EB, DPAP-LD, FP, Greedy) on the Table-3
+# workloads plus deep-chain/wide-fanout stress shapes, into
+# BENCH_planner.json. plannerquick is the CI smoke variant.
+plannerbench:
+	$(GO) run ./cmd/xqbench -plannerbench
+
+plannerquick:
+	$(GO) run ./cmd/xqbench -plannerquick -plannerout ""
 
 benchquick:
 	$(GO) test -run '^$$' -bench 'ParallelExecute|PlanCache|BatchExecute$$|ContentIndex|ObservabilityOverhead' -benchtime=1x .
@@ -84,4 +98,4 @@ replicaquick:
 	$(GO) run ./cmd/xqbench -replicabench -loaddocs 2 -loadshards 1 -loadrate 100 -loadduration 500ms -loadclients 4 -replicaslow 200us -replicahedge 1ms
 
 clean:
-	rm -f BENCH_parallel.json BENCH_plancache.json BENCH_batch.json BENCH_content.json BENCH_corpus.json BENCH_replica.json
+	rm -f BENCH_parallel.json BENCH_plancache.json BENCH_batch.json BENCH_content.json BENCH_corpus.json BENCH_replica.json BENCH_planner.json

@@ -13,7 +13,7 @@ import (
 func TestBatchedTupleDifferential(t *testing.T) {
 	rng := rand.New(rand.NewSource(2024))
 	tags := []string{"a", "b", "c", "d"}
-	methods := []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP}
+	methods := []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP, MethodGreedy}
 	lanes := []struct {
 		name string
 		opts RunOptions

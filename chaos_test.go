@@ -68,7 +68,7 @@ func faultPoints(reads int) []int {
 func TestChaosDifferential(t *testing.T) {
 	db, ff := chaosDB(t, 42, 5000)
 	pat := MustParsePattern("//a//b//c")
-	methods := []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP}
+	methods := []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP, MethodGreedy}
 	modes := []struct {
 		name string
 		opts RunOptions
@@ -176,7 +176,7 @@ func TestChaosProbabilistic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, m := range []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP} {
+	for _, m := range []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP, MethodGreedy} {
 		p := mustPlan(t, db, pat, m)
 		ff.SetPolicy(faultfs.Policy{FailProb: 0.05, Seed: int64(m) + 1, Transient: true})
 		res, err := runChaos(t, db, pat, p, RunOptions{Workers: 2})

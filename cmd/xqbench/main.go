@@ -15,6 +15,8 @@
 //	xqbench -chaos              # fault-injected runs: every result correct or typed error
 //	xqbench -loadbench          # open-loop corpus serving: p50/p95/p99 under Poisson load
 //	xqbench -replicabench       # hedged vs unhedged tails with a slow replica per shard
+//	xqbench -plannerbench       # plan-search vs execution time, all methods, stress shapes
+//	xqbench -plannerquick       # the planner lane as a fast CI smoke test
 //	xqbench -all                # everything (without -full folds)
 package main
 
@@ -57,6 +59,9 @@ func main() {
 	replicaslow := flag.Duration("replicaslow", 0, "per-read latency of each shard's slow replica for -replicabench (0 = default)")
 	replicahedge := flag.Duration("replicahedge", 0, "fixed hedge delay for -replicabench and -loadbench (0 = adaptive p95)")
 	replicaout := flag.String("replicaout", "BENCH_replica.json", "JSON result file for -replicabench (empty = stdout only)")
+	plannerbench := flag.Bool("plannerbench", false, "measure plan-search vs execution time for every method across Table-3 and stress workloads")
+	plannerquick := flag.Bool("plannerquick", false, "the planner lane at fold x1 with small timing budgets (CI smoke test)")
+	plannerout := flag.String("plannerout", "BENCH_planner.json", "JSON result file for -plannerbench (empty = stdout only)")
 	flag.Parse()
 
 	if *census {
@@ -68,7 +73,7 @@ func main() {
 			return
 		}
 	}
-	if !*all && !*census && !*cachebench && !*batchbench && !*contentbench && !*chaos && !*loadbench && !*replicabench && *table == 0 && *figure == 0 {
+	if !*all && !*census && !*cachebench && !*batchbench && !*contentbench && !*chaos && !*loadbench && !*replicabench && !*plannerbench && !*plannerquick && *table == 0 && *figure == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -76,6 +81,29 @@ func main() {
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "xqbench: %s: %v\n", name, err)
 			os.Exit(1)
+		}
+	}
+	if *plannerbench || *plannerquick {
+		run("plannerbench", func() error {
+			res, err := experiments.PlannerBench(experiments.PlannerConfig{Quick: *plannerquick})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderPlannerBench(res))
+			if *plannerout != "" {
+				blob, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*plannerout, append(blob, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *plannerout)
+			}
+			return nil
+		})
+		if !*all && !*loadbench && !*replicabench && !*chaos && !*cachebench && !*batchbench && !*contentbench && *table == 0 && *figure == 0 {
+			return
 		}
 	}
 	if *loadbench {

@@ -12,7 +12,7 @@
 //	.explain <pattern>                compare all five optimizers
 //	.analyze <pattern>                EXPLAIN ANALYZE (est vs actual)
 //	.trace <pattern>                  DPP search trace
-//	.method DPP|FP|...                switch optimizer
+//	.method DPP|FP|Greedy|...         switch optimizer (bare .method lists valid names)
 //	.limit N                          rows to print (default 10)
 //	.batch on|off                     toggle batched (vectorized) execution
 //	.vidx on|off                      toggle value-index probes (predicate pushdown)
@@ -107,6 +107,11 @@ func (sh *shell) processLine(line string) bool {
 		return false
 	case strings.HasPrefix(line, ".method"):
 		arg := strings.TrimSpace(strings.TrimPrefix(line, ".method"))
+		if arg == "" {
+			fmt.Fprintln(sh.out, "optimizer:", sh.method)
+			fmt.Fprintln(sh.out, "valid:", strings.Join(sjos.MethodNames(), ", "))
+			return true
+		}
 		m, err := sjos.ParseMethod(arg)
 		if err != nil {
 			fmt.Fprintln(sh.out, "error:", err)

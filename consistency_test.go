@@ -10,14 +10,14 @@ import (
 
 // TestGrandConsistency is the repository's widest property test: on random
 // documents and random patterns, every execution engine must agree —
-// the five optimizers' plans, the DPP′ ablation, the holistic TwigStack
-// join, and (indirectly, through the per-package suites) the brute-force
-// reference. Counts, multisets of matches and the ordered-output contract
-// are all checked through the public facade.
+// the optimizers' plans (cost-based and greedy), the DPP′ ablation, the
+// holistic TwigStack join, and (indirectly, through the per-package suites)
+// the brute-force reference. Counts, multisets of matches and the
+// ordered-output contract are all checked through the public facade.
 func TestGrandConsistency(t *testing.T) {
 	rng := rand.New(rand.NewSource(987))
 	tags := []string{"a", "b", "c", "d"}
-	methods := []Method{MethodDP, MethodDPP, MethodDPPNoLookahead, MethodDPAPEB, MethodDPAPLD, MethodFP}
+	methods := []Method{MethodDP, MethodDPP, MethodDPPNoLookahead, MethodDPAPEB, MethodDPAPLD, MethodFP, MethodGreedy}
 	for trial := 0; trial < 12; trial++ {
 		doc := randomXML(rng, 30+rng.Intn(250), tags)
 		db, err := LoadXMLString(doc, nil)

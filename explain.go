@@ -15,7 +15,7 @@ import (
 func (db *Database) Explain(pat *Pattern) (string, error) {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "pattern: %s\n", pat.String())
-	for _, m := range []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP} {
+	for _, m := range []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP, MethodGreedy} {
 		res, err := db.Optimize(pat, m, 0)
 		if err != nil {
 			return "", fmt.Errorf("sjos: explain %v: %w", m, err)
@@ -66,7 +66,14 @@ func (db *Database) ExplainAnalyze(pat *Pattern, m Method) (string, error) {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "pattern: %s\n%s plan, estimated cost %.0f, %d matches\n",
 		pat.String(), m, res.Cost, n)
-	sb.WriteString(tb.Trace().Format())
+	trace := tb.Trace()
+	sb.WriteString(trace.Format())
+	// The drift summary makes adaptive evictions explainable from the CLI:
+	// the worst est-vs-actual ratio is exactly what noteDrift compares
+	// against the AdaptiveDrift threshold.
+	worst, at := trace.MaxDrift()
+	fmt.Fprintf(&sb, "max drift: %.2fx at %s %s (adaptive eviction threshold %.0fx)\n",
+		worst, at.Op, at.Detail, DefaultAdaptiveDrift)
 	hits, misses := after.Hits-before.Hits, after.Misses-before.Misses
 	rate := 0.0
 	if hits+misses > 0 {

@@ -13,7 +13,7 @@ func TestOptimizeCancelled(t *testing.T) {
 	est := skewedEstimator(t, pat, 1)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	for _, m := range []Method{MethodDP, MethodDPP, MethodDPPNoLookahead, MethodDPAPEB, MethodDPAPLD, MethodFP} {
+	for _, m := range []Method{MethodDP, MethodDPP, MethodDPPNoLookahead, MethodDPAPEB, MethodDPAPLD, MethodFP, MethodGreedy} {
 		if _, err := Optimize(ctx, pat, est, testModel(), m, nil); !errors.Is(err, context.Canceled) {
 			t.Errorf("%v: err = %v, want context.Canceled", m, err)
 		}

@@ -83,7 +83,7 @@ func recost(est *Estimator, m cost.Model, n *plan.Node) float64 {
 }
 
 func allMethods() []Method {
-	return []Method{MethodDP, MethodDPP, MethodDPPNoLookahead, MethodDPAPEB, MethodDPAPLD, MethodFP}
+	return []Method{MethodDP, MethodDPP, MethodDPPNoLookahead, MethodDPAPEB, MethodDPAPLD, MethodFP, MethodGreedy}
 }
 
 func TestAllMethodsReturnValidPlans(t *testing.T) {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"sjos/internal/cost"
 	"sjos/internal/pattern"
@@ -11,7 +12,8 @@ import (
 // Method selects an optimization algorithm.
 type Method int
 
-// The optimization algorithms of the paper (§3), plus the DPP′ ablation.
+// The optimization algorithms of the paper (§3), plus the DPP′ ablation and
+// the statistics-free Greedy orderer (see greedy.go).
 const (
 	MethodDP Method = iota
 	MethodDPP
@@ -19,6 +21,7 @@ const (
 	MethodDPAPEB
 	MethodDPAPLD
 	MethodFP
+	MethodGreedy
 )
 
 // String names the method as in the paper.
@@ -36,23 +39,48 @@ func (m Method) String() string {
 		return "DPAP-LD"
 	case MethodFP:
 		return "FP"
+	case MethodGreedy:
+		return "Greedy"
 	}
 	return fmt.Sprintf("Method(%d)", int(m))
 }
 
-// Methods lists all methods in the paper's presentation order.
+// Methods lists all methods in the paper's presentation order, with the
+// statistics-free Greedy orderer appended as the sixth.
 func Methods() []Method {
-	return []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP}
+	return []Method{MethodDP, MethodDPP, MethodDPAPEB, MethodDPAPLD, MethodFP, MethodGreedy}
 }
 
-// ParseMethod resolves a method name (as printed by String, case-exact).
+// parseableMethods lists every method ParseMethod accepts, in the order the
+// error message presents them.
+var parseableMethods = []Method{
+	MethodDP, MethodDPP, MethodDPPNoLookahead, MethodDPAPEB, MethodDPAPLD, MethodFP, MethodGreedy,
+}
+
+// MethodNames returns the canonical spelling of every parseable method, in
+// presentation order — the list ParseMethod's error enumerates.
+func MethodNames() []string {
+	names := make([]string, len(parseableMethods))
+	for i, m := range parseableMethods {
+		names[i] = m.String()
+	}
+	return names
+}
+
+// ParseMethod resolves a method name (as printed by String). Matching is
+// case-insensitive, and Greedy also accepts the shorthands "g" and
+// "greedy". An unknown name's error enumerates the valid spellings.
 func ParseMethod(s string) (Method, error) {
-	for _, m := range []Method{MethodDP, MethodDPP, MethodDPPNoLookahead, MethodDPAPEB, MethodDPAPLD, MethodFP} {
-		if m.String() == s {
+	for _, m := range parseableMethods {
+		if strings.EqualFold(m.String(), s) {
 			return m, nil
 		}
 	}
-	return 0, fmt.Errorf("core: unknown method %q", s)
+	switch strings.ToLower(s) {
+	case "g":
+		return MethodGreedy, nil
+	}
+	return 0, fmt.Errorf("core: unknown method %q (valid: %s)", s, strings.Join(MethodNames(), ", "))
 }
 
 // Options tunes method-specific behaviour.
@@ -101,6 +129,8 @@ func Optimize(ctx context.Context, pat *pattern.Pattern, est *Estimator, model c
 		return dppSearch(ctx, pat, est, model, dppConfig{name: "DPAP-LD", lookahead: true, leftDeep: true})
 	case MethodFP:
 		return fp(ctx, pat, est, model)
+	case MethodGreedy:
+		return greedy(ctx, pat, est, model)
 	default:
 		return nil, fmt.Errorf("core: unknown method %d", int(m))
 	}

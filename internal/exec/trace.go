@@ -103,6 +103,39 @@ func (t *OpTrace) Merge(o *OpTrace) {
 	}
 }
 
+// MaxDrift returns the worst per-operator estimation drift in the trace
+// tree and the operator it occurred at. Drift is symmetric — max(est/actual,
+// actual/est), with both sides floored at one row so empty operators
+// compare cleanly — making 1.0 a perfect estimate and either direction of
+// mis-estimation (over or under) count equally. It is the adaptive
+// feedback signal: a cached plan whose worst operator drifts past the
+// configured threshold is evicted and re-planned.
+func (t *OpTrace) MaxDrift() (float64, *OpTrace) {
+	worst, at := 1.0, t
+	var walk func(n *OpTrace)
+	walk = func(n *OpTrace) {
+		e, a := n.EstRows, float64(n.Rows)
+		if e < 1 {
+			e = 1
+		}
+		if a < 1 {
+			a = 1
+		}
+		d := e / a
+		if d < 1 {
+			d = 1 / d
+		}
+		if d > worst {
+			worst, at = d, n
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t)
+	return worst, at
+}
+
 // driftRatio renders est/actual ("-" when either side is zero).
 func driftRatio(est float64, actual int64) string {
 	if actual <= 0 || est <= 0 {

@@ -53,7 +53,7 @@ func Chaos(cfg ChaosConfig) ([]ChaosRow, error) {
 	if prob <= 0 {
 		prob = 0.02
 	}
-	methods := []sjos.Method{sjos.MethodDP, sjos.MethodDPP, sjos.MethodDPAPEB, sjos.MethodDPAPLD, sjos.MethodFP}
+	methods := Methods()
 	dbs := map[string]*sjos.Database{}
 	files := map[string]*faultfs.File{}
 	var rows []ChaosRow

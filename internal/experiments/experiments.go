@@ -63,9 +63,15 @@ func QueryByID(id string) (Query, error) {
 // 7-8.
 const PersQuery3 = "Q.Pers.3.d"
 
-// Methods returns the algorithms in the paper's column order for Table 1.
+// Methods returns the algorithms in the paper's column order for Table 1,
+// extended with the repo's statistics-free Greedy orderer as a sixth
+// column — every table and differential suite that iterates Methods()
+// covers it automatically.
 func Methods() []sjos.Method {
-	return []sjos.Method{sjos.MethodDP, sjos.MethodDPP, sjos.MethodDPAPEB, sjos.MethodDPAPLD, sjos.MethodFP}
+	return []sjos.Method{
+		sjos.MethodDP, sjos.MethodDPP, sjos.MethodDPAPEB, sjos.MethodDPAPLD,
+		sjos.MethodFP, sjos.MethodGreedy,
+	}
 }
 
 // MethodsTable2 returns the algorithms in Table 2's column order

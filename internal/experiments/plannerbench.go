@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"sjos"
+)
+
+// PlannerConfig tunes the planning-cost benchmark (xqbench -plannerbench).
+type PlannerConfig struct {
+	// Folds are the folding factors for the Table-3 workload (0 = the
+	// paper's ×1, ×10, ×100).
+	Folds []int
+	// OptBudget and EvalBudget bound the wall-clock each cell spends
+	// timing optimization resp. execution (0 = 250ms / 1s). Best-of
+	// repetition stops once the budget is spent, so the microsecond-scale
+	// optimizers get thousands of reps while DP on the stress shapes gets
+	// only a few — without fixed rep counts making either end degenerate.
+	OptBudget  time.Duration
+	EvalBudget time.Duration
+	// Quick shrinks the lane to a CI smoke test: fold ×1 only and small
+	// timing budgets.
+	Quick bool
+}
+
+// PlannerWorkload is one query shape the planner lane measures.
+type PlannerWorkload struct {
+	ID      string
+	Dataset string
+	Source  string
+	Fold    int
+	// Table3 marks the workloads drawn from the paper's Table 3; the
+	// headline optimize-time speedup is taken over these.
+	Table3 bool
+}
+
+// plannerWorkloads returns the lane's workload list: Q.Pers.3.d at each
+// fold (the Table-3 configuration), plus a deep-chain and a wide-fanout
+// stress shape on the same vocabulary at fold ×1. The stress shapes stay at
+// 7 nodes so exhaustive DP remains tractable enough to time.
+func plannerWorkloads(folds []int) ([]PlannerWorkload, error) {
+	q, err := QueryByID(PersQuery3)
+	if err != nil {
+		return nil, err
+	}
+	var ws []PlannerWorkload
+	for _, f := range folds {
+		ws = append(ws, PlannerWorkload{
+			ID:      fmt.Sprintf("%s@x%d", q.ID, f),
+			Dataset: q.Dataset,
+			Source:  q.Source,
+			Fold:    f,
+			Table3:  true,
+		})
+	}
+	ws = append(ws,
+		PlannerWorkload{
+			ID:      "deep-chain@x1",
+			Dataset: "pers",
+			Source:  "//manager//manager//manager//manager//manager/department/name",
+			Fold:    1,
+		},
+		PlannerWorkload{
+			ID:      "wide-fanout@x1",
+			Dataset: "pers",
+			Source:  "//manager[.//employee/name][department/name]//manager/name",
+			Fold:    1,
+		},
+	)
+	return ws, nil
+}
+
+// PlannerCell is one workload × method measurement.
+type PlannerCell struct {
+	// Opt and Eval are best-of-N timings of plan search resp. plan
+	// execution; Total is their sum — the latency a cold (uncached) query
+	// would pay end to end.
+	Opt   time.Duration
+	Eval  time.Duration
+	Total time.Duration
+	// EstCost and PlansConsidered describe the search: its cost estimate
+	// for the chosen plan and its effort.
+	EstCost         float64
+	PlansConsidered int
+	// Matches is the plan's result count; all methods must agree.
+	Matches int
+}
+
+// PlannerRow holds one workload's cells plus the two derived ratios the
+// lane exists to report.
+type PlannerRow struct {
+	Workload PlannerWorkload
+	Cells    map[string]PlannerCell // keyed by method name
+	// OptSpeedupVsDP is DP's optimize time over Greedy's: how much plan
+	// search the statistics-free orderer avoids.
+	OptSpeedupVsDP float64
+	// GreedyTotalOverBest is Greedy's opt+eval total over the best
+	// cost-based method's total: what the avoided search costs in plan
+	// quality. 1.0 means Greedy's end-to-end latency matches the best
+	// cost-based plan; values above 1 are the slowdown factor.
+	GreedyTotalOverBest float64
+}
+
+// PlannerResult is the planner lane's full output (BENCH_planner.json).
+type PlannerResult struct {
+	Config PlannerConfig
+	Rows   []PlannerRow
+	// MinOptSpeedupVsDP is the smallest DP/Greedy optimize-time ratio over
+	// the Table-3 workloads; MaxGreedyTotalOverBest the largest
+	// Greedy-total over best-cost-based-total ratio over all workloads.
+	// Together they are the lane's acceptance headline: search is cheaper
+	// by at least the former, end-to-end latency worse by at most the
+	// latter.
+	MinOptSpeedupVsDP      float64
+	MaxGreedyTotalOverBest float64
+}
+
+// timeItBudget is timeIt with a wall-clock budget instead of a fixed count:
+// it runs f up to maxN times, stops early once the cumulative time spent
+// exceeds budget (always completing at least one run), and returns the best
+// duration.
+func timeItBudget(budget time.Duration, maxN int, f func() error) (time.Duration, error) {
+	var best, spent time.Duration
+	for i := 0; i < maxN; i++ {
+		t0 := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		d := time.Since(t0)
+		spent += d
+		if i == 0 || d < best {
+			best = d
+		}
+		if spent >= budget {
+			break
+		}
+	}
+	return best, nil
+}
+
+// Per-cell repetition caps for the budgeted timers: optimization cells are
+// microseconds (allow many reps inside the budget), execution cells are
+// milliseconds and up.
+const (
+	plannerOptMaxN  = 2000
+	plannerEvalMaxN = 25
+)
+
+// PlannerBench measures plan-search time and resulting plan-execution time
+// for every optimizer method across the Table-3 workloads plus deep-chain
+// and wide-fanout stress shapes. Every method must produce the same match
+// count on each workload; a mismatch aborts the lane.
+func PlannerBench(cfg PlannerConfig) (*PlannerResult, error) {
+	folds := cfg.Folds
+	if len(folds) == 0 {
+		folds = []int{1, 10, 100}
+	}
+	optBudget, evalBudget := cfg.OptBudget, cfg.EvalBudget
+	if cfg.Quick {
+		folds = []int{1}
+		if optBudget <= 0 {
+			optBudget = 20 * time.Millisecond
+		}
+		if evalBudget <= 0 {
+			evalBudget = 100 * time.Millisecond
+		}
+	}
+	if optBudget <= 0 {
+		optBudget = 250 * time.Millisecond
+	}
+	if evalBudget <= 0 {
+		evalBudget = time.Second
+	}
+	cfg.Folds, cfg.OptBudget, cfg.EvalBudget = folds, optBudget, evalBudget
+
+	workloads, err := plannerWorkloads(folds)
+	if err != nil {
+		return nil, err
+	}
+	res := &PlannerResult{Config: cfg}
+	for _, w := range workloads {
+		db, err := Dataset(w.Dataset, w.Fold)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := sjos.ParsePattern(w.Source)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.ID, err)
+		}
+		row := PlannerRow{Workload: w, Cells: map[string]PlannerCell{}}
+		matches := -1
+		for _, m := range Methods() {
+			var opt *sjos.OptimizeResult
+			optT, err := timeItBudget(optBudget, plannerOptMaxN, func() error {
+				var e error
+				opt, e = db.Optimize(pat, m, 0)
+				return e
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s %v: optimize: %w", w.ID, m, err)
+			}
+			var n int
+			evalT, err := timeItBudget(evalBudget, plannerEvalMaxN, func() error {
+				r, e := db.Run(context.Background(), pat, opt.Plan, sjos.RunOptions{CountOnly: true})
+				if e == nil {
+					n = r.Count
+				}
+				return e
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s %v: execute: %w", w.ID, m, err)
+			}
+			if matches == -1 {
+				matches = n
+			} else if n != matches {
+				return nil, fmt.Errorf("%s: %v found %d matches, others %d", w.ID, m, n, matches)
+			}
+			row.Cells[m.String()] = PlannerCell{
+				Opt:             optT,
+				Eval:            evalT,
+				Total:           optT + evalT,
+				EstCost:         opt.Cost,
+				PlansConsidered: opt.Counters.PlansConsidered,
+				Matches:         n,
+			}
+		}
+		greedy := row.Cells[sjos.MethodGreedy.String()]
+		dp := row.Cells[sjos.MethodDP.String()]
+		if greedy.Opt > 0 {
+			row.OptSpeedupVsDP = float64(dp.Opt) / float64(greedy.Opt)
+		}
+		bestTotal := time.Duration(0)
+		for _, m := range Methods() {
+			if m == sjos.MethodGreedy {
+				continue
+			}
+			if t := row.Cells[m.String()].Total; bestTotal == 0 || t < bestTotal {
+				bestTotal = t
+			}
+		}
+		if bestTotal > 0 {
+			row.GreedyTotalOverBest = float64(greedy.Total) / float64(bestTotal)
+		}
+		res.Rows = append(res.Rows, row)
+
+		if w.Table3 && (res.MinOptSpeedupVsDP == 0 || row.OptSpeedupVsDP < res.MinOptSpeedupVsDP) {
+			res.MinOptSpeedupVsDP = row.OptSpeedupVsDP
+		}
+		if row.GreedyTotalOverBest > res.MaxGreedyTotalOverBest {
+			res.MaxGreedyTotalOverBest = row.GreedyTotalOverBest
+		}
+	}
+	return res, nil
+}
+
+// RenderPlannerBench formats the planner lane as an aligned text table with
+// the two headline ratios underneath.
+func RenderPlannerBench(res *PlannerResult) string {
+	var sb strings.Builder
+	sb.WriteString("Planner bench: plan-search time vs resulting execution time\n")
+	fmt.Fprintf(&sb, "%-18s %-8s %10s %10s %10s %12s %8s\n",
+		"Workload", "Method", "opt", "eval", "total", "est cost", "plans")
+	for _, r := range res.Rows {
+		for _, name := range methodNamesInOrder() {
+			c := r.Cells[name]
+			fmt.Fprintf(&sb, "%-18s %-8s %10s %10s %10s %12.0f %8d\n",
+				r.Workload.ID, name, fmtDur(c.Opt), fmtDur(c.Eval), fmtDur(c.Total),
+				c.EstCost, c.PlansConsidered)
+		}
+		fmt.Fprintf(&sb, "%-18s ratios: Greedy optimizes %.0fx faster than DP; total %.2fx of best cost-based\n",
+			r.Workload.ID, r.OptSpeedupVsDP, r.GreedyTotalOverBest)
+	}
+	fmt.Fprintf(&sb, "headline: Greedy opt >= %.0fx faster than DP on Table-3 workloads; total <= %.2fx of best cost-based everywhere\n",
+		res.MinOptSpeedupVsDP, res.MaxGreedyTotalOverBest)
+	return sb.String()
+}
+
+// methodNamesInOrder returns Methods() as display names.
+func methodNamesInOrder() []string {
+	var names []string
+	for _, m := range Methods() {
+		names = append(names, m.String())
+	}
+	return names
+}

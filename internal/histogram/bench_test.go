@@ -37,7 +37,7 @@ func BenchmarkEstimateJoin(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Defeat the per-stats memo to measure the real work.
-		s.memo = map[joinKey]float64{}
+		s.memo.Store(nil)
 		s.EstimateJoin(ta, tb, pattern.Descendant)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sjos/internal/pattern"
 	"sjos/internal/xmltree"
@@ -56,13 +57,24 @@ type Stats struct {
 	byTag   []tagStats
 	tagByNm map[string]xmltree.TagID
 
+	// Join-estimate memo. Reads are lock-free (estimator construction sits
+	// on the per-query planning path and re-asks the same few tag pairs);
+	// misses copy-on-write under memoMu. The key set is bounded by the
+	// document's tag-pair combinations. Keys are the two tags and the axis
+	// packed into a uint64 so lookups take the runtime's fast integer-map
+	// path instead of hashing a struct.
 	memoMu sync.Mutex
-	memo   map[joinKey]float64
+	memo   atomic.Pointer[map[uint64]float64]
 }
 
-type joinKey struct {
-	a, b xmltree.TagID
-	ax   pattern.Axis
+// joinKey packs (ta, tb, ax) into one map key: tb sits in the low half, ta
+// above it, and the axis in the top bit.
+func joinKey(ta, tb xmltree.TagID, ax pattern.Axis) uint64 {
+	k := uint64(ta)<<32 | uint64(tb)
+	if ax == pattern.Child {
+		k |= 1 << 63
+	}
+	return k
 }
 
 // Build scans doc once and constructs its statistics with the given grid
@@ -86,7 +98,6 @@ func Build(doc *xmltree.Document, grid int) *Stats {
 		maxPos:  float64(doc.MaxPos()) + 1,
 		byTag:   make([]tagStats, doc.NumTags()),
 		tagByNm: make(map[string]xmltree.TagID, doc.NumTags()),
-		memo:    make(map[joinKey]float64),
 	}
 	for t := 0; t < doc.NumTags(); t++ {
 		s.tagByNm[doc.TagName(xmltree.TagID(t))] = xmltree.TagID(t)
@@ -191,20 +202,27 @@ func (s *Stats) EstimateJoin(ta, tb xmltree.TagID, ax pattern.Axis) float64 {
 	if int(ta) >= len(s.byTag) || int(tb) >= len(s.byTag) {
 		return 0
 	}
-	k := joinKey{a: ta, b: tb, ax: ax}
-	s.memoMu.Lock()
-	if v, ok := s.memo[k]; ok {
-		s.memoMu.Unlock()
-		return v
+	k := joinKey(ta, tb, ax)
+	if m := s.memo.Load(); m != nil {
+		if v, ok := (*m)[k]; ok {
+			return v
+		}
 	}
-	s.memoMu.Unlock()
 	desc := s.estimateDescendant(ta, tb)
 	v := desc
 	if ax == pattern.Child {
 		v = desc * s.parentChildRatio(ta, tb)
 	}
 	s.memoMu.Lock()
-	s.memo[k] = v
+	old := s.memo.Load()
+	next := make(map[uint64]float64, 8)
+	if old != nil {
+		for ok, ov := range *old {
+			next[ok] = ov
+		}
+	}
+	next[k] = v
+	s.memo.Store(&next)
 	s.memoMu.Unlock()
 	return v
 }

@@ -45,6 +45,7 @@ type Registry struct {
 	batches  atomic.Uint64
 	skipped  atomic.Uint64
 	panics   atomic.Uint64
+	driftEv  atomic.Uint64
 
 	latCount atomic.Uint64
 	latSum   atomic.Int64 // nanoseconds
@@ -75,6 +76,10 @@ func (r *Registry) SlowQuery() { r.slow.Add(1) }
 // converted into a typed error.
 func (r *Registry) RecoveredPanic() { r.panics.Add(1) }
 
+// DriftEviction counts one cached plan evicted by the adaptive feedback
+// loop because its executed est-vs-actual drift crossed the threshold.
+func (r *Registry) DriftEviction() { r.driftEv.Add(1) }
+
 // ExecBatched folds one execution's batched-path counters into the
 // registry: batches driven through the plan root and index postings
 // bypassed by skip-ahead seeks.
@@ -104,6 +109,9 @@ type Snapshot struct {
 	// RecoveredPanics counts panics recovered at query boundaries (each one
 	// is a bug that became a typed error instead of a crash).
 	RecoveredPanics uint64
+	// DriftEvictions counts cached plans evicted by the adaptive feedback
+	// loop (executed est-vs-actual drift crossed the threshold).
+	DriftEvictions uint64
 	// TotalTime is the summed latency of all completed executions.
 	TotalTime time.Duration
 	// P50, P95 and P99 are latency quantiles (bucket upper bounds of the
@@ -123,6 +131,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Batches:         r.batches.Load(),
 		Skipped:         r.skipped.Load(),
 		RecoveredPanics: r.panics.Load(),
+		DriftEvictions:  r.driftEv.Load(),
 		TotalTime:       time.Duration(r.latSum.Load()),
 	}
 	for i := range s.buckets {

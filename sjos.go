@@ -81,6 +81,7 @@ const (
 	MethodDPAPEB         = core.MethodDPAPEB
 	MethodDPAPLD         = core.MethodDPAPLD
 	MethodFP             = core.MethodFP
+	MethodGreedy         = core.MethodGreedy
 )
 
 // ParsePattern parses the XPath-like twig syntax (see the package docs).
@@ -99,8 +100,14 @@ func MinimizePattern(p *Pattern) (*Pattern, []int) { return pattern.Minimize(p) 
 func MustParsePattern(src string) *Pattern { return pattern.MustParse(src) }
 
 // ParseMethod resolves an algorithm name ("DP", "DPP", "DPP'", "DPAP-EB",
-// "DPAP-LD", "FP").
+// "DPAP-LD", "FP", "Greedy"). Matching is case-insensitive and "G" is
+// accepted as a Greedy shorthand; unknown names get an error that lists
+// every valid name.
 func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
+
+// MethodNames lists every optimizer name ParseMethod accepts, in the
+// conventional order (the cost-based family first, then Greedy).
+func MethodNames() []string { return core.MethodNames() }
 
 // Options configures database construction.
 type Options struct {
