@@ -17,6 +17,11 @@
 # latency with one slow replica per shard into BENCH_replica.json;
 # `make replicachaos` is the replica fault-injection suite under the race
 # detector (a dead replica per shard must never change query results).
+# `make walchaos` is the write-path crash suite: the kill-point matrix over
+# every WAL write ordinal, torn-tail recovery, and the corpus ingestion
+# suite, all under the race detector. `make churnbench` measures query
+# latency under concurrent WAL-committed document churn into
+# BENCH_churn.json; `make churnquick` is its CI smoke variant.
 #
 # BENCH selects the benchmark regexp (default: the partition-parallel
 # executor benches; use BENCH=. for the full table/figure suite — slow).
@@ -24,7 +29,7 @@
 GO    ?= go
 BENCH ?= Parallel
 
-.PHONY: all build test test-race vet check chaos replicachaos bench benchquick loadbench loadquick replicabench replicaquick plannerbench plannerquick clean
+.PHONY: all build test test-race vet check chaos replicachaos walchaos bench benchquick loadbench loadquick replicabench replicaquick plannerbench plannerquick churnbench churnquick clean
 
 all: build test
 
@@ -57,12 +62,22 @@ replicachaos:
 	$(GO) test -race -count=1 -run 'TestCorpusReplica|TestCorpusLimitErrorRace|TestAsCorpusRebuildStats' .
 	$(GO) test -race -count=1 ./internal/replica/
 
+# Write-path crash suite under the race detector: crash the process at
+# every WAL write ordinal (and with a torn final write, and with a crashed
+# store file) across all five paper methods in batched and tuple-at-a-time
+# execution; recovery must land on a committed prefix every time.
+walchaos:
+	$(GO) test -race -count=1 -run 'TestWALChaos|TestWAL|TestIngest|TestOpenDatabase|TestCorpusIngest' .
+	$(GO) test -race -count=1 ./internal/storage/
+
 bench: test-race
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -json . | tee BENCH_parallel.json
 	$(GO) test -run '^$$' -bench 'PlanCache' -benchmem -json . | tee BENCH_plancache.json
 	$(GO) test -run '^$$' -bench 'BatchExecute$$' -benchmem -json . | tee BENCH_batch.json
 	$(GO) test -run '^$$' -bench 'ContentIndex' -benchmem -json . | tee BENCH_content.json
 	$(GO) run ./cmd/xqbench -plannerbench
+	$(GO) run ./cmd/xqbench -loadbench
+	$(GO) run ./cmd/xqbench -churnbench
 
 # Planning-cost lane: optimize time and resulting execution time for every
 # optimizer method (DP, DPP, DPAP-EB, DPAP-LD, FP, Greedy) on the Table-3
@@ -97,5 +112,16 @@ replicabench:
 replicaquick:
 	$(GO) run ./cmd/xqbench -replicabench -loaddocs 2 -loadshards 1 -loadrate 100 -loadduration 500ms -loadclients 4 -replicaslow 200us -replicahedge 1ms
 
+# Ingestion churn lane: an open-loop query stream and an open-loop mutation
+# stream (WAL-committed inserts/replaces/deletes of whole documents) against
+# one writable corpus, into BENCH_churn.json. The run fails on any query or
+# mutation error, on a ledger/corpus mismatch, or if incremental statistics
+# diverge from a full rebuild. churnquick is the CI smoke variant.
+churnbench:
+	$(GO) run ./cmd/xqbench -churnbench
+
+churnquick:
+	$(GO) run ./cmd/xqbench -churnquick -churnout ""
+
 clean:
-	rm -f BENCH_parallel.json BENCH_plancache.json BENCH_batch.json BENCH_content.json BENCH_corpus.json BENCH_replica.json BENCH_planner.json
+	rm -f BENCH_parallel.json BENCH_plancache.json BENCH_batch.json BENCH_content.json BENCH_corpus.json BENCH_replica.json BENCH_planner.json BENCH_churn.json

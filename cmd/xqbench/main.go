@@ -17,6 +17,8 @@
 //	xqbench -replicabench       # hedged vs unhedged tails with a slow replica per shard
 //	xqbench -plannerbench       # plan-search vs execution time, all methods, stress shapes
 //	xqbench -plannerquick       # the planner lane as a fast CI smoke test
+//	xqbench -churnbench         # queries under concurrent WAL-committed document churn
+//	xqbench -churnquick         # the churn lane as a fast CI smoke test
 //	xqbench -all                # everything (without -full folds)
 package main
 
@@ -62,6 +64,10 @@ func main() {
 	plannerbench := flag.Bool("plannerbench", false, "measure plan-search vs execution time for every method across Table-3 and stress workloads")
 	plannerquick := flag.Bool("plannerquick", false, "the planner lane at fold x1 with small timing budgets (CI smoke test)")
 	plannerout := flag.String("plannerout", "BENCH_planner.json", "JSON result file for -plannerbench (empty = stdout only)")
+	churnbench := flag.Bool("churnbench", false, "measure query latency under concurrent document churn (WAL-committed inserts/replaces/deletes)")
+	churnquick := flag.Bool("churnquick", false, "the churn lane shrunk to a CI smoke test")
+	churnrate := flag.Float64("churnrate", 0, "offered mutation rate per second for -churnbench (0 = default)")
+	churnout := flag.String("churnout", "BENCH_churn.json", "JSON result file for -churnbench (empty = stdout only)")
 	flag.Parse()
 
 	if *census {
@@ -73,7 +79,7 @@ func main() {
 			return
 		}
 	}
-	if !*all && !*census && !*cachebench && !*batchbench && !*contentbench && !*chaos && !*loadbench && !*replicabench && !*plannerbench && !*plannerquick && *table == 0 && *figure == 0 {
+	if !*all && !*census && !*cachebench && !*batchbench && !*contentbench && !*chaos && !*loadbench && !*replicabench && !*plannerbench && !*plannerquick && !*churnbench && !*churnquick && *table == 0 && *figure == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -81,6 +87,46 @@ func main() {
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "xqbench: %s: %v\n", name, err)
 			os.Exit(1)
+		}
+	}
+	if *churnbench || *churnquick {
+		run("churnbench", func() error {
+			m, err := sjos.ParseMethod(*method)
+			if err != nil {
+				return err
+			}
+			res, err := experiments.ChurnBench(experiments.ChurnBenchConfig{
+				Docs:       *loaddocs,
+				Shards:     *loadshards,
+				QueryRate:  *loadrate,
+				MutateRate: *churnrate,
+				Duration:   *loadduration,
+				Clients:    *loadclients,
+				Method:     m,
+				Seed:       1,
+				Quick:      *churnquick,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderChurnBench(res))
+			if err := res.Verify(); err != nil {
+				return err
+			}
+			if *churnout != "" {
+				blob, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*churnout, append(blob, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *churnout)
+			}
+			return nil
+		})
+		if !*all && !*plannerbench && !*plannerquick && !*loadbench && !*replicabench && !*chaos && !*cachebench && !*batchbench && !*contentbench && *table == 0 && *figure == 0 {
+			return
 		}
 	}
 	if *plannerbench || *plannerquick {

@@ -23,6 +23,18 @@
 //	               when -replicas > 1
 //	GET /slow      recent slow-query log entries (default collection)
 //
+// With -writable (in-memory WALs) or -waldir (durable on-disk WALs, with
+// crash recovery on restart) each collection also serves:
+//
+//	PUT    /docs/{id}    upsert the XML document in the request body
+//	DELETE /docs/{id}    remove the document
+//	GET    /ingest       write-path state (docs, WAL pages, compactions)
+//	PUT    /collections/{name}/docs/{id}, DELETE .../docs/{id},
+//	GET    /collections/{name}/ingest    the same for a named collection
+//
+// Mutations pass the same admission gate as queries: -maxinflight bounds
+// them and shutdown drains refuse them with 503.
+//
 // A -slowquery threshold logs offending queries (fingerprint, method,
 // duration, per-operator trace) to stderr and retains them for /slow.
 //
@@ -43,12 +55,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"sjos"
+	"sjos/internal/storage"
 )
 
 func main() {
@@ -67,6 +81,8 @@ func main() {
 	maxInFlight := flag.Int("maxinflight", 0, "max concurrently executing queries per collection (0 = unlimited)")
 	queueDepth := flag.Int("queuedepth", 0, "queries allowed to wait for an execution slot when -maxinflight is set")
 	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "how long shutdown waits for in-flight queries")
+	writable := flag.Bool("writable", false, "enable the write endpoints with in-memory per-shard WALs")
+	walDir := flag.String("waldir", "", "enable the write endpoints with durable per-shard WALs under this directory (recovers committed state on restart)")
 	flag.Parse()
 
 	rep, err := parseHedge(*replicas, *hedge)
@@ -74,7 +90,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xqserve: %v\n", err)
 		os.Exit(2)
 	}
-	cols, err := buildCollections(*collections, *xmlPath, *dataset, *docs, *shards, *fold, *maxInFlight, *queueDepth, rep)
+	wr := writeConfig{enabled: *writable || *walDir != "", dir: *walDir}
+	cols, err := buildCollections(*collections, *xmlPath, *dataset, *docs, *shards, *fold, *maxInFlight, *queueDepth, rep, wr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xqserve: %v\n", err)
 		os.Exit(2)
@@ -173,10 +190,49 @@ func parseHedge(replicas int, hedge string) (replication, error) {
 	return r, nil
 }
 
+// writeConfig carries the -writable / -waldir settings: whether collections
+// get a write path, and where its per-shard WALs live (empty = in memory).
+type writeConfig struct {
+	enabled bool
+	dir     string
+}
+
+// walFileFunc builds the per-shard WAL supplier for one collection, or nil
+// when the server is read-only. With a -waldir, shard s of collection name
+// logs to <dir>/<name>/shard-NNN.wal — opened if it exists (recovery),
+// created otherwise.
+func (wr writeConfig) walFileFunc(name string) (func(int) sjos.PageFile, error) {
+	if !wr.enabled {
+		return nil, nil
+	}
+	if wr.dir == "" {
+		return func(int) sjos.PageFile { return storage.NewMemFile() }, nil
+	}
+	dir := filepath.Join(wr.dir, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return func(shard int) sjos.PageFile {
+		path := filepath.Join(dir, fmt.Sprintf("shard-%03d.wal", shard))
+		if _, err := os.Stat(path); err == nil {
+			f, err := storage.OpenDiskFile(path)
+			if err != nil {
+				log.Fatalf("xqserve: opening WAL %s: %v", path, err)
+			}
+			return f
+		}
+		f, err := storage.CreateDiskFile(path)
+		if err != nil {
+			log.Fatalf("xqserve: creating WAL %s: %v", path, err)
+		}
+		return f
+	}, nil
+}
+
 // buildCollections assembles the serving set from the flag spec: either
 // explicit -collections entries, or the legacy single -xml / -dataset
 // source as the collection "default".
-func buildCollections(spec, xmlPath, dataset string, docs, shards, fold, maxInFlight, queueDepth int, rep replication) (*collections, error) {
+func buildCollections(spec, xmlPath, dataset string, docs, shards, fold, maxInFlight, queueDepth int, rep replication, wr writeConfig) (*collections, error) {
 	opts := sjos.Options{MaxInFlight: maxInFlight, QueueDepth: queueDepth}
 	cols := &collections{}
 	if spec != "" {
@@ -193,7 +249,7 @@ func buildCollections(spec, xmlPath, dataset string, docs, shards, fold, maxInFl
 				}
 				ds, cnt = d, v
 			}
-			c, err := buildDatasetCorpus(name, ds, cnt, shards, fold, opts, rep)
+			c, err := buildDatasetCorpus(name, ds, cnt, shards, fold, opts, rep, wr)
 			if err != nil {
 				return nil, err
 			}
@@ -201,8 +257,20 @@ func buildCollections(spec, xmlPath, dataset string, docs, shards, fold, maxInFl
 		}
 		return cols, nil
 	}
-	if (xmlPath == "") == (dataset == "") {
-		return nil, errors.New("need exactly one of -xml / -dataset / -collections")
+	if xmlPath != "" && dataset != "" {
+		return nil, errors.New("need at most one of -xml / -dataset / -collections")
+	}
+	if xmlPath == "" && dataset == "" {
+		if !wr.enabled {
+			return nil, errors.New("need one of -xml / -dataset / -collections (or -writable / -waldir for an empty writable collection)")
+		}
+		// A writable server may start empty and be populated over HTTP.
+		c, err := buildDatasetCorpus("default", "", 0, shards, fold, opts, rep, wr)
+		if err != nil {
+			return nil, err
+		}
+		cols.add("default", c)
+		return cols, nil
 	}
 	if xmlPath != "" {
 		f, err := os.Open(xmlPath)
@@ -217,7 +285,7 @@ func buildCollections(spec, xmlPath, dataset string, docs, shards, fold, maxInFl
 		cols.add("default", db.AsCorpus(xmlPath))
 		return cols, nil
 	}
-	c, err := buildDatasetCorpus("default", dataset, docs, shards, fold, opts, rep)
+	c, err := buildDatasetCorpus("default", dataset, docs, shards, fold, opts, rep, wr)
 	if err != nil {
 		return nil, err
 	}
@@ -225,8 +293,12 @@ func buildCollections(spec, xmlPath, dataset string, docs, shards, fold, maxInFl
 	return cols, nil
 }
 
-func buildDatasetCorpus(name, dataset string, docs, shards, fold int, opts sjos.Options, rep replication) (*sjos.Corpus, error) {
-	if docs < 1 {
+func buildDatasetCorpus(name, dataset string, docs, shards, fold int, opts sjos.Options, rep replication, wr writeConfig) (*sjos.Corpus, error) {
+	walFile, err := wr.walFileFunc(name)
+	if err != nil {
+		return nil, fmt.Errorf("collection %q: %w", name, err)
+	}
+	if docs < 1 && walFile == nil {
 		docs = 1
 	}
 	b := sjos.NewCorpusBuilder(&sjos.CorpusOptions{
@@ -235,6 +307,7 @@ func buildDatasetCorpus(name, dataset string, docs, shards, fold int, opts sjos.
 		ReplicasPerShard: rep.perShard,
 		HedgeDelay:       rep.hedgeDelay,
 		DisableHedging:   rep.hedgeOff,
+		ShardWALFile:     walFile,
 	})
 	for i := 0; i < docs; i++ {
 		id := fmt.Sprintf("%s-%03d", dataset, i)
@@ -328,13 +401,83 @@ func newMux(cols *collections, defaultMethod sjos.Method) *http.ServeMux {
 	query := func(w http.ResponseWriter, r *http.Request, c *sjos.Corpus) {
 		serveQuery(w, r, c, defaultMethod)
 	}
+	ingest := func(w http.ResponseWriter, r *http.Request, c *sjos.Corpus) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(c.IngestStats())
+	}
 	mux.HandleFunc("GET /metrics", named(defC, metrics))
 	mux.HandleFunc("GET /slow", named(defC, slow))
 	mux.HandleFunc("GET /query", named(defC, query))
+	mux.HandleFunc("GET /ingest", named(defC, ingest))
+	mux.HandleFunc("PUT /docs/{id}", named(defC, servePut))
+	mux.HandleFunc("DELETE /docs/{id}", named(defC, serveDelete))
 	mux.HandleFunc("GET /collections/{name}/metrics", named(byPath, metrics))
 	mux.HandleFunc("GET /collections/{name}/slow", named(byPath, slow))
 	mux.HandleFunc("GET /collections/{name}/query", named(byPath, query))
+	mux.HandleFunc("GET /collections/{name}/ingest", named(byPath, ingest))
+	mux.HandleFunc("PUT /collections/{name}/docs/{id}", named(byPath, servePut))
+	mux.HandleFunc("DELETE /collections/{name}/docs/{id}", named(byPath, serveDelete))
 	return mux
+}
+
+// writeResponse is the PUT/DELETE /docs/{id} JSON payload.
+type writeResponse struct {
+	Doc string `json:"doc"`
+	// Op says what the upsert resolved to: insert, replace, or delete.
+	Op   string `json:"op"`
+	Docs int    `json:"docs"`
+}
+
+// servePut upserts the XML document in the request body: Insert when the ID
+// is new, Replace when it already exists.
+func servePut(w http.ResponseWriter, r *http.Request, c *sjos.Corpus) {
+	id := r.PathValue("id")
+	op := "insert"
+	var err error
+	if _, exists := c.ShardOf(id); exists {
+		op = "replace"
+		err = c.Replace(id, r.Body)
+	} else {
+		err = c.Insert(id, r.Body)
+	}
+	if err != nil {
+		writeMutationError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(writeResponse{Doc: id, Op: op, Docs: c.NumDocs()})
+}
+
+func serveDelete(w http.ResponseWriter, r *http.Request, c *sjos.Corpus) {
+	id := r.PathValue("id")
+	if _, exists := c.ShardOf(id); !exists && c.IngestEnabled() {
+		http.Error(w, "no such document", http.StatusNotFound)
+		return
+	}
+	if err := c.Delete(id); err != nil {
+		writeMutationError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(writeResponse{Doc: id, Op: "delete", Docs: c.NumDocs()})
+}
+
+// writeMutationError maps write-path failures onto HTTP: a read-only
+// collection refuses the method, load shed and drains are retryable, a
+// poisoned shard is a server fault, and everything else (bad XML, ID
+// conflicts) is the client's.
+func writeMutationError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, sjos.ErrNoWAL):
+		http.Error(w, "collection is read-only (start xqserve with -writable or -waldir)", http.StatusMethodNotAllowed)
+	case errors.Is(err, sjos.ErrOverloaded) || errors.Is(err, sjos.ErrShuttingDown):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, sjos.ErrBroken):
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
 }
 
 func serveQuery(w http.ResponseWriter, r *http.Request, c *sjos.Corpus, defaultMethod sjos.Method) {

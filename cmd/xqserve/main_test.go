@@ -279,12 +279,21 @@ func TestServeShedsLoad(t *testing.T) {
 func TestBuildCollectionsSpecErrors(t *testing.T) {
 	rep := replication{perShard: 1}
 	for _, spec := range []string{"noequals", "=pers", "a=pers:0", "a=pers:x"} {
-		if _, err := buildCollections(spec, "", "", 1, 0, 1, 0, 0, rep); err == nil {
+		if _, err := buildCollections(spec, "", "", 1, 0, 1, 0, 0, rep, writeConfig{}); err == nil {
 			t.Errorf("spec %q accepted", spec)
 		}
 	}
-	if _, err := buildCollections("", "", "", 1, 0, 1, 0, 0, rep); err == nil {
-		t.Error("empty source accepted")
+	if _, err := buildCollections("", "", "", 1, 0, 1, 0, 0, rep, writeConfig{}); err == nil {
+		t.Error("empty read-only source accepted")
+	}
+	// A writable server may start with no source at all: it serves an empty
+	// default collection that is populated over HTTP.
+	cols, err := buildCollections("", "", "", 1, 0, 1, 0, 0, rep, writeConfig{enabled: true})
+	if err != nil {
+		t.Fatalf("empty writable source rejected: %v", err)
+	}
+	if c := cols.def(); c.NumDocs() != 0 || !c.IngestEnabled() {
+		t.Fatalf("empty writable collection: docs=%d ingest=%v", c.NumDocs(), c.IngestEnabled())
 	}
 }
 
@@ -321,12 +330,163 @@ func TestParseHedge(t *testing.T) {
 	}
 }
 
+// do issues a bodyless or XML-bodied request and returns the response,
+// decoding JSON into v when v is non-nil and the status is 200.
+func do(t *testing.T, method, url, body string, v any) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+// newWritableServer serves one empty writable collection over in-memory WALs.
+func newWritableServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	cols, err := buildCollections("", "", "", 1, 2, 1, 0, 0,
+		replication{perShard: 1}, writeConfig{enabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(cols, sjos.MethodDPP))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestServeWrites drives the full write surface over HTTP: insert and
+// replace via PUT, DELETE, /ingest introspection, and the query path
+// observing every mutation.
+func TestServeWrites(t *testing.T) {
+	srv := newWritableServer(t)
+	var wr writeResponse
+	if resp := do(t, "PUT", srv.URL+"/docs/a", `<db><manager><name>alice</name></manager></db>`, &wr); resp.StatusCode != 200 {
+		t.Fatalf("PUT a: status %d", resp.StatusCode)
+	}
+	if wr.Op != "insert" || wr.Docs != 1 {
+		t.Fatalf("PUT a response: %+v", wr)
+	}
+	do(t, "PUT", srv.URL+"/docs/b", `<db><manager><name>bob</name></manager></db>`, &wr)
+
+	var qr queryResponse
+	getJSON(t, srv.URL+"/query?q=//manager/name", &qr)
+	if qr.Count != 2 {
+		t.Fatalf("after 2 inserts: count %d, want 2", qr.Count)
+	}
+
+	// PUT on an existing ID is a replace.
+	if resp := do(t, "PUT", srv.URL+"/docs/a", `<db><manager><name>ann</name></manager><manager><name>al</name></manager></db>`, &wr); resp.StatusCode != 200 {
+		t.Fatalf("PUT a (replace): status %d", resp.StatusCode)
+	}
+	if wr.Op != "replace" || wr.Docs != 2 {
+		t.Fatalf("replace response: %+v", wr)
+	}
+	getJSON(t, srv.URL+"/query?q=//manager/name", &qr)
+	if qr.Count != 3 {
+		t.Fatalf("after replace: count %d, want 3", qr.Count)
+	}
+
+	if resp := do(t, "DELETE", srv.URL+"/docs/b", "", &wr); resp.StatusCode != 200 {
+		t.Fatalf("DELETE b: status %d", resp.StatusCode)
+	}
+	if wr.Op != "delete" || wr.Docs != 1 {
+		t.Fatalf("delete response: %+v", wr)
+	}
+	getJSON(t, srv.URL+"/query?q=//manager/name", &qr)
+	if qr.Count != 2 {
+		t.Fatalf("after delete: count %d, want 2", qr.Count)
+	}
+
+	var ist sjos.CorpusIngestStats
+	getJSON(t, srv.URL+"/ingest", &ist)
+	if ist.Docs != 1 || ist.WALPages == 0 || ist.BrokenShards != 0 {
+		t.Fatalf("/ingest: %+v", ist)
+	}
+}
+
+// TestServeWriteErrors checks the HTTP mapping of write-path failures.
+func TestServeWriteErrors(t *testing.T) {
+	srv := newWritableServer(t)
+	// Bad XML is the client's fault.
+	if resp := do(t, "PUT", srv.URL+"/docs/x", `<open>`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad XML: status %d, want 400", resp.StatusCode)
+	}
+	// Deleting a document that never existed is 404.
+	if resp := do(t, "DELETE", srv.URL+"/docs/ghost", "", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE ghost: status %d, want 404", resp.StatusCode)
+	}
+
+	// A read-only collection refuses the method entirely.
+	db, err := sjos.LoadXMLString(`<db><a/></db>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := &collections{}
+	cols.add("default", db.AsCorpus("ro"))
+	ro := httptest.NewServer(newMux(cols, sjos.MethodDPP))
+	t.Cleanup(ro.Close)
+	if resp := do(t, "PUT", ro.URL+"/docs/x", `<db><a/></db>`, nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("read-only PUT: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServeWriteRecovery round-trips durable WALs through a server restart:
+// documents PUT into the first server are served by a second one built over
+// the same -waldir.
+func TestServeWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	wr := writeConfig{enabled: true, dir: dir}
+	boot := func() *httptest.Server {
+		cols, err := buildCollections("", "", "", 1, 2, 1, 0, 0, replication{perShard: 1}, wr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(newMux(cols, sjos.MethodDPP))
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	srv := boot()
+	do(t, "PUT", srv.URL+"/docs/a", `<db><manager><name>alice</name></manager></db>`, nil)
+	do(t, "PUT", srv.URL+"/docs/b", `<db><manager><name>bob</name></manager></db>`, nil)
+	do(t, "DELETE", srv.URL+"/docs/a", "", nil)
+	srv.Close()
+
+	srv2 := boot()
+	var qr queryResponse
+	getJSON(t, srv2.URL+"/query?q=//manager/name", &qr)
+	if qr.Count != 1 || len(qr.Docs) != 1 || qr.Docs[0] != "b" {
+		t.Fatalf("after recovery: %+v", qr)
+	}
+	// The recovered server keeps accepting writes.
+	if resp := do(t, "PUT", srv2.URL+"/docs/c", `<db><manager><name>carol</name></manager></db>`, nil); resp.StatusCode != 200 {
+		t.Fatalf("post-recovery PUT: status %d", resp.StatusCode)
+	}
+	getJSON(t, srv2.URL+"/query?q=//manager/name", &qr)
+	if qr.Count != 2 {
+		t.Fatalf("post-recovery count %d, want 2", qr.Count)
+	}
+}
+
 // TestHealthzReplicas exercises the serving path against a replicated
 // collection: /healthz must expose every replica's routing state, and
 // queries must still produce correct results through hedged routing.
 func TestHealthzReplicas(t *testing.T) {
 	c, err := buildDatasetCorpus("default", "pers", 2, 2, 1, sjos.Options{},
-		replication{perShard: 2, hedgeDelay: time.Millisecond})
+		replication{perShard: 2, hedgeDelay: time.Millisecond}, writeConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -64,6 +64,16 @@ type CorpusOptions struct {
 	// fault wrappers (chaos testing a single failing replica) and
 	// alternative backends. It takes precedence over DiskPath.
 	ShardPageFile func(shard, replica int) PageFile
+
+	// ShardWALFile, when non-nil, enables the corpus write path: every ring
+	// shard is pre-created (even the ones no initial document hashed to, so
+	// later inserts can land anywhere), shard s's primary replica logs its
+	// mutations to ShardWALFile(s), and Corpus.Insert/Delete/Replace become
+	// available. A corpus may then be built with zero documents. Additional
+	// replicas per shard follow the primary's committed mutations without a
+	// log of their own; a follower that fails to apply one is taken out of
+	// query routing permanently (see ReplicaHealth.Down).
+	ShardWALFile func(shard int) PageFile
 }
 
 // docRef locates a document: the shard holding it and its member index
@@ -79,6 +89,10 @@ type docRef struct {
 type corpusReplica struct {
 	db     *Database
 	health *replica.Tracker
+	// down marks a follower that failed to apply a committed mutation: its
+	// store has diverged from the shard, so routing skips it permanently
+	// (health probes cannot heal a missing document).
+	down atomic.Bool
 }
 
 // corpusShard is one shard: one or more replica Databases over the merged
@@ -90,6 +104,10 @@ type corpusShard struct {
 	replicas []*corpusReplica
 	// rr rotates query routing among the healthy replicas.
 	rr atomic.Uint64
+	// ingest marks a write-enabled shard: its member bookkeeping lives in
+	// the replica Databases' published snapshots (pinned per query), and
+	// spans/docIdx/docIDs below stay nil.
+	ingest bool
 	// spans[i] is member i's node range inside the merged document, in
 	// ascending First order (members were merged in insertion order).
 	spans []xmltree.DocSpan
@@ -115,6 +133,11 @@ func (sh *corpusShard) routeOrder(now time.Time) []*corpusReplica {
 	}
 	var probing, healthy, suspect, probation []*corpusReplica
 	for _, rep := range sh.replicas {
+		if rep.down.Load() {
+			// A follower that failed to apply a committed mutation serves
+			// stale data; keep it out of routing entirely.
+			continue
+		}
 		switch {
 		case rep.health.AllowProbe(now):
 			probing = append(probing, rep)
@@ -143,18 +166,30 @@ func (sh *corpusShard) memberOf(id NodeID) int {
 	return sort.Search(len(sh.spans), func(i int) bool { return sh.spans[i].First > id }) - 1
 }
 
+// corpusView is the corpus's membership directory — document IDs in global
+// insertion order and their shard assignment. It is immutable; mutations
+// publish a fresh view, and every query pins exactly one (mirror of dbSnap).
+type corpusView struct {
+	ids  []string // global document insertion order
+	byID map[string]docRef
+}
+
 // corpusState is the shared identity behind a Corpus and all of its
 // WithParallelism views — mirror of dbState.
 type corpusState struct {
 	shards []*corpusShard // one per ring shard; nil when no document hashed there
 	ring   *shardring.Ring
-	ids    []string // global document insertion order
-	byID   map[string]docRef
+	live   atomic.Pointer[corpusView]
 	model  CostModel
 	svc    *service // corpus-level: merged stats, plan cache, metrics, admission
 	probe  core.ProbeEligibility
 	// shardWorkers bounds scatter fan-out (resolved at Build).
 	shardWorkers int
+
+	// ingest marks a write-enabled corpus (CorpusOptions.ShardWALFile);
+	// ingestMu serialises its mutations (queries never take it).
+	ingest   bool
+	ingestMu sync.Mutex
 
 	// lat observes successful shard-replica execution latencies; its p95 is
 	// the adaptive hedged-read delay.
@@ -169,6 +204,10 @@ type corpusState struct {
 	fixedHedge time.Duration
 	hedgeOff   bool
 }
+
+// view returns the current membership directory; callers pin it once per
+// operation.
+func (cs *corpusState) view() *corpusView { return cs.live.Load() }
 
 // hedgeDelay returns how long a shard query waits on its first replica
 // before hedging onto the next: the fixed override when set, otherwise the
@@ -291,18 +330,19 @@ func (b *CorpusBuilder) Build() (*Corpus, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
-	if len(b.docs) == 0 {
+	writable := b.opts.ShardWALFile != nil
+	if len(b.docs) == 0 && !writable {
 		return nil, fmt.Errorf("sjos: corpus needs at least one document")
 	}
 	shards := b.opts.Shards
 	if shards <= 0 {
-		shards = min(len(b.docs), runtime.GOMAXPROCS(0))
+		shards = min(max(len(b.docs), 1), runtime.GOMAXPROCS(0))
 	}
 	ring := shardring.New(shards, b.opts.Replicas)
 	shards = ring.Shards()
 
-	cs := &corpusState{
-		ring: ring,
+	cs := &corpusState{ring: ring, ingest: writable}
+	cv := &corpusView{
 		ids:  append([]string(nil), b.ids...),
 		byID: make(map[string]docRef, len(b.ids)),
 	}
@@ -312,7 +352,7 @@ func (b *CorpusBuilder) Build() (*Corpus, error) {
 	groupIdx := make([][]int, shards)
 	for gi, id := range b.ids {
 		s := ring.Shard(id)
-		cs.byID[id] = docRef{shard: s, member: len(groupDocs[s])}
+		cv.byID[id] = docRef{shard: s, member: len(groupDocs[s])}
 		groupDocs[s] = append(groupDocs[s], b.docs[gi])
 		groupIdx[s] = append(groupIdx[s], gi)
 	}
@@ -328,50 +368,80 @@ func (b *CorpusBuilder) Build() (*Corpus, error) {
 	cs.shards = make([]*corpusShard, shards)
 	var parts []*histogram.Stats
 	for s := 0; s < shards; s++ {
-		if len(groupDocs[s]) == 0 {
+		// A write-enabled corpus pre-creates every ring shard — a later
+		// insert can hash anywhere; a static corpus skips empty ones.
+		if len(groupDocs[s]) == 0 && !writable {
 			continue
 		}
-		merged, spans, err := xmltree.MergeDocuments(groupDocs[s])
-		if err != nil {
-			return nil, fmt.Errorf("sjos: merging shard %d: %w", s, err)
-		}
-		sh := &corpusShard{
-			id:     s,
-			spans:  spans,
-			docIdx: groupIdx[s],
-			docIDs: make([]string, len(groupIdx[s])),
-		}
-		for r := 0; r < rps; r++ {
-			sopts := b.opts.Options
-			// The corpus is the admission boundary; shards execute whatever
-			// the scatter driver hands them.
-			sopts.MaxInFlight, sopts.QueueDepth = 0, 0
-			sopts.PageFile = nil
-			if b.opts.ShardPageFile != nil {
-				sopts.PageFile = b.opts.ShardPageFile(s, r)
-				sopts.DiskPath = ""
-			} else if sopts.DiskPath != "" {
-				// Replica 0 keeps the PR 7 path layout so existing images
-				// stay addressable; extra replicas get their own files.
-				sopts.DiskPath = fmt.Sprintf("%s.shard-%03d", sopts.DiskPath, s)
-				if r > 0 {
-					sopts.DiskPath = fmt.Sprintf("%s.r%d", sopts.DiskPath, r)
-				}
-			}
-			db, err := fromDocument(merged, &sopts)
+		sh := &corpusShard{id: s, ingest: writable}
+		if !writable {
+			merged, spans, err := xmltree.MergeDocuments(groupDocs[s])
 			if err != nil {
-				return nil, fmt.Errorf("sjos: building shard %d replica %d: %w", s, r, err)
+				return nil, fmt.Errorf("sjos: merging shard %d: %w", s, err)
 			}
-			sh.replicas = append(sh.replicas, &corpusReplica{
-				db:     db,
-				health: replica.NewTracker(repCfg),
-			})
-		}
-		for m, gi := range groupIdx[s] {
-			sh.docIDs[m] = cs.ids[gi]
+			sh.spans = spans
+			sh.docIdx = groupIdx[s]
+			sh.docIDs = make([]string, len(groupIdx[s]))
+			for m, gi := range groupIdx[s] {
+				sh.docIDs[m] = cv.ids[gi]
+			}
+			for r := 0; r < rps; r++ {
+				db, err := fromDocument(merged, b.shardOptions(s, r))
+				if err != nil {
+					return nil, fmt.Errorf("sjos: building shard %d replica %d: %w", s, r, err)
+				}
+				sh.replicas = append(sh.replicas, &corpusReplica{
+					db:     db,
+					health: replica.NewTracker(repCfg),
+				})
+			}
+			parts = append(parts, sh.meta().histStats())
+		} else {
+			seeds := make([]seedDoc, len(groupDocs[s]))
+			for m, doc := range groupDocs[s] {
+				seeds[m] = seedDoc{id: cv.ids[groupIdx[s][m]], doc: doc}
+			}
+			for r := 0; r < rps; r++ {
+				opts := b.shardOptions(s, r)
+				var db *Database
+				var err error
+				if r == 0 {
+					opts.WALFile = b.opts.ShardWALFile(s)
+					db, err = buildIngestDatabase(seeds, opts)
+				} else {
+					db, err = newFollowerIngest(seeds, opts)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("sjos: building shard %d replica %d: %w", s, r, err)
+				}
+				sh.replicas = append(sh.replicas, &corpusReplica{
+					db:     db,
+					health: replica.NewTracker(repCfg),
+				})
+			}
+			parts = append(parts, sh.meta().statsParts()...)
 		}
 		cs.shards[s] = sh
-		parts = append(parts, sh.meta().histStats())
+	}
+
+	if writable {
+		// Shards recovered from non-empty WALs hold members the builder
+		// never saw; fold them into the membership directory. Their global
+		// order is reconstructed shard-grouped (per-shard insertion order
+		// is exact; the interleaving across shards is not logged).
+		seen := make(map[string]bool, len(cv.ids))
+		for _, id := range cv.ids {
+			seen[id] = true
+		}
+		for s, sh := range cs.shards {
+			for _, id := range sh.meta().MemberIDs() {
+				if !seen[id] {
+					seen[id] = true
+					cv.ids = append(cv.ids, id)
+					cv.byID[id] = docRef{shard: s}
+				}
+			}
+		}
 	}
 
 	grid, cacheCap := b.opts.HistogramGrid, b.opts.PlanCacheCapacity
@@ -380,7 +450,30 @@ func (b *CorpusBuilder) Build() (*Corpus, error) {
 	cs.model = b.opts.model()
 	cs.probe = corpusProbe{shards: cs.shards}
 	cs.shardWorkers = b.opts.ShardWorkers
+	cs.live.Store(cv)
 	return &Corpus{corpusState: cs}, nil
+}
+
+// shardOptions derives one replica's per-shard Options from the corpus
+// options: the corpus is the admission boundary (shards admit
+// unconditionally), and each replica gets its own page file.
+func (b *CorpusBuilder) shardOptions(s, r int) *Options {
+	sopts := b.opts.Options
+	sopts.MaxInFlight, sopts.QueueDepth = 0, 0
+	sopts.PageFile = nil
+	sopts.WALFile = nil
+	if b.opts.ShardPageFile != nil {
+		sopts.PageFile = b.opts.ShardPageFile(s, r)
+		sopts.DiskPath = ""
+	} else if sopts.DiskPath != "" {
+		// Replica 0 keeps the PR 7 path layout so existing images stay
+		// addressable; extra replicas get their own files.
+		sopts.DiskPath = fmt.Sprintf("%s.shard-%03d", sopts.DiskPath, s)
+		if r > 0 {
+			sopts.DiskPath = fmt.Sprintf("%s.r%d", sopts.DiskPath, r)
+		}
+	}
+	return &sopts
 }
 
 // histStats returns the database's statistics when they are plain
@@ -400,20 +493,23 @@ func (db *Database) histStats() *histogram.Stats {
 func (db *Database) AsCorpus(docID string) *Corpus {
 	sh := &corpusShard{
 		replicas: []*corpusReplica{{db: db, health: replica.NewTracker(replica.Config{})}},
-		spans:    []xmltree.DocSpan{{First: 0, Nodes: db.doc.NumNodes()}},
+		spans:    []xmltree.DocSpan{{First: 0, Nodes: db.view().doc.NumNodes()}},
 		docIdx:   []int{0},
 		docIDs:   []string{docID},
 	}
-	return &Corpus{corpusState: &corpusState{
+	cs := &corpusState{
 		shards:       []*corpusShard{sh},
 		ring:         shardring.New(1, 0),
-		ids:          []string{docID},
-		byID:         map[string]docRef{docID: {}},
 		model:        db.model,
 		svc:          db.svc,
-		probe:        db.store,
+		probe:        db.view().store,
 		shardWorkers: 1,
-	}, parallelism: db.parallelism}
+	}
+	cs.live.Store(&corpusView{
+		ids:  []string{docID},
+		byID: map[string]docRef{docID: {}},
+	})
+	return &Corpus{corpusState: cs, parallelism: db.parallelism}
 }
 
 // corpusProbe aggregates per-shard value-index eligibility for the corpus
@@ -431,7 +527,11 @@ func (p corpusProbe) ProbeEligible(tag string, op pattern.CmpOp, value string) b
 		if sh == nil {
 			continue
 		}
-		if !sh.meta().store.ProbeEligible(tag, op, value) {
+		store := sh.meta().view().store
+		if store.NumNodes() <= 1 {
+			continue // write-enabled shard nothing has hashed to yet
+		}
+		if !store.ProbeEligible(tag, op, value) {
 			return false
 		}
 		any = true
@@ -445,7 +545,11 @@ func (p corpusProbe) ProbeSelectivity(tag string, op pattern.CmpOp, value string
 		if sh == nil {
 			continue
 		}
-		n, ok := sh.meta().store.ProbeSelectivity(tag, op, value)
+		store := sh.meta().view().store
+		if store.NumNodes() <= 1 {
+			continue
+		}
+		n, ok := store.ProbeSelectivity(tag, op, value)
 		if !ok {
 			return 0, false
 		}
@@ -460,15 +564,15 @@ func (p corpusProbe) ProbeSelectivity(tag string, op pattern.CmpOp, value string
 func (c *Corpus) NumShards() int { return len(c.shards) }
 
 // NumDocs returns the number of member documents.
-func (c *Corpus) NumDocs() int { return len(c.ids) }
+func (c *Corpus) NumDocs() int { return len(c.view().ids) }
 
 // DocIDs returns the document IDs in insertion order — the order results
 // are reported in.
-func (c *Corpus) DocIDs() []string { return append([]string(nil), c.ids...) }
+func (c *Corpus) DocIDs() []string { return append([]string(nil), c.view().ids...) }
 
 // ShardOf reports which shard holds the document.
 func (c *Corpus) ShardOf(docID string) (int, bool) {
-	ref, ok := c.byID[docID]
+	ref, ok := c.view().byID[docID]
 	return ref.shard, ok
 }
 
@@ -476,38 +580,47 @@ func (c *Corpus) ShardOf(docID string) (int, bool) {
 func (c *Corpus) Model() CostModel { return c.model }
 
 // resolve translates a (document ID, document-local node ID) pair into the
-// owning shard and the merged-document node ID.
-func (c *Corpus) resolve(docID string, id NodeID) (*corpusShard, NodeID, bool) {
-	ref, ok := c.byID[docID]
+// owning shard's pinned snapshot and the merged-document node ID.
+func (c *Corpus) resolve(docID string, id NodeID) (*dbSnap, NodeID, bool) {
+	ref, ok := c.view().byID[docID]
 	if !ok {
 		return nil, 0, false
 	}
 	sh := c.shards[ref.shard]
-	span := sh.spans[ref.member]
+	sn := sh.meta().view()
+	var span xmltree.DocSpan
+	if sh.ingest {
+		mi, ok := sn.memberIdx[docID]
+		if !ok {
+			return nil, 0, false
+		}
+		span = sn.members[mi].span
+	} else {
+		span = sh.spans[ref.member]
+	}
 	if int(id) >= span.Nodes {
 		return nil, 0, false
 	}
-	return sh, span.First + id, true
+	return sn, span.First + id, true
 }
 
 // TagName returns the element tag of a matched node of the given document.
 func (c *Corpus) TagName(docID string, id NodeID) (string, bool) {
-	sh, gid, ok := c.resolve(docID, id)
+	sn, gid, ok := c.resolve(docID, id)
 	if !ok {
 		return "", false
 	}
-	doc := sh.meta().doc
-	return doc.TagName(doc.Tag(gid)), true
+	return sn.doc.TagName(sn.doc.Tag(gid)), true
 }
 
 // Value returns the text value of a matched node of the given document
 // ("" if none).
 func (c *Corpus) Value(docID string, id NodeID) (string, bool) {
-	sh, gid, ok := c.resolve(docID, id)
+	sn, gid, ok := c.resolve(docID, id)
 	if !ok {
 		return "", false
 	}
-	return sh.meta().doc.Value(gid), true
+	return sn.doc.Value(gid), true
 }
 
 // WithParallelism returns a derived handle whose queries execute each
@@ -613,11 +726,14 @@ func (c *Corpus) Run(ctx context.Context, pat *Pattern, p *Plan, opts RunOptions
 	return res, err
 }
 
-// shardOut is one shard's gathered output: the raw run result plus its
-// matches demultiplexed into per-member, document-local form.
+// shardOut is one shard's gathered output: the raw run result, the replica
+// snapshot it ran on, and its matches demultiplexed into per-document,
+// document-local form (keyed by document ID — member indices are only
+// stable within the pinned snapshot).
 type shardOut struct {
-	res      *RunResult
-	byMember [][]Match
+	res   *RunResult
+	snap  *dbSnap
+	byDoc map[string][]Match
 }
 
 // scatter is Run without the admission/metrics/recovery envelope.
@@ -625,6 +741,7 @@ func (c *Corpus) scatter(ctx context.Context, pat *Pattern, p *Plan, opts RunOpt
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	cv := c.view()
 	var live []int
 	for i, sh := range c.shards {
 		if sh != nil {
@@ -667,13 +784,13 @@ func (c *Corpus) scatter(ctx context.Context, pat *Pattern, p *Plan, opts RunOpt
 			return
 		}
 		total := 0
-		for _, id := range c.ids {
-			ref := c.byID[id]
+		for _, id := range cv.ids {
+			ref := cv.byID[id]
 			if !done[ref.shard] {
 				return
 			}
 			if so := results[ref.shard]; so != nil {
-				total += len(so.byMember[ref.member])
+				total += len(so.byDoc[id])
 			}
 			if total >= opts.Limit {
 				cancel(errCorpusLimit)
@@ -683,7 +800,7 @@ func (c *Corpus) scatter(ctx context.Context, pat *Pattern, p *Plan, opts RunOpt
 	}
 	runShard := func(si int) {
 		sh := c.shards[si]
-		r, err := c.runShardReplicated(runCtx, sh, pat, p, shOpts)
+		r, sn, err := c.runShardReplicated(runCtx, sh, pat, p, shOpts)
 		mu.Lock()
 		defer mu.Unlock()
 		done[si] = true
@@ -696,9 +813,9 @@ func (c *Corpus) scatter(ctx context.Context, pat *Pattern, p *Plan, opts RunOpt
 			}
 			return
 		}
-		so := &shardOut{res: r}
+		so := &shardOut{res: r, snap: sn}
 		if !shOpts.CountOnly {
-			so.byMember = demux(sh, r.Matches)
+			so.byDoc = demux(sh, sn, r.Matches)
 		}
 		results[si] = so
 		checkLimit()
@@ -758,13 +875,13 @@ func (c *Corpus) scatter(ctx context.Context, pat *Pattern, p *Plan, opts RunOpt
 	}
 	var matches []CorpusMatch
 gather:
-	for gi, id := range c.ids {
-		ref := c.byID[id]
+	for gi, id := range cv.ids {
+		ref := cv.byID[id]
 		so := results[ref.shard]
 		if so == nil {
 			continue
 		}
-		for _, m := range so.byMember[ref.member] {
+		for _, m := range so.byDoc[id] {
 			matches = append(matches, CorpusMatch{DocID: id, Doc: gi, Nodes: m})
 			if opts.Limit > 0 && len(matches) >= opts.Limit {
 				break gather
@@ -790,13 +907,18 @@ var errHedgeLoser = errors.New("sjos: hedged read superseded")
 // run on their own goroutines, outside Run's recovery scope — recover here
 // so a panicking replica surfaces as that attempt's typed error (and a
 // failover opportunity), not a process crash.
-func runReplicaOnce(ctx context.Context, rep *corpusReplica, pat *Pattern, p *Plan, opts RunOptions) (r *RunResult, err error) {
+func runReplicaOnce(ctx context.Context, rep *corpusReplica, pat *Pattern, p *Plan, opts RunOptions) (r *RunResult, sn *dbSnap, err error) {
 	defer func() {
 		if perr := exec.RecoverPanic(recover()); perr != nil {
 			r, err = nil, perr
 		}
 	}()
-	return rep.db.run(ctx, pat, p, opts)
+	// Pin the replica's snapshot here and run on it explicitly: the
+	// scatter's demux must rebase matches against the exact member table
+	// the query saw, not whatever a concurrent mutation publishes next.
+	sn = rep.db.view()
+	r, err = rep.db.runOn(ctx, sn, pat, p, opts)
+	return r, sn, err
 }
 
 // replicaAttempt is one replica execution's outcome, tagged with its
@@ -804,6 +926,7 @@ func runReplicaOnce(ctx context.Context, rep *corpusReplica, pat *Pattern, p *Pl
 type replicaAttempt struct {
 	idx     int
 	res     *RunResult
+	snap    *dbSnap
 	err     error
 	elapsed time.Duration
 }
@@ -817,19 +940,19 @@ type replicaAttempt struct {
 // conclusion: a success resets the replica, a genuine failure advances its
 // state machine, and attempts cut short by the scatter's own cancellation
 // (limit satisfied, caller gone, hedge already won) leave health untouched.
-func (c *Corpus) runShardReplicated(ctx context.Context, sh *corpusShard, pat *Pattern, p *Plan, opts RunOptions) (*RunResult, error) {
+func (c *Corpus) runShardReplicated(ctx context.Context, sh *corpusShard, pat *Pattern, p *Plan, opts RunOptions) (*RunResult, *dbSnap, error) {
 	order := sh.routeOrder(time.Now())
 	if len(order) == 1 {
 		rep := order[0]
 		t0 := time.Now()
-		r, err := runReplicaOnce(ctx, rep, pat, p, opts)
+		r, sn, err := runReplicaOnce(ctx, rep, pat, p, opts)
 		if err == nil {
 			rep.health.RecordSuccess()
 			c.lat.Observe(time.Since(t0))
 		} else if ctx.Err() == nil {
 			rep.health.RecordFailure()
 		}
-		return r, err
+		return r, sn, err
 	}
 
 	runCtx, cancel := context.WithCancelCause(ctx)
@@ -840,8 +963,8 @@ func (c *Corpus) runShardReplicated(ctx context.Context, sh *corpusShard, pat *P
 	launch := func(i int) {
 		go func() {
 			t0 := time.Now()
-			r, err := runReplicaOnce(runCtx, order[i], pat, p, opts)
-			attempts <- replicaAttempt{idx: i, res: r, err: err, elapsed: time.Since(t0)}
+			r, sn, err := runReplicaOnce(runCtx, order[i], pat, p, opts)
+			attempts <- replicaAttempt{idx: i, res: r, snap: sn, err: err, elapsed: time.Since(t0)}
 		}()
 	}
 	next := 0
@@ -875,12 +998,12 @@ func (c *Corpus) runShardReplicated(ctx context.Context, sh *corpusShard, pat *P
 			if at.err == nil {
 				rep.health.RecordSuccess()
 				c.lat.Observe(at.elapsed)
-				return at.res, nil
+				return at.res, at.snap, nil
 			}
 			if ctx.Err() != nil {
 				// The scatter itself was cancelled (limit satisfied or the
 				// caller gave up) — not this replica's fault.
-				return nil, at.err
+				return nil, nil, at.err
 			}
 			rep.health.RecordFailure()
 			lastErr = at.err
@@ -890,7 +1013,7 @@ func (c *Corpus) runShardReplicated(ctx context.Context, sh *corpusShard, pat *P
 				next++
 				inFlight++
 			} else if inFlight == 0 {
-				return nil, lastErr
+				return nil, nil, lastErr
 			}
 		}
 	}
@@ -899,17 +1022,29 @@ func (c *Corpus) runShardReplicated(ctx context.Context, sh *corpusShard, pat *P
 // demux splits one shard's matches by member document and rebases every
 // binding into the member's own node numbering. Matches arrive in
 // document-position order; members occupy disjoint ascending ranges, so
-// each member's slice preserves its standalone order.
-func demux(sh *corpusShard, ms []Match) [][]Match {
-	out := make([][]Match, len(sh.spans))
+// each document's slice preserves its standalone order. Write-enabled
+// shards attribute against the pinned snapshot's member table (sn), static
+// shards against the build-time spans.
+func demux(sh *corpusShard, sn *dbSnap, ms []Match) map[string][]Match {
+	out := make(map[string][]Match)
 	for _, m := range ms {
-		mi := sh.memberOf(m[0])
-		span := sh.spans[mi]
-		local := make(Match, len(m))
-		for i, id := range m {
-			local[i] = id - span.First
+		var id string
+		var span xmltree.DocSpan
+		if sh.ingest {
+			mi := sort.Search(len(sn.members), func(i int) bool { return sn.members[i].span.First > m[0] }) - 1
+			if mi < 0 || !sn.members[mi].span.Contains(m[0]) {
+				continue // the synthetic forest root; no member owns it
+			}
+			id, span = sn.members[mi].id, sn.members[mi].span
+		} else {
+			mi := sh.memberOf(m[0])
+			id, span = sh.docIDs[mi], sh.spans[mi]
 		}
-		out[mi] = append(out[mi], local)
+		local := make(Match, len(m))
+		for i, nid := range m {
+			local[i] = nid - span.First
+		}
+		out[id] = append(out[id], local)
 	}
 	return out
 }
@@ -1015,6 +1150,9 @@ type ReplicaHealth struct {
 	ConsecutiveFailures int
 	Failures            uint64
 	Successes           uint64
+	// Down marks a write-path follower permanently removed from routing
+	// after failing to apply a committed mutation.
+	Down bool
 	// Pool is this replica's own buffer-pool counters.
 	Pool PoolStats
 	// FaultsInjected counts faults this replica's page file injected, when
@@ -1053,9 +1191,17 @@ func (c *Corpus) Health() []ShardHealth {
 		if sh == nil {
 			continue
 		}
-		out[i].Docs = len(sh.spans)
-		for _, sp := range sh.spans {
-			out[i].Nodes += sp.Nodes
+		if sh.ingest {
+			sn := sh.meta().view()
+			out[i].Docs = len(sn.members)
+			for _, m := range sn.members {
+				out[i].Nodes += m.span.Nodes
+			}
+		} else {
+			out[i].Docs = len(sh.spans)
+			for _, sp := range sh.spans {
+				out[i].Nodes += sp.Nodes
+			}
 		}
 		out[i].Content = sh.meta().ContentStats()
 		out[i].Content.ValueProbes = 0
@@ -1068,9 +1214,10 @@ func (c *Corpus) Health() []ShardHealth {
 				ConsecutiveFailures: hs.ConsecutiveFailures,
 				Failures:            hs.Failures,
 				Successes:           hs.Successes,
+				Down:                rep.down.Load(),
 				Pool:                rep.db.PoolStats(),
 			}
-			if ff, ok := rep.db.store.File().(interface{ FaultsInjected() uint64 }); ok {
+			if ff, ok := rep.db.view().store.File().(interface{ FaultsInjected() uint64 }); ok {
 				rh.FaultsInjected = ff.FaultsInjected()
 			}
 			cst := rep.db.ContentStats()
@@ -1117,7 +1264,12 @@ func (c *Corpus) RebuildStats() {
 			continue
 		}
 		db := sh.meta()
-		hs := histogram.Build(db.doc, db.svc.grid)
+		if sh.ingest {
+			db.RebuildStats()
+			parts = append(parts, db.statsParts()...)
+			continue
+		}
+		hs := histogram.Build(db.view().doc, db.svc.grid)
 		db.svc.setStats(hs)
 		parts = append(parts, hs)
 	}

@@ -1,0 +1,201 @@
+package sjos
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"sjos/internal/histogram"
+	"sjos/internal/xmltree"
+)
+
+// The corpus write path. A corpus built with CorpusOptions.ShardWALFile
+// routes each mutation to the owning shard (by consistent hashing of the
+// document ID, exactly like Build): the shard's primary replica commits it
+// through its own WAL, follower replicas apply the already-committed
+// mutation without logging, and the corpus then publishes a fresh
+// membership directory and re-merged statistics. Queries pin one directory
+// and one snapshot per shard, so they always observe committed states.
+//
+// Durability is per shard: recovering a crashed corpus means rebuilding it
+// with the same ShardWALFile mapping (and shard count — the hash ring must
+// route IDs identically), which replays every shard's committed log.
+
+// IngestEnabled reports whether the corpus was built with a write path
+// (CorpusOptions.ShardWALFile).
+func (c *Corpus) IngestEnabled() bool { return c.ingest }
+
+// Insert parses an XML document from r and commits it under id on the
+// owning shard. The document is visible to queries exactly when Insert
+// returns nil.
+func (c *Corpus) Insert(id string, r io.Reader) error {
+	doc, err := xmltree.Parse(r)
+	if err != nil {
+		return err
+	}
+	return c.mutate("insert", id, doc)
+}
+
+// InsertString is Insert over a string.
+func (c *Corpus) InsertString(id, src string) error {
+	return c.Insert(id, strings.NewReader(src))
+}
+
+// Delete commits the removal of the document with the given id.
+func (c *Corpus) Delete(id string) error {
+	return c.mutate("delete", id, nil)
+}
+
+// Replace atomically substitutes the document under id (see
+// Database.Replace).
+func (c *Corpus) Replace(id string, r io.Reader) error {
+	doc, err := xmltree.Parse(r)
+	if err != nil {
+		return err
+	}
+	return c.mutate("replace", id, doc)
+}
+
+// ReplaceString is Replace over a string.
+func (c *Corpus) ReplaceString(id, src string) error {
+	return c.Replace(id, strings.NewReader(src))
+}
+
+// mutate routes one mutation to its shard and publishes the outcome.
+func (c *Corpus) mutate(op, id string, doc *xmltree.Document) error {
+	if !c.ingest {
+		return ErrNoWAL
+	}
+	if id == "" {
+		return fmt.Errorf("sjos: document needs a non-empty ID")
+	}
+	// Mutations pass the same admission gate as queries: MaxInFlight
+	// bounds them and Drain refuses them — the write endpoints shed load
+	// and shut down exactly like the read path.
+	release, err := c.svc.admit.Acquire(context.Background())
+	if err != nil {
+		return err
+	}
+	defer release()
+	c.ingestMu.Lock()
+	defer c.ingestMu.Unlock()
+	cv := c.view()
+	_, exists := cv.byID[id]
+	switch op {
+	case "insert":
+		if exists {
+			return fmt.Errorf("sjos: document %q already exists (use Replace)", id)
+		}
+	default:
+		if !exists {
+			return fmt.Errorf("sjos: no document %q", id)
+		}
+	}
+	sh := c.shards[c.ring.Shard(id)]
+
+	apply := func(db *Database) error {
+		switch op {
+		case "insert":
+			return db.insertDoc(id, doc)
+		case "delete":
+			return db.Delete(id)
+		default:
+			return db.replaceDoc(id, doc)
+		}
+	}
+	// The primary decides the mutation's fate: until its WAL commit
+	// succeeds, nothing changed anywhere.
+	if err := apply(sh.replicas[0].db); err != nil {
+		return err
+	}
+	// Followers apply the committed mutation; one that cannot has diverged
+	// from the shard and leaves routing for good.
+	for _, rep := range sh.replicas[1:] {
+		if rep.down.Load() {
+			continue
+		}
+		if err := apply(rep.db); err != nil {
+			rep.down.Store(true)
+		}
+	}
+
+	// Publish the new membership directory. Views already pinned keep
+	// working: their per-shard snapshots were published by the replica
+	// mutations above, and demux tolerates directory/snapshot skew.
+	nv := &corpusView{byID: make(map[string]docRef, len(cv.byID)+1)}
+	switch op {
+	case "insert":
+		nv.ids = append(append([]string(nil), cv.ids...), id)
+	case "delete":
+		nv.ids = make([]string, 0, len(cv.ids)-1)
+		for _, d := range cv.ids {
+			if d != id {
+				nv.ids = append(nv.ids, d)
+			}
+		}
+	default:
+		nv.ids = append([]string(nil), cv.ids...)
+	}
+	for _, d := range nv.ids {
+		nv.byID[d] = docRef{shard: c.ring.Shard(d)}
+	}
+	c.live.Store(nv)
+	c.refreshIngestStatsLocked()
+	return nil
+}
+
+// refreshIngestStatsLocked re-merges the corpus-wide statistics from every
+// shard's live member parts and installs them (bumping the corpus stats
+// version, which invalidates the corpus plan cache). Caller holds ingestMu.
+func (c *Corpus) refreshIngestStatsLocked() {
+	var parts []*histogram.Stats
+	for _, sh := range c.shards {
+		if sh == nil {
+			continue
+		}
+		parts = append(parts, sh.meta().statsParts()...)
+	}
+	c.svc.setStats(histogram.Merge(parts))
+}
+
+// CorpusIngestStats aggregates the write-path state across shards.
+type CorpusIngestStats struct {
+	// Docs is the live document count; Shards the ring size.
+	Docs   int
+	Shards int
+	// Compactions sums the shards' store rewrites; WALPages their log
+	// lengths.
+	Compactions int
+	WALPages    int
+	// BrokenShards counts shards whose primary write path is poisoned;
+	// DownReplicas counts followers removed from routing.
+	BrokenShards int
+	DownReplicas int
+}
+
+// IngestStats returns the corpus write path's aggregated state (zero value
+// for a read-only corpus).
+func (c *Corpus) IngestStats() CorpusIngestStats {
+	if !c.ingest {
+		return CorpusIngestStats{}
+	}
+	st := CorpusIngestStats{Docs: c.NumDocs(), Shards: len(c.shards)}
+	for _, sh := range c.shards {
+		if sh == nil {
+			continue
+		}
+		ist := sh.meta().IngestStats()
+		st.Compactions += ist.Compactions
+		st.WALPages += ist.WALPages
+		if ist.Broken {
+			st.BrokenShards++
+		}
+		for _, rep := range sh.replicas[1:] {
+			if rep.down.Load() {
+				st.DownReplicas++
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,388 @@
+package sjos
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sjos/internal/faultfs"
+	"sjos/internal/storage"
+)
+
+// walMap is a stable shard→WAL-file mapping, so a corpus can be rebuilt
+// from the same logs (crash recovery).
+type walMap struct {
+	mu    sync.Mutex
+	files map[int]PageFile
+}
+
+func newWALMap() *walMap { return &walMap{files: make(map[int]PageFile)} }
+
+func (m *walMap) file(shard int) PageFile {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[shard]
+	if !ok {
+		f = storage.NewMemFile()
+		m.files[shard] = f
+	}
+	return f
+}
+
+func countCorpus(t testing.TB, c *Corpus, q string) int {
+	t.Helper()
+	res, err := c.Query(q, MethodDPP)
+	if err != nil {
+		t.Fatalf("query %s: %v", q, err)
+	}
+	return res.Count
+}
+
+func TestCorpusIngestInsertDeleteReplace(t *testing.T) {
+	wals := newWALMap()
+	c, err := NewCorpusBuilder(&CorpusOptions{Shards: 3, ShardWALFile: wals.file}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IngestEnabled() {
+		t.Fatal("ingest not enabled")
+	}
+	if got := countCorpus(t, c, "//order//item/name"); got != 0 {
+		t.Fatalf("empty corpus matched %d", got)
+	}
+
+	total := 0
+	for i := 0; i < 9; i++ {
+		n := 2 + i%3
+		if err := c.InsertString(fmt.Sprintf("doc%d", i), orderXML(n)); err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if got := countCorpus(t, c, "//order//item/name"); got != total {
+		t.Fatalf("after inserts: %d matches, want %d", got, total)
+	}
+	if c.NumDocs() != 9 {
+		t.Fatalf("NumDocs = %d, want 9", c.NumDocs())
+	}
+
+	// Document attribution and local numbering survive the scatter.
+	res, err := c.Query("//order//item/name", MethodDPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDoc := map[string]int{}
+	for _, m := range res.Matches {
+		perDoc[m.DocID]++
+		if tag, ok := c.TagName(m.DocID, m.Nodes[len(m.Nodes)-1]); !ok || tag != "name" {
+			t.Fatalf("TagName(%s, %d) = %q, %v", m.DocID, m.Nodes[len(m.Nodes)-1], tag, ok)
+		}
+	}
+	for i := 0; i < 9; i++ {
+		id := fmt.Sprintf("doc%d", i)
+		if perDoc[id] != 2+i%3 {
+			t.Fatalf("%s: %d matches, want %d", id, perDoc[id], 2+i%3)
+		}
+	}
+
+	if err := c.Delete("doc4"); err != nil {
+		t.Fatal(err)
+	}
+	total -= 2 + 4%3
+	if got := countCorpus(t, c, "//order//item/name"); got != total {
+		t.Fatalf("after delete: %d matches, want %d", got, total)
+	}
+	if _, ok := c.ShardOf("doc4"); ok {
+		t.Fatal("deleted document still routed")
+	}
+
+	if err := c.ReplaceString("doc0", orderXML(7)); err != nil {
+		t.Fatal(err)
+	}
+	total += 7 - 2
+	if got := countCorpus(t, c, "//order//item/name"); got != total {
+		t.Fatalf("after replace: %d matches, want %d", got, total)
+	}
+
+	// Error paths.
+	if err := c.InsertString("doc0", orderXML(1)); err == nil {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if err := c.Delete("ghost"); err == nil {
+		t.Fatal("deleting unknown doc succeeded")
+	}
+
+	// Limit works against the mutable directory.
+	lres, err := c.Run(nil, mustPattern(t, "//order//item/name"), mustPlanCorpus(t, c, "//order//item/name"), RunOptions{ExecOptions: ExecOptions{Limit: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.Count != 3 {
+		t.Fatalf("limit run: %d matches, want 3", lres.Count)
+	}
+}
+
+func mustPattern(t testing.TB, src string) *Pattern {
+	t.Helper()
+	pat, err := ParsePattern(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pat
+}
+
+func mustPlanCorpus(t testing.TB, c *Corpus, src string) *Plan {
+	t.Helper()
+	res, err := c.Optimize(mustPattern(t, src), MethodDPP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Plan
+}
+
+func TestCorpusIngestRecovery(t *testing.T) {
+	wals := newWALMap()
+	build := func() *Corpus {
+		c, err := NewCorpusBuilder(&CorpusOptions{Shards: 3, ShardWALFile: wals.file}).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c := build()
+	for i := 0; i < 6; i++ {
+		if err := c.InsertString(fmt.Sprintf("doc%d", i), orderXML(3+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Delete("doc2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReplaceString("doc5", orderXML(2)); err != nil {
+		t.Fatal(err)
+	}
+	want := countCorpus(t, c, "//order//item/name")
+
+	// "Crash": drop every in-memory structure and rebuild from the WALs
+	// alone. The ring is a pure function of (Shards, Replicas), so the
+	// same options route every ID to the same log.
+	rec := build()
+	if got := countCorpus(t, rec, "//order//item/name"); got != want {
+		t.Fatalf("recovered corpus: %d matches, want %d", got, want)
+	}
+	if rec.IngestStats().Docs != 5 {
+		t.Fatalf("recovered docs = %d, want 5", rec.IngestStats().Docs)
+	}
+	for _, id := range []string{"doc0", "doc1", "doc3", "doc4", "doc5"} {
+		if _, ok := rec.ShardOf(id); !ok {
+			t.Fatalf("recovered corpus lost %s", id)
+		}
+	}
+	if _, ok := rec.ShardOf("doc2"); ok {
+		t.Fatal("recovered corpus resurrected doc2")
+	}
+	// And the recovered corpus keeps accepting writes.
+	if err := rec.InsertString("post", orderXML(4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := countCorpus(t, rec, "//order//item/name"); got != want+4 {
+		t.Fatalf("post-recovery insert: %d matches, want %d", got, want+4)
+	}
+}
+
+func TestCorpusIngestSeededBuild(t *testing.T) {
+	wals := newWALMap()
+	b := NewCorpusBuilder(&CorpusOptions{Shards: 2, ShardWALFile: wals.file})
+	for i := 0; i < 4; i++ {
+		if err := b.AddXMLString(fmt.Sprintf("seed%d", i), orderXML(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countCorpus(t, c, "//order//item/name"); got != 12 {
+		t.Fatalf("%d matches, want 12", got)
+	}
+	if err := c.InsertString("extra", orderXML(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := countCorpus(t, c, "//order//item/name"); got != 14 {
+		t.Fatalf("%d matches, want 14", got)
+	}
+	// The seeds were logged as each shard's base snapshot: a rebuild from
+	// the WALs alone recovers seeds and later inserts alike.
+	rec, err := NewCorpusBuilder(&CorpusOptions{Shards: 2, ShardWALFile: wals.file}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countCorpus(t, rec, "//order//item/name"); got != 14 {
+		t.Fatalf("recovered: %d matches, want 14", got)
+	}
+}
+
+func TestCorpusIngestFollowerReplicas(t *testing.T) {
+	wals := newWALMap()
+	var mu sync.Mutex
+	followers := make(map[int]*faultfs.File)
+	c, err := NewCorpusBuilder(&CorpusOptions{
+		Shards:           2,
+		ReplicasPerShard: 2,
+		ShardWALFile:     wals.file,
+		ShardPageFile: func(shard, replica int) PageFile {
+			if replica == 0 {
+				return storage.NewMemFile()
+			}
+			ff := faultfs.Wrap(storage.NewMemFile(), faultfs.Policy{})
+			mu.Lock()
+			followers[shard] = ff
+			mu.Unlock()
+			return ff
+		},
+	}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := c.InsertString(fmt.Sprintf("doc%d", i), orderXML(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := countCorpus(t, c, "//order//item/name"); got != 18 {
+		t.Fatalf("%d matches, want 18", got)
+	}
+	if ds := c.IngestStats().DownReplicas; ds != 0 {
+		t.Fatalf("%d replicas down before any fault", ds)
+	}
+
+	// Kill shard 0's follower store: the next mutation landing on shard 0
+	// fails to apply there, and the follower must leave routing while the
+	// corpus stays fully available.
+	followers[0].SetPolicy(faultfs.Policy{CrashAfterNWrites: 1})
+	downed := 0
+	for i := 6; i < 12; i++ {
+		if err := c.InsertString(fmt.Sprintf("doc%d", i), orderXML(3)); err != nil {
+			t.Fatalf("insert with dead follower: %v", err)
+		}
+	}
+	for _, sh := range c.Health() {
+		for _, rep := range sh.Replicas {
+			if rep.Down {
+				downed++
+			}
+		}
+	}
+	if downed != 1 {
+		t.Fatalf("%d replicas down, want 1", downed)
+	}
+	if got := c.IngestStats().DownReplicas; got != 1 {
+		t.Fatalf("IngestStats.DownReplicas = %d, want 1", got)
+	}
+	if got := countCorpus(t, c, "//order//item/name"); got != 36 {
+		t.Fatalf("after follower death: %d matches, want 36", got)
+	}
+}
+
+// TestCorpusIngestConcurrentQueries hammers scatter-gather queries while
+// the corpus mutates: every observed count must be a committed multiple of
+// the per-document match count.
+func TestCorpusIngestConcurrentQueries(t *testing.T) {
+	wals := newWALMap()
+	c, err := NewCorpusBuilder(&CorpusOptions{Shards: 3, ShardWALFile: wals.file}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const items = 3
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := c.Query("//order//item/name", MethodDPP)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Count%items != 0 {
+					errs <- fmt.Errorf("observed uncommitted state: %d matches", res.Count)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("doc%d", i)
+		if err := c.InsertString(id, orderXML(items)); err != nil {
+			t.Fatal(err)
+		}
+		if i%4 == 3 {
+			if err := c.Delete(fmt.Sprintf("doc%d", i-2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestCorpusIngestStatsRefresh(t *testing.T) {
+	wals := newWALMap()
+	c, err := NewCorpusBuilder(&CorpusOptions{Shards: 2, ShardWALFile: wals.file}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, v0 := c.svc.snapshot()
+	if err := c.InsertString("a", orderXML(5)); err != nil {
+		t.Fatal(err)
+	}
+	_, v1 := c.svc.snapshot()
+	if v1 <= v0 {
+		t.Fatalf("insert did not bump corpus stats version (%d -> %d)", v0, v1)
+	}
+	// Incremental corpus stats must price plans like a from-scratch
+	// rebuild.
+	pat := mustPattern(t, "//order//item/name")
+	before, err := c.Optimize(pat, MethodDPP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RebuildStats()
+	after, err := c.Optimize(pat, MethodDPP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Cost != after.Cost {
+		t.Fatalf("incremental cost %f, rebuilt cost %f", before.Cost, after.Cost)
+	}
+}
+
+func TestCorpusStaticHasNoWritePath(t *testing.T) {
+	b := NewCorpusBuilder(nil)
+	if err := b.AddXMLString("only", orderXML(2)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IngestEnabled() {
+		t.Fatal("static corpus reports ingest enabled")
+	}
+	if err := c.InsertString("x", orderXML(1)); err != ErrNoWAL {
+		t.Fatalf("Insert = %v, want ErrNoWAL", err)
+	}
+}

@@ -54,15 +54,16 @@ func (db *Database) ExplainAnalyze(pat *Pattern, m Method) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	before := db.store.PoolStats()
-	ctx := &exec.Context{Doc: db.doc, Store: db.store}
+	sn := db.view()
+	before := sn.store.PoolStats()
+	ctx := &exec.Context{Doc: sn.doc, Store: sn.store}
 	// Analyze runs the batched path — the execution default — so the trace
 	// reports batches, rows and skip-ahead postings per operator.
 	n, err := exec.CountBatched(ctx, op)
 	if err != nil {
 		return "", err
 	}
-	after := db.store.PoolStats()
+	after := sn.store.PoolStats()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "pattern: %s\n%s plan, estimated cost %.0f, %d matches\n",
 		pat.String(), m, res.Cost, n)

@@ -1,0 +1,496 @@
+package sjos
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"sjos/internal/storage"
+)
+
+// orderXML builds a little order document with n items; each item
+// contributes exactly one match to //order//item/name and one to
+// //item[qty >= 5]/name when its qty crosses the bound.
+func orderXML(n int) string {
+	s := "<order>"
+	for i := 0; i < n; i++ {
+		s += fmt.Sprintf("<item><name>w%d</name><qty>%d</qty></item>", i, i)
+	}
+	return s + "</order>"
+}
+
+func countMatches(t testing.TB, db *Database, q string) int {
+	t.Helper()
+	res, err := db.Query(q, MethodDPP)
+	if err != nil {
+		t.Fatalf("query %s: %v", q, err)
+	}
+	return len(res.Matches)
+}
+
+func TestIngestInsertDeleteReplace(t *testing.T) {
+	db, err := OpenDatabase(&Options{WALFile: storage.NewMemFile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.IngestEnabled() {
+		t.Fatal("ingest not enabled")
+	}
+	if got := countMatches(t, db, "//order//item/name"); got != 0 {
+		t.Fatalf("empty database matched %d", got)
+	}
+
+	for i, n := range []int{3, 5, 7} {
+		if err := db.InsertString(fmt.Sprintf("o%d", i), orderXML(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := countMatches(t, db, "//order//item/name"); got != 15 {
+		t.Fatalf("after inserts: %d matches, want 15", got)
+	}
+	if got, want := db.MemberIDs(), []string{"o0", "o1", "o2"}; fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("MemberIDs = %v, want %v", got, want)
+	}
+
+	if err := db.Delete("o1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := countMatches(t, db, "//order//item/name"); got != 10 {
+		t.Fatalf("after delete: %d matches, want 10", got)
+	}
+	if db.HasMember("o1") {
+		t.Fatal("deleted member still visible")
+	}
+
+	if err := db.ReplaceString("o2", orderXML(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := countMatches(t, db, "//order//item/name"); got != 5 {
+		t.Fatalf("after replace: %d matches, want 5", got)
+	}
+
+	// Value predicates keep working across mutations (content index per
+	// segment): o0 has qty 0..2, o2 has qty 0..1 -> none reach 5.
+	if got := countMatches(t, db, "//item[qty >= 5]/name"); got != 0 {
+		t.Fatalf("qty >= 5: %d matches, want 0", got)
+	}
+	if err := db.InsertString("big", orderXML(8)); err != nil {
+		t.Fatal(err)
+	}
+	if got := countMatches(t, db, "//item[qty >= 5]/name"); got != 3 {
+		t.Fatalf("qty >= 5 after insert: %d matches, want 3", got)
+	}
+
+	// Error paths leave the database usable.
+	if err := db.InsertString("o0", orderXML(1)); err == nil {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if err := db.Delete("nope"); err == nil {
+		t.Fatal("deleting unknown doc succeeded")
+	}
+	if err := db.ReplaceString("nope", orderXML(1)); err == nil {
+		t.Fatal("replacing unknown doc succeeded")
+	}
+	if err := db.InsertString("", orderXML(1)); err == nil {
+		t.Fatal("empty ID insert succeeded")
+	}
+	if got := countMatches(t, db, "//order//item/name"); got != 13 {
+		t.Fatalf("after error paths: %d matches, want 13", got)
+	}
+}
+
+func TestIngestDisabledOnStaticDatabase(t *testing.T) {
+	db := openDB(t)
+	if db.IngestEnabled() {
+		t.Fatal("static database reports ingest enabled")
+	}
+	if err := db.InsertString("x", orderXML(1)); !errors.Is(err, ErrNoWAL) {
+		t.Fatalf("Insert = %v, want ErrNoWAL", err)
+	}
+	if err := db.Delete("x"); !errors.Is(err, ErrNoWAL) {
+		t.Fatalf("Delete = %v, want ErrNoWAL", err)
+	}
+	if db.NumMembers() != 1 || db.MemberIDs() != nil {
+		t.Fatalf("static membership: %d, %v", db.NumMembers(), db.MemberIDs())
+	}
+}
+
+func TestIngestSeededFromLoadXML(t *testing.T) {
+	static := openDB(t)
+	db, err := LoadXMLString(facadeXML, &Options{WALFile: storage.NewMemFile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.HasMember(SeedDocID) {
+		t.Fatalf("seed member %q missing: %v", SeedDocID, db.MemberIDs())
+	}
+	for _, q := range []string{
+		"//manager//employee/name",
+		"//manager[.//employee/name]//department/name",
+		"//employee[salary >= 40000]/name",
+	} {
+		if got, want := countMatches(t, db, q), countMatches(t, static, q); got != want {
+			t.Errorf("%s: ingest %d matches, static %d", q, got, want)
+		}
+	}
+	// The forest stays queryable as members arrive next to the seed.
+	if err := db.InsertString("extra", facadeXML); err != nil {
+		t.Fatal(err)
+	}
+	q := "//manager//employee/name"
+	if got, want := countMatches(t, db, q), 2*countMatches(t, static, q); got != want {
+		t.Errorf("after second copy: %d matches, want %d", got, want)
+	}
+}
+
+// mutateForRecovery drives one representative mutation history and returns
+// the expected final match count for //order//item/name.
+func mutateForRecovery(t *testing.T, db *Database) int {
+	t.Helper()
+	steps := []struct {
+		op string
+		id string
+		n  int
+	}{
+		{"ins", "a", 4}, {"ins", "b", 6}, {"ins", "c", 3},
+		{"del", "b", 0}, {"rep", "a", 9}, {"ins", "d", 2},
+	}
+	for _, s := range steps {
+		var err error
+		switch s.op {
+		case "ins":
+			err = db.InsertString(s.id, orderXML(s.n))
+		case "del":
+			err = db.Delete(s.id)
+		case "rep":
+			err = db.ReplaceString(s.id, orderXML(s.n))
+		}
+		if err != nil {
+			t.Fatalf("%s %s: %v", s.op, s.id, err)
+		}
+	}
+	return 9 + 3 + 2 // a(replaced)=9, c=3, d=2
+}
+
+func TestIngestRecovery(t *testing.T) {
+	wal := storage.NewMemFile()
+	db, err := OpenDatabase(&Options{WALFile: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mutateForRecovery(t, db)
+	if got := countMatches(t, db, "//order//item/name"); got != want {
+		t.Fatalf("pre-recovery: %d matches, want %d", got, want)
+	}
+	wantIDs := fmt.Sprint(db.MemberIDs())
+
+	// Reopen from the same log — replay is idempotent, so recover twice
+	// and check both replicas agree with the original.
+	for round := 0; round < 2; round++ {
+		rec, err := OpenDatabase(&Options{WALFile: wal})
+		if err != nil {
+			t.Fatalf("recovery round %d: %v", round, err)
+		}
+		if got := countMatches(t, rec, "//order//item/name"); got != want {
+			t.Fatalf("round %d: %d matches, want %d", round, got, want)
+		}
+		if got := fmt.Sprint(rec.MemberIDs()); got != wantIDs {
+			t.Fatalf("round %d: MemberIDs %s, want %s", round, got, wantIDs)
+		}
+		if got := countMatches(t, rec, "//item[qty >= 5]/name"); got != countMatches(t, db, "//item[qty >= 5]/name") {
+			t.Fatalf("round %d: value-probe counts diverge", round)
+		}
+	}
+}
+
+func TestIngestRecoveryAfterCompaction(t *testing.T) {
+	wal := storage.NewMemFile()
+	db, err := OpenDatabase(&Options{WALFile: wal, CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mutateForRecovery(t, db)
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if db.IngestStats().Compactions != 1 {
+		t.Fatalf("compactions = %d, want 1", db.IngestStats().Compactions)
+	}
+	if got := countMatches(t, db, "//order//item/name"); got != want {
+		t.Fatalf("post-compaction: %d matches, want %d", got, want)
+	}
+	if df := db.IngestStats().DeadFraction; df != 0 {
+		t.Fatalf("dead fraction %f after compaction", df)
+	}
+	// Mutate past the compaction snapshot, then recover: replay starts at
+	// the snapshot and applies the tail.
+	if err := db.InsertString("post", orderXML(5)); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := OpenDatabase(&Options{WALFile: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countMatches(t, rec, "//order//item/name"); got != want+5 {
+		t.Fatalf("recovered: %d matches, want %d", got, want+5)
+	}
+}
+
+func TestIngestAutoCompaction(t *testing.T) {
+	db, err := OpenDatabase(&Options{WALFile: storage.NewMemFile(), CompactThreshold: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := db.InsertString(fmt.Sprintf("d%d", i), orderXML(5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := db.Delete(fmt.Sprintf("d%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.IngestStats()
+	if st.Compactions == 0 {
+		t.Fatalf("no automatic compaction (dead fraction %f)", st.DeadFraction)
+	}
+	if st.DeadFraction >= 0.4 {
+		t.Fatalf("dead fraction %f still above threshold", st.DeadFraction)
+	}
+	if got := countMatches(t, db, "//order//item/name"); got != 5 {
+		t.Fatalf("%d matches, want 5", got)
+	}
+}
+
+// TestIngestIncrementalStatsMatchRebuild is the acceptance check for
+// incremental statistics: after a pile of inserts and deletes, the
+// incrementally maintained statistics must price plans identically to a
+// from-scratch RebuildStats.
+func TestIngestIncrementalStatsMatchRebuild(t *testing.T) {
+	db, err := OpenDatabase(&Options{WALFile: storage.NewMemFile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := db.InsertString(fmt.Sprintf("d%d", i), orderXML(3+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []string{"d1", "d4", "d6"} {
+		if err := db.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := []string{
+		"//order//item/name",
+		"//order[.//qty]//item",
+		"//item[qty >= 5]/name",
+	}
+	type priced struct {
+		cost    float64
+		matches int
+	}
+	before := make(map[string]priced)
+	for _, q := range queries {
+		pat, err := ParsePattern(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := db.Optimize(pat, MethodDPP, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[q] = priced{cost: res.Cost, matches: countMatches(t, db, q)}
+	}
+	verBefore := db.IngestStats().StatsVersion
+	db.RebuildStats()
+	if v := db.IngestStats().StatsVersion; v == verBefore {
+		t.Fatal("RebuildStats did not bump the stats version")
+	}
+	for _, q := range queries {
+		pat, _ := ParsePattern(q)
+		res, err := db.Optimize(pat, MethodDPP, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost != before[q].cost {
+			t.Errorf("%s: incremental cost %f, rebuilt cost %f", q, before[q].cost, res.Cost)
+		}
+		if got := countMatches(t, db, q); got != before[q].matches {
+			t.Errorf("%s: matches changed across rebuild: %d -> %d", q, before[q].matches, got)
+		}
+	}
+}
+
+// TestIngestStatsVersionInvalidatesPlans checks every mutation bumps the
+// statistics version, so cached plans from before the mutation are re-keyed.
+func TestIngestStatsVersionInvalidatesPlans(t *testing.T) {
+	db, err := OpenDatabase(&Options{WALFile: storage.NewMemFile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vers := []uint64{db.IngestStats().StatsVersion}
+	bump := func(what string, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		v := db.IngestStats().StatsVersion
+		if v <= vers[len(vers)-1] {
+			t.Fatalf("%s did not bump stats version (%d -> %d)", what, vers[len(vers)-1], v)
+		}
+		vers = append(vers, v)
+	}
+	bump("insert", db.InsertString("a", orderXML(3)))
+	bump("insert", db.InsertString("b", orderXML(4)))
+	bump("replace", db.ReplaceString("a", orderXML(5)))
+	bump("delete", db.Delete("b"))
+}
+
+// TestIngestConcurrentReadersSeeCommittedSnapshots hammers queries against
+// a database mutating under them: every observed match count must equal a
+// committed state's count (each member contributes exactly its item count,
+// so any mix of torn/partial visibility breaks the equality).
+func TestIngestConcurrentReadersSeeCommittedSnapshots(t *testing.T) {
+	db, err := OpenDatabase(&Options{WALFile: storage.NewMemFile(), CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every member has exactly 4 items: any committed state shows 0 mod 4.
+	const items = 4
+	legal := func(n int) bool { return n%items == 0 && n >= 0 && n <= 16*items }
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := db.Query("//order//item/name", MethodDPP)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !legal(len(res.Matches)) {
+					errs <- fmt.Errorf("observed uncommitted state: %d matches", len(res.Matches))
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		id := fmt.Sprintf("d%d", i)
+		if err := db.InsertString(id, orderXML(items)); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 2 {
+			if err := db.Delete(fmt.Sprintf("d%d", i-1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestIngestMemberOf(t *testing.T) {
+	db, err := OpenDatabase(&Options{WALFile: storage.NewMemFile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertString("a", orderXML(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertString("b", orderXML(2)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("//item/name", MethodDPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 4 {
+		t.Fatalf("%d matches, want 4", len(res.Matches))
+	}
+	owners := map[string]int{}
+	for _, m := range res.Matches {
+		id, ok := db.MemberOf(m[len(m)-1])
+		if !ok {
+			t.Fatalf("no member owns node %d", m[len(m)-1])
+		}
+		owners[id]++
+	}
+	if owners["a"] != 2 || owners["b"] != 2 {
+		t.Fatalf("owners = %v, want a:2 b:2", owners)
+	}
+	if _, ok := db.MemberOf(0); ok {
+		t.Fatal("synthetic root attributed to a member")
+	}
+}
+
+// TestOpenDatabaseWALPath exercises the public disk-WAL convenience: a
+// database opened by path, mutated, reopened by the same path, must recover
+// exactly the committed members — without the caller ever touching a page
+// file.
+func TestOpenDatabaseWALPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ingest.wal")
+	db, err := OpenDatabase(&Options{WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertString("a", orderXML(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertString("b", orderXML(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := OpenDatabase(&Options{WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.MemberIDs(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("recovered members %v, want [b]", got)
+	}
+	if n := countMatches(t, rec, "//order//item/name"); n != 3 {
+		t.Fatalf("recovered matches = %d, want 3", n)
+	}
+	if err := rec.InsertString("c", orderXML(1)); err != nil {
+		t.Fatalf("post-recovery insert: %v", err)
+	}
+
+	if _, err := OpenDatabase(&Options{}); err == nil {
+		t.Fatal("OpenDatabase without WALFile/WALPath accepted")
+	}
+	// The exported page-file constructors serve the same role explicitly.
+	if f := NewMemPageFile(); f == nil || f.NumPages() != 0 {
+		t.Fatal("NewMemPageFile not fresh")
+	}
+	cp := filepath.Join(t.TempDir(), "x.pages")
+	cf, err := CreatePageFile(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDatabase(&Options{WALFile: cf}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPageFile(cp); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,365 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"sjos"
+	"sjos/internal/datagen"
+	"sjos/internal/loadgen"
+	"sjos/internal/storage"
+	"sjos/internal/xmltree"
+)
+
+// ChurnBenchConfig shapes the mixed read/write benchmark: an open-loop
+// query stream and an open-loop mutation stream (insert / replace / delete
+// of whole documents) run concurrently against one writable corpus.
+type ChurnBenchConfig struct {
+	// Docs and Shards size the initial corpus (pers documents with
+	// distinct generator seeds). <= 0 selects 8 documents over 4 shards.
+	Docs   int
+	Shards int
+	// QueryRate and MutateRate are the offered arrival rates per second
+	// (<= 0 selects 150 queries/s and 30 mutations/s).
+	QueryRate  float64
+	MutateRate float64
+	// Duration is the load phase length (<= 0 selects 3 s).
+	Duration time.Duration
+	// Clients is the query worker pool (<= 0 selects 2 × Shards).
+	Clients int
+	// Method is the optimizer every query runs with.
+	Method sjos.Method
+	// Seed offsets the generator seeds and seeds both arrival processes.
+	Seed int64
+	// Scale is the pers generator scale for both the initial corpus and
+	// the churned documents (<= 0 selects 1, or 0.25 under Quick).
+	Scale float64
+	// Quick shrinks everything for a CI smoke run.
+	Quick bool
+}
+
+func (c *ChurnBenchConfig) defaults() {
+	if c.Quick {
+		if c.Docs <= 0 {
+			c.Docs = 4
+		}
+		if c.Shards <= 0 {
+			c.Shards = 2
+		}
+		if c.QueryRate <= 0 {
+			c.QueryRate = 20
+		}
+		if c.MutateRate <= 0 {
+			c.MutateRate = 10
+		}
+		if c.Duration <= 0 {
+			c.Duration = time.Second
+		}
+		if c.Scale <= 0 {
+			c.Scale = 0.25
+		}
+	}
+	if c.Docs <= 0 {
+		c.Docs = 8
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueryRate <= 0 {
+		c.QueryRate = 150
+	}
+	if c.MutateRate <= 0 {
+		c.MutateRate = 30
+	}
+	if c.Duration <= 0 {
+		c.Duration = 3 * time.Second
+	}
+	if c.Clients <= 0 {
+		c.Clients = 2 * c.Shards
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+}
+
+// ChurnBenchResult is one churn run's record, JSON-shaped for
+// BENCH_churn.json.
+type ChurnBenchResult struct {
+	// Corpus geometry and workload identity.
+	Docs       int     `json:"initial_docs"`
+	Shards     int     `json:"shards"`
+	Method     string  `json:"method"`
+	QueryRate  float64 `json:"query_rate_per_sec"`
+	MutateRate float64 `json:"mutate_rate_per_sec"`
+	Duration   string  `json:"duration"`
+	Clients    int     `json:"clients"`
+
+	// Query-side accounting under churn (arrival-to-completion latency).
+	Queries      int     `json:"queries_completed"`
+	QueryErrors  int     `json:"query_errors"`
+	QueryRateOut float64 `json:"query_throughput_per_sec"`
+	QueryP50     string  `json:"query_p50"`
+	QueryP95     string  `json:"query_p95"`
+	QueryP99     string  `json:"query_p99"`
+
+	// Mutation-side accounting: every mutation is a full WAL-committed
+	// document insert, replace, or delete.
+	Inserts        int     `json:"inserts"`
+	Replaces       int     `json:"replaces"`
+	Deletes        int     `json:"deletes"`
+	MutationErrors int     `json:"mutation_errors"`
+	MutateRateOut  float64 `json:"mutate_throughput_per_sec"`
+	MutateP50      string  `json:"mutate_p50"`
+	MutateP95      string  `json:"mutate_p95"`
+	MutateMax      string  `json:"mutate_max"`
+
+	// End-state verification: the surviving document set must match the
+	// mutation ledger exactly, no shard may be poisoned or down, and the
+	// incrementally maintained statistics must plan identically to a full
+	// rebuild.
+	FinalDocs       int  `json:"final_docs"`
+	LedgerDocs      int  `json:"ledger_docs"`
+	WALPages        int  `json:"wal_pages"`
+	Compactions     int  `json:"compactions"`
+	BrokenShards    int  `json:"broken_shards"`
+	DownReplicas    int  `json:"down_replicas"`
+	StatsConsistent bool `json:"stats_consistent"`
+	DrainClean      bool `json:"drain_clean"`
+}
+
+// Verify reports whether the run ended in a consistent state.
+func (r *ChurnBenchResult) Verify() error {
+	switch {
+	case r.QueryErrors > 0:
+		return fmt.Errorf("%d queries failed under churn", r.QueryErrors)
+	case r.MutationErrors > 0:
+		return fmt.Errorf("%d mutations failed", r.MutationErrors)
+	case r.FinalDocs != r.LedgerDocs:
+		return fmt.Errorf("corpus holds %d docs, mutation ledger says %d", r.FinalDocs, r.LedgerDocs)
+	case r.BrokenShards > 0 || r.DownReplicas > 0:
+		return fmt.Errorf("%d broken shards, %d down replicas", r.BrokenShards, r.DownReplicas)
+	case !r.StatsConsistent:
+		return fmt.Errorf("incremental statistics diverged from a full rebuild")
+	case !r.DrainClean:
+		return fmt.Errorf("corpus did not drain cleanly after the load phase")
+	}
+	return nil
+}
+
+// churnLedger tracks which churn-inserted documents are live, so the
+// mutation stream never targets an ID it already removed.
+type churnLedger struct {
+	mu   sync.Mutex
+	live []string
+	next int
+	rng  *rand.Rand
+
+	inserts, replaces, deletes int
+}
+
+// ChurnBench builds a writable sharded corpus (in-memory per-shard WALs),
+// then runs a Poisson query stream and a Poisson mutation stream against it
+// concurrently. Each mutation commits a whole pers document through the
+// owning shard's WAL; queries must stay correct and fast throughout. The
+// run fails if any query or mutation errors, if the final document set
+// disagrees with the mutation ledger, or if the incrementally maintained
+// statistics disagree with a full rebuild.
+func ChurnBench(cfg ChurnBenchConfig) (*ChurnBenchResult, error) {
+	cfg.defaults()
+	b := sjos.NewCorpusBuilder(&sjos.CorpusOptions{
+		Shards:       cfg.Shards,
+		ShardWALFile: func(int) sjos.PageFile { return storage.NewMemFile() },
+	})
+	for i := 0; i < cfg.Docs; i++ {
+		id := fmt.Sprintf("pers-%03d", i)
+		if err := b.AddDataset(id, "pers", cfg.Scale, 1, cfg.Seed+int64(i)); err != nil {
+			return nil, err
+		}
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Pre-serialize a pool of spare pers documents for the insert/replace
+	// mix, so generation cost never pollutes mutation latency.
+	spares := make([]string, 8)
+	for i := range spares {
+		doc, err := datagen.Generate(datagen.Config{Name: "pers", Scale: cfg.Scale, Seed: cfg.Seed + 1000 + int64(i)})
+		if err != nil {
+			return nil, err
+		}
+		if spares[i], err = xmltree.SerializeString(doc); err != nil {
+			return nil, err
+		}
+	}
+
+	var mix []string
+	for _, q := range Queries() {
+		if q.Dataset == "pers" {
+			mix = append(mix, q.Source)
+		}
+	}
+	res := &ChurnBenchResult{
+		Docs:       cfg.Docs,
+		Shards:     c.NumShards(),
+		Method:     cfg.Method.String(),
+		QueryRate:  cfg.QueryRate,
+		MutateRate: cfg.MutateRate,
+		Duration:   cfg.Duration.String(),
+		Clients:    cfg.Clients,
+	}
+
+	led := &churnLedger{rng: rand.New(rand.NewSource(cfg.Seed))}
+	// mutateOnce performs one ledger-consistent mutation. The ledger lock
+	// spans the corpus call: mutations serialize on the corpus's own
+	// ingest lock anyway, and this keeps ledger and corpus in lock-step.
+	mutateOnce := func() error {
+		led.mu.Lock()
+		defer led.mu.Unlock()
+		op := led.rng.Intn(3)
+		switch {
+		case op == 1 && len(led.live) > 0: // replace a live churn doc
+			id := led.live[led.rng.Intn(len(led.live))]
+			if err := c.ReplaceString(id, spares[led.rng.Intn(len(spares))]); err != nil {
+				return err
+			}
+			led.replaces++
+		case op == 2 && len(led.live) > 1: // delete one, keep some alive
+			i := led.rng.Intn(len(led.live))
+			id := led.live[i]
+			if err := c.Delete(id); err != nil {
+				return err
+			}
+			led.live = append(led.live[:i], led.live[i+1:]...)
+			led.deletes++
+		default: // insert a fresh churn doc
+			id := fmt.Sprintf("churn-%04d", led.next)
+			led.next++
+			if err := c.InsertString(id, spares[led.rng.Intn(len(spares))]); err != nil {
+				return err
+			}
+			led.live = append(led.live, id)
+			led.inserts++
+		}
+		return nil
+	}
+
+	var queryNext, mutErrs int
+	var queryMu sync.Mutex
+	var qres, mres loadgen.Result
+	var qerr, merr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		qres, qerr = loadgen.Run(loadgen.Config{
+			Rate:     cfg.QueryRate,
+			Duration: cfg.Duration,
+			Workers:  cfg.Clients,
+			Seed:     cfg.Seed,
+		}, func() error {
+			queryMu.Lock()
+			src := mix[queryNext%len(mix)]
+			queryNext++
+			queryMu.Unlock()
+			_, err := c.QueryContext(context.Background(), src,
+				sjos.QueryOptions{ExecOptions: sjos.ExecOptions{Method: cfg.Method}})
+			return err
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		// Mutations run on a single worker: the write path serializes on
+		// the corpus ingest lock, so extra workers would only misreport
+		// queueing as commit latency.
+		mres, merr = loadgen.Run(loadgen.Config{
+			Rate:     cfg.MutateRate,
+			Duration: cfg.Duration,
+			Workers:  1,
+			Seed:     cfg.Seed + 1,
+		}, mutateOnce)
+	}()
+	wg.Wait()
+	if qerr != nil {
+		return nil, qerr
+	}
+	if merr != nil {
+		return nil, merr
+	}
+	mutErrs = mres.Errors
+
+	res.Queries = qres.Completed
+	res.QueryErrors = qres.Errors
+	res.QueryRateOut = qres.Throughput
+	res.QueryP50 = qres.P50.String()
+	res.QueryP95 = qres.P95.String()
+	res.QueryP99 = qres.P99.String()
+	res.Inserts = led.inserts
+	res.Replaces = led.replaces
+	res.Deletes = led.deletes
+	res.MutationErrors = mutErrs
+	res.MutateRateOut = mres.Throughput
+	res.MutateP50 = mres.P50.String()
+	res.MutateP95 = mres.P95.String()
+	res.MutateMax = mres.Max.String()
+
+	ist := c.IngestStats()
+	res.FinalDocs = c.NumDocs()
+	res.LedgerDocs = cfg.Docs + len(led.live)
+	res.WALPages = ist.WALPages
+	res.Compactions = ist.Compactions
+	res.BrokenShards = ist.BrokenShards
+	res.DownReplicas = ist.DownReplicas
+
+	// Incremental-vs-rebuilt statistics: the same pattern must plan
+	// identically (and count the same matches) before and after a
+	// ground-up statistics rebuild.
+	res.StatsConsistent = true
+	qo := sjos.QueryOptions{ExecOptions: sjos.ExecOptions{Method: cfg.Method}}
+	type planSnap struct {
+		plan  string
+		count int
+	}
+	before := make([]planSnap, len(mix))
+	for i, src := range mix {
+		r, err := c.QueryContext(context.Background(), src, qo)
+		if err != nil {
+			return nil, err
+		}
+		before[i] = planSnap{r.PlanText, r.Count}
+	}
+	c.RebuildStats()
+	for i, src := range mix {
+		r, err := c.QueryContext(context.Background(), src, qo)
+		if err != nil {
+			return nil, err
+		}
+		if r.PlanText != before[i].plan || r.Count != before[i].count {
+			res.StatsConsistent = false
+		}
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res.DrainClean = c.Drain(drainCtx) == nil
+	return res, nil
+}
+
+// RenderChurnBench formats one churn run for the terminal.
+func RenderChurnBench(r *ChurnBenchResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ingestion churn (%d initial docs / %d shards, %s, %.0f queries/s + %.0f mutations/s for %s)\n",
+		r.Docs, r.Shards, r.Method, r.QueryRate, r.MutateRate, r.Duration)
+	fmt.Fprintf(&sb, "queries: %d completed (%d errors)  %.1f/s  p50 %s  p95 %s  p99 %s\n",
+		r.Queries, r.QueryErrors, r.QueryRateOut, r.QueryP50, r.QueryP95, r.QueryP99)
+	fmt.Fprintf(&sb, "mutations: %d inserts  %d replaces  %d deletes (%d errors)  %.1f/s  p50 %s  p95 %s  max %s\n",
+		r.Inserts, r.Replaces, r.Deletes, r.MutationErrors, r.MutateRateOut, r.MutateP50, r.MutateP95, r.MutateMax)
+	fmt.Fprintf(&sb, "end state: %d docs (ledger %d)  %d WAL pages  %d compactions  stats consistent: %v  drain clean: %v\n",
+		r.FinalDocs, r.LedgerDocs, r.WALPages, r.Compactions, r.StatsConsistent, r.DrainClean)
+	return sb.String()
+}

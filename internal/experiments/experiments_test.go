@@ -303,3 +303,34 @@ func TestReplicaBenchSmoke(t *testing.T) {
 		t.Fatalf("render missing fields:\n%s", out)
 	}
 }
+
+func TestChurnBenchSmoke(t *testing.T) {
+	res, err := ChurnBench(ChurnBenchConfig{
+		Docs:       2,
+		Shards:     2,
+		QueryRate:  40,
+		MutateRate: 25,
+		Duration:   400 * time.Millisecond,
+		Clients:    4,
+		Scale:      0.2,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatalf("churn run inconsistent: %v\n%+v", err, res)
+	}
+	if res.Queries == 0 {
+		t.Fatal("no queries completed under churn")
+	}
+	if res.Inserts+res.Replaces+res.Deletes == 0 {
+		t.Fatal("no mutations committed")
+	}
+	if res.WALPages == 0 {
+		t.Fatal("mutations committed but no WAL pages recorded")
+	}
+	if out := RenderChurnBench(res); !strings.Contains(out, "mutations:") || !strings.Contains(out, "stats consistent: true") {
+		t.Fatalf("render missing fields:\n%s", out)
+	}
+}

@@ -4,6 +4,14 @@
 // It is the chaos harness behind the executor's fault differential tests and
 // xqbench -chaos — the same wrapper in both places, so what the tests prove
 // is what the benchmark exercises.
+//
+// The write side mirrors the read side for the ingestion path: deterministic
+// fail-nth-write, torn writes (a prefix of the page is persisted and the
+// write reports success — the classic torn-page failure the checksums must
+// catch), and a crash kill-point that deadens the file after its Nth write,
+// emulating the process dying mid-commit (every later read or write fails
+// permanently; the bytes already written survive in the inner file, exactly
+// like a disk after power loss).
 package faultfs
 
 import (
@@ -20,9 +28,15 @@ import (
 // detection works through errors.Is on the returned error chain.
 var ErrInjected = errors.New("faultfs: injected fault")
 
-// Policy configures which reads fail and how. The zero Policy injects
-// nothing. Counters (nth-read indices) are 1-based and count physical
-// ReadPage calls on the wrapper since the last SetPolicy.
+// ErrCrashed is returned by every operation after a CrashAfterNWrites
+// kill-point fired: the file is dead, as if the process holding it had been
+// killed. It wraps ErrInjected and is never transient.
+var ErrCrashed = fmt.Errorf("%w: crashed (kill-point reached)", ErrInjected)
+
+// Policy configures which reads and writes fail and how. The zero Policy
+// injects nothing. Counters (nth-read/nth-write indices) are 1-based and
+// count physical ReadPage/WritePage calls on the wrapper since the last
+// SetPolicy.
 type Policy struct {
 	// FailNthRead fails reads by ordinal: with Transient false the Nth and
 	// every later read fail (a device that died); with Transient true only
@@ -32,10 +46,13 @@ type Policy struct {
 	// from a rand.Rand seeded with Seed — the same seed replays the same
 	// fault schedule. Transient applies.
 	FailProb float64
-	// Seed seeds the probabilistic fault stream (0 is a valid fixed seed).
+	// Seed seeds the probabilistic fault stream and the torn-write prefix
+	// lengths (0 is a valid fixed seed).
 	Seed int64
 	// Transient marks injected failures retryable (storage.MarkTransient),
-	// so the buffer pool's RetryPolicy applies to them.
+	// so the buffer pool's RetryPolicy applies to them. It applies to read
+	// failures and FailNthWrite; torn writes and crashes are never
+	// transient.
 	Transient bool
 	// CorruptNthRead flips one payload bit in the Nth read's result instead
 	// of failing it: the read "succeeds" but checksum verification must
@@ -47,9 +64,40 @@ type Policy struct {
 	// simulating slow devices. 0 disables.
 	Latency time.Duration
 	// MaxFaults caps the total number of injected faults (failures plus
-	// corruptions); once reached, reads pass through untouched. 0 means
-	// unlimited.
+	// corruptions, reads and writes alike); once reached, operations pass
+	// through untouched. 0 means unlimited.
 	MaxFaults int
+
+	// FailNthWrite fails writes by ordinal, mirroring FailNthRead: with
+	// Transient false the Nth and every later write fail; with Transient
+	// true only the Nth write fails. Nothing is written for a failed
+	// write. 0 disables.
+	FailNthWrite int
+	// TornWrite, on the Nth write, persists only a seed-determined prefix
+	// of the page (the rest of the slot keeps stale or zero bytes) and
+	// reports success — a torn page the caller cannot see until a later
+	// read fails checksum verification. 0 disables.
+	TornWrite int
+	// CrashAfterNWrites deadens the file after its Nth successful write:
+	// writes 1..N reach the inner file, and every later operation — read
+	// or write — fails permanently with ErrCrashed. The inner file keeps
+	// exactly the bytes written before the kill-point, like a disk after
+	// power loss. 0 disables.
+	CrashAfterNWrites int
+}
+
+// Stats is a point-in-time snapshot of the wrapper's counters.
+type Stats struct {
+	// Reads and Writes count physical ReadPage/WritePage calls since the
+	// last SetPolicy (including failed ones).
+	Reads  uint64
+	Writes uint64
+	// FaultsInjected counts sabotaged operations: failed or corrupted
+	// reads, failed or torn writes, and every operation refused after the
+	// crash kill-point.
+	FaultsInjected uint64
+	// Crashed reports whether the CrashAfterNWrites kill-point has fired.
+	Crashed bool
 }
 
 // File wraps an inner storage.PageFile with fault injection under a Policy.
@@ -61,7 +109,9 @@ type File struct {
 	policy    Policy
 	rng       *rand.Rand
 	reads     uint64
+	writes    uint64
 	faults    uint64
+	crashed   bool
 	corrupted map[storage.PageID]bool // pages with permanent at-rest damage
 }
 
@@ -72,16 +122,23 @@ func Wrap(inner storage.PageFile, policy Policy) *File {
 	return f
 }
 
-// SetPolicy replaces the policy and resets the read/fault counters, the
-// probabilistic fault stream, and the permanent-corruption memory — each
-// SetPolicy starts a fresh, reproducible fault schedule.
+// Inner returns the wrapped file — the bytes that "survive the crash" when a
+// kill-point deadens the wrapper. Recovery tests reopen state from it.
+func (f *File) Inner() storage.PageFile { return f.inner }
+
+// SetPolicy replaces the policy and resets the read/write/fault counters,
+// the probabilistic fault stream, the crash state and the
+// permanent-corruption memory — each SetPolicy starts a fresh, reproducible
+// fault schedule.
 func (f *File) SetPolicy(policy Policy) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.policy = policy
 	f.rng = rand.New(rand.NewSource(policy.Seed))
 	f.reads = 0
+	f.writes = 0
 	f.faults = 0
+	f.crashed = false
 	f.corrupted = nil
 }
 
@@ -93,8 +150,16 @@ func (f *File) Reads() uint64 {
 	return f.reads
 }
 
-// FaultsInjected returns how many reads were sabotaged (failed or
-// corrupted) since the last SetPolicy. The facade surfaces it as
+// Writes returns how many WritePage calls the wrapper has seen since the
+// last SetPolicy.
+func (f *File) Writes() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+// FaultsInjected returns how many operations were sabotaged (failed,
+// corrupted or torn) since the last SetPolicy. The facade surfaces it as
 // sjos_faults_injected_total.
 func (f *File) FaultsInjected() uint64 {
 	f.mu.Lock()
@@ -102,9 +167,24 @@ func (f *File) FaultsInjected() uint64 {
 	return f.faults
 }
 
+// Crashed reports whether the CrashAfterNWrites kill-point has fired.
+func (f *File) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Stats returns a snapshot of all counters under one lock.
+func (f *File) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return Stats{Reads: f.reads, Writes: f.writes, FaultsInjected: f.faults, Crashed: f.crashed}
+}
+
 // verdict is the per-read decision taken under the mutex.
 type verdict struct {
 	fail    bool
+	crashed bool
 	corrupt bool
 	ordinal uint64
 	latency time.Duration
@@ -115,6 +195,11 @@ func (f *File) decide(id storage.PageID) verdict {
 	defer f.mu.Unlock()
 	f.reads++
 	v := verdict{ordinal: f.reads, latency: f.policy.Latency}
+	if f.crashed {
+		v.fail, v.crashed = true, true
+		f.faults++
+		return v
+	}
 	if f.policy.MaxFaults > 0 && f.faults >= uint64(f.policy.MaxFaults) {
 		return v
 	}
@@ -148,6 +233,9 @@ func (f *File) ReadPage(id storage.PageID, dst *storage.Page) error {
 	if v.latency > 0 {
 		time.Sleep(v.latency)
 	}
+	if v.crashed {
+		return fmt.Errorf("%w (read #%d, page %d)", ErrCrashed, v.ordinal, id)
+	}
 	if v.fail {
 		err := fmt.Errorf("%w (read #%d, page %d)", ErrInjected, v.ordinal, id)
 		if f.transient() {
@@ -172,10 +260,92 @@ func (f *File) transient() bool {
 	return f.policy.Transient
 }
 
-// WritePage passes through to the inner file.
+// writeVerdict is the per-write decision taken under the mutex.
+type writeVerdict struct {
+	fail    bool
+	crashed bool
+	tornLen int // > 0: persist only this prefix of the page, report success
+	ordinal uint64
+}
+
+func (f *File) decideWrite() writeVerdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writes++
+	v := writeVerdict{ordinal: f.writes}
+	if f.crashed {
+		v.fail, v.crashed = true, true
+		f.faults++
+		return v
+	}
+	p := f.policy
+	capped := p.MaxFaults > 0 && f.faults >= uint64(p.MaxFaults)
+	switch {
+	case capped:
+	case p.TornWrite > 0 && f.writes == uint64(p.TornWrite):
+		// Persist a strict prefix: at least the integrity header area is
+		// started, and at least the last byte is lost, so verification
+		// must fail when the slot is read back.
+		v.tornLen = storage.PageHeaderSize + f.rng.Intn(storage.PageSize-storage.PageHeaderSize-1)
+		f.faults++
+	case p.FailNthWrite > 0 && (f.writes == uint64(p.FailNthWrite) ||
+		(!p.Transient && f.writes > uint64(p.FailNthWrite))):
+		v.fail = true
+		f.faults++
+	}
+	// The kill-point counts successful writes: after the Nth write lands,
+	// the file is dead. A write that itself failed does not arm it.
+	if p.CrashAfterNWrites > 0 && !v.fail && f.writes >= uint64(p.CrashAfterNWrites) {
+		f.crashed = true
+	}
+	return v
+}
+
+// WritePage implements storage.PageFile with the policy's write faults
+// applied: fail-nth, torn prefix persistence, and the crash kill-point.
 func (f *File) WritePage(id storage.PageID, src *storage.Page) error {
+	v := f.decideWrite()
+	if v.crashed {
+		return fmt.Errorf("%w (write #%d, page %d)", ErrCrashed, v.ordinal, id)
+	}
+	if v.fail {
+		err := fmt.Errorf("%w (write #%d, page %d)", ErrInjected, v.ordinal, id)
+		if f.transient() {
+			return storage.MarkTransient(err)
+		}
+		return err
+	}
+	if v.tornLen > 0 {
+		var torn storage.Page
+		// Preserve whatever the slot held before the torn write (stale
+		// bytes survive past the torn prefix); a fresh slot keeps zeros.
+		_ = f.inner.ReadPage(id, &torn)
+		copy(torn[:v.tornLen], src[:v.tornLen])
+		return f.inner.WritePage(id, &torn)
+	}
 	return f.inner.WritePage(id, src)
 }
 
 // NumPages passes through to the inner file.
 func (f *File) NumPages() int { return f.inner.NumPages() }
+
+// Sync implements the optional durability hook the WAL requires
+// (interface{ Sync() error }). After the crash kill-point it fails with
+// ErrCrashed like every other operation — modelling a process killed
+// between issuing writes and the fsync acknowledgement, the exact window
+// where a commit's durability is ambiguous. Otherwise it forwards to the
+// inner file's Sync when it has one (a MemFile does not; its writes are
+// trivially durable).
+func (f *File) Sync() error {
+	f.mu.Lock()
+	if f.crashed {
+		f.faults++
+		f.mu.Unlock()
+		return fmt.Errorf("%w (sync)", ErrCrashed)
+	}
+	f.mu.Unlock()
+	if s, ok := f.inner.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
+	return nil
+}

@@ -219,3 +219,204 @@ func TestPoolHealsTransientInjectedFaults(t *testing.T) {
 		t.Fatalf("Retries = %d, want 1", st.Retries)
 	}
 }
+
+func TestFailNthWritePermanent(t *testing.T) {
+	f := Wrap(storage.NewMemFile(), Policy{FailNthWrite: 2})
+	var p storage.Page
+	storage.SealPage(0, &p)
+	if err := f.WritePage(0, &p); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	for i := 2; i <= 4; i++ {
+		var q storage.Page
+		storage.SealPage(1, &q)
+		err := f.WritePage(1, &q)
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("write %d: err = %v", i, err)
+		}
+		if storage.IsTransient(err) {
+			t.Fatalf("write %d: permanent fault marked transient", i)
+		}
+	}
+	// Failed writes must not reach the inner file.
+	if n := f.Inner().NumPages(); n != 1 {
+		t.Fatalf("inner NumPages = %d, want 1", n)
+	}
+	st := f.Stats()
+	if st.Writes != 4 || st.FaultsInjected != 3 {
+		t.Fatalf("Stats = %+v, want Writes=4 FaultsInjected=3", st)
+	}
+}
+
+func TestFailNthWriteTransient(t *testing.T) {
+	f := Wrap(storage.NewMemFile(), Policy{FailNthWrite: 1, Transient: true})
+	var p storage.Page
+	storage.SealPage(0, &p)
+	err := f.WritePage(0, &p)
+	if !errors.Is(err, ErrInjected) || !storage.IsTransient(err) {
+		t.Fatalf("transient nth write: err = %v", err)
+	}
+	// Only the Nth write fails; the retry lands.
+	if err := f.WritePage(0, &p); err != nil {
+		t.Fatalf("write after transient blip: %v", err)
+	}
+	if n := f.Inner().NumPages(); n != 1 {
+		t.Fatalf("inner NumPages = %d, want 1", n)
+	}
+}
+
+// TestTornWrite: the Nth write reports success but persists only a prefix,
+// so the page read back fails checksum verification.
+func TestTornWrite(t *testing.T) {
+	f := Wrap(storage.NewMemFile(), Policy{TornWrite: 2, Seed: 11})
+	for i := 0; i < 3; i++ {
+		var p storage.Page
+		for j := storage.PageHeaderSize; j < storage.PageSize; j++ {
+			p[j] = byte(i + j)
+		}
+		storage.SealPage(storage.PageID(i), &p)
+		if err := f.WritePage(storage.PageID(i), &p); err != nil {
+			t.Fatalf("write %d: torn write must report success, got %v", i, err)
+		}
+	}
+	var p storage.Page
+	if err := f.ReadPage(1, &p); err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.VerifyPage(1, &p); !storage.IsCorrupt(err) {
+		t.Fatalf("torn page passes verification: %v", err)
+	}
+	// Neighbours are intact.
+	for _, id := range []storage.PageID{0, 2} {
+		if err := f.ReadPage(id, &p); err != nil {
+			t.Fatal(err)
+		}
+		if err := storage.VerifyPage(id, &p); err != nil {
+			t.Fatalf("page %d damaged by unrelated torn write: %v", id, err)
+		}
+	}
+	if got := f.FaultsInjected(); got != 1 {
+		t.Fatalf("FaultsInjected = %d, want 1", got)
+	}
+}
+
+// TestTornWriteDeterministic: the same seed tears the same prefix length.
+func TestTornWriteDeterministic(t *testing.T) {
+	tear := func(seed int64) storage.Page {
+		f := Wrap(storage.NewMemFile(), Policy{TornWrite: 1, Seed: seed})
+		var p storage.Page
+		for j := storage.PageHeaderSize; j < storage.PageSize; j++ {
+			p[j] = 0xAB
+		}
+		storage.SealPage(0, &p)
+		if err := f.WritePage(0, &p); err != nil {
+			t.Fatal(err)
+		}
+		var got storage.Page
+		if err := f.Inner().ReadPage(0, &got); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := tear(5), tear(5)
+	if a != b {
+		t.Fatal("same seed produced different torn pages")
+	}
+}
+
+func TestCrashAfterNWritesDeadensFile(t *testing.T) {
+	f := Wrap(storage.NewMemFile(), Policy{CrashAfterNWrites: 2})
+	var p storage.Page
+	for i := 0; i < 2; i++ {
+		var q storage.Page
+		q[storage.PageHeaderSize] = byte(i)
+		storage.SealPage(storage.PageID(i), &q)
+		if err := f.WritePage(storage.PageID(i), &q); err != nil {
+			t.Fatalf("write %d before kill-point: %v", i, err)
+		}
+	}
+	// Write 3 and everything after — reads included — fail permanently.
+	err := f.WritePage(2, &p)
+	if !errors.Is(err, ErrCrashed) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash write: err = %v", err)
+	}
+	if err := f.ReadPage(0, &p); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read: err = %v", err)
+	}
+	if storage.IsTransient(err) {
+		t.Fatal("crash marked transient")
+	}
+	if !f.Crashed() {
+		t.Fatal("Crashed() = false after kill-point")
+	}
+	// The bytes written before the kill-point survive in the inner file.
+	inner := f.Inner()
+	if n := inner.NumPages(); n != 2 {
+		t.Fatalf("inner NumPages = %d, want 2", n)
+	}
+	for i := 0; i < 2; i++ {
+		var q storage.Page
+		if err := inner.ReadPage(storage.PageID(i), &q); err != nil {
+			t.Fatal(err)
+		}
+		if err := storage.VerifyPage(storage.PageID(i), &q); err != nil {
+			t.Fatalf("surviving page %d damaged: %v", i, err)
+		}
+		if q[storage.PageHeaderSize] != byte(i) {
+			t.Fatalf("surviving page %d content = %d", i, q[storage.PageHeaderSize])
+		}
+	}
+	st := f.Stats()
+	if !st.Crashed || st.Writes != 3 || st.Reads != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+// TestCrashKillPointNotArmedByFailedWrite: a write that itself failed does
+// not count toward the kill-point.
+func TestCrashKillPointNotArmedByFailedWrite(t *testing.T) {
+	f := Wrap(storage.NewMemFile(), Policy{FailNthWrite: 1, Transient: true, CrashAfterNWrites: 1})
+	var p storage.Page
+	storage.SealPage(0, &p)
+	if err := f.WritePage(0, &p); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 1: %v", err)
+	}
+	if f.Crashed() {
+		t.Fatal("failed write armed the kill-point")
+	}
+	// The retry is the first successful write; it lands, then the file dies.
+	if err := f.WritePage(0, &p); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	if !f.Crashed() {
+		t.Fatal("kill-point did not fire after first successful write")
+	}
+}
+
+// TestWriteCountersInStats: Stats reports writes alongside reads, and
+// SetPolicy resets both.
+func TestWriteCountersInStats(t *testing.T) {
+	f := Wrap(seededFile(t, 2), Policy{})
+	var p storage.Page
+	if err := f.ReadPage(0, &p); err != nil {
+		t.Fatal(err)
+	}
+	storage.SealPage(2, &p)
+	if err := f.WritePage(2, &p); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WritePage(2, &p); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.Reads != 1 || st.Writes != 2 || st.FaultsInjected != 0 || st.Crashed {
+		t.Fatalf("Stats = %+v, want Reads=1 Writes=2", st)
+	}
+	if f.Writes() != 2 {
+		t.Fatalf("Writes() = %d, want 2", f.Writes())
+	}
+	f.SetPolicy(Policy{})
+	if st := f.Stats(); st.Reads != 0 || st.Writes != 0 {
+		t.Fatalf("SetPolicy did not reset write counter: %+v", st)
+	}
+}

@@ -211,7 +211,7 @@ func (sc *runCursor) loadBlock(b int) error {
 		return err
 	}
 	sc.blk, sc.bufN = b, int(ref.n)
-	sc.store.blocksDecoded.Add(1)
+	sc.store.shared.blocksDecoded.Add(1)
 	return nil
 }
 
@@ -385,20 +385,21 @@ func (sc *runCursor) clipAtRangeEnd(ids []xmltree.NodeID) (int, error) {
 		}
 	}()
 	for k, id := range ids {
-		p := PageID(int(id) / nodesPerPage)
+		p, off, err := sc.store.nodeSlot(id)
+		if err != nil {
+			return 0, err
+		}
 		if pg == nil || p != curPage {
 			if pg != nil {
 				sc.store.pool.Unpin(curPage, false)
 				pg = nil
 			}
-			var err error
 			pg, err = sc.store.pool.GetCtx(sc.ctx, p)
 			if err != nil {
 				return 0, err
 			}
 			curPage = p
 		}
-		off := PageHeaderSize + (int(id)%nodesPerPage)*nodeRecSize
 		if start := xmltree.Pos(binary.LittleEndian.Uint32(pg[off:])); start >= sc.hi {
 			return k, nil
 		}

@@ -1,0 +1,439 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"sjos/internal/xmltree"
+)
+
+// Segmented stores back the ingestion path. A segmented store holds an
+// appendable forest (xmltree.NewForest / AppendMember) as a sequence of
+// segments — the synthetic root, then one per member document — each with
+// its own node pages, tag postings and value index, laid out in one
+// contiguous page run. Store versions are immutable: a mutation stages a
+// new segment against a capture file (producing the page after-images the
+// WAL logs), and adopting the stage yields a NEW Store value that shares
+// the page file, buffer pool and counters with its predecessor. Because a
+// segment only ever appends pages past every older version's tail and a
+// delete touches no pages at all, published versions and the shared page
+// cache stay valid under concurrent readers — the ingestion layer swaps an
+// atomic pointer and in-flight queries finish on the version they started
+// with.
+//
+// Readers see one combined view per version: the per-tag postings runs of
+// the live segments concatenated in NodeID order (block directories are
+// in-memory, so concatenation is pointer work — no page I/O), and one
+// combined value index built the same way. Scan, skip-ahead, probe and
+// merge machinery is exactly the static store's; only the node-record
+// locator differs (see Store.nodeSlot).
+
+// segment is one contiguous NodeID slice of the forest and its pages.
+type segment struct {
+	first    xmltree.NodeID
+	count    int
+	nodeBase PageID // node records occupy [nodeBase, nodeBase+nodePages)
+	dir      map[xmltree.TagID]postingsRun
+	vix      *valueIndex // per-segment; nil with NoValueIndex
+	dead     bool
+}
+
+// SegmentStage is a staged (not yet durable) segment append: the sealed
+// page after-images to log and apply, plus the metadata the adopting store
+// version takes over.
+type SegmentStage struct {
+	seg      *segment
+	forest   *xmltree.Document
+	images   []WALPageImage
+	endPage  PageID
+	encBytes int
+	rawBytes int
+}
+
+// Images returns the stage's sealed page after-images — the WAL's physical
+// redo records.
+func (st *SegmentStage) Images() []WALPageImage { return st.images }
+
+// captureFile collects sequential page writes in memory instead of touching
+// the real file: the staging path runs the ordinary store builders against
+// it, so live commit, initial build and recovery replay all share one
+// layout-defining code path.
+type captureFile struct {
+	base   PageID
+	images []WALPageImage
+}
+
+func (c *captureFile) WritePage(id PageID, src *Page) error {
+	if want := c.base + PageID(len(c.images)); id != want {
+		return fmt.Errorf("storage: capture file: write page %d, want %d", id, want)
+	}
+	c.images = append(c.images, WALPageImage{Page: id, Data: *src})
+	return nil
+}
+
+func (c *captureFile) ReadPage(id PageID, dst *Page) error {
+	if id >= c.base && int(id-c.base) < len(c.images) {
+		*dst = c.images[id-c.base].Data
+		return nil
+	}
+	return fmt.Errorf("storage: capture file: read of unwritten page %d", id)
+}
+
+func (c *captureFile) NumPages() int { return int(c.base) + len(c.images) }
+
+// spanNodes returns the tag's postings restricted to one member span. The
+// forest's per-tag lists are in NodeID order, so the restriction is two
+// binary searches on the shared slice.
+func spanNodes(doc *xmltree.Document, t xmltree.TagID, span xmltree.DocSpan) []xmltree.NodeID {
+	all := doc.NodesWithTag(t)
+	end := span.First + xmltree.NodeID(span.Nodes)
+	lo := sort.Search(len(all), func(i int) bool { return all[i] >= span.First })
+	hi := sort.Search(len(all), func(i int) bool { return all[i] >= end })
+	return all[lo:hi]
+}
+
+// planSegment serialises one member span of the forest as a fresh segment
+// starting at page base, entirely into capture images.
+func planSegment(forest *xmltree.Document, span xmltree.DocSpan, base PageID, opts StoreOptions) (*SegmentStage, error) {
+	cf := &captureFile{base: base}
+	n := span.Nodes
+	nodePages := (n + nodesPerPage - 1) / nodesPerPage
+	var page Page
+	for p := 0; p < nodePages; p++ {
+		for i := 0; i < nodesPerPage; i++ {
+			local := p*nodesPerPage + i
+			if local >= n {
+				break
+			}
+			encodeNode(page[PageHeaderSize+i*nodeRecSize:], forest, span.First+xmltree.NodeID(local))
+		}
+		id := base + PageID(p)
+		SealPage(id, &page)
+		if err := cf.WritePage(id, &page); err != nil {
+			return nil, err
+		}
+		page = Page{}
+	}
+
+	nodesOf := func(t xmltree.TagID) []xmltree.NodeID { return spanNodes(forest, t, span) }
+	w := newPostingsWriter(cf, base+PageID(nodePages))
+	dir := make(map[xmltree.TagID]postingsRun)
+	rawBytes := 0
+	for t := 0; t < forest.NumTags(); t++ {
+		ids := nodesOf(xmltree.TagID(t))
+		if len(ids) == 0 {
+			continue
+		}
+		run, err := w.writeRun(ids, forest.Start)
+		if err != nil {
+			return nil, fmt.Errorf("storage: stage segment postings: %w", err)
+		}
+		dir[xmltree.TagID(t)] = run
+		rawBytes += rawPostingSize * len(ids)
+	}
+	var vx *valueIndex
+	if !opts.NoValueIndex {
+		var vxRaw int
+		var err error
+		vx, vxRaw, err = buildValueIndexOver(w, forest, nodesOf)
+		if err != nil {
+			return nil, fmt.Errorf("storage: stage segment value index: %w", err)
+		}
+		rawBytes += vxRaw
+	}
+	end, err := w.finish()
+	if err != nil {
+		return nil, err
+	}
+	return &SegmentStage{
+		seg:      &segment{first: span.First, count: n, nodeBase: base, dir: dir, vix: vx},
+		forest:   forest,
+		images:   cf.images,
+		endPage:  end,
+		encBytes: w.bytes,
+		rawBytes: rawBytes,
+	}, nil
+}
+
+// NewForestStore lays the forest's synthetic root down on an empty file and
+// returns a segmented store with zero members. Members are added with
+// StageSegment / AdoptStage.
+func NewForestStore(file PageFile, forest *xmltree.Document, poolFrames int, opts StoreOptions) (*Store, error) {
+	if file.NumPages() != 0 {
+		return nil, fmt.Errorf("storage: NewForestStore needs an empty file, got %d pages", file.NumPages())
+	}
+	if !forest.IsForest() {
+		return nil, fmt.Errorf("storage: NewForestStore needs an appendable forest document")
+	}
+	s := &Store{
+		file:   file,
+		pool:   NewBufferPool(file, poolFrames),
+		segs:   []*segment{},
+		opts:   opts,
+		shared: &storeCounters{},
+	}
+	st, err := planSegment(forest, xmltree.DocSpan{First: 0, Nodes: 1}, 0, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.writeImages(st.images); err != nil {
+		return nil, err
+	}
+	return s.AdoptStage(st), nil
+}
+
+// BuildForestStoreOn builds a segmented store for a forest with existing
+// members (one segment per span, in order) on an empty file. The layout is
+// a pure function of (forest, spans): recovery rebuilds it bit-identically
+// by replaying the same appends.
+func BuildForestStoreOn(file PageFile, forest *xmltree.Document, spans []xmltree.DocSpan, poolFrames int, opts StoreOptions) (*Store, error) {
+	s, err := NewForestStore(file, forest, poolFrames, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, span := range spans {
+		st, err := s.StageSegment(forest, span)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.writeImages(st.images); err != nil {
+			return nil, err
+		}
+		s = s.AdoptStage(st)
+	}
+	return s, nil
+}
+
+// NumSegments returns the number of segments (the synthetic root counts);
+// the next StageSegment adds segment index NumSegments.
+func (s *Store) NumSegments() int { return len(s.segs) }
+
+// TailPage returns the next free page of a segmented store.
+func (s *Store) TailPage() PageID { return s.tailPage }
+
+// IsSegmented reports whether the store is an appendable forest store.
+func (s *Store) IsSegmented() bool { return s.segs != nil }
+
+// StageSegment serialises the forest member at span as the store's next
+// segment without touching the store's file: the returned stage carries the
+// sealed page after-images for the WAL. forest must be the version that
+// already contains the member.
+func (s *Store) StageSegment(forest *xmltree.Document, span xmltree.DocSpan) (*SegmentStage, error) {
+	if s.segs == nil {
+		return nil, fmt.Errorf("storage: StageSegment on a static store")
+	}
+	return planSegment(forest, span, s.tailPage, s.opts)
+}
+
+// writeImages applies sealed page images to the store's file in order.
+func (s *Store) writeImages(images []WALPageImage) error {
+	for i := range images {
+		if err := s.file.WritePage(images[i].Page, &images[i].Data); err != nil {
+			return fmt.Errorf("storage: apply page %d: %w", images[i].Page, err)
+		}
+	}
+	return nil
+}
+
+// CommitStage writes the stage's pages to the store's file, fsyncs when the
+// file supports it, and returns the successor version. The caller must have
+// made the mutation durable (WAL commit) first.
+func (s *Store) CommitStage(st *SegmentStage) (*Store, error) {
+	if err := s.writeImages(st.images); err != nil {
+		return nil, err
+	}
+	if sy, ok := s.file.(syncer); ok {
+		if err := sy.Sync(); err != nil {
+			return nil, fmt.Errorf("storage: fsync after segment apply: %w", err)
+		}
+	}
+	return s.AdoptStage(st), nil
+}
+
+// VerifyStage checks that the stage's computed images are byte-identical to
+// the WAL's logged images — the recovery pass's redo consistency check.
+func (st *SegmentStage) VerifyStage(logged []WALPageImage) error {
+	if len(logged) != len(st.images) {
+		return fmt.Errorf("storage: recovery image count %d, staged %d", len(logged), len(st.images))
+	}
+	for i := range logged {
+		if logged[i].Page != st.images[i].Page || !bytes.Equal(logged[i].Data[:], st.images[i].Data[:]) {
+			return fmt.Errorf("storage: recovery image mismatch at page %d", logged[i].Page)
+		}
+	}
+	return nil
+}
+
+// AdoptStage returns the successor Store version with the staged segment
+// live. The stage's pages must already be in the file (CommitStage does
+// both). The successor shares file, pool and counters with s; s itself
+// stays valid for in-flight readers.
+func (s *Store) AdoptStage(st *SegmentStage) *Store {
+	segs := make([]*segment, len(s.segs), len(s.segs)+1)
+	copy(segs, s.segs)
+	segs = append(segs, st.seg)
+	return s.rebuildVersion(st.forest, segs, st.endPage,
+		s.postingsBytes+st.encBytes, s.rawPostingsBytes+st.rawBytes)
+}
+
+// DropSegment returns the successor version with segment idx marked dead:
+// its postings leave every combined view, so no scan or probe can produce
+// its nodes. No page is touched — the dead segment's pages are reclaimed by
+// compaction.
+func (s *Store) DropSegment(forest *xmltree.Document, idx int) (*Store, error) {
+	if s.segs == nil {
+		return nil, fmt.Errorf("storage: DropSegment on a static store")
+	}
+	if idx <= 0 || idx >= len(s.segs) {
+		return nil, fmt.Errorf("storage: DropSegment index %d of %d", idx, len(s.segs))
+	}
+	if s.segs[idx].dead {
+		return nil, fmt.Errorf("storage: segment %d already dead", idx)
+	}
+	segs := make([]*segment, len(s.segs))
+	copy(segs, s.segs)
+	dead := *segs[idx]
+	dead.dead = true
+	segs[idx] = &dead
+	return s.rebuildVersion(forest, segs, s.tailPage, s.postingsBytes, s.rawPostingsBytes), nil
+}
+
+// DeadFraction reports the fraction of stored nodes belonging to dead
+// segments — the compaction trigger signal.
+func (s *Store) DeadFraction() float64 {
+	dead, total := 0, 0
+	for _, sg := range s.segs {
+		total += sg.count
+		if sg.dead {
+			dead += sg.count
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(dead) / float64(total)
+}
+
+// rebuildVersion assembles a successor Store: new segment table, combined
+// directories rebuilt from the live segments, shared file/pool/counters.
+func (s *Store) rebuildVersion(forest *xmltree.Document, segs []*segment, tail PageID, encBytes, rawBytes int) *Store {
+	numTags := forest.NumTags()
+	tags := make([]string, numTags)
+	byName := make(map[string]xmltree.TagID, numTags)
+	for t := 0; t < numTags; t++ {
+		tags[t] = forest.TagName(xmltree.TagID(t))
+		byName[tags[t]] = xmltree.TagID(t)
+	}
+	dir, vx := combineSegments(segs, numTags, !s.opts.NoValueIndex)
+	return &Store{
+		doc:              &storeMeta{NumNodes: forest.NumNodes(), NumTags: numTags, Tags: tags},
+		file:             s.file,
+		pool:             s.pool,
+		tagDir:           dir,
+		tagByName:        byName,
+		vidx:             vx,
+		segs:             segs,
+		tailPage:         tail,
+		opts:             s.opts,
+		postingsBytes:    encBytes,
+		rawPostingsBytes: rawBytes,
+		internStats:      forest.InternStats(),
+		shared:           s.shared,
+	}
+}
+
+// concatRun appends run b after run a: block directory entries keep their
+// pages and offsets, b's run-relative start indexes shift by a's count.
+// Correctness needs b's NodeIDs (and Start positions) strictly above a's —
+// guaranteed by concatenating segments in NodeID order.
+func concatRun(a, b postingsRun) postingsRun {
+	if a.count == 0 {
+		return b
+	}
+	if b.count == 0 {
+		return a
+	}
+	blocks := make([]blockRef, 0, len(a.blocks)+len(b.blocks))
+	blocks = append(blocks, a.blocks...)
+	for _, ref := range b.blocks {
+		ref.startIdx += int32(a.count)
+		blocks = append(blocks, ref)
+	}
+	return postingsRun{count: a.count + b.count, blocks: blocks}
+}
+
+// combineSegments builds the combined per-version read view: one postings
+// run per tag and one value index, concatenated over the live segments in
+// segment (= NodeID) order. All work is over in-memory block directories.
+func combineSegments(segs []*segment, numTags int, withVidx bool) ([]postingsRun, *valueIndex) {
+	dir := make([]postingsRun, numTags)
+	live := make([]*segment, 0, len(segs))
+	for _, sg := range segs {
+		if !sg.dead {
+			live = append(live, sg)
+		}
+	}
+	for _, sg := range live {
+		for t, run := range sg.dir {
+			if int(t) < numTags {
+				dir[t] = concatRun(dir[t], run)
+			}
+		}
+	}
+	if !withVidx {
+		return dir, nil
+	}
+	vx := &valueIndex{
+		exact: make(map[valueKey]postingsRun),
+		nums:  make([]tagNumeric, numTags),
+	}
+	for _, sg := range live {
+		if sg.vix == nil {
+			continue
+		}
+		vx.runs += sg.vix.runs
+		for k, run := range sg.vix.exact {
+			vx.exact[k] = concatRun(vx.exact[k], run)
+		}
+	}
+	for t := 0; t < numTags; t++ {
+		tag := xmltree.TagID(t)
+		allNumeric := true
+		present := false
+		byNum := make(map[float64]postingsRun)
+		var keys []float64
+		for _, sg := range live {
+			if sg.dir[tag].count == 0 {
+				continue // segment has no nodes of this tag
+			}
+			present = true
+			var tn *tagNumeric
+			if sg.vix != nil && t < len(sg.vix.nums) {
+				tn = &sg.vix.nums[t]
+			}
+			if tn == nil || !tn.allNumeric {
+				allNumeric = false
+			}
+			if tn != nil {
+				for i, f := range tn.vals {
+					if _, seen := byNum[f]; !seen {
+						keys = append(keys, f)
+					}
+					byNum[f] = concatRun(byNum[f], tn.runs[i])
+				}
+			}
+		}
+		if !present || len(keys) == 0 {
+			vx.nums[t] = tagNumeric{}
+			continue
+		}
+		sort.Float64s(keys)
+		tn := tagNumeric{allNumeric: allNumeric, vals: keys, runs: make([]postingsRun, len(keys))}
+		for i, f := range keys {
+			tn.runs[i] = byNum[f]
+		}
+		vx.nums[t] = tn
+	}
+	return dir, vx
+}

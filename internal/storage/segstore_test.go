@@ -1,0 +1,269 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"sjos/internal/pattern"
+	"sjos/internal/xmltree"
+)
+
+// buildForest appends the docs to a fresh forest and returns the forest
+// document, the member spans, and the segmented store.
+func buildForest(t *testing.T, docs []*xmltree.Document) (*xmltree.Document, []xmltree.DocSpan, *Store) {
+	t.Helper()
+	forest := xmltree.NewForest()
+	var spans []xmltree.DocSpan
+	for _, d := range docs {
+		var span xmltree.DocSpan
+		var err error
+		forest, span, err = xmltree.AppendMember(forest, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans = append(spans, span)
+	}
+	st, err := BuildForestStoreOn(NewMemFile(), forest, spans, 64, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return forest, spans, st
+}
+
+func memberDocs(t *testing.T, n int) []*xmltree.Document {
+	t.Helper()
+	docs := make([]*xmltree.Document, n)
+	for i := range docs {
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		docs[i] = xmltree.RandomDocument(rng, 400+130*i, []string{"a", "b", "c", "d"})
+	}
+	return docs
+}
+
+func scanAll(t *testing.T, s *Store, tag xmltree.TagID) []xmltree.NodeID {
+	t.Helper()
+	var out []xmltree.NodeID
+	sc := s.ScanTag(tag)
+	for {
+		id, _, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, id)
+	}
+}
+
+// The appendable forest store must read back exactly like the one-shot
+// merged store: AppendMember assigns the same node IDs and positions as
+// MergeDocuments, so tag scans agree ID for ID.
+func TestForestStoreMatchesMergedStore(t *testing.T) {
+	docs := memberDocs(t, 3)
+	forest, _, segStore := buildForest(t, docs)
+
+	merged, _, err := xmltree.MergeDocuments(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := BuildStore(merged, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if forest.NumNodes() != merged.NumNodes() {
+		t.Fatalf("forest %d nodes, merged %d", forest.NumNodes(), merged.NumNodes())
+	}
+	for tg := 0; tg < merged.NumTags(); tg++ {
+		name := merged.TagName(xmltree.TagID(tg))
+		ft, ok := forest.LookupTag(name)
+		if !ok {
+			t.Fatalf("forest missing tag %q", name)
+		}
+		want := scanAll(t, static, xmltree.TagID(tg))
+		got := scanAll(t, segStore, ft)
+		if len(want) != len(got) {
+			t.Fatalf("tag %q: %d vs %d postings", name, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("tag %q posting %d: %d vs %d", name, i, got[i], want[i])
+			}
+		}
+		// Node records agree too. Node 0 is excluded: the forest root
+		// keeps the open-ended sentinel end, the merged root a real one.
+		for _, id := range got {
+			if id == 0 {
+				continue
+			}
+			a, err := segStore.Node(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := static.Node(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("node %d: %+v vs %+v", id, a, b)
+			}
+		}
+	}
+}
+
+// Value probes over the combined per-segment indexes must agree with the
+// static store's single index.
+func TestForestStoreValueProbes(t *testing.T) {
+	docs := memberDocs(t, 3)
+	_, _, segStore := buildForest(t, docs)
+	merged, _, err := xmltree.MergeDocuments(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := BuildStore(merged, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ops := []pattern.CmpOp{pattern.CmpEq, pattern.CmpLt, pattern.CmpGe}
+	vals := []string{"1", "7", "13", "nope", "42"}
+	for _, tag := range []string{"a", "b", "c", "d"} {
+		for _, op := range ops {
+			for _, val := range vals {
+				wantN, wantOK := static.ProbeSelectivity(tag, op, val)
+				gotN, gotOK := segStore.ProbeSelectivity(tag, op, val)
+				if wantOK != gotOK || wantN != gotN {
+					t.Fatalf("probe %s %v %q: (%d,%v) vs (%d,%v)", tag, op, val, gotN, gotOK, wantN, wantOK)
+				}
+				if !wantOK {
+					continue
+				}
+				ws, _ := static.ProbeValue(tag, op, val)
+				gs, _ := segStore.ProbeValue(tag, op, val)
+				for {
+					wid, _, wok, err := ws.Next()
+					if err != nil {
+						t.Fatal(err)
+					}
+					gid, _, gok, err := gs.Next()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if wok != gok || (wok && wid != gid) {
+						t.Fatalf("probe %s %v %q: stream diverged (%d,%v) vs (%d,%v)", tag, op, val, gid, gok, wid, wok)
+					}
+					if !wok {
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// Dropping a segment removes exactly its postings from every view, without
+// touching other members' IDs.
+func TestForestStoreDropSegment(t *testing.T) {
+	docs := memberDocs(t, 3)
+	forest, spans, segStore := buildForest(t, docs)
+
+	// Member 1 is segment 2 (segment 0 is the synthetic root).
+	dropped, err := segStore.DropSegment(forest, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := spans[1]
+	for tg := 0; tg < forest.NumTags(); tg++ {
+		tag := xmltree.TagID(tg)
+		before := scanAll(t, segStore, tag)
+		var want []xmltree.NodeID
+		for _, id := range before {
+			if !span.Contains(id) {
+				want = append(want, id)
+			}
+		}
+		got := scanAll(t, dropped, tag)
+		if len(got) != len(want) {
+			t.Fatalf("tag %d: %d postings after drop, want %d", tg, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("tag %d posting %d: %d vs %d", tg, i, got[i], want[i])
+			}
+		}
+		if segStore.TagCount(tag) != len(before) {
+			t.Fatalf("old version mutated by DropSegment")
+		}
+	}
+	if dropped.DeadFraction() <= 0 {
+		t.Fatal("dead fraction not reported")
+	}
+}
+
+// Staged appends only produce page images; adopting them after applying the
+// images must behave exactly like the all-at-once build.
+func TestForestStoreStageAdopt(t *testing.T) {
+	docs := memberDocs(t, 3)
+
+	forest := xmltree.NewForest()
+	file := NewMemFile()
+	st, err := NewForestStore(file, forest, 64, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		var span xmltree.DocSpan
+		forest, span, err = xmltree.AppendMember(forest, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stage, err := st.StageSegment(forest, span)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pagesBefore := file.NumPages()
+		if len(stage.Images()) == 0 {
+			t.Fatal("stage produced no images")
+		}
+		if file.NumPages() != pagesBefore {
+			t.Fatal("staging touched the file")
+		}
+		st, err = st.CommitStage(stage)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, _, oneShot := buildForest(t, docs)
+	for tg := 0; tg < forest.NumTags(); tg++ {
+		a := scanAll(t, st, xmltree.TagID(tg))
+		b := scanAll(t, oneShot, xmltree.TagID(tg))
+		if len(a) != len(b) {
+			t.Fatalf("tag %d: %d vs %d postings", tg, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("tag %d posting %d differs", tg, i)
+			}
+		}
+	}
+	// Determinism: the incremental file is byte-identical to the one-shot
+	// build — the property recovery's redo verification rests on.
+	other := oneShot.File().(*MemFile)
+	if file.NumPages() != other.NumPages() {
+		t.Fatalf("page counts differ: %d vs %d", file.NumPages(), other.NumPages())
+	}
+	var pa, pb Page
+	for i := 0; i < file.NumPages(); i++ {
+		if err := file.ReadPage(PageID(i), &pa); err != nil {
+			t.Fatal(err)
+		}
+		if err := other.ReadPage(PageID(i), &pb); err != nil {
+			t.Fatal(err)
+		}
+		if pa != pb {
+			t.Fatalf("page %d differs between incremental and one-shot build", i)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"sjos/internal/intern"
@@ -50,12 +51,30 @@ type Store struct {
 	// with StoreOptions.NoValueIndex.
 	vidx *valueIndex
 
+	// segs is non-nil for a segmented (appendable forest) store: one entry
+	// per contiguous NodeID slice, in NodeID order. A static build-once
+	// store keeps segs nil and the arithmetic node-page layout. Mutations
+	// never modify a published Store — they derive a new version sharing
+	// file, pool and counters — so everything here is immutable after
+	// construction and safe for concurrent readers.
+	segs     []*segment
+	tailPage PageID // next free page (segmented stores only)
+	opts     StoreOptions
+
 	// Compression and probe accounting (see ContentStats).
 	postingsBytes    int
 	rawPostingsBytes int
 	internStats      intern.Stats
-	probes           atomic.Uint64
-	blocksDecoded    atomic.Uint64
+	// shared holds the monotone counters every version of a store reports
+	// against: derived versions alias it so probes and block decodes stay
+	// continuous across mutations.
+	shared *storeCounters
+}
+
+// storeCounters are the cross-version monotone counters.
+type storeCounters struct {
+	probes        atomic.Uint64
+	blocksDecoded atomic.Uint64
 }
 
 // storeMeta holds the document-level metadata the store needs after build.
@@ -154,9 +173,11 @@ func BuildStoreOnOpts(file PageFile, doc *xmltree.Document, poolFrames int, opts
 		tagDir:           dir,
 		tagByName:        byName,
 		vidx:             vx,
+		opts:             opts,
 		postingsBytes:    w.bytes,
 		rawPostingsBytes: rawBytes,
 		internStats:      doc.InternStats(),
+		shared:           &storeCounters{},
 	}, nil
 }
 
@@ -207,11 +228,33 @@ func (s *Store) Node(id xmltree.NodeID) (NodeRecord, error) {
 	return s.NodeCtx(context.Background(), id)
 }
 
+// nodeSlot locates node id's record: the page holding it and the byte
+// offset within the page. A static store lays records out contiguously; a
+// segmented store binary-searches its segment table (segments are in NodeID
+// order), with the single-segment case short-circuited.
+func (s *Store) nodeSlot(id xmltree.NodeID) (PageID, int, error) {
+	if s.segs == nil {
+		return PageID(int(id) / nodesPerPage), PageHeaderSize + (int(id)%nodesPerPage)*nodeRecSize, nil
+	}
+	i := sort.Search(len(s.segs), func(j int) bool { return s.segs[j].first > id }) - 1
+	if i < 0 {
+		return 0, 0, fmt.Errorf("storage: node %d before first segment", id)
+	}
+	sg := s.segs[i]
+	local := int(id - sg.first)
+	if local >= sg.count {
+		return 0, 0, fmt.Errorf("storage: node %d outside segment %d", id, i)
+	}
+	return sg.nodeBase + PageID(local/nodesPerPage), PageHeaderSize + (local%nodesPerPage)*nodeRecSize, nil
+}
+
 // NodeCtx is Node under a context: cancellation aborts page-read waits
 // (including the pool's retry backoffs).
 func (s *Store) NodeCtx(ctx context.Context, id xmltree.NodeID) (NodeRecord, error) {
-	p := PageID(int(id) / nodesPerPage)
-	off := PageHeaderSize + (int(id)%nodesPerPage)*nodeRecSize
+	p, off, err := s.nodeSlot(id)
+	if err != nil {
+		return NodeRecord{}, err
+	}
 	pg, err := s.pool.GetCtx(ctx, p)
 	if err != nil {
 		return NodeRecord{}, err
@@ -295,8 +338,8 @@ type ContentStats struct {
 func (s *Store) ContentStats() ContentStats {
 	cs := ContentStats{
 		ValueIndexed:     s.vidx != nil,
-		ValueProbes:      s.probes.Load(),
-		BlocksDecoded:    s.blocksDecoded.Load(),
+		ValueProbes:      s.shared.probes.Load(),
+		BlocksDecoded:    s.shared.blocksDecoded.Load(),
 		PostingsBytes:    s.postingsBytes,
 		RawPostingsBytes: s.rawPostingsBytes,
 		Intern:           s.internStats,

@@ -57,6 +57,13 @@ type tagNumeric struct {
 // groups' postings through w. It returns the index and the raw
 // (uncompressed-equivalent) byte count of the lists written.
 func buildValueIndex(w *postingsWriter, doc *xmltree.Document) (*valueIndex, int, error) {
+	return buildValueIndexOver(w, doc, doc.NodesWithTag)
+}
+
+// buildValueIndexOver is buildValueIndex with the per-tag node lists
+// supplied by nodesOf — the segment builder passes a span-restricted view so
+// one forest member gets its own self-contained index.
+func buildValueIndexOver(w *postingsWriter, doc *xmltree.Document, nodesOf func(xmltree.TagID) []xmltree.NodeID) (*valueIndex, int, error) {
 	vx := &valueIndex{
 		exact: make(map[valueKey]postingsRun),
 		nums:  make([]tagNumeric, doc.NumTags()),
@@ -64,7 +71,7 @@ func buildValueIndex(w *postingsWriter, doc *xmltree.Document) (*valueIndex, int
 	rawBytes := 0
 	for t := 0; t < doc.NumTags(); t++ {
 		tag := xmltree.TagID(t)
-		nodes := doc.NodesWithTag(tag)
+		nodes := nodesOf(tag)
 		if len(nodes) == 0 {
 			continue
 		}
@@ -280,7 +287,7 @@ func (s *Store) probeValue(ctx context.Context, tag string, op pattern.CmpOp, va
 	if !ok {
 		return nil, false
 	}
-	s.probes.Add(1)
+	s.shared.probes.Add(1)
 	newCursor := func(run postingsRun) *runCursor {
 		cur := &runCursor{}
 		cur.init(s, ctx, run)

@@ -1,0 +1,229 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func walImage(page PageID, fill byte) WALPageImage {
+	im := WALPageImage{Page: page}
+	for i := range im.Data {
+		im.Data[i] = fill
+	}
+	return im
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	file := NewMemFile()
+	w, txns, err := OpenWAL(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txns) != 0 {
+		t.Fatalf("fresh WAL has %d txns", len(txns))
+	}
+	docs := []WALDoc{{ID: "a", Image: []byte("hello image")}}
+	images := []WALPageImage{walImage(3, 0xAB), walImage(4, 0xCD)}
+	id1, err := w.Append(WALInsert, docs, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := w.Append(WALDelete, []WALDoc{{ID: "a"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id1+1 {
+		t.Fatalf("txids %d, %d not sequential", id1, id2)
+	}
+
+	_, got, err := OpenWAL(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("reopened WAL has %d txns, want 2", len(got))
+	}
+	tx := got[0]
+	if tx.ID != id1 || tx.Op != WALInsert || len(tx.Docs) != 1 || tx.Docs[0].ID != "a" {
+		t.Fatalf("txn 0 mismatch: %+v", tx)
+	}
+	if !bytes.Equal(tx.Docs[0].Image, []byte("hello image")) {
+		t.Fatalf("doc image mismatch")
+	}
+	if len(tx.Images) != 2 || tx.Images[0].Page != 3 || tx.Images[1].Page != 4 {
+		t.Fatalf("page images mismatch: %+v", tx.Images)
+	}
+	if tx.Images[0].Data != images[0].Data || tx.Images[1].Data != images[1].Data {
+		t.Fatalf("page image bytes mismatch")
+	}
+	if got[1].Op != WALDelete || got[1].Docs[0].Image != nil {
+		t.Fatalf("txn 1 mismatch: %+v", got[1])
+	}
+}
+
+func TestWALFreshPagePerTxn(t *testing.T) {
+	file := NewMemFile()
+	w, _, _ := OpenWAL(file)
+	if _, err := w.Append(WALInsert, []WALDoc{{ID: "x", Image: []byte{1}}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	one := file.NumPages()
+	if _, err := w.Append(WALInsert, []WALDoc{{ID: "y", Image: []byte{2}}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if file.NumPages() != 2*one {
+		t.Fatalf("second txn reused the first txn's tail page: %d pages after two txns", file.NumPages())
+	}
+}
+
+// A torn or missing tail must discard exactly the unfinished transaction.
+func TestWALTornTailDiscarded(t *testing.T) {
+	file := NewMemFile()
+	w, _, _ := OpenWAL(file)
+	if _, err := w.Append(WALInsert, []WALDoc{{ID: "keep", Image: []byte("k")}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	keepPages := file.NumPages()
+	big := []WALPageImage{walImage(0, 1), walImage(1, 2), walImage(2, 3)}
+	if _, err := w.Append(WALInsert, []WALDoc{{ID: "torn", Image: []byte("t")}}, big); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the second transaction at every one of its pages in turn: zap
+	// the page's checksum and verify only "keep" survives.
+	for p := keepPages; p < file.NumPages(); p++ {
+		damaged := NewMemFile()
+		var pg Page
+		for i := 0; i < file.NumPages(); i++ {
+			if err := file.ReadPage(PageID(i), &pg); err != nil {
+				t.Fatal(err)
+			}
+			if i == p {
+				pg[PageHeaderSize+100] ^= 0xFF // payload damage: checksum now fails
+			}
+			if err := damaged.WritePage(PageID(i), &pg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, txns, err := OpenWAL(damaged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(txns) != 1 || txns[0].Docs[0].ID != "keep" {
+			t.Fatalf("tear at page %d: got %d txns, want only keep", p, len(txns))
+		}
+	}
+}
+
+// Pages dropped from the tail (a crash before they hit the disk) must also
+// discard the unfinished transaction.
+func TestWALMissingTailDiscarded(t *testing.T) {
+	file := NewMemFile()
+	w, _, _ := OpenWAL(file)
+	if _, err := w.Append(WALInsert, []WALDoc{{ID: "keep", Image: []byte("k")}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	keepPages := file.NumPages()
+	if _, err := w.Append(WALInsert, []WALDoc{{ID: "lost", Image: []byte("l")}},
+		[]WALPageImage{walImage(0, 9), walImage(1, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	for cut := keepPages; cut < file.NumPages(); cut++ {
+		trunc := NewMemFile()
+		var pg Page
+		for i := 0; i < cut; i++ {
+			if err := file.ReadPage(PageID(i), &pg); err != nil {
+				t.Fatal(err)
+			}
+			if err := trunc.WritePage(PageID(i), &pg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, txns, err := OpenWAL(trunc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(txns) != 1 || txns[0].Docs[0].ID != "keep" {
+			t.Fatalf("cut at page %d: got %d txns, want only keep", cut, len(txns))
+		}
+	}
+}
+
+// After a failed append the epoch bump must prevent the stale partial tail
+// from being misread once later transactions land over it.
+func TestWALEpochFencesStaleTail(t *testing.T) {
+	inner := NewMemFile()
+	w, _, _ := OpenWAL(inner)
+	if _, err := w.Append(WALInsert, []WALDoc{{ID: "a", Image: []byte("a")}}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail an append partway: two of its pages land, the rest don't.
+	failing := &failAfterN{inner: inner, allow: 2}
+	w.file = failing
+	big := []WALPageImage{walImage(0, 1), walImage(1, 2), walImage(2, 3), walImage(3, 4)}
+	if _, err := w.Append(WALInsert, []WALDoc{{ID: "dead", Image: []byte("d")}}, big); err == nil {
+		t.Fatal("append expected to fail")
+	}
+	w.file = inner
+
+	// A later small transaction overwrites only the first stale page; the
+	// second stale page (older epoch) must not be parsed behind it.
+	if _, err := w.Append(WALInsert, []WALDoc{{ID: "b", Image: []byte("b")}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, txns, err := OpenWAL(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txns) != 2 || txns[0].Docs[0].ID != "a" || txns[1].Docs[0].ID != "b" {
+		ids := make([]string, len(txns))
+		for i, tx := range txns {
+			ids[i] = tx.Docs[0].ID
+		}
+		t.Fatalf("recovered %v, want [a b]", ids)
+	}
+}
+
+// failAfterN passes through the first allow writes, then fails.
+type failAfterN struct {
+	inner PageFile
+	allow int
+	seen  int
+}
+
+func (f *failAfterN) WritePage(id PageID, src *Page) error {
+	f.seen++
+	if f.seen > f.allow {
+		return errors.New("failAfterN: write refused")
+	}
+	return f.inner.WritePage(id, src)
+}
+func (f *failAfterN) ReadPage(id PageID, dst *Page) error { return f.inner.ReadPage(id, dst) }
+func (f *failAfterN) NumPages() int                       { return f.inner.NumPages() }
+
+func TestWALSnapshotMultiDoc(t *testing.T) {
+	file := NewMemFile()
+	w, _, _ := OpenWAL(file)
+	docs := []WALDoc{
+		{ID: "a", Image: []byte("imga")},
+		{ID: "b", Image: []byte("imgb")},
+		{ID: "c", Image: []byte("imgc")},
+	}
+	if _, err := w.Append(WALSnapshot, docs, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, txns, err := OpenWAL(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txns) != 1 || txns[0].Op != WALSnapshot || len(txns[0].Docs) != 3 {
+		t.Fatalf("snapshot txn mismatch: %+v", txns)
+	}
+	for i, d := range docs {
+		if txns[0].Docs[i].ID != d.ID || !bytes.Equal(txns[0].Docs[i].Image, d.Image) {
+			t.Fatalf("snapshot doc %d mismatch", i)
+		}
+	}
+}

@@ -122,6 +122,7 @@ func (b *Builder) Finish() (*Document, error) {
 		return nil, errors.New("xmltree: empty document")
 	}
 	b.doc.intern = b.vals.Stats()
+	b.doc.maxPos = b.doc.end[0]
 	return b.doc, nil
 }
 

@@ -40,6 +40,14 @@ type Document struct {
 	tagByNm map[string]TagID // name -> TagID
 	byTag   [][]NodeID       // TagID -> nodes in document order
 
+	// maxPos is the largest position assigned in the document. It is kept
+	// explicitly rather than derived from end[0] because an appendable
+	// forest's root carries the forestRootEnd sentinel (see forest.go):
+	// member appends must not rewrite the shared root record under
+	// concurrent readers, so the root region is "everything" and the true
+	// position high-water mark lives here.
+	maxPos Pos
+
 	intern intern.Stats // value intern-table behaviour during build
 }
 
@@ -129,10 +137,12 @@ func (d *Document) Children(n NodeID) []NodeID {
 // MaxPos returns the largest position assigned in the document; positions
 // range over [0, MaxPos].
 func (d *Document) MaxPos() Pos {
-	if len(d.end) == 0 {
-		return 0
+	if d.maxPos == 0 && len(d.end) > 0 && d.end[0] != forestRootEnd {
+		// Documents assembled before the explicit field existed (or by
+		// hand in tests) carry the high-water mark in the root's end.
+		return d.end[0]
 	}
-	return d.end[0]
+	return d.maxPos
 }
 
 // Validate checks the structural invariants of the region encoding. It is

@@ -182,6 +182,19 @@ func ReadImage(r io.Reader) (*Document, error) {
 		d.value[i] = vals.InternBytes(scratch)
 	}
 	d.intern = vals.Stats()
+	if len(d.end) > 0 {
+		if d.end[0] != forestRootEnd {
+			d.maxPos = d.end[0]
+		} else {
+			// A persisted forest image: the root's end is the open-ended
+			// sentinel, so the high-water mark is the largest member end.
+			for _, e := range d.end[1:] {
+				if e > d.maxPos {
+					d.maxPos = e
+				}
+			}
+		}
+	}
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("xmltree: image failed validation: %w", err)
 	}

@@ -129,6 +129,7 @@ func MergeDocuments(docs []*Document) (*Document, []DocSpan, error) {
 		internStats.BytesSaved += is.BytesSaved
 	}
 	m.end[0] = posOff
+	m.maxPos = posOff
 	m.intern = internStats
 	return m, spans, nil
 }

@@ -72,10 +72,11 @@ func (db *Database) Metrics() Metrics {
 	}
 	// A chaos-mode store reports its injected-fault count through this
 	// optional interface (satisfied by *faultfs.File).
-	if ff, ok := db.store.File().(interface{ FaultsInjected() uint64 }); ok {
+	store := db.view().store
+	if ff, ok := store.File().(interface{ FaultsInjected() uint64 }); ok {
 		m.FaultsInjected = ff.FaultsInjected()
 	}
-	m.Content = db.store.ContentStats()
+	m.Content = store.ContentStats()
 	return m
 }
 

@@ -106,12 +106,22 @@ func (s *service) rebuild(doc *xmltree.Document) {
 	s.setStats(histogram.Build(doc, s.grid))
 }
 
-// RebuildStats recomputes the positional histograms from the document (at
-// the construction-time grid resolution) and invalidates the plan cache.
-// Plans optimized before the rebuild remain executable; they are simply no
-// longer served from the cache. Shared by all WithParallelism views.
+// RebuildStats recomputes the statistics from scratch and invalidates the
+// plan cache: for a static database the positional histograms of its
+// document (at the construction-time grid resolution); for an
+// ingestion-enabled one, every live member's histograms rebuilt from its
+// document and re-merged — the ground truth the incrementally maintained
+// statistics must match. Plans optimized before the rebuild remain
+// executable; they are simply no longer served from the cache. Shared by
+// all WithParallelism views.
 func (db *Database) RebuildStats() {
-	db.svc.rebuild(db.doc)
+	if db.ingest != nil {
+		db.ingest.mu.Lock()
+		defer db.ingest.mu.Unlock()
+		db.rebuildIngestStatsLocked()
+		return
+	}
+	db.svc.rebuild(db.view().doc)
 }
 
 // CacheStats returns a snapshot of the plan cache's counters (shared by all
@@ -393,8 +403,16 @@ func (s *service) recordPanic(pat *Pattern, perr error) {
 	s.slow.record(e)
 }
 
-// run is Run without the metrics observation.
+// run is Run without the metrics observation, on the current snapshot.
 func (db *Database) run(ctx context.Context, pat *Pattern, p *Plan, opts RunOptions) (*RunResult, error) {
+	return db.runOn(ctx, db.view(), pat, p, opts)
+}
+
+// runOn executes a plan against one pinned snapshot: the whole run reads
+// exactly sn's document and store, so concurrent mutations (which publish
+// new snapshots) are invisible to it. The corpus layer pins the snapshot
+// itself so it can demultiplex matches with the matching member table.
+func (db *Database) runOn(ctx context.Context, sn *dbSnap, pat *Pattern, p *Plan, opts RunOptions) (*RunResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -420,7 +438,7 @@ func (db *Database) run(ctx context.Context, pat *Pattern, p *Plan, opts RunOpti
 		}
 		buildOp = tb.Build
 	}
-	ectx := &exec.Context{Ctx: ctx, Doc: db.doc, Store: db.store}
+	ectx := &exec.Context{Ctx: ctx, Doc: sn.doc, Store: sn.store}
 	res := &RunResult{}
 	if workers > 0 {
 		pe := &exec.ParallelExec{Workers: workers, Batch: !opts.NoBatch}
@@ -548,7 +566,7 @@ func (db *Database) QueryPatternContext(ctx context.Context, pat *Pattern, opts 
 		slowFn = opts.OnSlowQuery
 	}
 	t0 := time.Now()
-	res, cached, key, err := db.svc.optimizePattern(ctx, pat, db.model, db.store, opts.Method, opts.Te, opts.NoCache, opts.NoValueIndex)
+	res, cached, key, err := db.svc.optimizePattern(ctx, pat, db.model, db.view().store, opts.Method, opts.Te, opts.NoCache, opts.NoValueIndex)
 	if err != nil {
 		return nil, err
 	}

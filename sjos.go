@@ -6,6 +6,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"sjos/internal/admission"
@@ -147,6 +148,29 @@ type Options struct {
 	// construction. Value predicates then always execute as scan+filter;
 	// per-query opt-out is QueryOptions.NoValueIndex.
 	NoValueIndex bool
+	// WALFile, when non-nil, enables the document-level write path (Insert,
+	// Delete, Replace, Compact) backed by a write-ahead log on this page
+	// file. Every mutation is logged as a redo transaction (begin, page
+	// after-images, commit) sealed with the store's page checksums and
+	// fsynced before it is applied, so a crash at any point leaves the
+	// database fully pre- or fully post-commit. Opening with a WAL that
+	// already holds committed transactions recovers the state from the log
+	// (see OpenDatabase); the store file is treated as a rebuildable cache
+	// and must be empty/fresh at open.
+	WALFile PageFile
+	// WALPath is the convenience form of WALFile: when non-empty (and
+	// WALFile is nil) the write-ahead log lives in a disk file at this
+	// path — opened if the file exists (recovering its committed state),
+	// created fresh otherwise.
+	WALPath string
+	// CompactThreshold is the dead-node fraction past which a Delete or
+	// Replace triggers automatic compaction of the segmented store
+	// (0 selects DefaultCompactThreshold; negative disables auto-compaction;
+	// Compact can always be called explicitly). Ignored without WALFile.
+	CompactThreshold float64
+	// CompactFile supplies the fresh page file each compaction rebuilds the
+	// store onto (nil selects in-memory files). Ignored without WALFile.
+	CompactFile func() PageFile
 }
 
 func (o *Options) model() CostModel {
@@ -159,21 +183,52 @@ func (o *Options) model() CostModel {
 // CalibrateModel measures cost model factors on the current machine.
 func CalibrateModel() CostModel { return cost.Calibrate() }
 
-// dbState is the immutable-identity core of a Database: the document, its
-// store and the shared service. Derived handles (WithParallelism) share one
-// dbState pointer, so cached plans, statistics, metrics and admission
-// control are one per database — a derived handle differs only in its
-// execution settings.
-type dbState struct {
+// dbSnap is one immutable (document, store) version of a database. Static
+// databases have exactly one; an ingestion-enabled database (Options.WALFile)
+// publishes a fresh snapshot per committed mutation, and every query pins one
+// snapshot for its whole run — readers never observe a half-applied write.
+type dbSnap struct {
 	doc   *xmltree.Document
 	store *storage.Store
+	// members lists the live member documents in node-range order, and
+	// memberIdx finds one by ID. Both are nil for static databases; for
+	// ingestion-enabled ones they are the membership view consistent with
+	// exactly this store version (the corpus demux depends on that).
+	members   []memberView
+	memberIdx map[string]int
+}
+
+// memberView is one live member's identity and node range inside a snapshot.
+type memberView struct {
+	id   string
+	span xmltree.DocSpan
+}
+
+// dbState is the immutable-identity core of a Database: the current
+// (document, store) snapshot and the shared service. Derived handles
+// (WithParallelism) share one dbState pointer, so cached plans, statistics,
+// metrics and admission control are one per database — a derived handle
+// differs only in its execution settings.
+type dbState struct {
+	// snap is the current published snapshot; mutations replace it
+	// atomically after commit, so reads are lock-free.
+	snap  atomic.Pointer[dbSnap]
 	model CostModel
 
 	// svc holds the mutable shared state — statistics (replaceable via
 	// RebuildStats), the plan cache, metrics, the slow-query log and
 	// admission control — behind one pointer.
 	svc *service
+
+	// ingest is the write path's state (WAL, forest, member table); nil for
+	// databases built without Options.WALFile.
+	ingest *ingestState
 }
+
+// view returns the current snapshot. Callers that touch both the document
+// and the store of one logical version must call view once and use the
+// returned pair.
+func (st *dbState) view() *dbSnap { return st.snap.Load() }
 
 // Database is a loaded, indexed XML document ready for querying. The
 // zero parallelism (the default for every constructor) executes plans
@@ -206,7 +261,7 @@ func LoadXMLString(s string, opts *Options) (*Database, error) {
 // back with OpenImage; indexes and statistics are rebuilt deterministically
 // on load.
 func (db *Database) SaveImage(w io.Writer) error {
-	return xmltree.WriteImage(db.doc, w)
+	return xmltree.WriteImage(db.view().doc, w)
 }
 
 // SaveImageFile is SaveImage to a file path.
@@ -253,31 +308,79 @@ func GenerateDataset(name string, scale float64, fold int, opts *Options) (*Data
 	return fromDocument(doc, opts)
 }
 
+// storeFile resolves the page file a database image lives on: an injected
+// PageFile, a fresh disk file at DiskPath, or memory.
+func storeFile(opts *Options) (PageFile, error) {
+	if opts != nil && opts.PageFile != nil {
+		return opts.PageFile, nil
+	}
+	if opts != nil && opts.DiskPath != "" {
+		return storage.CreateDiskFile(opts.DiskPath)
+	}
+	return storage.NewMemFile(), nil
+}
+
+// NewMemPageFile returns a fresh in-memory page file — the simplest
+// Options.WALFile / CorpusOptions.ShardWALFile for tests and ephemeral
+// writable databases.
+func NewMemPageFile() PageFile { return storage.NewMemFile() }
+
+// CreatePageFile creates (truncating if present) a disk-backed page file at
+// path, suitable for Options.PageFile, Options.WALFile or
+// CorpusOptions.ShardWALFile.
+func CreatePageFile(path string) (PageFile, error) { return storage.CreateDiskFile(path) }
+
+// OpenPageFile opens an existing disk-backed page file at path — the
+// recovery counterpart of CreatePageFile.
+func OpenPageFile(path string) (PageFile, error) { return storage.OpenDiskFile(path) }
+
+// resolveWALFile returns the WAL page file selected by opts: WALFile wins;
+// otherwise WALPath is opened if the file exists (recovery) or created
+// fresh. nil means no write path.
+func resolveWALFile(opts *Options) (PageFile, error) {
+	if opts == nil {
+		return nil, nil
+	}
+	if opts.WALFile != nil {
+		return opts.WALFile, nil
+	}
+	if opts.WALPath == "" {
+		return nil, nil
+	}
+	if _, err := os.Stat(opts.WALPath); err == nil {
+		return storage.OpenDiskFile(opts.WALPath)
+	}
+	return storage.CreateDiskFile(opts.WALPath)
+}
+
 func fromDocument(doc *xmltree.Document, opts *Options) (*Database, error) {
-	poolFrames, grid, diskPath, cacheCap := 0, 0, "", 0
-	var pageFile PageFile
+	wal, err := resolveWALFile(opts)
+	if err != nil {
+		return nil, err
+	}
+	if wal != nil {
+		// Ingestion-enabled: the document becomes the first member of an
+		// appendable forest, under the reserved seed ID.
+		wopts := *opts
+		wopts.WALFile = wal
+		return buildIngestDatabase([]seedDoc{{id: SeedDocID, doc: doc}}, &wopts)
+	}
+	poolFrames, grid, cacheCap := 0, 0, 0
 	var retry RetryPolicy
 	maxInFlight, queueDepth := 0, 0
 	var sopts storage.StoreOptions
 	if opts != nil {
-		poolFrames, grid, diskPath = opts.PoolFrames, opts.HistogramGrid, opts.DiskPath
+		poolFrames, grid = opts.PoolFrames, opts.HistogramGrid
 		cacheCap = opts.PlanCacheCapacity
-		pageFile, retry = opts.PageFile, opts.Retry
+		retry = opts.Retry
 		maxInFlight, queueDepth = opts.MaxInFlight, opts.QueueDepth
 		sopts.NoValueIndex = opts.NoValueIndex
 	}
-	var store *storage.Store
-	var err error
-	switch {
-	case pageFile == nil && diskPath != "":
-		pageFile, err = storage.CreateDiskFile(diskPath)
-		if err != nil {
-			return nil, err
-		}
-	case pageFile == nil:
-		pageFile = storage.NewMemFile()
+	pageFile, err := storeFile(opts)
+	if err != nil {
+		return nil, err
 	}
-	store, err = storage.BuildStoreOnOpts(pageFile, doc, poolFrames, sopts)
+	store, err := storage.BuildStoreOnOpts(pageFile, doc, poolFrames, sopts)
 	if err != nil {
 		return nil, err
 	}
@@ -286,24 +389,27 @@ func fromDocument(doc *xmltree.Document, opts *Options) (*Database, error) {
 	}
 	svc := newService(histogram.Build(doc, grid), grid, cacheCap)
 	svc.admit = admission.New(maxInFlight, queueDepth)
-	return &Database{
+	db := &Database{
 		dbState: &dbState{
-			doc:   doc,
-			store: store,
 			model: opts.model(),
 			svc:   svc,
 		},
-	}, nil
+	}
+	db.snap.Store(&dbSnap{doc: doc, store: store})
+	return db, nil
 }
 
 // NumNodes returns the number of element nodes in the database.
-func (db *Database) NumNodes() int { return db.doc.NumNodes() }
+func (db *Database) NumNodes() int { return db.view().doc.NumNodes() }
 
 // TagName returns the element tag of a matched node.
-func (db *Database) TagName(id NodeID) string { return db.doc.TagName(db.doc.Tag(id)) }
+func (db *Database) TagName(id NodeID) string {
+	doc := db.view().doc
+	return doc.TagName(doc.Tag(id))
+}
 
 // Value returns the text value of a matched node ("" if none).
-func (db *Database) Value(id NodeID) string { return db.doc.Value(id) }
+func (db *Database) Value(id NodeID) string { return db.view().doc.Value(id) }
 
 // Model returns the database's cost model.
 func (db *Database) Model() CostModel { return db.model }
@@ -322,7 +428,7 @@ func (db *Database) Optimize(pat *Pattern, m Method, te int) (*OptimizeResult, e
 // plan search (all algorithms poll it) and returns ctx's error.
 func (db *Database) OptimizeContext(ctx context.Context, pat *Pattern, m Method, te int) (*OptimizeResult, error) {
 	stats, _ := db.svc.snapshot()
-	return optimizeWith(ctx, pat, stats, db.model, m, te, db.store)
+	return optimizeWith(ctx, pat, stats, db.model, m, te, db.view().store)
 }
 
 // OptimizeWithExactStats is Optimize with the oracle estimator: exact
@@ -331,7 +437,7 @@ func (db *Database) OptimizeContext(ctx context.Context, pat *Pattern, m Method,
 // effect of estimation error on plan choice (the A2 ablation in DESIGN.md)
 // and is too expensive for routine use.
 func (db *Database) OptimizeWithExactStats(pat *Pattern, m Method, te int) (*OptimizeResult, error) {
-	est, err := core.NewOracleEstimator(pat, db.doc)
+	est, err := core.NewOracleEstimator(pat, db.view().doc)
 	if err != nil {
 		return nil, err
 	}
@@ -372,12 +478,12 @@ func (db *Database) Parallelism() int { return db.parallelism }
 
 // PoolStats returns a snapshot of the buffer pool's cumulative hit/miss
 // counters for this database's store (shared by all parallelism views).
-func (db *Database) PoolStats() PoolStats { return db.store.PoolStats() }
+func (db *Database) PoolStats() PoolStats { return db.view().store.PoolStats() }
 
 // ContentStats returns a snapshot of the store's content-index,
 // postings-compression and string-interning counters (shared by all
 // parallelism views).
-func (db *Database) ContentStats() ContentStats { return db.store.ContentStats() }
+func (db *Database) ContentStats() ContentStats { return db.view().store.ContentStats() }
 
 // AdmissionStats returns the admission controller's counters (all zero when
 // no MaxInFlight was configured). Shared by all parallelism views.
@@ -395,7 +501,7 @@ func (db *Database) Drain(ctx context.Context) error { return db.svc.admit.Drain
 // alternative of Bruno et al. that the paper cites as future work), for
 // comparison against the structural-join plans.
 func (db *Database) TwigStack(pat *Pattern) ([]Match, error) {
-	ms, _, err := twigjoin.Run(db.doc, pat)
+	ms, _, err := twigjoin.Run(db.view().doc, pat)
 	out := make([]Match, len(ms))
 	for i, m := range ms {
 		out[i] = Match(m)
